@@ -1,0 +1,61 @@
+//! End-to-end algorithm benchmarks on a fixed workload (the microbenchmark
+//! companion to Fig. 10(a)/12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wqe_bench::runner::{run_algo, AlgoSpec, QuestionKind, Workload};
+use wqe_core::WqeConfig;
+use wqe_datagen::{dbpedia_like, QueryGenConfig, WhyGenConfig};
+
+fn workload(kind: QuestionKind) -> Workload {
+    Workload::build(
+        "bench",
+        dbpedia_like(0.02, 21),
+        3,
+        &QueryGenConfig { edges: 2, seed: 21, ..Default::default() },
+        &WhyGenConfig::default(),
+        kind,
+    )
+}
+
+fn cfg() -> WqeConfig {
+    WqeConfig {
+        budget: 3.0,
+        time_limit_ms: Some(500),
+        max_expansions: 100,
+        ..Default::default()
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let why = workload(QuestionKind::Why);
+    let many = workload(QuestionKind::WhyMany);
+    let empty = workload(QuestionKind::WhyEmpty);
+    let base = cfg();
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for spec in [
+        AlgoSpec::AnsW,
+        AlgoSpec::AnsWnc,
+        AlgoSpec::AnsWb,
+        AlgoSpec::AnsHeu(3),
+        AlgoSpec::FMAnsW,
+    ] {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| run_algo(&why, spec, &base).mean_closeness)
+        });
+    }
+    if !many.questions.is_empty() {
+        group.bench_function("ApxWhyM", |b| {
+            b.iter(|| run_algo(&many, AlgoSpec::ApxWhyM, &base).mean_closeness)
+        });
+    }
+    if !empty.questions.is_empty() {
+        group.bench_function("AnsWE", |b| {
+            b.iter(|| run_algo(&empty, AlgoSpec::AnsWE, &base).mean_closeness)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Distance substrate: PLL vs bounded BFS (ablation 4 of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wqe_datagen::dbpedia_like;
+use wqe_graph::NodeId;
+use wqe_index::{BoundedBfsOracle, DistanceOracle, PllIndex};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance/build");
+    group.sample_size(10);
+    for scale in [0.01f64, 0.03] {
+        let g = dbpedia_like(scale, 5);
+        group.bench_with_input(
+            BenchmarkId::new("pll", g.node_count()),
+            &g,
+            |b, g| b.iter(|| PllIndex::build(g).label_entries()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let g = dbpedia_like(0.03, 5);
+    let pll = PllIndex::build(&g);
+    let bfs = BoundedBfsOracle::new(&g, 4);
+    let pairs: Vec<(NodeId, NodeId)> = (0..256u32)
+        .map(|i| (NodeId(i % g.node_count() as u32), NodeId((i * 37) % g.node_count() as u32)))
+        .collect();
+    let mut group = c.benchmark_group("distance/query");
+    group.bench_function("pll", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| pll.within(u, v, 4))
+                .count()
+        })
+    });
+    group.bench_function("bounded_bfs_memoized", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| bfs.within(u, v, 4))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

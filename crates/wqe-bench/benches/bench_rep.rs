@@ -1,0 +1,22 @@
+//! rep(E, V) computation cost as |T| grows (feeds Fig. 10(f,g) analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wqe_core::compute_representation;
+use wqe_datagen::{exemplar_from, imdb_like};
+use wqe_graph::NodeId;
+
+fn bench_rep(c: &mut Criterion) {
+    let g = imdb_like(0.05, 11);
+    let mut group = c.benchmark_group("rep");
+    for tuples in [5usize, 15, 25] {
+        let entities: Vec<NodeId> = g.node_ids().take(tuples).collect();
+        let ex = exemplar_from(&g, &entities, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &ex, |b, ex| {
+            b.iter(|| compute_representation(&g, ex, g.node_ids(), 1.0).nodes.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rep);
+criterion_main!(benches);

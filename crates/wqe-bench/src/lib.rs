@@ -1,0 +1,21 @@
+//! # wqe-bench
+//!
+//! The experiment harness regenerating every table and figure of the WQE
+//! paper's evaluation (§7) on the synthetic stand-in datasets. Each
+//! experiment produces rows `(figure, series, x, value)` that print as
+//! markdown tables and serialize as JSON lines for EXPERIMENTS.md.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p wqe-bench --bin paper_experiments -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{ExpRow, Reporter};
+pub use runner::{AlgoSpec, RunStats, Workload};

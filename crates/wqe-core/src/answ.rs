@@ -1,0 +1,440 @@
+//! Algorithm `AnsW` (§5.1, Fig. 5): anytime best-first simulation of the
+//! Q-Chase tree with backtracking, normal-form enforcement, cl⁺ pruning
+//! (Lemma 5.5), and optional top-k suggestion (§6.2).
+//!
+//! Configuration reproduces the paper's ablations:
+//! * `AnsW`   — caching + pruning (the default [`crate::session::WqeConfig`]);
+//! * `AnsWnc` — `caching = false`;
+//! * `AnsWb`  — `caching = false, pruning = false`.
+
+use crate::chase::Phase;
+use crate::opsgen::{next_ops, ScoredOp};
+use crate::session::{EvalResult, Session, WhyQuestion};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
+use wqe_graph::NodeId;
+use wqe_query::{AtomicOp, OpClass, PatternQuery};
+
+/// One suggested query rewrite with everything needed to present it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RewriteResult {
+    /// The rewritten query `Q' = Q ⊕ O`.
+    pub query: PatternQuery,
+    /// The operator sequence `O` (normal form).
+    pub ops: Vec<AtomicOp>,
+    /// `c(O)`.
+    pub cost: f64,
+    /// `cl(Q'(G), E)`.
+    pub closeness: f64,
+    /// `Q'(G)`.
+    pub matches: Vec<NodeId>,
+    /// `Q'(G) ⊨ E`?
+    pub satisfies: bool,
+}
+
+/// A point on the anytime curve: best closeness seen by `elapsed_us`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TracePoint {
+    /// Microseconds since the search started.
+    pub elapsed_us: u64,
+    /// Best (satisfying) closeness discovered so far.
+    pub closeness: f64,
+}
+
+/// The full report of one `AnsW` run.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerReport {
+    /// The best rewrite (satisfying `E` when any exists, otherwise the
+    /// highest-closeness rewrite seen).
+    pub best: Option<RewriteResult>,
+    /// Top-k satisfying rewrites, best first (§6.2).
+    pub top_k: Vec<RewriteResult>,
+    /// Anytime trace (Exp-3).
+    pub trace: Vec<TracePoint>,
+    /// Q-Chase steps simulated (rewrite evaluations).
+    pub expansions: usize,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Whether the theoretically optimal closeness `cl*` was attained.
+    pub optimal_reached: bool,
+    /// True when any evaluation hit the matcher's step budget: closeness
+    /// values may then under-count matches and the verdicts are
+    /// conservative. Raise `Matcher::with_step_limit` when set.
+    pub truncated: bool,
+}
+
+/// Ordered f64 wrapper for the priority queue.
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("finite closeness")
+    }
+}
+
+struct State {
+    query: PatternQuery,
+    ops: Vec<AtomicOp>,
+    cost: f64,
+    eval: EvalResult,
+    phase: Phase,
+    op_queue: Option<Vec<ScoredOp>>,
+    next_op: usize,
+}
+
+/// Runs `AnsW` on a why-question, returning the report.
+pub fn answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
+    let start = Instant::now();
+    let budget = session.config.budget;
+    let top_k_n = session.config.top_k.max(1);
+    let mut report = AnswerReport::default();
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut arena: Vec<State> = Vec::new();
+    // Max-heap on (closeness, lowest cost first, oldest first).
+    let mut heap: BinaryHeap<(OrdF64, Reverse<OrdF64>, Reverse<usize>)> = BinaryHeap::new();
+
+    // Best satisfying closeness so far; fallback best regardless.
+    let mut best_fallback: Option<RewriteResult> = None;
+
+    let kth_best = |top: &Vec<RewriteResult>| -> f64 {
+        if top.len() >= top_k_n {
+            top.last().map(|r| r.closeness).unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
+
+    let record =
+        |state_query: &PatternQuery,
+         ops: &[AtomicOp],
+         cost: f64,
+         eval: &EvalResult,
+         report: &mut AnswerReport,
+         best_fallback: &mut Option<RewriteResult>,
+         started: &Instant| {
+            let result = RewriteResult {
+                query: state_query.clone(),
+                ops: ops.to_vec(),
+                cost,
+                closeness: eval.closeness,
+                matches: eval.outcome.matches.clone(),
+                satisfies: eval.satisfies,
+            };
+            if best_fallback
+                .as_ref()
+                .is_none_or(|b| result.closeness > b.closeness)
+            {
+                *best_fallback = Some(result.clone());
+            }
+            if !eval.satisfies {
+                return;
+            }
+            let prev_best = report.top_k.first().map(|r| r.closeness);
+            // Insert into top-k (dedup by signature).
+            let sig = result.query.signature();
+            if !report
+                .top_k
+                .iter()
+                .any(|r| r.query.signature() == sig)
+            {
+                report.top_k.push(result);
+                report
+                    .top_k
+                    .sort_by(|a, b| b.closeness.partial_cmp(&a.closeness).expect("finite"));
+                report.top_k.truncate(top_k_n);
+            }
+            let new_best = report.top_k.first().map(|r| r.closeness);
+            if new_best > prev_best || prev_best.is_none() {
+                report.trace.push(TracePoint {
+                    elapsed_us: started.elapsed().as_micros() as u64,
+                    closeness: new_best.unwrap_or(f64::NEG_INFINITY),
+                });
+            }
+        };
+
+    // Root: the original query (line 2-3 of Fig. 5).
+    let root_eval = session.evaluate(&question.query);
+    report.truncated |= root_eval.outcome.truncated;
+    visited.insert(question.query.signature());
+    record(
+        &question.query,
+        &[],
+        0.0,
+        &root_eval,
+        &mut report,
+        &mut best_fallback,
+        &start,
+    );
+    report.expansions += 1;
+    arena.push(State {
+        query: question.query.clone(),
+        ops: Vec::new(),
+        cost: 0.0,
+        eval: root_eval,
+        phase: Phase::Relax,
+        op_queue: None,
+        next_op: 0,
+    });
+    heap.push((
+        OrdF64(arena[0].eval.closeness),
+        Reverse(OrdF64(0.0)),
+        Reverse(0),
+    ));
+
+    let time_ok = |start: &Instant| -> bool {
+        session
+            .config
+            .time_limit_ms
+            .is_none_or(|ms| start.elapsed().as_millis() < ms as u128)
+    };
+
+    'search: while let Some(&(_, _, Reverse(idx))) = heap.peek() {
+        if !time_ok(&start) || report.expansions >= session.config.max_expansions {
+            break;
+        }
+        // Early global termination: theoretically optimal reached.
+        let best_cl = report
+            .top_k
+            .first()
+            .map(|r| r.closeness)
+            .unwrap_or(f64::NEG_INFINITY);
+        if best_cl >= session.cl_star - 1e-12 {
+            report.optimal_reached = true;
+            break;
+        }
+
+        // Lazily generate this state's operator queue (first visit).
+        let kth = kth_best(&report.top_k);
+        {
+            let st = &mut arena[idx];
+            if st.op_queue.is_none() {
+                let ops = next_ops(session, &st.query, &st.eval, st.phase, kth);
+                st.op_queue = Some(ops);
+            }
+        }
+
+        // Find the next applicable operator within budget.
+        let picked: Option<ScoredOp> = loop {
+            let st = &mut arena[idx];
+            let queue = st.op_queue.as_ref().expect("generated above");
+            if st.next_op >= queue.len() {
+                break None;
+            }
+            let sop = queue[st.next_op].clone();
+            st.next_op += 1;
+            if st.cost + sop.op.cost(session.graph) > budget + 1e-9 {
+                continue;
+            }
+            // Canonicity (§4): never relax and refine the same literal
+            // slot or edge along one sequence — such pairs cancel out.
+            let mut extended = st.ops.clone();
+            extended.push(sop.op.clone());
+            if !wqe_query::is_canonical(&extended) {
+                continue;
+            }
+            break Some(sop);
+        };
+
+        let Some(sop) = picked else {
+            // Backtrack: this chase node is exhausted (line 7 of Fig. 5).
+            heap.pop();
+            continue 'search;
+        };
+
+        // Simulate one Q-Chase step (line 8).
+        let (new_query, new_ops, new_cost, new_phase) = {
+            let st = &arena[idx];
+            let mut nq = st.query.clone();
+            if sop.op.apply(&mut nq).is_err() {
+                continue 'search;
+            }
+            let mut no = st.ops.clone();
+            no.push(sop.op.clone());
+            let phase = match sop.op.class() {
+                OpClass::Relax => st.phase,
+                OpClass::Refine => Phase::Refine,
+            };
+            (nq, no, st.cost + sop.op.cost(session.graph), phase)
+        };
+
+        let sig = new_query.signature();
+        if !visited.insert(sig) {
+            continue 'search;
+        }
+        let eval = session.evaluate(&new_query);
+        report.truncated |= eval.outcome.truncated;
+        report.expansions += 1;
+
+        record(
+            &new_query,
+            &new_ops,
+            new_cost,
+            &eval,
+            &mut report,
+            &mut best_fallback,
+            &start,
+        );
+
+        // Prune (line 9, Lemma 5.5(2)): in the refinement phase cl⁺ only
+        // shrinks, so a subtree whose bound is below the (k-th) best is dead.
+        let kth = kth_best(&report.top_k);
+        if session.config.pruning && new_phase == Phase::Refine && eval.upper_bound <= kth + 1e-12
+        {
+            continue 'search;
+        }
+
+        let closeness = eval.closeness;
+        arena.push(State {
+            query: new_query,
+            ops: new_ops,
+            cost: new_cost,
+            eval,
+            phase: new_phase,
+            op_queue: None,
+            next_op: 0,
+        });
+        let new_idx = arena.len() - 1;
+        heap.push((
+            OrdF64(closeness),
+            Reverse(OrdF64(new_cost)),
+            Reverse(new_idx),
+        ));
+    }
+
+    if report
+        .top_k
+        .first()
+        .map(|r| r.closeness >= session.cl_star - 1e-12)
+        .unwrap_or(false)
+    {
+        report.optimal_reached = true;
+    }
+    report.best = report.top_k.first().cloned().or(best_fallback);
+    report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_question;
+    use crate::session::{Session, WqeConfig};
+    use wqe_graph::product::product_graph;
+    use wqe_index::PllIndex;
+
+    fn run(config: WqeConfig) -> (wqe_graph::product::ProductGraph, AnswerReport) {
+        let pg = product_graph();
+        let report = {
+            let g = &pg.graph;
+            let oracle = PllIndex::build(g);
+            let wq = paper_question(g);
+            let session = Session::new(g, &oracle, &wq, config);
+            answ(&session, &wq)
+        };
+        (pg, report)
+    }
+
+    #[test]
+    fn finds_optimal_rewrite_on_paper_scenario() {
+        let (pg, report) = run(WqeConfig {
+            budget: 4.0,
+            ..WqeConfig::default()
+        });
+        let best = report.best.expect("a rewrite is found");
+        // Optimal rewrite: Q'(G) = {P3, P4, P5}, closeness 1/2 = cl*.
+        assert_eq!(
+            best.matches,
+            vec![pg.phones[2], pg.phones[3], pg.phones[4]]
+        );
+        assert!((best.closeness - 0.5).abs() < 1e-9, "cl = {}", best.closeness);
+        assert!(best.satisfies);
+        assert!(report.optimal_reached);
+        assert!(best.cost <= 4.0 + 1e-9);
+        // The sequence is canonical and in normal form (Theorem 4.3 path).
+        assert!(wqe_query::is_canonical(&best.ops));
+        assert!(wqe_query::is_normal_form(&best.ops));
+    }
+
+    #[test]
+    fn budget_limits_quality() {
+        // With B = 1 only one cheap operator fits; the optimum (cost > 3)
+        // is unreachable, so closeness < cl*.
+        let (_pg, report) = run(WqeConfig {
+            budget: 1.0,
+            ..WqeConfig::default()
+        });
+        if let Some(best) = &report.best {
+            assert!(best.cost <= 1.0 + 1e-9);
+            assert!(best.closeness < 0.5);
+        }
+        assert!(!report.optimal_reached);
+    }
+
+    #[test]
+    fn anytime_trace_monotone() {
+        let (_pg, report) = run(WqeConfig {
+            budget: 4.0,
+            ..WqeConfig::default()
+        });
+        for w in report.trace.windows(2) {
+            assert!(w[1].closeness >= w[0].closeness);
+            assert!(w[1].elapsed_us >= w[0].elapsed_us);
+        }
+        assert!(!report.trace.is_empty());
+    }
+
+    #[test]
+    fn ablations_reach_same_closeness() {
+        // AnsWnc and AnsWb are slower but equally effective on this graph.
+        let (_ , full) = run(WqeConfig { budget: 4.0, ..WqeConfig::default() });
+        let (_, nc) = run(WqeConfig {
+            budget: 4.0,
+            caching: false,
+            ..WqeConfig::default()
+        });
+        let (_, b) = run(WqeConfig {
+            budget: 4.0,
+            caching: false,
+            pruning: false,
+            ..WqeConfig::default()
+        });
+        let cl = |r: &AnswerReport| r.best.as_ref().map(|x| x.closeness).unwrap_or(-1.0);
+        assert!((cl(&full) - 0.5).abs() < 1e-9);
+        assert!((cl(&nc) - 0.5).abs() < 1e-9);
+        assert!((cl(&b) - 0.5).abs() < 1e-9);
+        // The unpruned variant explores at least as many rewrites.
+        assert!(b.expansions >= full.expansions);
+    }
+
+    #[test]
+    fn top_k_returns_distinct_rewrites() {
+        let (_pg, report) = run(WqeConfig {
+            budget: 4.0,
+            top_k: 3,
+            ..WqeConfig::default()
+        });
+        assert!(!report.top_k.is_empty());
+        let sigs: std::collections::HashSet<String> =
+            report.top_k.iter().map(|r| r.query.signature()).collect();
+        assert_eq!(sigs.len(), report.top_k.len());
+        for w in report.top_k.windows(2) {
+            assert!(w[0].closeness >= w[1].closeness);
+        }
+        for r in &report.top_k {
+            assert!(r.satisfies);
+        }
+    }
+
+    #[test]
+    fn expansion_cap_respected() {
+        let (_pg, report) = run(WqeConfig {
+            budget: 4.0,
+            max_expansions: 3,
+            ..WqeConfig::default()
+        });
+        assert!(report.expansions <= 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Q-Chase (§4): chasing a query with the constraints an exemplar poses on
+//! its answers.
+//!
+//! A Q-Chase step applies one atomic operator and re-derives the exemplar
+//! bookkeeping `(T_i, C_i)` — which tuple patterns currently have
+//! representatives among the answers. A sequence is *canonical* when no
+//! literal/edge is both relaxed and refined, and in *normal form* when all
+//! relaxations precede all refinements (Lemma 4.1 shows every canonical
+//! sequence has an equivalent normal form; `wqe_query::normalize` is the
+//! constructive transformation). This module provides the step/sequence
+//! records used for lineage and the validity checks behind Theorem 4.3.
+
+use crate::exemplar::compute_representation;
+use crate::session::Session;
+use wqe_graph::NodeId;
+use wqe_query::{is_canonical, is_normal_form, sequence_cost, AtomicOp, OpClass, PatternQuery};
+
+/// Which phase of a normal-form sequence a state is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Only relaxations (or nothing) applied so far.
+    Relax,
+    /// At least one refinement applied; only refinements may follow.
+    Refine,
+}
+
+/// One recorded Q-Chase step `(Q_i, E_i) --v,t,l--> (Q_{i+1}, E_{i+1})`.
+#[derive(Debug, Clone)]
+pub struct ChaseStep {
+    /// The operator `o` applied (the paper's empty operator is represented
+    /// by omitting the step).
+    pub op: AtomicOp,
+    /// `c(o)`.
+    pub cost: f64,
+    /// Focus matches gained (`v` entries added to `Q_{i+1}(G)`).
+    pub added: Vec<NodeId>,
+    /// Focus matches lost.
+    pub removed: Vec<NodeId>,
+    /// Tuple-pattern indices newly covered by the answers (`t` added to
+    /// `T_{i+1}`).
+    pub tuples_activated: Vec<usize>,
+    /// Tuple-pattern indices that lost all their representatives.
+    pub tuples_deactivated: Vec<usize>,
+    /// `cl(Q_{i+1}(G), E)`.
+    pub closeness_after: f64,
+}
+
+/// A replayed, fully annotated Q-Chase sequence.
+#[derive(Debug, Clone, Default)]
+pub struct ChaseSequence {
+    /// The steps in order.
+    pub steps: Vec<ChaseStep>,
+}
+
+impl ChaseSequence {
+    /// Replays `ops` from `q0`, evaluating each intermediate rewrite and
+    /// recording the answer/exemplar deltas. Fails (returns `None`) if some
+    /// operator is inapplicable where it occurs.
+    pub fn replay(session: &Session<'_>, q0: &PatternQuery, ops: &[AtomicOp]) -> Option<Self> {
+        let mut q = q0.clone();
+        let mut prev = session.evaluate(&q);
+        let mut prev_covered = covered_tuples(session, &prev.outcome.matches);
+        let mut steps = Vec::with_capacity(ops.len());
+        for op in ops {
+            let cost = op.cost(session.graph);
+            op.apply(&mut q).ok()?;
+            let next = session.evaluate(&q);
+            let next_covered = covered_tuples(session, &next.outcome.matches);
+            let added: Vec<NodeId> = next
+                .outcome
+                .matches
+                .iter()
+                .copied()
+                .filter(|v| !prev.outcome.is_match(*v))
+                .collect();
+            let removed: Vec<NodeId> = prev
+                .outcome
+                .matches
+                .iter()
+                .copied()
+                .filter(|v| !next.outcome.is_match(*v))
+                .collect();
+            let tuples_activated = next_covered
+                .iter()
+                .enumerate()
+                .filter(|&(i, &c)| c && !prev_covered[i])
+                .map(|(i, _)| i)
+                .collect();
+            let tuples_deactivated = prev_covered
+                .iter()
+                .enumerate()
+                .filter(|&(i, &c)| c && !next_covered[i])
+                .map(|(i, _)| i)
+                .collect();
+            steps.push(ChaseStep {
+                op: op.clone(),
+                cost,
+                added,
+                removed,
+                tuples_activated,
+                tuples_deactivated,
+                closeness_after: next.closeness,
+            });
+            prev = next;
+            prev_covered = next_covered;
+        }
+        Some(ChaseSequence { steps })
+    }
+
+    /// Total sequence cost `c(ρ)`.
+    pub fn cost(&self) -> f64 {
+        self.steps.iter().map(|s| s.cost).sum()
+    }
+
+    /// The operators of the sequence.
+    pub fn ops(&self) -> Vec<AtomicOp> {
+        self.steps.iter().map(|s| s.op.clone()).collect()
+    }
+
+    /// Canonicity check (§4).
+    pub fn is_canonical(&self) -> bool {
+        is_canonical(&self.ops())
+    }
+
+    /// Normal-form check (§4).
+    pub fn is_normal_form(&self) -> bool {
+        is_normal_form(&self.ops())
+    }
+
+    /// The invariant behind the step rules of §4: relaxations never remove
+    /// matches, refinements never add matches.
+    pub fn respects_monotonicity(&self) -> bool {
+        self.steps.iter().all(|s| match s.op.class() {
+            OpClass::Relax => s.removed.is_empty(),
+            OpClass::Refine => s.added.is_empty(),
+        })
+    }
+}
+
+/// Which tuples of the session exemplar have a representative among
+/// `answers` (the `T_i` bookkeeping of a chase state).
+pub fn covered_tuples(session: &Session<'_>, answers: &[NodeId]) -> Vec<bool> {
+    let rep = compute_representation(
+        session.graph,
+        &session.exemplar,
+        answers.iter().copied(),
+        session.config.closeness.theta,
+    );
+    rep.per_tuple.iter().map(|s| !s.is_empty()).collect()
+}
+
+/// Checks whether a terminal sequence's result answers the why-question
+/// (Theorem 4.3's "if" direction): cost within budget and `Q_k(G) ⊨ E`.
+pub fn is_answer(
+    session: &Session<'_>,
+    q0: &PatternQuery,
+    ops: &[AtomicOp],
+) -> Option<(PatternQuery, bool)> {
+    let mut q = q0.clone();
+    for op in ops {
+        op.apply(&mut q).ok()?;
+    }
+    if sequence_cost(ops, session.graph) > session.config.budget + 1e-9 {
+        return Some((q, false));
+    }
+    let eval = session.evaluate(&q);
+    let ok = eval.satisfies;
+    Some((q, ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{WhyQuestion, WqeConfig};
+    use crate::paper::paper_question;
+    use wqe_graph::product::product_graph;
+    use wqe_index::PllIndex;
+    use wqe_query::{AtomicOp, Literal, QNodeId};
+
+    #[test]
+    fn replay_paper_rewrite() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq: WhyQuestion = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let s = g.schema();
+        let price = s.attr_id("Price").unwrap();
+        let discount = s.attr_id("Discount").unwrap();
+        let focus = wq.query.focus();
+        let carrier = QNodeId(1);
+        let sensor = QNodeId(2);
+        // Normal form of {o1, o2, o3}: relax first (o3 RxL, o2 RmE), then
+        // refine (o1 AddL).
+        let ops = vec![
+            AtomicOp::RxL {
+                node: focus,
+                old: Literal::new(price, wqe_graph::CmpOp::Ge, 840),
+                new: Literal::new(price, wqe_graph::CmpOp::Ge, 790),
+            },
+            AtomicOp::RmE { from: focus, to: sensor, bound: 2 },
+            AtomicOp::AddL {
+                node: carrier,
+                lit: Literal::new(discount, wqe_graph::CmpOp::Eq, 25),
+            },
+        ];
+        let seq = ChaseSequence::replay(&session, &wq.query, &ops).expect("applicable");
+        assert!(seq.is_canonical());
+        assert!(seq.is_normal_form());
+        assert!(seq.respects_monotonicity());
+        // Final closeness 1/2 (Example 3.1), cost 1.33 + 1.2(RmE b=2,D... ) + 1.
+        let last = seq.steps.last().unwrap();
+        assert!((last.closeness_after - 0.5).abs() < 1e-9);
+        // Relax steps added P3/P4; refine step removed P1/P2.
+        assert!(seq.steps[2].removed.contains(&pg.phones[0]));
+        assert!(seq.steps[2].removed.contains(&pg.phones[1]));
+    }
+
+    #[test]
+    fn is_answer_checks_budget_and_satisfaction() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let s = g.schema();
+        let price = s.attr_id("Price").unwrap();
+        let discount = s.attr_id("Discount").unwrap();
+        let focus = wq.query.focus();
+        let ops = vec![
+            AtomicOp::RxL {
+                node: focus,
+                old: Literal::new(price, wqe_graph::CmpOp::Ge, 840),
+                new: Literal::new(price, wqe_graph::CmpOp::Ge, 790),
+            },
+            AtomicOp::RmE { from: focus, to: QNodeId(2), bound: 2 },
+            AtomicOp::AddL {
+                node: QNodeId(1),
+                lit: Literal::new(discount, wqe_graph::CmpOp::Eq, 25),
+            },
+        ];
+        let (_, ok) = is_answer(&session, &wq.query, &ops).unwrap();
+        assert!(ok, "Q' answers the why-question");
+    }
+
+    #[test]
+    fn tuple_activation_tracked() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let s = g.schema();
+        let price = s.attr_id("Price").unwrap();
+        let focus = wq.query.focus();
+        // Relaxing price to >= 790 introduces P3 (t1 representative exists
+        // already via P5? t1 needs storage > some t2 match — t2 has no match
+        // in Q(G), so initially NO tuple is covered).
+        let ops = vec![AtomicOp::RxL {
+            node: focus,
+            old: Literal::new(price, wqe_graph::CmpOp::Ge, 840),
+            new: Literal::new(price, wqe_graph::CmpOp::Ge, 790),
+        }];
+        let seq = ChaseSequence::replay(&session, &wq.query, &ops).unwrap();
+        let step = &seq.steps[0];
+        // P3 and P4 prices are 790/795 but P3 lacks a sensor; P4 gains.
+        assert!(step.added.contains(&pg.phones[3]));
+        // t2 (index 1) becomes covered by P4's arrival.
+        assert!(step.tuples_activated.contains(&1));
+    }
+}

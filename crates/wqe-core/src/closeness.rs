@@ -1,0 +1,298 @@
+//! Closeness measures (§3): `cl(v, t)`, `cl(v, E)`, `cl(Q(G), E)`, the
+//! upper bound `cl⁺`, the theoretical optimum `cl*`, and the relative
+//! closeness `δ` used by the effectiveness experiments.
+
+use crate::exemplar::{Cell, Exemplar, Representation, TuplePattern};
+use std::collections::HashSet;
+use wqe_graph::{AttrValue, Graph, NodeId};
+
+/// Tunables of the closeness model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosenessConfig {
+    /// `vsim` threshold: `v ~ t` iff `cl(v, t) >= theta`. The paper's worked
+    /// examples use exact matches, i.e. `theta = 1.0`.
+    pub theta: f64,
+    /// Irrelevant-match penalty `λ` in `cl(Q(G), E)`.
+    pub lambda: f64,
+}
+
+impl Default for ClosenessConfig {
+    fn default() -> Self {
+        ClosenessConfig {
+            theta: 1.0,
+            lambda: 1.0,
+        }
+    }
+}
+
+/// Per-cell similarity `cl(v.A, t.A) ∈ [0, 1]`:
+/// 1 for variables and wildcards; for constants, `1 - |v.A - c|/range(A)`
+/// (floored at 0) on numerics and a normalized string similarity on
+/// categoricals (so `vsim` thresholds below 1 admit near-matches like the
+/// model ids `MR942LL/A ~ MR942CH/A` of the paper's Fig. 11 case study —
+/// at `theta = 1` only exact categorical matches survive); 0 when the node
+/// lacks the attribute.
+pub fn cell_closeness(graph: &Graph, v: NodeId, attr: wqe_graph::AttrId, cell: &Cell) -> f64 {
+    match cell {
+        Cell::Var | Cell::Wildcard => 1.0,
+        Cell::Const(c) => match graph.attr(v, attr) {
+            None => 0.0,
+            Some(val) => value_similarity(graph, attr, val, c),
+        },
+    }
+}
+
+/// `cl(v, t) = Σ_{A ∈ A(t)} cl(v.A, t.A) / |A(t)|`; 1 for the empty pattern.
+pub fn tuple_closeness(graph: &Graph, v: NodeId, t: &TuplePattern) -> f64 {
+    if t.cells.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = t
+        .cells
+        .iter()
+        .map(|(&a, cell)| cell_closeness(graph, v, a, cell))
+        .sum();
+    sum / t.cells.len() as f64
+}
+
+/// `cl(v, E) = max_{t ∈ T, v ~ t} cl(v, t)`; 0 when no tuple is similar.
+pub fn exemplar_closeness(graph: &Graph, v: NodeId, e: &Exemplar, theta: f64) -> f64 {
+    e.tuples
+        .iter()
+        .map(|t| tuple_closeness(graph, v, t))
+        .filter(|&c| c >= theta)
+        .fold(0.0, f64::max)
+}
+
+/// `cl(Q(G), E) = (Σ_{v ∈ RM} cl(v, E) - λ|IM|) / |V_uo|` (§3).
+///
+/// `answers` is `Q(G)`; `rep` was computed over all of `V`; `v_uo_size` is
+/// the (session-fixed) focus candidate count.
+pub fn answer_closeness(
+    answers: &[NodeId],
+    rep: &Representation,
+    lambda: f64,
+    v_uo_size: usize,
+) -> f64 {
+    if v_uo_size == 0 {
+        return 0.0;
+    }
+    let mut reward = 0.0;
+    let mut irrelevant = 0usize;
+    for &v in answers {
+        if rep.contains(v) {
+            reward += rep.cl(v);
+        } else {
+            irrelevant += 1;
+        }
+    }
+    (reward - lambda * irrelevant as f64) / v_uo_size as f64
+}
+
+/// The prune bound `cl⁺(Q, E) = Σ_{v ∈ RM} cl(v, E) / |V_uo|` — the
+/// closeness with the IM penalty dropped (§5.4). Always `>= cl(Q(G), E)`,
+/// and non-increasing along refinement-only chase suffixes (Lemma 5.5).
+pub fn closeness_upper_bound(answers: &[NodeId], rep: &Representation, v_uo_size: usize) -> f64 {
+    if v_uo_size == 0 {
+        return 0.0;
+    }
+    let reward: f64 = answers
+        .iter()
+        .filter(|&&v| rep.contains(v))
+        .map(|&v| rep.cl(v))
+        .sum();
+    reward / v_uo_size as f64
+}
+
+/// The theoretical optimum `cl* = Σ_{v ∈ R(u_o)} cl(v, E) / |V_uo|` where
+/// `R(u_o) = rep(E, V) ∩ V_uo` (line 1 of AnsW; the paper's
+/// `|R(u_o)|/|V_uo|` specializes this to exact matches with `cl = 1`).
+pub fn theoretical_optimum(rep: &Representation, v_uo: &[NodeId]) -> f64 {
+    if v_uo.is_empty() {
+        return 0.0;
+    }
+    let reward: f64 = v_uo
+        .iter()
+        .filter(|&&v| rep.contains(v))
+        .map(|&v| rep.cl(v))
+        .sum();
+    reward / v_uo.len() as f64
+}
+
+/// Relative closeness `δ(Q', Q*)` (Exp-2): with a known ground truth it
+/// degrades to the Jaccard coefficient of the answer sets.
+pub fn relative_closeness(answers: &[NodeId], truth: &[NodeId]) -> f64 {
+    let a: HashSet<NodeId> = answers.iter().copied().collect();
+    let b: HashSet<NodeId> = truth.iter().copied().collect();
+    let inter = a.intersection(&b).count();
+    let union = a.union(&b).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// String similarity helper for approximate categorical `vsim` variants
+/// (normalized common-prefix/equality blend, in `[0, 1]`).
+pub fn string_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let common = a
+        .bytes()
+        .zip(b.bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        1.0
+    } else {
+        common as f64 / max_len as f64
+    }
+}
+
+/// Similarity between two attribute values using the graph's range for
+/// numerics and [`string_similarity`] for strings.
+pub fn value_similarity(graph: &Graph, attr: wqe_graph::AttrId, a: &AttrValue, b: &AttrValue) -> f64 {
+    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+        (1.0 - (x - y).abs() / graph.attr_range(attr)).max(0.0)
+    } else {
+        match (a, b) {
+            (AttrValue::Str(s1), AttrValue::Str(s2)) => string_similarity(s1, s2),
+            _ => {
+                if a.value_eq(b) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exemplar::{compute_representation, Constraint, Rhs, VarRef};
+    use wqe_graph::product::{attrs, product_graph};
+    use wqe_graph::CmpOp;
+
+    fn paper_setup() -> (wqe_graph::product::ProductGraph, Exemplar) {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let s = g.schema();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let storage = s.attr_id(attrs::STORAGE).unwrap();
+        let price = s.attr_id(attrs::PRICE).unwrap();
+        let mut ex = Exemplar::new();
+        let t1 = ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 62i64)
+                .var(storage)
+                .wildcard(price),
+        );
+        let t2 = ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 63i64)
+                .var(storage)
+                .var(price),
+        );
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: t2, attr: price },
+            op: CmpOp::Lt,
+            rhs: Rhs::Const(wqe_graph::AttrValue::Int(800)),
+        });
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: t1, attr: storage },
+            op: CmpOp::Gt,
+            rhs: Rhs::Var(VarRef { tuple: t2, attr: storage }),
+        });
+        (pg, ex)
+    }
+
+    #[test]
+    fn example_3_1_closeness_of_q_prime() {
+        // cl(Q'(G), E) = 1/2 with λ=1, Q'(G) = {P3, P4, P5}, |V_uo| = 6.
+        let (pg, ex) = paper_setup();
+        let g = &pg.graph;
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        let answers = vec![pg.phones[2], pg.phones[3], pg.phones[4]];
+        let cl = answer_closeness(&answers, &rep, 1.0, 6);
+        assert!((cl - 0.5).abs() < 1e-9, "cl = {cl}");
+    }
+
+    #[test]
+    fn example_3_3_closeness_of_q_double_prime() {
+        // Q''(G) = {P5}: closeness 1/6.
+        let (pg, ex) = paper_setup();
+        let g = &pg.graph;
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        let cl = answer_closeness(&[pg.phones[4]], &rep, 1.0, 6);
+        assert!((cl - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_matches_penalized() {
+        let (pg, ex) = paper_setup();
+        let g = &pg.graph;
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        // {P3, P1}: P3 relevant (+1), P1 irrelevant (-λ).
+        let cl = answer_closeness(&[pg.phones[2], pg.phones[0]], &rep, 1.0, 6);
+        assert!((cl - 0.0).abs() < 1e-9);
+        let cl2 = answer_closeness(&[pg.phones[2], pg.phones[0]], &rep, 2.0, 6);
+        assert!((cl2 - (1.0 - 2.0) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_dominates() {
+        let (pg, ex) = paper_setup();
+        let g = &pg.graph;
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        let answers = vec![pg.phones[2], pg.phones[0]];
+        assert!(
+            closeness_upper_bound(&answers, &rep, 6)
+                >= answer_closeness(&answers, &rep, 1.0, 6)
+        );
+    }
+
+    #[test]
+    fn theoretical_optimum_on_paper_graph() {
+        let (pg, ex) = paper_setup();
+        let g = &pg.graph;
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        let cell = g.schema().label_id("Cellphone").unwrap();
+        let v_uo = g.nodes_with_label(cell);
+        // cl* = 3/6 = 0.5 (three relevant candidates, all with cl = 1).
+        assert!((theoretical_optimum(&rep, v_uo) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_closeness_jaccard() {
+        use wqe_graph::NodeId;
+        let a = vec![NodeId(1), NodeId(2)];
+        let b = vec![NodeId(2), NodeId(3)];
+        assert!((relative_closeness(&a, &b) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(relative_closeness(&a, &a), 1.0);
+        assert_eq!(relative_closeness(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn partial_numeric_similarity() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let price = g.schema().attr_id(attrs::PRICE).unwrap();
+        // range(Price) = 150; sim(840 vs 790) = 1 - 50/150 = 2/3.
+        let cell = Cell::Const(wqe_graph::AttrValue::Int(790));
+        let sim = cell_closeness(g, pg.phones[0], price, &cell);
+        assert!((sim - (1.0 - 50.0 / 150.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn string_similarity_properties() {
+        assert_eq!(string_similarity("abc", "abc"), 1.0);
+        assert_eq!(string_similarity("abc", "xyz"), 0.0);
+        let s = string_similarity("MR942CH/A", "MR942LL/A");
+        assert!(s > 0.4 && s < 1.0);
+    }
+}

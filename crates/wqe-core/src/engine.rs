@@ -1,0 +1,181 @@
+//! The `WqeEngine` facade: one object bundling a why-question session with
+//! every algorithm of the paper.
+
+use crate::answ::{answ, AnswerReport, RewriteResult};
+use crate::explain::DifferentialTable;
+use crate::fmansw::fm_answ;
+use crate::heuristic::{ans_heu, Selection};
+use crate::session::{EvalResult, Session, WhyQuestion, WqeConfig};
+use crate::whyempty::ans_we;
+use crate::whymany::apx_why_many;
+use wqe_graph::Graph;
+use wqe_index::DistanceOracle;
+
+/// Which algorithm variant to run (mirrors the implementations of §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Exact anytime search with caching and pruning.
+    AnsW,
+    /// `AnsW` without the star-view cache.
+    AnsWnc,
+    /// `AnsW` without caching *and* without pruning.
+    AnsWb,
+    /// Beam-search heuristic with the given width.
+    AnsHeu(usize),
+    /// Beam search with random operator selection (seeded).
+    AnsHeuB(usize, u64),
+    /// Frequent-pattern-mining baseline.
+    FMAnsW,
+}
+
+/// A why-question engine over one graph + oracle + question.
+pub struct WqeEngine<'g> {
+    session: Session<'g>,
+    question: WhyQuestion,
+}
+
+impl<'g> WqeEngine<'g> {
+    /// Builds the engine. `config.caching`/`config.pruning` are overridden
+    /// per algorithm by [`WqeEngine::run`]; set them directly when calling
+    /// [`WqeEngine::answer`].
+    pub fn new(
+        graph: &'g Graph,
+        oracle: &'g dyn DistanceOracle,
+        question: WhyQuestion,
+        config: WqeConfig,
+    ) -> Self {
+        let session = Session::new(graph, oracle, &question, config);
+        WqeEngine { session, question }
+    }
+
+    /// The underlying session (representation, `V_uo`, `cl*`, …).
+    pub fn session(&self) -> &Session<'g> {
+        &self.session
+    }
+
+    /// The why-question.
+    pub fn question(&self) -> &WhyQuestion {
+        &self.question
+    }
+
+    /// Evaluates the *original* query.
+    pub fn evaluate_original(&self) -> EvalResult {
+        self.session.evaluate(&self.question.query)
+    }
+
+    /// Runs `AnsW` with the session's configuration.
+    pub fn answer(&self) -> AnswerReport {
+        answ(&self.session, &self.question)
+    }
+
+    /// Runs the beam-search heuristic.
+    pub fn answer_heuristic(&self, beam: usize) -> AnswerReport {
+        ans_heu(&self.session, &self.question, Some(beam), Selection::Picky)
+    }
+
+    /// Runs `ApxWhyM` (Why-Many, §6.1).
+    pub fn answer_why_many(&self) -> AnswerReport {
+        apx_why_many(&self.session, &self.question)
+    }
+
+    /// Runs `AnsWE` (Why-Empty, §6.1).
+    pub fn answer_why_empty(&self) -> AnswerReport {
+        ans_we(&self.session, &self.question)
+    }
+
+    /// Runs the frequent-pattern baseline.
+    pub fn answer_baseline(&self) -> AnswerReport {
+        fm_answ(&self.session, &self.question)
+    }
+
+    /// Dispatches by [`Algorithm`]. Note: `AnsWnc`/`AnsWb` take effect via
+    /// the session's config, so prefer constructing the engine with the
+    /// matching `WqeConfig` (see [`crate::session::WqeConfig`]'s docs); this
+    /// method only dispatches the search strategy.
+    pub fn run(&self, algorithm: Algorithm) -> AnswerReport {
+        match algorithm {
+            Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => self.answer(),
+            Algorithm::AnsHeu(k) => self.answer_heuristic(k),
+            Algorithm::AnsHeuB(k, seed) => {
+                ans_heu(&self.session, &self.question, Some(k), Selection::Random(seed))
+            }
+            Algorithm::FMAnsW => self.answer_baseline(),
+        }
+    }
+
+    /// Builds the differential-table explanation for a result (§5.4).
+    pub fn explain(&self, result: &RewriteResult) -> Option<DifferentialTable> {
+        DifferentialTable::build(&self.session, &self.question.query, &result.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_question;
+    use wqe_graph::product::product_graph;
+    use wqe_index::PllIndex;
+
+    #[test]
+    fn engine_end_to_end() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let engine = WqeEngine::new(
+            g,
+            &oracle,
+            paper_question(g),
+            WqeConfig { budget: 4.0, ..Default::default() },
+        );
+        let report = engine.answer();
+        let best = report.best.as_ref().expect("answer");
+        assert!((best.closeness - 0.5).abs() < 1e-9);
+        let table = engine.explain(best).expect("explainable");
+        assert_eq!(table.entries.len(), best.ops.len());
+    }
+
+    #[test]
+    fn why_variants_through_engine() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let engine = WqeEngine::new(
+            g,
+            &oracle,
+            paper_question(g),
+            WqeConfig { budget: 3.0, ..Default::default() },
+        );
+        // Why-Many removes the irrelevant matches P1, P2 (refinement-only).
+        let wm = engine.answer_why_many().best.unwrap();
+        assert!(wm
+            .ops
+            .iter()
+            .all(|o| o.class() == wqe_query::OpClass::Refine));
+        // Why-Empty: the original query has a relevant match (P5), so the
+        // removal-only repair trivially exists.
+        let we = engine.answer_why_empty();
+        assert!(we.best.is_some());
+    }
+
+    #[test]
+    fn all_algorithms_dispatch() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let engine = WqeEngine::new(
+            g,
+            &oracle,
+            paper_question(g),
+            WqeConfig { budget: 4.0, ..Default::default() },
+        );
+        for alg in [
+            Algorithm::AnsW,
+            Algorithm::AnsHeu(2),
+            Algorithm::AnsHeuB(2, 7),
+            Algorithm::FMAnsW,
+        ] {
+            let report = engine.run(alg);
+            assert!(report.best.is_some(), "{alg:?} produced no result");
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Exemplars `E = (T, C)` and their representation `rep(E, V)` (§2.2).
+//!
+//! An exemplar is a table `T` of *tuple patterns* over the attribute set,
+//! whose cells are constants, variables `x_ij`, or wildcards `_`, plus a
+//! conjunction `C` of literals over those variables. The *representation*
+//! `rep(E, V)` is the maximal node set satisfying `E`; it partitions the
+//! focus candidates into relevant/irrelevant matches/candidates (RM, IM,
+//! RC, IC).
+
+use crate::closeness::tuple_closeness;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use wqe_graph::{AttrId, AttrValue, CmpOp, Graph, NodeId};
+
+/// One cell of a tuple pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A constant the matching node must be similar to.
+    Const(AttrValue),
+    /// A variable `x_ij`, referenced by constraints; matches any value.
+    Var,
+    /// The wildcard `_`; matches anything, never referenced.
+    Wildcard,
+}
+
+/// A tuple pattern `t_i`: only the attributes it mentions are stored —
+/// unmentioned attributes are outside `A(t)` and do not affect `cl(v, t)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TuplePattern {
+    /// The specified cells, keyed by attribute.
+    pub cells: HashMap<AttrId, Cell>,
+}
+
+impl TuplePattern {
+    /// Creates an empty (trivial) tuple pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a constant cell.
+    pub fn constant(mut self, attr: AttrId, v: impl Into<AttrValue>) -> Self {
+        self.cells.insert(attr, Cell::Const(v.into()));
+        self
+    }
+
+    /// Sets a variable cell.
+    pub fn var(mut self, attr: AttrId) -> Self {
+        self.cells.insert(attr, Cell::Var);
+        self
+    }
+
+    /// Sets a wildcard cell (present in `A(t)` but unconstrained).
+    pub fn wildcard(mut self, attr: AttrId) -> Self {
+        self.cells.insert(attr, Cell::Wildcard);
+        self
+    }
+
+    /// `A(t)` — the attributes this pattern mentions.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.cells.keys().copied()
+    }
+}
+
+/// A variable reference `x_ij`: attribute `attr` of tuple `tuple`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarRef {
+    /// Index into [`Exemplar::tuples`].
+    pub tuple: usize,
+    /// The attribute.
+    pub attr: AttrId,
+}
+
+/// The right-hand side of a constraint literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rhs {
+    /// Another variable (`x_ij op x_i'j'`).
+    Var(VarRef),
+    /// A constant (`x_ij op c`).
+    Const(AttrValue),
+}
+
+/// One conjunct of `C`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left-hand variable.
+    pub lhs: VarRef,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Rhs,
+}
+
+/// An exemplar `E = (T, C)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The tuple patterns `T`.
+    pub tuples: Vec<TuplePattern>,
+    /// The constraint conjunction `C`.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Exemplar {
+    /// Creates an empty exemplar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a tuple pattern, returning its index.
+    pub fn add_tuple(&mut self, t: TuplePattern) -> usize {
+        self.tuples.push(t);
+        self.tuples.len() - 1
+    }
+
+    /// Appends a constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Builds an exemplar by example *entities*: one tuple pattern per node,
+    /// with constant cells for the node's values on `attrs` (the "directly
+    /// designated as a set of entities from G" mode of §2.2).
+    pub fn from_entities(graph: &Graph, entities: &[NodeId], attrs: &[AttrId]) -> Self {
+        let mut ex = Exemplar::new();
+        for &v in entities {
+            let mut t = TuplePattern::new();
+            for &a in attrs {
+                if let Some(val) = graph.attr(v, a) {
+                    t.cells.insert(a, Cell::Const(val.clone()));
+                }
+            }
+            ex.add_tuple(t);
+        }
+        ex
+    }
+
+    /// True when the exemplar has no tuples (trivially satisfied by
+    /// definition; callers should treat it as "no guidance").
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The computed representation `rep(E, V)` plus the per-node closeness map.
+#[derive(Debug, Clone, Default)]
+pub struct Representation {
+    /// `rep(E, V)` — union of the surviving per-tuple candidate sets.
+    pub nodes: HashSet<NodeId>,
+    /// Final candidates per tuple (after constraint enforcement).
+    pub per_tuple: Vec<HashSet<NodeId>>,
+    /// `cl(v, E) = max_{t, v~t} cl(v, t)` for every node similar to some
+    /// tuple (computed before constraint enforcement, as in §3).
+    pub closeness: HashMap<NodeId, f64>,
+    /// True when every tuple retained at least one representative.
+    pub satisfiable: bool,
+}
+
+impl Representation {
+    /// `cl(v, E)`, zero for nodes not similar to any tuple.
+    pub fn cl(&self, v: NodeId) -> f64 {
+        self.closeness.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// True if `v ∈ rep(E, V)`.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+}
+
+/// Computes `rep(E, V)` over a node pool (Lemma 2.2's procedure).
+///
+/// 1. Per tuple `t_i`, collect candidates `{v : cl(v, t_i) >= theta}`.
+/// 2. Enforce constant constraints `x_ij op c` by filtering.
+/// 3. Enforce `=` variable constraints by keeping the value group that
+///    retains the most nodes (documented tie-break: smallest value) — the
+///    maximal set when `=` constraints are independent.
+/// 4. Enforce inequality variable constraints by greatest-fixpoint deletion
+///    (a node survives iff a witness partner survives), which yields the
+///    maximal set for the paper's ∀∃ semantics.
+/// 5. `rep` is the union; `E` is satisfied iff every tuple kept a node.
+pub fn compute_representation<I>(
+    graph: &Graph,
+    exemplar: &Exemplar,
+    pool: I,
+    theta: f64,
+) -> Representation
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let nt = exemplar.tuples.len();
+    let mut per_tuple: Vec<HashSet<NodeId>> = vec![HashSet::new(); nt];
+    let mut closeness: HashMap<NodeId, f64> = HashMap::new();
+
+    for v in pool {
+        for (i, t) in exemplar.tuples.iter().enumerate() {
+            let c = tuple_closeness(graph, v, t);
+            if c >= theta {
+                per_tuple[i].insert(v);
+                let e = closeness.entry(v).or_insert(0.0);
+                if c > *e {
+                    *e = c;
+                }
+            }
+        }
+    }
+
+    // Constant constraints.
+    for con in &exemplar.constraints {
+        if let Rhs::Const(c) = &con.rhs {
+            let i = con.lhs.tuple;
+            if i >= nt {
+                continue;
+            }
+            let attr = con.lhs.attr;
+            let op = con.op;
+            per_tuple[i].retain(|&v| {
+                graph
+                    .attr(v, attr)
+                    .map(|val| op.eval(val, c))
+                    .unwrap_or(false)
+            });
+        }
+    }
+
+    // `=` variable constraints: group-by value, keep the largest group.
+    for con in &exemplar.constraints {
+        let Rhs::Var(rhs) = &con.rhs else { continue };
+        if con.op != CmpOp::Eq {
+            continue;
+        }
+        let (i, ai) = (con.lhs.tuple, con.lhs.attr);
+        let (j, aj) = (rhs.tuple, rhs.attr);
+        if i >= nt || j >= nt {
+            continue;
+        }
+        let mut groups: HashMap<String, (Vec<NodeId>, Vec<NodeId>)> = HashMap::new();
+        for &v in &per_tuple[i] {
+            if let Some(val) = graph.attr(v, ai) {
+                groups.entry(val.to_string()).or_default().0.push(v);
+            }
+        }
+        for &v in &per_tuple[j] {
+            if let Some(val) = graph.attr(v, aj) {
+                groups.entry(val.to_string()).or_default().1.push(v);
+            }
+        }
+        // Keep the group retaining the most nodes in BOTH sides (a valid
+        // group must be non-empty on both sides when i != j).
+        let best = groups
+            .iter()
+            .filter(|(_, (a, b))| !a.is_empty() && (!b.is_empty() || i == j))
+            .max_by_key(|(val, (a, b))| (a.len() + b.len(), std::cmp::Reverse((*val).clone())));
+        match best {
+            Some((_, (keep_i, keep_j))) => {
+                let ki: HashSet<NodeId> = keep_i.iter().copied().collect();
+                let kj: HashSet<NodeId> = keep_j.iter().copied().collect();
+                per_tuple[i].retain(|v| ki.contains(v));
+                per_tuple[j].retain(|v| kj.contains(v));
+            }
+            None => {
+                per_tuple[i].clear();
+                per_tuple[j].clear();
+            }
+        }
+    }
+
+    // Inequality variable constraints: greatest fixpoint.
+    let ineqs: Vec<&Constraint> = exemplar
+        .constraints
+        .iter()
+        .filter(|c| matches!(c.rhs, Rhs::Var(_)) && c.op != CmpOp::Eq)
+        .collect();
+    if !ineqs.is_empty() {
+        loop {
+            let mut changed = false;
+            for con in &ineqs {
+                let Rhs::Var(rhs) = &con.rhs else { unreachable!() };
+                let (i, ai) = (con.lhs.tuple, con.lhs.attr);
+                let (j, aj) = (rhs.tuple, rhs.attr);
+                if i >= nt || j >= nt {
+                    continue;
+                }
+                // Forward: every v ~ t_i needs a witness v' ~ t_j with
+                // v.ai op v'.aj.
+                let right: Vec<AttrValue> = per_tuple[j]
+                    .iter()
+                    .filter_map(|&v| graph.attr(v, aj).cloned())
+                    .collect();
+                let before = per_tuple[i].len();
+                let op = con.op;
+                per_tuple[i].retain(|&v| {
+                    graph.attr(v, ai).is_some_and(|val| {
+                        right.iter().any(|r| op.eval(val, r))
+                    })
+                });
+                changed |= per_tuple[i].len() != before;
+                // Backward: every v' ~ t_j needs a witness v ~ t_i.
+                let left: Vec<AttrValue> = per_tuple[i]
+                    .iter()
+                    .filter_map(|&v| graph.attr(v, ai).cloned())
+                    .collect();
+                let before = per_tuple[j].len();
+                per_tuple[j].retain(|&v| {
+                    graph.attr(v, aj).is_some_and(|val| {
+                        left.iter().any(|l| op.eval(l, val))
+                    })
+                });
+                changed |= per_tuple[j].len() != before;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    let satisfiable = per_tuple.iter().all(|s| !s.is_empty());
+    let nodes: HashSet<NodeId> = if satisfiable {
+        per_tuple.iter().flatten().copied().collect()
+    } else {
+        HashSet::new()
+    };
+    Representation {
+        nodes,
+        per_tuple,
+        closeness,
+        satisfiable,
+    }
+}
+
+/// Checks `answers ⊨ E`: the representation of `E` restricted to the answer
+/// set is non-empty with every tuple covered (§2.2's satisfaction).
+pub fn satisfies(graph: &Graph, exemplar: &Exemplar, answers: &[NodeId], theta: f64) -> bool {
+    if exemplar.is_empty() {
+        return true;
+    }
+    compute_representation(graph, exemplar, answers.iter().copied(), theta).satisfiable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::product::{attrs, product_graph};
+
+    /// The paper's exemplar (Example 2.3): t1 = <6.2, x1, _>,
+    /// t2 = <6.3, x2, x3>, with c1: t2.x3 < 800 and c2: t1.x1 > t2.x2
+    /// over (Display, Storage, Price).
+    pub fn paper_exemplar(g: &Graph) -> Exemplar {
+        let s = g.schema();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let storage = s.attr_id(attrs::STORAGE).unwrap();
+        let price = s.attr_id(attrs::PRICE).unwrap();
+        let mut ex = Exemplar::new();
+        let t1 = ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 62i64)
+                .var(storage)
+                .wildcard(price),
+        );
+        let t2 = ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 63i64)
+                .var(storage)
+                .var(price),
+        );
+        // c1: t2.price < 800
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: t2, attr: price },
+            op: CmpOp::Lt,
+            rhs: Rhs::Const(AttrValue::Int(800)),
+        });
+        // c2: t1.storage > t2.storage
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: t1, attr: storage },
+            op: CmpOp::Gt,
+            rhs: Rhs::Var(VarRef { tuple: t2, attr: storage }),
+        });
+        ex
+    }
+
+    #[test]
+    fn example_2_3_representation() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let ex = paper_exemplar(g);
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        assert!(rep.satisfiable);
+        // rep(E, V) = {P3, P4, P5}.
+        let expect: HashSet<NodeId> =
+            [pg.phones[2], pg.phones[3], pg.phones[4]].into_iter().collect();
+        assert_eq!(rep.nodes, expect);
+        // P1 similar to t1 by display but excluded by the storage constraint;
+        // its cl(v,E) is still recorded (vsim-level similarity).
+        assert!(rep.closeness.contains_key(&pg.phones[0]));
+        assert_eq!(rep.cl(pg.phones[2]), 1.0);
+    }
+
+    #[test]
+    fn constant_constraint_filters() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let ex = paper_exemplar(g);
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        // t2 candidates were P2 (900) and P4 (795); c1 kills P2.
+        assert!(!rep.per_tuple[1].contains(&pg.phones[1]));
+        assert!(rep.per_tuple[1].contains(&pg.phones[3]));
+    }
+
+    #[test]
+    fn unsatisfiable_when_tuple_uncovered() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let s = g.schema();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let mut ex = Exemplar::new();
+        ex.add_tuple(TuplePattern::new().constant(display, 999i64));
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        assert!(!rep.satisfiable);
+        assert!(rep.nodes.is_empty());
+    }
+
+    #[test]
+    fn satisfies_answer_sets() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let ex = paper_exemplar(g);
+        // Q'(G) = {P3, P4, P5} satisfies E.
+        assert!(satisfies(g, &ex, &[pg.phones[2], pg.phones[3], pg.phones[4]], 1.0));
+        // {P1, P2} does not (t2 has no surviving representative).
+        assert!(!satisfies(g, &ex, &[pg.phones[0], pg.phones[1]], 1.0));
+        // {P4, P5} does: t1 <- P5 (128 > 64), t2 <- P4.
+        assert!(satisfies(g, &ex, &[pg.phones[3], pg.phones[4]], 1.0));
+    }
+
+    #[test]
+    fn from_entities_builds_constant_tuples() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let s = g.schema();
+        let price = s.attr_id(attrs::PRICE).unwrap();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let ex = Exemplar::from_entities(g, &[pg.phones[2]], &[price, display]);
+        assert_eq!(ex.tuples.len(), 1);
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        assert!(rep.contains(pg.phones[2]));
+    }
+
+    #[test]
+    fn eq_variable_constraint_keeps_largest_group() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let s = g.schema();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let brand = s.attr_id(attrs::BRAND).unwrap();
+        let mut ex = Exemplar::new();
+        // Two tuples over all cellphone displays, equality on display.
+        let t1 = ex.add_tuple(TuplePattern::new().var(display).constant(brand, "Samsung"));
+        let t2 = ex.add_tuple(TuplePattern::new().var(display).constant(brand, "Samsung"));
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: t1, attr: display },
+            op: CmpOp::Eq,
+            rhs: Rhs::Var(VarRef { tuple: t2, attr: display }),
+        });
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        assert!(rep.satisfiable);
+        // Samsung displays: 62 (P1,P3,P5) vs 63 (P2,P4): group 62 wins.
+        let vals: HashSet<i64> = rep
+            .nodes
+            .iter()
+            .map(|&v| match g.attr(v, display).unwrap() {
+                AttrValue::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(vals, HashSet::from([62]));
+        assert_eq!(rep.nodes.len(), 3);
+    }
+
+    #[test]
+    fn empty_exemplar_is_trivially_satisfied() {
+        let pg = product_graph();
+        assert!(satisfies(&pg.graph, &Exemplar::new(), &[], 1.0));
+    }
+}

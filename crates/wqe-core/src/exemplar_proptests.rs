@@ -1,0 +1,141 @@
+//! Property tests for exemplars, `rep(E, V)`, and the closeness model.
+
+use crate::closeness::{exemplar_closeness, tuple_closeness};
+use crate::exemplar::{compute_representation, Cell, Constraint, Exemplar, Rhs, TuplePattern, VarRef};
+use proptest::prelude::*;
+use wqe_graph::{AttrId, AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..20).prop_flat_map(|n| {
+        proptest::collection::vec((0i64..10, 0i64..10, 0u8..3), n).prop_map(|rows| {
+            let mut b = GraphBuilder::new();
+            for (x, y, l) in rows {
+                b.add_node(
+                    &format!("L{l}"),
+                    [("x", AttrValue::Int(x)), ("y", AttrValue::Int(y))],
+                );
+            }
+            b.finalize()
+        })
+    })
+}
+
+fn arb_exemplar() -> impl Strategy<Value = Exemplar> {
+    // 1-3 tuples over attrs x (id 0) and y (id 1): constants, vars,
+    // wildcards; plus 0-2 constant constraints.
+    let cell = prop_oneof![
+        (0i64..10).prop_map(|c| Cell::Const(AttrValue::Int(c))),
+        Just(Cell::Var),
+        Just(Cell::Wildcard),
+    ];
+    let tuple = proptest::collection::vec(cell, 1..3).prop_map(|cells| {
+        let mut t = TuplePattern::new();
+        for (i, c) in cells.into_iter().enumerate() {
+            t.cells.insert(AttrId(i as u32), c);
+        }
+        t
+    });
+    (
+        proptest::collection::vec(tuple, 1..4),
+        proptest::collection::vec((0usize..3, 0u8..5, 0i64..10), 0..3),
+    )
+        .prop_map(|(tuples, cons)| {
+            let nt = tuples.len();
+            let mut ex = Exemplar::new();
+            for t in tuples {
+                ex.add_tuple(t);
+            }
+            for (ti, op_ix, c) in cons {
+                ex.add_constraint(Constraint {
+                    lhs: VarRef {
+                        tuple: ti % nt,
+                        attr: AttrId(0),
+                    },
+                    op: CmpOp::ALL[op_ix as usize % 5],
+                    rhs: Rhs::Const(AttrValue::Int(c)),
+                });
+            }
+            ex
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `cl(v, t)` and `cl(v, E)` stay in [0, 1].
+    #[test]
+    fn closeness_bounded((g, ex) in (arb_graph(), arb_exemplar())) {
+        for v in g.node_ids() {
+            for t in &ex.tuples {
+                let c = tuple_closeness(&g, v, t);
+                prop_assert!((0.0..=1.0).contains(&c), "cl={c}");
+            }
+            let c = exemplar_closeness(&g, v, &ex, 0.5);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// Every rep member is vsim-similar to some tuple at the threshold.
+    #[test]
+    fn rep_members_are_similar((g, ex) in (arb_graph(), arb_exemplar()), theta in 0.3f64..1.0) {
+        let rep = compute_representation(&g, &ex, g.node_ids(), theta);
+        for &v in &rep.nodes {
+            let best = ex
+                .tuples
+                .iter()
+                .map(|t| tuple_closeness(&g, v, t))
+                .fold(0.0f64, f64::max);
+            prop_assert!(best >= theta - 1e-9);
+        }
+    }
+
+    /// Adding a constant constraint never grows the representation.
+    #[test]
+    fn constraints_shrink_rep((g, ex) in (arb_graph(), arb_exemplar()), c in 0i64..10, op_ix in 0u8..5) {
+        let before = compute_representation(&g, &ex, g.node_ids(), 1.0);
+        let mut harder = ex.clone();
+        harder.add_constraint(Constraint {
+            lhs: VarRef { tuple: 0, attr: AttrId(0) },
+            op: CmpOp::ALL[op_ix as usize % 5],
+            rhs: Rhs::Const(AttrValue::Int(c)),
+        });
+        let after = compute_representation(&g, &harder, g.node_ids(), 1.0);
+        for (pa, pb) in after.per_tuple.iter().zip(&before.per_tuple) {
+            prop_assert!(pa.is_subset(pb));
+        }
+        if after.satisfiable {
+            prop_assert!(after.nodes.is_subset(&before.nodes));
+        }
+    }
+
+    /// Lowering the vsim threshold never shrinks the per-tuple candidates.
+    #[test]
+    fn theta_monotone((g, ex) in (arb_graph(), arb_exemplar())) {
+        let strict = compute_representation(&g, &ex, g.node_ids(), 1.0);
+        let loose = compute_representation(&g, &ex, g.node_ids(), 0.5);
+        for (s, l) in strict.per_tuple.iter().zip(&loose.per_tuple) {
+            prop_assert!(s.is_subset(l));
+        }
+    }
+
+    /// Restricting the pool restricts the per-tuple candidates.
+    #[test]
+    fn pool_restriction_monotone((g, ex) in (arb_graph(), arb_exemplar())) {
+        let full = compute_representation(&g, &ex, g.node_ids(), 1.0);
+        let half: Vec<NodeId> = g.node_ids().take(g.node_count() / 2).collect();
+        let part = compute_representation(&g, &ex, half.iter().copied(), 1.0);
+        for (p, f) in part.per_tuple.iter().zip(&full.per_tuple) {
+            prop_assert!(p.is_subset(f));
+        }
+    }
+
+    /// `satisfies` on the full rep's nodes agrees with satisfiability.
+    #[test]
+    fn rep_satisfies_itself((g, ex) in (arb_graph(), arb_exemplar())) {
+        let rep = compute_representation(&g, &ex, g.node_ids(), 1.0);
+        if rep.satisfiable && !ex.is_empty() {
+            let nodes: Vec<NodeId> = rep.nodes.iter().copied().collect();
+            prop_assert!(crate::exemplar::satisfies(&g, &ex, &nodes, 1.0));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Differential tables (§5.4 "Generating Explanations"): lineage for a
+//! suggested rewrite.
+//!
+//! A differential table is a set of triples `<e, o, V_d>` where `o` is an
+//! applied operator, `e` the pattern component it touched, and `V_d` the
+//! focus entities whose status changed — split into the four transitions a
+//! user cares about (gained relevant, gained irrelevant, dropped relevant,
+//! dropped irrelevant). It also names the exemplar tuples each step
+//! activated, closing the loop of the query–response–suggestion workflow
+//! (Fig. 3).
+
+use crate::chase::ChaseSequence;
+use crate::session::Session;
+use wqe_graph::{NodeId, Schema};
+use wqe_query::{AtomicOp, PatternQuery, Touched};
+
+/// One row of a differential table.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// The operator applied at this step.
+    pub op: AtomicOp,
+    /// The pattern component it touched (the `e` of the triple).
+    pub touched: Touched,
+    /// `c(o)`.
+    pub cost: f64,
+    /// Relevant entities that became matches.
+    pub gained_relevant: Vec<NodeId>,
+    /// Irrelevant entities that became matches (collateral of relaxing).
+    pub gained_irrelevant: Vec<NodeId>,
+    /// Irrelevant matches removed (the point of refining).
+    pub dropped_irrelevant: Vec<NodeId>,
+    /// Relevant matches removed (collateral of refining).
+    pub dropped_relevant: Vec<NodeId>,
+    /// Exemplar tuple indices newly covered by the answers.
+    pub tuples_activated: Vec<usize>,
+    /// Closeness after the step.
+    pub closeness_after: f64,
+}
+
+/// The differential table `T_D` for a rewrite.
+#[derive(Debug, Clone, Default)]
+pub struct DifferentialTable {
+    /// Rows, one per operator.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DifferentialTable {
+    /// Builds the table by replaying `ops` from `q0` and classifying every
+    /// answer delta against the session's representation.
+    pub fn build(
+        session: &Session<'_>,
+        q0: &PatternQuery,
+        ops: &[AtomicOp],
+    ) -> Option<DifferentialTable> {
+        let seq = ChaseSequence::replay(session, q0, ops)?;
+        let entries = seq
+            .steps
+            .into_iter()
+            .map(|s| {
+                let (gained_relevant, gained_irrelevant): (Vec<_>, Vec<_>) = s
+                    .added
+                    .iter()
+                    .copied()
+                    .partition(|&v| session.rep.contains(v));
+                let (dropped_relevant, dropped_irrelevant): (Vec<_>, Vec<_>) = s
+                    .removed
+                    .iter()
+                    .copied()
+                    .partition(|&v| session.rep.contains(v));
+                DiffEntry {
+                    touched: s.op.touched(),
+                    cost: s.cost,
+                    op: s.op,
+                    gained_relevant,
+                    gained_irrelevant,
+                    dropped_irrelevant,
+                    dropped_relevant,
+                    tuples_activated: s.tuples_activated,
+                    closeness_after: s.closeness_after,
+                }
+            })
+            .collect();
+        Some(DifferentialTable { entries })
+    }
+
+    /// Renders a human-readable explanation, one line per lineage fact —
+    /// e.g. *"applying RmE((u0, u2), 2) made P3 a relevant match"*.
+    pub fn render(&self, schema: &Schema, name_of: impl Fn(NodeId) -> String) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let op = e.op.display(schema);
+            if e.gained_relevant.is_empty()
+                && e.dropped_irrelevant.is_empty()
+                && e.gained_irrelevant.is_empty()
+                && e.dropped_relevant.is_empty()
+            {
+                out.push_str(&format!("applying {op} changed no answers\n"));
+                continue;
+            }
+            let list = |vs: &[NodeId]| -> String {
+                let mut s = vs
+                    .iter()
+                    .take(8)
+                    .map(|&v| name_of(v))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                if vs.len() > 8 {
+                    s.push_str(&format!(", … ({} total)", vs.len()));
+                }
+                s
+            };
+            if !e.gained_relevant.is_empty() {
+                out.push_str(&format!(
+                    "applying {op} made {} relevant match(es)\n",
+                    list(&e.gained_relevant)
+                ));
+            }
+            if !e.dropped_irrelevant.is_empty() {
+                out.push_str(&format!(
+                    "applying {op} excluded irrelevant match(es) {}\n",
+                    list(&e.dropped_irrelevant)
+                ));
+            }
+            if !e.gained_irrelevant.is_empty() {
+                out.push_str(&format!(
+                    "applying {op} also admitted irrelevant {}\n",
+                    list(&e.gained_irrelevant)
+                ));
+            }
+            if !e.dropped_relevant.is_empty() {
+                out.push_str(&format!(
+                    "applying {op} lost relevant {}\n",
+                    list(&e.dropped_relevant)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{paper_optimal_ops, paper_question};
+    use crate::session::{Session, WqeConfig};
+    use wqe_graph::product::product_graph;
+    use wqe_index::PllIndex;
+
+    #[test]
+    fn differential_table_for_paper_rewrite() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let ops = paper_optimal_ops(g);
+        let table = DifferentialTable::build(&session, &wq.query, &ops).expect("replayable");
+        assert_eq!(table.entries.len(), 3);
+        // Step 1 (RxL price): P4 becomes a relevant match.
+        assert!(table.entries[0].gained_relevant.contains(&pg.phones[3]));
+        // Step 2 (RmE sensor): P3 becomes a relevant match (Fig. 6's first
+        // differential tuple).
+        assert!(table.entries[1].gained_relevant.contains(&pg.phones[2]));
+        // Step 3 (AddL discount): P1, P2 excluded as irrelevant.
+        let dropped = &table.entries[2].dropped_irrelevant;
+        assert!(dropped.contains(&pg.phones[0]) && dropped.contains(&pg.phones[1]));
+        // Final closeness is 1/2.
+        assert!((table.entries[2].closeness_after - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_entities() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let table =
+            DifferentialTable::build(&session, &wq.query, &paper_optimal_ops(g)).unwrap();
+        let name = g.schema().attr_id("Name").unwrap();
+        let text = table.render(g.schema(), |v| {
+            g.attr(v, name).map(|x| x.to_string()).unwrap_or_else(|| format!("n{}", v.0))
+        });
+        assert!(text.contains("relevant match"));
+        assert!(text.contains("excluded irrelevant"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The exploratory-search loop of Fig. 3: *query → response → examples →
+//! suggestion → refined query*, iterated across search sessions.
+//!
+//! Each [`Explorer::session`] call takes the user's current exemplar (new
+//! examples picked from answers or differential tables), runs a bounded
+//! anytime search, adopts the best rewrite as the new current query, and
+//! records the step. The per-session time cost is the paper's *system
+//! response time* (§4 "Interpretation of Q-Chase").
+
+use crate::answ::answ;
+use crate::exemplar::Exemplar;
+use crate::explain::DifferentialTable;
+use crate::heuristic::{ans_heu, Selection};
+use crate::session::{Session, WhyQuestion, WqeConfig};
+use wqe_graph::{Graph, NodeId};
+use wqe_index::DistanceOracle;
+use wqe_query::{AtomicOp, PatternQuery};
+
+/// How a session searches for the rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStrategy {
+    /// Fast interactive response (`AnsHeu` with the given beam width).
+    Beam(usize),
+    /// Exact anytime search (`AnsW`).
+    Exact,
+}
+
+/// One completed search session.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// The query at the start of the session.
+    pub query_before: PatternQuery,
+    /// Operators the adopted rewrite applied (empty = no improvement).
+    pub ops: Vec<AtomicOp>,
+    /// Closeness of the adopted query's answers to the session exemplar.
+    pub closeness: f64,
+    /// The adopted query's answers.
+    pub matches: Vec<NodeId>,
+    /// The system response time, milliseconds.
+    pub response_ms: f64,
+    /// Lineage for the applied operators.
+    pub lineage: Option<DifferentialTable>,
+}
+
+/// An interactive exploration handle.
+pub struct Explorer<'g> {
+    graph: &'g Graph,
+    oracle: &'g dyn DistanceOracle,
+    config: WqeConfig,
+    current: PatternQuery,
+    history: Vec<SessionRecord>,
+}
+
+impl<'g> Explorer<'g> {
+    /// Starts exploring from an initial query.
+    pub fn new(
+        graph: &'g Graph,
+        oracle: &'g dyn DistanceOracle,
+        initial: PatternQuery,
+        config: WqeConfig,
+    ) -> Self {
+        Explorer {
+            graph,
+            oracle,
+            config,
+            current: initial,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current query.
+    pub fn current_query(&self) -> &PatternQuery {
+        &self.current
+    }
+
+    /// The session log so far.
+    pub fn history(&self) -> &[SessionRecord] {
+        &self.history
+    }
+
+    /// Evaluates the current query (no rewriting).
+    pub fn answers(&self) -> Vec<NodeId> {
+        let wq = WhyQuestion {
+            query: self.current.clone(),
+            exemplar: Exemplar::new(),
+        };
+        let session = Session::new(self.graph, self.oracle, &wq, self.config.clone());
+        session.evaluate(&self.current).outcome.matches
+    }
+
+    /// Runs one search session against `exemplar`, adopting the suggested
+    /// rewrite when it improves closeness. Returns the session record.
+    pub fn session(&mut self, exemplar: &Exemplar, strategy: SessionStrategy) -> &SessionRecord {
+        let question = WhyQuestion {
+            query: self.current.clone(),
+            exemplar: exemplar.clone(),
+        };
+        let session = Session::new(self.graph, self.oracle, &question, self.config.clone());
+        let before = session.evaluate(&self.current);
+        let report = match strategy {
+            SessionStrategy::Beam(k) => ans_heu(&session, &question, Some(k), Selection::Picky),
+            SessionStrategy::Exact => answ(&session, &question),
+        };
+        let record = match report.best {
+            Some(best) if best.closeness > before.closeness + 1e-12 => {
+                let lineage = DifferentialTable::build(&session, &self.current, &best.ops);
+                
+                SessionRecord {
+                    query_before: std::mem::replace(&mut self.current, best.query),
+                    ops: best.ops,
+                    closeness: best.closeness,
+                    matches: best.matches,
+                    response_ms: report.elapsed_ms,
+                    lineage,
+                }
+            }
+            _ => SessionRecord {
+                query_before: self.current.clone(),
+                ops: Vec::new(),
+                closeness: before.closeness,
+                matches: before.outcome.matches,
+                response_ms: report.elapsed_ms,
+                lineage: None,
+            },
+        };
+        self.history.push(record);
+        self.history.last().expect("just pushed")
+    }
+
+    /// Reverts the most recent adopted rewrite. Returns whether anything
+    /// was undone.
+    pub fn undo(&mut self) -> bool {
+        match self.history.pop() {
+            Some(rec) => {
+                self.current = rec.query_before;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{paper_exemplar, paper_query};
+    use wqe_graph::product::product_graph;
+    use wqe_index::PllIndex;
+
+    #[test]
+    fn session_adopts_improving_rewrite() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let mut explorer = Explorer::new(
+            g,
+            &oracle,
+            paper_query(g),
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(explorer.answers().len(), 3);
+        let ex = paper_exemplar(g);
+        let rec = explorer.session(&ex, SessionStrategy::Exact);
+        assert!(!rec.ops.is_empty());
+        assert!((rec.closeness - 0.5).abs() < 1e-9);
+        assert!(rec.lineage.is_some());
+        // The adopted query answers {P3, P4, P5}.
+        assert_eq!(
+            explorer.answers(),
+            vec![pg.phones[2], pg.phones[3], pg.phones[4]]
+        );
+    }
+
+    #[test]
+    fn non_improving_session_keeps_query() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let mut explorer = Explorer::new(
+            g,
+            &oracle,
+            paper_query(g),
+            WqeConfig {
+                budget: 4.0, // enough to reach cl* in the first session
+                ..Default::default()
+            },
+        );
+        let ex = paper_exemplar(g);
+        // First session reaches the optimum; a second cannot improve.
+        explorer.session(&ex, SessionStrategy::Exact);
+        let sig_before = explorer.current_query().signature();
+        let rec = explorer.session(&ex, SessionStrategy::Beam(2));
+        assert!(rec.ops.is_empty());
+        assert_eq!(explorer.current_query().signature(), sig_before);
+    }
+
+    #[test]
+    fn undo_restores() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let initial = paper_query(g);
+        let sig0 = initial.signature();
+        let mut explorer = Explorer::new(
+            g,
+            &oracle,
+            initial,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
+        explorer.session(&paper_exemplar(g), SessionStrategy::Exact);
+        assert_ne!(explorer.current_query().signature(), sig0);
+        assert!(explorer.undo());
+        assert_eq!(explorer.current_query().signature(), sig0);
+        assert!(!explorer.undo());
+    }
+}

@@ -1,0 +1,65 @@
+//! # wqe-core
+//!
+//! The primary contribution of *Answering Why-questions by Exemplars in
+//! Attributed Graphs* (SIGMOD 2019): exemplars and their representation,
+//! the closeness model, the Q-Chase characterization, and every algorithm
+//! of §5–§6 — `AnsW` (exact, anytime, with star-view caching and cl⁺
+//! pruning), `AnsHeu`/`AnsHeuB` (beam search), `ApxWhyM` (Why-Many),
+//! `AnsWE` (Why-Empty), the `FMAnsW` baseline, top-k suggestion, and
+//! differential-table explanations.
+//!
+//! ```
+//! use wqe_core::engine::WqeEngine;
+//! use wqe_core::paper::paper_question;
+//! use wqe_core::session::WqeConfig;
+//! use wqe_graph::product::product_graph;
+//! use wqe_index::PllIndex;
+//!
+//! let pg = product_graph();
+//! let oracle = PllIndex::build(&pg.graph);
+//! let engine = WqeEngine::new(
+//!     &pg.graph,
+//!     &oracle,
+//!     paper_question(&pg.graph),
+//!     WqeConfig { budget: 4.0, ..Default::default() },
+//! );
+//! let report = engine.answer();
+//! assert!((report.best.unwrap().closeness - 0.5).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod answ;
+pub mod chase;
+pub mod closeness;
+pub mod engine;
+pub mod exemplar;
+#[cfg(test)]
+mod exemplar_proptests;
+pub mod explain;
+pub mod explorer;
+pub mod fmansw;
+pub mod heuristic;
+pub mod metrics;
+pub mod multifocus;
+pub mod opsgen;
+pub mod paper;
+pub mod relevance;
+pub mod session;
+pub mod spec;
+pub mod whyempty;
+pub mod whymany;
+
+pub use answ::{answ, AnswerReport, RewriteResult, TracePoint};
+pub use closeness::{relative_closeness, ClosenessConfig};
+pub use engine::{Algorithm, WqeEngine};
+pub use exemplar::{compute_representation, Cell, Constraint, Exemplar, Representation, Rhs, TuplePattern, VarRef};
+pub use explain::DifferentialTable;
+pub use explorer::{Explorer, SessionRecord, SessionStrategy};
+pub use fmansw::fm_answ;
+pub use heuristic::{ans_heu, Selection};
+pub use multifocus::{answer_multi_focus, FocusAnswer, MultiFocusAnswer, MultiFocusQuestion};
+pub use relevance::RelevanceSets;
+pub use session::{EvalResult, Session, WhyQuestion, WqeConfig};
+pub use whyempty::ans_we;
+pub use whymany::apx_why_many;

@@ -1,0 +1,128 @@
+//! The paper's running scenario (Fig. 1) as ready-made objects: the original
+//! query `Q`, the exemplar `E`, and the optimal rewrite's operators. Used by
+//! tests, examples, and benches.
+
+use crate::exemplar::{Constraint, Exemplar, Rhs, TuplePattern, VarRef};
+use crate::session::WhyQuestion;
+use wqe_graph::product::attrs;
+use wqe_graph::{AttrValue, CmpOp, Graph};
+use wqe_query::{AtomicOp, Literal, PatternQuery, QNodeId};
+
+/// Pattern-node ids of [`paper_query`]: `(focus, carrier, sensor)`.
+pub const FOCUS: QNodeId = QNodeId(0);
+/// The Carrier pattern node.
+pub const CARRIER: QNodeId = QNodeId(1);
+/// The Sensor pattern node.
+pub const SENSOR: QNodeId = QNodeId(2);
+
+/// The original query `Q` of Fig. 1: Samsung cellphones priced `>= 840`
+/// with `RAM >= 4` and `Display >= 6.2`, a carrier within 1 hop, and a
+/// sensor within 2 hops. `Q(G) = {P1, P2, P5}` on the product graph.
+pub fn paper_query(g: &Graph) -> PatternQuery {
+    let s = g.schema();
+    let mut q = PatternQuery::new(s.label_id("Cellphone"), 4);
+    let carrier = q.add_node(s.label_id("Carrier"));
+    let sensor = q.add_node(s.label_id("Sensor"));
+    debug_assert_eq!(carrier, CARRIER);
+    debug_assert_eq!(sensor, SENSOR);
+    q.add_edge(q.focus(), carrier, 1).expect("edge");
+    q.add_edge(q.focus(), sensor, 2).expect("edge");
+    let price = s.attr_id(attrs::PRICE).expect("price attr");
+    let brand = s.attr_id(attrs::BRAND).expect("brand attr");
+    let ram = s.attr_id(attrs::RAM).expect("ram attr");
+    let display = s.attr_id(attrs::DISPLAY).expect("display attr");
+    q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840)).expect("lit");
+    q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung")).expect("lit");
+    q.add_literal(q.focus(), Literal::new(ram, CmpOp::Ge, 4)).expect("lit");
+    q.add_literal(q.focus(), Literal::new(display, CmpOp::Ge, 62)).expect("lit");
+    q
+}
+
+/// The exemplar `E` of Example 2.3: `t1 = <6.2, x1, _>`, `t2 = <6.3, x2,
+/// x3>`, `c1: x3 < 800`, `c2: x1 > x2`. `rep(E, V) = {P3, P4, P5}`.
+pub fn paper_exemplar(g: &Graph) -> Exemplar {
+    let s = g.schema();
+    let display = s.attr_id(attrs::DISPLAY).expect("display attr");
+    let storage = s.attr_id(attrs::STORAGE).expect("storage attr");
+    let price = s.attr_id(attrs::PRICE).expect("price attr");
+    let mut ex = Exemplar::new();
+    let t1 = ex.add_tuple(
+        TuplePattern::new()
+            .constant(display, 62i64)
+            .var(storage)
+            .wildcard(price),
+    );
+    let t2 = ex.add_tuple(
+        TuplePattern::new()
+            .constant(display, 63i64)
+            .var(storage)
+            .var(price),
+    );
+    ex.add_constraint(Constraint {
+        lhs: VarRef { tuple: t2, attr: price },
+        op: CmpOp::Lt,
+        rhs: Rhs::Const(AttrValue::Int(800)),
+    });
+    ex.add_constraint(Constraint {
+        lhs: VarRef { tuple: t1, attr: storage },
+        op: CmpOp::Gt,
+        rhs: Rhs::Var(VarRef { tuple: t2, attr: storage }),
+    });
+    ex
+}
+
+/// The full why-question `W(Q(u_o), E)`.
+pub fn paper_question(g: &Graph) -> WhyQuestion {
+    WhyQuestion {
+        query: paper_query(g),
+        exemplar: paper_exemplar(g),
+    }
+}
+
+/// The optimal rewrite's operators `{o3, o2, o1}` in normal form
+/// (Example 3.3): relax `Price >= 840` to `>= 790`, remove the sensor edge,
+/// then add `Carrier.Discount = 25`. Yields `Q'(G) = {P3, P4, P5}` with
+/// closeness 1/2.
+pub fn paper_optimal_ops(g: &Graph) -> Vec<AtomicOp> {
+    let s = g.schema();
+    let price = s.attr_id(attrs::PRICE).expect("price attr");
+    let discount = s.attr_id(attrs::DISCOUNT).expect("discount attr");
+    vec![
+        AtomicOp::RxL {
+            node: FOCUS,
+            old: Literal::new(price, CmpOp::Ge, 840),
+            new: Literal::new(price, CmpOp::Ge, 790),
+        },
+        AtomicOp::RmE {
+            from: FOCUS,
+            to: SENSOR,
+            bound: 2,
+        },
+        AtomicOp::AddL {
+            node: CARRIER,
+            lit: Literal::new(discount, CmpOp::Eq, 25),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::product::product_graph;
+    use wqe_index::PllIndex;
+    use wqe_query::Matcher;
+
+    #[test]
+    fn optimal_ops_produce_q_prime() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let matcher = Matcher::new(g, &oracle);
+        let mut q = paper_query(g);
+        for op in paper_optimal_ops(g) {
+            op.apply(&mut q).expect("applicable");
+        }
+        let out = matcher.evaluate(&q);
+        assert_eq!(out.matches, vec![pg.phones[2], pg.phones[3], pg.phones[4]]);
+    }
+}

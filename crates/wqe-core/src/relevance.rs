@@ -1,0 +1,157 @@
+//! RM / IM / RC / IC classification (§2.2's four-way table).
+
+use crate::exemplar::Representation;
+use std::collections::HashSet;
+use wqe_graph::NodeId;
+
+/// The four relevance sets of a query answer w.r.t. an exemplar:
+///
+/// |                     | `v ∈ rep(E,V)` | `v ∉ rep(E,V)` |
+/// |---------------------|----------------|----------------|
+/// | `v ∈ Q(G)`          | RM             | IM             |
+/// | `v ∈ V_uo \ Q(G)`   | RC             | IC             |
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelevanceSets {
+    /// Relevant matches: answers the exemplar wants kept.
+    pub rm: Vec<NodeId>,
+    /// Irrelevant matches: answers a rewrite should exclude.
+    pub im: Vec<NodeId>,
+    /// Relevant candidates: desired entities a rewrite should introduce.
+    pub rc: Vec<NodeId>,
+    /// Irrelevant candidates: entities to keep excluded.
+    pub ic: Vec<NodeId>,
+}
+
+impl RelevanceSets {
+    /// Classifies `answers` against `rep` over the focus candidate pool
+    /// `v_uo` (the session-fixed `V_uo`). All outputs are sorted.
+    pub fn classify(answers: &[NodeId], rep: &Representation, v_uo: &[NodeId]) -> Self {
+        let matched: HashSet<NodeId> = answers.iter().copied().collect();
+        let mut sets = RelevanceSets::default();
+        for &v in answers {
+            if rep.contains(v) {
+                sets.rm.push(v);
+            } else {
+                sets.im.push(v);
+            }
+        }
+        for &v in v_uo {
+            if matched.contains(&v) {
+                continue;
+            }
+            if rep.contains(v) {
+                sets.rc.push(v);
+            } else {
+                sets.ic.push(v);
+            }
+        }
+        sets.rm.sort();
+        sets.im.sort();
+        sets.rc.sort();
+        sets.ic.sort();
+        sets
+    }
+
+    /// True when there is nothing left for relaxation to gain.
+    pub fn no_relevant_candidates(&self) -> bool {
+        self.rc.is_empty()
+    }
+
+    /// True when there is nothing left for refinement to remove.
+    pub fn no_irrelevant_matches(&self) -> bool {
+        self.im.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exemplar::{compute_representation, Exemplar, TuplePattern};
+    use wqe_graph::product::{attrs, product_graph};
+
+    #[test]
+    fn example_2_3_relevance_of_q_prime() {
+        // With Q'(G) = {P3, P4, P5}: RM = Q'(G), IM = ∅, RC = ∅,
+        // IC = {P1, P2} (P6 is also IC in our concrete instance).
+        let pg = product_graph();
+        let g = &pg.graph;
+        let s = g.schema();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let storage = s.attr_id(attrs::STORAGE).unwrap();
+        let price = s.attr_id(attrs::PRICE).unwrap();
+        let mut ex = Exemplar::new();
+        ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 62i64)
+                .var(storage)
+                .wildcard(price),
+        );
+        ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 63i64)
+                .var(storage)
+                .var(price),
+        );
+        ex.add_constraint(crate::exemplar::Constraint {
+            lhs: crate::exemplar::VarRef { tuple: 1, attr: price },
+            op: wqe_graph::CmpOp::Lt,
+            rhs: crate::exemplar::Rhs::Const(wqe_graph::AttrValue::Int(800)),
+        });
+        ex.add_constraint(crate::exemplar::Constraint {
+            lhs: crate::exemplar::VarRef { tuple: 0, attr: storage },
+            op: wqe_graph::CmpOp::Gt,
+            rhs: crate::exemplar::Rhs::Var(crate::exemplar::VarRef {
+                tuple: 1,
+                attr: storage,
+            }),
+        });
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        let cell = s.label_id("Cellphone").unwrap();
+        let v_uo = g.nodes_with_label(cell);
+        let answers = vec![pg.phones[2], pg.phones[3], pg.phones[4]];
+        let sets = RelevanceSets::classify(&answers, &rep, v_uo);
+        assert_eq!(sets.rm, answers);
+        assert!(sets.im.is_empty());
+        assert!(sets.rc.is_empty());
+        let mut expect_ic = vec![pg.phones[0], pg.phones[1], pg.phones[5]];
+        expect_ic.sort();
+        assert_eq!(sets.ic, expect_ic);
+    }
+
+    #[test]
+    fn original_query_relevance() {
+        // Q(G) = {P1, P2, P5}: RM = {P5}, IM = {P1, P2}, RC = {P3, P4}.
+        let pg = product_graph();
+        let g = &pg.graph;
+        let s = g.schema();
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let storage = s.attr_id(attrs::STORAGE).unwrap();
+        let mut ex = Exemplar::new();
+        ex.add_tuple(TuplePattern::new().constant(display, 62i64).var(storage));
+        ex.add_tuple(TuplePattern::new().constant(display, 63i64).var(storage));
+        ex.add_constraint(crate::exemplar::Constraint {
+            lhs: crate::exemplar::VarRef { tuple: 1, attr: s.attr_id(attrs::PRICE).unwrap() },
+            op: wqe_graph::CmpOp::Lt,
+            rhs: crate::exemplar::Rhs::Const(wqe_graph::AttrValue::Int(800)),
+        });
+        ex.add_constraint(crate::exemplar::Constraint {
+            lhs: crate::exemplar::VarRef { tuple: 0, attr: storage },
+            op: wqe_graph::CmpOp::Gt,
+            rhs: crate::exemplar::Rhs::Var(crate::exemplar::VarRef {
+                tuple: 1,
+                attr: storage,
+            }),
+        });
+        let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
+        let cell = s.label_id("Cellphone").unwrap();
+        let v_uo = g.nodes_with_label(cell);
+        let answers = vec![pg.phones[0], pg.phones[1], pg.phones[4]];
+        let sets = RelevanceSets::classify(&answers, &rep, v_uo);
+        assert_eq!(sets.rm, vec![pg.phones[4]]);
+        assert_eq!(sets.im, vec![pg.phones[0], pg.phones[1]]);
+        assert_eq!(sets.rc, vec![pg.phones[2], pg.phones[3]]);
+        assert_eq!(sets.ic, vec![pg.phones[5]]);
+        assert!(!sets.no_irrelevant_matches());
+        assert!(!sets.no_relevant_candidates());
+    }
+}

@@ -1,0 +1,307 @@
+//! The why-question session: shared state every algorithm consults.
+//!
+//! A session pins down the inputs of the WQE problem statement (§3): the
+//! graph, the original query with its focus, the exemplar with its
+//! representation `rep(E, V)`, the session-fixed focus candidate pool
+//! `V_uo`, the budget `B`, and the theoretical optimum `cl*`.
+
+use crate::closeness::{
+    answer_closeness, closeness_upper_bound, theoretical_optimum, ClosenessConfig,
+};
+use crate::exemplar::{compute_representation, satisfies, Exemplar, Representation};
+use crate::relevance::RelevanceSets;
+use wqe_graph::{Graph, NodeId};
+use wqe_index::DistanceOracle;
+use wqe_query::{MatchOutcome, Matcher, PatternQuery};
+
+/// A why-question `W(Q(u_o), E)` (§2.2).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WhyQuestion {
+    /// The original query `Q`.
+    pub query: PatternQuery,
+    /// The exemplar `E = (T, C)`.
+    pub exemplar: Exemplar,
+}
+
+/// Algorithm tunables.
+#[derive(Debug, Clone)]
+pub struct WqeConfig {
+    /// Closeness model (`theta`, `lambda`).
+    pub closeness: ClosenessConfig,
+    /// The rewrite budget `B` (default 3, the paper's default).
+    pub budget: f64,
+    /// Wall-clock cap for the anytime algorithms, milliseconds.
+    pub time_limit_ms: Option<u64>,
+    /// Hard cap on Q-Chase step simulations (safety valve).
+    pub max_expansions: usize,
+    /// Beam width `k` for `AnsHeu`.
+    pub beam_width: usize,
+    /// Number of rewrites to return (top-k suggestion, §6.2).
+    pub top_k: usize,
+    /// Cap on the RC/RM nodes inspected per picky-edge analysis; bounds
+    /// `NextOp`'s cost on huge candidate sets.
+    pub relevance_sample: usize,
+    /// Use the star-view cache (`false` reproduces `AnsWnc`).
+    pub caching: bool,
+    /// Use the normal-form + cl⁺ pruning (`false`, with `caching = false`,
+    /// reproduces `AnsWb`).
+    pub pruning: bool,
+    /// Threads for focus-candidate verification inside the matcher
+    /// (1 = single-threaded; larger values help on big candidate pools).
+    pub parallelism: usize,
+}
+
+impl Default for WqeConfig {
+    fn default() -> Self {
+        WqeConfig {
+            closeness: ClosenessConfig::default(),
+            budget: 3.0,
+            time_limit_ms: Some(10_000),
+            max_expansions: 20_000,
+            beam_width: 3,
+            top_k: 1,
+            relevance_sample: 64,
+            caching: true,
+            pruning: true,
+            parallelism: 1,
+        }
+    }
+}
+
+/// Everything evaluated about one query rewrite.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The matcher's outcome (matches, witnesses, star tables).
+    pub outcome: MatchOutcome,
+    /// `cl(Q(G), E)`.
+    pub closeness: f64,
+    /// `cl⁺(Q, E)` — the refinement-phase prune bound.
+    pub upper_bound: f64,
+    /// RM/IM/RC/IC classification.
+    pub relevance: RelevanceSets,
+    /// `Q(G) ⊨ E`?
+    pub satisfies: bool,
+}
+
+/// Shared session state.
+pub struct Session<'g> {
+    /// The data graph.
+    pub graph: &'g Graph,
+    /// Star-view matcher (cache configured per [`WqeConfig::caching`]).
+    pub matcher: Matcher<'g>,
+    /// The exemplar.
+    pub exemplar: Exemplar,
+    /// Tunables.
+    pub config: WqeConfig,
+    /// `rep(E, V)` over the whole graph.
+    pub rep: Representation,
+    /// Session-fixed focus candidate pool `V_uo` (label candidates of the
+    /// original query's focus; see DESIGN.md §3.1).
+    pub v_uo: Vec<NodeId>,
+    /// `R(u_o) = rep(E, V) ∩ V_uo`.
+    pub r_uo: Vec<NodeId>,
+    /// The theoretical optimum `cl*`.
+    pub cl_star: f64,
+}
+
+impl<'g> Session<'g> {
+    /// Builds a session for a why-question.
+    pub fn new(
+        graph: &'g Graph,
+        oracle: &'g dyn DistanceOracle,
+        question: &WhyQuestion,
+        config: WqeConfig,
+    ) -> Self {
+        let mut matcher = if config.caching {
+            Matcher::new(graph, oracle)
+        } else {
+            Matcher::new(graph, oracle).without_cache()
+        };
+        matcher = matcher.with_parallelism(config.parallelism);
+        let focus_label = question
+            .query
+            .node(question.query.focus())
+            .and_then(|n| n.label);
+        let v_uo: Vec<NodeId> = match focus_label {
+            Some(l) => graph.nodes_with_label(l).to_vec(),
+            None => graph.node_ids().collect(),
+        };
+        let rep = compute_representation(
+            graph,
+            &question.exemplar,
+            v_uo.iter().copied(),
+            config.closeness.theta,
+        );
+        let r_uo: Vec<NodeId> = v_uo.iter().copied().filter(|&v| rep.contains(v)).collect();
+        let cl_star = theoretical_optimum(&rep, &v_uo);
+        Session {
+            graph,
+            matcher,
+            exemplar: question.exemplar.clone(),
+            config,
+            rep,
+            v_uo,
+            r_uo,
+            cl_star,
+        }
+    }
+
+    /// Evaluates a query rewrite end to end.
+    pub fn evaluate(&self, q: &PatternQuery) -> EvalResult {
+        let outcome = self.matcher.evaluate(q);
+        self.eval_from_outcome(outcome)
+    }
+
+    /// Derives the closeness/relevance bundle from a matcher outcome.
+    pub fn eval_from_outcome(&self, outcome: MatchOutcome) -> EvalResult {
+        let closeness = answer_closeness(
+            &outcome.matches,
+            &self.rep,
+            self.config.closeness.lambda,
+            self.v_uo.len(),
+        );
+        let upper_bound = closeness_upper_bound(&outcome.matches, &self.rep, self.v_uo.len());
+        let relevance = RelevanceSets::classify(&outcome.matches, &self.rep, &self.v_uo);
+        let sat = satisfies(
+            self.graph,
+            &self.exemplar,
+            &outcome.matches,
+            self.config.closeness.theta,
+        );
+        EvalResult {
+            outcome,
+            closeness,
+            upper_bound,
+            relevance,
+            satisfies: sat,
+        }
+    }
+
+    /// The exemplar is *nontrivial* iff its representation is non-empty
+    /// (§2.2 only considers nontrivial exemplars).
+    pub fn nontrivial(&self) -> bool {
+        self.rep.satisfiable && !self.rep.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exemplar::{Constraint, Rhs, TuplePattern, VarRef};
+    use wqe_graph::product::{attrs, product_graph};
+    use wqe_graph::{AttrValue, CmpOp};
+    use wqe_index::PllIndex;
+    use wqe_query::Literal;
+
+    fn paper_question(g: &Graph) -> WhyQuestion {
+        let s = g.schema();
+        let mut q = PatternQuery::new(s.label_id("Cellphone"), 4);
+        let carrier = q.add_node(s.label_id("Carrier"));
+        let sensor = q.add_node(s.label_id("Sensor"));
+        q.add_edge(q.focus(), carrier, 1).unwrap();
+        q.add_edge(q.focus(), sensor, 2).unwrap();
+        let price = s.attr_id(attrs::PRICE).unwrap();
+        let brand = s.attr_id(attrs::BRAND).unwrap();
+        q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840)).unwrap();
+        q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung")).unwrap();
+
+        let display = s.attr_id(attrs::DISPLAY).unwrap();
+        let storage = s.attr_id(attrs::STORAGE).unwrap();
+        let mut ex = Exemplar::new();
+        ex.add_tuple(TuplePattern::new().constant(display, 62i64).var(storage));
+        ex.add_tuple(TuplePattern::new().constant(display, 63i64).var(storage).var(price));
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: 1, attr: price },
+            op: CmpOp::Lt,
+            rhs: Rhs::Const(AttrValue::Int(800)),
+        });
+        ex.add_constraint(Constraint {
+            lhs: VarRef { tuple: 0, attr: storage },
+            op: CmpOp::Gt,
+            rhs: Rhs::Var(VarRef { tuple: 1, attr: storage }),
+        });
+        WhyQuestion { query: q, exemplar: ex }
+    }
+
+    #[test]
+    fn session_setup_matches_paper() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        assert_eq!(session.v_uo.len(), 6);
+        assert_eq!(session.r_uo.len(), 3); // {P3, P4, P5}
+        assert!((session.cl_star - 0.5).abs() < 1e-9);
+        assert!(session.nontrivial());
+    }
+
+    #[test]
+    fn wildcard_focus_uses_all_nodes() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let mut wq = paper_question(g);
+        wq.query = PatternQuery::new(None, 4); // wildcard focus
+        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        assert_eq!(session.v_uo.len(), g.node_count());
+    }
+
+    #[test]
+    fn unsatisfiable_exemplar_is_trivial() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let mut wq = paper_question(g);
+        // Demand an impossible display size.
+        let display = g.schema().attr_id(attrs::DISPLAY).unwrap();
+        let mut ex = Exemplar::new();
+        ex.add_tuple(TuplePattern::new().constant(display, 999i64));
+        wq.exemplar = ex;
+        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        assert!(!session.nontrivial());
+        assert_eq!(session.cl_star, 0.0);
+        assert!(session.r_uo.is_empty());
+    }
+
+    #[test]
+    fn lambda_scales_the_penalty() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let strict = Session::new(
+            g,
+            &oracle,
+            &wq,
+            WqeConfig {
+                closeness: crate::closeness::ClosenessConfig { theta: 1.0, lambda: 3.0 },
+                ..Default::default()
+            },
+        );
+        let lax = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let cs = strict.evaluate(&wq.query).closeness;
+        let cl = lax.evaluate(&wq.query).closeness;
+        assert!(cs < cl, "larger λ penalizes IM harder: {cs} < {cl}");
+    }
+
+    #[test]
+    fn evaluate_original_query() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let oracle = PllIndex::build(g);
+        let wq = paper_question(g);
+        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let eval = session.evaluate(&wq.query);
+        // Q(G) = {P1, P2, P5}: one RM (P5), two IM.
+        assert_eq!(eval.outcome.matches.len(), 3);
+        assert_eq!(eval.relevance.rm, vec![pg.phones[4]]);
+        assert_eq!(eval.relevance.im.len(), 2);
+        assert_eq!(eval.relevance.rc.len(), 2);
+        // cl(Q(G), E) = (1 - 2λ)/6 = -1/6.
+        assert!((eval.closeness - (-1.0 / 6.0)).abs() < 1e-9);
+        assert!((eval.upper_bound - 1.0 / 6.0).abs() < 1e-9);
+        // Q(G) ⊭ E: no representative for t2 among {P1, P2, P5}.
+        assert!(!eval.satisfies);
+    }
+}

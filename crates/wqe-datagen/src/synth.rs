@@ -1,0 +1,302 @@
+//! Synthetic attributed-graph generators standing in for the paper's
+//! datasets (§7: DBpedia, IMDB, Offshore, WatDiv).
+//!
+//! The originals are proprietary-scale downloads; the generators reproduce
+//! the *statistics the algorithms are sensitive to* — label multiplicity,
+//! attributes per node, numeric/categorical mix, degree skew, density — at
+//! laptop scale (see DESIGN.md §2 for the substitution argument). All
+//! generation is deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wqe_graph::{AttrValue, Graph, GraphBuilder, NodeId};
+
+/// Knobs of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset name (used in reports).
+    pub name: String,
+    /// `|V|`.
+    pub nodes: usize,
+    /// Mean out-degree; `|E| ≈ nodes * avg_out_degree`.
+    pub avg_out_degree: f64,
+    /// Number of distinct node labels.
+    pub labels: usize,
+    /// Attributes carried per node.
+    pub attrs_per_node: usize,
+    /// Distinct attribute names in the schema.
+    pub attr_pool: usize,
+    /// Fraction of attribute names that are numeric.
+    pub numeric_ratio: f64,
+    /// Distinct values per categorical attribute.
+    pub categorical_domain: usize,
+    /// Numeric value range (inclusive).
+    pub numeric_range: (i64, i64),
+    /// Degree-skew strength in `[0, 1]`: 0 = uniform targets, 1 = strongly
+    /// preferential attachment.
+    pub skew: f64,
+    /// Distinct edge labels.
+    pub edge_labels: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            name: "synthetic".into(),
+            nodes: 10_000,
+            avg_out_degree: 3.0,
+            labels: 50,
+            attrs_per_node: 5,
+            attr_pool: 40,
+            numeric_ratio: 0.6,
+            categorical_domain: 20,
+            numeric_range: (0, 1_000),
+            skew: 0.5,
+            edge_labels: 12,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a graph from a config. Label popularity is skewed (a few hot
+/// labels, a long tail), each label has its own attribute signature, and
+/// edge targets mix uniform sampling with preferential attachment.
+pub fn generate(cfg: &SynthConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+
+    // Pre-intern schema.
+    let labels: Vec<_> = (0..cfg.labels.max(1))
+        .map(|i| b.schema_mut().label(&format!("{}_L{i}", cfg.name)))
+        .collect();
+    let attrs: Vec<_> = (0..cfg.attr_pool.max(1))
+        .map(|i| b.schema_mut().attr(&format!("a{i}")))
+        .collect();
+    let numeric_cut = (cfg.attr_pool as f64 * cfg.numeric_ratio) as usize;
+    let edge_labels: Vec<_> = (0..cfg.edge_labels.max(1))
+        .map(|i| b.schema_mut().edge_label(&format!("r{i}")))
+        .collect();
+
+    // Per-label attribute signature: a deterministic window into the pool.
+    let signature = |label_idx: usize| -> Vec<usize> {
+        (0..cfg.attrs_per_node)
+            .map(|j| (label_idx * 7 + j * 3) % cfg.attr_pool.max(1))
+            .collect()
+    };
+
+    // Nodes with skewed label popularity (zipf-ish via squaring).
+    let mut ids: Vec<NodeId> = Vec::with_capacity(cfg.nodes);
+    for _ in 0..cfg.nodes {
+        let r: f64 = rng.gen::<f64>();
+        let label_idx = ((r * r) * cfg.labels as f64) as usize % cfg.labels.max(1);
+        let (lo, hi) = cfg.numeric_range;
+        let tuple: Vec<(wqe_graph::AttrId, AttrValue)> = signature(label_idx)
+            .into_iter()
+            .map(|ai| {
+                let value = if ai < numeric_cut {
+                    AttrValue::Int(rng.gen_range(lo..=hi))
+                } else {
+                    AttrValue::Str(format!("v{}", rng.gen_range(0..cfg.categorical_domain.max(1))))
+                };
+                (attrs[ai], value)
+            })
+            .collect();
+        ids.push(b.add_node_raw(labels[label_idx], tuple));
+    }
+
+    // Edges: source uniform; target preferential with probability `skew`.
+    let edge_count = (cfg.nodes as f64 * cfg.avg_out_degree) as usize;
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(edge_count * 2 + 1);
+    for _ in 0..edge_count {
+        let from = ids[rng.gen_range(0..ids.len())];
+        let to = if !endpoints.is_empty() && rng.gen::<f64>() < cfg.skew {
+            endpoints[rng.gen_range(0..endpoints.len())]
+        } else {
+            ids[rng.gen_range(0..ids.len())]
+        };
+        if from == to {
+            continue;
+        }
+        let el = edge_labels[rng.gen_range(0..edge_labels.len())];
+        b.add_edge_raw(from, to, el);
+        endpoints.push(to);
+        endpoints.push(from);
+    }
+
+    b.finalize()
+}
+
+/// DBpedia-like preset: many labels (676 in the original), ~9 attributes
+/// per node, sparse (|E|/|V| ≈ 3.1). `scale = 1.0` ≈ 40k nodes.
+pub fn dbpedia_like(scale: f64, seed: u64) -> Graph {
+    generate(&SynthConfig {
+        name: "dbpedia".into(),
+        nodes: scaled(40_000, scale),
+        avg_out_degree: 3.1,
+        labels: 120,
+        attrs_per_node: 9,
+        attr_pool: 60,
+        numeric_ratio: 0.6,
+        categorical_domain: 30,
+        numeric_range: (0, 10_000),
+        skew: 0.6,
+        edge_labels: 24,
+        seed,
+    })
+}
+
+/// IMDB-like preset: few labels (movies/people/...), ~6 attributes,
+/// |E|/|V| ≈ 3.0. `scale = 1.0` ≈ 25k nodes.
+pub fn imdb_like(scale: f64, seed: u64) -> Graph {
+    generate(&SynthConfig {
+        name: "imdb".into(),
+        nodes: scaled(25_000, scale),
+        avg_out_degree: 3.0,
+        labels: 12,
+        attrs_per_node: 6,
+        attr_pool: 24,
+        numeric_ratio: 0.7,
+        categorical_domain: 40,
+        numeric_range: (1900, 2020),
+        skew: 0.7,
+        edge_labels: 8,
+        seed,
+    })
+}
+
+/// Offshore-leaks-like preset: hundreds of labels (433 in the original),
+/// 4 attributes, |E|/|V| ≈ 4.3. `scale = 1.0` ≈ 20k nodes.
+pub fn offshore_like(scale: f64, seed: u64) -> Graph {
+    generate(&SynthConfig {
+        name: "offshore".into(),
+        nodes: scaled(20_000, scale),
+        avg_out_degree: 4.3,
+        labels: 80,
+        attrs_per_node: 4,
+        attr_pool: 30,
+        numeric_ratio: 0.4,
+        categorical_domain: 50,
+        numeric_range: (1970, 2016),
+        skew: 0.8,
+        edge_labels: 16,
+        seed,
+    })
+}
+
+/// WatDiv-like preset: e-commerce benchmark shape — dense (|E|/|V| ≈ 17 in
+/// the original; we use 8 at laptop scale), moderate label count.
+/// `scale = 1.0` ≈ 12k nodes.
+pub fn watdiv_like(scale: f64, seed: u64) -> Graph {
+    generate(&SynthConfig {
+        name: "watdiv".into(),
+        nodes: scaled(12_000, scale),
+        avg_out_degree: 8.0,
+        labels: 30,
+        attrs_per_node: 5,
+        attr_pool: 25,
+        numeric_ratio: 0.6,
+        categorical_domain: 25,
+        numeric_range: (0, 5_000),
+        skew: 0.5,
+        edge_labels: 20,
+        seed,
+    })
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(100)
+}
+
+/// The four dataset presets at a common scale, in paper order.
+pub fn all_datasets(scale: f64, seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("DBpedia", dbpedia_like(scale, seed)),
+        ("IMDB", imdb_like(scale, seed + 1)),
+        ("Offshore", offshore_like(scale, seed + 2)),
+        ("WatDiv", watdiv_like(scale, seed + 3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&SynthConfig { nodes: 500, seed: 3, ..Default::default() });
+        let b = generate(&SynthConfig { nodes: 500, seed: 3, ..Default::default() });
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        // Spot-check attribute equality on a few nodes.
+        for i in [0u32, 100, 499] {
+            let v = NodeId(i);
+            assert_eq!(a.label(v), b.label(v));
+            assert_eq!(a.node(v).attrs.len(), b.node(v).attrs.len());
+        }
+        let c = generate(&SynthConfig { nodes: 500, seed: 4, ..Default::default() });
+        assert_ne!(
+            (a.edge_count(), a.stats().avg_attrs_per_node),
+            (c.edge_count() + 1, 0.0),
+            "different seeds differ somewhere"
+        );
+    }
+
+    #[test]
+    fn presets_have_expected_shape() {
+        let g = dbpedia_like(0.02, 1); // 800 nodes
+        let s = g.stats();
+        assert_eq!(s.nodes, 800);
+        assert!(s.edges > s.nodes, "sparse but connected-ish");
+        assert!((s.avg_attrs_per_node - 9.0).abs() < 0.5);
+        assert!(s.labels <= 120);
+
+        let w = watdiv_like(0.05, 1);
+        let ws = w.stats();
+        assert!(
+            ws.edges as f64 / ws.nodes as f64 > s.edges as f64 / s.nodes as f64,
+            "watdiv denser than dbpedia"
+        );
+    }
+
+    #[test]
+    fn labels_are_skewed() {
+        let g = imdb_like(0.05, 2);
+        let mut sizes: Vec<usize> = g
+            .schema()
+            .label_ids()
+            .map(|l| g.nodes_with_label(l).len())
+            .filter(|&n| n > 0)
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(sizes[0] > sizes[sizes.len() - 1] * 2, "popularity skew");
+    }
+
+    #[test]
+    fn numeric_and_categorical_mix() {
+        let g = generate(&SynthConfig { nodes: 300, ..Default::default() });
+        let mut has_numeric = false;
+        let mut has_categorical = false;
+        for a in g.schema().attr_ids() {
+            if let Some(st) = g.attr_stats(a) {
+                if st.numeric_count > 0 {
+                    has_numeric = true;
+                }
+                if st.distinct_categorical > 0 {
+                    has_categorical = true;
+                }
+            }
+        }
+        assert!(has_numeric && has_categorical);
+    }
+
+    #[test]
+    fn all_datasets_returns_four() {
+        let sets = all_datasets(0.01, 9);
+        assert_eq!(sets.len(), 4);
+        for (name, g) in sets {
+            assert!(g.node_count() >= 100, "{name} too small");
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Why-question generation (§7 "Generating Why-Questions").
+//!
+//! Given a ground-truth query `Q*` with answer `Q*(G)`, a why-question is
+//! created by *disturbing* `Q*` with up to `k` random atomic operators to
+//! obtain `Q`, setting `T = Q*(G) \ Q(G)` (the lost answers, as entity
+//! tuple patterns) and `C = ∅`. Variants generate Why-Many inputs (relax
+//! `Q*` so it drowns in irrelevant matches) and Why-Empty inputs (refine
+//! `Q*` until no relevant match survives).
+
+use crate::queries::GeneratedQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use wqe_core::{Exemplar, WhyQuestion};
+use wqe_graph::{AttrId, AttrValue, CmpOp, Graph, NodeId};
+use wqe_index::DistanceOracle;
+use wqe_query::{AtomicOp, Literal, Matcher, OpClass, PatternQuery};
+
+/// Disturbance configuration.
+#[derive(Debug, Clone)]
+pub struct WhyGenConfig {
+    /// Maximum operators injected into `Q*` (the paper uses up to 5).
+    pub disturb_ops: usize,
+    /// Maximum tuple patterns in the exemplar (|T|).
+    pub max_tuples: usize,
+    /// Attributes per tuple pattern.
+    pub exemplar_attrs: usize,
+    /// Restrict disturbance to one class (`None` = both).
+    pub class: Option<OpClass>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WhyGenConfig {
+    fn default() -> Self {
+        WhyGenConfig {
+            disturb_ops: 3,
+            max_tuples: 5,
+            exemplar_attrs: 3,
+            class: None,
+            seed: 17,
+        }
+    }
+}
+
+/// A complete generated why-question with its hidden ground truth.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GeneratedWhy {
+    /// The hidden ground-truth query `Q*`.
+    pub truth_query: PatternQuery,
+    /// `Q*(G)` — the desired answer.
+    pub truth_answers: Vec<NodeId>,
+    /// The disturbed why-question `W(Q, E)`.
+    pub question: WhyQuestion,
+    /// `Q(G)` of the disturbed query.
+    pub disturbed_answers: Vec<NodeId>,
+    /// The operators injected into `Q*`.
+    pub injected: Vec<AtomicOp>,
+}
+
+/// Proposes one random disturbance operator applicable to `q`.
+fn random_disturbance(
+    graph: &Graph,
+    q: &PatternQuery,
+    matches: &[NodeId],
+    class: Option<OpClass>,
+    rng: &mut StdRng,
+) -> Option<AtomicOp> {
+    for _ in 0..40 {
+        let want_refine = match class {
+            Some(OpClass::Refine) => true,
+            Some(OpClass::Relax) => false,
+            None => rng.gen_bool(0.5),
+        };
+        let nodes: Vec<_> = q.node_ids().collect();
+        let u = nodes[rng.gen_range(0..nodes.len())];
+        let node = q.node(u)?;
+        let op: Option<AtomicOp> = if want_refine {
+            match rng.gen_range(0..3) {
+                // Tighten a numeric literal.
+                0 if !node.literals.is_empty() => {
+                    let lit = node.literals[rng.gen_range(0..node.literals.len())].clone();
+                    lit.value.as_f64().and_then(|c| {
+                        let delta = (graph.attr_range(lit.attr) * rng.gen_range(0.05..0.3)).max(1.0);
+                        let new = if lit.op.is_upper_open() {
+                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c + delta) as i64)))
+                        } else if lit.op.is_lower_open() {
+                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c - delta) as i64)))
+                        } else {
+                            None
+                        }?;
+                        Some(AtomicOp::RfL { node: u, old: lit, new })
+                    })
+                }
+                // Add a literal from a current match's attributes.
+                1 if !matches.is_empty() => {
+                    let m = matches[rng.gen_range(0..matches.len())];
+                    let attrs = &graph.node(m).attrs;
+                    if attrs.is_empty() {
+                        None
+                    } else {
+                        let (a, v) = attrs[rng.gen_range(0..attrs.len())].clone();
+                        Some(AtomicOp::AddL {
+                            node: q.focus(),
+                            lit: Literal::new(a, CmpOp::Eq, v),
+                        })
+                    }
+                }
+                // Tighten an edge bound.
+                _ => q
+                    .edges()
+                    .iter()
+                    .find(|e| e.bound > 1)
+                    .map(|e| AtomicOp::RfE {
+                        from: e.from,
+                        to: e.to,
+                        old_bound: e.bound,
+                        new_bound: e.bound - 1,
+                    }),
+            }
+        } else {
+            match rng.gen_range(0..3) {
+                // Remove a literal.
+                0 if !node.literals.is_empty() => {
+                    let lit = node.literals[rng.gen_range(0..node.literals.len())].clone();
+                    Some(AtomicOp::RmL { node: u, lit })
+                }
+                // Loosen a numeric literal.
+                1 if !node.literals.is_empty() => {
+                    let lit = node.literals[rng.gen_range(0..node.literals.len())].clone();
+                    lit.value.as_f64().and_then(|c| {
+                        let delta = (graph.attr_range(lit.attr) * rng.gen_range(0.05..0.3)).max(1.0);
+                        let new = if lit.op.is_upper_open() {
+                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c - delta) as i64)))
+                        } else if lit.op.is_lower_open() {
+                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c + delta) as i64)))
+                        } else {
+                            None
+                        }?;
+                        Some(AtomicOp::RxL { node: u, old: lit, new })
+                    })
+                }
+                // Loosen an edge bound (or drop an edge).
+                _ => {
+                    if q.edge_count() == 0 {
+                        None
+                    } else {
+                        let e = q.edges()[rng.gen_range(0..q.edge_count())];
+                        if e.bound < q.max_bound() && rng.gen_bool(0.7) {
+                            Some(AtomicOp::RxE {
+                                from: e.from,
+                                to: e.to,
+                                old_bound: e.bound,
+                                new_bound: e.bound + 1,
+                            })
+                        } else {
+                            Some(AtomicOp::RmE {
+                                from: e.from,
+                                to: e.to,
+                                bound: e.bound,
+                            })
+                        }
+                    }
+                }
+            }
+        };
+        if let Some(op) = op {
+            if op.applicable(q).is_ok() {
+                return Some(op);
+            }
+        }
+    }
+    None
+}
+
+/// Builds an exemplar from entities: one tuple pattern per entity over the
+/// `k` attributes most frequently carried by those entities.
+pub fn exemplar_from(graph: &Graph, entities: &[NodeId], k: usize) -> Exemplar {
+    let mut freq: HashMap<AttrId, usize> = HashMap::new();
+    for &v in entities {
+        for (a, _) in &graph.node(v).attrs {
+            *freq.entry(*a).or_insert(0) += 1;
+        }
+    }
+    let mut attrs: Vec<(AttrId, usize)> = freq.into_iter().collect();
+    attrs.sort_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
+    let chosen: Vec<AttrId> = attrs.into_iter().take(k).map(|(a, _)| a).collect();
+    Exemplar::from_entities(graph, entities, &chosen)
+}
+
+/// Generates a why-question by disturbing a ground-truth query. Returns
+/// `None` when no disturbance within the attempt budget loses answers (a
+/// why-question needs missing entities).
+pub fn generate_why(
+    graph: &Graph,
+    oracle: &dyn DistanceOracle,
+    truth: &GeneratedQuery,
+    cfg: &WhyGenConfig,
+) -> Option<GeneratedWhy> {
+    let matcher = Matcher::new(graph, oracle);
+    let truth_answers = matcher.evaluate(&truth.query).matches;
+    if truth_answers.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for _attempt in 0..25 {
+        let mut q = truth.query.clone();
+        let mut injected = Vec::new();
+        // "Up to k" operators, biased toward k so questions stay nontrivial.
+        let k = cfg.disturb_ops.max(1);
+        let nops = rng.gen_range(k.div_ceil(2)..=k);
+        for _ in 0..nops {
+            let current = matcher.evaluate(&q).matches;
+            let Some(op) = random_disturbance(graph, &q, &current, cfg.class, &mut rng) else {
+                break;
+            };
+            if op.apply(&mut q).is_ok() {
+                injected.push(op);
+            }
+        }
+        if injected.is_empty() {
+            continue;
+        }
+        let disturbed_answers = matcher.evaluate(&q).matches;
+        let missing: Vec<NodeId> = truth_answers
+            .iter()
+            .copied()
+            .filter(|v| !disturbed_answers.contains(v))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let tuples: Vec<NodeId> = missing.into_iter().take(cfg.max_tuples).collect();
+        let exemplar = exemplar_from(graph, &tuples, cfg.exemplar_attrs);
+        return Some(GeneratedWhy {
+            truth_query: truth.query.clone(),
+            truth_answers,
+            question: WhyQuestion { query: q, exemplar },
+            disturbed_answers,
+            injected,
+        });
+    }
+    None
+}
+
+/// Generates a Why-Many input: `Q*` relaxed so it returns extra matches;
+/// the exemplar describes the *true* answers, making the extras irrelevant.
+pub fn generate_why_many(
+    graph: &Graph,
+    oracle: &dyn DistanceOracle,
+    truth: &GeneratedQuery,
+    cfg: &WhyGenConfig,
+) -> Option<GeneratedWhy> {
+    let matcher = Matcher::new(graph, oracle);
+    let truth_answers = matcher.evaluate(&truth.query).matches;
+    if truth_answers.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..25 {
+        let mut q = truth.query.clone();
+        let mut injected = Vec::new();
+        for _ in 0..cfg.disturb_ops.max(1) {
+            let current = matcher.evaluate(&q).matches;
+            let Some(op) =
+                random_disturbance(graph, &q, &current, Some(OpClass::Relax), &mut rng)
+            else {
+                break;
+            };
+            if op.apply(&mut q).is_ok() {
+                injected.push(op);
+            }
+        }
+        let disturbed_answers = matcher.evaluate(&q).matches;
+        if disturbed_answers.len() <= truth_answers.len() || injected.is_empty() {
+            continue;
+        }
+        let tuples: Vec<NodeId> = truth_answers.iter().copied().take(cfg.max_tuples).collect();
+        let exemplar = exemplar_from(graph, &tuples, cfg.exemplar_attrs);
+        return Some(GeneratedWhy {
+            truth_query: truth.query.clone(),
+            truth_answers,
+            question: WhyQuestion { query: q, exemplar },
+            disturbed_answers,
+            injected,
+        });
+    }
+    None
+}
+
+/// Generates a Why-Empty input: `Q*` refined until none of the true answers
+/// match; the exemplar describes the true answers.
+pub fn generate_why_empty(
+    graph: &Graph,
+    oracle: &dyn DistanceOracle,
+    truth: &GeneratedQuery,
+    cfg: &WhyGenConfig,
+) -> Option<GeneratedWhy> {
+    let matcher = Matcher::new(graph, oracle);
+    let truth_answers = matcher.evaluate(&truth.query).matches;
+    if truth_answers.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..25 {
+        let mut q = truth.query.clone();
+        let mut injected = Vec::new();
+        for _ in 0..(cfg.disturb_ops.max(1) * 2) {
+            let current = matcher.evaluate(&q).matches;
+            if current.iter().all(|v| !truth_answers.contains(v)) {
+                break;
+            }
+            let Some(op) =
+                random_disturbance(graph, &q, &current, Some(OpClass::Refine), &mut rng)
+            else {
+                break;
+            };
+            if op.apply(&mut q).is_ok() {
+                injected.push(op);
+            }
+        }
+        let disturbed_answers = matcher.evaluate(&q).matches;
+        if injected.is_empty()
+            || disturbed_answers.iter().any(|v| truth_answers.contains(v))
+        {
+            continue;
+        }
+        let tuples: Vec<NodeId> = truth_answers.iter().copied().take(cfg.max_tuples).collect();
+        let exemplar = exemplar_from(graph, &tuples, cfg.exemplar_attrs);
+        return Some(GeneratedWhy {
+            truth_query: truth.query.clone(),
+            truth_answers,
+            question: WhyQuestion { query: q, exemplar },
+            disturbed_answers,
+            injected,
+        });
+    }
+    None
+}
+
+/// Persists a question suite as JSON lines (one [`GeneratedWhy`] per
+/// line) so experiment workloads are exactly reproducible across runs and
+/// machines. Note the node ids and interned attribute/label ids are only
+/// meaningful together with the graph they were generated from.
+pub fn save_suite<W: std::io::Write>(
+    suite: &[GeneratedWhy],
+    mut w: W,
+) -> std::io::Result<()> {
+    for q in suite {
+        let line = serde_json::to_string(q).expect("suite serializable");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Loads a suite written by [`save_suite`].
+pub fn load_suite<R: std::io::BufRead>(r: R) -> std::io::Result<Vec<GeneratedWhy>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let q: GeneratedWhy = serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        out.push(q);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{generate_query, QueryGenConfig};
+    use crate::synth::SynthConfig;
+    use wqe_index::PllIndex;
+
+    fn setup() -> Graph {
+        crate::synth::generate(&SynthConfig {
+            nodes: 600,
+            avg_out_degree: 4.0,
+            labels: 10,
+            ..Default::default()
+        })
+    }
+
+    fn some_truth(g: &Graph, seed: u64) -> Option<GeneratedQuery> {
+        generate_query(
+            g,
+            &QueryGenConfig {
+                edges: 2,
+                predicates_per_node: 2,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn generated_why_has_missing_entities() {
+        let g = setup();
+        let oracle = PllIndex::build(&g);
+        let mut generated = 0;
+        for seed in 0..10 {
+            let Some(truth) = some_truth(&g, seed) else { continue };
+            let cfg = WhyGenConfig { seed, ..Default::default() };
+            if let Some(w) = generate_why(&g, &oracle, &truth, &cfg) {
+                generated += 1;
+                assert!(!w.question.exemplar.is_empty());
+                assert!(!w.injected.is_empty());
+                // The exemplar tuples come from lost truth answers.
+                let missing: Vec<NodeId> = w
+                    .truth_answers
+                    .iter()
+                    .copied()
+                    .filter(|v| !w.disturbed_answers.contains(v))
+                    .collect();
+                assert!(!missing.is_empty());
+                assert!(w.question.exemplar.tuples.len() <= 5);
+            }
+        }
+        assert!(generated >= 3, "only {generated} why-questions generated");
+    }
+
+    #[test]
+    fn why_many_has_extra_matches() {
+        let g = setup();
+        let oracle = PllIndex::build(&g);
+        let mut generated = 0;
+        for seed in 0..12 {
+            let Some(truth) = some_truth(&g, seed) else { continue };
+            let cfg = WhyGenConfig { seed: seed + 100, ..Default::default() };
+            if let Some(w) = generate_why_many(&g, &oracle, &truth, &cfg) {
+                generated += 1;
+                assert!(w.disturbed_answers.len() > w.truth_answers.len());
+                assert!(w
+                    .injected
+                    .iter()
+                    .all(|o| o.class() == OpClass::Relax));
+            }
+        }
+        assert!(generated >= 2, "only {generated} why-many generated");
+    }
+
+    #[test]
+    fn why_empty_loses_all_relevant() {
+        let g = setup();
+        let oracle = PllIndex::build(&g);
+        let mut generated = 0;
+        for seed in 0..12 {
+            let Some(truth) = some_truth(&g, seed) else { continue };
+            let cfg = WhyGenConfig { seed: seed + 200, ..Default::default() };
+            if let Some(w) = generate_why_empty(&g, &oracle, &truth, &cfg) {
+                generated += 1;
+                assert!(w
+                    .disturbed_answers
+                    .iter()
+                    .all(|v| !w.truth_answers.contains(v)));
+            }
+        }
+        assert!(generated >= 2, "only {generated} why-empty generated");
+    }
+
+    #[test]
+    fn exemplar_from_picks_frequent_attrs() {
+        let g = setup();
+        let nodes: Vec<NodeId> = g.node_ids().take(4).collect();
+        let ex = exemplar_from(&g, &nodes, 2);
+        assert_eq!(ex.tuples.len(), 4);
+        for t in &ex.tuples {
+            assert!(t.cells.len() <= 2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::queries::{generate_query, QueryGenConfig};
+    use crate::synth::SynthConfig;
+    use wqe_index::PllIndex;
+
+    #[test]
+    fn suite_roundtrip() {
+        let g = crate::synth::generate(&SynthConfig {
+            nodes: 300,
+            labels: 6,
+            ..Default::default()
+        });
+        let oracle = PllIndex::build(&g);
+        let mut suite = Vec::new();
+        for seed in 0..20u64 {
+            let Some(t) = generate_query(&g, &QueryGenConfig { seed, edges: 2, ..Default::default() })
+            else { continue };
+            if let Some(w) = generate_why(&g, &oracle, &t, &WhyGenConfig { seed, ..Default::default() }) {
+                suite.push(w);
+            }
+            if suite.len() >= 3 {
+                break;
+            }
+        }
+        assert!(!suite.is_empty());
+        let mut buf = Vec::new();
+        save_suite(&suite, &mut buf).unwrap();
+        let loaded = load_suite(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.len(), suite.len());
+        for (a, b) in suite.iter().zip(&loaded) {
+            assert_eq!(a.truth_answers, b.truth_answers);
+            assert_eq!(a.question.query.signature(), b.question.query.signature());
+            assert_eq!(a.question.exemplar, b.question.exemplar);
+            assert_eq!(a.injected.len(), b.injected.len());
+        }
+        // The reloaded disturbed query evaluates identically.
+        let matcher = wqe_query::Matcher::new(&g, &oracle);
+        for w in &loaded {
+            assert_eq!(
+                matcher.evaluate(&w.question.query).matches,
+                w.disturbed_answers
+            );
+        }
+    }
+}

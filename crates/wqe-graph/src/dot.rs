@@ -1,0 +1,141 @@
+//! Graphviz DOT export for graphs and neighborhoods.
+//!
+//! Useful for eyeballing why-question scenarios: export the subgraph around
+//! an answer set and render it with `dot -Tsvg`.
+
+use crate::graph::Graph;
+use crate::schema::NodeId;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Options controlling the rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Max attributes shown per node.
+    pub max_attrs: usize,
+    /// Nodes to highlight (drawn with a double border).
+    pub highlight: HashSet<NodeId>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "G".into(),
+            max_attrs: 3,
+            highlight: HashSet::new(),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the induced subgraph on `nodes` as DOT. Edges with both
+/// endpoints in the set are included.
+pub fn subgraph_to_dot<I>(graph: &Graph, nodes: I, opts: &DotOptions) -> String
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let set: HashSet<NodeId> = nodes.into_iter().collect();
+    let mut out = format!("digraph {} {{\n  rankdir=LR;\n  node [shape=box];\n", opts.name);
+    let schema = graph.schema();
+    let mut sorted: Vec<NodeId> = set.iter().copied().collect();
+    sorted.sort();
+    for v in &sorted {
+        let node = graph.node(*v);
+        let mut label = format!("{} (n{})", schema.label_name(node.label), v.0);
+        for (a, val) in node.attrs.iter().take(opts.max_attrs) {
+            let _ = write!(label, "\\n{}={}", schema.attr_name(*a), val);
+        }
+        let peripheries = if opts.highlight.contains(v) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", peripheries={}];",
+            v.0,
+            escape(&label),
+            peripheries
+        );
+    }
+    for v in &sorted {
+        for &(t, l) in graph.out_neighbors(*v) {
+            if set.contains(&t) {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"{}\"];",
+                    v.0,
+                    t.0,
+                    escape(schema.edge_label_name(l))
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the whole graph (small graphs only).
+pub fn graph_to_dot(graph: &Graph, opts: &DotOptions) -> String {
+    subgraph_to_dot(graph, graph.node_ids(), opts)
+}
+
+/// Renders the union of bounded neighborhoods around `centers`.
+pub fn neighborhood_to_dot(
+    graph: &Graph,
+    centers: &[NodeId],
+    radius: u32,
+    opts: &DotOptions,
+) -> String {
+    let mut nodes = HashSet::new();
+    for &c in centers {
+        for (v, _) in graph.bounded_bfs(c, radius) {
+            nodes.insert(v);
+        }
+        for (v, _) in graph.bounded_bfs_rev(c, radius) {
+            nodes.insert(v);
+        }
+    }
+    subgraph_to_dot(graph, nodes, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::product_graph;
+
+    #[test]
+    fn product_graph_renders() {
+        let pg = product_graph();
+        let dot = graph_to_dot(&pg.graph, &DotOptions::default());
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("Cellphone"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every node appears.
+        assert_eq!(dot.matches("peripheries=").count(), pg.graph.node_count());
+    }
+
+    #[test]
+    fn highlight_and_neighborhood() {
+        let pg = product_graph();
+        let mut opts = DotOptions::default();
+        opts.highlight.insert(pg.phones[2]);
+        let dot = neighborhood_to_dot(&pg.graph, &[pg.phones[2]], 1, &opts);
+        assert!(dot.contains("peripheries=2"));
+        // P3's neighborhood includes Sprint but not the sensors.
+        assert!(dot.contains("Carrier"));
+        assert!(!dot.contains("HeartRate"));
+    }
+
+    #[test]
+    fn labels_escaped() {
+        let mut b = crate::graph::GraphBuilder::new();
+        b.add_node("Weird\"Label", [("a", crate::value::AttrValue::Str("x\"y".into()))]);
+        let g = b.finalize();
+        let dot = graph_to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("Weird\\\"Label"));
+        assert!(!dot.contains("label=\"Weird\"Label"));
+    }
+}

@@ -1,0 +1,393 @@
+//! JSON-lines graph serialization.
+//!
+//! A simple interchange format so graphs can be persisted and experiments
+//! replayed. Each line is one record:
+//!
+//! ```text
+//! {"node": {"id": "p1", "label": "Cellphone", "attrs": {"Price": 840}}}
+//! {"edge": {"from": "p1", "to": "c1", "label": "served_by"}}
+//! ```
+//!
+//! Node ids are arbitrary strings, resolved to dense [`NodeId`]s on load.
+//! Attribute values map JSON numbers to `Int`/`Float`, strings to `Str`, and
+//! booleans to `Bool`.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::schema::NodeId;
+use crate::value::AttrValue;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while loading a graph.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse as JSON.
+    Json {
+        /// 1-based source line.
+        line: usize,
+        /// Parser error.
+        source: serde_json::Error,
+    },
+    /// An edge referenced an id with no preceding node record.
+    UnknownNode {
+        /// 1-based source line.
+        line: usize,
+        /// Unresolved node id.
+        id: String,
+    },
+    /// A node id occurred twice.
+    DuplicateNode {
+        /// 1-based source line.
+        line: usize,
+        /// Repeated node id.
+        id: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Json { line, source } => write!(f, "line {line}: invalid json: {source}"),
+            LoadError::UnknownNode { line, id } => {
+                write!(f, "line {line}: edge references unknown node id {id:?}")
+            }
+            LoadError::DuplicateNode { line, id } => {
+                write!(f, "line {line}: duplicate node id {id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct NodeRec {
+    id: String,
+    label: String,
+    #[serde(default)]
+    attrs: serde_json::Map<String, serde_json::Value>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EdgeRec {
+    from: String,
+    to: String,
+    #[serde(default)]
+    label: String,
+}
+
+#[derive(Serialize, Deserialize)]
+enum Record {
+    #[serde(rename = "node")]
+    Node(NodeRec),
+    #[serde(rename = "edge")]
+    Edge(EdgeRec),
+}
+
+fn json_to_value(v: &serde_json::Value) -> Option<AttrValue> {
+    match v {
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Some(AttrValue::Int(i))
+            } else {
+                n.as_f64().and_then(AttrValue::float)
+            }
+        }
+        serde_json::Value::String(s) => Some(AttrValue::Str(s.clone())),
+        serde_json::Value::Bool(b) => Some(AttrValue::Bool(*b)),
+        _ => None,
+    }
+}
+
+fn value_to_json(v: &AttrValue) -> serde_json::Value {
+    match v {
+        AttrValue::Int(i) => serde_json::json!(i),
+        AttrValue::Float(f) => serde_json::json!(f),
+        AttrValue::Str(s) => serde_json::json!(s),
+        AttrValue::Bool(b) => serde_json::json!(b),
+    }
+}
+
+/// Reads a graph from a JSON-lines reader. Edges may reference only nodes
+/// declared on earlier lines.
+pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Graph, LoadError> {
+    let mut builder = GraphBuilder::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let rec: Record = serde_json::from_str(trimmed)
+            .map_err(|source| LoadError::Json { line: lineno, source })?;
+        match rec {
+            Record::Node(n) => {
+                if ids.contains_key(&n.id) {
+                    return Err(LoadError::DuplicateNode { line: lineno, id: n.id });
+                }
+                let attrs: Vec<(&str, AttrValue)> = n
+                    .attrs
+                    .iter()
+                    .filter_map(|(k, v)| json_to_value(v).map(|av| (k.as_str(), av)))
+                    .collect();
+                let id = builder.add_node(&n.label, attrs);
+                ids.insert(n.id, id);
+            }
+            Record::Edge(e) => {
+                let from = *ids
+                    .get(&e.from)
+                    .ok_or_else(|| LoadError::UnknownNode { line: lineno, id: e.from.clone() })?;
+                let to = *ids
+                    .get(&e.to)
+                    .ok_or_else(|| LoadError::UnknownNode { line: lineno, id: e.to.clone() })?;
+                builder.add_edge(from, to, &e.label);
+            }
+        }
+    }
+    Ok(builder.finalize())
+}
+
+/// Writes a graph as JSON lines. Node ids are written as `n<index>`.
+pub fn write_jsonl<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
+    for v in graph.node_ids() {
+        let node = graph.node(v);
+        let mut attrs = serde_json::Map::new();
+        for (a, val) in &node.attrs {
+            attrs.insert(graph.schema().attr_name(*a).to_string(), value_to_json(val));
+        }
+        let rec = Record::Node(NodeRec {
+            id: format!("n{}", v.0),
+            label: graph.schema().label_name(node.label).to_string(),
+            attrs,
+        });
+        writeln!(w, "{}", serde_json::to_string(&rec).expect("serializable"))?;
+    }
+    for v in graph.node_ids() {
+        for &(t, l) in graph.out_neighbors(v) {
+            let rec = Record::Edge(EdgeRec {
+                from: format!("n{}", v.0),
+                to: format!("n{}", t.0),
+                label: graph.schema().edge_label_name(l).to_string(),
+            });
+            writeln!(w, "{}", serde_json::to_string(&rec).expect("serializable"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a graph from the two-file TSV format common to public graph dumps:
+///
+/// * `nodes`: `id<TAB>label[<TAB>attr=value ...]` — values parse as `Int`,
+///   then `Float`, then `Bool`, falling back to `Str`;
+/// * `edges`: `from<TAB>to[<TAB>label]`.
+///
+/// Lines starting with `#` and blank lines are skipped in both files.
+pub fn read_tsv<N: BufRead, E: BufRead>(nodes: N, edges: E) -> Result<Graph, LoadError> {
+    let mut builder = GraphBuilder::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for (i, line) in nodes.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut fields = t.split('\t');
+        let (Some(id), Some(label)) = (fields.next(), fields.next()) else {
+            return Err(LoadError::Json {
+                line: lineno,
+                source: serde_json::Error::io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "node line needs `id<TAB>label`",
+                )),
+            });
+        };
+        if ids.contains_key(id) {
+            return Err(LoadError::DuplicateNode {
+                line: lineno,
+                id: id.to_string(),
+            });
+        }
+        let attrs: Vec<(&str, AttrValue)> = fields
+            .filter_map(|f| {
+                let (k, v) = f.split_once('=')?;
+                Some((k, parse_tsv_value(v)))
+            })
+            .collect();
+        let nid = builder.add_node(label, attrs);
+        ids.insert(id.to_string(), nid);
+    }
+    for (i, line) in edges.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut fields = t.split('\t');
+        let (Some(from), Some(to)) = (fields.next(), fields.next()) else {
+            continue;
+        };
+        let label = fields.next().unwrap_or("edge");
+        let f = *ids.get(from).ok_or_else(|| LoadError::UnknownNode {
+            line: lineno,
+            id: from.to_string(),
+        })?;
+        let tt = *ids.get(to).ok_or_else(|| LoadError::UnknownNode {
+            line: lineno,
+            id: to.to_string(),
+        })?;
+        builder.add_edge(f, tt, label);
+    }
+    Ok(builder.finalize())
+}
+
+fn parse_tsv_value(v: &str) -> AttrValue {
+    if let Ok(i) = v.parse::<i64>() {
+        return AttrValue::Int(i);
+    }
+    if let Ok(f) = v.parse::<f64>() {
+        if let Some(av) = AttrValue::float(f) {
+            return av;
+        }
+    }
+    match v {
+        "true" => AttrValue::Bool(true),
+        "false" => AttrValue::Bool(false),
+        other => AttrValue::Str(other.to_string()),
+    }
+}
+
+/// Writes the two-file TSV form of a graph.
+pub fn write_tsv<N: Write, E: Write>(graph: &Graph, mut nodes: N, mut edges: E) -> std::io::Result<()> {
+    for v in graph.node_ids() {
+        let node = graph.node(v);
+        write!(nodes, "n{}\t{}", v.0, graph.schema().label_name(node.label))?;
+        for (a, val) in &node.attrs {
+            write!(nodes, "\t{}={}", graph.schema().attr_name(*a), val)?;
+        }
+        writeln!(nodes)?;
+    }
+    for v in graph.node_ids() {
+        for &(t, l) in graph.out_neighbors(v) {
+            writeln!(edges, "n{}\tn{}\t{}", v.0, t.0, graph.schema().edge_label_name(l))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = r#"
+# product sample
+{"node": {"id": "p1", "label": "Cellphone", "attrs": {"Price": 840, "Brand": "Samsung"}}}
+{"node": {"id": "c1", "label": "Carrier", "attrs": {"Discount": 0.25}}}
+{"edge": {"from": "p1", "to": "c1", "label": "served_by"}}
+"#;
+
+    #[test]
+    fn roundtrip() {
+        let g = read_jsonl(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let mut buf = Vec::new();
+        write_jsonl(&g, &mut buf).unwrap();
+        let g2 = read_jsonl(Cursor::new(buf)).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        let price = g2.schema().attr_id("Price").unwrap();
+        let phone = g2.schema().label_id("Cellphone").unwrap();
+        let p = g2.nodes_with_label(phone)[0];
+        assert_eq!(g2.attr(p, price), Some(&AttrValue::Int(840)));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let bad = r#"{"edge": {"from": "x", "to": "y", "label": "e"}}"#;
+        let err = read_jsonl(Cursor::new(bad)).unwrap_err();
+        assert!(matches!(err, LoadError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let bad = "{\"node\": {\"id\": \"a\", \"label\": \"N\"}}\n{\"node\": {\"id\": \"a\", \"label\": \"N\"}}";
+        let err = read_jsonl(Cursor::new(bad)).unwrap_err();
+        assert!(matches!(err, LoadError::DuplicateNode { .. }));
+    }
+
+    #[test]
+    fn invalid_json_reports_line() {
+        let bad = "{\"node\": {\"id\": \"a\", \"label\": \"N\"}}\nnot-json";
+        match read_jsonl(Cursor::new(bad)).unwrap_err() {
+            LoadError::Json { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Json error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let nodes = "# comment\nn1\tCellphone\tPrice=840\tBrand=Samsung\tScore=1.5\tHot=true\nn2\tCarrier\tDiscount=25\n";
+        let edges = "n1\tn2\tserved_by\n";
+        let g = read_tsv(Cursor::new(nodes), Cursor::new(edges)).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let price = g.schema().attr_id("Price").unwrap();
+        let score = g.schema().attr_id("Score").unwrap();
+        let hot = g.schema().attr_id("Hot").unwrap();
+        let v = crate::schema::NodeId(0);
+        assert_eq!(g.attr(v, price), Some(&AttrValue::Int(840)));
+        assert_eq!(g.attr(v, score), Some(&AttrValue::Float(1.5)));
+        assert_eq!(g.attr(v, hot), Some(&AttrValue::Bool(true)));
+
+        let mut nbuf = Vec::new();
+        let mut ebuf = Vec::new();
+        write_tsv(&g, &mut nbuf, &mut ebuf).unwrap();
+        let g2 = read_tsv(Cursor::new(nbuf), Cursor::new(ebuf)).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        let p2 = g2.schema().attr_id("Price").unwrap();
+        assert_eq!(g2.attr(crate::schema::NodeId(0), p2), Some(&AttrValue::Int(840)));
+    }
+
+    #[test]
+    fn tsv_unknown_edge_endpoint() {
+        let nodes = "a\tN\n";
+        let edges = "a\tb\te\n";
+        let err = read_tsv(Cursor::new(nodes), Cursor::new(edges)).unwrap_err();
+        assert!(matches!(err, LoadError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn tsv_duplicate_node_rejected() {
+        let nodes = "a\tN\na\tN\n";
+        let err = read_tsv(Cursor::new(nodes), Cursor::new("")).unwrap_err();
+        assert!(matches!(err, LoadError::DuplicateNode { line: 2, .. }));
+    }
+
+    #[test]
+    fn float_and_bool_values() {
+        let src = r#"{"node": {"id": "a", "label": "N", "attrs": {"f": 1.5, "b": true}}}"#;
+        let g = read_jsonl(Cursor::new(src)).unwrap();
+        let f = g.schema().attr_id("f").unwrap();
+        let b = g.schema().attr_id("b").unwrap();
+        let v = crate::schema::NodeId(0);
+        assert_eq!(g.attr(v, f), Some(&AttrValue::Float(1.5)));
+        assert_eq!(g.attr(v, b), Some(&AttrValue::Bool(true)));
+    }
+}

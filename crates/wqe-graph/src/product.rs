@@ -1,0 +1,204 @@
+//! The paper's running example: the product knowledge graph of Fig. 1/2.
+//!
+//! The figure only shows a fraction of the graph; this module reconstructs a
+//! concrete instance that is *consistent with every number in the paper's
+//! worked examples*:
+//!
+//! * `V_Cellphone` has 6 candidates `P1..P6` (Example 3.1 normalizes by 6);
+//! * the original query `Q` (Brand=Samsung, Price>=840, RAM>=4,
+//!   Display>=6.2, a carrier within 1 hop, a sensor within 2 hops) answers
+//!   `{P1, P2, P5}` (Example 2.1);
+//! * the exemplar `t1=(6.2, x1, _)`, `t2=(6.3, x2, x3)` with `x3 < 800` and
+//!   `x1 > x2` represents `{P3, P4, P5}` (Example 2.3);
+//! * `range(Price) = 150` so `RxL(Price>=840 -> >=790)` costs `1 + 50/150`
+//!   and `range(RAM) = 2` so `RfL(RAM>=4 -> >=6)` costs 2 (Example 3.1);
+//! * the rewrite `Q' = Q ⊕ {AddL(Carrier.Discount=25), RmE((Cellphone,
+//!   Sensor), 2), RxL(Price>=840 -> >=790)}` answers `{P3, P4, P5}` with
+//!   closeness 1/2 at λ=1, and `Q'' = Q ⊕ {o1, RfL(RAM>=6), RmL(Display)}`
+//!   answers `{P5}` with closeness 1/6 (Example 3.3);
+//! * `P3` has **no** sensor within 2 hops ("P3 was not in Q(G) since it has
+//!   no wearable sensors", Example 1.2).
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::schema::NodeId;
+use crate::value::AttrValue;
+
+/// Handles to the interesting nodes of the product graph.
+#[derive(Debug, Clone)]
+pub struct ProductGraph {
+    /// The finalized graph.
+    pub graph: Graph,
+    /// Cellphones `P1..P6` in order.
+    pub phones: [NodeId; 6],
+    /// Carriers: Verizon, ATT, Sprint, TMobile.
+    pub carriers: [NodeId; 4],
+}
+
+/// Attribute names used by the product graph.
+pub mod attrs {
+    /// Screen diagonal (inches ×10 as integer; 6.2" = 62).
+    pub const DISPLAY: &str = "Display";
+    /// Storage in GB.
+    pub const STORAGE: &str = "Storage";
+    /// Price in USD.
+    pub const PRICE: &str = "Price";
+    /// RAM in GB.
+    pub const RAM: &str = "RAM";
+    /// Manufacturer brand.
+    pub const BRAND: &str = "Brand";
+    /// Carrier discount percentage.
+    pub const DISCOUNT: &str = "Discount";
+    /// Human-readable model name.
+    pub const NAME: &str = "Name";
+}
+
+/// Builds the product graph.
+///
+/// Display sizes are stored as integers ×10 (6.2" → 62) so the exemplar's
+/// equality tests are exact.
+pub fn product_graph() -> ProductGraph {
+    use attrs::*;
+    let mut b = GraphBuilder::new();
+    let phone = |b: &mut GraphBuilder, name: &str, display: i64, storage: i64, price: i64, ram: i64, brand: &str| {
+        b.add_node(
+            "Cellphone",
+            [
+                (DISPLAY, AttrValue::Int(display)),
+                (STORAGE, AttrValue::Int(storage)),
+                (PRICE, AttrValue::Int(price)),
+                (RAM, AttrValue::Int(ram)),
+                (BRAND, AttrValue::Str(brand.into())),
+                (NAME, AttrValue::Str(name.into())),
+            ],
+        )
+    };
+    // P1..P6. Prices span [750, 900] => range(Price) = 150.
+    // RAM spans [4, 6] => range(RAM) = 2.
+    let p1 = phone(&mut b, "S9+", 62, 64, 840, 4, "Samsung");
+    let p2 = phone(&mut b, "Note8", 63, 64, 900, 6, "Samsung");
+    let p3 = phone(&mut b, "S9+", 62, 128, 790, 6, "Samsung");
+    let p4 = phone(&mut b, "Note8", 63, 64, 795, 6, "Samsung");
+    let p5 = phone(&mut b, "S8+", 62, 128, 850, 6, "Samsung");
+    let p6 = phone(&mut b, "Budget5", 50, 32, 750, 4, "LG");
+
+    let carrier = |b: &mut GraphBuilder, name: &str, discount: i64| {
+        b.add_node(
+            "Carrier",
+            [
+                (DISCOUNT, AttrValue::Int(discount)),
+                (NAME, AttrValue::Str(name.into())),
+            ],
+        )
+    };
+    let verizon = carrier(&mut b, "Verizon", 10);
+    let att = carrier(&mut b, "ATT", 15);
+    let sprint = carrier(&mut b, "Sprint", 25);
+    let tmobile = carrier(&mut b, "TMobile", 25);
+
+    let sensor = |b: &mut GraphBuilder, name: &str| {
+        b.add_node("Sensor", [(NAME, AttrValue::Str(name.into()))])
+    };
+    let heart = sensor(&mut b, "HeartRate");
+    let gyro = sensor(&mut b, "Gyro");
+    let step = sensor(&mut b, "Step");
+    let proximity = sensor(&mut b, "Proximity");
+
+    let watch1 = b.add_node("Wearable", [(NAME, AttrValue::Str("GearS3".into()))]);
+    let watch4 = b.add_node("Wearable", [(NAME, AttrValue::Str("GearFit".into()))]);
+
+    // Carriers (1 hop).
+    b.add_edge(p1, verizon, "served_by");
+    b.add_edge(p2, att, "served_by");
+    b.add_edge(p3, sprint, "served_by");
+    b.add_edge(p4, sprint, "served_by");
+    b.add_edge(p5, tmobile, "served_by");
+    // P6 has no carrier.
+
+    // Sensors within 2 hops — except P3, which has none.
+    b.add_edge(p1, watch1, "pairs_with");
+    b.add_edge(watch1, heart, "has_sensor");
+    b.add_edge(p2, gyro, "has_sensor");
+    b.add_edge(p4, watch4, "pairs_with");
+    b.add_edge(watch4, step, "has_sensor");
+    b.add_edge(p5, proximity, "has_sensor");
+
+    // A few extra edges for texture (accessory relations).
+    b.add_edge(watch1, p1, "compatible_with");
+    b.add_edge(watch4, p4, "compatible_with");
+
+    // A retailer selling wearables creates the longest shortest path
+    // (retailer -> watch1 -> p1 -> verizon), fixing D(G) = 3 — the value
+    // Example 3.1's operator-cost arithmetic implies (the full rewrite
+    // {o1, o2, o3} costs exactly 4 only when c(RmE((Cellphone, Sensor), 2))
+    // = 1 + 2/3).
+    let retailer = b.add_node("Retailer", [(NAME, AttrValue::Str("TechMart".into()))]);
+    b.add_edge(retailer, watch1, "sells");
+
+    ProductGraph {
+        graph: b.finalize(),
+        phones: [p1, p2, p3, p4, p5, p6],
+        carriers: [verizon, att, sprint, tmobile],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_set_size_matches_paper() {
+        let pg = product_graph();
+        let cell = pg.graph.schema().label_id("Cellphone").unwrap();
+        assert_eq!(pg.graph.nodes_with_label(cell).len(), 6);
+    }
+
+    #[test]
+    fn price_and_ram_ranges_match_cost_examples() {
+        let pg = product_graph();
+        let price = pg.graph.schema().attr_id(attrs::PRICE).unwrap();
+        let ram = pg.graph.schema().attr_id(attrs::RAM).unwrap();
+        assert_eq!(pg.graph.attr_range(price), 150.0);
+        assert_eq!(pg.graph.attr_range(ram), 2.0);
+    }
+
+    #[test]
+    fn p3_has_no_sensor_within_two_hops() {
+        let pg = product_graph();
+        let sensor = pg.graph.schema().label_id("Sensor").unwrap();
+        let p3 = pg.phones[2];
+        let reach = pg.graph.bounded_bfs(p3, 2);
+        assert!(
+            reach.iter().all(|&(v, _)| pg.graph.label(v) != sensor),
+            "P3 must not reach a sensor in <=2 hops"
+        );
+    }
+
+    #[test]
+    fn others_reach_sensors() {
+        let pg = product_graph();
+        let sensor = pg.graph.schema().label_id("Sensor").unwrap();
+        for (i, &p) in pg.phones.iter().enumerate() {
+            if i == 2 || i == 5 {
+                continue; // P3 and P6 have no sensor
+            }
+            let reach = pg.graph.bounded_bfs(p, 2);
+            assert!(
+                reach.iter().any(|&(v, _)| pg.graph.label(v) == sensor),
+                "P{} should reach a sensor",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn discount_carriers() {
+        let pg = product_graph();
+        let discount = pg.graph.schema().attr_id(attrs::DISCOUNT).unwrap();
+        let vals: Vec<_> = pg
+            .carriers
+            .iter()
+            .map(|&c| pg.graph.attr(c, discount).unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![10.0, 15.0, 25.0, 25.0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Interned identifier spaces for labels and attribute names.
+//!
+//! Real-world attributed graphs (DBpedia: 676 labels, ~9 attributes/node)
+//! repeat label and attribute strings millions of times; we intern them once
+//! into dense `u32` id spaces so nodes store compact ids and lookups are
+//! array-indexed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Interned node label (entity type), e.g. `Cellphone`.
+    LabelId
+);
+define_id!(
+    /// Interned attribute name, e.g. `Price`.
+    AttrId
+);
+define_id!(
+    /// Interned edge label (relationship type), e.g. `provides`.
+    EdgeLabelId
+);
+define_id!(
+    /// Dense node identifier inside a [`crate::Graph`].
+    NodeId
+);
+
+/// A bidirectional string ↔ dense-id interner.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// The schema of a graph: the three interned id spaces.
+///
+/// A schema is shared between a graph, the queries posed against it, and the
+/// exemplars describing desired answers, so that all of them speak the same
+/// id language.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    labels: Interner,
+    attrs: Interner,
+    edge_labels: Interner,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a node label.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        LabelId(self.labels.intern(name))
+    }
+
+    /// Interns an attribute name.
+    pub fn attr(&mut self, name: &str) -> AttrId {
+        AttrId(self.attrs.intern(name))
+    }
+
+    /// Interns an edge label.
+    pub fn edge_label(&mut self, name: &str) -> EdgeLabelId {
+        EdgeLabelId(self.edge_labels.intern(name))
+    }
+
+    /// Looks up a node label without interning.
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name).map(LabelId)
+    }
+
+    /// Looks up an attribute without interning.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attrs.get(name).map(AttrId)
+    }
+
+    /// Looks up an edge label without interning.
+    pub fn edge_label_id(&self, name: &str) -> Option<EdgeLabelId> {
+        self.edge_labels.get(name).map(EdgeLabelId)
+    }
+
+    /// Resolves a label id to its name.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        self.labels.resolve(id.0).unwrap_or("<unknown-label>")
+    }
+
+    /// Resolves an attribute id to its name.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attrs.resolve(id.0).unwrap_or("<unknown-attr>")
+    }
+
+    /// Resolves an edge label id to its name.
+    pub fn edge_label_name(&self, id: EdgeLabelId) -> &str {
+        self.edge_labels.resolve(id.0).unwrap_or("<unknown-edge-label>")
+    }
+
+    /// Number of distinct node labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct attributes (the finite attribute set `A` of §2.1).
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of distinct edge labels.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// Iterates all attribute ids.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len() as u32).map(AttrId)
+    }
+
+    /// Iterates all label ids.
+    pub fn label_ids(&self) -> impl Iterator<Item = LabelId> + '_ {
+        (0..self.labels.len() as u32).map(LabelId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut s = Schema::new();
+        let a = s.label("Cellphone");
+        let b = s.label("Cellphone");
+        assert_eq!(a, b);
+        assert_eq!(s.label_count(), 1);
+        assert_eq!(s.label_name(a), "Cellphone");
+    }
+
+    #[test]
+    fn separate_id_spaces() {
+        let mut s = Schema::new();
+        let l = s.label("Price");
+        let a = s.attr("Price");
+        assert_eq!(l.0, 0);
+        assert_eq!(a.0, 0);
+        assert_eq!(s.label_count(), 1);
+        assert_eq!(s.attr_count(), 1);
+    }
+
+    #[test]
+    fn lookup_without_intern() {
+        let mut s = Schema::new();
+        s.attr("RAM");
+        assert!(s.attr_id("RAM").is_some());
+        assert!(s.attr_id("Storage").is_none());
+        assert_eq!(s.attr_count(), 1);
+    }
+
+    #[test]
+    fn interner_iteration_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("a");
+        let v: Vec<_> = i.iter().collect();
+        assert_eq!(v, vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn unknown_ids_resolve_to_placeholders() {
+        let s = Schema::new();
+        assert_eq!(s.label_name(LabelId(7)), "<unknown-label>");
+        assert_eq!(s.attr_name(AttrId(7)), "<unknown-attr>");
+    }
+}

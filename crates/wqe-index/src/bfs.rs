@@ -1,0 +1,139 @@
+//! Bounded breadth-first-search distance oracle with memoization.
+//!
+//! Pattern matching only ever asks for distances up to the maximum edge
+//! bound `b_m` (§2.1), so a BFS truncated at a small horizon answers every
+//! query the matcher poses. Results are memoized per source node because
+//! Q-Chase re-evaluates highly similar queries over the same candidates
+//! (§5.2 "Caching the Stars" makes the same observation for star views).
+
+use crate::oracle::DistanceOracle;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wqe_graph::{Graph, NodeId};
+
+/// Memoizing bounded-BFS oracle.
+///
+/// `horizon` is the largest distance the oracle will ever report; queries
+/// with a larger bound are truncated to the horizon. Memo entries are evicted
+/// FIFO once `capacity` sources are cached.
+pub struct BoundedBfsOracle<'g> {
+    graph: &'g Graph,
+    horizon: u32,
+    capacity: usize,
+    memo: RwLock<MemoState>,
+}
+
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<NodeId, Arc<HashMap<NodeId, u32>>>,
+    order: std::collections::VecDeque<NodeId>,
+}
+
+impl<'g> BoundedBfsOracle<'g> {
+    /// Creates an oracle over `graph` answering distances up to `horizon`.
+    pub fn new(graph: &'g Graph, horizon: u32) -> Self {
+        BoundedBfsOracle {
+            graph,
+            horizon,
+            capacity: 100_000,
+            memo: RwLock::new(MemoState::default()),
+        }
+    }
+
+    /// Overrides the memo capacity (number of cached source nodes).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The distance horizon.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Number of memoized sources (for tests and instrumentation).
+    pub fn cached_sources(&self) -> usize {
+        self.memo.read().map.len()
+    }
+
+    fn reach_from(&self, u: NodeId) -> Arc<HashMap<NodeId, u32>> {
+        if let Some(hit) = self.memo.read().map.get(&u) {
+            return Arc::clone(hit);
+        }
+        let computed: HashMap<NodeId, u32> =
+            self.graph.bounded_bfs(u, self.horizon).into_iter().collect();
+        let arc = Arc::new(computed);
+        let mut state = self.memo.write();
+        if !state.map.contains_key(&u) {
+            if state.map.len() >= self.capacity {
+                if let Some(old) = state.order.pop_front() {
+                    state.map.remove(&old);
+                }
+            }
+            state.map.insert(u, Arc::clone(&arc));
+            state.order.push_back(u);
+        }
+        arc
+    }
+}
+
+impl DistanceOracle for BoundedBfsOracle<'_> {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        let bound = bound.min(self.horizon);
+        let reach = self.reach_from(u);
+        reach.get(&v).copied().filter(|&d| d <= bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::GraphBuilder;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node("N", [])).collect();
+        for i in 0..n {
+            b.add_edge(ids[i], ids[(i + 1) % n], "e");
+        }
+        b.finalize()
+    }
+
+    #[test]
+    fn directed_cycle_distances() {
+        let g = cycle(5);
+        let o = BoundedBfsOracle::new(&g, 4);
+        assert_eq!(o.distance_within(NodeId(0), NodeId(2), 4), Some(2));
+        // Going "backwards" needs 4 forward hops on the 5-cycle.
+        assert_eq!(o.distance_within(NodeId(0), NodeId(4), 4), Some(4));
+        assert_eq!(o.distance_within(NodeId(0), NodeId(4), 3), None);
+    }
+
+    #[test]
+    fn horizon_truncates() {
+        let g = cycle(10);
+        let o = BoundedBfsOracle::new(&g, 2);
+        assert_eq!(o.distance_within(NodeId(0), NodeId(3), 9), None);
+        assert_eq!(o.distance_within(NodeId(0), NodeId(2), 9), Some(2));
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let g = cycle(3);
+        let o = BoundedBfsOracle::new(&g, 2);
+        assert_eq!(o.distance_within(NodeId(1), NodeId(1), 0), Some(0));
+    }
+
+    #[test]
+    fn memo_capacity_evicts() {
+        let g = cycle(8);
+        let o = BoundedBfsOracle::new(&g, 3).with_capacity(2);
+        for i in 0..5 {
+            o.distance_within(NodeId(i), NodeId((i + 1) % 8), 3);
+        }
+        assert!(o.cached_sources() <= 2);
+        // Evicted entries are recomputed correctly.
+        assert_eq!(o.distance_within(NodeId(0), NodeId(1), 3), Some(1));
+    }
+}

@@ -1,0 +1,78 @@
+//! # wqe-index
+//!
+//! Exact shortest-path distance indexes for the WQE system.
+//!
+//! Edge-to-path matching (§2.1) requires `dist(h(u), h(u')) <= L_Q(e)` for
+//! every pattern edge, making distance queries the innermost loop of every
+//! algorithm in the paper. The experiments note that "all the algorithms …
+//! access a fast distance index \[2\]" (Akiba et al., pruned landmark
+//! labeling). This crate provides:
+//!
+//! * [`PllIndex`] — a from-scratch pruned-landmark-labeling (2-hop cover)
+//!   index for directed graphs, exact at any distance;
+//! * [`BoundedBfsOracle`] — a memoizing truncated-BFS oracle, exact up to a
+//!   configurable horizon (the matcher never asks beyond `b_m`);
+//! * [`HybridOracle`] — picks between the two by graph size.
+
+#![warn(missing_docs)]
+
+mod bfs;
+mod oracle;
+mod pll;
+
+pub use bfs::BoundedBfsOracle;
+pub use oracle::{DistanceOracle, HybridOracle};
+pub use pll::PllIndex;
+
+#[cfg(test)]
+mod proptests {
+    use crate::{BoundedBfsOracle, DistanceOracle, PllIndex};
+    use proptest::prelude::*;
+    use wqe_graph::{Graph, GraphBuilder, NodeId};
+
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        // Up to 24 nodes, random directed edges.
+        (2usize..24).prop_flat_map(|n| {
+            proptest::collection::vec((0..n, 0..n), 0..(n * 3)).prop_map(move |edges| {
+                let mut b = GraphBuilder::new();
+                let ids: Vec<_> = (0..n).map(|_| b.add_node("N", [])).collect();
+                for (u, v) in edges {
+                    if u != v {
+                        b.add_edge(ids[u], ids[v], "e");
+                    }
+                }
+                b.finalize()
+            })
+        })
+    }
+
+    proptest! {
+        /// PLL agrees with plain BFS on every pair of every random graph.
+        #[test]
+        fn pll_matches_bfs(g in arb_graph()) {
+            let pll = PllIndex::build(&g);
+            for u in g.node_ids() {
+                let reach: std::collections::HashMap<NodeId, u32> =
+                    g.bounded_bfs(u, u32::MAX).into_iter().collect();
+                for v in g.node_ids() {
+                    prop_assert_eq!(pll.distance(u, v), reach.get(&v).copied());
+                }
+            }
+        }
+
+        /// The bounded oracle agrees with PLL inside its horizon.
+        #[test]
+        fn bounded_matches_pll_within_horizon(g in arb_graph(), horizon in 1u32..5) {
+            let pll = PllIndex::build(&g);
+            let bfs = BoundedBfsOracle::new(&g, horizon);
+            for u in g.node_ids() {
+                for v in g.node_ids() {
+                    prop_assert_eq!(
+                        bfs.distance_within(u, v, horizon),
+                        pll.distance_within(u, v, horizon)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The distance-oracle abstraction shared by the matcher and algorithms.
+
+use wqe_graph::{Graph, NodeId};
+
+/// Answers bounded directed-distance queries.
+///
+/// `distance_within(u, v, b)` returns `Some(d)` with `d = dist(u, v) <= b`
+/// when the shortest path from `u` to `v` is at most `b` hops, and `None`
+/// otherwise. The matcher only ever queries with `b <= b_m` (the global edge
+/// bound cap of §2.1), which lets truncated implementations answer exactly.
+pub trait DistanceOracle: Sync {
+    /// Bounded distance query; see trait docs.
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32>;
+
+    /// Convenience predicate `dist(u, v) <= bound`.
+    fn within(&self, u: NodeId, v: NodeId, bound: u32) -> bool {
+        self.distance_within(u, v, bound).is_some()
+    }
+}
+
+impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        (**self).distance_within(u, v, bound)
+    }
+}
+
+/// Chooses an index implementation appropriate for the graph size.
+///
+/// Pruned landmark labeling answers in microseconds but costs superlinear
+/// build time; a memoized bounded BFS costs nothing up front. The crossover
+/// used here (50k nodes) keeps index construction under a second on the
+/// synthetic datasets while the big graphs fall back to BFS, mirroring how
+/// the paper treats the index as a pluggable black box.
+pub enum HybridOracle<'g> {
+    /// Full pruned-landmark-labeling index.
+    Pll(crate::pll::PllIndex),
+    /// Memoized bounded BFS.
+    Bfs(crate::bfs::BoundedBfsOracle<'g>),
+}
+
+impl<'g> HybridOracle<'g> {
+    /// Builds PLL for graphs up to `pll_node_limit` nodes, otherwise a
+    /// bounded-BFS oracle with the given `horizon`.
+    pub fn auto(graph: &'g Graph, horizon: u32, pll_node_limit: usize) -> Self {
+        if graph.node_count() <= pll_node_limit {
+            HybridOracle::Pll(crate::pll::PllIndex::build(graph))
+        } else {
+            HybridOracle::Bfs(crate::bfs::BoundedBfsOracle::new(graph, horizon))
+        }
+    }
+
+    /// Default policy: PLL below 50k nodes.
+    pub fn default_for(graph: &'g Graph, horizon: u32) -> Self {
+        Self::auto(graph, horizon, 50_000)
+    }
+
+    /// True if backed by the PLL index.
+    pub fn is_pll(&self) -> bool {
+        matches!(self, HybridOracle::Pll(_))
+    }
+}
+
+impl DistanceOracle for HybridOracle<'_> {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        match self {
+            HybridOracle::Pll(p) => p.distance_within(u, v, bound),
+            HybridOracle::Bfs(b) => b.distance_within(u, v, bound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::GraphBuilder;
+
+    fn line(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node("N", [])).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], "e");
+        }
+        b.finalize()
+    }
+
+    #[test]
+    fn hybrid_picks_pll_for_small() {
+        let g = line(10);
+        let o = HybridOracle::auto(&g, 4, 100);
+        assert!(o.is_pll());
+        assert_eq!(o.distance_within(NodeId(0), NodeId(3), 4), Some(3));
+    }
+
+    #[test]
+    fn hybrid_picks_bfs_for_large() {
+        let g = line(10);
+        let o = HybridOracle::auto(&g, 4, 5);
+        assert!(!o.is_pll());
+        assert_eq!(o.distance_within(NodeId(0), NodeId(3), 4), Some(3));
+        assert!(!o.within(NodeId(0), NodeId(3), 2));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = line(4);
+        let o = HybridOracle::default_for(&g, 4);
+        let dyn_o: &dyn DistanceOracle = &o;
+        assert!(dyn_o.within(NodeId(0), NodeId(1), 1));
+    }
+}

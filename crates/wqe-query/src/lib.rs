@@ -1,0 +1,36 @@
+//! # wqe-query
+//!
+//! Graph pattern queries, the eight atomic rewrite operators of Table 1, and
+//! the star-view P-homomorphism matcher of §2.3/§5.2 — the query-processing
+//! substrate of *Answering Why-questions by Exemplars in Attributed Graphs*
+//! (SIGMOD 2019).
+//!
+//! ```
+//! use wqe_graph::product::product_graph;
+//! use wqe_index::PllIndex;
+//! use wqe_query::{Matcher, PatternQuery};
+//!
+//! let pg = product_graph();
+//! let oracle = PllIndex::build(&pg.graph);
+//! let matcher = Matcher::new(&pg.graph, &oracle);
+//! let q = PatternQuery::new(pg.graph.schema().label_id("Cellphone"), 4);
+//! assert_eq!(matcher.evaluate(&q).matches.len(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod literal;
+pub mod matcher;
+mod ops;
+mod pattern;
+
+pub use literal::{simplify_literals, Literal};
+pub use matcher::{
+    naive_evaluate, CacheStats, MatchOutcome, MatchPlan, Matcher, MatcherStats, StarCache,
+    StarPlan, Valuation,
+};
+pub use ops::{
+    is_canonical, is_normal_form, normalize, sequence_cost, ApplyError, AtomicOp, OpClass,
+    Touched,
+};
+pub use pattern::{PatternError, PatternQuery, QEdge, QNode, QNodeId, Topology};

@@ -1,0 +1,235 @@
+//! Constant literals `u.A op c` — the search predicates of §2.1.
+
+use serde::{Deserialize, Serialize};
+use wqe_graph::{AttrId, AttrValue, CmpOp, Graph, NodeId, Schema};
+
+/// A constant literal `u.A op c` attached to a pattern node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Literal {
+    /// The attribute `A`.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The constant `c`.
+    pub value: AttrValue,
+}
+
+impl Literal {
+    /// Builds a literal.
+    pub fn new(attr: AttrId, op: CmpOp, value: impl Into<AttrValue>) -> Self {
+        Literal {
+            attr,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluates the literal on a data node: the node must carry the
+    /// attribute and the comparison must hold (§2.1 candidate definition).
+    pub fn eval(&self, graph: &Graph, v: NodeId) -> bool {
+        match graph.attr(v, self.attr) {
+            Some(val) => self.op.eval(val, &self.value),
+            None => false,
+        }
+    }
+
+    /// Evaluates against a raw value.
+    pub fn eval_value(&self, val: &AttrValue) -> bool {
+        self.op.eval(val, &self.value)
+    }
+
+    /// The numeric interval of values satisfying this literal, when the
+    /// constant is numeric: `(lo, hi)` with infinities for open sides.
+    /// `None` for categorical constants.
+    pub fn numeric_interval(&self) -> Option<(f64, f64)> {
+        let c = self.value.as_f64()?;
+        Some(match self.op {
+            CmpOp::Lt | CmpOp::Le => (f64::NEG_INFINITY, c),
+            CmpOp::Eq => (c, c),
+            CmpOp::Ge | CmpOp::Gt => (c, f64::INFINITY),
+        })
+    }
+
+    /// True if `self` *implies* `other` on the same attribute: every value
+    /// satisfying `self` also satisfies `other`. Replacing `self` by
+    /// `other` is then a **relaxation** (the satisfying set can only grow).
+    ///
+    /// Exact for the numeric operator lattice; for categorical values only
+    /// equal literals imply one another.
+    pub fn implies(&self, other: &Literal) -> bool {
+        if self.attr != other.attr {
+            return false;
+        }
+        if self == other {
+            return true;
+        }
+        let (Some(a), Some(b)) = (self.value.as_f64(), other.value.as_f64()) else {
+            return false;
+        };
+        use CmpOp::*;
+        match (self.op, other.op) {
+            (Lt, Lt) => a <= b,
+            (Lt, Le) => a <= b, // x < a => x <= b when a <= b
+            (Le, Le) => a <= b,
+            (Le, Lt) => a < b,
+            (Gt, Gt) => a >= b,
+            (Gt, Ge) => a >= b,
+            (Ge, Ge) => a >= b,
+            (Ge, Gt) => a > b,
+            (Eq, Eq) => a == b,
+            (Eq, Le) | (Eq, Lt) => {
+                if other.op == Le {
+                    a <= b
+                } else {
+                    a < b
+                }
+            }
+            (Eq, Ge) | (Eq, Gt) => {
+                if other.op == Ge {
+                    a >= b
+                } else {
+                    a > b
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// True if replacing `self` with `other` is a *strict relaxation*:
+    /// `self` implies `other` and they are not equivalent.
+    pub fn strictly_relaxed_by(&self, other: &Literal) -> bool {
+        self.implies(other) && !other.implies(self)
+    }
+
+    /// True if replacing `self` with `other` is a *strict refinement*.
+    pub fn strictly_refined_by(&self, other: &Literal) -> bool {
+        other.implies(self) && !self.implies(other)
+    }
+
+    /// Human-readable rendering using the schema for the attribute name.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!("{} {} {}", schema.attr_name(self.attr), self.op, self.value)
+    }
+}
+
+/// Removes literals implied by another literal in the same set (e.g.
+/// `x >= 5` makes `x >= 3` redundant). Order is preserved for the
+/// survivors; the result is semantically equivalent to the input
+/// conjunction. Used to present rewrites without accumulated redundancy.
+pub fn simplify_literals(literals: &[Literal]) -> Vec<Literal> {
+    let mut keep: Vec<bool> = vec![true; literals.len()];
+    for i in 0..literals.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..literals.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // Drop j when i implies it. On mutual implication
+            // (equivalent literals) keep the earlier one only.
+            if literals[i].implies(&literals[j])
+                && !(literals[j].implies(&literals[i]) && j < i)
+            {
+                keep[j] = false;
+            }
+        }
+    }
+    literals
+        .iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(l, _)| l.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::GraphBuilder;
+
+    fn lit(op: CmpOp, v: i64) -> Literal {
+        Literal::new(AttrId(0), op, v)
+    }
+
+    #[test]
+    fn eval_on_node() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node("N", [("Price", AttrValue::Int(840))]);
+        let g = b.finalize();
+        let price = g.schema().attr_id("Price").unwrap();
+        assert!(Literal::new(price, CmpOp::Ge, 800).eval(&g, v));
+        assert!(!Literal::new(price, CmpOp::Lt, 800).eval(&g, v));
+        // Missing attribute fails.
+        let other = g.schema().attr_id("Price").unwrap();
+        let missing = Literal::new(AttrId(other.0 + 1), CmpOp::Ge, 0);
+        assert!(!missing.eval(&g, v));
+    }
+
+    #[test]
+    fn implication_ge_family() {
+        // Price >= 840 implies Price >= 790 (relaxation direction).
+        assert!(lit(CmpOp::Ge, 840).implies(&lit(CmpOp::Ge, 790)));
+        assert!(!lit(CmpOp::Ge, 790).implies(&lit(CmpOp::Ge, 840)));
+        assert!(lit(CmpOp::Ge, 840).strictly_relaxed_by(&lit(CmpOp::Ge, 790)));
+        assert!(lit(CmpOp::Ge, 790).strictly_refined_by(&lit(CmpOp::Ge, 840)));
+    }
+
+    #[test]
+    fn implication_le_family() {
+        assert!(lit(CmpOp::Le, 100).implies(&lit(CmpOp::Le, 200)));
+        assert!(lit(CmpOp::Lt, 100).implies(&lit(CmpOp::Le, 100)));
+        assert!(!lit(CmpOp::Le, 100).implies(&lit(CmpOp::Lt, 100)));
+    }
+
+    #[test]
+    fn eq_relaxes_to_bounds() {
+        assert!(lit(CmpOp::Eq, 5).implies(&lit(CmpOp::Ge, 3)));
+        assert!(lit(CmpOp::Eq, 5).implies(&lit(CmpOp::Le, 5)));
+        assert!(!lit(CmpOp::Eq, 5).implies(&lit(CmpOp::Gt, 5)));
+    }
+
+    #[test]
+    fn cross_attr_never_implies() {
+        let a = Literal::new(AttrId(0), CmpOp::Ge, 1);
+        let b = Literal::new(AttrId(1), CmpOp::Ge, 0);
+        assert!(!a.implies(&b));
+    }
+
+    #[test]
+    fn categorical_only_self_implies() {
+        let a = Literal::new(AttrId(0), CmpOp::Eq, "Samsung");
+        let b = Literal::new(AttrId(0), CmpOp::Eq, "LG");
+        assert!(a.implies(&a.clone()));
+        assert!(!a.implies(&b));
+    }
+
+    #[test]
+    fn simplify_drops_implied() {
+        let ls = vec![lit(CmpOp::Ge, 3), lit(CmpOp::Ge, 5), lit(CmpOp::Le, 10)];
+        let s = simplify_literals(&ls);
+        // x >= 5 implies x >= 3.
+        assert_eq!(s, vec![lit(CmpOp::Ge, 5), lit(CmpOp::Le, 10)]);
+        // Duplicates collapse to one.
+        let dup = vec![lit(CmpOp::Ge, 5), lit(CmpOp::Ge, 5)];
+        assert_eq!(simplify_literals(&dup).len(), 1);
+        // Different attributes untouched.
+        let cross = vec![
+            Literal::new(AttrId(0), CmpOp::Ge, 1),
+            Literal::new(AttrId(1), CmpOp::Ge, 0),
+        ];
+        assert_eq!(simplify_literals(&cross).len(), 2);
+        // Empty is fine.
+        assert!(simplify_literals(&[]).is_empty());
+    }
+
+    #[test]
+    fn interval_view() {
+        assert_eq!(lit(CmpOp::Ge, 5).numeric_interval(), Some((5.0, f64::INFINITY)));
+        assert_eq!(lit(CmpOp::Eq, 5).numeric_interval(), Some((5.0, 5.0)));
+        assert_eq!(
+            Literal::new(AttrId(0), CmpOp::Eq, "x").numeric_interval(),
+            None
+        );
+    }
+}

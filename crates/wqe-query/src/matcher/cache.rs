@@ -1,0 +1,220 @@
+//! The star-view cache (§5.2 "Caching the Stars").
+//!
+//! Q-Chase sequences produce highly similar queries; most rewrites share
+//! most of their stars with previously evaluated queries. The cache keys
+//! materialized star tables by their *spec* (labels, literals, bounds,
+//! directions — not pattern-node identities), counts hits with a time-decay
+//! factor, and evicts the least-hit entry when full.
+
+use crate::matcher::star::StarRow;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    rows: Arc<Vec<StarRow>>,
+    hits: f64,
+    last_tick: u64,
+}
+
+/// Counters exposed for the AnsW/AnsWnc ablation experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to materialize.
+    pub misses: u64,
+    /// Entries evicted by the least-hit policy.
+    pub evictions: u64,
+}
+
+/// A bounded star-table cache with least-hit replacement and hit decay.
+pub struct StarCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    decay: f64,
+}
+
+struct CacheInner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl StarCache {
+    /// Creates a cache holding at most `capacity` star tables. `decay` in
+    /// `(0, 1]` down-weights old hits per tick (1.0 disables decay).
+    pub fn new(capacity: usize, decay: f64) -> Self {
+        StarCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+            decay: decay.clamp(1e-6, 1.0),
+        }
+    }
+
+    /// Default sizing used by the algorithms: 4096 tables, decay 0.95.
+    pub fn default_sized() -> Self {
+        StarCache::new(4096, 0.95)
+    }
+
+    /// Looks up `key`, or materializes with `compute` and inserts.
+    pub fn get_or_compute<F>(&self, key: &str, compute: F) -> Arc<Vec<StarRow>>
+    where
+        F: FnOnce() -> Vec<StarRow>,
+    {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(key) {
+                // Decay the stored score to "now", then record the hit.
+                let age = (tick - e.last_tick) as i32;
+                e.hits = e.hits * self.decay.powi(age) + 1.0;
+                e.last_tick = tick;
+                let rows = Arc::clone(&e.rows);
+                inner.stats.hits += 1;
+                return rows;
+            }
+            inner.stats.misses += 1;
+        }
+        // Materialize outside the lock: star tables can be expensive.
+        let rows = Arc::new(compute());
+        let mut inner = self.inner.lock();
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(key) {
+            // Evict the entry with the smallest decayed score.
+            let victim = inner
+                .map
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    let sa = a.hits * self.decay.powi((tick - a.last_tick) as i32);
+                    let sb = b.hits * self.decay.powi((tick - b.last_tick) as i32);
+                    sa.partial_cmp(&sb).expect("scores are finite")
+                })
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                inner.map.remove(&k);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.entry(key.to_string()).or_insert(Entry {
+            rows: Arc::clone(&rows),
+            hits: 1.0,
+            last_tick: tick,
+        });
+        rows
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of cached tables.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (keeps counters).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::NodeId;
+
+    fn row(v: u32) -> StarRow {
+        StarRow {
+            center: NodeId(v),
+            leaf_matches: vec![],
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = StarCache::new(8, 1.0);
+        let a = c.get_or_compute("k1", || vec![row(1)]);
+        let b = c.get_or_compute("k1", || panic!("must hit"));
+        assert_eq!(a[0].center, b[0].center);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn least_hit_eviction() {
+        let c = StarCache::new(2, 1.0);
+        c.get_or_compute("hot", || vec![row(1)]);
+        c.get_or_compute("hot", || unreachable!());
+        c.get_or_compute("hot", || unreachable!());
+        c.get_or_compute("cold", || vec![row(2)]);
+        // Inserting a third key evicts "cold" (1 hit) not "hot" (3 hits).
+        c.get_or_compute("new", || vec![row(3)]);
+        assert_eq!(c.len(), 2);
+        let before = c.stats().misses;
+        c.get_or_compute("hot", || panic!("hot should have survived"));
+        assert_eq!(c.stats().misses, before);
+    }
+
+    #[test]
+    fn decay_prefers_recent() {
+        let c = StarCache::new(2, 0.5);
+        // "old" gets many early hits, then goes quiet.
+        for _ in 0..5 {
+            c.get_or_compute("old", || vec![row(1)]);
+        }
+        // "fresh" gets recent traffic.
+        for _ in 0..30 {
+            c.get_or_compute("fresh", || vec![row(2)]);
+        }
+        c.get_or_compute("new", || vec![row(3)]);
+        // "old"'s decayed score is tiny; it is the victim.
+        let misses = c.stats().misses;
+        c.get_or_compute("fresh", || panic!("fresh should survive"));
+        assert_eq!(c.stats().misses, misses);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(StarCache::new(64, 1.0));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let key = format!("k{}", (t + i) % 16);
+                    let rows = c.get_or_compute(&key, || vec![row(((t + i) % 16) as u32)]);
+                    // Every reader must see the value keyed content.
+                    assert_eq!(rows[0].center.0, ((t + i) % 16) as u32);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panic under contention");
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 200);
+        assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let c = StarCache::new(4, 1.0);
+        c.get_or_compute("a", std::vec::Vec::new);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Candidate computation: `V_u`, the nodes of `G` that can match a pattern
+//! node `u` (§2.1 — label equality with `⊥` as wildcard, plus all literals
+//! of `F_Q(u)` satisfied).
+
+use crate::pattern::{PatternQuery, QNodeId};
+use wqe_graph::{Graph, NodeId};
+
+/// True if `v` is a candidate of pattern node `u`.
+pub fn is_candidate(graph: &Graph, q: &PatternQuery, u: QNodeId, v: NodeId) -> bool {
+    let Some(node) = q.node(u) else {
+        return false;
+    };
+    if let Some(label) = node.label {
+        if graph.label(v) != label {
+            return false;
+        }
+    }
+    node.literals.iter().all(|l| l.eval(graph, v))
+}
+
+/// All candidates `V_u` of pattern node `u`, sorted by node id.
+///
+/// Labeled nodes scan the label index; wildcard nodes scan all of `V`.
+pub fn node_candidates(graph: &Graph, q: &PatternQuery, u: QNodeId) -> Vec<NodeId> {
+    let Some(node) = q.node(u) else {
+        return Vec::new();
+    };
+    let base: Vec<NodeId> = match node.label {
+        Some(label) => graph.nodes_with_label(label).to_vec(),
+        None => graph.node_ids().collect(),
+    };
+    if node.literals.is_empty() {
+        return base;
+    }
+    base.into_iter()
+        .filter(|&v| node.literals.iter().all(|l| l.eval(graph, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use wqe_graph::{product::product_graph, CmpOp};
+
+    #[test]
+    fn product_graph_focus_candidates() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let cell = g.schema().label_id("Cellphone");
+        let q = PatternQuery::new(cell, 4);
+        let cands = node_candidates(g, &q, q.focus());
+        assert_eq!(cands.len(), 6, "V_Cellphone should be P1..P6");
+    }
+
+    #[test]
+    fn literals_filter_candidates() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let cell = g.schema().label_id("Cellphone");
+        let price = g.schema().attr_id("Price").unwrap();
+        let mut q = PatternQuery::new(cell, 4);
+        q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840))
+            .unwrap();
+        let cands = node_candidates(g, &q, q.focus());
+        // P1 (840), P2 (900), P5 (850).
+        assert_eq!(cands.len(), 3);
+        assert!(cands.contains(&pg.phones[0]));
+        assert!(cands.contains(&pg.phones[1]));
+        assert!(cands.contains(&pg.phones[4]));
+    }
+
+    #[test]
+    fn wildcard_label_matches_everything() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let q = PatternQuery::new(None, 4);
+        assert_eq!(node_candidates(g, &q, q.focus()).len(), g.node_count());
+    }
+
+    #[test]
+    fn is_candidate_agrees_with_enumeration() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let brand = g.schema().attr_id("Brand").unwrap();
+        let mut q = PatternQuery::new(g.schema().label_id("Cellphone"), 4);
+        q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung"))
+            .unwrap();
+        let set = node_candidates(g, &q, q.focus());
+        for v in g.node_ids() {
+            assert_eq!(set.contains(&v), is_candidate(g, &q, q.focus(), v));
+        }
+        assert_eq!(set.len(), 5); // P6 is LG
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the star-view matcher: equivalence with the naive
+//! reference on random attributed graphs, and cache transparency across
+//! rewrite sequences.
+
+use crate::literal::Literal;
+use crate::matcher::{naive_evaluate, Matcher};
+use crate::ops::AtomicOp;
+use crate::pattern::{PatternQuery, QNodeId};
+use proptest::prelude::*;
+use wqe_graph::{AttrValue, CmpOp, Graph, GraphBuilder};
+use wqe_index::PllIndex;
+
+/// A random attributed digraph: `n` nodes over 3 labels with one numeric
+/// attribute `x` in 0..20, plus random edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..16).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n, 0..n), 2..(n * 2)),
+            proptest::collection::vec(0u8..3, n),
+            proptest::collection::vec(0i64..20, n),
+        )
+            .prop_map(move |(edges, labels, xs)| {
+                let mut b = GraphBuilder::new();
+                let ids: Vec<_> = (0..n)
+                    .map(|i| {
+                        b.add_node(
+                            &format!("L{}", labels[i]),
+                            [("x", AttrValue::Int(xs[i]))],
+                        )
+                    })
+                    .collect();
+                for (u, v) in edges {
+                    if u != v {
+                        b.add_edge(ids[u], ids[v], "e");
+                    }
+                }
+                b.finalize()
+            })
+    })
+}
+
+/// A random query over the graph's schema: 1–3 edges with bounds 1–2,
+/// random labels, and numeric literals on random nodes.
+fn arb_query(g: &Graph) -> impl Strategy<Value = PatternQuery> {
+    let label_count = g.schema().label_count() as u32;
+    let x = g.schema().attr_id("x").expect("x attr");
+    (
+        proptest::collection::vec((0u32..label_count, 1u32..3), 1..4),
+        proptest::collection::vec((0usize..4, 0u8..5, 0i64..20), 0..4),
+        0u32..label_count,
+    )
+        .prop_map(move |(spokes, lits, focus_label)| {
+            let mut q = PatternQuery::new(Some(wqe_graph::LabelId(focus_label)), 2);
+            let mut nodes = vec![q.focus()];
+            for (i, &(label, bound)) in spokes.iter().enumerate() {
+                let new = q.add_node(Some(wqe_graph::LabelId(label)));
+                // Alternate directions and attachment points.
+                let anchor = nodes[i % nodes.len()];
+                if i % 2 == 0 {
+                    let _ = q.add_edge(anchor, new, bound);
+                } else {
+                    let _ = q.add_edge(new, anchor, bound);
+                }
+                nodes.push(new);
+            }
+            for (node_ix, op_ix, c) in lits {
+                let u = nodes[node_ix % nodes.len()];
+                let op = CmpOp::ALL[op_ix as usize % 5];
+                let _ = q.add_literal(u, Literal::new(x, op, c));
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The star-view matcher agrees with the naive reference on arbitrary
+    /// graphs, bounds, and literal sets.
+    #[test]
+    fn star_matcher_equals_naive((g, q) in arb_graph().prop_flat_map(|g| {
+        let q = arb_query(&g);
+        (Just(g), q)
+    })) {
+        let oracle = PllIndex::build(&g);
+        let matcher = Matcher::new(&g, &oracle);
+        let ours = matcher.evaluate(&q);
+        let reference = naive_evaluate(&g, &oracle, &q);
+        prop_assert!(!ours.truncated);
+        prop_assert_eq!(ours.matches, reference, "query:\n{}", q.display(g.schema()));
+    }
+
+    /// Cache transparency: a matcher that has evaluated *other* rewrites
+    /// first returns exactly what a fresh matcher returns.
+    #[test]
+    fn cache_is_transparent((g, q) in arb_graph().prop_flat_map(|g| {
+        let q = arb_query(&g);
+        (Just(g), q)
+    })) {
+        let oracle = PllIndex::build(&g);
+        let warm = Matcher::new(&g, &oracle);
+        // Warm the cache with literal rewrites of the query.
+        let x = g.schema().attr_id("x").expect("x");
+        let focus = q.focus();
+        for c in [0i64, 5, 10, 15] {
+            let mut variant = q.clone();
+            let _ = variant.add_literal(focus, Literal::new(x, CmpOp::Ge, c));
+            warm.evaluate(&variant);
+        }
+        // Also evaluate edge-modified variants.
+        if let Some(e) = q.edges().first().copied() {
+            let mut variant = q.clone();
+            let _ = variant.remove_edge(e.from, e.to);
+            warm.evaluate(&variant);
+        }
+        let from_warm = warm.evaluate(&q).matches;
+        let fresh = Matcher::new(&g, &oracle).evaluate(&q).matches;
+        prop_assert_eq!(from_warm, fresh);
+    }
+
+    /// Applying a relaxation never shrinks and a refinement never grows
+    /// the answer, evaluated through the production matcher.
+    #[test]
+    fn operator_classes_are_monotone((g, q) in arb_graph().prop_flat_map(|g| {
+        let q = arb_query(&g);
+        (Just(g), q)
+    })) {
+        let oracle = PllIndex::build(&g);
+        let matcher = Matcher::new(&g, &oracle);
+        let before: std::collections::HashSet<_> =
+            matcher.evaluate(&q).matches.into_iter().collect();
+        let x = g.schema().attr_id("x").expect("x");
+        let focus = q.focus();
+
+        // A refinement: add a literal.
+        let mut refined = q.clone();
+        let add = AtomicOp::AddL {
+            node: focus,
+            lit: Literal::new(x, CmpOp::Ge, 10),
+        };
+        if add.apply(&mut refined).is_ok() {
+            let after: std::collections::HashSet<_> =
+                matcher.evaluate(&refined).matches.into_iter().collect();
+            prop_assert!(after.is_subset(&before));
+        }
+
+        // A relaxation: remove the first literal of the focus.
+        if let Some(lit) = q.node(focus).and_then(|n| n.literals.first().cloned()) {
+            let mut relaxed = q.clone();
+            AtomicOp::RmL { node: focus, lit }.apply(&mut relaxed).expect("applicable");
+            let after: std::collections::HashSet<_> =
+                matcher.evaluate(&relaxed).matches.into_iter().collect();
+            prop_assert!(before.is_subset(&after));
+        }
+
+        // A relaxation: grow the first edge's bound.
+        if let Some(e) = q.edges().iter().find(|e| e.bound < q.max_bound()).copied() {
+            let mut relaxed = q.clone();
+            AtomicOp::RxE {
+                from: e.from,
+                to: e.to,
+                old_bound: e.bound,
+                new_bound: e.bound + 1,
+            }
+            .apply(&mut relaxed)
+            .expect("applicable");
+            let after: std::collections::HashSet<_> =
+                matcher.evaluate(&relaxed).matches.into_iter().collect();
+            prop_assert!(before.is_subset(&after));
+        }
+    }
+}
+
+// Keep QNodeId import used in non-test builds of the module tree.
+#[allow(dead_code)]
+fn _types(_: QNodeId) {}

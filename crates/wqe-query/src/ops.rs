@@ -1,0 +1,753 @@
+//! The eight atomic rewrite operators of Table 1, their cost model, and
+//! sequence-level properties (canonicity, normal form — §4).
+
+use crate::literal::Literal;
+use crate::pattern::{PatternError, PatternQuery, QNodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use wqe_graph::{Graph, LabelId, Schema};
+
+/// Relaxation vs refinement (Table 1, "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Can only add matches.
+    Relax,
+    /// Can only remove matches.
+    Refine,
+}
+
+/// An atomic operator. The `Empty` operator (§2.2) is modeled by absence —
+/// algorithms simply do not apply anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AtomicOp {
+    /// `RmL(u, l)`: remove literal `l ∈ F_Q(u)`. Cost 1.
+    RmL {
+        /// Pattern node.
+        node: QNodeId,
+        /// Literal to remove.
+        lit: Literal,
+    },
+    /// `RmE((u,u'), b)`: remove the edge. Cost `1 + b/D(G)`.
+    RmE {
+        /// Source pattern node.
+        from: QNodeId,
+        /// Target pattern node.
+        to: QNodeId,
+        /// The edge's bound (for cost computation and applicability).
+        bound: u32,
+    },
+    /// `RxL(u.A op c, u.A op' c')`: relax a literal. Cost
+    /// `1 + |c'-c|/range(A)`.
+    RxL {
+        /// Pattern node.
+        node: QNodeId,
+        /// The literal being relaxed.
+        old: Literal,
+        /// Its strictly weaker replacement.
+        new: Literal,
+    },
+    /// `RxE((u,u'), b, b')` with `b' > b`: relax an edge bound. Cost
+    /// `1 + |b-b'|/D(G)`.
+    RxE {
+        /// Source pattern node.
+        from: QNodeId,
+        /// Target pattern node.
+        to: QNodeId,
+        /// Current bound.
+        old_bound: u32,
+        /// New (larger) bound.
+        new_bound: u32,
+    },
+    /// `AddL(u.A op c)`: add a literal. Cost 1.
+    AddL {
+        /// Pattern node.
+        node: QNodeId,
+        /// Literal to add.
+        lit: Literal,
+    },
+    /// `AddE((u,u'), b)`: add an edge between existing nodes. Cost
+    /// `1 + b/D(G)`.
+    AddE {
+        /// Source pattern node.
+        from: QNodeId,
+        /// Target pattern node.
+        to: QNodeId,
+        /// Path bound.
+        bound: u32,
+    },
+    /// `AddE` variant that introduces a *new* pattern node (appendix B's
+    /// GenRf rule 2) and connects it to `anchor`. Cost `1 + b/D(G)`.
+    AddNodeEdge {
+        /// Existing node the new node attaches to.
+        anchor: QNodeId,
+        /// Label of the new node (`None` = wildcard).
+        label: Option<LabelId>,
+        /// Path bound of the new edge.
+        bound: u32,
+        /// Edge direction: `true` for `anchor -> new`, else `new -> anchor`.
+        outgoing: bool,
+    },
+    /// `RfL(u.A op c, u.A op' c')`: refine a literal. Cost
+    /// `1 + |c'-c|/range(A)`.
+    RfL {
+        /// Pattern node.
+        node: QNodeId,
+        /// Literal being refined.
+        old: Literal,
+        /// Its strictly stronger replacement.
+        new: Literal,
+    },
+    /// `RfE((u,u'), b, b')` with `b' < b`: tighten an edge bound. Cost
+    /// `1 + |b-b'|/D(G)`.
+    RfE {
+        /// Source pattern node.
+        from: QNodeId,
+        /// Target pattern node.
+        to: QNodeId,
+        /// Current bound.
+        old_bound: u32,
+        /// New (smaller) bound.
+        new_bound: u32,
+    },
+}
+
+/// Why an operator could not be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplyError {
+    /// Structural failure from the pattern.
+    Pattern(PatternError),
+    /// The operator's preconditions do not hold on this query.
+    NotApplicable(&'static str),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::Pattern(p) => write!(f, "pattern error: {p}"),
+            ApplyError::NotApplicable(why) => write!(f, "operator not applicable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<PatternError> for ApplyError {
+    fn from(p: PatternError) -> Self {
+        ApplyError::Pattern(p)
+    }
+}
+
+/// The query component an operator touches — used for canonicity (§4: a
+/// canonical sequence never relaxes and refines the *same* literal or edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Touched {
+    /// A literal slot identified by `(node, attribute)`.
+    Lit(QNodeId, u32),
+    /// An edge identified by its endpoints.
+    Edge(QNodeId, QNodeId),
+}
+
+impl AtomicOp {
+    /// Relaxation or refinement.
+    pub fn class(&self) -> OpClass {
+        match self {
+            AtomicOp::RmL { .. }
+            | AtomicOp::RmE { .. }
+            | AtomicOp::RxL { .. }
+            | AtomicOp::RxE { .. } => OpClass::Relax,
+            AtomicOp::AddL { .. }
+            | AtomicOp::AddE { .. }
+            | AtomicOp::AddNodeEdge { .. }
+            | AtomicOp::RfL { .. }
+            | AtomicOp::RfE { .. } => OpClass::Refine,
+        }
+    }
+
+    /// Unit cost `c(o) ∈ [1, 2]` per Table 1. Literal modifications are
+    /// normalized by `range(A)` over `G`'s active domain; edge-bound changes
+    /// by the diameter `D(G)`. Categorical literal changes carry no relative
+    /// term (picky generation never produces them; `RmL` + `AddL` are used
+    /// instead).
+    pub fn cost(&self, graph: &Graph) -> f64 {
+        let d = graph.diameter() as f64;
+        match self {
+            AtomicOp::RmL { .. } | AtomicOp::AddL { .. } => 1.0,
+            AtomicOp::RmE { bound, .. } => 1.0 + (*bound as f64 / d).min(1.0),
+            AtomicOp::AddE { bound, .. } | AtomicOp::AddNodeEdge { bound, .. } => {
+                1.0 + (*bound as f64 / d).min(1.0)
+            }
+            AtomicOp::RxE {
+                old_bound,
+                new_bound,
+                ..
+            }
+            | AtomicOp::RfE {
+                old_bound,
+                new_bound,
+                ..
+            } => 1.0 + ((*new_bound as f64 - *old_bound as f64).abs() / d).min(1.0),
+            AtomicOp::RxL { old, new, .. } | AtomicOp::RfL { old, new, .. } => {
+                let delta = old
+                    .value
+                    .numeric_distance(&new.value)
+                    .map(|diff| (diff / graph.attr_range(old.attr)).min(1.0))
+                    .unwrap_or(0.0);
+                1.0 + delta
+            }
+        }
+    }
+
+    /// The component this operator touches (for canonicity tracking).
+    pub fn touched(&self) -> Touched {
+        match self {
+            AtomicOp::RmL { node, lit } | AtomicOp::AddL { node, lit } => {
+                Touched::Lit(*node, lit.attr.0)
+            }
+            AtomicOp::RxL { node, old, .. } | AtomicOp::RfL { node, old, .. } => {
+                Touched::Lit(*node, old.attr.0)
+            }
+            AtomicOp::RmE { from, to, .. }
+            | AtomicOp::AddE { from, to, .. }
+            | AtomicOp::RxE { from, to, .. }
+            | AtomicOp::RfE { from, to, .. } => Touched::Edge(*from, *to),
+            AtomicOp::AddNodeEdge { anchor, .. } => Touched::Edge(*anchor, *anchor),
+        }
+    }
+
+    /// Checks applicability *without* mutating (§2.2: `Q ⊕ {o}` must be a
+    /// pattern query and differ from `Q`).
+    pub fn applicable(&self, q: &PatternQuery) -> Result<(), ApplyError> {
+        match self {
+            AtomicOp::RmL { node, lit } => {
+                let n = q
+                    .node(*node)
+                    .ok_or(ApplyError::Pattern(PatternError::NoSuchNode(*node)))?;
+                if n.literals.contains(lit) {
+                    Ok(())
+                } else {
+                    Err(ApplyError::NotApplicable("RmL: literal not present"))
+                }
+            }
+            AtomicOp::RmE { from, to, .. } => {
+                if q.edge_between(*from, *to).is_some() {
+                    Ok(())
+                } else {
+                    Err(ApplyError::NotApplicable("RmE: edge not present"))
+                }
+            }
+            AtomicOp::RxL { node, old, new } => {
+                let n = q
+                    .node(*node)
+                    .ok_or(ApplyError::Pattern(PatternError::NoSuchNode(*node)))?;
+                if !n.literals.contains(old) {
+                    return Err(ApplyError::NotApplicable("RxL: literal not present"));
+                }
+                if old.strictly_relaxed_by(new) {
+                    Ok(())
+                } else {
+                    Err(ApplyError::NotApplicable("RxL: not a strict relaxation"))
+                }
+            }
+            AtomicOp::RxE {
+                from,
+                to,
+                old_bound,
+                new_bound,
+            } => {
+                let e = q
+                    .edge_between(*from, *to)
+                    .ok_or(ApplyError::NotApplicable("RxE: edge not present"))?;
+                if e.bound != *old_bound {
+                    return Err(ApplyError::NotApplicable("RxE: stale bound"));
+                }
+                if *new_bound > *old_bound && *new_bound <= q.max_bound() {
+                    Ok(())
+                } else {
+                    Err(ApplyError::NotApplicable("RxE: bound must strictly grow within b_m"))
+                }
+            }
+            AtomicOp::AddL { node, lit } => {
+                let n = q
+                    .node(*node)
+                    .ok_or(ApplyError::Pattern(PatternError::NoSuchNode(*node)))?;
+                if n.literals
+                    .iter()
+                    .any(|l| l.attr == lit.attr && l.op == lit.op && l.value == lit.value)
+                {
+                    Err(ApplyError::NotApplicable("AddL: duplicate literal"))
+                } else {
+                    Ok(())
+                }
+            }
+            AtomicOp::AddE { from, to, bound } => {
+                if *from == *to {
+                    return Err(ApplyError::Pattern(PatternError::SelfLoop(*from)));
+                }
+                if q.node(*from).is_none() {
+                    return Err(ApplyError::Pattern(PatternError::NoSuchNode(*from)));
+                }
+                if q.node(*to).is_none() {
+                    return Err(ApplyError::Pattern(PatternError::NoSuchNode(*to)));
+                }
+                if *bound == 0 || *bound > q.max_bound() {
+                    return Err(ApplyError::Pattern(PatternError::BadBound(*bound)));
+                }
+                if q.edge_between(*from, *to).is_some() {
+                    Err(ApplyError::NotApplicable("AddE: edge already present"))
+                } else {
+                    Ok(())
+                }
+            }
+            AtomicOp::AddNodeEdge { anchor, bound, .. } => {
+                if q.node(*anchor).is_none() {
+                    return Err(ApplyError::Pattern(PatternError::NoSuchNode(*anchor)));
+                }
+                if *bound == 0 || *bound > q.max_bound() {
+                    return Err(ApplyError::Pattern(PatternError::BadBound(*bound)));
+                }
+                Ok(())
+            }
+            AtomicOp::RfL { node, old, new } => {
+                let n = q
+                    .node(*node)
+                    .ok_or(ApplyError::Pattern(PatternError::NoSuchNode(*node)))?;
+                if !n.literals.contains(old) {
+                    return Err(ApplyError::NotApplicable("RfL: literal not present"));
+                }
+                if old.strictly_refined_by(new) {
+                    Ok(())
+                } else {
+                    Err(ApplyError::NotApplicable("RfL: not a strict refinement"))
+                }
+            }
+            AtomicOp::RfE {
+                from,
+                to,
+                old_bound,
+                new_bound,
+            } => {
+                let e = q
+                    .edge_between(*from, *to)
+                    .ok_or(ApplyError::NotApplicable("RfE: edge not present"))?;
+                if e.bound != *old_bound {
+                    return Err(ApplyError::NotApplicable("RfE: stale bound"));
+                }
+                if *new_bound >= 1 && *new_bound < *old_bound {
+                    Ok(())
+                } else {
+                    Err(ApplyError::NotApplicable("RfE: bound must strictly shrink, >= 1"))
+                }
+            }
+        }
+    }
+
+    /// Applies the operator in place. Returns the id of a freshly created
+    /// node for [`AtomicOp::AddNodeEdge`], `None` otherwise.
+    pub fn apply(&self, q: &mut PatternQuery) -> Result<Option<QNodeId>, ApplyError> {
+        self.applicable(q)?;
+        match self {
+            AtomicOp::RmL { node, lit } => {
+                q.remove_literal(*node, lit)?;
+                Ok(None)
+            }
+            AtomicOp::RmE { from, to, .. } => {
+                q.remove_edge(*from, *to)?;
+                Ok(None)
+            }
+            AtomicOp::RxL { node, old, new } | AtomicOp::RfL { node, old, new } => {
+                q.replace_literal(*node, old, new.clone())?;
+                Ok(None)
+            }
+            AtomicOp::RxE {
+                from, to, new_bound, ..
+            }
+            | AtomicOp::RfE {
+                from, to, new_bound, ..
+            } => {
+                q.set_edge_bound(*from, *to, *new_bound)?;
+                Ok(None)
+            }
+            AtomicOp::AddL { node, lit } => {
+                q.add_literal(*node, lit.clone())?;
+                Ok(None)
+            }
+            AtomicOp::AddE { from, to, bound } => {
+                q.add_edge(*from, *to, *bound)?;
+                Ok(None)
+            }
+            AtomicOp::AddNodeEdge {
+                anchor,
+                label,
+                bound,
+                outgoing,
+            } => {
+                let new = q.add_node(*label);
+                if *outgoing {
+                    q.add_edge(*anchor, new, *bound)?;
+                } else {
+                    q.add_edge(new, *anchor, *bound)?;
+                }
+                Ok(Some(new))
+            }
+        }
+    }
+
+    /// Human-readable rendering.
+    pub fn display(&self, schema: &Schema) -> String {
+        match self {
+            AtomicOp::RmL { node, lit } => {
+                format!("RmL(u{}, {})", node.0, lit.display(schema))
+            }
+            AtomicOp::RmE { from, to, bound } => {
+                format!("RmE((u{}, u{}), {bound})", from.0, to.0)
+            }
+            AtomicOp::RxL { node, old, new } => format!(
+                "RxL(u{}.{} -> {})",
+                node.0,
+                old.display(schema),
+                new.display(schema)
+            ),
+            AtomicOp::RxE {
+                from,
+                to,
+                old_bound,
+                new_bound,
+            } => format!("RxE((u{}, u{}), {old_bound}, {new_bound})", from.0, to.0),
+            AtomicOp::AddL { node, lit } => {
+                format!("AddL(u{}, {})", node.0, lit.display(schema))
+            }
+            AtomicOp::AddE { from, to, bound } => {
+                format!("AddE((u{}, u{}), {bound})", from.0, to.0)
+            }
+            AtomicOp::AddNodeEdge {
+                anchor,
+                label,
+                bound,
+                outgoing,
+            } => {
+                let l = label
+                    .map(|l| schema.label_name(l).to_string())
+                    .unwrap_or_else(|| "⊥".into());
+                if *outgoing {
+                    format!("AddE((u{}, new:{l}), {bound})", anchor.0)
+                } else {
+                    format!("AddE((new:{l}, u{}), {bound})", anchor.0)
+                }
+            }
+            AtomicOp::RfL { node, old, new } => format!(
+                "RfL(u{}.{} -> {})",
+                node.0,
+                old.display(schema),
+                new.display(schema)
+            ),
+            AtomicOp::RfE {
+                from,
+                to,
+                old_bound,
+                new_bound,
+            } => format!("RfE((u{}, u{}), {old_bound}, {new_bound})", from.0, to.0),
+        }
+    }
+}
+
+/// Total cost `c(O) = Σ c(o)` of an operator sequence.
+pub fn sequence_cost(ops: &[AtomicOp], graph: &Graph) -> f64 {
+    ops.iter().map(|o| o.cost(graph)).sum()
+}
+
+/// True if the sequence is *canonical* (§4): no literal slot or edge is both
+/// relaxed/removed and refined/added along the sequence.
+pub fn is_canonical(ops: &[AtomicOp]) -> bool {
+    let mut relaxed: HashSet<Touched> = HashSet::new();
+    let mut refined: HashSet<Touched> = HashSet::new();
+    for op in ops {
+        let t = op.touched();
+        match op.class() {
+            OpClass::Relax => {
+                if refined.contains(&t) {
+                    return false;
+                }
+                relaxed.insert(t);
+            }
+            OpClass::Refine => {
+                if relaxed.contains(&t) {
+                    return false;
+                }
+                refined.insert(t);
+            }
+        }
+    }
+    true
+}
+
+/// True if the sequence is in *normal form* (§4): all relaxations precede
+/// all refinements.
+pub fn is_normal_form(ops: &[AtomicOp]) -> bool {
+    let mut seen_refine = false;
+    for op in ops {
+        match op.class() {
+            OpClass::Refine => seen_refine = true,
+            OpClass::Relax if seen_refine => return false,
+            OpClass::Relax => {}
+        }
+    }
+    true
+}
+
+/// Transforms a canonical sequence into an equivalent normal form
+/// (constructive proof of Lemma 4.1): relaxations first — ordered
+/// `RxL, RxE, RmL` then `RmE` — followed by refinements ordered
+/// `AddE/AddNodeEdge` then `AddL, RfE, RfL`, which preserves applicability.
+pub fn normalize(ops: &[AtomicOp]) -> Vec<AtomicOp> {
+    let mut relax: Vec<AtomicOp> = Vec::new();
+    let mut rme: Vec<AtomicOp> = Vec::new();
+    let mut adde: Vec<AtomicOp> = Vec::new();
+    let mut refine: Vec<AtomicOp> = Vec::new();
+    for op in ops {
+        match op {
+            AtomicOp::RmE { .. } => rme.push(op.clone()),
+            AtomicOp::RxL { .. } | AtomicOp::RxE { .. } | AtomicOp::RmL { .. } => {
+                relax.push(op.clone())
+            }
+            AtomicOp::AddE { .. } | AtomicOp::AddNodeEdge { .. } => adde.push(op.clone()),
+            AtomicOp::AddL { .. } | AtomicOp::RfE { .. } | AtomicOp::RfL { .. } => {
+                refine.push(op.clone())
+            }
+        }
+    }
+    relax.extend(rme);
+    relax.extend(adde);
+    relax.extend(refine);
+    relax
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use wqe_graph::{AttrId, AttrValue, CmpOp, GraphBuilder, LabelId};
+
+    fn test_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("N", [("x", AttrValue::Int(0))]);
+        let c = b.add_node("N", [("x", AttrValue::Int(100))]);
+        b.add_edge(a, c, "e");
+        b.set_diameter(10);
+        b.finalize()
+    }
+
+    fn lit(v: i64) -> Literal {
+        Literal::new(AttrId(0), CmpOp::Ge, v)
+    }
+
+    fn base_query() -> PatternQuery {
+        let mut q = PatternQuery::new(Some(LabelId(0)), 4);
+        let f = q.focus();
+        q.add_literal(f, lit(50)).unwrap();
+        let a = q.add_node(Some(LabelId(1)));
+        q.add_edge(f, a, 2).unwrap();
+        q
+    }
+
+    #[test]
+    fn cost_model_matches_table1() {
+        let g = test_graph(); // D(G)=10, range(x)=100
+        let q = base_query();
+        let f = q.focus();
+        assert_eq!(AtomicOp::RmL { node: f, lit: lit(50) }.cost(&g), 1.0);
+        assert_eq!(
+            AtomicOp::RmE { from: f, to: QNodeId(1), bound: 2 }.cost(&g),
+            1.2
+        );
+        let rxl = AtomicOp::RxL { node: f, old: lit(50), new: lit(30) };
+        assert!((rxl.cost(&g) - 1.2).abs() < 1e-9); // 1 + 20/100
+        let rxe = AtomicOp::RxE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 4 };
+        assert!((rxe.cost(&g) - 1.2).abs() < 1e-9); // 1 + 2/10
+        assert_eq!(AtomicOp::AddL { node: f, lit: lit(60) }.cost(&g), 1.0);
+    }
+
+    #[test]
+    fn cost_clamped_to_two() {
+        let g = test_graph();
+        let q = base_query();
+        let f = q.focus();
+        // Huge literal jump: relative term capped at 1.
+        let op = AtomicOp::RxL { node: f, old: lit(50), new: lit(-100_000) };
+        assert_eq!(op.cost(&g), 2.0);
+    }
+
+    #[test]
+    fn rxl_requires_strict_relaxation() {
+        let mut q = base_query();
+        let f = q.focus();
+        let bad = AtomicOp::RxL { node: f, old: lit(50), new: lit(60) };
+        assert!(matches!(bad.applicable(&q), Err(ApplyError::NotApplicable(_))));
+        let good = AtomicOp::RxL { node: f, old: lit(50), new: lit(40) };
+        assert!(good.apply(&mut q).is_ok());
+        assert!(q.node(f).unwrap().literals.contains(&lit(40)));
+    }
+
+    #[test]
+    fn rfl_requires_strict_refinement() {
+        let mut q = base_query();
+        let f = q.focus();
+        let bad = AtomicOp::RfL { node: f, old: lit(50), new: lit(40) };
+        assert!(bad.applicable(&q).is_err());
+        let good = AtomicOp::RfL { node: f, old: lit(50), new: lit(70) };
+        assert!(good.apply(&mut q).is_ok());
+    }
+
+    #[test]
+    fn rme_prunes_and_rml_checks_presence() {
+        let mut q = base_query();
+        let f = q.focus();
+        let op = AtomicOp::RmE { from: f, to: QNodeId(1), bound: 2 };
+        op.apply(&mut q).unwrap();
+        assert_eq!(q.node_count(), 1);
+        // Removing a literal that is absent is not applicable (§2.2).
+        let rml = AtomicOp::RmL { node: f, lit: lit(99) };
+        assert!(rml.applicable(&q).is_err());
+    }
+
+    #[test]
+    fn rxe_respects_bm() {
+        let q = base_query(); // b_m = 4
+        let f = q.focus();
+        let ok = AtomicOp::RxE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 4 };
+        assert!(ok.applicable(&q).is_ok());
+        let too_big = AtomicOp::RxE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 5 };
+        assert!(too_big.applicable(&q).is_err());
+    }
+
+    #[test]
+    fn rfe_floor_one() {
+        let q = base_query();
+        let f = q.focus();
+        let ok = AtomicOp::RfE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 1 };
+        assert!(ok.applicable(&q).is_ok());
+        let zero = AtomicOp::RfE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 0 };
+        assert!(zero.applicable(&q).is_err());
+    }
+
+    #[test]
+    fn add_node_edge_creates_node() {
+        let mut q = base_query();
+        let f = q.focus();
+        let op = AtomicOp::AddNodeEdge {
+            anchor: f,
+            label: Some(LabelId(5)),
+            bound: 1,
+            outgoing: true,
+        };
+        let new = op.apply(&mut q).unwrap().unwrap();
+        assert_eq!(q.node(new).unwrap().label, Some(LabelId(5)));
+        assert!(q.edge_between(f, new).is_some());
+    }
+
+    #[test]
+    fn canonicity_detects_cancel_out() {
+        let f = QNodeId(0);
+        // o6 = RmL(Display), o7 = AddL(Display): cancel out (Example 4.2).
+        let o6 = AtomicOp::RmL { node: f, lit: lit(1) };
+        let o7 = AtomicOp::AddL { node: f, lit: lit(1) };
+        assert!(!is_canonical(&[o6.clone(), o7.clone()]));
+        assert!(!is_canonical(&[o7, o6.clone()]));
+        assert!(is_canonical(&[o6]));
+    }
+
+    #[test]
+    fn normal_form_check_and_transform() {
+        let f = QNodeId(0);
+        let relax = AtomicOp::RmL { node: f, lit: lit(1) };
+        let refine = AtomicOp::AddL { node: f, lit: Literal::new(AttrId(1), CmpOp::Ge, 2) };
+        assert!(is_normal_form(&[relax.clone(), refine.clone()]));
+        assert!(!is_normal_form(&[refine.clone(), relax.clone()]));
+        let normalized = normalize(&[refine.clone(), relax.clone()]);
+        assert!(is_normal_form(&normalized));
+        assert_eq!(normalized.len(), 2);
+        assert_eq!(normalized[0], relax);
+    }
+
+    #[test]
+    fn sequence_cost_sums() {
+        let g = test_graph();
+        let q = base_query();
+        let f = q.focus();
+        let ops = vec![
+            AtomicOp::RmL { node: f, lit: lit(50) },
+            AtomicOp::RmE { from: f, to: QNodeId(1), bound: 2 },
+        ];
+        assert!((sequence_cost(&ops, &g) - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_equivalence_example_3_1() {
+        // Reproduce Example 3.1's cost arithmetic on the product graph.
+        let pg = wqe_graph::product::product_graph();
+        let g = &pg.graph;
+        let price = g.schema().attr_id("Price").unwrap();
+        let ram = g.schema().attr_id("RAM").unwrap();
+        let q = PatternQuery::new(g.schema().label_id("Cellphone"), 4);
+        let f = q.focus();
+        let o3 = AtomicOp::RxL {
+            node: f,
+            old: Literal::new(price, CmpOp::Ge, 840),
+            new: Literal::new(price, CmpOp::Ge, 790),
+        };
+        assert!((o3.cost(g) - (1.0 + 50.0 / 150.0)).abs() < 1e-9);
+        let o4 = AtomicOp::RxL {
+            node: f,
+            old: Literal::new(price, CmpOp::Ge, 840),
+            new: Literal::new(price, CmpOp::Ge, 750),
+        };
+        assert!((o4.cost(g) - 1.6).abs() < 1e-9);
+        let o5 = AtomicOp::RfL {
+            node: f,
+            old: Literal::new(ram, CmpOp::Ge, 4),
+            new: Literal::new(ram, CmpOp::Ge, 6),
+        };
+        assert!((o5.cost(g) - 2.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use crate::literal::Literal;
+    use wqe_graph::{AttrId, AttrValue, CmpOp};
+
+    #[test]
+    fn atomic_op_serde_roundtrip() {
+        let ops = vec![
+            AtomicOp::RmL {
+                node: QNodeId(0),
+                lit: Literal::new(AttrId(1), CmpOp::Ge, 5),
+            },
+            AtomicOp::RxE {
+                from: QNodeId(0),
+                to: QNodeId(2),
+                old_bound: 1,
+                new_bound: 2,
+            },
+            AtomicOp::AddNodeEdge {
+                anchor: QNodeId(0),
+                label: Some(wqe_graph::LabelId(3)),
+                bound: 2,
+                outgoing: false,
+            },
+            AtomicOp::RfL {
+                node: QNodeId(1),
+                old: Literal::new(AttrId(0), CmpOp::Le, AttrValue::Float(2.5)),
+                new: Literal::new(AttrId(0), CmpOp::Le, AttrValue::Float(1.5)),
+            },
+        ];
+        let json = serde_json::to_string(&ops).expect("serialize");
+        let back: Vec<AtomicOp> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, ops);
+        // Classes and touch-points survive.
+        for (a, b) in ops.iter().zip(&back) {
+            assert_eq!(a.class(), b.class());
+            assert_eq!(a.touched(), b.touched());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Why-Empty debugging (§6.1) — the paper's second case study (Fig. 11,
+//! `Q_b`): a query returns *nothing*; the user names one product she knows
+//! should match, and `AnsWE` finds the cheapest removal-only repair.
+//!
+//! ```text
+//! cargo run --release --example why_empty_debugging
+//! ```
+
+use wqe::core::engine::WqeEngine;
+use wqe::core::paper::{paper_exemplar, paper_query};
+use wqe::core::session::{WhyQuestion, WqeConfig};
+use wqe::graph::product::{attrs, product_graph};
+use wqe::graph::CmpOp;
+use wqe::index::PllIndex;
+use wqe::query::Literal;
+
+fn main() {
+    let pg = product_graph();
+    let g = &pg.graph;
+    let s = g.schema();
+    let price = s.attr_id(attrs::PRICE).unwrap();
+    let name_attr = s.attr_id(attrs::NAME).unwrap();
+
+    // Over-constrained query: Samsung phones >= $880 — excludes everything
+    // the exemplar wants.
+    let mut q = paper_query(g);
+    q.replace_literal(
+        q.focus(),
+        &Literal::new(price, CmpOp::Ge, 840),
+        Literal::new(price, CmpOp::Ge, 880),
+    )
+    .unwrap();
+    println!("over-constrained query:\n{}", q.display(s));
+
+    let question = WhyQuestion {
+        query: q,
+        exemplar: paper_exemplar(g),
+    };
+    let oracle = PllIndex::build(g);
+    let engine = WqeEngine::new(
+        g,
+        &oracle,
+        question,
+        WqeConfig {
+            budget: 3.0,
+            ..Default::default()
+        },
+    );
+
+    let eval = engine.evaluate_original();
+    println!(
+        "matches: {:?}; relevant matches: {:?}  (why empty?)\n",
+        eval.outcome.matches, eval.relevance.rm
+    );
+
+    let report = engine.answer_why_empty();
+    match report.best {
+        Some(best) => {
+            println!("AnsWE repair (cost {:.2}):", best.cost);
+            for op in &best.ops {
+                println!("  {}", op.display(s));
+            }
+            let names: Vec<String> = best
+                .matches
+                .iter()
+                .map(|&v| {
+                    g.attr(v, name_attr)
+                        .map(|n| n.to_string())
+                        .unwrap_or_default()
+                })
+                .collect();
+            println!("repaired answers: [{}]", names.join(", "));
+            // Compare against the general algorithm: AnsW can spend the
+            // budget on non-removal operators too.
+            let full = engine.answer();
+            if let Some(fb) = full.best {
+                println!(
+                    "\n(for reference, AnsW reaches closeness {:.3} with {} ops)",
+                    fb.closeness,
+                    fb.ops.len()
+                );
+            }
+        }
+        None => println!("no removal-only repair within budget"),
+    }
+}

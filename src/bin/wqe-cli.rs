@@ -1,0 +1,317 @@
+//! `wqe-cli` — command-line access to the why-question engine.
+//!
+//! ```text
+//! wqe-cli stats  <graph.jsonl>
+//! wqe-cli match  <graph.jsonl> <question.json>          # evaluate Q only
+//! wqe-cli why    <graph.jsonl> <question.json> [opts]   # suggest rewrites
+//! wqe-cli gen    <preset> <scale> <seed> <out.jsonl>    # synthetic data
+//! wqe-cli demo                                          # built-in Fig. 1
+//! ```
+//!
+//! `why` options: `--budget B` (default 3), `--top-k K`,
+//! `--algo answ|heu|whymany|whyempty|fm`, `--beam K`, `--lambda X`,
+//! `--theta X`, `--time-limit MS`.
+//!
+//! The question file holds `{"query": ..., "exemplar": ...}` in the format
+//! documented in `wqe_core::spec`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use wqe::core::engine::WqeEngine;
+use wqe::core::session::WqeConfig;
+use wqe::core::spec::parse_question;
+use wqe::graph::{read_jsonl, write_jsonl, Graph, NodeId};
+use wqe::index::HybridOracle;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("match") => cmd_match(&args[1..]),
+        Some("why") => cmd_why(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: wqe-cli <stats|match|why|gen|demo> ...\n\
+                 run `wqe-cli why graph.jsonl question.json --budget 3` to\n\
+                 get query-rewrite suggestions; see crate docs for formats."
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Loads a graph from `graph.jsonl`, or from a TSV pair when given
+/// `nodes.tsv,edges.tsv`.
+fn load_graph(path: &str) -> Result<Graph, String> {
+    if let Some((npath, epath)) = path.split_once(',') {
+        let n = File::open(npath).map_err(|e| format!("cannot open {npath}: {e}"))?;
+        let e = File::open(epath).map_err(|e| format!("cannot open {epath}: {e}"))?;
+        return wqe::graph::read_tsv(BufReader::new(n), BufReader::new(e))
+            .map_err(|e| format!("cannot parse tsv pair: {e}"));
+    }
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_jsonl(BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_question(graph: &Graph, path: &str) -> Result<wqe::core::WhyQuestion, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("invalid json in {path}: {e}"))?;
+    parse_question(graph, &json).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: wqe-cli stats <graph.jsonl>");
+        return 2;
+    };
+    match load_graph(path) {
+        Ok(g) => {
+            let s = g.stats();
+            println!(
+                "nodes: {}\nedges: {}\nlabels: {}\nattributes: {}\navg attrs/node: {:.2}\ndiameter (est.): {}",
+                s.nodes, s.edges, s.labels, s.attributes, s.avg_attrs_per_node, s.diameter_estimate
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+fn cmd_match(args: &[String]) -> i32 {
+    let (Some(gpath), Some(qpath)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: wqe-cli match <graph.jsonl> <question.json>");
+        return 2;
+    };
+    let run = || -> Result<(), String> {
+        let g = load_graph(gpath)?;
+        let wq = load_question(&g, qpath)?;
+        let oracle = HybridOracle::default_for(&g, wq.query.max_bound());
+        let matcher = wqe::query::Matcher::new(&g, &oracle);
+        let out = matcher.evaluate(&wq.query);
+        println!("query:\n{}", wq.query.display(g.schema()));
+        println!("{} match(es):", out.matches.len());
+        for v in out.matches {
+            println!("  {}", describe(&g, v));
+        }
+        Ok(())
+    };
+    report(run())
+}
+
+fn cmd_why(args: &[String]) -> i32 {
+    let (Some(gpath), Some(qpath)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: wqe-cli why <graph.jsonl> <question.json> [--budget B] [--algo A] ...");
+        return 2;
+    };
+    let mut config = WqeConfig::default();
+    let mut algo = "answ".to_string();
+    let mut beam = 3usize;
+    let mut dot_out: Option<String> = None;
+    let mut json_out = false;
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).cloned();
+        let need = |what: &str| -> String {
+            val.clone().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--budget" => config.budget = need("a number").parse().unwrap_or(3.0),
+            "--top-k" => config.top_k = need("an int").parse().unwrap_or(1),
+            "--lambda" => config.closeness.lambda = need("a number").parse().unwrap_or(1.0),
+            "--theta" => config.closeness.theta = need("a number").parse().unwrap_or(1.0),
+            "--time-limit" => {
+                config.time_limit_ms = Some(need("ms").parse().unwrap_or(10_000))
+            }
+            "--beam" => beam = need("an int").parse().unwrap_or(3),
+            "--algo" => algo = need("a name"),
+            "--dot" => dot_out = Some(need("a path")),
+            "--json" => {
+                json_out = true;
+                i -= 1; // boolean flag, no value
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    let run = || -> Result<(), String> {
+        let g = load_graph(gpath)?;
+        let wq = load_question(&g, qpath)?;
+        let oracle = HybridOracle::default_for(&g, wq.query.max_bound());
+        let engine = WqeEngine::new(&g, &oracle, wq, config);
+        let original = engine.evaluate_original();
+        println!(
+            "Q(G): {} matches ({} relevant, {} irrelevant); cl = {:.3}, cl* = {:.3}",
+            original.outcome.matches.len(),
+            original.relevance.rm.len(),
+            original.relevance.im.len(),
+            original.closeness,
+            engine.session().cl_star
+        );
+        let report = match algo.as_str() {
+            "answ" => engine.answer(),
+            "heu" => engine.answer_heuristic(beam),
+            "whymany" => engine.answer_why_many(),
+            "whyempty" => engine.answer_why_empty(),
+            "fm" => engine.answer_baseline(),
+            other => return Err(format!("unknown algorithm {other:?}")),
+        };
+        let results = if report.top_k.is_empty() {
+            report.best.clone().into_iter().collect()
+        } else {
+            report.top_k.clone()
+        };
+        if results.is_empty() {
+            println!("no rewrite found within budget");
+            return Ok(());
+        }
+        for (rank, best) in results.iter().enumerate() {
+            println!(
+                "\n#{} rewrite (closeness {:.3}, cost {:.2}, satisfies: {}):",
+                rank + 1,
+                best.closeness,
+                best.cost,
+                best.satisfies
+            );
+            print!("{}", best.query.display(g.schema()));
+            for op in &best.ops {
+                println!("  op: {}", op.display(g.schema()));
+            }
+            println!("  answers:");
+            for &v in &best.matches {
+                println!("    {}", describe(&g, v));
+            }
+        }
+        if json_out {
+            let payload: Vec<serde_json::Value> = results
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "closeness": r.closeness,
+                        "cost": r.cost,
+                        "satisfies": r.satisfies,
+                        "operators": r
+                            .ops
+                            .iter()
+                            .map(|o| o.display(g.schema()))
+                            .collect::<Vec<_>>(),
+                        "matches": r.matches.iter().map(|v| v.0).collect::<Vec<_>>(),
+                    })
+                })
+                .collect();
+            println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+        }
+        if let Some(best) = results.first() {
+            if let Some(table) = engine.explain(best) {
+                println!("\nlineage:");
+                print!("{}", table.render(g.schema(), |v| describe(&g, v)));
+            }
+            if let Some(path) = &dot_out {
+                // Provenance subgraph of the best rewrite's answers,
+                // evaluated through the engine's (cached) matcher.
+                let out = engine.session().matcher.evaluate(&best.query);
+                let nodes = out.answer_subgraph_nodes(&g, &best.query);
+                let opts = wqe::graph::dot::DotOptions {
+                    highlight: best.matches.iter().copied().collect(),
+                    ..Default::default()
+                };
+                let dot = wqe::graph::dot::subgraph_to_dot(&g, nodes, &opts);
+                std::fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote provenance subgraph to {path}");
+            }
+        }
+        eprintln!(
+            "\n[{} chase steps simulated in {:.1} ms]",
+            report.expansions, report.elapsed_ms
+        );
+        Ok(())
+    };
+    report_result(run())
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let (Some(preset), Some(scale), Some(seed), Some(out)) =
+        (args.first(), args.get(1), args.get(2), args.get(3))
+    else {
+        eprintln!("usage: wqe-cli gen <dbpedia|imdb|offshore|watdiv> <scale> <seed> <out.jsonl>");
+        return 2;
+    };
+    let run = || -> Result<(), String> {
+        let scale: f64 = scale.parse().map_err(|_| "scale must be a float".to_string())?;
+        let seed: u64 = seed.parse().map_err(|_| "seed must be an int".to_string())?;
+        let g = match preset.as_str() {
+            "dbpedia" => wqe::datagen::dbpedia_like(scale, seed),
+            "imdb" => wqe::datagen::imdb_like(scale, seed),
+            "offshore" => wqe::datagen::offshore_like(scale, seed),
+            "watdiv" => wqe::datagen::watdiv_like(scale, seed),
+            other => return Err(format!("unknown preset {other:?}")),
+        };
+        let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        write_jsonl(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
+        println!("wrote {:?} ({} nodes, {} edges)", out, g.node_count(), g.edge_count());
+        Ok(())
+    };
+    report_result(run())
+}
+
+fn cmd_demo() -> i32 {
+    let pg = wqe::graph::product::product_graph();
+    let g = &pg.graph;
+    let oracle = HybridOracle::default_for(g, 4);
+    let engine = WqeEngine::new(
+        g,
+        &oracle,
+        wqe::core::paper::paper_question(g),
+        WqeConfig {
+            budget: 4.0,
+            ..Default::default()
+        },
+    );
+    let report = engine.answer();
+    let best = report.best.expect("demo always solves");
+    println!("demo: the paper's Fig. 1 scenario");
+    println!("rewrite (closeness {:.3}):", best.closeness);
+    for op in &best.ops {
+        println!("  {}", op.display(g.schema()));
+    }
+    0
+}
+
+fn describe(g: &Graph, v: NodeId) -> String {
+    let label = g.schema().label_name(g.label(v));
+    let attrs: Vec<String> = g
+        .node(v)
+        .attrs
+        .iter()
+        .take(4)
+        .map(|(a, val)| format!("{}={}", g.schema().attr_name(*a), val))
+        .collect();
+    format!("n{} [{label}] {}", v.0, attrs.join(" "))
+}
+
+fn report(r: Result<(), String>) -> i32 {
+    report_result(r)
+}
+
+fn report_result(r: Result<(), String>) -> i32 {
+    match r {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

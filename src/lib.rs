@@ -1,0 +1,45 @@
+//! # wqe — Answering Why-questions by Exemplars in Attributed Graphs
+//!
+//! A from-scratch Rust reproduction of the SIGMOD 2019 paper by Namaki,
+//! Song, Wu and Yang. Given a graph pattern query `Q`, its answers `Q(G)`,
+//! and an *exemplar* describing desired answers, the system computes a
+//! query rewrite `Q'` whose answers are as close as possible to the
+//! exemplar — explaining both *why* unexpected entities matched and
+//! *why-not* desired entities were missing.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`graph`] — the attributed graph store (`wqe-graph`);
+//! * [`index`] — exact distance indexes (`wqe-index`);
+//! * [`query`] — pattern queries, operators, star-view matcher (`wqe-query`);
+//! * [`core`] — exemplars, closeness, Q-Chase, and every algorithm
+//!   (`wqe-core`);
+//! * [`datagen`] — synthetic datasets and why-question generators
+//!   (`wqe-datagen`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wqe::core::{engine::WqeEngine, paper::paper_question, session::WqeConfig};
+//! use wqe::graph::product::product_graph;
+//! use wqe::index::PllIndex;
+//!
+//! let pg = product_graph();
+//! let oracle = PllIndex::build(&pg.graph);
+//! let engine = WqeEngine::new(
+//!     &pg.graph,
+//!     &oracle,
+//!     paper_question(&pg.graph),
+//!     WqeConfig { budget: 4.0, ..Default::default() },
+//! );
+//! let best = engine.answer().best.expect("a rewrite");
+//! assert!((best.closeness - 0.5).abs() < 1e-9); // the paper's optimum
+//! ```
+
+#![warn(missing_docs)]
+
+pub use wqe_core as core;
+pub use wqe_datagen as datagen;
+pub use wqe_graph as graph;
+pub use wqe_index as index;
+pub use wqe_query as query;

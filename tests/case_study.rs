@@ -1,0 +1,207 @@
+//! The two real-world case studies of Exp-5 (Fig. 11), reconstructed as
+//! executable scenarios.
+//!
+//! * `Q_a`: "video games released after 2003" returns a flood; the user
+//!   names one first-person shooter, and the suggested rewrite narrows the
+//!   answers with genre/platform constraints.
+//! * `Q_b`: an over-constrained laptop query returns nothing; the user
+//!   names one model id (`MR942CH/A`), and the rewrite relaxes the GPU
+//!   constraint and the brand edge, recovering similar MacBooks such as
+//!   `MR942LL/A` (matched through fuzzy categorical `vsim` at `θ < 1`).
+
+use wqe::core::engine::WqeEngine;
+use wqe::core::session::{WhyQuestion, WqeConfig};
+use wqe::core::{ClosenessConfig, Exemplar};
+use wqe::graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
+use wqe::index::PllIndex;
+use wqe::query::{AtomicOp, Literal, PatternQuery};
+
+// ---------------------------------------------------------------------------
+// Case 1: video games (Q_a)
+// ---------------------------------------------------------------------------
+
+fn game_graph() -> (Graph, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let game = |b: &mut GraphBuilder, name: &str, year: i64, genre: &str, os: &str| {
+        b.add_node(
+            "VideoGame",
+            [
+                ("name", AttrValue::Str(name.into())),
+                ("released", AttrValue::Int(year)),
+                ("genre", AttrValue::Str(genre.into())),
+                ("os", AttrValue::Str(os.into())),
+            ],
+        )
+    };
+    let fps = vec![
+        game(&mut b, "CallOfDuty2", 2005, "FPS", "Windows"),
+        game(&mut b, "Doom3", 2004, "FPS", "Windows"),
+        game(&mut b, "FEAR", 2005, "FPS", "Windows"),
+        game(&mut b, "Quake4", 2005, "FPS", "Windows"),
+    ];
+    // Noise: other genres and platforms, all after 2003.
+    for (n, y, g_, o) in [
+        ("Civ4", 2005, "Strategy", "Windows"),
+        ("GT4", 2004, "Racing", "PS2"),
+        ("WoW", 2004, "MMORPG", "Windows"),
+        ("Halo2", 2004, "FPS", "Xbox"),
+        ("SimCity4", 2003, "Simulation", "Windows"),
+        ("Fable", 2004, "RPG", "Xbox"),
+    ] {
+        game(&mut b, n, y, g_, o);
+    }
+    (b.finalize(), fps)
+}
+
+#[test]
+fn case_a_video_games_narrowed_by_genre_and_os() {
+    let (g, fps) = game_graph();
+    let s = g.schema();
+    let released = s.attr_id("released").unwrap();
+
+    // Q_a: video games released after 2003 — returns almost everything.
+    let mut q = PatternQuery::new(s.label_id("VideoGame"), 2);
+    q.add_literal(q.focus(), Literal::new(released, CmpOp::Gt, 2003))
+        .unwrap();
+
+    // The user points at CallOfDuty2 (an FPS on Windows).
+    let name = s.attr_id("name").unwrap();
+    let genre = s.attr_id("genre").unwrap();
+    let os = s.attr_id("os").unwrap();
+    let _ = name;
+    let exemplar = Exemplar::from_entities(&g, &fps[..1], &[genre, os]);
+
+    let oracle = PllIndex::build(&g);
+    let engine = WqeEngine::new(
+        &g,
+        &oracle,
+        WhyQuestion { query: q, exemplar },
+        WqeConfig {
+            budget: 3.0,
+            ..Default::default()
+        },
+    );
+    let before = engine.evaluate_original();
+    assert!(before.outcome.matches.len() >= 8, "flooded with games");
+
+    let best = engine.answer().best.expect("rewrite found");
+    // The rewrite narrows to the Windows FPS titles (color-coded
+    // predicates of Fig. 11): all four FPS/Windows games, nothing else.
+    let expect: std::collections::HashSet<NodeId> = fps.into_iter().collect();
+    let got: std::collections::HashSet<NodeId> = best.matches.iter().copied().collect();
+    assert_eq!(got, expect, "rewrite should isolate Windows FPS games");
+    // The discriminating AddL constraints were discovered.
+    let added: Vec<&AtomicOp> = best
+        .ops
+        .iter()
+        .filter(|o| matches!(o, AtomicOp::AddL { .. }))
+        .collect();
+    assert!(!added.is_empty(), "AddL constraints expected: {:?}", best.ops);
+}
+
+// ---------------------------------------------------------------------------
+// Case 2: laptops (Q_b)
+// ---------------------------------------------------------------------------
+
+fn laptop_graph() -> (Graph, NodeId, Vec<NodeId>) {
+    let mut b = GraphBuilder::new();
+    let laptop = |b: &mut GraphBuilder, model: &str, year: i64, gpu: &str| {
+        b.add_node(
+            "Laptop",
+            [
+                ("model", AttrValue::Str(model.into())),
+                ("year", AttrValue::Int(year)),
+                ("gpu", AttrValue::Str(gpu.into())),
+            ],
+        )
+    };
+    // The model the user knows, plus similar MacBooks (Intel/AMD GPUs).
+    let known = laptop(&mut b, "MR942CH/A", 2018, "Intel");
+    let similar = vec![
+        laptop(&mut b, "MR942LL/A", 2018, "Intel"),
+        laptop(&mut b, "MR942ZP/A", 2018, "AMD"),
+        laptop(&mut b, "MR942XX/A", 2018, "Intel"),
+    ];
+    // NVidia gaming laptops (what the original query insisted on).
+    let gamers = vec![
+        laptop(&mut b, "GL504GM", 2018, "NVidia"),
+        laptop(&mut b, "PREDATOR17", 2018, "NVidia"),
+    ];
+    let apple = b.add_node("Brand", [("name", AttrValue::Str("Apple".into()))]);
+    let asus = b.add_node("Brand", [("name", AttrValue::Str("Asus".into()))]);
+    let reseller = b.add_node("Reseller", [("name", AttrValue::Str("MacStore".into()))]);
+    // Gaming laptops link to their brand directly; the MacBooks reach Apple
+    // only through a reseller (2 hops) — the reason Q_b came back empty.
+    for &l in &gamers {
+        b.add_edge(l, asus, "brand");
+    }
+    b.add_edge(known, reseller, "sold_by");
+    for &l in &similar {
+        b.add_edge(l, reseller, "sold_by");
+    }
+    b.add_edge(reseller, apple, "authorized_by");
+    (b.finalize(), known, similar)
+}
+
+#[test]
+fn case_b_laptops_relax_gpu_and_brand_edge() {
+    let (g, known, similar) = laptop_graph();
+    let s = g.schema();
+    let year = s.attr_id("year").unwrap();
+    let gpu = s.attr_id("gpu").unwrap();
+    let model = s.attr_id("model").unwrap();
+
+    // Q_b: recent laptops with an NVidia GPU and a brand within 1 hop.
+    let mut q = PatternQuery::new(s.label_id("Laptop"), 2);
+    q.add_literal(q.focus(), Literal::new(year, CmpOp::Ge, 2018)).unwrap();
+    q.add_literal(q.focus(), Literal::new(gpu, CmpOp::Eq, "NVidia")).unwrap();
+    let brand = q.add_node(s.label_id("Brand"));
+    q.add_edge(q.focus(), brand, 1).unwrap();
+
+    // T = {MR942CH/A}: one model id the user knows should be found.
+    let exemplar = Exemplar::from_entities(&g, &[known], &[model, year]);
+
+    let oracle = PllIndex::build(&g);
+    let engine = WqeEngine::new(
+        &g,
+        &oracle,
+        WhyQuestion { query: q, exemplar },
+        WqeConfig {
+            budget: 3.0,
+            // Fuzzy vsim: MR942LL/A scores 5/9 vs the exemplar's model id.
+            closeness: ClosenessConfig {
+                theta: 0.7,
+                lambda: 1.0,
+            },
+            ..Default::default()
+        },
+    );
+    let before = engine.evaluate_original();
+    // Sanity: rep includes the sibling MacBooks via fuzzy model similarity
+    // ((5/9 model-prefix similarity + 1 exact year) / 2 = 0.78 >= θ).
+    assert!(engine.session().rep.contains(known));
+    assert!(engine.session().rep.contains(similar[0]), "MR942LL/A in rep");
+    assert!(
+        before.relevance.rm.is_empty(),
+        "Q_b must start empty of relevant matches"
+    );
+
+    let best = engine.answer().best.expect("rewrite found");
+    // The rewrite must relax the GPU literal and stretch the brand edge
+    // (the paper's RmL(name=NVidia) + RxE(Laptop, Brand, 1, 2)).
+    assert!(best.matches.contains(&known));
+    assert!(
+        best.matches.iter().any(|v| similar.contains(v)),
+        "similar MacBooks recovered: {:?}",
+        best.matches
+    );
+    let relaxed_gpu = best.ops.iter().any(|o| {
+        matches!(o, AtomicOp::RmL { lit, .. } if lit.attr == gpu)
+    });
+    let stretched_edge = best.ops.iter().any(|o| {
+        matches!(o, AtomicOp::RxE { new_bound: 2, .. })
+            || matches!(o, AtomicOp::RmE { .. })
+    });
+    assert!(relaxed_gpu, "GPU constraint must be relaxed: {:?}", best.ops);
+    assert!(stretched_edge, "brand edge must be relaxed: {:?}", best.ops);
+}

@@ -1,0 +1,93 @@
+//! Production-flow integration test: generate → persist (TSV + JSONL) →
+//! reload → index (build + persist) → spec-driven why-question → answer →
+//! serialize the report. Exercises every serialization boundary a deployed
+//! system crosses.
+
+use std::io::Cursor;
+use wqe::core::engine::WqeEngine;
+use wqe::core::session::WqeConfig;
+use wqe::core::spec::parse_question;
+use wqe::datagen::SynthConfig;
+use wqe::graph::{read_jsonl, read_tsv, write_jsonl, write_tsv};
+use wqe::index::{DistanceOracle, PllIndex};
+
+#[test]
+fn full_pipeline_roundtrip() {
+    // 1. Generate a dataset.
+    let g0 = wqe::datagen::generate(&SynthConfig {
+        nodes: 500,
+        avg_out_degree: 3.0,
+        labels: 8,
+        seed: 77,
+        ..Default::default()
+    });
+
+    // 2. Persist and reload through BOTH formats; they must agree.
+    let mut jbuf = Vec::new();
+    write_jsonl(&g0, &mut jbuf).unwrap();
+    let g_json = read_jsonl(Cursor::new(&jbuf)).unwrap();
+
+    let (mut nbuf, mut ebuf) = (Vec::new(), Vec::new());
+    write_tsv(&g0, &mut nbuf, &mut ebuf).unwrap();
+    let g_tsv = read_tsv(Cursor::new(&nbuf), Cursor::new(&ebuf)).unwrap();
+
+    assert_eq!(g_json.node_count(), g0.node_count());
+    assert_eq!(g_tsv.node_count(), g0.node_count());
+    assert_eq!(g_json.edge_count(), g0.edge_count());
+    assert_eq!(g_tsv.edge_count(), g0.edge_count());
+
+    // 3. Build the distance index on the reloaded graph; persist and
+    //    reload it; spot-check consistency.
+    let g = g_json;
+    let idx = PllIndex::build(&g);
+    let blob = serde_json::to_vec(&idx).unwrap();
+    let idx2: PllIndex = serde_json::from_slice(&blob).unwrap();
+    for v in g.node_ids().take(20) {
+        for w in g.node_ids().take(20) {
+            assert_eq!(
+                idx.distance_within(v, w, 4),
+                idx2.distance_within(v, w, 4)
+            );
+        }
+    }
+
+    // 4. Drive a why-question through the JSON spec interface.
+    let schema = g.schema();
+    let label = schema.label_name(g.label(wqe::graph::NodeId(0))).to_string();
+    // Find a numeric attribute that exists in this dataset.
+    let attr_name = (0..)
+        .map(|i| format!("a{i}"))
+        .find(|n| schema.attr_id(n).is_some())
+        .expect("some attribute");
+    let spec = serde_json::json!({
+        "query": {
+            "max_bound": 4,
+            "nodes": [{"id": "x", "label": label, "focus": true,
+                        "literals": [{"attr": attr_name, "op": ">=", "value": 900}]}]
+        },
+        "exemplar": {
+            "tuples": [{attr_name.clone(): "?"}],
+            "constraints": [{"lhs": {"tuple": 0, "attr": attr_name}, "op": "<", "value": 500}]
+        }
+    });
+    let question = parse_question(&g, &spec).expect("valid spec");
+    let engine = WqeEngine::new(
+        &g,
+        &idx2,
+        question,
+        WqeConfig {
+            budget: 2.0,
+            time_limit_ms: Some(2000),
+            ..Default::default()
+        },
+    );
+    let report = engine.answer();
+    let best = report.best.expect("some rewrite");
+
+    // 5. Serialize the result for downstream tooling.
+    let json = serde_json::to_string(&best).expect("report serializable");
+    let back: wqe::core::RewriteResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.matches, best.matches);
+    assert_eq!(back.query.signature(), best.query.signature());
+    assert!((back.closeness - best.closeness).abs() < 1e-12);
+}
