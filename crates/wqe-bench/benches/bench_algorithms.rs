@@ -11,7 +11,11 @@ fn workload(kind: QuestionKind) -> Workload {
         "bench",
         dbpedia_like(0.02, 21),
         3,
-        &QueryGenConfig { edges: 2, seed: 21, ..Default::default() },
+        &QueryGenConfig {
+            edges: 2,
+            seed: 21,
+            ..Default::default()
+        },
         &WhyGenConfig::default(),
         kind,
     )

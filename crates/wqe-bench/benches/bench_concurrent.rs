@@ -1,0 +1,51 @@
+//! Concurrent-session scaling: one shared `EngineCtx` (graph + distance
+//! index built once) answering a fixed batch of why-questions across
+//! 1/2/4/8 threads. The 1-thread case doubles as the regression guard for
+//! the shared-ownership refactor: it runs the same code path a sequential
+//! caller uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wqe_bench::runner::{run_algo_concurrent, AlgoSpec, QuestionKind, Workload};
+use wqe_core::WqeConfig;
+use wqe_datagen::{dbpedia_like, QueryGenConfig, WhyGenConfig};
+
+fn workload() -> Workload {
+    Workload::build(
+        "concurrent",
+        dbpedia_like(0.02, 21),
+        8,
+        &QueryGenConfig {
+            edges: 2,
+            seed: 21,
+            ..Default::default()
+        },
+        &WhyGenConfig::default(),
+        QuestionKind::Why,
+    )
+}
+
+fn cfg() -> WqeConfig {
+    WqeConfig {
+        budget: 3.0,
+        time_limit_ms: Some(500),
+        max_expansions: 100,
+        ..Default::default()
+    }
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let wl = workload();
+    let ctx = wl.ctx(4);
+    let base = cfg();
+    let mut group = c.benchmark_group("concurrent_sessions");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| run_algo_concurrent(&wl, &ctx, AlgoSpec::AnsW, &base, threads).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

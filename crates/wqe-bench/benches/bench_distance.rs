@@ -10,11 +10,9 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     for scale in [0.01f64, 0.03] {
         let g = dbpedia_like(scale, 5);
-        group.bench_with_input(
-            BenchmarkId::new("pll", g.node_count()),
-            &g,
-            |b, g| b.iter(|| PllIndex::build(g).label_entries()),
-        );
+        group.bench_with_input(BenchmarkId::new("pll", g.node_count()), &g, |b, g| {
+            b.iter(|| PllIndex::build(g).label_entries())
+        });
     }
     group.finish();
 }
@@ -22,26 +20,21 @@ fn bench_build(c: &mut Criterion) {
 fn bench_query(c: &mut Criterion) {
     let g = dbpedia_like(0.03, 5);
     let pll = PllIndex::build(&g);
-    let bfs = BoundedBfsOracle::new(&g, 4);
+    let bfs = BoundedBfsOracle::new(std::sync::Arc::new(g.clone()), 4);
     let pairs: Vec<(NodeId, NodeId)> = (0..256u32)
-        .map(|i| (NodeId(i % g.node_count() as u32), NodeId((i * 37) % g.node_count() as u32)))
+        .map(|i| {
+            (
+                NodeId(i % g.node_count() as u32),
+                NodeId((i * 37) % g.node_count() as u32),
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("distance/query");
     group.bench_function("pll", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|&&(u, v)| pll.within(u, v, 4))
-                .count()
-        })
+        b.iter(|| pairs.iter().filter(|&&(u, v)| pll.within(u, v, 4)).count())
     });
     group.bench_function("bounded_bfs_memoized", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|&&(u, v)| bfs.within(u, v, 4))
-                .count()
-        })
+        b.iter(|| pairs.iter().filter(|&&(u, v)| bfs.within(u, v, 4)).count())
     });
     group.finish();
 }

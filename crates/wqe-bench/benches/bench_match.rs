@@ -1,6 +1,7 @@
 //! Star-view matcher vs naive backtracking (ablation 5 of DESIGN.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use wqe_core::paper::paper_query;
 use wqe_datagen::{dbpedia_like, generate_query, QueryGenConfig};
 use wqe_graph::product::product_graph;
@@ -8,36 +9,43 @@ use wqe_index::HybridOracle;
 use wqe_query::{naive_evaluate, Matcher};
 
 fn bench_product(c: &mut Criterion) {
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = HybridOracle::default_for(g, 4);
-    let q = paper_query(g);
+    let g = Arc::new(product_graph().graph);
+    let oracle: Arc<dyn wqe_index::DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
+    let q = paper_query(&g);
     let mut group = c.benchmark_group("match/product");
     group.bench_function("star_view", |b| {
-        let m = Matcher::new(g, &oracle);
+        let m = Matcher::new(Arc::clone(&g), Arc::clone(&oracle));
         b.iter(|| m.evaluate(&q).matches.len())
     });
     group.bench_function("star_view_nocache", |b| {
-        let m = Matcher::new(g, &oracle).without_cache();
+        let m = Matcher::new(Arc::clone(&g), Arc::clone(&oracle)).without_cache();
         b.iter(|| m.evaluate(&q).matches.len())
     });
-    group.bench_function("naive", |b| b.iter(|| naive_evaluate(g, &oracle, &q).len()));
+    group.bench_function("naive", |b| {
+        b.iter(|| naive_evaluate(&g, &*oracle, &q).len())
+    });
     group.finish();
 }
 
 fn bench_synth(c: &mut Criterion) {
-    let g = dbpedia_like(0.05, 3);
-    let oracle = HybridOracle::default_for(&g, 4);
+    let g = Arc::new(dbpedia_like(0.05, 3));
+    let oracle: Arc<dyn wqe_index::DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
     let mut group = c.benchmark_group("match/dbpedia-like");
     for edges in [1usize, 3, 5] {
-        let cfg = QueryGenConfig { edges, seed: 9, ..Default::default() };
-        let Some(gq) = generate_query(&g, &cfg) else { continue };
+        let cfg = QueryGenConfig {
+            edges,
+            seed: 9,
+            ..Default::default()
+        };
+        let Some(gq) = generate_query(&g, &cfg) else {
+            continue;
+        };
         group.bench_with_input(BenchmarkId::new("star_view", edges), &gq, |b, gq| {
-            let m = Matcher::new(&g, &oracle);
+            let m = Matcher::new(Arc::clone(&g), Arc::clone(&oracle));
             b.iter(|| m.evaluate(&gq.query).matches.len())
         });
         group.bench_with_input(BenchmarkId::new("naive", edges), &gq, |b, gq| {
-            b.iter(|| naive_evaluate(&g, &oracle, &gq.query).len())
+            b.iter(|| naive_evaluate(&g, &*oracle, &gq.query).len())
         });
     }
     group.finish();

@@ -1,25 +1,25 @@
 //! Picky-operator generation cost (the per-step delay of §5.4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 use wqe_core::opsgen::{generate_refinements, generate_relaxations};
 use wqe_core::paper::{paper_optimal_ops, paper_question};
-use wqe_core::{Session, WqeConfig};
+use wqe_core::{EngineCtx, Session, WqeConfig};
 use wqe_graph::product::product_graph;
 use wqe_index::PllIndex;
 
 fn bench_nextop(c: &mut Criterion) {
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let wq = paper_question(g);
-    let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let wq = paper_question(&g);
+    let session = Session::new(ctx, &wq, WqeConfig::default());
     let eval = session.evaluate(&wq.query);
     let mut group = c.benchmark_group("nextop");
     group.bench_function("relaxations", |b| {
         b.iter(|| generate_relaxations(&session, &wq.query, &eval).len())
     });
     let mut relaxed = wq.query.clone();
-    for op in paper_optimal_ops(g).into_iter().take(2) {
+    for op in paper_optimal_ops(&g).into_iter().take(2) {
         op.apply(&mut relaxed).unwrap();
     }
     let eval2 = session.evaluate(&relaxed);

@@ -12,7 +12,11 @@ fn bench_rep(c: &mut Criterion) {
         let entities: Vec<NodeId> = g.node_ids().take(tuples).collect();
         let ex = exemplar_from(&g, &entities, 3);
         group.bench_with_input(BenchmarkId::from_parameter(tuples), &ex, |b, ex| {
-            b.iter(|| compute_representation(&g, ex, g.node_ids(), 1.0).nodes.len())
+            b.iter(|| {
+                compute_representation(&g, ex, g.node_ids(), 1.0)
+                    .nodes
+                    .len()
+            })
         });
     }
     group.finish();

@@ -27,7 +27,9 @@ fn main() {
     if args[0] == "compare" {
         // paper_experiments compare baseline.jsonl candidate.jsonl [tol]
         let (Some(base), Some(cand)) = (args.get(1), args.get(2)) else {
-            eprintln!("usage: paper_experiments compare <baseline.jsonl> <candidate.jsonl> [tolerance]");
+            eprintln!(
+                "usage: paper_experiments compare <baseline.jsonl> <candidate.jsonl> [tolerance]"
+            );
             std::process::exit(2);
         };
         let tol: f64 = args.get(3).and_then(|t| t.parse().ok()).unwrap_or(2.0);

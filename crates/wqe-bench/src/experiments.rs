@@ -4,8 +4,9 @@
 use crate::report::Reporter;
 use crate::runner::{run_algo_with, AlgoSpec, QuestionKind, Workload};
 use wqe_core::{relative_closeness, Session, WqeConfig};
-use wqe_datagen::{dbpedia_like, imdb_like, offshore_like, watdiv_like, QueryGenConfig, TopologyKind, WhyGenConfig};
-use wqe_index::HybridOracle;
+use wqe_datagen::{
+    dbpedia_like, imdb_like, offshore_like, watdiv_like, QueryGenConfig, TopologyKind, WhyGenConfig,
+};
 
 /// Global experiment knobs (the paper uses 50 queries x 5 repetitions at
 /// full dataset scale; defaults here are laptop-sized).
@@ -100,9 +101,9 @@ pub fn exp1_efficiency(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in MAIN_ALGOS {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
             rep.record("fig10a-efficiency", &spec.name(), name, stats.mean_ms, "ms");
         }
     }
@@ -123,10 +124,16 @@ pub fn exp1_scalability(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsWb] {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
-            rep.record("fig10b-scalability", &spec.name(), &label, stats.mean_ms, "ms");
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
+            rep.record(
+                "fig10b-scalability",
+                &spec.name(),
+                &label,
+                stats.mean_ms,
+                "ms",
+            );
         }
     }
     rep
@@ -145,9 +152,9 @@ pub fn exp1_querysize(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in MAIN_ALGOS {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
             rep.record("fig10c-querysize", &spec.name(), edges, stats.mean_ms, "ms");
         }
     }
@@ -158,8 +165,16 @@ pub fn exp1_querysize(cfg: &ExpConfig) -> Reporter {
 pub fn exp1_budget(cfg: &ExpConfig) -> Reporter {
     let mut rep = Reporter::new();
     for (name, graph, fig) in [
-        ("DBpedia", dbpedia_like(cfg.scale, cfg.seed), "fig10d-budget-dbpedia"),
-        ("IMDB", imdb_like(cfg.scale, cfg.seed + 1), "fig10e-budget-imdb"),
+        (
+            "DBpedia",
+            dbpedia_like(cfg.scale, cfg.seed),
+            "fig10d-budget-dbpedia",
+        ),
+        (
+            "IMDB",
+            imdb_like(cfg.scale, cfg.seed + 1),
+            "fig10e-budget-imdb",
+        ),
     ] {
         let w = Workload::build(
             name,
@@ -169,12 +184,12 @@ pub fn exp1_budget(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for b in 1..=5u32 {
             let mut base = cfg.wqe();
             base.budget = b as f64;
             for spec in MAIN_ALGOS {
-                let stats = run_algo_with(&w, &oracle, spec, &base);
+                let stats = run_algo_with(&w, &ctx, spec, &base);
                 rep.record(fig, &spec.name(), b, stats.mean_ms, "ms");
             }
         }
@@ -186,8 +201,16 @@ pub fn exp1_budget(cfg: &ExpConfig) -> Reporter {
 pub fn exp1_exemplars(cfg: &ExpConfig) -> Reporter {
     let mut rep = Reporter::new();
     for (name, graph, fig) in [
-        ("DBpedia", dbpedia_like(cfg.scale, cfg.seed), "fig10f-exemplars-dbpedia"),
-        ("IMDB", imdb_like(cfg.scale, cfg.seed + 1), "fig10g-exemplars-imdb"),
+        (
+            "DBpedia",
+            dbpedia_like(cfg.scale, cfg.seed),
+            "fig10f-exemplars-dbpedia",
+        ),
+        (
+            "IMDB",
+            imdb_like(cfg.scale, cfg.seed + 1),
+            "fig10g-exemplars-imdb",
+        ),
     ] {
         for tuples in [5usize, 10, 15, 20, 25] {
             let mut wcfg = cfg.wcfg(tuples);
@@ -202,9 +225,9 @@ pub fn exp1_exemplars(cfg: &ExpConfig) -> Reporter {
                 &wcfg,
                 QuestionKind::Why,
             );
-            let oracle = HybridOracle::default_for(&w.graph, 4);
+            let ctx = w.ctx(4);
             for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsWb] {
-                let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
+                let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
                 rep.record(fig, &spec.name(), tuples, stats.mean_ms, "ms");
             }
         }
@@ -229,9 +252,9 @@ pub fn exp1_topology(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsWb] {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
             rep.record("fig10h-topology", &spec.name(), label, stats.mean_ms, "ms");
         }
     }
@@ -259,10 +282,16 @@ pub fn exp2_effectiveness(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in algos {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
-            rep.record("fig10i-effectiveness", &spec.name(), name, stats.mean_delta, "delta");
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
+            rep.record(
+                "fig10i-effectiveness",
+                &spec.name(),
+                name,
+                stats.mean_delta,
+                "delta",
+            );
         }
     }
     rep
@@ -281,15 +310,21 @@ pub fn exp2_querysize(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::Why,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in [
             AlgoSpec::AnsW,
             AlgoSpec::AnsHeu(1),
             AlgoSpec::AnsHeu(5),
             AlgoSpec::FMAnsW,
         ] {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
-            rep.record("fig10j-delta-querysize", &spec.name(), edges, stats.mean_delta, "delta");
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
+            rep.record(
+                "fig10j-delta-querysize",
+                &spec.name(),
+                edges,
+                stats.mean_delta,
+                "delta",
+            );
         }
     }
     rep
@@ -307,13 +342,19 @@ pub fn exp2_budget(cfg: &ExpConfig) -> Reporter {
         &cfg.wcfg(5),
         QuestionKind::Why,
     );
-    let oracle = HybridOracle::default_for(&w.graph, 4);
+    let ctx = w.ctx(4);
     for b in 1..=5u32 {
         let mut base = cfg.wqe();
         base.budget = b as f64;
         for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::FMAnsW] {
-            let stats = run_algo_with(&w, &oracle, spec, &base);
-            rep.record("fig10k-delta-budget", &spec.name(), b, stats.mean_delta, "delta");
+            let stats = run_algo_with(&w, &ctx, spec, &base);
+            rep.record(
+                "fig10k-delta-budget",
+                &spec.name(),
+                b,
+                stats.mean_delta,
+                "delta",
+            );
         }
     }
     rep
@@ -337,11 +378,11 @@ pub fn exp3_anytime(cfg: &ExpConfig) -> Reporter {
         QuestionKind::Why,
     );
     // Compute cl* per question once.
-    let oracle = HybridOracle::default_for(&w.graph, 4);
+    let ctx = w.ctx(4);
     let cl_stars: Vec<f64> = w
         .questions
         .iter()
-        .map(|gw| Session::new(&w.graph, &oracle, &gw.question, cfg.wqe()).cl_star)
+        .map(|gw| Session::new(ctx.clone(), &gw.question, cfg.wqe()).cl_star)
         .collect();
 
     let checkpoints_ms = [1u64, 2, 5, 10, 25, 50, 100, 250, 1000, 4000];
@@ -350,7 +391,7 @@ pub fn exp3_anytime(cfg: &ExpConfig) -> Reporter {
     base.time_limit_ms = Some(4000);
     base.max_expansions = usize::MAX >> 1;
     for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsHeuB(3)] {
-        let stats = run_algo_with(&w, &oracle, spec, &base);
+        let stats = run_algo_with(&w, &ctx, spec, &base);
         for &cp in &checkpoints_ms {
             let mut total = 0.0;
             let mut n = 0usize;
@@ -395,15 +436,21 @@ pub fn exp4_whymany(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::WhyMany,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in [
             AlgoSpec::ApxWhyM,
             AlgoSpec::AnsW,
             AlgoSpec::AnsWb,
             AlgoSpec::FMAnsW,
         ] {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
-            rep.record("fig12a-whymany-time", &spec.name(), name, stats.mean_ms, "ms");
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
+            rep.record(
+                "fig12a-whymany-time",
+                &spec.name(),
+                name,
+                stats.mean_ms,
+                "ms",
+            );
             rep.record(
                 "fig12b-whymany-closeness",
                 &spec.name(),
@@ -439,10 +486,16 @@ pub fn exp4_whyempty(cfg: &ExpConfig) -> Reporter {
             &cfg.wcfg(5),
             QuestionKind::WhyEmpty,
         );
-        let oracle = HybridOracle::default_for(&w.graph, 4);
+        let ctx = w.ctx(4);
         for spec in [AlgoSpec::AnsWE, AlgoSpec::AnsW, AlgoSpec::AnsWb] {
-            let stats = run_algo_with(&w, &oracle, spec, &cfg.wqe());
-            rep.record("fig12c-whyempty-time", &spec.name(), name, stats.mean_ms, "ms");
+            let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
+            rep.record(
+                "fig12c-whyempty-time",
+                &spec.name(),
+                name,
+                stats.mean_ms,
+                "ms",
+            );
         }
     }
     rep
@@ -465,7 +518,7 @@ pub fn exp5_userstudy(cfg: &ExpConfig) -> Reporter {
         &cfg.wcfg(5),
         QuestionKind::Why,
     );
-    let oracle = HybridOracle::default_for(&w.graph, 4);
+    let ctx = w.ctx(4);
     let mut base = cfg.wqe();
     base.top_k = 3;
     let mut ndcg_sum = 0.0;
@@ -483,7 +536,7 @@ pub fn exp5_userstudy(cfg: &ExpConfig) -> Reporter {
         ((noise_state >> 11) as f64 / (1u64 << 53) as f64) * 0.6 - 0.3
     };
     for gw in &w.questions {
-        let session = Session::new(&w.graph, &oracle, &gw.question, base.clone());
+        let session = Session::new(ctx.clone(), &gw.question, base.clone());
         let report = wqe_core::answ(&session, &gw.question);
         if report.top_k.is_empty() {
             continue;
@@ -511,13 +564,24 @@ pub fn exp5_userstudy(cfg: &ExpConfig) -> Reporter {
         let best = &report.top_k[0];
         if !best.matches.is_empty() {
             prec_sum +=
-                wqe_core::metrics::PrecisionRecall::of(&best.matches, &gw.truth_answers)
-                    .precision;
+                wqe_core::metrics::PrecisionRecall::of(&best.matches, &gw.truth_answers).precision;
         }
     }
     if n > 0 {
-        rep.record("exp5-userstudy", "AnsW", "nDCG@3", ndcg_sum / n as f64, "score");
-        rep.record("exp5-userstudy", "AnsW", "precision", prec_sum / n as f64, "score");
+        rep.record(
+            "exp5-userstudy",
+            "AnsW",
+            "nDCG@3",
+            ndcg_sum / n as f64,
+            "score",
+        );
+        rep.record(
+            "exp5-userstudy",
+            "AnsW",
+            "precision",
+            prec_sum / n as f64,
+            "score",
+        );
     }
     if nn > 0 {
         rep.record(
@@ -530,7 +594,6 @@ pub fn exp5_userstudy(cfg: &ExpConfig) -> Reporter {
     }
     rep
 }
-
 
 /// Extension experiment (not in the paper): recall of *planted* pattern
 /// copies. A known number of target-pattern instances is embedded in a
@@ -553,7 +616,13 @@ pub fn exp6_planted(cfg: &ExpConfig) -> Reporter {
             ..Default::default()
         };
         let planted = generate_planted(&background, &template, copies);
-        let oracle = HybridOracle::default_for(&planted.graph, 4);
+        let graph = std::sync::Arc::new(planted.graph.clone());
+        let oracle: std::sync::Arc<dyn wqe_index::DistanceOracle> =
+            std::sync::Arc::new(wqe_index::HybridOracle::default_for(&graph, 4));
+        let ctx = wqe_core::EngineCtx::new(
+            std::sync::Arc::clone(&graph),
+            std::sync::Arc::clone(&oracle),
+        );
         // Disturb the planted query and build the why-question.
         let truth = wqe_datagen::GeneratedQuery {
             query: planted.query.clone(),
@@ -566,12 +635,12 @@ pub fn exp6_planted(cfg: &ExpConfig) -> Reporter {
             class: None,
             seed: cfg.seed + copies as u64,
         };
-        let Some(gw) = wqe_datagen::generate_why(&planted.graph, &oracle, &truth, &wcfg) else {
+        let Some(gw) = wqe_datagen::generate_why(&graph, &oracle, &truth, &wcfg) else {
             continue;
         };
         for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::FMAnsW] {
             let config = spec.config(cfg.wqe());
-            let session = Session::new(&planted.graph, &oracle, &gw.question, config);
+            let session = Session::new(ctx.clone(), &gw.question, config);
             let report = spec.execute(&session, &gw.question);
             let recall = report
                 .best
@@ -585,12 +654,17 @@ pub fn exp6_planted(cfg: &ExpConfig) -> Reporter {
                     hit as f64 / planted.planted.len() as f64
                 })
                 .unwrap_or(0.0);
-            rep.record("exp6-planted-recall", &spec.name(), copies, recall, "recall");
+            rep.record(
+                "exp6-planted-recall",
+                &spec.name(),
+                copies,
+                recall,
+                "recall",
+            );
         }
     }
     rep
 }
-
 
 /// Ablation (not in the paper): the `relevance_sample` cap — how many
 /// RC/RM nodes `NextOp` inspects per analysis. Trades operator-generation
@@ -606,14 +680,26 @@ pub fn exp7_sample_ablation(cfg: &ExpConfig) -> Reporter {
         &cfg.wcfg(5),
         QuestionKind::Why,
     );
-    let oracle = HybridOracle::default_for(&w.graph, 4);
+    let ctx = w.ctx(4);
     for sample in [8usize, 32, 128] {
         let mut base = cfg.wqe();
         base.relevance_sample = sample;
         for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3)] {
-            let stats = run_algo_with(&w, &oracle, spec, &base);
-            rep.record("exp7-sample-time", &spec.name(), sample, stats.mean_ms, "ms");
-            rep.record("exp7-sample-delta", &spec.name(), sample, stats.mean_delta, "delta");
+            let stats = run_algo_with(&w, &ctx, spec, &base);
+            rep.record(
+                "exp7-sample-time",
+                &spec.name(),
+                sample,
+                stats.mean_ms,
+                "ms",
+            );
+            rep.record(
+                "exp7-sample-delta",
+                &spec.name(),
+                sample,
+                stats.mean_delta,
+                "delta",
+            );
         }
     }
     rep

@@ -161,7 +161,11 @@ impl Reporter {
             let key = (r.experiment.clone(), r.series.clone(), r.x.clone());
             if let Some(&base) = index.get(&key) {
                 let ratio = if base.abs() < 1e-12 {
-                    if r.value.abs() < 1e-12 { 1.0 } else { f64::INFINITY }
+                    if r.value.abs() < 1e-12 {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    }
                 } else {
                     r.value / base
                 };

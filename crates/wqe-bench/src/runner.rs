@@ -1,16 +1,21 @@
 //! Workload construction and algorithm execution.
+//!
+//! Workloads share their graph through an `Arc`, so one dataset (and one
+//! distance index) can serve any number of sequential or concurrent runs;
+//! see [`run_algo_concurrent`] for the multi-threaded driver.
 
+use std::sync::Arc;
 use std::time::Instant;
 use wqe_core::{
-    ans_heu, ans_we, answ, apx_why_many, fm_answ, relative_closeness, AnswerReport, Selection,
-    Session, TracePoint, WqeConfig,
+    ans_heu, ans_we, answ, apx_why_many, fm_answ, relative_closeness, AnswerReport, EngineCtx,
+    Selection, Session, TracePoint, WqeConfig,
 };
 use wqe_datagen::{
     generate_query, generate_why, generate_why_empty, generate_why_many, GeneratedWhy,
     QueryGenConfig, WhyGenConfig,
 };
 use wqe_graph::Graph;
-use wqe_index::HybridOracle;
+use wqe_index::{DistanceOracle, HybridOracle};
 
 /// The algorithm variants evaluated in §7.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,11 +69,7 @@ impl AlgoSpec {
     }
 
     /// Runs the variant on one session/question.
-    pub fn execute(
-        &self,
-        session: &Session<'_>,
-        question: &wqe_core::WhyQuestion,
-    ) -> AnswerReport {
+    pub fn execute(&self, session: &Session, question: &wqe_core::WhyQuestion) -> AnswerReport {
         match self {
             AlgoSpec::AnsW | AlgoSpec::AnsWnc | AlgoSpec::AnsWb => answ(session, question),
             AlgoSpec::AnsHeu(k) => ans_heu(session, question, Some(*k), Selection::Picky),
@@ -97,8 +98,8 @@ pub enum QuestionKind {
 pub struct Workload {
     /// Dataset name.
     pub name: String,
-    /// The graph.
-    pub graph: Graph,
+    /// The graph (shared; clones of the handle are cheap).
+    pub graph: Arc<Graph>,
     /// The question suite with hidden ground truths.
     pub questions: Vec<GeneratedWhy>,
 }
@@ -115,18 +116,26 @@ impl Workload {
         wcfg: &WhyGenConfig,
         kind: QuestionKind,
     ) -> Self {
-        let oracle = HybridOracle::default_for(&graph, qcfg.max_bound);
+        let graph = Arc::new(graph);
+        let oracle: Arc<dyn DistanceOracle> =
+            Arc::new(HybridOracle::default_for(&graph, qcfg.max_bound));
         let mut questions = Vec::new();
         let mut seed = qcfg.seed;
         let mut attempts = 0usize;
         while questions.len() < n && attempts < n * 30 {
             attempts += 1;
             seed += 1;
-            let q = QueryGenConfig { seed, ..qcfg.clone() };
+            let q = QueryGenConfig {
+                seed,
+                ..qcfg.clone()
+            };
             let Some(truth) = generate_query(&graph, &q) else {
                 continue;
             };
-            let w = WhyGenConfig { seed: seed * 31 + wcfg.seed, ..wcfg.clone() };
+            let w = WhyGenConfig {
+                seed: seed * 31 + wcfg.seed,
+                ..wcfg.clone()
+            };
             let generated = match kind {
                 QuestionKind::Why => generate_why(&graph, &oracle, &truth, &w),
                 QuestionKind::WhyMany => generate_why_many(&graph, &oracle, &truth, &w),
@@ -141,6 +150,15 @@ impl Workload {
             graph,
             questions,
         }
+    }
+
+    /// A shared engine context over this workload's graph, with a fresh
+    /// distance oracle for the given horizon.
+    pub fn ctx(&self, horizon: u32) -> EngineCtx {
+        EngineCtx::new(
+            Arc::clone(&self.graph),
+            Arc::new(HybridOracle::default_for(&self.graph, horizon)),
+        )
     }
 }
 
@@ -173,21 +191,22 @@ pub fn run_algo(workload: &Workload, spec: AlgoSpec, base: &WqeConfig) -> RunSta
         .first()
         .map(|q| q.question.query.max_bound())
         .unwrap_or(4);
-    let oracle = HybridOracle::default_for(&workload.graph, horizon);
-    run_algo_with(workload, &oracle, spec, base)
+    let ctx = workload.ctx(horizon);
+    run_algo_with(workload, &ctx, spec, base)
 }
 
-/// [`run_algo`] with a caller-provided (shared) distance oracle.
+/// [`run_algo`] with a caller-provided (shared) engine context, so several
+/// specs reuse one distance index.
 pub fn run_algo_with(
     workload: &Workload,
-    oracle: &HybridOracle<'_>,
+    ctx: &EngineCtx,
     spec: AlgoSpec,
     base: &WqeConfig,
 ) -> RunStats {
     let config = spec.config(base.clone());
     let mut stats = RunStats::default();
     for gw in &workload.questions {
-        let session = Session::new(&workload.graph, oracle, &gw.question, config.clone());
+        let session = Session::new(ctx.clone(), &gw.question, config.clone());
         let t0 = Instant::now();
         let report = spec.execute(&session, &gw.question);
         let elapsed = t0.elapsed().as_secs_f64() * 1e3;
@@ -216,6 +235,52 @@ pub fn run_algo_with(
     stats
 }
 
+/// Answers every question of a workload, sequentially (`threads <= 1`) or
+/// fanned out over scoped worker threads. Each worker builds its own
+/// `Session` from a clone of the shared context, so the graph and the
+/// distance index are built once and shared; results come back in question
+/// order regardless of scheduling. Every algorithm in the stack is
+/// deterministic given (context, config), so the reports are independent of
+/// the thread count (timing fields aside).
+pub fn run_algo_concurrent(
+    workload: &Workload,
+    ctx: &EngineCtx,
+    spec: AlgoSpec,
+    base: &WqeConfig,
+    threads: usize,
+) -> Vec<AnswerReport> {
+    let config = spec.config(base.clone());
+    let questions = &workload.questions;
+    if threads <= 1 || questions.len() <= 1 {
+        return questions
+            .iter()
+            .map(|gw| {
+                let session = Session::new(ctx.clone(), &gw.question, config.clone());
+                spec.execute(&session, &gw.question)
+            })
+            .collect();
+    }
+    let mut reports: Vec<Option<AnswerReport>> = Vec::new();
+    reports.resize_with(questions.len(), || None);
+    let chunk = questions.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (qs, outs) in questions.chunks(chunk).zip(reports.chunks_mut(chunk)) {
+            let ctx = ctx.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                for (gw, out) in qs.iter().zip(outs) {
+                    let session = Session::new(ctx.clone(), &gw.question, config.clone());
+                    *out = Some(spec.execute(&session, &gw.question));
+                }
+            });
+        }
+    });
+    reports
+        .into_iter()
+        .map(|r| r.expect("every chunk slot is filled by its worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,7 +297,10 @@ mod tests {
             "tiny",
             g,
             3,
-            &QueryGenConfig { edges: 2, ..Default::default() },
+            &QueryGenConfig {
+                edges: 2,
+                ..Default::default()
+            },
             &WhyGenConfig::default(),
             kind,
         )
@@ -265,6 +333,32 @@ mod tests {
             assert_eq!(stats.runs, w.questions.len(), "{}", spec.name());
             assert!(stats.mean_ms >= 0.0);
             assert!(stats.mean_delta >= 0.0 && stats.mean_delta <= 1.0);
+        }
+    }
+
+    #[test]
+    fn concurrent_driver_matches_sequential() {
+        let w = tiny_workload(QuestionKind::Why);
+        let base = WqeConfig {
+            budget: 3.0,
+            time_limit_ms: None, // no wall-clock cutoff: results must not depend on load
+            max_expansions: 100,
+            ..Default::default()
+        };
+        let ctx = w.ctx(4);
+        let seq = run_algo_concurrent(&w, &ctx, AlgoSpec::AnsW, &base, 1);
+        let par = run_algo_concurrent(&w, &ctx, AlgoSpec::AnsW, &base, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                a.best.as_ref().map(|r| (&r.ops, &r.matches)),
+                b.best.as_ref().map(|r| (&r.ops, &r.matches)),
+            );
+            assert_eq!(
+                a.best.as_ref().map(|r| r.closeness),
+                b.best.as_ref().map(|r| r.closeness),
+            );
+            assert_eq!(a.expansions, b.expansions);
         }
     }
 

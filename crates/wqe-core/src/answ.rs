@@ -64,14 +64,18 @@ pub struct AnswerReport {
     pub truncated: bool,
 }
 
-/// Ordered f64 wrapper for the priority queue.
-#[derive(PartialEq, PartialOrd)]
+/// Ordered f64 wrapper for the priority queue (total order, no panic).
+#[derive(PartialEq)]
 struct OrdF64(f64);
 impl Eq for OrdF64 {}
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("finite closeness")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -86,7 +90,7 @@ struct State {
 }
 
 /// Runs `AnsW` on a why-question, returning the report.
-pub fn answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
+pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
     let budget = session.config.budget;
     let top_k_n = session.config.top_k.max(1);
@@ -107,53 +111,48 @@ pub fn answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
         }
     };
 
-    let record =
-        |state_query: &PatternQuery,
-         ops: &[AtomicOp],
-         cost: f64,
-         eval: &EvalResult,
-         report: &mut AnswerReport,
-         best_fallback: &mut Option<RewriteResult>,
-         started: &Instant| {
-            let result = RewriteResult {
-                query: state_query.clone(),
-                ops: ops.to_vec(),
-                cost,
-                closeness: eval.closeness,
-                matches: eval.outcome.matches.clone(),
-                satisfies: eval.satisfies,
-            };
-            if best_fallback
-                .as_ref()
-                .is_none_or(|b| result.closeness > b.closeness)
-            {
-                *best_fallback = Some(result.clone());
-            }
-            if !eval.satisfies {
-                return;
-            }
-            let prev_best = report.top_k.first().map(|r| r.closeness);
-            // Insert into top-k (dedup by signature).
-            let sig = result.query.signature();
-            if !report
-                .top_k
-                .iter()
-                .any(|r| r.query.signature() == sig)
-            {
-                report.top_k.push(result);
-                report
-                    .top_k
-                    .sort_by(|a, b| b.closeness.partial_cmp(&a.closeness).expect("finite"));
-                report.top_k.truncate(top_k_n);
-            }
-            let new_best = report.top_k.first().map(|r| r.closeness);
-            if new_best > prev_best || prev_best.is_none() {
-                report.trace.push(TracePoint {
-                    elapsed_us: started.elapsed().as_micros() as u64,
-                    closeness: new_best.unwrap_or(f64::NEG_INFINITY),
-                });
-            }
+    let record = |state_query: &PatternQuery,
+                  ops: &[AtomicOp],
+                  cost: f64,
+                  eval: &EvalResult,
+                  report: &mut AnswerReport,
+                  best_fallback: &mut Option<RewriteResult>,
+                  started: &Instant| {
+        let result = RewriteResult {
+            query: state_query.clone(),
+            ops: ops.to_vec(),
+            cost,
+            closeness: eval.closeness,
+            matches: eval.outcome.matches.clone(),
+            satisfies: eval.satisfies,
         };
+        if best_fallback
+            .as_ref()
+            .is_none_or(|b| result.closeness > b.closeness)
+        {
+            *best_fallback = Some(result.clone());
+        }
+        if !eval.satisfies {
+            return;
+        }
+        let prev_best = report.top_k.first().map(|r| r.closeness);
+        // Insert into top-k (dedup by signature).
+        let sig = result.query.signature();
+        if !report.top_k.iter().any(|r| r.query.signature() == sig) {
+            report.top_k.push(result);
+            report
+                .top_k
+                .sort_by(|a, b| b.closeness.total_cmp(&a.closeness));
+            report.top_k.truncate(top_k_n);
+        }
+        let new_best = report.top_k.first().map(|r| r.closeness);
+        if new_best > prev_best || prev_best.is_none() {
+            report.trace.push(TracePoint {
+                elapsed_us: started.elapsed().as_micros() as u64,
+                closeness: new_best.unwrap_or(f64::NEG_INFINITY),
+            });
+        }
+    };
 
     // Root: the original query (line 2-3 of Fig. 5).
     let root_eval = session.evaluate(&question.query);
@@ -219,13 +218,15 @@ pub fn answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
         // Find the next applicable operator within budget.
         let picked: Option<ScoredOp> = loop {
             let st = &mut arena[idx];
-            let queue = st.op_queue.as_ref().expect("generated above");
+            let Some(queue) = st.op_queue.as_ref() else {
+                break None;
+            };
             if st.next_op >= queue.len() {
                 break None;
             }
             let sop = queue[st.next_op].clone();
             st.next_op += 1;
-            if st.cost + sop.op.cost(session.graph) > budget + 1e-9 {
+            if st.cost + sop.op.cost(session.graph()) > budget + 1e-9 {
                 continue;
             }
             // Canonicity (§4): never relax and refine the same literal
@@ -257,7 +258,7 @@ pub fn answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
                 OpClass::Relax => st.phase,
                 OpClass::Refine => Phase::Refine,
             };
-            (nq, no, st.cost + sop.op.cost(session.graph), phase)
+            (nq, no, st.cost + sop.op.cost(session.graph()), phase)
         };
 
         let sig = new_query.signature();
@@ -281,8 +282,7 @@ pub fn answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
         // Prune (line 9, Lemma 5.5(2)): in the refinement phase cl⁺ only
         // shrinks, so a subtree whose bound is below the (k-th) best is dead.
         let kth = kth_best(&report.top_k);
-        if session.config.pruning && new_phase == Phase::Refine && eval.upper_bound <= kth + 1e-12
-        {
+        if session.config.pruning && new_phase == Phase::Refine && eval.upper_bound <= kth + 1e-12 {
             continue 'search;
         }
 
@@ -323,15 +323,14 @@ mod tests {
     use crate::paper::paper_question;
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
 
     fn run(config: WqeConfig) -> (wqe_graph::product::ProductGraph, AnswerReport) {
         let pg = product_graph();
         let report = {
             let g = &pg.graph;
-            let oracle = PllIndex::build(g);
+            let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
             let wq = paper_question(g);
-            let session = Session::new(g, &oracle, &wq, config);
+            let session = Session::new(ctx.clone(), &wq, config);
             answ(&session, &wq)
         };
         (pg, report)
@@ -345,11 +344,12 @@ mod tests {
         });
         let best = report.best.expect("a rewrite is found");
         // Optimal rewrite: Q'(G) = {P3, P4, P5}, closeness 1/2 = cl*.
-        assert_eq!(
-            best.matches,
-            vec![pg.phones[2], pg.phones[3], pg.phones[4]]
+        assert_eq!(best.matches, vec![pg.phones[2], pg.phones[3], pg.phones[4]]);
+        assert!(
+            (best.closeness - 0.5).abs() < 1e-9,
+            "cl = {}",
+            best.closeness
         );
-        assert!((best.closeness - 0.5).abs() < 1e-9, "cl = {}", best.closeness);
         assert!(best.satisfies);
         assert!(report.optimal_reached);
         assert!(best.cost <= 4.0 + 1e-9);
@@ -389,7 +389,10 @@ mod tests {
     #[test]
     fn ablations_reach_same_closeness() {
         // AnsWnc and AnsWb are slower but equally effective on this graph.
-        let (_ , full) = run(WqeConfig { budget: 4.0, ..WqeConfig::default() });
+        let (_, full) = run(WqeConfig {
+            budget: 4.0,
+            ..WqeConfig::default()
+        });
         let (_, nc) = run(WqeConfig {
             budget: 4.0,
             caching: false,

@@ -56,13 +56,13 @@ impl ChaseSequence {
     /// Replays `ops` from `q0`, evaluating each intermediate rewrite and
     /// recording the answer/exemplar deltas. Fails (returns `None`) if some
     /// operator is inapplicable where it occurs.
-    pub fn replay(session: &Session<'_>, q0: &PatternQuery, ops: &[AtomicOp]) -> Option<Self> {
+    pub fn replay(session: &Session, q0: &PatternQuery, ops: &[AtomicOp]) -> Option<Self> {
         let mut q = q0.clone();
         let mut prev = session.evaluate(&q);
         let mut prev_covered = covered_tuples(session, &prev.outcome.matches);
         let mut steps = Vec::with_capacity(ops.len());
         for op in ops {
-            let cost = op.cost(session.graph);
+            let cost = op.cost(session.graph());
             op.apply(&mut q).ok()?;
             let next = session.evaluate(&q);
             let next_covered = covered_tuples(session, &next.outcome.matches);
@@ -139,9 +139,9 @@ impl ChaseSequence {
 
 /// Which tuples of the session exemplar have a representative among
 /// `answers` (the `T_i` bookkeeping of a chase state).
-pub fn covered_tuples(session: &Session<'_>, answers: &[NodeId]) -> Vec<bool> {
+pub fn covered_tuples(session: &Session, answers: &[NodeId]) -> Vec<bool> {
     let rep = compute_representation(
-        session.graph,
+        session.graph(),
         &session.exemplar,
         answers.iter().copied(),
         session.config.closeness.theta,
@@ -152,7 +152,7 @@ pub fn covered_tuples(session: &Session<'_>, answers: &[NodeId]) -> Vec<bool> {
 /// Checks whether a terminal sequence's result answers the why-question
 /// (Theorem 4.3's "if" direction): cost within budget and `Q_k(G) ⊨ E`.
 pub fn is_answer(
-    session: &Session<'_>,
+    session: &Session,
     q0: &PatternQuery,
     ops: &[AtomicOp],
 ) -> Option<(PatternQuery, bool)> {
@@ -160,7 +160,7 @@ pub fn is_answer(
     for op in ops {
         op.apply(&mut q).ok()?;
     }
-    if sequence_cost(ops, session.graph) > session.config.budget + 1e-9 {
+    if sequence_cost(ops, session.graph()) > session.config.budget + 1e-9 {
         return Some((q, false));
     }
     let eval = session.evaluate(&q);
@@ -171,19 +171,25 @@ pub fn is_answer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::{WhyQuestion, WqeConfig};
     use crate::paper::paper_question;
+    use crate::session::{WhyQuestion, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
     use wqe_query::{AtomicOp, Literal, QNodeId};
 
     #[test]
     fn replay_paper_rewrite() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq: WhyQuestion = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
         let s = g.schema();
         let price = s.attr_id("Price").unwrap();
         let discount = s.attr_id("Discount").unwrap();
@@ -198,7 +204,11 @@ mod tests {
                 old: Literal::new(price, wqe_graph::CmpOp::Ge, 840),
                 new: Literal::new(price, wqe_graph::CmpOp::Ge, 790),
             },
-            AtomicOp::RmE { from: focus, to: sensor, bound: 2 },
+            AtomicOp::RmE {
+                from: focus,
+                to: sensor,
+                bound: 2,
+            },
             AtomicOp::AddL {
                 node: carrier,
                 lit: Literal::new(discount, wqe_graph::CmpOp::Eq, 25),
@@ -220,9 +230,16 @@ mod tests {
     fn is_answer_checks_budget_and_satisfaction() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
         let s = g.schema();
         let price = s.attr_id("Price").unwrap();
         let discount = s.attr_id("Discount").unwrap();
@@ -233,7 +250,11 @@ mod tests {
                 old: Literal::new(price, wqe_graph::CmpOp::Ge, 840),
                 new: Literal::new(price, wqe_graph::CmpOp::Ge, 790),
             },
-            AtomicOp::RmE { from: focus, to: QNodeId(2), bound: 2 },
+            AtomicOp::RmE {
+                from: focus,
+                to: QNodeId(2),
+                bound: 2,
+            },
             AtomicOp::AddL {
                 node: QNodeId(1),
                 lit: Literal::new(discount, wqe_graph::CmpOp::Eq, 25),
@@ -247,9 +268,9 @@ mod tests {
     fn tuple_activation_tracked() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let s = g.schema();
         let price = s.attr_id("Price").unwrap();
         let focus = wq.query.focus();

@@ -139,11 +139,7 @@ pub fn string_similarity(a: &str, b: &str) -> f64 {
     if a == b {
         return 1.0;
     }
-    let common = a
-        .bytes()
-        .zip(b.bytes())
-        .take_while(|(x, y)| x == y)
-        .count();
+    let common = a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count();
     let max_len = a.len().max(b.len());
     if max_len == 0 {
         1.0
@@ -154,7 +150,12 @@ pub fn string_similarity(a: &str, b: &str) -> f64 {
 
 /// Similarity between two attribute values using the graph's range for
 /// numerics and [`string_similarity`] for strings.
-pub fn value_similarity(graph: &Graph, attr: wqe_graph::AttrId, a: &AttrValue, b: &AttrValue) -> f64 {
+pub fn value_similarity(
+    graph: &Graph,
+    attr: wqe_graph::AttrId,
+    a: &AttrValue,
+    b: &AttrValue,
+) -> f64 {
     if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
         (1.0 - (x - y).abs() / graph.attr_range(attr)).max(0.0)
     } else {
@@ -199,14 +200,23 @@ mod tests {
                 .var(price),
         );
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: t2, attr: price },
+            lhs: VarRef {
+                tuple: t2,
+                attr: price,
+            },
             op: CmpOp::Lt,
             rhs: Rhs::Const(wqe_graph::AttrValue::Int(800)),
         });
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: t1, attr: storage },
+            lhs: VarRef {
+                tuple: t1,
+                attr: storage,
+            },
             op: CmpOp::Gt,
-            rhs: Rhs::Var(VarRef { tuple: t2, attr: storage }),
+            rhs: Rhs::Var(VarRef {
+                tuple: t2,
+                attr: storage,
+            }),
         });
         (pg, ex)
     }
@@ -251,8 +261,7 @@ mod tests {
         let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
         let answers = vec![pg.phones[2], pg.phones[0]];
         assert!(
-            closeness_upper_bound(&answers, &rep, 6)
-                >= answer_closeness(&answers, &rep, 1.0, 6)
+            closeness_upper_bound(&answers, &rep, 6) >= answer_closeness(&answers, &rep, 1.0, 6)
         );
     }
 

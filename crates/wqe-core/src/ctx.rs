@@ -1,0 +1,110 @@
+//! Shared-ownership engine context.
+//!
+//! Everything a why-question session needs from the outside world — the
+//! data graph and a distance oracle over it — bundled behind `Arc`s. The
+//! context is cheap to clone (two refcount bumps) and `'static`, which is
+//! what lets [`crate::session::Session`] and [`crate::engine::WqeEngine`]
+//! be handed across threads: one graph and one index, built once, answering
+//! many concurrent why-questions.
+
+use std::sync::Arc;
+use wqe_graph::Graph;
+use wqe_index::{DistanceOracle, HybridOracle};
+
+/// Shared, immutable inputs of a why-question session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use wqe_core::ctx::EngineCtx;
+/// use wqe_graph::product::product_graph;
+///
+/// let ctx = EngineCtx::with_default_oracle(Arc::new(product_graph().graph));
+/// let clone = ctx.clone(); // cheap: two Arc bumps
+/// assert_eq!(clone.graph().node_count(), ctx.graph().node_count());
+/// ```
+#[derive(Clone)]
+pub struct EngineCtx {
+    graph: Arc<Graph>,
+    oracle: Arc<dyn DistanceOracle>,
+}
+
+impl EngineCtx {
+    /// Bundles a graph with a caller-chosen oracle.
+    pub fn new(graph: Arc<Graph>, oracle: Arc<dyn DistanceOracle>) -> Self {
+        EngineCtx { graph, oracle }
+    }
+
+    /// Bundles a graph with [`HybridOracle::default_for`] at the paper's
+    /// default distance horizon (`b_m = 4`).
+    pub fn with_default_oracle(graph: Arc<Graph>) -> Self {
+        let oracle = Arc::new(HybridOracle::default_for(&graph, 4));
+        EngineCtx { graph, oracle }
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A shared handle to the graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The distance oracle.
+    pub fn oracle(&self) -> &dyn DistanceOracle {
+        &*self.oracle
+    }
+
+    /// A shared handle to the oracle.
+    pub fn oracle_arc(&self) -> Arc<dyn DistanceOracle> {
+        Arc::clone(&self.oracle)
+    }
+}
+
+impl std::fmt::Debug for EngineCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCtx")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqe_graph::product::product_graph;
+    use wqe_graph::NodeId;
+
+    #[test]
+    fn context_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<EngineCtx>();
+    }
+
+    #[test]
+    fn clones_share_the_graph() {
+        let ctx = EngineCtx::with_default_oracle(Arc::new(product_graph().graph));
+        let clone = ctx.clone();
+        assert!(std::ptr::eq(ctx.graph(), clone.graph()));
+        assert_eq!(
+            ctx.oracle().distance_within(NodeId(0), NodeId(0), 0),
+            clone.oracle().distance_within(NodeId(0), NodeId(0), 0),
+        );
+    }
+
+    #[test]
+    fn usable_from_spawned_threads() {
+        let ctx = EngineCtx::with_default_oracle(Arc::new(product_graph().graph));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ctx = ctx.clone();
+                std::thread::spawn(move || ctx.graph().node_count())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), ctx.graph().node_count());
+        }
+    }
+}

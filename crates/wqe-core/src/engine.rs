@@ -2,14 +2,13 @@
 //! every algorithm of the paper.
 
 use crate::answ::{answ, AnswerReport, RewriteResult};
+use crate::ctx::EngineCtx;
 use crate::explain::DifferentialTable;
 use crate::fmansw::fm_answ;
 use crate::heuristic::{ans_heu, Selection};
 use crate::session::{EvalResult, Session, WhyQuestion, WqeConfig};
 use crate::whyempty::ans_we;
 use crate::whymany::apx_why_many;
-use wqe_graph::Graph;
-use wqe_index::DistanceOracle;
 
 /// Which algorithm variant to run (mirrors the implementations of §7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,28 +27,48 @@ pub enum Algorithm {
     FMAnsW,
 }
 
-/// A why-question engine over one graph + oracle + question.
-pub struct WqeEngine<'g> {
-    session: Session<'g>,
+/// A why-question engine over one shared context + question.
+///
+/// The engine is `'static`, `Send`, and `Sync`: clones of one [`EngineCtx`]
+/// can drive many engines on many threads over the same graph and index.
+pub struct WqeEngine {
+    session: Session,
     question: WhyQuestion,
 }
 
-impl<'g> WqeEngine<'g> {
+// The whole engine must stay shareable across threads; a non-Sync field
+// anywhere in the session/matcher/cache stack breaks this line.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WqeEngine>();
+    assert_send_sync::<Session>();
+};
+
+impl WqeEngine {
     /// Builds the engine. `config.caching`/`config.pruning` are overridden
     /// per algorithm by [`WqeEngine::run`]; set them directly when calling
     /// [`WqeEngine::answer`].
-    pub fn new(
-        graph: &'g Graph,
-        oracle: &'g dyn DistanceOracle,
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid question or config; use
+    /// [`WqeEngine::try_new`] for untrusted input.
+    pub fn new(ctx: EngineCtx, question: WhyQuestion, config: WqeConfig) -> Self {
+        WqeEngine::try_new(ctx, question, config).expect("valid why-question and config")
+    }
+
+    /// Fallible constructor: validates the question and tunables first.
+    pub fn try_new(
+        ctx: EngineCtx,
         question: WhyQuestion,
         config: WqeConfig,
-    ) -> Self {
-        let session = Session::new(graph, oracle, &question, config);
-        WqeEngine { session, question }
+    ) -> Result<Self, crate::error::WqeError> {
+        let session = Session::try_new(ctx, &question, config)?;
+        Ok(WqeEngine { session, question })
     }
 
     /// The underlying session (representation, `V_uo`, `cl*`, …).
-    pub fn session(&self) -> &Session<'g> {
+    pub fn session(&self) -> &Session {
         &self.session
     }
 
@@ -96,9 +115,12 @@ impl<'g> WqeEngine<'g> {
         match algorithm {
             Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => self.answer(),
             Algorithm::AnsHeu(k) => self.answer_heuristic(k),
-            Algorithm::AnsHeuB(k, seed) => {
-                ans_heu(&self.session, &self.question, Some(k), Selection::Random(seed))
-            }
+            Algorithm::AnsHeuB(k, seed) => ans_heu(
+                &self.session,
+                &self.question,
+                Some(k),
+                Selection::Random(seed),
+            ),
             Algorithm::FMAnsW => self.answer_baseline(),
         }
     }
@@ -113,19 +135,24 @@ impl<'g> WqeEngine<'g> {
 mod tests {
     use super::*;
     use crate::paper::paper_question;
+    use std::sync::Arc;
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
+
+    fn ctx_for(g: &wqe_graph::Graph) -> EngineCtx {
+        EngineCtx::with_default_oracle(Arc::new(g.clone()))
+    }
 
     #[test]
     fn engine_end_to_end() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
         let engine = WqeEngine::new(
-            g,
-            &oracle,
+            ctx_for(g),
             paper_question(g),
-            WqeConfig { budget: 4.0, ..Default::default() },
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
         );
         let report = engine.answer();
         let best = report.best.as_ref().expect("answer");
@@ -138,12 +165,13 @@ mod tests {
     fn why_variants_through_engine() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
         let engine = WqeEngine::new(
-            g,
-            &oracle,
+            ctx_for(g),
             paper_question(g),
-            WqeConfig { budget: 3.0, ..Default::default() },
+            WqeConfig {
+                budget: 3.0,
+                ..Default::default()
+            },
         );
         // Why-Many removes the irrelevant matches P1, P2 (refinement-only).
         let wm = engine.answer_why_many().best.unwrap();
@@ -161,12 +189,13 @@ mod tests {
     fn all_algorithms_dispatch() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
         let engine = WqeEngine::new(
-            g,
-            &oracle,
+            ctx_for(g),
             paper_question(g),
-            WqeConfig { budget: 4.0, ..Default::default() },
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
         );
         for alg in [
             Algorithm::AnsW,

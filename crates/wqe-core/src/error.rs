@@ -1,0 +1,75 @@
+//! Error type for the fallible engine entry points.
+//!
+//! Construction of sessions and engines validates the why-question and the
+//! tunables up front so the algorithms themselves can stay panic-free: a
+//! question that passes [`crate::session::Session::try_new`] never trips an
+//! invariant deeper in the search.
+
+use wqe_query::PatternError;
+
+/// Why a session, engine, or multi-focus answer could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WqeError {
+    /// The question's pattern has no live focus node (e.g. it was removed
+    /// by an operator before the question was posed).
+    DeadFocus,
+    /// A numeric tunable is non-finite or out of its documented range.
+    InvalidConfig {
+        /// Which `WqeConfig` field was rejected.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A pattern-level operation failed (refocusing, operator application).
+    Pattern(PatternError),
+}
+
+impl std::fmt::Display for WqeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WqeError::DeadFocus => write!(f, "the query's focus node is not live"),
+            WqeError::InvalidConfig { field, value } => {
+                write!(f, "invalid config: {field} = {value}")
+            }
+            WqeError::Pattern(e) => write!(f, "pattern error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WqeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WqeError::Pattern(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for WqeError {
+    fn from(e: PatternError) -> Self {
+        WqeError::Pattern(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(WqeError::DeadFocus.to_string().contains("focus"));
+        let e = WqeError::InvalidConfig {
+            field: "budget",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn pattern_errors_convert() {
+        let p = PatternError::FocusRemoval;
+        let e: WqeError = p.clone().into();
+        assert_eq!(e, WqeError::Pattern(p));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -273,7 +273,9 @@ where
         loop {
             let mut changed = false;
             for con in &ineqs {
-                let Rhs::Var(rhs) = &con.rhs else { unreachable!() };
+                let Rhs::Var(rhs) = &con.rhs else {
+                    unreachable!()
+                };
                 let (i, ai) = (con.lhs.tuple, con.lhs.attr);
                 let (j, aj) = (rhs.tuple, rhs.attr);
                 if i >= nt || j >= nt {
@@ -288,9 +290,9 @@ where
                 let before = per_tuple[i].len();
                 let op = con.op;
                 per_tuple[i].retain(|&v| {
-                    graph.attr(v, ai).is_some_and(|val| {
-                        right.iter().any(|r| op.eval(val, r))
-                    })
+                    graph
+                        .attr(v, ai)
+                        .is_some_and(|val| right.iter().any(|r| op.eval(val, r)))
                 });
                 changed |= per_tuple[i].len() != before;
                 // Backward: every v' ~ t_j needs a witness v ~ t_i.
@@ -300,9 +302,9 @@ where
                     .collect();
                 let before = per_tuple[j].len();
                 per_tuple[j].retain(|&v| {
-                    graph.attr(v, aj).is_some_and(|val| {
-                        left.iter().any(|l| op.eval(l, val))
-                    })
+                    graph
+                        .attr(v, aj)
+                        .is_some_and(|val| left.iter().any(|l| op.eval(l, val)))
                 });
                 changed |= per_tuple[j].len() != before;
             }
@@ -363,15 +365,24 @@ mod tests {
         );
         // c1: t2.price < 800
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: t2, attr: price },
+            lhs: VarRef {
+                tuple: t2,
+                attr: price,
+            },
             op: CmpOp::Lt,
             rhs: Rhs::Const(AttrValue::Int(800)),
         });
         // c2: t1.storage > t2.storage
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: t1, attr: storage },
+            lhs: VarRef {
+                tuple: t1,
+                attr: storage,
+            },
             op: CmpOp::Gt,
-            rhs: Rhs::Var(VarRef { tuple: t2, attr: storage }),
+            rhs: Rhs::Var(VarRef {
+                tuple: t2,
+                attr: storage,
+            }),
         });
         ex
     }
@@ -384,8 +395,9 @@ mod tests {
         let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
         assert!(rep.satisfiable);
         // rep(E, V) = {P3, P4, P5}.
-        let expect: HashSet<NodeId> =
-            [pg.phones[2], pg.phones[3], pg.phones[4]].into_iter().collect();
+        let expect: HashSet<NodeId> = [pg.phones[2], pg.phones[3], pg.phones[4]]
+            .into_iter()
+            .collect();
         assert_eq!(rep.nodes, expect);
         // P1 similar to t1 by display but excluded by the storage constraint;
         // its cl(v,E) is still recorded (vsim-level similarity).
@@ -423,7 +435,12 @@ mod tests {
         let g = &pg.graph;
         let ex = paper_exemplar(g);
         // Q'(G) = {P3, P4, P5} satisfies E.
-        assert!(satisfies(g, &ex, &[pg.phones[2], pg.phones[3], pg.phones[4]], 1.0));
+        assert!(satisfies(
+            g,
+            &ex,
+            &[pg.phones[2], pg.phones[3], pg.phones[4]],
+            1.0
+        ));
         // {P1, P2} does not (t2 has no surviving representative).
         assert!(!satisfies(g, &ex, &[pg.phones[0], pg.phones[1]], 1.0));
         // {P4, P5} does: t1 <- P5 (128 > 64), t2 <- P4.
@@ -455,9 +472,15 @@ mod tests {
         let t1 = ex.add_tuple(TuplePattern::new().var(display).constant(brand, "Samsung"));
         let t2 = ex.add_tuple(TuplePattern::new().var(display).constant(brand, "Samsung"));
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: t1, attr: display },
+            lhs: VarRef {
+                tuple: t1,
+                attr: display,
+            },
             op: CmpOp::Eq,
-            rhs: Rhs::Var(VarRef { tuple: t2, attr: display }),
+            rhs: Rhs::Var(VarRef {
+                tuple: t2,
+                attr: display,
+            }),
         });
         let rep = compute_representation(g, &ex, g.node_ids(), 1.0);
         assert!(rep.satisfiable);

@@ -1,7 +1,9 @@
 //! Property tests for exemplars, `rep(E, V)`, and the closeness model.
 
 use crate::closeness::{exemplar_closeness, tuple_closeness};
-use crate::exemplar::{compute_representation, Cell, Constraint, Exemplar, Rhs, TuplePattern, VarRef};
+use crate::exemplar::{
+    compute_representation, Cell, Constraint, Exemplar, Rhs, TuplePattern, VarRef,
+};
 use proptest::prelude::*;
 use wqe_graph::{AttrId, AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
 

@@ -48,7 +48,7 @@ impl DifferentialTable {
     /// Builds the table by replaying `ops` from `q0` and classifying every
     /// answer delta against the session's representation.
     pub fn build(
-        session: &Session<'_>,
+        session: &Session,
         q0: &PatternQuery,
         ops: &[AtomicOp],
     ) -> Option<DifferentialTable> {
@@ -144,15 +144,21 @@ mod tests {
     use crate::paper::{paper_optimal_ops, paper_question};
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
 
     #[test]
     fn differential_table_for_paper_rewrite() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
         let ops = paper_optimal_ops(g);
         let table = DifferentialTable::build(&session, &wq.query, &ops).expect("replayable");
         assert_eq!(table.entries.len(), 3);
@@ -172,14 +178,22 @@ mod tests {
     fn render_mentions_entities() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
-        let table =
-            DifferentialTable::build(&session, &wq.query, &paper_optimal_ops(g)).unwrap();
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
+        let table = DifferentialTable::build(&session, &wq.query, &paper_optimal_ops(g)).unwrap();
         let name = g.schema().attr_id("Name").unwrap();
         let text = table.render(g.schema(), |v| {
-            g.attr(v, name).map(|x| x.to_string()).unwrap_or_else(|| format!("n{}", v.0))
+            g.attr(v, name)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| format!("n{}", v.0))
         });
         assert!(text.contains("relevant match"));
         assert!(text.contains("excluded irrelevant"));

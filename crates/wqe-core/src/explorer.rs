@@ -8,12 +8,12 @@
 //! response time* (§4 "Interpretation of Q-Chase").
 
 use crate::answ::answ;
+use crate::ctx::EngineCtx;
 use crate::exemplar::Exemplar;
 use crate::explain::DifferentialTable;
 use crate::heuristic::{ans_heu, Selection};
 use crate::session::{Session, WhyQuestion, WqeConfig};
-use wqe_graph::{Graph, NodeId};
-use wqe_index::DistanceOracle;
+use wqe_graph::NodeId;
 use wqe_query::{AtomicOp, PatternQuery};
 
 /// How a session searches for the rewrite.
@@ -43,25 +43,18 @@ pub struct SessionRecord {
 }
 
 /// An interactive exploration handle.
-pub struct Explorer<'g> {
-    graph: &'g Graph,
-    oracle: &'g dyn DistanceOracle,
+pub struct Explorer {
+    ctx: EngineCtx,
     config: WqeConfig,
     current: PatternQuery,
     history: Vec<SessionRecord>,
 }
 
-impl<'g> Explorer<'g> {
+impl Explorer {
     /// Starts exploring from an initial query.
-    pub fn new(
-        graph: &'g Graph,
-        oracle: &'g dyn DistanceOracle,
-        initial: PatternQuery,
-        config: WqeConfig,
-    ) -> Self {
+    pub fn new(ctx: EngineCtx, initial: PatternQuery, config: WqeConfig) -> Self {
         Explorer {
-            graph,
-            oracle,
+            ctx,
             config,
             current: initial,
             history: Vec::new(),
@@ -84,7 +77,7 @@ impl<'g> Explorer<'g> {
             query: self.current.clone(),
             exemplar: Exemplar::new(),
         };
-        let session = Session::new(self.graph, self.oracle, &wq, self.config.clone());
+        let session = Session::new(self.ctx.clone(), &wq, self.config.clone());
         session.evaluate(&self.current).outcome.matches
     }
 
@@ -95,7 +88,7 @@ impl<'g> Explorer<'g> {
             query: self.current.clone(),
             exemplar: exemplar.clone(),
         };
-        let session = Session::new(self.graph, self.oracle, &question, self.config.clone());
+        let session = Session::new(self.ctx.clone(), &question, self.config.clone());
         let before = session.evaluate(&self.current);
         let report = match strategy {
             SessionStrategy::Beam(k) => ans_heu(&session, &question, Some(k), Selection::Picky),
@@ -104,7 +97,7 @@ impl<'g> Explorer<'g> {
         let record = match report.best {
             Some(best) if best.closeness > before.closeness + 1e-12 => {
                 let lineage = DifferentialTable::build(&session, &self.current, &best.ops);
-                
+
                 SessionRecord {
                     query_before: std::mem::replace(&mut self.current, best.query),
                     ops: best.ops,
@@ -144,17 +137,19 @@ impl<'g> Explorer<'g> {
 mod tests {
     use super::*;
     use crate::paper::{paper_exemplar, paper_query};
+    use std::sync::Arc;
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
+
+    fn ctx_for(g: &wqe_graph::Graph) -> EngineCtx {
+        EngineCtx::with_default_oracle(Arc::new(g.clone()))
+    }
 
     #[test]
     fn session_adopts_improving_rewrite() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
         let mut explorer = Explorer::new(
-            g,
-            &oracle,
+            ctx_for(g),
             paper_query(g),
             WqeConfig {
                 budget: 4.0,
@@ -178,10 +173,8 @@ mod tests {
     fn non_improving_session_keeps_query() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
         let mut explorer = Explorer::new(
-            g,
-            &oracle,
+            ctx_for(g),
             paper_query(g),
             WqeConfig {
                 budget: 4.0, // enough to reach cl* in the first session
@@ -201,12 +194,10 @@ mod tests {
     fn undo_restores() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
         let initial = paper_query(g);
         let sig0 = initial.signature();
         let mut explorer = Explorer::new(
-            g,
-            &oracle,
+            ctx_for(g),
             initial,
             WqeConfig {
                 budget: 4.0,

@@ -18,8 +18,8 @@ use wqe_query::{AtomicOp, Literal};
 const SUPPORT: f64 = 0.5;
 
 /// Mines frequent facts and proposes operators in support order.
-fn mine_ops(session: &Session<'_>, question: &WhyQuestion) -> Vec<(f64, AtomicOp)> {
-    let g = session.graph;
+fn mine_ops(session: &Session, question: &WhyQuestion) -> Vec<(f64, AtomicOp)> {
+    let g = session.graph();
     let q = &question.query;
     let focus = q.focus();
     let rel: &[NodeId] = &session.r_uo;
@@ -43,7 +43,9 @@ fn mine_ops(session: &Session<'_>, question: &WhyQuestion) -> Vec<(f64, AtomicOp
 
     // Existing focus literals violated by a majority of relevant
     // candidates: propose removal (and numeric relaxation to the hull).
-    let focus_node = q.node(focus).expect("live focus");
+    let Some(focus_node) = q.node(focus) else {
+        return Vec::new();
+    };
     for lit in &focus_node.literals {
         let violators = rel.iter().filter(|&&v| !lit.eval(g, v)).count();
         let support = violators as f64 / n;
@@ -112,9 +114,9 @@ fn mine_ops(session: &Session<'_>, question: &WhyQuestion) -> Vec<(f64, AtomicOp
                 } else {
                     g.bounded_bfs_rev(v, e.bound)
                 };
-                !reach.iter().any(|&(w, d)| {
-                    d >= 1 && leaf_label.is_none_or(|l| g.label(w) == l)
-                })
+                !reach
+                    .iter()
+                    .any(|&(w, d)| d >= 1 && leaf_label.is_none_or(|l| g.label(w) == l))
             })
             .count();
         let support = missing as f64 / n;
@@ -148,7 +150,10 @@ fn mine_ops(session: &Session<'_>, question: &WhyQuestion) -> Vec<(f64, AtomicOp
     // Frequent neighbor labels as new pattern edges.
     let mut label_count: HashMap<(u32, u32, bool), usize> = HashMap::new();
     for &v in rel {
-        for (reach, outgoing) in [(g.bounded_bfs(v, 2), true), (g.bounded_bfs_rev(v, 2), false)] {
+        for (reach, outgoing) in [
+            (g.bounded_bfs(v, 2), true),
+            (g.bounded_bfs_rev(v, 2), false),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for (w, d) in reach {
                 if d == 0 {
@@ -176,12 +181,17 @@ fn mine_ops(session: &Session<'_>, question: &WhyQuestion) -> Vec<(f64, AtomicOp
         }
     }
 
-    ops.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite support"));
+    // Fact mining iterates hash maps; tie-break equal supports on the op's
+    // debug form so the greedy application order is deterministic.
+    ops.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| format!("{:?}", a.1).cmp(&format!("{:?}", b.1)))
+    });
     ops
 }
 
 /// Runs the FM baseline: greedy application of frequency-ranked operators.
-pub fn fm_answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
+pub fn fm_answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
     let mut report = AnswerReport::default();
     let budget = session.config.budget;
@@ -199,7 +209,7 @@ pub fn fm_answ(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
 
     let mut current = best.clone();
     for (_, op) in mine_ops(session, question) {
-        let c = op.cost(session.graph);
+        let c = op.cost(session.graph());
         if current.cost + c > budget + 1e-9 {
             continue;
         }
@@ -241,15 +251,21 @@ mod tests {
     use crate::paper::paper_question;
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
 
     #[test]
     fn baseline_improves_over_original() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
         let base = session.evaluate(&wq.query);
         let report = fm_answ(&session, &wq);
         let best = report.best.unwrap();
@@ -261,9 +277,16 @@ mod tests {
     fn baseline_weaker_or_equal_to_exact() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
         let fm = fm_answ(&session, &wq);
         let exact = crate::answ::answ(&session, &wq);
         let cl = |r: &AnswerReport| r.best.as_ref().map(|b| b.closeness).unwrap_or(-1.0);
@@ -274,10 +297,10 @@ mod tests {
     fn empty_relevant_set_is_handled() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let mut wq = paper_question(g);
         wq.exemplar = crate::exemplar::Exemplar::new();
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let report = fm_answ(&session, &wq);
         assert!(report.best.is_some());
     }

@@ -79,7 +79,7 @@ fn cap_per_class(ops: Vec<ScoredOp>, k: usize) -> Vec<ScoredOp> {
 /// Runs beam-search Q-Chase. `beam` overrides the session's configured
 /// width when `Some`.
 pub fn ans_heu(
-    session: &Session<'_>,
+    session: &Session,
     question: &WhyQuestion,
     beam: Option<usize>,
     selection: Selection,
@@ -102,8 +102,15 @@ pub fn ans_heu(
     visited.insert(question.query.signature());
     report.expansions += 1;
     consider(
-        session, &question.query, &[], 0.0, &root_eval, &start,
-        &mut best, &mut best_satisfying_cl, &mut report,
+        session,
+        &question.query,
+        &[],
+        0.0,
+        &root_eval,
+        &start,
+        &mut best,
+        &mut best_satisfying_cl,
+        &mut report,
     );
 
     let mut frontier = vec![BeamState {
@@ -130,17 +137,23 @@ pub fn ans_heu(
         }
         let mut children: Vec<BeamState> = Vec::new();
         for state in &frontier {
-            let mut ops = next_ops(session, &state.query, &state.eval, state.phase, best_satisfying_cl);
+            let mut ops = next_ops(
+                session,
+                &state.query,
+                &state.eval,
+                state.phase,
+                best_satisfying_cl,
+            );
             if let Some(rng) = rng.as_mut() {
                 // AnsHeuB: shuffle by random scores.
                 let mut scored: Vec<(f64, ScoredOp)> =
                     ops.into_iter().map(|o| (rng.next_f64(), o)).collect();
-                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+                scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                 ops = scored.into_iter().map(|(_, o)| o).collect();
             }
             let ops = cap_per_class(ops, k);
             for sop in ops {
-                if state.cost + sop.op.cost(session.graph) > budget + 1e-9 {
+                if state.cost + sop.op.cost(session.graph()) > budget + 1e-9 {
                     continue;
                 }
                 // Canonicity (§4): skip ops that would relax and refine the
@@ -162,10 +175,17 @@ pub fn ans_heu(
                 report.expansions += 1;
                 let mut nops = state.ops.clone();
                 nops.push(sop.op.clone());
-                let cost = state.cost + sop.op.cost(session.graph);
+                let cost = state.cost + sop.op.cost(session.graph());
                 consider(
-                    session, &nq, &nops, cost, &eval, &start,
-                    &mut best, &mut best_satisfying_cl, &mut report,
+                    session,
+                    &nq,
+                    &nops,
+                    cost,
+                    &eval,
+                    &start,
+                    &mut best,
+                    &mut best_satisfying_cl,
+                    &mut report,
                 );
                 let phase = match sop.op.class() {
                     OpClass::Relax => state.phase,
@@ -194,15 +214,9 @@ pub fn ans_heu(
         children.sort_by(|a, b| {
             b.eval
                 .upper_bound
-                .partial_cmp(&a.eval.upper_bound)
-                .expect("finite")
-                .then(
-                    b.eval
-                        .closeness
-                        .partial_cmp(&a.eval.closeness)
-                        .expect("finite"),
-                )
-                .then(a.cost.partial_cmp(&b.cost).expect("finite"))
+                .total_cmp(&a.eval.upper_bound)
+                .then(b.eval.closeness.total_cmp(&a.eval.closeness))
+                .then(a.cost.total_cmp(&b.cost))
         });
         children.truncate(k);
         frontier = children;
@@ -221,7 +235,7 @@ pub fn ans_heu(
 
 #[allow(clippy::too_many_arguments)]
 fn consider(
-    _session: &Session<'_>,
+    _session: &Session,
     q: &PatternQuery,
     ops: &[AtomicOp],
     cost: f64,
@@ -265,16 +279,14 @@ mod tests {
     use crate::paper::paper_question;
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
 
     fn run(beam: usize, selection: Selection) -> AnswerReport {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
         let session = Session::new(
-            g,
-            &oracle,
+            ctx.clone(),
             &wq,
             WqeConfig {
                 budget: 4.0,

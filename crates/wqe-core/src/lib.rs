@@ -8,19 +8,24 @@
 //! `AnsWE` (Why-Empty), the `FMAnsW` baseline, top-k suggestion, and
 //! differential-table explanations.
 //!
+//! The engine owns its inputs through a shared [`ctx::EngineCtx`]
+//! (`Arc<Graph>` + `Arc<dyn DistanceOracle>`), so engines are `'static`,
+//! `Send + Sync`, and many can answer questions concurrently over one graph
+//! and one index:
+//!
 //! ```
+//! use std::sync::Arc;
+//! use wqe_core::ctx::EngineCtx;
 //! use wqe_core::engine::WqeEngine;
 //! use wqe_core::paper::paper_question;
 //! use wqe_core::session::WqeConfig;
 //! use wqe_graph::product::product_graph;
-//! use wqe_index::PllIndex;
 //!
-//! let pg = product_graph();
-//! let oracle = PllIndex::build(&pg.graph);
+//! let graph = Arc::new(product_graph().graph);
+//! let ctx = EngineCtx::with_default_oracle(Arc::clone(&graph));
 //! let engine = WqeEngine::new(
-//!     &pg.graph,
-//!     &oracle,
-//!     paper_question(&pg.graph),
+//!     ctx.clone(), // cheap: clones share the graph and the index
+//!     paper_question(&graph),
 //!     WqeConfig { budget: 4.0, ..Default::default() },
 //! );
 //! let report = engine.answer();
@@ -32,7 +37,9 @@
 pub mod answ;
 pub mod chase;
 pub mod closeness;
+pub mod ctx;
 pub mod engine;
+pub mod error;
 pub mod exemplar;
 #[cfg(test)]
 mod exemplar_proptests;
@@ -52,8 +59,12 @@ pub mod whymany;
 
 pub use answ::{answ, AnswerReport, RewriteResult, TracePoint};
 pub use closeness::{relative_closeness, ClosenessConfig};
+pub use ctx::EngineCtx;
 pub use engine::{Algorithm, WqeEngine};
-pub use exemplar::{compute_representation, Cell, Constraint, Exemplar, Representation, Rhs, TuplePattern, VarRef};
+pub use error::WqeError;
+pub use exemplar::{
+    compute_representation, Cell, Constraint, Exemplar, Representation, Rhs, TuplePattern, VarRef,
+};
 pub use explain::DifferentialTable;
 pub use explorer::{Explorer, SessionRecord, SessionStrategy};
 pub use fmansw::fm_answ;

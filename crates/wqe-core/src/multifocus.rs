@@ -9,10 +9,10 @@
 //! closenesses (each normalized by its own `|V_{u_i}|`).
 
 use crate::answ::{answ, AnswerReport};
+use crate::ctx::EngineCtx;
+use crate::error::WqeError;
 use crate::exemplar::Exemplar;
 use crate::session::{Session, WhyQuestion, WqeConfig};
-use wqe_graph::Graph;
-use wqe_index::DistanceOracle;
 use wqe_query::{PatternQuery, QNodeId};
 
 /// A why-question with several foci.
@@ -61,11 +61,10 @@ impl MultiFocusAnswer {
 /// Answers a multi-focus question by running `AnsW` once per focus on the
 /// refocused pattern.
 pub fn answer_multi_focus(
-    graph: &Graph,
-    oracle: &dyn DistanceOracle,
+    ctx: &EngineCtx,
     question: &MultiFocusQuestion,
     config: WqeConfig,
-) -> Result<MultiFocusAnswer, wqe_query::PatternError> {
+) -> Result<MultiFocusAnswer, WqeError> {
     let mut per_focus = Vec::with_capacity(question.foci.len());
     for (focus, exemplar) in &question.foci {
         let refocused = question.query.refocus(*focus)?;
@@ -73,7 +72,7 @@ pub fn answer_multi_focus(
             query: refocused,
             exemplar: exemplar.clone(),
         };
-        let session = Session::new(graph, oracle, &wq, config.clone());
+        let session = Session::try_new(ctx.clone(), &wq, config.clone())?;
         let cl_star = session.cl_star;
         let report = answ(&session, &wq);
         per_focus.push(FocusAnswer {
@@ -91,14 +90,13 @@ mod tests {
     use crate::exemplar::TuplePattern;
     use crate::paper::{paper_exemplar, paper_query, CARRIER, FOCUS};
     use wqe_graph::product::{attrs, product_graph};
-    use wqe_index::PllIndex;
 
     #[test]
     fn two_foci_answered_jointly() {
         let pg = product_graph();
         let g = &pg.graph;
         let s = g.schema();
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
 
         // Focus 1: the cellphone (the paper's exemplar). Focus 2: the
         // carrier, wanting 25%-discount carriers.
@@ -111,8 +109,7 @@ mod tests {
             foci: vec![(FOCUS, paper_exemplar(g)), (CARRIER, carrier_ex)],
         };
         let result = answer_multi_focus(
-            g,
-            &oracle,
+            &ctx,
             &question,
             WqeConfig {
                 budget: 4.0,
@@ -136,7 +133,7 @@ mod tests {
     fn dead_focus_rejected() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let mut q = paper_query(g);
         // Remove the sensor branch; its node dies.
         q.remove_edge(FOCUS, crate::paper::SENSOR).unwrap();
@@ -144,6 +141,6 @@ mod tests {
             query: q,
             foci: vec![(crate::paper::SENSOR, Exemplar::new())],
         };
-        assert!(answer_multi_focus(g, &oracle, &question, WqeConfig::default()).is_err());
+        assert!(answer_multi_focus(&ctx, &question, WqeConfig::default()).is_err());
     }
 }

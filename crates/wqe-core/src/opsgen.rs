@@ -36,7 +36,6 @@ pub struct ScoredOp {
     pub affected: Vec<NodeId>,
 }
 
-
 /// Affected-node accumulator: `(node, cl(node, E))` pairs.
 type Gainers = Vec<(NodeId, f64)>;
 /// Aggregated leaf-literal failures: `(leaf, literal, near-miss values,
@@ -59,7 +58,7 @@ fn op_key(op: &AtomicOp) -> String {
 /// * `RelaxCond`: still in the relax phase, and (when pruning)
 ///   `cl⁺(Q) < cl*`.
 pub fn next_ops(
-    session: &Session<'_>,
+    session: &Session,
     q: &PatternQuery,
     eval: &EvalResult,
     phase: Phase,
@@ -69,8 +68,8 @@ pub fn next_ops(
     let mut seen: HashSet<String> = HashSet::new();
     let pruning = session.config.pruning;
 
-    let refine_cond = !eval.relevance.im.is_empty()
-        && (!pruning || eval.upper_bound > best_closeness + 1e-12);
+    let refine_cond =
+        !eval.relevance.im.is_empty() && (!pruning || eval.upper_bound > best_closeness + 1e-12);
     if refine_cond {
         for sop in generate_refinements(session, q, eval) {
             if seen.insert(op_key(&sop.op)) {
@@ -89,7 +88,14 @@ pub fn next_ops(
         }
     }
 
-    out.sort_by(|a, b| b.pickiness.partial_cmp(&a.pickiness).expect("finite scores"));
+    // Equal-pickiness ties break on the op key: generation iterates hash
+    // maps, and an order-dependent tie would make concurrent and sequential
+    // runs adopt different (equally good) rewrites.
+    out.sort_by(|a, b| {
+        b.pickiness
+            .total_cmp(&a.pickiness)
+            .then_with(|| op_key(&a.op).cmp(&op_key(&b.op)))
+    });
     out
 }
 
@@ -113,15 +119,13 @@ struct FailureAnalysis {
 }
 
 /// Analyses why RC node `v` is not a match of the focus.
-fn analyse_failure(
-    session: &Session<'_>,
-    q: &PatternQuery,
-    v: NodeId,
-) -> FailureAnalysis {
-    let g = session.graph;
+fn analyse_failure(session: &Session, q: &PatternQuery, v: NodeId) -> FailureAnalysis {
+    let g = session.graph();
     let focus = q.focus();
     let mut fa = FailureAnalysis::default();
-    let focus_node = q.node(focus).expect("focus is live");
+    let Some(focus_node) = q.node(focus) else {
+        return fa;
+    };
     for l in &focus_node.literals {
         if !l.eval(g, v) {
             fa.focus_literals.push(l.clone());
@@ -144,7 +148,9 @@ fn analyse_failure(
         } else {
             g.bounded_bfs_rev(v, e.bound)
         };
-        let leaf_node = q.node(leaf).expect("live leaf");
+        let Some(leaf_node) = q.node(leaf) else {
+            continue;
+        };
         let mut found = false;
         let mut near_miss_values: HashMap<(AttrId, CmpOp, String), (Literal, Vec<AttrValue>)> =
             HashMap::new();
@@ -193,11 +199,11 @@ fn analyse_failure(
 
 /// GenRx: relaxation operators from picky edges/literals (§5.3).
 pub fn generate_relaxations(
-    session: &Session<'_>,
+    session: &Session,
     q: &PatternQuery,
     eval: &EvalResult,
 ) -> Vec<ScoredOp> {
-    let g = session.graph;
+    let g = session.graph();
     let focus = q.focus();
     let v_uo = session.v_uo.len().max(1) as f64;
     let sample = session.config.relevance_sample;
@@ -338,7 +344,7 @@ pub fn generate_relaxations(
             affected: affected.clone(),
         });
         let mut adom: Vec<f64> = near_vals.iter().filter_map(AttrValue::as_f64).collect();
-        adom.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        adom.sort_by(|a, b| a.total_cmp(b));
         adom.dedup();
         for new in relaxed_literals(lit, &adom) {
             ops.push(ScoredOp {
@@ -461,11 +467,11 @@ fn relaxed_literals(lit: &Literal, adom_sorted: &[f64]) -> Vec<Literal> {
 /// GenRf: refinement operators harvested from RM witnesses (§5.3 and
 /// Appendix B).
 pub fn generate_refinements(
-    session: &Session<'_>,
+    session: &Session,
     q: &PatternQuery,
     eval: &EvalResult,
 ) -> Vec<ScoredOp> {
-    let g = session.graph;
+    let g = session.graph();
     let lambda = session.config.closeness.lambda;
     let v_uo = session.v_uo.len().max(1) as f64;
     let sample = session.config.relevance_sample;
@@ -475,7 +481,11 @@ pub fn generate_refinements(
 
     // Witness assignment per pattern node for RM and IM matches.
     let witness = |m: NodeId, u: QNodeId| -> Option<NodeId> {
-        eval.outcome.valuations.get(&m).and_then(|h| h.get(&u)).copied()
+        eval.outcome
+            .valuations
+            .get(&m)
+            .and_then(|h| h.get(&u))
+            .copied()
     };
 
     let p_refine = |im_killed: &[NodeId], rm_lost_cl: f64| -> f64 {
@@ -515,9 +525,7 @@ pub fn generate_refinements(
         let killed: Vec<NodeId> = im
             .iter()
             .copied()
-            .filter(|&m| {
-                witness(m, *u).is_some_and(|v| !lit.eval(g, v))
-            })
+            .filter(|&m| witness(m, *u).is_some_and(|v| !lit.eval(g, v)))
             .collect();
         if killed.is_empty() {
             continue;
@@ -533,7 +541,9 @@ pub fn generate_refinements(
     for u in q.node_ids() {
         let Some(node) = q.node(u) else { continue };
         for lit in &node.literals {
-            let Some(c) = lit.value.as_f64() else { continue };
+            let Some(c) = lit.value.as_f64() else {
+                continue;
+            };
             let rm_vals: Vec<f64> = rm
                 .iter()
                 .filter_map(|&m| witness(m, u))
@@ -600,12 +610,7 @@ pub fn generate_refinements(
         let check = |m: NodeId| -> Option<bool> {
             let hf = witness(m, e.from)?;
             let ht = witness(m, e.to)?;
-            Some(
-                session
-                    .matcher
-                    .oracle()
-                    .within(hf, ht, new_bound),
-            )
+            Some(session.matcher.oracle().within(hf, ht, new_bound))
         };
         let killed: Vec<NodeId> = im
             .iter()
@@ -655,23 +660,28 @@ pub fn generate_refinements(
             };
             // k = max RM witness distance (all RM pairs stay within k).
             let rm_dists: Vec<Option<u32>> = rm.iter().map(|&m| dist_of(m)).collect();
-            if rm_dists.iter().any(Option::is_none) || rm_dists.is_empty() {
+            if rm_dists.iter().any(Option::is_none) {
                 continue;
             }
-            let k = rm_dists.iter().flatten().copied().max().expect("nonempty");
+            let Some(k) = rm_dists.iter().flatten().copied().max() else {
+                continue;
+            };
             let killed: Vec<NodeId> = im
                 .iter()
                 .copied()
                 .filter(|&m| {
                     // Unknown witness counts as not killed (conservative).
-                    witness(m, u).is_some()
-                        && dist_of(m).is_none_or(|d| d > k)
+                    witness(m, u).is_some() && dist_of(m).is_none_or(|d| d > k)
                 })
                 .collect();
             if killed.is_empty() {
                 continue;
             }
-            let (from, to) = if outgoing { (q.focus(), u) } else { (u, q.focus()) };
+            let (from, to) = if outgoing {
+                (q.focus(), u)
+            } else {
+                (u, q.focus())
+            };
             ops.push(ScoredOp {
                 op: AtomicOp::AddE { from, to, bound: k },
                 pickiness: p_refine(&killed, 0.0),
@@ -684,8 +694,7 @@ pub fn generate_refinements(
     // For each (label, distance <= 2, direction), check coverage among RM
     // vs IM focus matches.
     let mut label_cov: LabelCoverage = HashMap::new();
-    let explore = |m: NodeId, cov: &mut LabelCoverage,
-                   is_rm: bool| {
+    let explore = |m: NodeId, cov: &mut LabelCoverage, is_rm: bool| {
         for (reach, outgoing) in [
             (g.bounded_bfs(m, 2), true),
             (g.bounded_bfs_rev(m, 2), false),
@@ -721,11 +730,7 @@ pub fn generate_refinements(
         if *d > q.max_bound() {
             continue;
         }
-        let killed: Vec<NodeId> = im
-            .iter()
-            .copied()
-            .filter(|m| !im_cov.contains(m))
-            .collect();
+        let killed: Vec<NodeId> = im.iter().copied().filter(|m| !im_cov.contains(m)).collect();
         ops.push(ScoredOp {
             op: AtomicOp::AddNodeEdge {
                 anchor: q.focus(),
@@ -748,20 +753,19 @@ mod tests {
     use crate::paper::{paper_question, CARRIER, FOCUS, SENSOR};
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
 
-    fn setup() -> (wqe_graph::product::ProductGraph, PllIndex) {
+    fn setup() -> (wqe_graph::product::ProductGraph, crate::ctx::EngineCtx) {
         let pg = product_graph();
-        let oracle = PllIndex::build(&pg.graph);
-        (pg, oracle)
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(pg.graph.clone()));
+        (pg, ctx)
     }
 
     #[test]
     fn relaxations_repair_price_and_sensor() {
-        let (pg, oracle) = setup();
+        let (pg, ctx) = setup();
         let g = &pg.graph;
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&wq.query);
         let relaxations = generate_relaxations(&session, &wq.query, &eval);
         let s = g.schema();
@@ -770,27 +774,28 @@ mod tests {
         // 790 is the largest failing-RC price below 840 (P3's price).
         let found_o3 = relaxations.iter().any(|sop| match &sop.op {
             AtomicOp::RxL { node, old, new } => {
-                *node == FOCUS
-                    && old.attr == price
-                    && new.value.value_eq(&AttrValue::Int(790))
+                *node == FOCUS && old.attr == price && new.value.value_eq(&AttrValue::Int(790))
             }
             _ => false,
         });
-        assert!(found_o3, "RxL(Price>=840 -> >=790) expected; got {relaxations:?}");
+        assert!(
+            found_o3,
+            "RxL(Price>=840 -> >=790) expected; got {relaxations:?}"
+        );
         // The paper's o2: RmE((Cellphone, Sensor), 2) — P3 has no sensor.
-        let found_o2 = relaxations.iter().any(|sop| {
-            matches!(sop.op, AtomicOp::RmE { from, to, .. } if from == FOCUS && to == SENSOR)
-        });
+        let found_o2 = relaxations.iter().any(
+            |sop| matches!(sop.op, AtomicOp::RmE { from, to, .. } if from == FOCUS && to == SENSOR),
+        );
         assert!(found_o2, "RmE(sensor edge) expected");
     }
 
     #[test]
     fn pickiness_prefers_price_relaxation_over_sensor_removal() {
         // Example 5.3: RC̄(o3) = {P3, P4} beats RC̄(o2) = {P3}.
-        let (pg, oracle) = setup();
+        let (pg, ctx) = setup();
         let g = &pg.graph;
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&wq.query);
         let relaxations = generate_relaxations(&session, &wq.query, &eval);
         let s = g.schema();
@@ -814,11 +819,11 @@ mod tests {
     #[test]
     fn pickiness_overestimates_gain() {
         // Lemma 5.2: p(o) >= cl(Q ⊕ o) - cl(Q).
-        let (pg, oracle) = setup();
+        let (pg, ctx) = setup();
         let g = &pg.graph;
         let _ = pg;
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&wq.query);
         for sop in generate_relaxations(&session, &wq.query, &eval) {
             let mut q2 = wq.query.clone();
@@ -838,10 +843,10 @@ mod tests {
     fn refinements_discover_discount_literal() {
         // Example 5.4: after relaxing, GenRf must produce
         // AddL(Carrier.Discount = 25) which kills the IM nodes P1, P2.
-        let (pg, oracle) = setup();
+        let (pg, ctx) = setup();
         let g = &pg.graph;
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         // Relax price and drop the sensor edge first.
         let mut q = wq.query.clone();
         for op in crate::paper::paper_optimal_ops(g).into_iter().take(2) {
@@ -869,7 +874,6 @@ mod tests {
         // GenRf must propose AddE((focus, uB), 1), which kills i.
         use crate::exemplar::TuplePattern;
         use wqe_graph::GraphBuilder;
-        use wqe_index::PllIndex;
         let mut b = GraphBuilder::new();
         let r = b.add_node("F", [("x", AttrValue::Int(1))]);
         let i = b.add_node("F", [("x", AttrValue::Int(2))]);
@@ -894,9 +898,12 @@ mod tests {
 
         let mut ex = crate::exemplar::Exemplar::new();
         ex.add_tuple(TuplePattern::new().constant(x, 1i64));
-        let wq = crate::session::WhyQuestion { query: q.clone(), exemplar: ex };
-        let oracle = PllIndex::build(&g);
-        let session = Session::new(&g, &oracle, &wq, WqeConfig::default());
+        let wq = crate::session::WhyQuestion {
+            query: q.clone(),
+            exemplar: ex,
+        };
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&q);
         assert_eq!(eval.relevance.rm, vec![r]);
         assert_eq!(eval.relevance.im, vec![i]);
@@ -910,15 +917,11 @@ mod tests {
 
     #[test]
     fn next_ops_honors_normal_form() {
-        let (_pg, oracle) = setup();
         let pg2 = product_graph();
         let g = &pg2.graph;
-        let oracle = {
-            let _ = oracle;
-            PllIndex::build(g)
-        };
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&wq.query);
         // In the Refine phase no relaxation may be generated.
         let ops = next_ops(&session, &wq.query, &eval, Phase::Refine, -1.0);
@@ -929,10 +932,10 @@ mod tests {
 
     #[test]
     fn next_ops_sorted_by_pickiness() {
-        let (pg, oracle) = setup();
+        let (pg, ctx) = setup();
         let g = &pg.graph;
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&wq.query);
         let ops = next_ops(&session, &wq.query, &eval, Phase::Relax, -1.0);
         assert!(!ops.is_empty());

@@ -31,10 +31,14 @@ pub fn paper_query(g: &Graph) -> PatternQuery {
     let brand = s.attr_id(attrs::BRAND).expect("brand attr");
     let ram = s.attr_id(attrs::RAM).expect("ram attr");
     let display = s.attr_id(attrs::DISPLAY).expect("display attr");
-    q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840)).expect("lit");
-    q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung")).expect("lit");
-    q.add_literal(q.focus(), Literal::new(ram, CmpOp::Ge, 4)).expect("lit");
-    q.add_literal(q.focus(), Literal::new(display, CmpOp::Ge, 62)).expect("lit");
+    q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840))
+        .expect("lit");
+    q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung"))
+        .expect("lit");
+    q.add_literal(q.focus(), Literal::new(ram, CmpOp::Ge, 4))
+        .expect("lit");
+    q.add_literal(q.focus(), Literal::new(display, CmpOp::Ge, 62))
+        .expect("lit");
     q
 }
 
@@ -59,14 +63,23 @@ pub fn paper_exemplar(g: &Graph) -> Exemplar {
             .var(price),
     );
     ex.add_constraint(Constraint {
-        lhs: VarRef { tuple: t2, attr: price },
+        lhs: VarRef {
+            tuple: t2,
+            attr: price,
+        },
         op: CmpOp::Lt,
         rhs: Rhs::Const(AttrValue::Int(800)),
     });
     ex.add_constraint(Constraint {
-        lhs: VarRef { tuple: t1, attr: storage },
+        lhs: VarRef {
+            tuple: t1,
+            attr: storage,
+        },
         op: CmpOp::Gt,
-        rhs: Rhs::Var(VarRef { tuple: t2, attr: storage }),
+        rhs: Rhs::Var(VarRef {
+            tuple: t2,
+            attr: storage,
+        }),
     });
     ex
 }
@@ -109,15 +122,16 @@ pub fn paper_optimal_ops(g: &Graph) -> Vec<AtomicOp> {
 mod tests {
     use super::*;
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
     use wqe_query::Matcher;
 
     #[test]
     fn optimal_ops_produce_q_prime() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let matcher = Matcher::new(g, &oracle);
+        let matcher = Matcher::new(
+            std::sync::Arc::new(g.clone()),
+            std::sync::Arc::new(wqe_index::PllIndex::build(g)),
+        );
         let mut q = paper_query(g);
         for op in paper_optimal_ops(g) {
             op.apply(&mut q).expect("applicable");

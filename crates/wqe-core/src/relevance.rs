@@ -93,12 +93,18 @@ mod tests {
                 .var(price),
         );
         ex.add_constraint(crate::exemplar::Constraint {
-            lhs: crate::exemplar::VarRef { tuple: 1, attr: price },
+            lhs: crate::exemplar::VarRef {
+                tuple: 1,
+                attr: price,
+            },
             op: wqe_graph::CmpOp::Lt,
             rhs: crate::exemplar::Rhs::Const(wqe_graph::AttrValue::Int(800)),
         });
         ex.add_constraint(crate::exemplar::Constraint {
-            lhs: crate::exemplar::VarRef { tuple: 0, attr: storage },
+            lhs: crate::exemplar::VarRef {
+                tuple: 0,
+                attr: storage,
+            },
             op: wqe_graph::CmpOp::Gt,
             rhs: crate::exemplar::Rhs::Var(crate::exemplar::VarRef {
                 tuple: 1,
@@ -130,12 +136,18 @@ mod tests {
         ex.add_tuple(TuplePattern::new().constant(display, 62i64).var(storage));
         ex.add_tuple(TuplePattern::new().constant(display, 63i64).var(storage));
         ex.add_constraint(crate::exemplar::Constraint {
-            lhs: crate::exemplar::VarRef { tuple: 1, attr: s.attr_id(attrs::PRICE).unwrap() },
+            lhs: crate::exemplar::VarRef {
+                tuple: 1,
+                attr: s.attr_id(attrs::PRICE).unwrap(),
+            },
             op: wqe_graph::CmpOp::Lt,
             rhs: crate::exemplar::Rhs::Const(wqe_graph::AttrValue::Int(800)),
         });
         ex.add_constraint(crate::exemplar::Constraint {
-            lhs: crate::exemplar::VarRef { tuple: 0, attr: storage },
+            lhs: crate::exemplar::VarRef {
+                tuple: 0,
+                attr: storage,
+            },
             op: wqe_graph::CmpOp::Gt,
             rhs: crate::exemplar::Rhs::Var(crate::exemplar::VarRef {
                 tuple: 1,

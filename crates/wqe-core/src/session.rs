@@ -8,10 +8,11 @@
 use crate::closeness::{
     answer_closeness, closeness_upper_bound, theoretical_optimum, ClosenessConfig,
 };
+use crate::ctx::EngineCtx;
+use crate::error::WqeError;
 use crate::exemplar::{compute_representation, satisfies, Exemplar, Representation};
 use crate::relevance::RelevanceSets;
 use wqe_graph::{Graph, NodeId};
-use wqe_index::DistanceOracle;
 use wqe_query::{MatchOutcome, Matcher, PatternQuery};
 
 /// A why-question `W(Q(u_o), E)` (§2.2).
@@ -84,11 +85,15 @@ pub struct EvalResult {
 }
 
 /// Shared session state.
-pub struct Session<'g> {
-    /// The data graph.
-    pub graph: &'g Graph,
+///
+/// The session owns its inputs through an [`EngineCtx`] (shared `Arc`s), so
+/// it is `'static`: it can be moved into threads, stored in registries, and
+/// outlive the scope that built the graph handle it was given.
+pub struct Session {
+    /// Shared graph + oracle context.
+    pub ctx: EngineCtx,
     /// Star-view matcher (cache configured per [`WqeConfig::caching`]).
-    pub matcher: Matcher<'g>,
+    pub matcher: Matcher,
     /// The exemplar.
     pub exemplar: Exemplar,
     /// Tunables.
@@ -104,20 +109,32 @@ pub struct Session<'g> {
     pub cl_star: f64,
 }
 
-impl<'g> Session<'g> {
-    /// Builds a session for a why-question.
-    pub fn new(
-        graph: &'g Graph,
-        oracle: &'g dyn DistanceOracle,
+impl Session {
+    /// Builds a session for a why-question over a shared context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the question or config fail [`Session::try_new`]'s
+    /// validation. Use `try_new` when the question comes from untrusted
+    /// input (a parsed spec, a CLI flag).
+    pub fn new(ctx: EngineCtx, question: &WhyQuestion, config: WqeConfig) -> Self {
+        Session::try_new(ctx, question, config).expect("valid why-question and config")
+    }
+
+    /// Fallible constructor: validates the question and tunables first.
+    pub fn try_new(
+        ctx: EngineCtx,
         question: &WhyQuestion,
         config: WqeConfig,
-    ) -> Self {
+    ) -> Result<Self, WqeError> {
+        validate(question, &config)?;
         let mut matcher = if config.caching {
-            Matcher::new(graph, oracle)
+            Matcher::new(ctx.graph_arc(), ctx.oracle_arc())
         } else {
-            Matcher::new(graph, oracle).without_cache()
+            Matcher::new(ctx.graph_arc(), ctx.oracle_arc()).without_cache()
         };
         matcher = matcher.with_parallelism(config.parallelism);
+        let graph = ctx.graph();
         let focus_label = question
             .query
             .node(question.query.focus())
@@ -134,8 +151,8 @@ impl<'g> Session<'g> {
         );
         let r_uo: Vec<NodeId> = v_uo.iter().copied().filter(|&v| rep.contains(v)).collect();
         let cl_star = theoretical_optimum(&rep, &v_uo);
-        Session {
-            graph,
+        Ok(Session {
+            ctx,
             matcher,
             exemplar: question.exemplar.clone(),
             config,
@@ -143,7 +160,12 @@ impl<'g> Session<'g> {
             v_uo,
             r_uo,
             cl_star,
-        }
+        })
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &Graph {
+        self.ctx.graph()
     }
 
     /// Evaluates a query rewrite end to end.
@@ -163,7 +185,7 @@ impl<'g> Session<'g> {
         let upper_bound = closeness_upper_bound(&outcome.matches, &self.rep, self.v_uo.len());
         let relevance = RelevanceSets::classify(&outcome.matches, &self.rep, &self.v_uo);
         let sat = satisfies(
-            self.graph,
+            self.graph(),
             &self.exemplar,
             &outcome.matches,
             self.config.closeness.theta,
@@ -184,14 +206,44 @@ impl<'g> Session<'g> {
     }
 }
 
+/// Rejects questions and configs the algorithms cannot make sense of.
+fn validate(question: &WhyQuestion, config: &WqeConfig) -> Result<(), WqeError> {
+    if question.query.node(question.query.focus()).is_none() {
+        return Err(WqeError::DeadFocus);
+    }
+    let checks = [
+        ("budget", config.budget, 0.0, f64::INFINITY),
+        ("closeness.theta", config.closeness.theta, 0.0, 1.0),
+        (
+            "closeness.lambda",
+            config.closeness.lambda,
+            0.0,
+            f64::INFINITY,
+        ),
+    ];
+    for (field, value, lo, hi) in checks {
+        if !(lo..=hi).contains(&value) {
+            return Err(WqeError::InvalidConfig { field, value });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exemplar::{Constraint, Rhs, TuplePattern, VarRef};
+    use std::sync::Arc;
     use wqe_graph::product::{attrs, product_graph};
     use wqe_graph::{AttrValue, CmpOp};
-    use wqe_index::PllIndex;
+    use wqe_index::{DistanceOracle, PllIndex};
     use wqe_query::Literal;
+
+    fn ctx_for(g: &Graph) -> EngineCtx {
+        let graph = Arc::new(g.clone());
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(g));
+        EngineCtx::new(graph, oracle)
+    }
 
     fn paper_question(g: &Graph) -> WhyQuestion {
         let s = g.schema();
@@ -202,34 +254,53 @@ mod tests {
         q.add_edge(q.focus(), sensor, 2).unwrap();
         let price = s.attr_id(attrs::PRICE).unwrap();
         let brand = s.attr_id(attrs::BRAND).unwrap();
-        q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840)).unwrap();
-        q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung")).unwrap();
+        q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840))
+            .unwrap();
+        q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung"))
+            .unwrap();
 
         let display = s.attr_id(attrs::DISPLAY).unwrap();
         let storage = s.attr_id(attrs::STORAGE).unwrap();
         let mut ex = Exemplar::new();
         ex.add_tuple(TuplePattern::new().constant(display, 62i64).var(storage));
-        ex.add_tuple(TuplePattern::new().constant(display, 63i64).var(storage).var(price));
+        ex.add_tuple(
+            TuplePattern::new()
+                .constant(display, 63i64)
+                .var(storage)
+                .var(price),
+        );
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: 1, attr: price },
+            lhs: VarRef {
+                tuple: 1,
+                attr: price,
+            },
             op: CmpOp::Lt,
             rhs: Rhs::Const(AttrValue::Int(800)),
         });
         ex.add_constraint(Constraint {
-            lhs: VarRef { tuple: 0, attr: storage },
+            lhs: VarRef {
+                tuple: 0,
+                attr: storage,
+            },
             op: CmpOp::Gt,
-            rhs: Rhs::Var(VarRef { tuple: 1, attr: storage }),
+            rhs: Rhs::Var(VarRef {
+                tuple: 1,
+                attr: storage,
+            }),
         });
-        WhyQuestion { query: q, exemplar: ex }
+        WhyQuestion {
+            query: q,
+            exemplar: ex,
+        }
     }
 
     #[test]
     fn session_setup_matches_paper() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = ctx_for(g);
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         assert_eq!(session.v_uo.len(), 6);
         assert_eq!(session.r_uo.len(), 3); // {P3, P4, P5}
         assert!((session.cl_star - 0.5).abs() < 1e-9);
@@ -240,10 +311,10 @@ mod tests {
     fn wildcard_focus_uses_all_nodes() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = ctx_for(g);
         let mut wq = paper_question(g);
         wq.query = PatternQuery::new(None, 4); // wildcard focus
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         assert_eq!(session.v_uo.len(), g.node_count());
     }
 
@@ -251,14 +322,14 @@ mod tests {
     fn unsatisfiable_exemplar_is_trivial() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = ctx_for(g);
         let mut wq = paper_question(g);
         // Demand an impossible display size.
         let display = g.schema().attr_id(attrs::DISPLAY).unwrap();
         let mut ex = Exemplar::new();
         ex.add_tuple(TuplePattern::new().constant(display, 999i64));
         wq.exemplar = ex;
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         assert!(!session.nontrivial());
         assert_eq!(session.cl_star, 0.0);
         assert!(session.r_uo.is_empty());
@@ -268,18 +339,20 @@ mod tests {
     fn lambda_scales_the_penalty() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = ctx_for(g);
         let wq = paper_question(g);
         let strict = Session::new(
-            g,
-            &oracle,
+            ctx.clone(),
             &wq,
             WqeConfig {
-                closeness: crate::closeness::ClosenessConfig { theta: 1.0, lambda: 3.0 },
+                closeness: crate::closeness::ClosenessConfig {
+                    theta: 1.0,
+                    lambda: 3.0,
+                },
                 ..Default::default()
             },
         );
-        let lax = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let lax = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let cs = strict.evaluate(&wq.query).closeness;
         let cl = lax.evaluate(&wq.query).closeness;
         assert!(cs < cl, "larger λ penalizes IM harder: {cs} < {cl}");
@@ -289,9 +362,9 @@ mod tests {
     fn evaluate_original_query() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = ctx_for(g);
         let wq = paper_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let eval = session.evaluate(&wq.query);
         // Q(G) = {P1, P2, P5}: one RM (P5), two IM.
         assert_eq!(eval.outcome.matches.len(), 3);
@@ -303,5 +376,70 @@ mod tests {
         assert!((eval.upper_bound - 1.0 / 6.0).abs() < 1e-9);
         // Q(G) ⊭ E: no representative for t2 among {P1, P2, P5}.
         assert!(!eval.satisfies);
+    }
+
+    #[test]
+    fn try_new_rejects_dead_focus() {
+        // The public mutators keep the focus live, but a deserialized
+        // question (the CLI's JSON path) can point the focus at a dead
+        // slot; `try_new` must reject it instead of panicking deeper in.
+        let pg = product_graph();
+        let g = &pg.graph;
+        let mut wq = paper_question(g);
+        let mut v = serde_json::to_value(&wq.query);
+        let focus = wq.query.focus().0 as usize;
+        if let serde_json::Value::Object(map) = &mut v {
+            let mut nodes = map.get("nodes").cloned().expect("nodes field");
+            if let serde_json::Value::Array(items) = &mut nodes {
+                items[focus] = serde_json::Value::Null;
+            }
+            map.insert("nodes".to_string(), nodes);
+        }
+        wq.query = serde_json::from_value(v).expect("deserialize");
+        match Session::try_new(ctx_for(g), &wq, WqeConfig::default()) {
+            Err(e) => assert_eq!(e, crate::error::WqeError::DeadFocus),
+            Ok(_) => panic!("expected DeadFocus"),
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let wq = paper_question(g);
+        for (cfg, field) in [
+            (
+                WqeConfig {
+                    budget: f64::NAN,
+                    ..Default::default()
+                },
+                "budget",
+            ),
+            (
+                WqeConfig {
+                    budget: -1.0,
+                    ..Default::default()
+                },
+                "budget",
+            ),
+            (
+                WqeConfig {
+                    closeness: crate::closeness::ClosenessConfig {
+                        theta: 1.5,
+                        lambda: 0.5,
+                    },
+                    ..Default::default()
+                },
+                "closeness.theta",
+            ),
+        ] {
+            match Session::try_new(ctx_for(g), &wq, cfg) {
+                Err(crate::error::WqeError::InvalidConfig { field: f, .. }) => {
+                    assert_eq!(f, field);
+                }
+                Err(other) => panic!("expected InvalidConfig for {field}, got {other:?}"),
+                Ok(_) => panic!("expected InvalidConfig for {field}, got Ok"),
+            }
+        }
     }
 }

@@ -91,10 +91,7 @@ fn attr_id(schema: &Schema, name: &str) -> Result<wqe_graph::AttrId, SpecError> 
 /// Parses a query spec against the graph's schema.
 pub fn parse_query(graph: &Graph, spec: &Value) -> Result<PatternQuery, SpecError> {
     let schema = graph.schema();
-    let max_bound = spec
-        .get("max_bound")
-        .and_then(Value::as_u64)
-        .unwrap_or(4) as u32;
+    let max_bound = spec.get("max_bound").and_then(Value::as_u64).unwrap_or(4) as u32;
     let nodes = spec
         .get("nodes")
         .and_then(Value::as_array)
@@ -279,7 +276,6 @@ mod tests {
     use super::*;
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
 
     const PAPER_SPEC: &str = r#"{
       "query": {
@@ -320,8 +316,15 @@ mod tests {
         let spec: Value = serde_json::from_str(PAPER_SPEC).unwrap();
         let wq = parse_question(g, &spec).unwrap();
         // The parsed question behaves exactly like the programmatic one.
-        let oracle = PllIndex::build(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 4.0, ..Default::default() });
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 4.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(session.r_uo.len(), 3);
         let report = crate::answ(&session, &wq);
         assert!((report.best.unwrap().closeness - 0.5).abs() < 1e-9);
@@ -330,10 +333,8 @@ mod tests {
     #[test]
     fn unknown_label_rejected() {
         let pg = product_graph();
-        let spec: Value = serde_json::from_str(
-            r#"{"nodes": [{"label": "Spaceship", "focus": true}]}"#,
-        )
-        .unwrap();
+        let spec: Value =
+            serde_json::from_str(r#"{"nodes": [{"label": "Spaceship", "focus": true}]}"#).unwrap();
         let e = parse_query(&pg.graph, &spec).unwrap_err();
         assert!(e.to_string().contains("Spaceship"));
     }
@@ -377,13 +378,8 @@ mod tests {
             leaf.prop_recursive(3, 24, 4, |inner| {
                 prop_oneof![
                     proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
-                    proptest::collection::vec(
-                        ("[a-z_]{1,10}", inner),
-                        0..4
-                    )
-                    .prop_map(|kvs| {
-                        Value::Object(kvs.into_iter().collect())
-                    }),
+                    proptest::collection::vec(("[a-z_]{1,10}", inner), 0..4)
+                        .prop_map(|kvs| { Value::Object(kvs.into_iter().collect()) }),
                 ]
             })
         }

@@ -29,12 +29,8 @@ pub struct CandidateRepair {
 /// Diagnoses the removal operators needed for `v` to match the (weakly
 /// star-shaped) query. Returns `None` when `v` cannot be repaired with
 /// `RmL`/`RmE` alone (e.g. its label differs from the focus label).
-fn diagnose(
-    session: &Session<'_>,
-    q: &PatternQuery,
-    v: NodeId,
-) -> Option<CandidateRepair> {
-    let g = session.graph;
+fn diagnose(session: &Session, q: &PatternQuery, v: NodeId) -> Option<CandidateRepair> {
+    let g = session.graph();
     let focus = q.focus();
     let focus_node = q.node(focus)?;
     if let Some(l) = focus_node.label {
@@ -79,19 +75,13 @@ fn diagnose(
         };
         let labeled: Vec<NodeId> = reach
             .iter()
-            .filter(|&&(w, d)| {
-                d >= 1 && node.label.is_none_or(|l| g.label(w) == l)
-            })
+            .filter(|&&(w, d)| d >= 1 && node.label.is_none_or(|l| g.label(w) == l))
             .map(|&(w, _)| w)
             .collect();
 
         // The edge to remove if this branch must go: the edge on the path
         // adjacent to `u`.
-        let adj_edge = q
-            .edges()
-            .iter()
-            .find(|e| e.from == u || e.to == u)
-            .copied();
+        let adj_edge = q.edges().iter().find(|e| e.from == u || e.to == u).copied();
 
         if labeled.is_empty() {
             // Edge-reachability fragment fails: remove the branch.
@@ -174,7 +164,7 @@ fn diagnose(
 
 /// Runs `AnsWE`: finds the cheapest removal-only rewrite that introduces at
 /// least one relevant candidate as a match.
-pub fn ans_we(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
+pub fn ans_we(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
     let mut report = AnswerReport::default();
     let budget = session.config.budget;
@@ -186,7 +176,7 @@ pub fn ans_we(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
         .filter_map(|&v| diagnose(session, &question.query, v))
         .filter(|r| r.cost <= budget + 1e-9)
         .collect();
-    repairs.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"));
+    repairs.sort_by(|a, b| a.cost.total_cmp(&b.cost));
 
     // Verify plans in cost order; the first verified one wins.
     for repair in &repairs {
@@ -234,7 +224,6 @@ mod tests {
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
     use wqe_graph::CmpOp;
-    use wqe_index::PllIndex;
     use wqe_query::{Literal, OpClass};
 
     /// A query with empty relevant answers: price >= 880 excludes all of
@@ -259,9 +248,16 @@ mod tests {
     fn finds_removal_only_repair() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = empty_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 3.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 3.0,
+                ..Default::default()
+            },
+        );
         // Sanity: no relevant match initially.
         let base = session.evaluate(&wq.query);
         assert!(base.relevance.rm.is_empty());
@@ -283,9 +279,16 @@ mod tests {
         // price + sensor repairs (cost > 2). AnsWE must pick a cost-1 plan.
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = empty_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 3.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 3.0,
+                ..Default::default()
+            },
+        );
         let report = ans_we(&session, &wq);
         let best = report.best.unwrap();
         assert_eq!(best.ops.len(), 1);
@@ -297,13 +300,15 @@ mod tests {
     fn budget_too_small_yields_none() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = empty_question(g);
         let session = Session::new(
-            g,
-            &oracle,
+            ctx.clone(),
             &wq,
-            WqeConfig { budget: 0.5, ..Default::default() },
+            WqeConfig {
+                budget: 0.5,
+                ..Default::default()
+            },
         );
         let report = ans_we(&session, &wq);
         assert!(report.best.is_none());
@@ -313,9 +318,9 @@ mod tests {
     fn diagnose_rejects_wrong_label() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = empty_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         // A carrier node can never repair into a Cellphone match.
         let carrier = pg.carriers[0];
         assert!(diagnose(&session, &wq.query, carrier).is_none());

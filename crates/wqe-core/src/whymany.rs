@@ -34,7 +34,7 @@ struct Seed {
 
 /// Element weight in the coverage instance: removing an irrelevant match
 /// gains `λ`, removing a relevant match loses its closeness.
-fn element_weight(session: &Session<'_>, v: NodeId) -> f64 {
+fn element_weight(session: &Session, v: NodeId) -> f64 {
     if session.rep.contains(v) {
         -session.rep.cl(v)
     } else {
@@ -43,7 +43,7 @@ fn element_weight(session: &Session<'_>, v: NodeId) -> f64 {
 }
 
 /// Runs `ApxWhyM`. The rewrite contains **refinement operators only**.
-pub fn apx_why_many(session: &Session<'_>, question: &WhyQuestion) -> AnswerReport {
+pub fn apx_why_many(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
     let mut report = AnswerReport::default();
     let budget = session.config.budget;
@@ -58,7 +58,7 @@ pub fn apx_why_many(session: &Session<'_>, question: &WhyQuestion) -> AnswerRepo
     scored.truncate(MAX_SEEDS);
     let mut seeds: Vec<Seed> = Vec::with_capacity(scored.len());
     for s in scored {
-        let cost = s.op.cost(session.graph);
+        let cost = s.op.cost(session.graph());
         if cost > budget + 1e-9 {
             continue;
         }
@@ -88,11 +88,7 @@ pub fn apx_why_many(session: &Session<'_>, question: &WhyQuestion) -> AnswerRepo
     let o2: Option<&Seed> = seeds
         .iter()
         .filter(|s| set_weight(&s.covers) > 0.0)
-        .max_by(|a, b| {
-            set_weight(&a.covers)
-                .partial_cmp(&set_weight(&b.covers))
-                .expect("finite")
-        });
+        .max_by(|a, b| set_weight(&a.covers).total_cmp(&set_weight(&b.covers)));
     let o2_ops: Vec<AtomicOp> = o2.map(|s| vec![s.op.clone()]).unwrap_or_default();
 
     // Lines 4-8: greedy ratio selection on the coverage instance — pure
@@ -141,7 +137,7 @@ pub fn apx_why_many(session: &Session<'_>, question: &WhyQuestion) -> AnswerRepo
         let eval = session.evaluate(&q);
         report.expansions += 1;
         Some(RewriteResult {
-            cost: wqe_query::sequence_cost(ops, session.graph),
+            cost: wqe_query::sequence_cost(ops, session.graph()),
             query: q,
             ops: ops.to_vec(),
             closeness: eval.closeness,
@@ -172,7 +168,7 @@ pub fn apx_why_many(session: &Session<'_>, question: &WhyQuestion) -> AnswerRepo
 /// The set of irrelevant matches a Why-Many rewrite eliminated (for
 /// reporting): `IM(Q) \ IM(Q')`.
 pub fn eliminated_irrelevant(
-    session: &Session<'_>,
+    session: &Session,
     question: &WhyQuestion,
     result: &RewriteResult,
 ) -> Vec<NodeId> {
@@ -192,7 +188,6 @@ mod tests {
     use crate::paper::{paper_exemplar, paper_query};
     use crate::session::{Session, WqeConfig};
     use wqe_graph::product::product_graph;
-    use wqe_index::PllIndex;
     use wqe_query::OpClass;
 
     /// A Why-Many setup: relax the paper query's price so it returns many
@@ -215,11 +210,21 @@ mod tests {
     fn removes_irrelevant_matches() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = why_many_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 3.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 3.0,
+                ..Default::default()
+            },
+        );
         let base = session.evaluate(&wq.query);
-        assert!(!base.relevance.im.is_empty(), "setup has irrelevant matches");
+        assert!(
+            !base.relevance.im.is_empty(),
+            "setup has irrelevant matches"
+        );
         let report = apx_why_many(&session, &wq);
         let best = report.best.expect("result");
         // Refinement-only rewrite.
@@ -240,14 +245,17 @@ mod tests {
     fn noop_when_no_irrelevant_matches() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         // The optimal rewrite Q' has IM = ∅ — nothing to refine.
         let mut q = paper_query(g);
         for op in crate::paper::paper_optimal_ops(g) {
             op.apply(&mut q).unwrap();
         }
-        let wq = WhyQuestion { query: q, exemplar: paper_exemplar(g) };
-        let session = Session::new(g, &oracle, &wq, WqeConfig::default());
+        let wq = WhyQuestion {
+            query: q,
+            exemplar: paper_exemplar(g),
+        };
+        let session = Session::new(ctx.clone(), &wq, WqeConfig::default());
         let report = apx_why_many(&session, &wq);
         let best = report.best.unwrap();
         assert!(best.ops.is_empty(), "no refinement needed");
@@ -259,9 +267,16 @@ mod tests {
         // bounded by 1 (base) + |seeds| + 2 (final candidates).
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
+        let ctx = crate::ctx::EngineCtx::with_default_oracle(std::sync::Arc::new(g.clone()));
         let wq = why_many_question(g);
-        let session = Session::new(g, &oracle, &wq, WqeConfig { budget: 3.0, ..Default::default() });
+        let session = Session::new(
+            ctx.clone(),
+            &wq,
+            WqeConfig {
+                budget: 3.0,
+                ..Default::default()
+            },
+        );
         let report = apx_why_many(&session, &wq);
         assert!(
             report.expansions <= 1 + MAX_SEEDS + 2,

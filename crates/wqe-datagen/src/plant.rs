@@ -118,7 +118,11 @@ pub fn generate_planted(
         );
         for spoke in &template.spokes {
             let leaf = b.add_node(&spoke.label, []);
-            let (src, dst) = if spoke.outgoing { (focus, leaf) } else { (leaf, focus) };
+            let (src, dst) = if spoke.outgoing {
+                (focus, leaf)
+            } else {
+                (leaf, focus)
+            };
             if spoke.via_relay {
                 let relay = b.add_node("PlantedRelay", []);
                 b.add_edge(src, relay, "planted");
@@ -181,6 +185,7 @@ pub fn generate_planted(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use wqe_index::HybridOracle;
     use wqe_query::Matcher;
 
@@ -197,8 +202,11 @@ mod tests {
     #[test]
     fn planted_copies_all_match() {
         let w = generate_planted(&small_background(), &PlantTemplate::default(), 12);
-        let oracle = HybridOracle::default_for(&w.graph, 4);
-        let matcher = Matcher::new(&w.graph, &oracle);
+        let graph = Arc::new(w.graph.clone());
+        let matcher = Matcher::new(
+            Arc::clone(&graph),
+            Arc::new(HybridOracle::default_for(&graph, 4)),
+        );
         let out = matcher.evaluate(&w.query);
         for &p in &w.planted {
             assert!(out.matches.contains(&p), "planted focus {p:?} must match");
@@ -213,8 +221,11 @@ mod tests {
             ..Default::default()
         };
         let w = generate_planted(&small_background(), &template, 8);
-        let oracle = HybridOracle::default_for(&w.graph, 4);
-        let matcher = Matcher::new(&w.graph, &oracle);
+        let graph = Arc::new(w.graph.clone());
+        let matcher = Matcher::new(
+            Arc::clone(&graph),
+            Arc::new(HybridOracle::default_for(&graph, 4)),
+        );
         let out = matcher.evaluate(&w.query);
         let focus_label = w
             .graph
@@ -231,14 +242,25 @@ mod tests {
     fn incoming_spokes_and_relays() {
         let template = PlantTemplate {
             spokes: vec![
-                PlantSpoke { label: "In".into(), outgoing: false, via_relay: false },
-                PlantSpoke { label: "FarOut".into(), outgoing: true, via_relay: true },
+                PlantSpoke {
+                    label: "In".into(),
+                    outgoing: false,
+                    via_relay: false,
+                },
+                PlantSpoke {
+                    label: "FarOut".into(),
+                    outgoing: true,
+                    via_relay: true,
+                },
             ],
             ..Default::default()
         };
         let w = generate_planted(&small_background(), &template, 4);
-        let oracle = HybridOracle::default_for(&w.graph, 4);
-        let matcher = Matcher::new(&w.graph, &oracle);
+        let graph = Arc::new(w.graph.clone());
+        let matcher = Matcher::new(
+            Arc::clone(&graph),
+            Arc::new(HybridOracle::default_for(&graph, 4)),
+        );
         let out = matcher.evaluate(&w.query);
         for &p in &w.planted {
             assert!(out.matches.contains(&p));

@@ -129,8 +129,16 @@ fn try_generate(graph: &Graph, cfg: &QueryGenConfig, rng: &mut StdRng) -> Option
         let outs = graph.out_neighbors(gu);
         let ins = graph.in_neighbors(gu);
         let mut choices: Vec<(NodeId, bool)> = Vec::new();
-        choices.extend(outs.iter().filter(|(w, _)| !used.contains(w)).map(|&(w, _)| (w, true)));
-        choices.extend(ins.iter().filter(|(w, _)| !used.contains(w)).map(|&(w, _)| (w, false)));
+        choices.extend(
+            outs.iter()
+                .filter(|(w, _)| !used.contains(w))
+                .map(|&(w, _)| (w, true)),
+        );
+        choices.extend(
+            ins.iter()
+                .filter(|(w, _)| !used.contains(w))
+                .map(|&(w, _)| (w, false)),
+        );
         if choices.is_empty() {
             return None;
         }
@@ -169,16 +177,8 @@ fn try_generate(graph: &Graph, cfg: &QueryGenConfig, rng: &mut StdRng) -> Option
                     let slack = (range * rng.gen_range(0.1..0.5)) as i64;
                     match rng.gen_range(0..8) {
                         0 => Literal::new(*attr, CmpOp::Eq, AttrValue::Int(*x)),
-                        1..=4 => Literal::new(
-                            *attr,
-                            CmpOp::Ge,
-                            AttrValue::Int(x - slack.max(1)),
-                        ),
-                        _ => Literal::new(
-                            *attr,
-                            CmpOp::Le,
-                            AttrValue::Int(x + slack.max(1)),
-                        ),
+                        1..=4 => Literal::new(*attr, CmpOp::Ge, AttrValue::Int(x - slack.max(1))),
+                        _ => Literal::new(*attr, CmpOp::Le, AttrValue::Int(x + slack.max(1))),
                     }
                 }
                 other => Literal::new(*attr, CmpOp::Eq, other.clone()),
@@ -223,11 +223,19 @@ mod tests {
     #[test]
     fn anchor_always_matches() {
         let g = small_graph();
-        let oracle = PllIndex::build(&g);
-        let matcher = Matcher::new(&g, &oracle);
+        let matcher = Matcher::new(
+            std::sync::Arc::new(g.clone()),
+            std::sync::Arc::new(PllIndex::build(&g)),
+        );
         for seed in 0..15 {
-            let cfg = QueryGenConfig { seed, edges: 2, ..Default::default() };
-            let Some(gq) = generate_query(&g, &cfg) else { continue };
+            let cfg = QueryGenConfig {
+                seed,
+                edges: 2,
+                ..Default::default()
+            };
+            let Some(gq) = generate_query(&g, &cfg) else {
+                continue;
+            };
             let out = matcher.evaluate(&gq.query);
             assert!(
                 out.matches.contains(&gq.anchor),
@@ -245,17 +253,24 @@ mod tests {
             (TopologyKind::Star, Topology::Star),
             (TopologyKind::Chain, Topology::Star), // 2-edge chain is a star
         ] {
-            let cfg = QueryGenConfig { topology: kind, edges: 2, seed: 5, ..Default::default() };
+            let cfg = QueryGenConfig {
+                topology: kind,
+                edges: 2,
+                seed: 5,
+                ..Default::default()
+            };
             if let Some(gq) = generate_query(&g, &cfg) {
                 let t = gq.query.topology();
-                assert!(
-                    t == expect || t == Topology::Tree,
-                    "{kind:?} gave {t:?}"
-                );
+                assert!(t == expect || t == Topology::Tree, "{kind:?} gave {t:?}");
             }
         }
         // Larger stars really are stars.
-        let cfg = QueryGenConfig { topology: TopologyKind::Star, edges: 4, seed: 3, ..Default::default() };
+        let cfg = QueryGenConfig {
+            topology: TopologyKind::Star,
+            edges: 4,
+            seed: 3,
+            ..Default::default()
+        };
         if let Some(gq) = generate_query(&g, &cfg) {
             assert_eq!(gq.query.topology(), Topology::Star);
             assert_eq!(gq.query.edge_count(), 4);
@@ -306,7 +321,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = small_graph();
-        let cfg = QueryGenConfig { seed: 21, ..Default::default() };
+        let cfg = QueryGenConfig {
+            seed: 21,
+            ..Default::default()
+        };
         let a = generate_query(&g, &cfg).unwrap();
         let b = generate_query(&g, &cfg).unwrap();
         assert_eq!(a.anchor, b.anchor);

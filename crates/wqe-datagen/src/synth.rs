@@ -98,7 +98,10 @@ pub fn generate(cfg: &SynthConfig) -> Graph {
                 let value = if ai < numeric_cut {
                     AttrValue::Int(rng.gen_range(lo..=hi))
                 } else {
-                    AttrValue::Str(format!("v{}", rng.gen_range(0..cfg.categorical_domain.max(1))))
+                    AttrValue::Str(format!(
+                        "v{}",
+                        rng.gen_range(0..cfg.categorical_domain.max(1))
+                    ))
                 };
                 (attrs[ai], value)
             })
@@ -225,8 +228,16 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = generate(&SynthConfig { nodes: 500, seed: 3, ..Default::default() });
-        let b = generate(&SynthConfig { nodes: 500, seed: 3, ..Default::default() });
+        let a = generate(&SynthConfig {
+            nodes: 500,
+            seed: 3,
+            ..Default::default()
+        });
+        let b = generate(&SynthConfig {
+            nodes: 500,
+            seed: 3,
+            ..Default::default()
+        });
         assert_eq!(a.node_count(), b.node_count());
         assert_eq!(a.edge_count(), b.edge_count());
         // Spot-check attribute equality on a few nodes.
@@ -235,7 +246,11 @@ mod tests {
             assert_eq!(a.label(v), b.label(v));
             assert_eq!(a.node(v).attrs.len(), b.node(v).attrs.len());
         }
-        let c = generate(&SynthConfig { nodes: 500, seed: 4, ..Default::default() });
+        let c = generate(&SynthConfig {
+            nodes: 500,
+            seed: 4,
+            ..Default::default()
+        });
         assert_ne!(
             (a.edge_count(), a.stats().avg_attrs_per_node),
             (c.edge_count() + 1, 0.0),
@@ -275,7 +290,10 @@ mod tests {
 
     #[test]
     fn numeric_and_categorical_mix() {
-        let g = generate(&SynthConfig { nodes: 300, ..Default::default() });
+        let g = generate(&SynthConfig {
+            nodes: 300,
+            ..Default::default()
+        });
         let mut has_numeric = false;
         let mut has_categorical = false;
         for a in g.schema().attr_ids() {

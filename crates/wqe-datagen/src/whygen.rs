@@ -11,6 +11,7 @@ use crate::queries::GeneratedQuery;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 use wqe_core::{Exemplar, WhyQuestion};
 use wqe_graph::{AttrId, AttrValue, CmpOp, Graph, NodeId};
 use wqe_index::DistanceOracle;
@@ -81,15 +82,28 @@ fn random_disturbance(
                 0 if !node.literals.is_empty() => {
                     let lit = node.literals[rng.gen_range(0..node.literals.len())].clone();
                     lit.value.as_f64().and_then(|c| {
-                        let delta = (graph.attr_range(lit.attr) * rng.gen_range(0.05..0.3)).max(1.0);
+                        let delta =
+                            (graph.attr_range(lit.attr) * rng.gen_range(0.05..0.3)).max(1.0);
                         let new = if lit.op.is_upper_open() {
-                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c + delta) as i64)))
+                            Some(Literal::new(
+                                lit.attr,
+                                lit.op,
+                                AttrValue::Int((c + delta) as i64),
+                            ))
                         } else if lit.op.is_lower_open() {
-                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c - delta) as i64)))
+                            Some(Literal::new(
+                                lit.attr,
+                                lit.op,
+                                AttrValue::Int((c - delta) as i64),
+                            ))
                         } else {
                             None
                         }?;
-                        Some(AtomicOp::RfL { node: u, old: lit, new })
+                        Some(AtomicOp::RfL {
+                            node: u,
+                            old: lit,
+                            new,
+                        })
                     })
                 }
                 // Add a literal from a current match's attributes.
@@ -129,15 +143,28 @@ fn random_disturbance(
                 1 if !node.literals.is_empty() => {
                     let lit = node.literals[rng.gen_range(0..node.literals.len())].clone();
                     lit.value.as_f64().and_then(|c| {
-                        let delta = (graph.attr_range(lit.attr) * rng.gen_range(0.05..0.3)).max(1.0);
+                        let delta =
+                            (graph.attr_range(lit.attr) * rng.gen_range(0.05..0.3)).max(1.0);
                         let new = if lit.op.is_upper_open() {
-                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c - delta) as i64)))
+                            Some(Literal::new(
+                                lit.attr,
+                                lit.op,
+                                AttrValue::Int((c - delta) as i64),
+                            ))
                         } else if lit.op.is_lower_open() {
-                            Some(Literal::new(lit.attr, lit.op, AttrValue::Int((c + delta) as i64)))
+                            Some(Literal::new(
+                                lit.attr,
+                                lit.op,
+                                AttrValue::Int((c + delta) as i64),
+                            ))
                         } else {
                             None
                         }?;
-                        Some(AtomicOp::RxL { node: u, old: lit, new })
+                        Some(AtomicOp::RxL {
+                            node: u,
+                            old: lit,
+                            new,
+                        })
                     })
                 }
                 // Loosen an edge bound (or drop an edge).
@@ -192,12 +219,12 @@ pub fn exemplar_from(graph: &Graph, entities: &[NodeId], k: usize) -> Exemplar {
 /// `None` when no disturbance within the attempt budget loses answers (a
 /// why-question needs missing entities).
 pub fn generate_why(
-    graph: &Graph,
-    oracle: &dyn DistanceOracle,
+    graph: &Arc<Graph>,
+    oracle: &Arc<dyn DistanceOracle>,
     truth: &GeneratedQuery,
     cfg: &WhyGenConfig,
 ) -> Option<GeneratedWhy> {
-    let matcher = Matcher::new(graph, oracle);
+    let matcher = Matcher::new(Arc::clone(graph), Arc::clone(oracle));
     let truth_answers = matcher.evaluate(&truth.query).matches;
     if truth_answers.is_empty() {
         return None;
@@ -247,12 +274,12 @@ pub fn generate_why(
 /// Generates a Why-Many input: `Q*` relaxed so it returns extra matches;
 /// the exemplar describes the *true* answers, making the extras irrelevant.
 pub fn generate_why_many(
-    graph: &Graph,
-    oracle: &dyn DistanceOracle,
+    graph: &Arc<Graph>,
+    oracle: &Arc<dyn DistanceOracle>,
     truth: &GeneratedQuery,
     cfg: &WhyGenConfig,
 ) -> Option<GeneratedWhy> {
-    let matcher = Matcher::new(graph, oracle);
+    let matcher = Matcher::new(Arc::clone(graph), Arc::clone(oracle));
     let truth_answers = matcher.evaluate(&truth.query).matches;
     if truth_answers.is_empty() {
         return None;
@@ -263,8 +290,7 @@ pub fn generate_why_many(
         let mut injected = Vec::new();
         for _ in 0..cfg.disturb_ops.max(1) {
             let current = matcher.evaluate(&q).matches;
-            let Some(op) =
-                random_disturbance(graph, &q, &current, Some(OpClass::Relax), &mut rng)
+            let Some(op) = random_disturbance(graph, &q, &current, Some(OpClass::Relax), &mut rng)
             else {
                 break;
             };
@@ -292,12 +318,12 @@ pub fn generate_why_many(
 /// Generates a Why-Empty input: `Q*` refined until none of the true answers
 /// match; the exemplar describes the true answers.
 pub fn generate_why_empty(
-    graph: &Graph,
-    oracle: &dyn DistanceOracle,
+    graph: &Arc<Graph>,
+    oracle: &Arc<dyn DistanceOracle>,
     truth: &GeneratedQuery,
     cfg: &WhyGenConfig,
 ) -> Option<GeneratedWhy> {
-    let matcher = Matcher::new(graph, oracle);
+    let matcher = Matcher::new(Arc::clone(graph), Arc::clone(oracle));
     let truth_answers = matcher.evaluate(&truth.query).matches;
     if truth_answers.is_empty() {
         return None;
@@ -311,8 +337,7 @@ pub fn generate_why_empty(
             if current.iter().all(|v| !truth_answers.contains(v)) {
                 break;
             }
-            let Some(op) =
-                random_disturbance(graph, &q, &current, Some(OpClass::Refine), &mut rng)
+            let Some(op) = random_disturbance(graph, &q, &current, Some(OpClass::Refine), &mut rng)
             else {
                 break;
             };
@@ -321,9 +346,7 @@ pub fn generate_why_empty(
             }
         }
         let disturbed_answers = matcher.evaluate(&q).matches;
-        if injected.is_empty()
-            || disturbed_answers.iter().any(|v| truth_answers.contains(v))
-        {
+        if injected.is_empty() || disturbed_answers.iter().any(|v| truth_answers.contains(v)) {
             continue;
         }
         let tuples: Vec<NodeId> = truth_answers.iter().copied().take(cfg.max_tuples).collect();
@@ -343,10 +366,7 @@ pub fn generate_why_empty(
 /// line) so experiment workloads are exactly reproducible across runs and
 /// machines. Note the node ids and interned attribute/label ids are only
 /// meaningful together with the graph they were generated from.
-pub fn save_suite<W: std::io::Write>(
-    suite: &[GeneratedWhy],
-    mut w: W,
-) -> std::io::Result<()> {
+pub fn save_suite<W: std::io::Write>(suite: &[GeneratedWhy], mut w: W) -> std::io::Result<()> {
     for q in suite {
         let line = serde_json::to_string(q).expect("suite serializable");
         writeln!(w, "{line}")?;
@@ -399,12 +419,17 @@ mod tests {
 
     #[test]
     fn generated_why_has_missing_entities() {
-        let g = setup();
-        let oracle = PllIndex::build(&g);
+        let g = Arc::new(setup());
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&g));
         let mut generated = 0;
         for seed in 0..10 {
-            let Some(truth) = some_truth(&g, seed) else { continue };
-            let cfg = WhyGenConfig { seed, ..Default::default() };
+            let Some(truth) = some_truth(&g, seed) else {
+                continue;
+            };
+            let cfg = WhyGenConfig {
+                seed,
+                ..Default::default()
+            };
             if let Some(w) = generate_why(&g, &oracle, &truth, &cfg) {
                 generated += 1;
                 assert!(!w.question.exemplar.is_empty());
@@ -425,19 +450,21 @@ mod tests {
 
     #[test]
     fn why_many_has_extra_matches() {
-        let g = setup();
-        let oracle = PllIndex::build(&g);
+        let g = Arc::new(setup());
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&g));
         let mut generated = 0;
         for seed in 0..12 {
-            let Some(truth) = some_truth(&g, seed) else { continue };
-            let cfg = WhyGenConfig { seed: seed + 100, ..Default::default() };
+            let Some(truth) = some_truth(&g, seed) else {
+                continue;
+            };
+            let cfg = WhyGenConfig {
+                seed: seed + 100,
+                ..Default::default()
+            };
             if let Some(w) = generate_why_many(&g, &oracle, &truth, &cfg) {
                 generated += 1;
                 assert!(w.disturbed_answers.len() > w.truth_answers.len());
-                assert!(w
-                    .injected
-                    .iter()
-                    .all(|o| o.class() == OpClass::Relax));
+                assert!(w.injected.iter().all(|o| o.class() == OpClass::Relax));
             }
         }
         assert!(generated >= 2, "only {generated} why-many generated");
@@ -445,12 +472,17 @@ mod tests {
 
     #[test]
     fn why_empty_loses_all_relevant() {
-        let g = setup();
-        let oracle = PllIndex::build(&g);
+        let g = Arc::new(setup());
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&g));
         let mut generated = 0;
         for seed in 0..12 {
-            let Some(truth) = some_truth(&g, seed) else { continue };
-            let cfg = WhyGenConfig { seed: seed + 200, ..Default::default() };
+            let Some(truth) = some_truth(&g, seed) else {
+                continue;
+            };
+            let cfg = WhyGenConfig {
+                seed: seed + 200,
+                ..Default::default()
+            };
             if let Some(w) = generate_why_empty(&g, &oracle, &truth, &cfg) {
                 generated += 1;
                 assert!(w
@@ -488,12 +520,29 @@ mod persistence_tests {
             labels: 6,
             ..Default::default()
         });
-        let oracle = PllIndex::build(&g);
+        let g = Arc::new(g);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&g));
         let mut suite = Vec::new();
         for seed in 0..20u64 {
-            let Some(t) = generate_query(&g, &QueryGenConfig { seed, edges: 2, ..Default::default() })
-            else { continue };
-            if let Some(w) = generate_why(&g, &oracle, &t, &WhyGenConfig { seed, ..Default::default() }) {
+            let Some(t) = generate_query(
+                &g,
+                &QueryGenConfig {
+                    seed,
+                    edges: 2,
+                    ..Default::default()
+                },
+            ) else {
+                continue;
+            };
+            if let Some(w) = generate_why(
+                &g,
+                &oracle,
+                &t,
+                &WhyGenConfig {
+                    seed,
+                    ..Default::default()
+                },
+            ) {
                 suite.push(w);
             }
             if suite.len() >= 3 {
@@ -512,7 +561,7 @@ mod persistence_tests {
             assert_eq!(a.injected.len(), b.injected.len());
         }
         // The reloaded disturbed query evaluates identically.
-        let matcher = wqe_query::Matcher::new(&g, &oracle);
+        let matcher = wqe_query::Matcher::new(Arc::clone(&g), Arc::clone(&oracle));
         for w in &loaded {
             assert_eq!(
                 matcher.evaluate(&w.question.query).matches,

@@ -40,7 +40,10 @@ where
     I: IntoIterator<Item = NodeId>,
 {
     let set: HashSet<NodeId> = nodes.into_iter().collect();
-    let mut out = format!("digraph {} {{\n  rankdir=LR;\n  node [shape=box];\n", opts.name);
+    let mut out = format!(
+        "digraph {} {{\n  rankdir=LR;\n  node [shape=box];\n",
+        opts.name
+    );
     let schema = graph.schema();
     let mut sorted: Vec<NodeId> = set.iter().copied().collect();
     sorted.sort();
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn labels_escaped() {
         let mut b = crate::graph::GraphBuilder::new();
-        b.add_node("Weird\"Label", [("a", crate::value::AttrValue::Str("x\"y".into()))]);
+        b.add_node(
+            "Weird\"Label",
+            [("a", crate::value::AttrValue::Str("x\"y".into()))],
+        );
         let g = b.finalize();
         let dot = graph_to_dot(&g, &DotOptions::default());
         assert!(dot.contains("Weird\\\"Label"));

@@ -582,10 +582,7 @@ mod tests {
     #[test]
     fn duplicate_attrs_deduped() {
         let mut b = GraphBuilder::new();
-        let v = b.add_node(
-            "N",
-            [("x", AttrValue::Int(1)), ("x", AttrValue::Int(2))],
-        );
+        let v = b.add_node("N", [("x", AttrValue::Int(1)), ("x", AttrValue::Int(2))]);
         let g = b.finalize();
         let x = g.schema().attr_id("x").unwrap();
         // First occurrence wins after sort+dedup on equal ids.

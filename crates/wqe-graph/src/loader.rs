@@ -131,12 +131,17 @@ pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Graph, LoadError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let rec: Record = serde_json::from_str(trimmed)
-            .map_err(|source| LoadError::Json { line: lineno, source })?;
+        let rec: Record = serde_json::from_str(trimmed).map_err(|source| LoadError::Json {
+            line: lineno,
+            source,
+        })?;
         match rec {
             Record::Node(n) => {
                 if ids.contains_key(&n.id) {
-                    return Err(LoadError::DuplicateNode { line: lineno, id: n.id });
+                    return Err(LoadError::DuplicateNode {
+                        line: lineno,
+                        id: n.id,
+                    });
                 }
                 let attrs: Vec<(&str, AttrValue)> = n
                     .attrs
@@ -147,12 +152,14 @@ pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Graph, LoadError> {
                 ids.insert(n.id, id);
             }
             Record::Edge(e) => {
-                let from = *ids
-                    .get(&e.from)
-                    .ok_or_else(|| LoadError::UnknownNode { line: lineno, id: e.from.clone() })?;
-                let to = *ids
-                    .get(&e.to)
-                    .ok_or_else(|| LoadError::UnknownNode { line: lineno, id: e.to.clone() })?;
+                let from = *ids.get(&e.from).ok_or_else(|| LoadError::UnknownNode {
+                    line: lineno,
+                    id: e.from.clone(),
+                })?;
+                let to = *ids.get(&e.to).ok_or_else(|| LoadError::UnknownNode {
+                    line: lineno,
+                    id: e.to.clone(),
+                })?;
                 builder.add_edge(from, to, &e.label);
             }
         }
@@ -272,7 +279,11 @@ fn parse_tsv_value(v: &str) -> AttrValue {
 }
 
 /// Writes the two-file TSV form of a graph.
-pub fn write_tsv<N: Write, E: Write>(graph: &Graph, mut nodes: N, mut edges: E) -> std::io::Result<()> {
+pub fn write_tsv<N: Write, E: Write>(
+    graph: &Graph,
+    mut nodes: N,
+    mut edges: E,
+) -> std::io::Result<()> {
     for v in graph.node_ids() {
         let node = graph.node(v);
         write!(nodes, "n{}\t{}", v.0, graph.schema().label_name(node.label))?;
@@ -283,7 +294,13 @@ pub fn write_tsv<N: Write, E: Write>(graph: &Graph, mut nodes: N, mut edges: E) 
     }
     for v in graph.node_ids() {
         for &(t, l) in graph.out_neighbors(v) {
-            writeln!(edges, "n{}\tn{}\t{}", v.0, t.0, graph.schema().edge_label_name(l))?;
+            writeln!(
+                edges,
+                "n{}\tn{}\t{}",
+                v.0,
+                t.0,
+                graph.schema().edge_label_name(l)
+            )?;
         }
     }
     Ok(())
@@ -362,7 +379,10 @@ mod tests {
         assert_eq!(g2.node_count(), 2);
         assert_eq!(g2.edge_count(), 1);
         let p2 = g2.schema().attr_id("Price").unwrap();
-        assert_eq!(g2.attr(crate::schema::NodeId(0), p2), Some(&AttrValue::Int(840)));
+        assert_eq!(
+            g2.attr(crate::schema::NodeId(0), p2),
+            Some(&AttrValue::Int(840))
+        );
     }
 
     #[test]

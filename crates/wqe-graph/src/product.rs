@@ -59,7 +59,13 @@ pub mod attrs {
 pub fn product_graph() -> ProductGraph {
     use attrs::*;
     let mut b = GraphBuilder::new();
-    let phone = |b: &mut GraphBuilder, name: &str, display: i64, storage: i64, price: i64, ram: i64, brand: &str| {
+    let phone = |b: &mut GraphBuilder,
+                 name: &str,
+                 display: i64,
+                 storage: i64,
+                 price: i64,
+                 ram: i64,
+                 brand: &str| {
         b.add_node(
             "Cellphone",
             [

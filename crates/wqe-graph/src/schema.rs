@@ -102,7 +102,10 @@ impl Interner {
 
     /// Iterates `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
     }
 }
 
@@ -166,7 +169,9 @@ impl Schema {
 
     /// Resolves an edge label id to its name.
     pub fn edge_label_name(&self, id: EdgeLabelId) -> &str {
-        self.edge_labels.resolve(id.0).unwrap_or("<unknown-edge-label>")
+        self.edge_labels
+            .resolve(id.0)
+            .unwrap_or("<unknown-edge-label>")
     }
 
     /// Number of distinct node labels.

@@ -7,9 +7,9 @@
 //! (§5.2 "Caching the Stars" makes the same observation for star views).
 
 use crate::oracle::DistanceOracle;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 use wqe_graph::{Graph, NodeId};
 
 /// Memoizing bounded-BFS oracle.
@@ -17,8 +17,14 @@ use wqe_graph::{Graph, NodeId};
 /// `horizon` is the largest distance the oracle will ever report; queries
 /// with a larger bound are truncated to the horizon. Memo entries are evicted
 /// FIFO once `capacity` sources are cached.
-pub struct BoundedBfsOracle<'g> {
-    graph: &'g Graph,
+///
+/// Shares ownership of the graph, so the oracle is `'static`: it can be put
+/// behind an `Arc<dyn DistanceOracle>` and handed to any thread. The memo
+/// table is internally synchronized; concurrent queries may race to compute
+/// the same source's reach set, in which case the first insert wins and the
+/// duplicates are dropped.
+pub struct BoundedBfsOracle {
+    graph: Arc<Graph>,
     horizon: u32,
     capacity: usize,
     memo: RwLock<MemoState>,
@@ -30,9 +36,9 @@ struct MemoState {
     order: std::collections::VecDeque<NodeId>,
 }
 
-impl<'g> BoundedBfsOracle<'g> {
+impl BoundedBfsOracle {
     /// Creates an oracle over `graph` answering distances up to `horizon`.
-    pub fn new(graph: &'g Graph, horizon: u32) -> Self {
+    pub fn new(graph: Arc<Graph>, horizon: u32) -> Self {
         BoundedBfsOracle {
             graph,
             horizon,
@@ -54,17 +60,20 @@ impl<'g> BoundedBfsOracle<'g> {
 
     /// Number of memoized sources (for tests and instrumentation).
     pub fn cached_sources(&self) -> usize {
-        self.memo.read().map.len()
+        self.memo.read().unwrap().map.len()
     }
 
     fn reach_from(&self, u: NodeId) -> Arc<HashMap<NodeId, u32>> {
-        if let Some(hit) = self.memo.read().map.get(&u) {
+        if let Some(hit) = self.memo.read().unwrap().map.get(&u) {
             return Arc::clone(hit);
         }
-        let computed: HashMap<NodeId, u32> =
-            self.graph.bounded_bfs(u, self.horizon).into_iter().collect();
+        let computed: HashMap<NodeId, u32> = self
+            .graph
+            .bounded_bfs(u, self.horizon)
+            .into_iter()
+            .collect();
         let arc = Arc::new(computed);
-        let mut state = self.memo.write();
+        let mut state = self.memo.write().unwrap();
         if !state.map.contains_key(&u) {
             if state.map.len() >= self.capacity {
                 if let Some(old) = state.order.pop_front() {
@@ -78,7 +87,7 @@ impl<'g> BoundedBfsOracle<'g> {
     }
 }
 
-impl DistanceOracle for BoundedBfsOracle<'_> {
+impl DistanceOracle for BoundedBfsOracle {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
         let bound = bound.min(self.horizon);
         let reach = self.reach_from(u);
@@ -91,19 +100,19 @@ mod tests {
     use super::*;
     use wqe_graph::GraphBuilder;
 
-    fn cycle(n: usize) -> Graph {
+    fn cycle(n: usize) -> Arc<Graph> {
         let mut b = GraphBuilder::new();
         let ids: Vec<_> = (0..n).map(|_| b.add_node("N", [])).collect();
         for i in 0..n {
             b.add_edge(ids[i], ids[(i + 1) % n], "e");
         }
-        b.finalize()
+        Arc::new(b.finalize())
     }
 
     #[test]
     fn directed_cycle_distances() {
         let g = cycle(5);
-        let o = BoundedBfsOracle::new(&g, 4);
+        let o = BoundedBfsOracle::new(g, 4);
         assert_eq!(o.distance_within(NodeId(0), NodeId(2), 4), Some(2));
         // Going "backwards" needs 4 forward hops on the 5-cycle.
         assert_eq!(o.distance_within(NodeId(0), NodeId(4), 4), Some(4));
@@ -113,7 +122,7 @@ mod tests {
     #[test]
     fn horizon_truncates() {
         let g = cycle(10);
-        let o = BoundedBfsOracle::new(&g, 2);
+        let o = BoundedBfsOracle::new(g, 2);
         assert_eq!(o.distance_within(NodeId(0), NodeId(3), 9), None);
         assert_eq!(o.distance_within(NodeId(0), NodeId(2), 9), Some(2));
     }
@@ -121,14 +130,14 @@ mod tests {
     #[test]
     fn self_distance_zero() {
         let g = cycle(3);
-        let o = BoundedBfsOracle::new(&g, 2);
+        let o = BoundedBfsOracle::new(g, 2);
         assert_eq!(o.distance_within(NodeId(1), NodeId(1), 0), Some(0));
     }
 
     #[test]
     fn memo_capacity_evicts() {
         let g = cycle(8);
-        let o = BoundedBfsOracle::new(&g, 3).with_capacity(2);
+        let o = BoundedBfsOracle::new(g, 3).with_capacity(2);
         for i in 0..5 {
             o.distance_within(NodeId(i), NodeId((i + 1) % 8), 3);
         }

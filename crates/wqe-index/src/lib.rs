@@ -64,7 +64,8 @@ mod proptests {
         #[test]
         fn bounded_matches_pll_within_horizon(g in arb_graph(), horizon in 1u32..5) {
             let pll = PllIndex::build(&g);
-            let bfs = BoundedBfsOracle::new(&g, horizon);
+            let g = std::sync::Arc::new(g);
+            let bfs = BoundedBfsOracle::new(std::sync::Arc::clone(&g), horizon);
             for u in g.node_ids() {
                 for v in g.node_ids() {
                     prop_assert_eq!(

@@ -1,5 +1,6 @@
 //! The distance-oracle abstraction shared by the matcher and algorithms.
 
+use std::sync::Arc;
 use wqe_graph::{Graph, NodeId};
 
 /// Answers bounded directed-distance queries.
@@ -8,7 +9,13 @@ use wqe_graph::{Graph, NodeId};
 /// when the shortest path from `u` to `v` is at most `b` hops, and `None`
 /// otherwise. The matcher only ever queries with `b <= b_m` (the global edge
 /// bound cap of §2.1), which lets truncated implementations answer exactly.
-pub trait DistanceOracle: Sync {
+///
+/// `Send + Sync` is a supertrait requirement: oracles are shared across
+/// concurrent sessions behind `Arc<dyn DistanceOracle>`, so every
+/// implementation must keep its query path safe to call from any thread
+/// (immutable after build, or internally synchronized like the memoizing
+/// BFS oracle).
+pub trait DistanceOracle: Send + Sync {
     /// Bounded distance query; see trait docs.
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32>;
 
@@ -24,6 +31,18 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
     }
 }
 
+impl<T: DistanceOracle + ?Sized> DistanceOracle for Arc<T> {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        (**self).distance_within(u, v, bound)
+    }
+}
+
+impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        (**self).distance_within(u, v, bound)
+    }
+}
+
 /// Chooses an index implementation appropriate for the graph size.
 ///
 /// Pruned landmark labeling answers in microseconds but costs superlinear
@@ -31,26 +50,30 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
 /// used here (50k nodes) keeps index construction under a second on the
 /// synthetic datasets while the big graphs fall back to BFS, mirroring how
 /// the paper treats the index as a pluggable black box.
-pub enum HybridOracle<'g> {
+pub enum HybridOracle {
     /// Full pruned-landmark-labeling index.
     Pll(crate::pll::PllIndex),
-    /// Memoized bounded BFS.
-    Bfs(crate::bfs::BoundedBfsOracle<'g>),
+    /// Memoized bounded BFS (shares ownership of the graph, so the oracle
+    /// is `'static` and can outlive the scope that built it).
+    Bfs(crate::bfs::BoundedBfsOracle),
 }
 
-impl<'g> HybridOracle<'g> {
+impl HybridOracle {
     /// Builds PLL for graphs up to `pll_node_limit` nodes, otherwise a
     /// bounded-BFS oracle with the given `horizon`.
-    pub fn auto(graph: &'g Graph, horizon: u32, pll_node_limit: usize) -> Self {
+    pub fn auto(graph: &Arc<Graph>, horizon: u32, pll_node_limit: usize) -> Self {
         if graph.node_count() <= pll_node_limit {
             HybridOracle::Pll(crate::pll::PllIndex::build(graph))
         } else {
-            HybridOracle::Bfs(crate::bfs::BoundedBfsOracle::new(graph, horizon))
+            HybridOracle::Bfs(crate::bfs::BoundedBfsOracle::new(
+                Arc::clone(graph),
+                horizon,
+            ))
         }
     }
 
     /// Default policy: PLL below 50k nodes.
-    pub fn default_for(graph: &'g Graph, horizon: u32) -> Self {
+    pub fn default_for(graph: &Arc<Graph>, horizon: u32) -> Self {
         Self::auto(graph, horizon, 50_000)
     }
 
@@ -60,7 +83,7 @@ impl<'g> HybridOracle<'g> {
     }
 }
 
-impl DistanceOracle for HybridOracle<'_> {
+impl DistanceOracle for HybridOracle {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
         match self {
             HybridOracle::Pll(p) => p.distance_within(u, v, bound),
@@ -74,13 +97,13 @@ mod tests {
     use super::*;
     use wqe_graph::GraphBuilder;
 
-    fn line(n: usize) -> Graph {
+    fn line(n: usize) -> Arc<Graph> {
         let mut b = GraphBuilder::new();
         let ids: Vec<_> = (0..n).map(|_| b.add_node("N", [])).collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1], "e");
         }
-        b.finalize()
+        Arc::new(b.finalize())
     }
 
     #[test]
@@ -106,5 +129,18 @@ mod tests {
         let o = HybridOracle::default_for(&g, 4);
         let dyn_o: &dyn DistanceOracle = &o;
         assert!(dyn_o.within(NodeId(0), NodeId(1), 1));
+    }
+
+    #[test]
+    fn shared_ownership_outlives_build_scope() {
+        // The oracle must be usable as a `'static` Arc<dyn DistanceOracle>
+        // after the original graph handle is gone.
+        let shared: Arc<dyn DistanceOracle> = {
+            let g = line(6);
+            Arc::new(HybridOracle::auto(&g, 4, 3))
+        };
+        assert_eq!(shared.distance_within(NodeId(0), NodeId(2), 4), Some(2));
+        let handle = std::thread::spawn(move || shared.within(NodeId(0), NodeId(1), 1));
+        assert!(handle.join().unwrap());
     }
 }

@@ -43,9 +43,7 @@ impl PllIndex {
         let n = graph.node_count();
         // Rank vertices by total degree, descending (classic PLL ordering).
         let mut order: Vec<NodeId> = graph.node_ids().collect();
-        order.sort_by_key(|&v| {
-            std::cmp::Reverse(graph.out_degree(v) + graph.in_degree(v))
-        });
+        order.sort_by_key(|&v| std::cmp::Reverse(graph.out_degree(v) + graph.in_degree(v)));
         let mut rank_of = vec![0u32; n];
         for (r, &v) in order.iter().enumerate() {
             rank_of[v.index()] = r as u32;
@@ -64,23 +62,11 @@ impl PllIndex {
             let wrank = r as u32;
             // Forward pruned BFS: label L_in of reached vertices.
             Self::pruned_bfs(
-                graph,
-                w,
-                wrank,
-                /*forward=*/ true,
-                &mut dist,
-                &mut queue,
-                &mut index,
+                graph, w, wrank, /*forward=*/ true, &mut dist, &mut queue, &mut index,
             );
             // Backward pruned BFS: label L_out of reaching vertices.
             Self::pruned_bfs(
-                graph,
-                w,
-                wrank,
-                /*forward=*/ false,
-                &mut dist,
-                &mut queue,
-                &mut index,
+                graph, w, wrank, /*forward=*/ false, &mut dist, &mut queue, &mut index,
             );
         }
         index

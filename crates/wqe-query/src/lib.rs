@@ -5,15 +5,19 @@
 //! substrate of *Answering Why-questions by Exemplars in Attributed Graphs*
 //! (SIGMOD 2019).
 //!
+//! The matcher shares ownership of its inputs (`Arc`), so it is `'static`
+//! and can be used from any thread:
+//!
 //! ```
+//! use std::sync::Arc;
 //! use wqe_graph::product::product_graph;
 //! use wqe_index::PllIndex;
 //! use wqe_query::{Matcher, PatternQuery};
 //!
-//! let pg = product_graph();
-//! let oracle = PllIndex::build(&pg.graph);
-//! let matcher = Matcher::new(&pg.graph, &oracle);
-//! let q = PatternQuery::new(pg.graph.schema().label_id("Cellphone"), 4);
+//! let graph = Arc::new(product_graph().graph);
+//! let oracle = Arc::new(PllIndex::build(&graph));
+//! let matcher = Matcher::new(Arc::clone(&graph), oracle);
+//! let q = PatternQuery::new(graph.schema().label_id("Cellphone"), 4);
 //! assert_eq!(matcher.evaluate(&q).matches.len(), 6);
 //! ```
 
@@ -30,7 +34,6 @@ pub use matcher::{
     StarPlan, Valuation,
 };
 pub use ops::{
-    is_canonical, is_normal_form, normalize, sequence_cost, ApplyError, AtomicOp, OpClass,
-    Touched,
+    is_canonical, is_normal_form, normalize, sequence_cost, ApplyError, AtomicOp, OpClass, Touched,
 };
 pub use pattern::{PatternError, PatternQuery, QEdge, QNode, QNodeId, Topology};

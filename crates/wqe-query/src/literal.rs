@@ -128,9 +128,7 @@ pub fn simplify_literals(literals: &[Literal]) -> Vec<Literal> {
             }
             // Drop j when i implies it. On mutual implication
             // (equivalent literals) keep the earlier one only.
-            if literals[i].implies(&literals[j])
-                && !(literals[j].implies(&literals[i]) && j < i)
-            {
+            if literals[i].implies(&literals[j]) && !(literals[j].implies(&literals[i]) && j < i) {
                 keep[j] = false;
             }
         }
@@ -225,7 +223,10 @@ mod tests {
 
     #[test]
     fn interval_view() {
-        assert_eq!(lit(CmpOp::Ge, 5).numeric_interval(), Some((5.0, f64::INFINITY)));
+        assert_eq!(
+            lit(CmpOp::Ge, 5).numeric_interval(),
+            Some((5.0, f64::INFINITY))
+        );
         assert_eq!(lit(CmpOp::Eq, 5).numeric_interval(), Some((5.0, 5.0)));
         assert_eq!(
             Literal::new(AttrId(0), CmpOp::Eq, "x").numeric_interval(),

@@ -5,11 +5,21 @@
 //! materialized star tables by their *spec* (labels, literals, bounds,
 //! directions — not pattern-node identities), counts hits with a time-decay
 //! factor, and evicts the least-hit entry when full.
+//!
+//! # Concurrency
+//!
+//! The cache is shared by concurrent sessions (the matcher is `Sync`), so
+//! the table is split into shards, each guarded by its own mutex; a key is
+//! pinned to one shard by hash. Concurrent lookups of different keys mostly
+//! touch different shards and proceed in parallel; the replacement policy
+//! (decayed least-hit) and the capacity bound are enforced per shard, which
+//! keeps eviction decisions lock-local. Small capacities collapse to one
+//! shard so eviction behaves exactly like the paper's single-table policy.
 
 use crate::matcher::star::StarRow;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 struct Entry {
     rows: Arc<Vec<StarRow>>,
@@ -28,30 +38,57 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
 /// A bounded star-table cache with least-hit replacement and hit decay.
 pub struct StarCache {
-    inner: Mutex<CacheInner>,
-    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
     decay: f64,
 }
 
-struct CacheInner {
+#[derive(Default)]
+struct Shard {
     map: HashMap<String, Entry>,
     tick: u64,
     stats: CacheStats,
+}
+
+/// Shards for caches of at least this capacity; smaller caches use a single
+/// shard so the (tiny) table keeps the exact single-policy eviction order.
+const SHARD_THRESHOLD: usize = 64;
+const SHARD_COUNT: usize = 8;
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A panicking evaluation thread must not wedge every other session
+    // sharing the cache; the data is a cache, so the entries a poisoned
+    // shard holds are still structurally valid.
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl StarCache {
     /// Creates a cache holding at most `capacity` star tables. `decay` in
     /// `(0, 1]` down-weights old hits per tick (1.0 disables decay).
     pub fn new(capacity: usize, decay: f64) -> Self {
+        let capacity = capacity.max(1);
+        let shards = if capacity >= SHARD_THRESHOLD {
+            SHARD_COUNT
+        } else {
+            1
+        };
         StarCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                tick: 0,
-                stats: CacheStats::default(),
-            }),
-            capacity: capacity.max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(shards),
             decay: decay.clamp(1e-6, 1.0),
         }
     }
@@ -61,13 +98,20 @@ impl StarCache {
         StarCache::new(4096, 0.95)
     }
 
+    fn shard_for(&self, key: &str) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
     /// Looks up `key`, or materializes with `compute` and inserts.
     pub fn get_or_compute<F>(&self, key: &str, compute: F) -> Arc<Vec<StarRow>>
     where
         F: FnOnce() -> Vec<StarRow>,
     {
+        let shard = self.shard_for(key);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = relock(shard.lock());
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(e) = inner.map.get_mut(key) {
@@ -81,11 +125,13 @@ impl StarCache {
             }
             inner.stats.misses += 1;
         }
-        // Materialize outside the lock: star tables can be expensive.
+        // Materialize outside the lock: star tables can be expensive. Two
+        // threads may race on the same new key; the first insert wins and
+        // both return equivalent rows (materialization is deterministic).
         let rows = Arc::new(compute());
-        let mut inner = self.inner.lock();
+        let mut inner = relock(shard.lock());
         let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(key) {
+        if inner.map.len() >= self.shard_capacity && !inner.map.contains_key(key) {
             // Evict the entry with the smallest decayed score.
             let victim = inner
                 .map
@@ -93,7 +139,7 @@ impl StarCache {
                 .min_by(|(_, a), (_, b)| {
                     let sa = a.hits * self.decay.powi((tick - a.last_tick) as i32);
                     let sb = b.hits * self.decay.powi((tick - b.last_tick) as i32);
-                    sa.partial_cmp(&sb).expect("scores are finite")
+                    sa.total_cmp(&sb)
                 })
                 .map(|(k, _)| k.clone());
             if let Some(k) = victim {
@@ -101,22 +147,31 @@ impl StarCache {
                 inner.stats.evictions += 1;
             }
         }
-        inner.map.entry(key.to_string()).or_insert(Entry {
-            rows: Arc::clone(&rows),
-            hits: 1.0,
-            last_tick: tick,
-        });
+        let rows = match inner.map.entry(key.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().rows),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Entry {
+                    rows: Arc::clone(&rows),
+                    hits: 1.0,
+                    last_tick: tick,
+                });
+                rows
+            }
+        };
         rows
     }
 
-    /// Current counters.
+    /// Current counters, aggregated across shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        self.shards
+            .iter()
+            .map(|s| relock(s.lock()).stats)
+            .fold(CacheStats::default(), CacheStats::merge)
     }
 
     /// Number of cached tables.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| relock(s.lock()).map.len()).sum()
     }
 
     /// True when empty.
@@ -126,7 +181,9 @@ impl StarCache {
 
     /// Drops all entries (keeps counters).
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        for s in &self.shards {
+            relock(s.lock()).map.clear();
+        }
     }
 }
 
@@ -187,6 +244,16 @@ mod tests {
     }
 
     #[test]
+    fn small_capacity_stays_single_sharded() {
+        let c = StarCache::new(SHARD_THRESHOLD - 1, 1.0);
+        assert_eq!(c.shards.len(), 1);
+        let c = StarCache::new(SHARD_THRESHOLD, 1.0);
+        assert_eq!(c.shards.len(), SHARD_COUNT);
+        // Shard capacities still cover the configured total.
+        assert!(c.shard_capacity * c.shards.len() >= SHARD_THRESHOLD);
+    }
+
+    #[test]
     fn concurrent_access_is_consistent() {
         let c = std::sync::Arc::new(StarCache::new(64, 1.0));
         let mut handles = Vec::new();
@@ -207,6 +274,33 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 200);
         assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn racing_inserts_converge_to_one_entry() {
+        // Hammer a single key from many threads; the first insert must win
+        // and the cache must end with exactly one entry for it.
+        let c = std::sync::Arc::new(StarCache::new(256, 1.0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = std::sync::Arc::clone(&c);
+            let barrier = std::sync::Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..100 {
+                    let rows = c.get_or_compute("shared", || vec![row(7)]);
+                    assert_eq!(rows[0].center.0, 7);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        assert_eq!(c.len(), 1);
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 100);
+        assert_eq!(s.evictions, 0);
     }
 
     #[test]

@@ -69,7 +69,17 @@ pub fn verify_candidate<O: DistanceOracle + ?Sized>(
     if order.len() == 1 {
         return Ok(Some(assignment));
     }
-    if backtrack(graph, oracle, q, order, domains, 1, &mut assignment, &mut used, steps)? {
+    if backtrack(
+        graph,
+        oracle,
+        q,
+        order,
+        domains,
+        1,
+        &mut assignment,
+        &mut used,
+        steps,
+    )? {
         Ok(Some(assignment))
     } else {
         Ok(None)
@@ -129,7 +139,17 @@ fn backtrack<O: DistanceOracle + ?Sized>(
         }
         assignment.insert(u, v);
         used.insert(v);
-        if backtrack(graph, oracle, q, order, domains, depth + 1, assignment, used, steps)? {
+        if backtrack(
+            graph,
+            oracle,
+            q,
+            order,
+            domains,
+            depth + 1,
+            assignment,
+            used,
+            steps,
+        )? {
             return Ok(true);
         }
         assignment.remove(&u);

@@ -1,7 +1,7 @@
 //! Procedure `Match` (§5.2): star-view based query evaluation.
 
-pub mod candidates;
 mod cache;
+pub mod candidates;
 mod join;
 #[cfg(test)]
 mod proptests;
@@ -157,25 +157,30 @@ pub struct MatcherStats {
 ///
 /// Owns an optional [`StarCache`]; with the cache disabled each evaluation
 /// materializes its stars from scratch (the `AnsWnc` ablation of Exp-1).
-pub struct Matcher<'g> {
-    graph: &'g Graph,
-    oracle: &'g dyn DistanceOracle,
+///
+/// The matcher shares ownership of its graph and oracle (`Arc`), so it is
+/// `'static`, `Send`, and `Sync`: sessions holding a matcher can be moved
+/// to or shared across threads, and several sessions over the same graph
+/// cost one allocation each, not one graph copy each.
+pub struct Matcher {
+    graph: Arc<Graph>,
+    oracle: Arc<dyn DistanceOracle>,
     cache: Option<StarCache>,
     step_limit: usize,
     parallelism: usize,
-    stats: parking_lot::Mutex<MatcherStats>,
+    stats: std::sync::Mutex<MatcherStats>,
 }
 
-impl<'g> Matcher<'g> {
+impl Matcher {
     /// Creates a matcher with the default cache.
-    pub fn new(graph: &'g Graph, oracle: &'g dyn DistanceOracle) -> Self {
+    pub fn new(graph: Arc<Graph>, oracle: Arc<dyn DistanceOracle>) -> Self {
         Matcher {
             graph,
             oracle,
             cache: Some(StarCache::default_sized()),
             step_limit: 2_000_000,
             parallelism: 1,
-            stats: parking_lot::Mutex::new(MatcherStats::default()),
+            stats: std::sync::Mutex::new(MatcherStats::default()),
         }
     }
 
@@ -200,18 +205,36 @@ impl<'g> Matcher<'g> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A shared handle to the underlying graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// The distance oracle.
-    pub fn oracle(&self) -> &'g dyn DistanceOracle {
-        self.oracle
+    pub fn oracle(&self) -> &dyn DistanceOracle {
+        &*self.oracle
+    }
+
+    /// A shared handle to the distance oracle.
+    pub fn oracle_arc(&self) -> Arc<dyn DistanceOracle> {
+        Arc::clone(&self.oracle)
+    }
+
+    /// Locks the stats mutex, recovering from poison: the counters stay
+    /// meaningful even if a verifier thread panicked mid-update.
+    fn stats_lock(&self) -> std::sync::MutexGuard<'_, MatcherStats> {
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> MatcherStats {
-        *self.stats.lock()
+        *self.stats_lock()
     }
 
     /// Cache counters, when caching is enabled.
@@ -221,7 +244,7 @@ impl<'g> Matcher<'g> {
 
     /// Candidates `V_u` of a pattern node.
     pub fn candidates(&self, q: &PatternQuery, u: QNodeId) -> Vec<NodeId> {
-        candidates::node_candidates(self.graph, q, u)
+        candidates::node_candidates(&self.graph, q, u)
     }
 
     fn table_for(
@@ -236,10 +259,10 @@ impl<'g> Matcher<'g> {
                 let mut built = false;
                 let rows = cache.get_or_compute(&key, || {
                     built = true;
-                    star::materialize_rows(self.graph, q, s, focus_cands)
+                    star::materialize_rows(&self.graph, q, s, focus_cands)
                 });
                 if built {
-                    self.stats.lock().tables_built += 1;
+                    self.stats_lock().tables_built += 1;
                 }
                 StarTable {
                     star: s.clone(),
@@ -247,10 +270,10 @@ impl<'g> Matcher<'g> {
                 }
             }
             None => {
-                self.stats.lock().tables_built += 1;
+                self.stats_lock().tables_built += 1;
                 StarTable {
                     star: s.clone(),
-                    rows: Arc::new(star::materialize_rows(self.graph, q, s, focus_cands)),
+                    rows: Arc::new(star::materialize_rows(&self.graph, q, s, focus_cands)),
                 }
             }
         }
@@ -276,7 +299,7 @@ impl<'g> Matcher<'g> {
                 .cache_stats()
                 .map(|c| c.misses == misses_before)
                 .unwrap_or(false);
-            let view = star::TableView::build(self.graph, q, &table);
+            let view = star::TableView::build(&self.graph, q, &table);
             plan_stars.push(StarPlan {
                 spec_key: s.spec_key(q),
                 center: s.center,
@@ -292,7 +315,7 @@ impl<'g> Matcher<'g> {
             .collect();
         let views: Vec<star::TableView<'_>> = tables
             .iter()
-            .map(|t| star::TableView::build(self.graph, q, t))
+            .map(|t| star::TableView::build(&self.graph, q, t))
             .collect();
         let supports = star::support_domains(q, &views);
         let domains = q
@@ -314,7 +337,7 @@ impl<'g> Matcher<'g> {
 
     /// Evaluates `Q(G)` (procedure `Match`).
     pub fn evaluate(&self, q: &PatternQuery) -> MatchOutcome {
-        self.stats.lock().evaluations += 1;
+        self.stats_lock().evaluations += 1;
         let focus = q.focus();
 
         // Single-node query: the candidates are the matches.
@@ -363,7 +386,7 @@ impl<'g> Matcher<'g> {
         // Apply the current center literals at lookup time.
         let views: Vec<star::TableView<'_>> = tables
             .iter()
-            .map(|t| star::TableView::build(self.graph, q, t))
+            .map(|t| star::TableView::build(&self.graph, q, t))
             .collect();
 
         // Candidate domains from star supports; nodes untouched by stars
@@ -381,15 +404,22 @@ impl<'g> Matcher<'g> {
 
         let order = assignment_order(q);
         let focus_domain = domains.get(&focus).cloned().unwrap_or_default();
-        self.stats.lock().candidates_verified += focus_domain.len() as u64;
+        self.stats_lock().candidates_verified += focus_domain.len() as u64;
 
         let verify_chunk = |chunk: &[NodeId]| -> (Vec<(NodeId, Valuation)>, bool) {
             let mut found = Vec::new();
             let mut truncated = false;
             for &v in chunk {
                 let mut steps = self.step_limit;
-                match verify_candidate(self.graph, self.oracle, q, &order, &domains, v, &mut steps)
-                {
+                match verify_candidate(
+                    &self.graph,
+                    &self.oracle,
+                    q,
+                    &order,
+                    &domains,
+                    v,
+                    &mut steps,
+                ) {
                     Ok(Some(h)) => found.push((v, h)),
                     Ok(None) => {}
                     Err(Truncated) => truncated = true,
@@ -410,7 +440,10 @@ impl<'g> Matcher<'g> {
                 let mut verified = Vec::new();
                 let mut truncated = false;
                 for h in handles {
-                    let (found, trunc) = h.join().expect("verifier thread panicked");
+                    let (found, trunc) = match h.join() {
+                        Ok(r) => r,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    };
                     verified.extend(found);
                     truncated |= trunc;
                 }
@@ -448,9 +481,7 @@ pub fn naive_evaluate<O: DistanceOracle + ?Sized>(
     let mut result = Vec::new();
     for &v in domains.get(&q.focus()).unwrap_or(&Vec::new()) {
         let mut steps = usize::MAX;
-        if let Ok(Some(_)) =
-            verify_candidate(graph, oracle, q, &order, &domains, v, &mut steps)
-        {
+        if let Ok(Some(_)) = verify_candidate(graph, oracle, q, &order, &domains, v, &mut steps) {
             result.push(v);
         }
     }
@@ -465,6 +496,12 @@ mod tests {
     use wqe_graph::{product::product_graph, CmpOp};
     use wqe_index::PllIndex;
 
+    fn matcher_for(g: &Graph) -> Matcher {
+        let graph = Arc::new(g.clone());
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(g));
+        Matcher::new(graph, oracle)
+    }
+
     fn paper_query(g: &Graph) -> PatternQuery {
         let s = g.schema();
         let mut q = PatternQuery::new(s.label_id("Cellphone"), 4);
@@ -476,10 +513,14 @@ mod tests {
         let brand = s.attr_id("Brand").unwrap();
         let ram = s.attr_id("RAM").unwrap();
         let display = s.attr_id("Display").unwrap();
-        q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840)).unwrap();
-        q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung")).unwrap();
-        q.add_literal(q.focus(), Literal::new(ram, CmpOp::Ge, 4)).unwrap();
-        q.add_literal(q.focus(), Literal::new(display, CmpOp::Ge, 62)).unwrap();
+        q.add_literal(q.focus(), Literal::new(price, CmpOp::Ge, 840))
+            .unwrap();
+        q.add_literal(q.focus(), Literal::new(brand, CmpOp::Eq, "Samsung"))
+            .unwrap();
+        q.add_literal(q.focus(), Literal::new(ram, CmpOp::Ge, 4))
+            .unwrap();
+        q.add_literal(q.focus(), Literal::new(display, CmpOp::Ge, 62))
+            .unwrap();
         q
     }
 
@@ -487,8 +528,7 @@ mod tests {
     fn example_2_1_answer() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let out = m.evaluate(&paper_query(g));
         // Q(Cellphone, G) = {P1, P2, P5}.
         assert_eq!(out.matches, vec![pg.phones[0], pg.phones[1], pg.phones[4]]);
@@ -500,7 +540,7 @@ mod tests {
         let pg = product_graph();
         let g = &pg.graph;
         let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let q = paper_query(g);
         assert_eq!(m.evaluate(&q).matches, naive_evaluate(g, &oracle, &q));
     }
@@ -509,8 +549,7 @@ mod tests {
     fn single_node_query_returns_candidates() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let q = PatternQuery::new(g.schema().label_id("Cellphone"), 4);
         let out = m.evaluate(&q);
         assert_eq!(out.matches.len(), 6);
@@ -521,8 +560,7 @@ mod tests {
     fn cache_hits_across_rewrites() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let q = paper_query(g);
         m.evaluate(&q);
         m.evaluate(&q); // identical query: all stars hit
@@ -534,8 +572,7 @@ mod tests {
     fn without_cache_rebuilds() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle).without_cache();
+        let m = matcher_for(g).without_cache();
         let q = paper_query(g);
         m.evaluate(&q);
         m.evaluate(&q);
@@ -548,8 +585,7 @@ mod tests {
     fn explain_plan_reports_stars_and_domains() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let q = paper_query(g);
         let plan = m.explain_plan(&q);
         assert_eq!(plan.stars.len(), 2, "per-edge decomposition");
@@ -595,14 +631,13 @@ mod tests {
             }
         }
         let g = b.finalize();
-        let oracle = PllIndex::build(&g);
         let s = g.schema();
         let mut q = PatternQuery::new(s.label_id("F"), 2);
         let leaf = q.add_node(s.label_id("L"));
         q.add_edge(q.focus(), leaf, 1).unwrap();
 
-        let serial = Matcher::new(&g, &oracle).evaluate(&q);
-        let parallel = Matcher::new(&g, &oracle).with_parallelism(4).evaluate(&q);
+        let serial = matcher_for(&g).evaluate(&q);
+        let parallel = matcher_for(&g).with_parallelism(4).evaluate(&q);
         assert_eq!(serial.matches, parallel.matches);
         assert_eq!(parallel.matches, expected);
         assert_eq!(serial.valuations.len(), parallel.valuations.len());
@@ -612,8 +647,7 @@ mod tests {
     fn witness_paths_realize_edge_bounds() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let q = paper_query(g);
         let out = m.evaluate(&q);
         // P1 matches via the 2-hop path P1 -> GearS3 -> HeartRate.
@@ -650,8 +684,7 @@ mod tests {
     fn witnessed_node_matches() {
         let pg = product_graph();
         let g = &pg.graph;
-        let oracle = PllIndex::build(g);
-        let m = Matcher::new(g, &oracle);
+        let m = matcher_for(g);
         let q = paper_query(g);
         let out = m.evaluate(&q);
         // The carrier pattern node is witnessed by real carriers.

@@ -7,8 +7,15 @@ use crate::matcher::{naive_evaluate, Matcher};
 use crate::ops::AtomicOp;
 use crate::pattern::{PatternQuery, QNodeId};
 use proptest::prelude::*;
+use std::sync::Arc;
 use wqe_graph::{AttrValue, CmpOp, Graph, GraphBuilder};
-use wqe_index::PllIndex;
+use wqe_index::{DistanceOracle, PllIndex};
+
+fn matcher_for(g: &Graph) -> Matcher {
+    let graph = Arc::new(g.clone());
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(g));
+    Matcher::new(graph, oracle)
+}
 
 /// A random attributed digraph: `n` nodes over 3 labels with one numeric
 /// attribute `x` in 0..20, plus random edges.
@@ -22,12 +29,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             .prop_map(move |(edges, labels, xs)| {
                 let mut b = GraphBuilder::new();
                 let ids: Vec<_> = (0..n)
-                    .map(|i| {
-                        b.add_node(
-                            &format!("L{}", labels[i]),
-                            [("x", AttrValue::Int(xs[i]))],
-                        )
-                    })
+                    .map(|i| b.add_node(&format!("L{}", labels[i]), [("x", AttrValue::Int(xs[i]))]))
                     .collect();
                 for (u, v) in edges {
                     if u != v {
@@ -83,7 +85,7 @@ proptest! {
         (Just(g), q)
     })) {
         let oracle = PllIndex::build(&g);
-        let matcher = Matcher::new(&g, &oracle);
+        let matcher = matcher_for(&g);
         let ours = matcher.evaluate(&q);
         let reference = naive_evaluate(&g, &oracle, &q);
         prop_assert!(!ours.truncated);
@@ -97,8 +99,7 @@ proptest! {
         let q = arb_query(&g);
         (Just(g), q)
     })) {
-        let oracle = PllIndex::build(&g);
-        let warm = Matcher::new(&g, &oracle);
+        let warm = matcher_for(&g);
         // Warm the cache with literal rewrites of the query.
         let x = g.schema().attr_id("x").expect("x");
         let focus = q.focus();
@@ -114,7 +115,7 @@ proptest! {
             warm.evaluate(&variant);
         }
         let from_warm = warm.evaluate(&q).matches;
-        let fresh = Matcher::new(&g, &oracle).evaluate(&q).matches;
+        let fresh = matcher_for(&g).evaluate(&q).matches;
         prop_assert_eq!(from_warm, fresh);
     }
 
@@ -125,8 +126,7 @@ proptest! {
         let q = arb_query(&g);
         (Just(g), q)
     })) {
-        let oracle = PllIndex::build(&g);
-        let matcher = Matcher::new(&g, &oracle);
+        let matcher = matcher_for(&g);
         let before: std::collections::HashSet<_> =
             matcher.evaluate(&q).matches.into_iter().collect();
         let x = g.schema().attr_id("x").expect("x");

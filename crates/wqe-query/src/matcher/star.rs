@@ -74,9 +74,10 @@ impl StarQuery {
                 .to_string()
         };
         let full_sig = |u: QNodeId| -> String {
-            let n = q.node(u).expect("live node");
-            let mut lits: Vec<String> = n
-                .literals
+            let mut lits: Vec<String> = q
+                .node(u)
+                .map(|n| n.literals.as_slice())
+                .unwrap_or_default()
                 .iter()
                 .map(|l| format!("{}{:?}{}", l.attr.0, l.op, l.value))
                 .collect();
@@ -527,8 +528,11 @@ mod tests {
         let q1 = paper_query(g);
         let mut q2 = q1.clone();
         let discount = g.schema().attr_id("Discount").unwrap();
-        q2.add_literal(crate::pattern::QNodeId(1), Literal::new(discount, CmpOp::Eq, 25))
-            .unwrap();
+        q2.add_literal(
+            crate::pattern::QNodeId(1),
+            Literal::new(discount, CmpOp::Eq, 25),
+        )
+        .unwrap();
         let k1: std::collections::HashSet<String> =
             decompose(&q1).iter().map(|s| s.spec_key(&q1)).collect();
         let k2: std::collections::HashSet<String> =
@@ -547,10 +551,7 @@ mod tests {
             .iter()
             .map(|s| materialize(g, &q, s, &pool))
             .collect();
-        let views: Vec<TableView> = tables
-            .iter()
-            .map(|t| TableView::build(g, &q, t))
-            .collect();
+        let views: Vec<TableView> = tables.iter().map(|t| TableView::build(g, &q, t)).collect();
         let domains = support_domains(&q, &views);
         let focus_domain = &domains[&q.focus()];
         // P1, P2, P5 — both stars agree and literals applied.

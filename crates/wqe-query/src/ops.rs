@@ -263,7 +263,9 @@ impl AtomicOp {
                 if *new_bound > *old_bound && *new_bound <= q.max_bound() {
                     Ok(())
                 } else {
-                    Err(ApplyError::NotApplicable("RxE: bound must strictly grow within b_m"))
+                    Err(ApplyError::NotApplicable(
+                        "RxE: bound must strictly grow within b_m",
+                    ))
                 }
             }
             AtomicOp::AddL { node, lit } => {
@@ -335,7 +337,9 @@ impl AtomicOp {
                 if *new_bound >= 1 && *new_bound < *old_bound {
                     Ok(())
                 } else {
-                    Err(ApplyError::NotApplicable("RfE: bound must strictly shrink, >= 1"))
+                    Err(ApplyError::NotApplicable(
+                        "RfE: bound must strictly shrink, >= 1",
+                    ))
                 }
             }
         }
@@ -359,10 +363,16 @@ impl AtomicOp {
                 Ok(None)
             }
             AtomicOp::RxE {
-                from, to, new_bound, ..
+                from,
+                to,
+                new_bound,
+                ..
             }
             | AtomicOp::RfE {
-                from, to, new_bound, ..
+                from,
+                to,
+                new_bound,
+                ..
             } => {
                 q.set_edge_bound(*from, *to, *new_bound)?;
                 Ok(None)
@@ -554,16 +564,44 @@ mod tests {
         let g = test_graph(); // D(G)=10, range(x)=100
         let q = base_query();
         let f = q.focus();
-        assert_eq!(AtomicOp::RmL { node: f, lit: lit(50) }.cost(&g), 1.0);
         assert_eq!(
-            AtomicOp::RmE { from: f, to: QNodeId(1), bound: 2 }.cost(&g),
+            AtomicOp::RmL {
+                node: f,
+                lit: lit(50)
+            }
+            .cost(&g),
+            1.0
+        );
+        assert_eq!(
+            AtomicOp::RmE {
+                from: f,
+                to: QNodeId(1),
+                bound: 2
+            }
+            .cost(&g),
             1.2
         );
-        let rxl = AtomicOp::RxL { node: f, old: lit(50), new: lit(30) };
+        let rxl = AtomicOp::RxL {
+            node: f,
+            old: lit(50),
+            new: lit(30),
+        };
         assert!((rxl.cost(&g) - 1.2).abs() < 1e-9); // 1 + 20/100
-        let rxe = AtomicOp::RxE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 4 };
+        let rxe = AtomicOp::RxE {
+            from: f,
+            to: QNodeId(1),
+            old_bound: 2,
+            new_bound: 4,
+        };
         assert!((rxe.cost(&g) - 1.2).abs() < 1e-9); // 1 + 2/10
-        assert_eq!(AtomicOp::AddL { node: f, lit: lit(60) }.cost(&g), 1.0);
+        assert_eq!(
+            AtomicOp::AddL {
+                node: f,
+                lit: lit(60)
+            }
+            .cost(&g),
+            1.0
+        );
     }
 
     #[test]
@@ -572,7 +610,11 @@ mod tests {
         let q = base_query();
         let f = q.focus();
         // Huge literal jump: relative term capped at 1.
-        let op = AtomicOp::RxL { node: f, old: lit(50), new: lit(-100_000) };
+        let op = AtomicOp::RxL {
+            node: f,
+            old: lit(50),
+            new: lit(-100_000),
+        };
         assert_eq!(op.cost(&g), 2.0);
     }
 
@@ -580,9 +622,20 @@ mod tests {
     fn rxl_requires_strict_relaxation() {
         let mut q = base_query();
         let f = q.focus();
-        let bad = AtomicOp::RxL { node: f, old: lit(50), new: lit(60) };
-        assert!(matches!(bad.applicable(&q), Err(ApplyError::NotApplicable(_))));
-        let good = AtomicOp::RxL { node: f, old: lit(50), new: lit(40) };
+        let bad = AtomicOp::RxL {
+            node: f,
+            old: lit(50),
+            new: lit(60),
+        };
+        assert!(matches!(
+            bad.applicable(&q),
+            Err(ApplyError::NotApplicable(_))
+        ));
+        let good = AtomicOp::RxL {
+            node: f,
+            old: lit(50),
+            new: lit(40),
+        };
         assert!(good.apply(&mut q).is_ok());
         assert!(q.node(f).unwrap().literals.contains(&lit(40)));
     }
@@ -591,9 +644,17 @@ mod tests {
     fn rfl_requires_strict_refinement() {
         let mut q = base_query();
         let f = q.focus();
-        let bad = AtomicOp::RfL { node: f, old: lit(50), new: lit(40) };
+        let bad = AtomicOp::RfL {
+            node: f,
+            old: lit(50),
+            new: lit(40),
+        };
         assert!(bad.applicable(&q).is_err());
-        let good = AtomicOp::RfL { node: f, old: lit(50), new: lit(70) };
+        let good = AtomicOp::RfL {
+            node: f,
+            old: lit(50),
+            new: lit(70),
+        };
         assert!(good.apply(&mut q).is_ok());
     }
 
@@ -601,11 +662,18 @@ mod tests {
     fn rme_prunes_and_rml_checks_presence() {
         let mut q = base_query();
         let f = q.focus();
-        let op = AtomicOp::RmE { from: f, to: QNodeId(1), bound: 2 };
+        let op = AtomicOp::RmE {
+            from: f,
+            to: QNodeId(1),
+            bound: 2,
+        };
         op.apply(&mut q).unwrap();
         assert_eq!(q.node_count(), 1);
         // Removing a literal that is absent is not applicable (§2.2).
-        let rml = AtomicOp::RmL { node: f, lit: lit(99) };
+        let rml = AtomicOp::RmL {
+            node: f,
+            lit: lit(99),
+        };
         assert!(rml.applicable(&q).is_err());
     }
 
@@ -613,9 +681,19 @@ mod tests {
     fn rxe_respects_bm() {
         let q = base_query(); // b_m = 4
         let f = q.focus();
-        let ok = AtomicOp::RxE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 4 };
+        let ok = AtomicOp::RxE {
+            from: f,
+            to: QNodeId(1),
+            old_bound: 2,
+            new_bound: 4,
+        };
         assert!(ok.applicable(&q).is_ok());
-        let too_big = AtomicOp::RxE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 5 };
+        let too_big = AtomicOp::RxE {
+            from: f,
+            to: QNodeId(1),
+            old_bound: 2,
+            new_bound: 5,
+        };
         assert!(too_big.applicable(&q).is_err());
     }
 
@@ -623,9 +701,19 @@ mod tests {
     fn rfe_floor_one() {
         let q = base_query();
         let f = q.focus();
-        let ok = AtomicOp::RfE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 1 };
+        let ok = AtomicOp::RfE {
+            from: f,
+            to: QNodeId(1),
+            old_bound: 2,
+            new_bound: 1,
+        };
         assert!(ok.applicable(&q).is_ok());
-        let zero = AtomicOp::RfE { from: f, to: QNodeId(1), old_bound: 2, new_bound: 0 };
+        let zero = AtomicOp::RfE {
+            from: f,
+            to: QNodeId(1),
+            old_bound: 2,
+            new_bound: 0,
+        };
         assert!(zero.applicable(&q).is_err());
     }
 
@@ -648,8 +736,14 @@ mod tests {
     fn canonicity_detects_cancel_out() {
         let f = QNodeId(0);
         // o6 = RmL(Display), o7 = AddL(Display): cancel out (Example 4.2).
-        let o6 = AtomicOp::RmL { node: f, lit: lit(1) };
-        let o7 = AtomicOp::AddL { node: f, lit: lit(1) };
+        let o6 = AtomicOp::RmL {
+            node: f,
+            lit: lit(1),
+        };
+        let o7 = AtomicOp::AddL {
+            node: f,
+            lit: lit(1),
+        };
         assert!(!is_canonical(&[o6.clone(), o7.clone()]));
         assert!(!is_canonical(&[o7, o6.clone()]));
         assert!(is_canonical(&[o6]));
@@ -658,8 +752,14 @@ mod tests {
     #[test]
     fn normal_form_check_and_transform() {
         let f = QNodeId(0);
-        let relax = AtomicOp::RmL { node: f, lit: lit(1) };
-        let refine = AtomicOp::AddL { node: f, lit: Literal::new(AttrId(1), CmpOp::Ge, 2) };
+        let relax = AtomicOp::RmL {
+            node: f,
+            lit: lit(1),
+        };
+        let refine = AtomicOp::AddL {
+            node: f,
+            lit: Literal::new(AttrId(1), CmpOp::Ge, 2),
+        };
         assert!(is_normal_form(&[relax.clone(), refine.clone()]));
         assert!(!is_normal_form(&[refine.clone(), relax.clone()]));
         let normalized = normalize(&[refine.clone(), relax.clone()]);
@@ -674,8 +774,15 @@ mod tests {
         let q = base_query();
         let f = q.focus();
         let ops = vec![
-            AtomicOp::RmL { node: f, lit: lit(50) },
-            AtomicOp::RmE { from: f, to: QNodeId(1), bound: 2 },
+            AtomicOp::RmL {
+                node: f,
+                lit: lit(50),
+            },
+            AtomicOp::RmE {
+                from: f,
+                to: QNodeId(1),
+                bound: 2,
+            },
         ];
         assert!((sequence_cost(&ops, &g) - 2.2).abs() < 1e-9);
     }

@@ -180,11 +180,7 @@ impl PatternQuery {
 
     /// Total number of literals across nodes.
     pub fn literal_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .flatten()
-            .map(|n| n.literals.len())
-            .sum()
+        self.nodes.iter().flatten().map(|n| n.literals.len()).sum()
     }
 
     /// `|Q|` as used in complexity discussions: edges plus literals.
@@ -302,7 +298,10 @@ impl PatternQuery {
 
     /// Undirected degree of `u`.
     pub fn degree(&self, u: QNodeId) -> usize {
-        self.edges.iter().filter(|e| e.from == u || e.to == u).count()
+        self.edges
+            .iter()
+            .filter(|e| e.from == u || e.to == u)
+            .count()
     }
 
     /// Removes nodes not weakly connected to the focus, and their literals.
@@ -514,7 +513,11 @@ impl PatternQuery {
             );
         }
         for e in &self.edges {
-            let _ = writeln!(out, "  u{} -> u{} [label=\"<={}\"];", e.from.0, e.to.0, e.bound);
+            let _ = writeln!(
+                out,
+                "  u{} -> u{} [label=\"<={}\"];",
+                e.from.0, e.to.0, e.bound
+            );
         }
         out.push_str("}\n");
         out
@@ -531,7 +534,11 @@ impl PatternQuery {
                 .unwrap_or_else(|| "⊥".to_string());
             let focus_mark = if u == self.focus { "*" } else { "" };
             let lits: Vec<String> = n.literals.iter().map(|l| l.display(schema)).collect();
-            out.push_str(&format!("  {focus_mark}u{}:{label} {{{}}}\n", u.0, lits.join(", ")));
+            out.push_str(&format!(
+                "  {focus_mark}u{}:{label} {{{}}}\n",
+                u.0,
+                lits.join(", ")
+            ));
         }
         for e in &self.edges {
             out.push_str(&format!("  u{} -[<={}]-> u{}\n", e.from.0, e.bound, e.to.0));
@@ -671,7 +678,9 @@ mod tests {
 
         // Tighter literal: refines.
         let mut tighter = q.clone();
-        tighter.replace_literal(tighter.focus(), &lit(5), lit(7)).unwrap();
+        tighter
+            .replace_literal(tighter.focus(), &lit(5), lit(7))
+            .unwrap();
         assert!(tighter.refines(&q));
         assert!(!q.refines(&tighter));
 

@@ -8,20 +8,23 @@
 //! cargo run --release --example exploratory_session
 //! ```
 
+use std::sync::Arc;
 use wqe::core::explorer::{Explorer, SessionStrategy};
 use wqe::core::session::WqeConfig;
+use wqe::core::EngineCtx;
 use wqe::datagen::{exemplar_from, generate_query, offshore_like, QueryGenConfig};
 use wqe::index::HybridOracle;
 
 fn main() {
-    let g = offshore_like(0.1, 99);
+    let g = Arc::new(offshore_like(0.1, 99));
     println!("graph: {:?}", g.stats());
-    let oracle = HybridOracle::default_for(&g, 4);
+    let oracle: Arc<dyn wqe::index::DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::clone(&oracle));
 
     // A hidden "intention": the answers of a target query the user cannot
     // articulate. Her starting query is a single-node sketch of it. Scan a
     // few seeds for an intention with a meaty answer set.
-    let matcher = wqe::query::Matcher::new(&g, &oracle);
+    let matcher = wqe::query::Matcher::new(Arc::clone(&g), Arc::clone(&oracle));
     let (target, wanted) = (31..200u64)
         .filter_map(|seed| {
             let t = generate_query(
@@ -46,8 +49,7 @@ fn main() {
         wqe::query::PatternQuery::new(focus_label, 4)
     };
     let mut explorer = Explorer::new(
-        &g,
-        &oracle,
+        ctx,
         start,
         WqeConfig {
             budget: 3.0,
@@ -66,11 +68,7 @@ fn main() {
         }
         let exemplar = exemplar_from(&g, &examples, 3);
         let rec = explorer.session(&exemplar, SessionStrategy::Beam(3));
-        let hit = rec
-            .matches
-            .iter()
-            .filter(|v| wanted.contains(v))
-            .count();
+        let hit = rec.matches.iter().filter(|v| wanted.contains(v)).count();
         println!(
             "round {round}: |answers| {} -> {} ({} of {} wanted), {} ops, {:.1} ms",
             answers.len(),
@@ -91,6 +89,9 @@ fn main() {
         }
     }
 
-    println!("\nfinal query:\n{}", explorer.current_query().display(g.schema()));
+    println!(
+        "\nfinal query:\n{}",
+        explorer.current_query().display(g.schema())
+    );
     println!("sessions recorded: {}", explorer.history().len());
 }

@@ -6,17 +6,20 @@
 //! cargo run --release --example movie_exploration
 //! ```
 
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::relative_closeness;
 use wqe::core::session::WqeConfig;
-use wqe::datagen::{generate_why, imdb_like, generate_query, QueryGenConfig, WhyGenConfig};
+use wqe::core::EngineCtx;
+use wqe::datagen::{generate_query, generate_why, imdb_like, QueryGenConfig, WhyGenConfig};
 use wqe::index::HybridOracle;
 
 fn main() {
     // A mid-sized IMDB-like graph (movies, people, ratings...).
-    let g = imdb_like(0.08, 42);
+    let g = Arc::new(imdb_like(0.08, 42));
     println!("graph: {:?}\n", g.stats());
-    let oracle = HybridOracle::default_for(&g, 4);
+    let oracle: Arc<dyn wqe::index::DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::clone(&oracle));
 
     let mut sessions = 0;
     let mut recovered = 0.0;
@@ -50,8 +53,7 @@ fn main() {
         sessions += 1;
 
         let engine = WqeEngine::new(
-            &g,
-            &oracle,
+            ctx.clone(),
             wq.question.clone(),
             WqeConfig {
                 budget: 3.0,

@@ -5,16 +5,17 @@
 //! cargo run --release --example product_search
 //! ```
 
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::paper::{paper_exemplar, paper_query};
 use wqe::core::session::{WhyQuestion, WqeConfig};
+use wqe::core::EngineCtx;
 use wqe::graph::product::{attrs, product_graph};
 use wqe::graph::NodeId;
 use wqe::index::PllIndex;
 
 fn main() {
-    let pg = product_graph();
-    let g = &pg.graph;
+    let g = Arc::new(product_graph().graph);
     let name_attr = g.schema().attr_id(attrs::NAME).unwrap();
     let name = |v: NodeId| {
         g.attr(v, name_attr)
@@ -25,13 +26,12 @@ fn main() {
     // The user searches for Samsung cellphones >= $840 with a carrier and
     // a sensor within two hops.
     let question = WhyQuestion {
-        query: paper_query(g),
-        exemplar: paper_exemplar(g),
+        query: paper_query(&g),
+        exemplar: paper_exemplar(&g),
     };
-    let oracle = PllIndex::build(g);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let engine = WqeEngine::new(
-        g,
-        &oracle,
+        ctx.clone(),
         question,
         WqeConfig {
             budget: 4.0,
@@ -73,7 +73,11 @@ fn main() {
             i + 1,
             r.closeness,
             r.cost,
-            r.matches.iter().map(|&v| name(v)).collect::<Vec<_>>().join(", ")
+            r.matches
+                .iter()
+                .map(|&v| name(v))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         for op in &r.ops {
             println!("       {}", op.display(g.schema()));
@@ -82,7 +86,7 @@ fn main() {
 
     // Why-Many on a deliberately loose query: too many phones match.
     println!("\n--- why so many? ---");
-    let mut loose = paper_query(g);
+    let mut loose = paper_query(&g);
     let price = g.schema().attr_id(attrs::PRICE).unwrap();
     loose
         .replace_literal(
@@ -92,11 +96,10 @@ fn main() {
         )
         .unwrap();
     let many_engine = WqeEngine::new(
-        g,
-        &oracle,
+        ctx,
         WhyQuestion {
             query: loose,
-            exemplar: paper_exemplar(g),
+            exemplar: paper_exemplar(&g),
         },
         WqeConfig {
             budget: 3.0,

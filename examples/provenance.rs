@@ -5,6 +5,7 @@
 //! cargo run --release --example provenance [out.dot]
 //! ```
 
+use std::sync::Arc;
 use wqe::core::paper::paper_query;
 use wqe::graph::dot::{subgraph_to_dot, DotOptions};
 use wqe::graph::product::{attrs, product_graph};
@@ -12,8 +13,7 @@ use wqe::index::PllIndex;
 use wqe::query::Matcher;
 
 fn main() {
-    let pg = product_graph();
-    let g = &pg.graph;
+    let g = Arc::new(product_graph().graph);
     let name_attr = g.schema().attr_id(attrs::NAME).unwrap();
     let name = |v: wqe::graph::NodeId| {
         g.attr(v, name_attr)
@@ -21,15 +21,14 @@ fn main() {
             .unwrap_or_else(|| format!("n{}", v.0))
     };
 
-    let q = paper_query(g);
-    let oracle = PllIndex::build(g);
-    let matcher = Matcher::new(g, &oracle);
+    let q = paper_query(&g);
+    let matcher = Matcher::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let out = matcher.evaluate(&q);
 
     println!("query:\n{}", q.display(g.schema()));
     for &m in &out.matches {
         println!("match {} is realized by:", name(m));
-        for (from, to, path) in out.witness_paths(g, &q, m) {
+        for (from, to, path) in out.witness_paths(&g, &q, m) {
             let bound = q.edge_between(from, to).map(|e| e.bound).unwrap_or(0);
             let rendered: Vec<String> = path.iter().map(|&v| name(v)).collect();
             println!(
@@ -43,15 +42,20 @@ fn main() {
     }
 
     // Export the provenance subgraph.
-    let nodes = out.answer_subgraph_nodes(g, &q);
+    let nodes = out.answer_subgraph_nodes(&g, &q);
     let mut opts = DotOptions {
         name: "Provenance".into(),
         ..Default::default()
     };
     opts.highlight = out.matches.iter().copied().collect();
-    let dot = subgraph_to_dot(g, nodes, &opts);
-    let path = std::env::args().nth(1).unwrap_or_else(|| "provenance.dot".into());
+    let dot = subgraph_to_dot(&g, nodes, &opts);
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "provenance.dot".into());
     std::fs::write(&path, &dot).expect("write dot file");
-    println!("\nwrote provenance subgraph ({} lines) to {path}", dot.lines().count());
+    println!(
+        "\nwrote provenance subgraph ({} lines) to {path}",
+        dot.lines().count()
+    );
     println!("render with: dot -Tsvg {path} -o provenance.svg");
 }

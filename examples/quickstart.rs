@@ -5,30 +5,31 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::paper::paper_question;
 use wqe::core::session::WqeConfig;
+use wqe::core::EngineCtx;
 use wqe::graph::product::product_graph;
 use wqe::index::PllIndex;
 
 fn main() {
     // 1. A graph: cellphones, carriers, sensors (Fig. 2).
-    let pg = product_graph();
-    let g = &pg.graph;
+    let g = Arc::new(product_graph().graph);
     println!("graph: {:?}\n", g.stats());
 
     // 2. The why-question: the query found {P1, P2, P5}, but the user's
     //    exemplar describes cheaper phones with bigger storage.
-    let question = paper_question(g);
+    let question = paper_question(&g);
     println!("original query Q:\n{}", question.query.display(g.schema()));
 
-    // 3. A distance index (edge-to-path matching needs one).
-    let oracle = PllIndex::build(g);
+    // 3. A shared context: the graph plus a distance index (edge-to-path
+    //    matching needs one), both behind `Arc`s.
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
 
     // 4. Answer it with AnsW.
     let engine = WqeEngine::new(
-        g,
-        &oracle,
+        ctx,
         question,
         WqeConfig {
             budget: 4.0,
@@ -43,7 +44,10 @@ fn main() {
 
     let report = engine.answer();
     let best = report.best.expect("a rewrite is found");
-    println!("\nsuggested rewrite Q' (cost {:.2}, closeness {:.3}):", best.cost, best.closeness);
+    println!(
+        "\nsuggested rewrite Q' (cost {:.2}, closeness {:.3}):",
+        best.cost, best.closeness
+    );
     println!("{}", best.query.display(g.schema()));
     println!("operators:");
     for op in &best.ops {

@@ -6,24 +6,25 @@
 //! cargo run --release --example why_empty_debugging
 //! ```
 
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::paper::{paper_exemplar, paper_query};
 use wqe::core::session::{WhyQuestion, WqeConfig};
+use wqe::core::EngineCtx;
 use wqe::graph::product::{attrs, product_graph};
 use wqe::graph::CmpOp;
 use wqe::index::PllIndex;
 use wqe::query::Literal;
 
 fn main() {
-    let pg = product_graph();
-    let g = &pg.graph;
+    let g = Arc::new(product_graph().graph);
     let s = g.schema();
     let price = s.attr_id(attrs::PRICE).unwrap();
     let name_attr = s.attr_id(attrs::NAME).unwrap();
 
     // Over-constrained query: Samsung phones >= $880 — excludes everything
     // the exemplar wants.
-    let mut q = paper_query(g);
+    let mut q = paper_query(&g);
     q.replace_literal(
         q.focus(),
         &Literal::new(price, CmpOp::Ge, 840),
@@ -34,12 +35,11 @@ fn main() {
 
     let question = WhyQuestion {
         query: q,
-        exemplar: paper_exemplar(g),
+        exemplar: paper_exemplar(&g),
     };
-    let oracle = PllIndex::build(g);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let engine = WqeEngine::new(
-        g,
-        &oracle,
+        ctx,
         question,
         WqeConfig {
             budget: 3.0,

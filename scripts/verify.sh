@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate: formatting, lints, and the tier-1 test suite.
+# Run from anywhere; operates on the repository that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "verify: OK"

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `petgraph` crate.
+//!
+//! Implements the `graph::DiGraph` subset the cross-validation tests use as
+//! an independent reference structure: `new`, `add_node`, `add_edge`,
+//! `node_count`, `edge_count`, `contains_edge`, and `Index<NodeIndex>` for
+//! node weights. Directed, no parallel-edge deduplication, no removals.
+
+/// Graph types (`petgraph::graph`).
+pub mod graph {
+    use std::ops::Index;
+
+    /// Opaque node handle.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct NodeIndex(usize);
+
+    impl NodeIndex {
+        /// Handle for the node added `ix`-th.
+        pub fn new(ix: usize) -> Self {
+            NodeIndex(ix)
+        }
+
+        /// The underlying integer.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Edge handle (returned by `add_edge`; unused by callers here).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct EdgeIndex(usize);
+
+    /// A directed graph with node weights `N` and edge weights `E`.
+    #[derive(Debug, Clone, Default)]
+    pub struct DiGraph<N, E> {
+        nodes: Vec<N>,
+        edges: Vec<(usize, usize, E)>,
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// An empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+
+        /// Adds a node, returning its handle.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds a directed edge `a -> b`.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(
+                a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+                "edge endpoint out of bounds"
+            );
+            self.edges.push((a.0, b.0, weight));
+            EdgeIndex(self.edges.len() - 1)
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// Handles of all edges in insertion order.
+        pub fn edge_indices(&self) -> impl Iterator<Item = EdgeIndex> + '_ {
+            (0..self.edges.len()).map(EdgeIndex)
+        }
+
+        /// The `(source, target)` pair of `edge`, if in bounds.
+        pub fn edge_endpoints(&self, edge: EdgeIndex) -> Option<(NodeIndex, NodeIndex)> {
+            self.edges
+                .get(edge.0)
+                .map(|&(s, t, _)| (NodeIndex(s), NodeIndex(t)))
+        }
+
+        /// Whether a directed edge `a -> b` exists.
+        pub fn contains_edge(&self, a: NodeIndex, b: NodeIndex) -> bool {
+            self.edges.iter().any(|&(s, t, _)| s == a.0 && t == b.0)
+        }
+
+        /// The weight of `node`, if in bounds.
+        pub fn node_weight(&self, node: NodeIndex) -> Option<&N> {
+            self.nodes.get(node.0)
+        }
+    }
+
+    impl<N, E> Index<NodeIndex> for DiGraph<N, E> {
+        type Output = N;
+        fn index(&self, ix: NodeIndex) -> &N {
+            &self.nodes[ix.0]
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn digraph_basics() {
+            let mut g: DiGraph<u8, ()> = DiGraph::new();
+            let a = g.add_node(1);
+            let b = g.add_node(2);
+            g.add_edge(a, b, ());
+            assert_eq!(g.node_count(), 2);
+            assert_eq!(g.edge_count(), 1);
+            assert!(g.contains_edge(a, b));
+            assert!(!g.contains_edge(b, a));
+            assert_eq!(g[NodeIndex::new(1)], 2);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the API subset this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}`, and
+//! `seq::SliceRandom::{shuffle, choose}` — over a xoshiro256**-style
+//! generator seeded with SplitMix64. Determinism per seed is the only
+//! statistical property callers rely on (dataset generators and benches);
+//! the stream intentionally stays stable across releases.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value API used by callers.
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`Range` or `RangeInclusive`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self.raw())
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.raw().next_f64() < p
+    }
+
+    /// Samples a value of a supported primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.raw())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The raw 64-bit source every other method is built from.
+pub trait RngCore {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32 bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[doc(hidden)]
+    fn raw(&mut self) -> &mut dyn RawSource;
+}
+
+/// Object-safe raw source with the conversions sampling needs.
+pub trait RawSource {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform f64 in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw stream.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `[0, n)` via Lemire rejection-free reduction.
+    fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// The standard generator: xoshiro256** seeded by SplitMix64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RawSource for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        RawSource::next_u64(self)
+    }
+
+    fn raw(&mut self) -> &mut dyn RawSource {
+        self
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Namespaced re-exports matching `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// A freshly seeded generator from system entropy-ish state (time-based;
+/// offline builds have no OS entropy dependency guarantees to honor).
+pub fn thread_rng() -> StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5DEECE66D);
+    StdRng::seed_from_u64(nanos)
+}
+
+/// Uniform sampling over range types.
+///
+/// Blanket impls over [`SampleUniform`] (rather than one impl per concrete
+/// range type) so integer-literal inference flows through `gen_range` the
+/// way it does with the real crate.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_single(self, rng: &mut dyn RawSource) -> T;
+}
+
+/// Element types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    #[doc(hidden)]
+    fn sample_between(low: Self, high: Self, inclusive: bool, rng: &mut dyn RawSource) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut dyn RawSource) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RawSource) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_between(start, end, true, rng)
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(low: $t, high: $t, inclusive: bool, rng: &mut dyn RawSource) -> $t {
+                let span = (high as i128 - low as i128 + if inclusive { 1 } else { 0 }) as u64;
+                (low as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(low: f64, high: f64, _inclusive: bool, rng: &mut dyn RawSource) -> f64 {
+        low + rng.next_f64() * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between(low: f32, high: f32, _inclusive: bool, rng: &mut dyn RawSource) -> f32 {
+        low + (rng.next_f64() as f32) * (high - low)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    #[doc(hidden)]
+    fn sample(rng: &mut dyn RawSource) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut dyn RawSource) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut dyn RawSource) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for i64 {
+    fn sample(rng: &mut dyn RawSource) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut dyn RawSource) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RawSource) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Sequence helpers matching `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and element choice on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` on empty slices.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(RngCore::next_u64(&mut a), RngCore::next_u64(&mut b));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -17,9 +17,11 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::session::WqeConfig;
 use wqe::core::spec::parse_question;
+use wqe::core::EngineCtx;
 use wqe::graph::{read_jsonl, write_jsonl, Graph, NodeId};
 use wqe::index::HybridOracle;
 
@@ -90,10 +92,10 @@ fn cmd_match(args: &[String]) -> i32 {
         return 2;
     };
     let run = || -> Result<(), String> {
-        let g = load_graph(gpath)?;
+        let g = Arc::new(load_graph(gpath)?);
         let wq = load_question(&g, qpath)?;
-        let oracle = HybridOracle::default_for(&g, wq.query.max_bound());
-        let matcher = wqe::query::Matcher::new(&g, &oracle);
+        let oracle = Arc::new(HybridOracle::default_for(&g, wq.query.max_bound()));
+        let matcher = wqe::query::Matcher::new(Arc::clone(&g), oracle);
         let out = matcher.evaluate(&wq.query);
         println!("query:\n{}", wq.query.display(g.schema()));
         println!("{} match(es):", out.matches.len());
@@ -130,9 +132,7 @@ fn cmd_why(args: &[String]) -> i32 {
             "--top-k" => config.top_k = need("an int").parse().unwrap_or(1),
             "--lambda" => config.closeness.lambda = need("a number").parse().unwrap_or(1.0),
             "--theta" => config.closeness.theta = need("a number").parse().unwrap_or(1.0),
-            "--time-limit" => {
-                config.time_limit_ms = Some(need("ms").parse().unwrap_or(10_000))
-            }
+            "--time-limit" => config.time_limit_ms = Some(need("ms").parse().unwrap_or(10_000)),
             "--beam" => beam = need("an int").parse().unwrap_or(3),
             "--algo" => algo = need("a name"),
             "--dot" => dot_out = Some(need("a path")),
@@ -148,10 +148,13 @@ fn cmd_why(args: &[String]) -> i32 {
         i += 2;
     }
     let run = || -> Result<(), String> {
-        let g = load_graph(gpath)?;
+        let g = Arc::new(load_graph(gpath)?);
         let wq = load_question(&g, qpath)?;
-        let oracle = HybridOracle::default_for(&g, wq.query.max_bound());
-        let engine = WqeEngine::new(&g, &oracle, wq, config);
+        let ctx = EngineCtx::new(
+            Arc::clone(&g),
+            Arc::new(HybridOracle::default_for(&g, wq.query.max_bound())),
+        );
+        let engine = WqeEngine::try_new(ctx, wq, config).map_err(|e| e.to_string())?;
         let original = engine.evaluate_original();
         println!(
             "Q(G): {} matches ({} relevant, {} irrelevant); cl = {:.3}, cl* = {:.3}",
@@ -212,7 +215,10 @@ fn cmd_why(args: &[String]) -> i32 {
                     })
                 })
                 .collect();
-            println!("{}", serde_json::to_string_pretty(&payload).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&payload).expect("serializable")
+            );
         }
         if let Some(best) = results.first() {
             if let Some(table) = engine.explain(best) {
@@ -250,8 +256,12 @@ fn cmd_gen(args: &[String]) -> i32 {
         return 2;
     };
     let run = || -> Result<(), String> {
-        let scale: f64 = scale.parse().map_err(|_| "scale must be a float".to_string())?;
-        let seed: u64 = seed.parse().map_err(|_| "seed must be an int".to_string())?;
+        let scale: f64 = scale
+            .parse()
+            .map_err(|_| "scale must be a float".to_string())?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| "seed must be an int".to_string())?;
         let g = match preset.as_str() {
             "dbpedia" => wqe::datagen::dbpedia_like(scale, seed),
             "imdb" => wqe::datagen::imdb_like(scale, seed),
@@ -261,20 +271,23 @@ fn cmd_gen(args: &[String]) -> i32 {
         };
         let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
         write_jsonl(&g, BufWriter::new(f)).map_err(|e| e.to_string())?;
-        println!("wrote {:?} ({} nodes, {} edges)", out, g.node_count(), g.edge_count());
+        println!(
+            "wrote {:?} ({} nodes, {} edges)",
+            out,
+            g.node_count(),
+            g.edge_count()
+        );
         Ok(())
     };
     report_result(run())
 }
 
 fn cmd_demo() -> i32 {
-    let pg = wqe::graph::product::product_graph();
-    let g = &pg.graph;
-    let oracle = HybridOracle::default_for(g, 4);
+    let g = Arc::new(wqe::graph::product::product_graph().graph);
+    let ctx = EngineCtx::with_default_oracle(Arc::clone(&g));
     let engine = WqeEngine::new(
-        g,
-        &oracle,
-        wqe::core::paper::paper_question(g),
+        ctx,
+        wqe::core::paper::paper_question(&g),
         WqeConfig {
             budget: 4.0,
             ..Default::default()

@@ -20,16 +20,16 @@
 //! ## Quickstart
 //!
 //! ```
-//! use wqe::core::{engine::WqeEngine, paper::paper_question, session::WqeConfig};
+//! use std::sync::Arc;
+//! use wqe::core::{engine::WqeEngine, paper::paper_question, session::WqeConfig, EngineCtx};
 //! use wqe::graph::product::product_graph;
 //! use wqe::index::PllIndex;
 //!
-//! let pg = product_graph();
-//! let oracle = PllIndex::build(&pg.graph);
+//! let graph = Arc::new(product_graph().graph);
+//! let ctx = EngineCtx::new(Arc::clone(&graph), Arc::new(PllIndex::build(&graph)));
 //! let engine = WqeEngine::new(
-//!     &pg.graph,
-//!     &oracle,
-//!     paper_question(&pg.graph),
+//!     ctx,
+//!     paper_question(&graph),
 //!     WqeConfig { budget: 4.0, ..Default::default() },
 //! );
 //! let best = engine.answer().best.expect("a rewrite");

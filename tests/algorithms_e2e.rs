@@ -1,21 +1,29 @@
 //! End-to-end algorithm comparisons on synthetic datasets: the dominance
 //! relations the paper's effectiveness experiments rely on.
 
-use wqe::core::{relative_closeness, Session, WqeConfig};
+use std::sync::Arc;
+use wqe::core::{relative_closeness, EngineCtx, Session, WqeConfig};
 use wqe::datagen::{
-    dbpedia_like, generate_query, generate_why, generate_why_empty, QueryGenConfig,
-    TopologyKind, WhyGenConfig,
+    dbpedia_like, generate_query, generate_why, generate_why_empty, QueryGenConfig, TopologyKind,
+    WhyGenConfig,
 };
-use wqe::index::HybridOracle;
+use wqe::index::{DistanceOracle, HybridOracle};
 
 struct Suite {
-    graph: wqe::graph::Graph,
+    graph: Arc<wqe::graph::Graph>,
+    oracle: Arc<dyn DistanceOracle>,
     questions: Vec<wqe::datagen::GeneratedWhy>,
 }
 
+impl Suite {
+    fn ctx(&self) -> EngineCtx {
+        EngineCtx::new(Arc::clone(&self.graph), Arc::clone(&self.oracle))
+    }
+}
+
 fn suite(n: usize) -> Suite {
-    let graph = dbpedia_like(0.02, 5);
-    let oracle = HybridOracle::default_for(&graph, 4);
+    let graph = Arc::new(dbpedia_like(0.02, 5));
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&graph, 4));
     let mut questions = Vec::new();
     let mut seed = 0u64;
     while questions.len() < n && seed < 200 {
@@ -27,13 +35,20 @@ fn suite(n: usize) -> Suite {
             ..Default::default()
         };
         if let Some(truth) = generate_query(&graph, &qcfg) {
-            let wcfg = WhyGenConfig { seed: seed * 13, ..Default::default() };
+            let wcfg = WhyGenConfig {
+                seed: seed * 13,
+                ..Default::default()
+            };
             if let Some(gw) = generate_why(&graph, &oracle, &truth, &wcfg) {
                 questions.push(gw);
             }
         }
     }
-    Suite { graph, questions }
+    Suite {
+        graph,
+        oracle,
+        questions,
+    }
 }
 
 fn config() -> WqeConfig {
@@ -49,12 +64,12 @@ fn config() -> WqeConfig {
 fn exact_dominates_heuristics_in_closeness() {
     let s = suite(6);
     assert!(s.questions.len() >= 3, "suite too small");
-    let oracle = HybridOracle::default_for(&s.graph, 4);
+    let ctx = s.ctx();
     let mut exact_total = 0.0;
     let mut heu_total = 0.0;
     let mut fm_total = 0.0;
     for gw in &s.questions {
-        let session = Session::new(&s.graph, &oracle, &gw.question, config());
+        let session = Session::new(ctx.clone(), &gw.question, config());
         let exact = wqe::core::answ(&session, &gw.question);
         let heu = wqe::core::ans_heu(&session, &gw.question, Some(3), wqe::core::Selection::Picky);
         let fm = wqe::core::fm_answ(&session, &gw.question);
@@ -77,10 +92,10 @@ fn exact_dominates_heuristics_in_closeness() {
 #[test]
 fn answers_recover_truth_reasonably() {
     let s = suite(6);
-    let oracle = HybridOracle::default_for(&s.graph, 4);
+    let ctx = s.ctx();
     let mut delta = 0.0;
     for gw in &s.questions {
-        let session = Session::new(&s.graph, &oracle, &gw.question, config());
+        let session = Session::new(ctx.clone(), &gw.question, config());
         let report = wqe::core::answ(&session, &gw.question);
         if let Some(best) = report.best {
             delta += relative_closeness(&best.matches, &gw.truth_answers);
@@ -96,13 +111,13 @@ fn answers_recover_truth_reasonably() {
 #[test]
 fn larger_budget_never_hurts() {
     let s = suite(4);
-    let oracle = HybridOracle::default_for(&s.graph, 4);
+    let ctx = s.ctx();
     for gw in &s.questions {
         let mut prev = f64::NEG_INFINITY;
         for b in [1.0, 3.0, 5.0] {
             let mut cfg = config();
             cfg.budget = b;
-            let session = Session::new(&s.graph, &oracle, &gw.question, cfg);
+            let session = Session::new(ctx.clone(), &gw.question, cfg);
             let report = wqe::core::answ(&session, &gw.question);
             let cl = report.best.as_ref().map(|r| r.closeness).unwrap_or(-1.0);
             assert!(
@@ -116,15 +131,27 @@ fn larger_budget_never_hurts() {
 
 #[test]
 fn why_empty_end_to_end() {
-    let graph = dbpedia_like(0.02, 6);
-    let oracle = HybridOracle::default_for(&graph, 4);
+    let graph = Arc::new(dbpedia_like(0.02, 6));
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&graph, 4));
+    let ctx = EngineCtx::new(Arc::clone(&graph), Arc::clone(&oracle));
     let mut tested = 0;
     for seed in 0..60u64 {
-        let qcfg = QueryGenConfig { edges: 2, seed, ..Default::default() };
-        let Some(truth) = generate_query(&graph, &qcfg) else { continue };
-        let wcfg = WhyGenConfig { seed: seed * 7, ..Default::default() };
-        let Some(gw) = generate_why_empty(&graph, &oracle, &truth, &wcfg) else { continue };
-        let session = Session::new(&graph, &oracle, &gw.question, config());
+        let qcfg = QueryGenConfig {
+            edges: 2,
+            seed,
+            ..Default::default()
+        };
+        let Some(truth) = generate_query(&graph, &qcfg) else {
+            continue;
+        };
+        let wcfg = WhyGenConfig {
+            seed: seed * 7,
+            ..Default::default()
+        };
+        let Some(gw) = generate_why_empty(&graph, &oracle, &truth, &wcfg) else {
+            continue;
+        };
+        let session = Session::new(ctx.clone(), &gw.question, config());
         let base = session.evaluate(&gw.question.query);
         assert!(base.relevance.rm.is_empty(), "why-empty setup");
         let report = wqe::core::ans_we(&session, &gw.question);
@@ -147,7 +174,7 @@ fn ablations_consistent() {
     // only in caching/pruning, not in the search's completeness) whenever
     // none of them hits a time or expansion cap.
     let s = suite(3);
-    let oracle = HybridOracle::default_for(&s.graph, 4);
+    let ctx = s.ctx();
     for gw in &s.questions {
         let mut cls = Vec::new();
         let mut capped = false;
@@ -160,7 +187,7 @@ fn ablations_consistent() {
                 pruning,
                 ..Default::default()
             };
-            let session = Session::new(&s.graph, &oracle, &gw.question, cfg);
+            let session = Session::new(ctx.clone(), &gw.question, cfg);
             let report = wqe::core::answ(&session, &gw.question);
             capped |= report.expansions >= 3000;
             cls.push(report.best.map(|b| b.closeness).unwrap_or(-1.0));
@@ -169,10 +196,7 @@ fn ablations_consistent() {
             continue;
         }
         for w in cls.windows(2) {
-            assert!(
-                (w[0] - w[1]).abs() < 1e-9,
-                "ablations disagree: {cls:?}"
-            );
+            assert!((w[0] - w[1]).abs() < 1e-9, "ablations disagree: {cls:?}");
         }
     }
 }

@@ -9,9 +9,10 @@
 //!   constraint and the brand edge, recovering similar MacBooks such as
 //!   `MR942LL/A` (matched through fuzzy categorical `vsim` at `θ < 1`).
 
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::session::{WhyQuestion, WqeConfig};
-use wqe::core::{ClosenessConfig, Exemplar};
+use wqe::core::{ClosenessConfig, EngineCtx, Exemplar};
 use wqe::graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
 use wqe::index::PllIndex;
 use wqe::query::{AtomicOp, Literal, PatternQuery};
@@ -56,6 +57,7 @@ fn game_graph() -> (Graph, Vec<NodeId>) {
 #[test]
 fn case_a_video_games_narrowed_by_genre_and_os() {
     let (g, fps) = game_graph();
+    let g = Arc::new(g);
     let s = g.schema();
     let released = s.attr_id("released").unwrap();
 
@@ -71,10 +73,9 @@ fn case_a_video_games_narrowed_by_genre_and_os() {
     let _ = name;
     let exemplar = Exemplar::from_entities(&g, &fps[..1], &[genre, os]);
 
-    let oracle = PllIndex::build(&g);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let engine = WqeEngine::new(
-        &g,
-        &oracle,
+        ctx,
         WhyQuestion { query: q, exemplar },
         WqeConfig {
             budget: 3.0,
@@ -96,7 +97,11 @@ fn case_a_video_games_narrowed_by_genre_and_os() {
         .iter()
         .filter(|o| matches!(o, AtomicOp::AddL { .. }))
         .collect();
-    assert!(!added.is_empty(), "AddL constraints expected: {:?}", best.ops);
+    assert!(
+        !added.is_empty(),
+        "AddL constraints expected: {:?}",
+        best.ops
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +151,7 @@ fn laptop_graph() -> (Graph, NodeId, Vec<NodeId>) {
 #[test]
 fn case_b_laptops_relax_gpu_and_brand_edge() {
     let (g, known, similar) = laptop_graph();
+    let g = Arc::new(g);
     let s = g.schema();
     let year = s.attr_id("year").unwrap();
     let gpu = s.attr_id("gpu").unwrap();
@@ -153,18 +159,19 @@ fn case_b_laptops_relax_gpu_and_brand_edge() {
 
     // Q_b: recent laptops with an NVidia GPU and a brand within 1 hop.
     let mut q = PatternQuery::new(s.label_id("Laptop"), 2);
-    q.add_literal(q.focus(), Literal::new(year, CmpOp::Ge, 2018)).unwrap();
-    q.add_literal(q.focus(), Literal::new(gpu, CmpOp::Eq, "NVidia")).unwrap();
+    q.add_literal(q.focus(), Literal::new(year, CmpOp::Ge, 2018))
+        .unwrap();
+    q.add_literal(q.focus(), Literal::new(gpu, CmpOp::Eq, "NVidia"))
+        .unwrap();
     let brand = q.add_node(s.label_id("Brand"));
     q.add_edge(q.focus(), brand, 1).unwrap();
 
     // T = {MR942CH/A}: one model id the user knows should be found.
     let exemplar = Exemplar::from_entities(&g, &[known], &[model, year]);
 
-    let oracle = PllIndex::build(&g);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let engine = WqeEngine::new(
-        &g,
-        &oracle,
+        ctx,
         WhyQuestion { query: q, exemplar },
         WqeConfig {
             budget: 3.0,
@@ -180,7 +187,10 @@ fn case_b_laptops_relax_gpu_and_brand_edge() {
     // Sanity: rep includes the sibling MacBooks via fuzzy model similarity
     // ((5/9 model-prefix similarity + 1 exact year) / 2 = 0.78 >= θ).
     assert!(engine.session().rep.contains(known));
-    assert!(engine.session().rep.contains(similar[0]), "MR942LL/A in rep");
+    assert!(
+        engine.session().rep.contains(similar[0]),
+        "MR942LL/A in rep"
+    );
     assert!(
         before.relevance.rm.is_empty(),
         "Q_b must start empty of relevant matches"
@@ -195,13 +205,17 @@ fn case_b_laptops_relax_gpu_and_brand_edge() {
         "similar MacBooks recovered: {:?}",
         best.matches
     );
-    let relaxed_gpu = best.ops.iter().any(|o| {
-        matches!(o, AtomicOp::RmL { lit, .. } if lit.attr == gpu)
-    });
+    let relaxed_gpu = best
+        .ops
+        .iter()
+        .any(|o| matches!(o, AtomicOp::RmL { lit, .. } if lit.attr == gpu));
     let stretched_edge = best.ops.iter().any(|o| {
-        matches!(o, AtomicOp::RxE { new_bound: 2, .. })
-            || matches!(o, AtomicOp::RmE { .. })
+        matches!(o, AtomicOp::RxE { new_bound: 2, .. }) || matches!(o, AtomicOp::RmE { .. })
     });
-    assert!(relaxed_gpu, "GPU constraint must be relaxed: {:?}", best.ops);
+    assert!(
+        relaxed_gpu,
+        "GPU constraint must be relaxed: {:?}",
+        best.ops
+    );
     assert!(stretched_edge, "brand edge must be relaxed: {:?}", best.ops);
 }

@@ -11,6 +11,7 @@
 use petgraph::graph::DiGraph;
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 use wqe::graph::{Graph, GraphBuilder, NodeId};
 use wqe::index::PllIndex;
 use wqe::query::{Matcher, PatternQuery, QNodeId};
@@ -174,8 +175,7 @@ proptest! {
         });
         prop_assume!(all_labeled);
 
-        let oracle = PllIndex::build(&g);
-        let matcher = Matcher::new(&g, &oracle);
+        let matcher = Matcher::new(Arc::new(g.clone()), Arc::new(PllIndex::build(&g)));
         let ours: HashSet<usize> = matcher
             .evaluate(&q)
             .matches

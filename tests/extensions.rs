@@ -2,29 +2,28 @@
 //! (Appendix B), the Explorer loop (Fig. 3), top-k suggestion (§6.2), and
 //! the ranking metrics, all exercised through the public facade.
 
+use std::sync::Arc;
 use wqe::core::explorer::{Explorer, SessionStrategy};
 use wqe::core::metrics::{ndcg_at, PrecisionRecall};
 use wqe::core::multifocus::{answer_multi_focus, MultiFocusQuestion};
 use wqe::core::paper::{paper_exemplar, paper_query, CARRIER, FOCUS};
-use wqe::core::{Exemplar, Session, TuplePattern, WqeConfig};
+use wqe::core::{EngineCtx, Exemplar, Session, TuplePattern, WqeConfig};
 use wqe::graph::product::{attrs, product_graph};
 use wqe::index::PllIndex;
 
 #[test]
 fn multifocus_combined_report() {
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let discount = g.schema().attr_id(attrs::DISCOUNT).unwrap();
     let mut carrier_ex = Exemplar::new();
     carrier_ex.add_tuple(TuplePattern::new().constant(discount, 25i64));
 
     let result = answer_multi_focus(
-        g,
-        &oracle,
+        &ctx,
         &MultiFocusQuestion {
-            query: paper_query(g),
-            foci: vec![(FOCUS, paper_exemplar(g)), (CARRIER, carrier_ex)],
+            query: paper_query(&g),
+            foci: vec![(FOCUS, paper_exemplar(&g)), (CARRIER, carrier_ex)],
         },
         WqeConfig {
             budget: 4.0,
@@ -44,19 +43,18 @@ fn multifocus_combined_report() {
 #[test]
 fn explorer_session_history_and_metrics() {
     let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
+    let g = Arc::new(pg.graph.clone());
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let mut explorer = Explorer::new(
-        g,
-        &oracle,
-        paper_query(g),
+        ctx,
+        paper_query(&g),
         WqeConfig {
             budget: 4.0,
             ..Default::default()
         },
     );
     let rec = explorer
-        .session(&paper_exemplar(g), SessionStrategy::Beam(3))
+        .session(&paper_exemplar(&g), SessionStrategy::Beam(3))
         .clone();
     assert_eq!(explorer.history().len(), 1);
     // Judge the adopted answers against the known desired set {P3, P4, P5}.
@@ -72,15 +70,14 @@ fn top_k_ranking_is_ndcg_optimal_for_oracle_gains() {
     // AnsW ranks by closeness; with gains equal to δ against the known
     // truth, the presented order must be nDCG-optimal on the paper graph.
     let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
+    let g = Arc::new(pg.graph.clone());
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
     let wq = wqe::core::WhyQuestion {
-        query: paper_query(g),
-        exemplar: paper_exemplar(g),
+        query: paper_query(&g),
+        exemplar: paper_exemplar(&g),
     };
     let session = Session::new(
-        g,
-        &oracle,
+        ctx,
         &wq,
         WqeConfig {
             budget: 4.0,
@@ -97,5 +94,8 @@ fn top_k_ranking_is_ndcg_optimal_for_oracle_gains() {
         .map(|r| wqe::core::relative_closeness(&r.matches, &truth))
         .collect();
     let score = ndcg_at(&gains, 3).expect("some relevant rewrite");
-    assert!((score - 1.0).abs() < 1e-9, "nDCG@3 = {score}, gains {gains:?}");
+    assert!(
+        (score - 1.0).abs() < 1e-9,
+        "nDCG@3 = {score}, gains {gains:?}"
+    );
 }

@@ -2,23 +2,24 @@
 //! model, checked on random synthetic graphs and random why-questions.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use wqe::core::chase::ChaseSequence;
-use wqe::core::{Session, WqeConfig};
+use wqe::core::{EngineCtx, Session, WqeConfig};
 use wqe::datagen::{
     generate_query, generate_why, QueryGenConfig, SynthConfig, TopologyKind, WhyGenConfig,
 };
-use wqe::index::HybridOracle;
+use wqe::index::{DistanceOracle, HybridOracle};
 use wqe::query::{is_normal_form, normalize, sequence_cost, OpClass};
 
-fn graph(seed: u64) -> wqe::graph::Graph {
-    wqe::datagen::generate(&SynthConfig {
+fn graph(seed: u64) -> Arc<wqe::graph::Graph> {
+    Arc::new(wqe::datagen::generate(&SynthConfig {
         nodes: 300,
         avg_out_degree: 3.5,
         labels: 8,
         attrs_per_node: 4,
         seed,
         ..Default::default()
-    })
+    }))
 }
 
 proptest! {
@@ -29,12 +30,16 @@ proptest! {
     #[test]
     fn operator_monotonicity(seed in 0u64..500) {
         let g = graph(seed % 5);
-        let oracle = HybridOracle::default_for(&g, 4);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
         let qcfg = QueryGenConfig { edges: 2, seed, topology: TopologyKind::Star, ..Default::default() };
         let Some(truth) = generate_query(&g, &qcfg) else { return Ok(()) };
         let wcfg = WhyGenConfig { seed, ..Default::default() };
         let Some(gw) = generate_why(&g, &oracle, &truth, &wcfg) else { return Ok(()) };
-        let session = Session::new(&g, &oracle, &gw.question, WqeConfig::default());
+        let session = Session::new(
+            EngineCtx::new(Arc::clone(&g), Arc::clone(&oracle)),
+            &gw.question,
+            WqeConfig::default(),
+        );
         // Replay the injected disturbance from the truth query: every step
         // must respect relax/refine monotonicity.
         let Some(seq) = ChaseSequence::replay(&session, &gw.truth_query, &gw.injected) else {
@@ -48,7 +53,7 @@ proptest! {
     #[test]
     fn normal_form_equivalence(seed in 0u64..500) {
         let g = graph(seed % 5);
-        let oracle = HybridOracle::default_for(&g, 4);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
         let qcfg = QueryGenConfig { edges: 2, seed, ..Default::default() };
         let Some(truth) = generate_query(&g, &qcfg) else { return Ok(()) };
         let wcfg = WhyGenConfig { seed: seed + 1, ..Default::default() };
@@ -74,7 +79,7 @@ proptest! {
             }
         }
         prop_assume!(applied_all);
-        let matcher = wqe::query::Matcher::new(&g, &oracle);
+        let matcher = wqe::query::Matcher::new(Arc::clone(&g), Arc::clone(&oracle));
         prop_assert_eq!(matcher.evaluate(&q1).matches, matcher.evaluate(&q2).matches);
     }
 
@@ -82,12 +87,16 @@ proptest! {
     #[test]
     fn closeness_bounds(seed in 0u64..500) {
         let g = graph(seed % 5);
-        let oracle = HybridOracle::default_for(&g, 4);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
         let qcfg = QueryGenConfig { edges: 2, seed, ..Default::default() };
         let Some(truth) = generate_query(&g, &qcfg) else { return Ok(()) };
         let wcfg = WhyGenConfig { seed: seed + 2, ..Default::default() };
         let Some(gw) = generate_why(&g, &oracle, &truth, &wcfg) else { return Ok(()) };
-        let session = Session::new(&g, &oracle, &gw.question, WqeConfig::default());
+        let session = Session::new(
+            EngineCtx::new(Arc::clone(&g), Arc::clone(&oracle)),
+            &gw.question,
+            WqeConfig::default(),
+        );
         let eval = session.evaluate(&gw.question.query);
         prop_assert!(eval.closeness <= eval.upper_bound + 1e-9);
         prop_assert!(eval.upper_bound <= session.cl_star + 1e-9);
@@ -98,7 +107,7 @@ proptest! {
     #[test]
     fn answ_output_well_formed(seed in 0u64..200) {
         let g = graph(seed % 3);
-        let oracle = HybridOracle::default_for(&g, 4);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
         let qcfg = QueryGenConfig { edges: 2, seed, ..Default::default() };
         let Some(truth) = generate_query(&g, &qcfg) else { return Ok(()) };
         let wcfg = WhyGenConfig { seed: seed + 3, ..Default::default() };
@@ -109,7 +118,11 @@ proptest! {
             max_expansions: 60,
             ..Default::default()
         };
-        let session = Session::new(&g, &oracle, &gw.question, config);
+        let session = Session::new(
+            EngineCtx::new(Arc::clone(&g), Arc::clone(&oracle)),
+            &gw.question,
+            config,
+        );
         let report = wqe::core::answ(&session, &gw.question);
         if let Some(best) = report.best {
             prop_assert!(best.cost <= 3.0 + 1e-9);
@@ -122,7 +135,7 @@ proptest! {
                 op.apply(&mut q).expect("reported ops applicable in order");
             }
             prop_assert_eq!(q.signature(), best.query.signature());
-            let matcher = wqe::query::Matcher::new(&g, &oracle);
+            let matcher = wqe::query::Matcher::new(Arc::clone(&g), Arc::clone(&oracle));
             prop_assert_eq!(matcher.evaluate(&q).matches, best.matches);
         }
     }
@@ -133,7 +146,7 @@ proptest! {
     #[test]
     fn refinement_ops_imply_containment(seed in 0u64..300) {
         let g = graph(seed % 5);
-        let oracle = HybridOracle::default_for(&g, 4);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
         let qcfg = QueryGenConfig { edges: 2, seed, ..Default::default() };
         let Some(truth) = generate_query(&g, &qcfg) else { return Ok(()) };
         let wcfg = WhyGenConfig {
@@ -157,18 +170,22 @@ proptest! {
     #[test]
     fn whymany_only_removes(seed in 0u64..200) {
         let g = graph(seed % 3);
-        let oracle = HybridOracle::default_for(&g, 4);
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&g, 4));
         let qcfg = QueryGenConfig { edges: 2, seed, ..Default::default() };
         let Some(truth) = generate_query(&g, &qcfg) else { return Ok(()) };
         let wcfg = WhyGenConfig { seed: seed + 4, ..Default::default() };
         let Some(gw) = wqe::datagen::generate_why_many(&g, &oracle, &truth, &wcfg) else {
             return Ok(());
         };
-        let session = Session::new(&g, &oracle, &gw.question, WqeConfig {
-            budget: 3.0,
-            time_limit_ms: Some(300),
-            ..Default::default()
-        });
+        let session = Session::new(
+            EngineCtx::new(Arc::clone(&g), Arc::clone(&oracle)),
+            &gw.question,
+            WqeConfig {
+                budget: 3.0,
+                time_limit_ms: Some(300),
+                ..Default::default()
+            },
+        );
         let report = wqe::core::apx_why_many(&session, &gw.question);
         if let Some(best) = report.best {
             prop_assert!(best.ops.iter().all(|o| o.class() == OpClass::Refine));

@@ -3,8 +3,9 @@
 //! operator universe (the completeness guarantee of §5.3 says picky
 //! generation suffices — no enumeration of the full Q-Chase tree needed).
 
+use std::sync::Arc;
 use wqe::core::paper::{paper_question, CARRIER, FOCUS, SENSOR};
-use wqe::core::{answ, Session, WqeConfig};
+use wqe::core::{answ, EngineCtx, Session, WqeConfig};
 use wqe::graph::product::product_graph;
 use wqe::graph::{AttrValue, CmpOp};
 use wqe::index::PllIndex;
@@ -63,13 +64,13 @@ fn example_ops(g: &wqe::graph::Graph) -> Vec<AtomicOp> {
 /// Best closeness over every ordered application of a subset of `ops`
 /// within `budget`, requiring satisfaction — brute force.
 fn brute_force_best(
-    session: &Session<'_>,
+    session: &Session,
     q0: &wqe::query::PatternQuery,
     ops: &[AtomicOp],
     budget: f64,
 ) -> f64 {
     fn recurse(
-        session: &Session<'_>,
+        session: &Session,
         q: &wqe::query::PatternQuery,
         remaining: &[AtomicOp],
         used: &mut Vec<bool>,
@@ -86,7 +87,7 @@ fn brute_force_best(
                 continue;
             }
             let op = &remaining[i];
-            let c = op.cost(session.graph);
+            let c = op.cost(session.graph());
             if cost + c > budget + 1e-9 {
                 continue;
             }
@@ -107,14 +108,12 @@ fn brute_force_best(
 
 #[test]
 fn answ_matches_brute_force_over_example_universe() {
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let wq = paper_question(g);
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let wq = paper_question(&g);
     for budget in [2.0, 3.0, 4.0, 5.0] {
         let session = Session::new(
-            g,
-            &oracle,
+            ctx.clone(),
             &wq,
             WqeConfig {
                 budget,
@@ -123,7 +122,7 @@ fn answ_matches_brute_force_over_example_universe() {
                 ..Default::default()
             },
         );
-        let brute = brute_force_best(&session, &wq.query, &example_ops(g), budget);
+        let brute = brute_force_best(&session, &wq.query, &example_ops(&g), budget);
         let report = answ(&session, &wq);
         let ours = report
             .top_k
@@ -144,13 +143,11 @@ fn budget_two_recovers_partial_optimum() {
     // With B = 2, {o6? o1+RmL?}: the brute force over the example universe
     // finds cl = 1/3 ({RmL(Price), AddL(Discount)} costs 2 and yields
     // {P4, P5}... verified against AnsW's value here.
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let wq = paper_question(g);
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let wq = paper_question(&g);
     let session = Session::new(
-        g,
-        &oracle,
+        ctx,
         &wq,
         WqeConfig {
             budget: 2.0,
@@ -159,7 +156,11 @@ fn budget_two_recovers_partial_optimum() {
     );
     let report = answ(&session, &wq);
     let best = report.top_k.first().expect("satisfying rewrite at B=2");
-    assert!((best.closeness - 1.0 / 3.0).abs() < 1e-9, "cl = {}", best.closeness);
+    assert!(
+        (best.closeness - 1.0 / 3.0).abs() < 1e-9,
+        "cl = {}",
+        best.closeness
+    );
     // And the theoretical optimum needs a bigger budget.
     assert!(!report.optimal_reached);
 }
@@ -168,10 +169,9 @@ fn budget_two_recovers_partial_optimum() {
 fn top_k_pruning_preserves_the_true_top_k() {
     // §6.2 prunes refinement subtrees against the k-th best closeness; the
     // reported top-k must equal the unpruned search's top-k closenesses.
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let wq = paper_question(g);
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let wq = paper_question(&g);
     for k in [1usize, 2, 3] {
         let mut pruned_cfg = WqeConfig {
             budget: 4.0,
@@ -180,10 +180,10 @@ fn top_k_pruning_preserves_the_true_top_k() {
             max_expansions: 50_000,
             ..Default::default()
         };
-        let session = Session::new(g, &oracle, &wq, pruned_cfg.clone());
+        let session = Session::new(ctx.clone(), &wq, pruned_cfg.clone());
         let pruned = answ(&session, &wq);
         pruned_cfg.pruning = false;
-        let session_np = Session::new(g, &oracle, &wq, pruned_cfg);
+        let session_np = Session::new(ctx.clone(), &wq, pruned_cfg);
         let unpruned = answ(&session_np, &wq);
         let cl = |r: &wqe::core::AnswerReport| -> Vec<f64> {
             r.top_k.iter().map(|x| x.closeness).collect()
@@ -203,13 +203,11 @@ fn top_k_pruning_preserves_the_true_top_k() {
 fn lambda_zero_turns_refinement_off() {
     // With λ = 0 irrelevant matches cost nothing; relaxation alone achieves
     // the optimum and no refinement is needed in the reported rewrite.
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let wq = paper_question(g);
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let wq = paper_question(&g);
     let session = Session::new(
-        g,
-        &oracle,
+        ctx,
         &wq,
         WqeConfig {
             budget: 4.0,

@@ -1,10 +1,11 @@
 //! End-to-end verification of every number in the paper's worked examples
 //! (Examples 1.1–5.4) across all workspace crates.
 
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::paper::{paper_exemplar, paper_optimal_ops, paper_query, CARRIER, FOCUS, SENSOR};
 use wqe::core::session::{WhyQuestion, WqeConfig};
-use wqe::core::{compute_representation, relative_closeness};
+use wqe::core::{compute_representation, relative_closeness, EngineCtx};
 use wqe::graph::product::product_graph;
 use wqe::index::{HybridOracle, PllIndex};
 use wqe::query::{sequence_cost, Matcher};
@@ -12,10 +13,9 @@ use wqe::query::{sequence_cost, Matcher};
 #[test]
 fn example_1_1_original_answers() {
     let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let matcher = Matcher::new(g, &oracle);
-    let out = matcher.evaluate(&paper_query(g));
+    let g = Arc::new(pg.graph.clone());
+    let matcher = Matcher::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let out = matcher.evaluate(&paper_query(&g));
     // "The system returns three CellPhones ... S9+ (P1), Note8 (P2), S8+ (P5)".
     assert_eq!(out.matches, vec![pg.phones[0], pg.phones[1], pg.phones[4]]);
 }
@@ -23,19 +23,19 @@ fn example_1_1_original_answers() {
 #[test]
 fn example_2_3_rewrite_answers_why_question() {
     let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = PllIndex::build(g);
-    let matcher = Matcher::new(g, &oracle);
-    let mut q = paper_query(g);
-    for op in paper_optimal_ops(g) {
+    let g = Arc::new(pg.graph.clone());
+    let matcher = Matcher::new(Arc::clone(&g), Arc::new(PllIndex::build(&g)));
+    let mut q = paper_query(&g);
+    for op in paper_optimal_ops(&g) {
         op.apply(&mut q).expect("applicable");
     }
     // "Q'(G) = {P3, P4, P5} |= E".
     let out = matcher.evaluate(&q);
     assert_eq!(out.matches, vec![pg.phones[2], pg.phones[3], pg.phones[4]]);
-    let rep = compute_representation(g, &paper_exemplar(g), g.node_ids(), 1.0);
-    let expected: std::collections::HashSet<_> =
-        [pg.phones[2], pg.phones[3], pg.phones[4]].into_iter().collect();
+    let rep = compute_representation(&g, &paper_exemplar(&g), g.node_ids(), 1.0);
+    let expected: std::collections::HashSet<_> = [pg.phones[2], pg.phones[3], pg.phones[4]]
+        .into_iter()
+        .collect();
     assert_eq!(rep.nodes, expected);
 }
 
@@ -51,14 +51,13 @@ fn example_3_1_costs_and_closeness() {
 #[test]
 fn answ_reaches_theoretical_optimum() {
     let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = HybridOracle::default_for(g, 4);
+    let g = Arc::new(pg.graph.clone());
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(HybridOracle::default_for(&g, 4)));
     let engine = WqeEngine::new(
-        g,
-        &oracle,
+        ctx,
         WhyQuestion {
-            query: paper_query(g),
-            exemplar: paper_exemplar(g),
+            query: paper_query(&g),
+            exemplar: paper_exemplar(&g),
         },
         WqeConfig {
             budget: 4.0,
@@ -77,15 +76,13 @@ fn answ_reaches_theoretical_optimum() {
 
 #[test]
 fn all_algorithms_agree_on_the_paper_scenario() {
-    let pg = product_graph();
-    let g = &pg.graph;
-    let oracle = HybridOracle::default_for(g, 4);
+    let g = Arc::new(product_graph().graph);
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(HybridOracle::default_for(&g, 4)));
     let engine = WqeEngine::new(
-        g,
-        &oracle,
+        ctx,
         WhyQuestion {
-            query: paper_query(g),
-            exemplar: paper_exemplar(g),
+            query: paper_query(&g),
+            exemplar: paper_exemplar(&g),
         },
         WqeConfig {
             budget: 4.0,
@@ -98,7 +95,10 @@ fn all_algorithms_agree_on_the_paper_scenario() {
     assert!(exact >= heu - 1e-9);
     assert!(heu >= fm - 1e-9);
     assert!((exact - 0.5).abs() < 1e-9);
-    assert!((heu - 0.5).abs() < 1e-9, "beam 3 also finds the optimum here");
+    assert!(
+        (heu - 0.5).abs() < 1e-9,
+        "beam 3 also finds the optimum here"
+    );
 }
 
 #[test]

@@ -4,9 +4,11 @@
 //! system crosses.
 
 use std::io::Cursor;
+use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::session::WqeConfig;
 use wqe::core::spec::parse_question;
+use wqe::core::EngineCtx;
 use wqe::datagen::SynthConfig;
 use wqe::graph::{read_jsonl, read_tsv, write_jsonl, write_tsv};
 use wqe::index::{DistanceOracle, PllIndex};
@@ -38,22 +40,21 @@ fn full_pipeline_roundtrip() {
 
     // 3. Build the distance index on the reloaded graph; persist and
     //    reload it; spot-check consistency.
-    let g = g_json;
+    let g = Arc::new(g_json);
     let idx = PllIndex::build(&g);
     let blob = serde_json::to_vec(&idx).unwrap();
     let idx2: PllIndex = serde_json::from_slice(&blob).unwrap();
     for v in g.node_ids().take(20) {
         for w in g.node_ids().take(20) {
-            assert_eq!(
-                idx.distance_within(v, w, 4),
-                idx2.distance_within(v, w, 4)
-            );
+            assert_eq!(idx.distance_within(v, w, 4), idx2.distance_within(v, w, 4));
         }
     }
 
     // 4. Drive a why-question through the JSON spec interface.
     let schema = g.schema();
-    let label = schema.label_name(g.label(wqe::graph::NodeId(0))).to_string();
+    let label = schema
+        .label_name(g.label(wqe::graph::NodeId(0)))
+        .to_string();
     // Find a numeric attribute that exists in this dataset.
     let attr_name = (0..)
         .map(|i| format!("a{i}"))
@@ -71,9 +72,9 @@ fn full_pipeline_roundtrip() {
         }
     });
     let question = parse_question(&g, &spec).expect("valid spec");
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(idx2));
     let engine = WqeEngine::new(
-        &g,
-        &idx2,
+        ctx,
         question,
         WqeConfig {
             budget: 2.0,
