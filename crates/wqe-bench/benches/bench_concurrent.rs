@@ -47,5 +47,25 @@ fn bench_concurrent(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_concurrent);
+/// Intra-query scaling: a single session's batched frontier expansion
+/// fanned over 1/2/4/8 workers (`WqeConfig::parallelism`), answers held
+/// fixed by construction.
+fn bench_intra_query(c: &mut Criterion) {
+    let wl = workload();
+    let ctx = wl.ctx(4);
+    let mut group = c.benchmark_group("intra_query_answ");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let base = WqeConfig {
+            parallelism: threads,
+            ..cfg()
+        };
+        group.bench_function(format!("parallelism/{threads}"), |b| {
+            b.iter(|| run_algo_concurrent(&wl, &ctx, AlgoSpec::AnsW, &base, 1).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent, bench_intra_query);
 criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! PLL index construction: sequential build vs the rank-windowed parallel
+//! build at several worker counts, on two synthetic graph sizes. The
+//! parallel build commits label windows in rank order, so its labels (and
+//! therefore every distance answer) are identical at any thread count —
+//! only construction wall-clock varies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wqe_datagen::{generate, SynthConfig};
+use wqe_graph::Graph;
+use wqe_index::PllIndex;
+
+fn graph(nodes: usize, seed: u64) -> Graph {
+    generate(&SynthConfig {
+        nodes,
+        avg_out_degree: 4.0,
+        labels: 8,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn bench_pll_build(c: &mut Criterion) {
+    for (label, nodes) in [("small", 1_000usize), ("medium", 5_000)] {
+        let g = graph(nodes, 7);
+        let mut group = c.benchmark_group(format!("pll_build/{label}"));
+        group.sample_size(10);
+        group.bench_function("sequential", |b| b.iter(|| PllIndex::build(&g)));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(format!("windowed/{threads}"), |b| {
+                b.iter(|| PllIndex::build_with(&g, threads))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pll_build);
+criterion_main!(benches);

@@ -6,6 +6,22 @@
 //! * `AnsW`   — caching + pruning (the default [`crate::session::WqeConfig`]);
 //! * `AnsWnc` — `caching = false`;
 //! * `AnsWb`  — `caching = false, pruning = false`.
+//!
+//! ## Batched frontier expansion
+//!
+//! The search expands the Q-Chase tree in *batches*: up to
+//! [`WqeConfig::frontier_batch`](crate::session::WqeConfig::frontier_batch)
+//! candidate rewrites are drawn from the priority queue, their evaluations
+//! (matcher run + closeness + prune bound) fan out over a
+//! [`wqe_pool::WorkerPool`] sized by
+//! [`WqeConfig::parallelism`](crate::session::WqeConfig::parallelism), and
+//! the results merge back into the heap / visited set / trace / top-k
+//! serially, in a deterministic order (stable sort on
+//! `(cost, closeness, operator-sequence key)`). The search trajectory is a
+//! function of the batch width alone — the thread count never changes
+//! `best`, `top_k`, or `optimal_reached`, only wall-clock — and
+//! `frontier_batch = 1` reproduces the classic pop-one-evaluate-one order
+//! exactly.
 
 use crate::chase::Phase;
 use crate::opsgen::{next_ops, ScoredOp};
@@ -14,6 +30,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
 use wqe_graph::NodeId;
+use wqe_pool::WorkerPool;
 use wqe_query::{AtomicOp, OpClass, PatternQuery};
 
 /// One suggested query rewrite with everything needed to present it.
@@ -87,6 +104,15 @@ struct State {
     phase: Phase,
     op_queue: Option<Vec<ScoredOp>>,
     next_op: usize,
+}
+
+/// One gathered-but-unevaluated frontier rewrite: the unit of work shipped
+/// to the worker pool during a batched expansion round.
+struct Candidate {
+    query: PatternQuery,
+    ops: Vec<AtomicOp>,
+    cost: f64,
+    phase: Phase,
 }
 
 /// Runs `AnsW` on a why-question, returning the report.
@@ -190,7 +216,10 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
             .is_none_or(|ms| start.elapsed().as_millis() < ms as u128)
     };
 
-    'search: while let Some(&(_, _, Reverse(idx))) = heap.peek() {
+    let pool = WorkerPool::new(session.config.parallelism);
+    let batch_width = session.config.frontier_batch.max(1);
+
+    'search: loop {
         if !time_ok(&start) || report.expansions >= session.config.max_expansions {
             break;
         }
@@ -205,103 +234,150 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
             break;
         }
 
-        // Lazily generate this state's operator queue (first visit).
+        // ---- Gather: draw up to `frontier_batch` unseen rewrites from the
+        // frontier, in exactly the order the serial search would pop them.
+        // Never over-draw past `max_expansions` so the cap stays exact.
+        let width = batch_width.min(session.config.max_expansions - report.expansions);
         let kth = kth_best(&report.top_k);
-        {
-            let st = &mut arena[idx];
-            if st.op_queue.is_none() {
-                let ops = next_ops(session, &st.query, &st.eval, st.phase, kth);
-                st.op_queue = Some(ops);
-            }
-        }
-
-        // Find the next applicable operator within budget.
-        let picked: Option<ScoredOp> = loop {
-            let st = &mut arena[idx];
-            let Some(queue) = st.op_queue.as_ref() else {
-                break None;
+        let mut batch: Vec<Candidate> = Vec::new();
+        while batch.len() < width {
+            let Some(&(_, _, Reverse(idx))) = heap.peek() else {
+                break;
             };
-            if st.next_op >= queue.len() {
-                break None;
-            }
-            let sop = queue[st.next_op].clone();
-            st.next_op += 1;
-            if st.cost + sop.op.cost(session.graph()) > budget + 1e-9 {
-                continue;
-            }
-            // Canonicity (§4): never relax and refine the same literal
-            // slot or edge along one sequence — such pairs cancel out.
-            let mut extended = st.ops.clone();
-            extended.push(sop.op.clone());
-            if !wqe_query::is_canonical(&extended) {
-                continue;
-            }
-            break Some(sop);
-        };
 
-        let Some(sop) = picked else {
-            // Backtrack: this chase node is exhausted (line 7 of Fig. 5).
-            heap.pop();
-            continue 'search;
-        };
+            // Lazily generate this state's operator queue (first visit).
+            {
+                let st = &mut arena[idx];
+                if st.op_queue.is_none() {
+                    let ops = next_ops(session, &st.query, &st.eval, st.phase, kth);
+                    st.op_queue = Some(ops);
+                }
+            }
 
-        // Simulate one Q-Chase step (line 8).
-        let (new_query, new_ops, new_cost, new_phase) = {
+            // Find the next applicable operator within budget.
+            let picked: Option<ScoredOp> = loop {
+                let st = &mut arena[idx];
+                let Some(queue) = st.op_queue.as_ref() else {
+                    break None;
+                };
+                if st.next_op >= queue.len() {
+                    break None;
+                }
+                let sop = queue[st.next_op].clone();
+                st.next_op += 1;
+                if st.cost + sop.op.cost(session.graph()) > budget + 1e-9 {
+                    continue;
+                }
+                // Canonicity (§4): never relax and refine the same literal
+                // slot or edge along one sequence — such pairs cancel out.
+                let mut extended = st.ops.clone();
+                extended.push(sop.op.clone());
+                if !wqe_query::is_canonical(&extended) {
+                    continue;
+                }
+                break Some(sop);
+            };
+
+            let Some(sop) = picked else {
+                // Backtrack: this chase node is exhausted (line 7 of Fig. 5).
+                heap.pop();
+                continue;
+            };
+
+            // Simulate one Q-Chase step (line 8).
             let st = &arena[idx];
-            let mut nq = st.query.clone();
-            if sop.op.apply(&mut nq).is_err() {
-                continue 'search;
+            let mut new_query = st.query.clone();
+            if sop.op.apply(&mut new_query).is_err() {
+                continue;
             }
-            let mut no = st.ops.clone();
-            no.push(sop.op.clone());
-            let phase = match sop.op.class() {
+            let mut new_ops = st.ops.clone();
+            new_ops.push(sop.op.clone());
+            let new_phase = match sop.op.class() {
                 OpClass::Relax => st.phase,
                 OpClass::Refine => Phase::Refine,
             };
-            (nq, no, st.cost + sop.op.cost(session.graph()), phase)
-        };
+            let new_cost = st.cost + sop.op.cost(session.graph());
 
-        let sig = new_query.signature();
-        if !visited.insert(sig) {
-            continue 'search;
-        }
-        let eval = session.evaluate(&new_query);
-        report.truncated |= eval.outcome.truncated;
-        report.expansions += 1;
-
-        record(
-            &new_query,
-            &new_ops,
-            new_cost,
-            &eval,
-            &mut report,
-            &mut best_fallback,
-            &start,
-        );
-
-        // Prune (line 9, Lemma 5.5(2)): in the refinement phase cl⁺ only
-        // shrinks, so a subtree whose bound is below the (k-th) best is dead.
-        let kth = kth_best(&report.top_k);
-        if session.config.pruning && new_phase == Phase::Refine && eval.upper_bound <= kth + 1e-12 {
-            continue 'search;
+            let sig = new_query.signature();
+            if !visited.insert(sig) {
+                continue;
+            }
+            batch.push(Candidate {
+                query: new_query,
+                ops: new_ops,
+                cost: new_cost,
+                phase: new_phase,
+            });
         }
 
-        let closeness = eval.closeness;
-        arena.push(State {
-            query: new_query,
-            ops: new_ops,
-            cost: new_cost,
-            eval,
-            phase: new_phase,
-            op_queue: None,
-            next_op: 0,
+        if batch.is_empty() {
+            // Frontier exhausted (every chase node backtracked).
+            break 'search;
+        }
+
+        // ---- Evaluate: fan the matcher runs out over the pool. Results
+        // come back in batch order regardless of worker scheduling.
+        let evals: Vec<EvalResult> = pool.map(&batch, |_, c| session.evaluate(&c.query));
+
+        // ---- Merge: commit serially in a deterministic order — stable on
+        // (cost asc, closeness desc, operator-sequence key) — so the heap,
+        // visited set, trace, and top-k evolve identically for any thread
+        // count.
+        let op_keys: Vec<String> = batch.iter().map(|c| format!("{:?}", c.ops)).collect();
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        order.sort_by(|&a, &b| {
+            batch[a]
+                .cost
+                .total_cmp(&batch[b].cost)
+                .then_with(|| evals[b].closeness.total_cmp(&evals[a].closeness))
+                .then_with(|| op_keys[a].cmp(&op_keys[b]))
         });
-        let new_idx = arena.len() - 1;
-        heap.push((
-            OrdF64(closeness),
-            Reverse(OrdF64(new_cost)),
-            Reverse(new_idx),
-        ));
+        let mut slots: Vec<Option<(Candidate, EvalResult)>> =
+            batch.into_iter().zip(evals).map(Some).collect();
+        for i in order {
+            let (cand, eval) = slots[i].take().expect("each slot committed once");
+            report.truncated |= eval.outcome.truncated;
+            report.expansions += 1;
+
+            record(
+                &cand.query,
+                &cand.ops,
+                cand.cost,
+                &eval,
+                &mut report,
+                &mut best_fallback,
+                &start,
+            );
+
+            // Prune (line 9, Lemma 5.5(2)): in the refinement phase cl⁺ only
+            // shrinks, so a subtree whose bound is below the (k-th) best is
+            // dead.
+            let kth = kth_best(&report.top_k);
+            if session.config.pruning
+                && cand.phase == Phase::Refine
+                && eval.upper_bound <= kth + 1e-12
+            {
+                continue;
+            }
+
+            let closeness = eval.closeness;
+            let new_cost = cand.cost;
+            arena.push(State {
+                query: cand.query,
+                ops: cand.ops,
+                cost: cand.cost,
+                eval,
+                phase: cand.phase,
+                op_queue: None,
+                next_op: 0,
+            });
+            let new_idx = arena.len() - 1;
+            heap.push((
+                OrdF64(closeness),
+                Reverse(OrdF64(new_cost)),
+                Reverse(new_idx),
+            ));
+        }
     }
 
     if report

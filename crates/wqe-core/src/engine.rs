@@ -31,6 +31,9 @@ pub enum Algorithm {
 ///
 /// The engine is `'static`, `Send`, and `Sync`: clones of one [`EngineCtx`]
 /// can drive many engines on many threads over the same graph and index.
+/// Each engine also parallelizes *within* a question —
+/// [`WqeConfig::parallelism`] workers evaluate the search's batched
+/// frontier (see [`crate::answ`]) — without affecting answers.
 pub struct WqeEngine {
     session: Session,
     question: WhyQuestion,

@@ -61,6 +61,15 @@ impl Explorer {
         }
     }
 
+    /// Sets the intra-session parallelism (worker threads used for batched
+    /// frontier evaluation and subgraph matching). `0` means one worker per
+    /// available core; `1` runs serially. Thread count never changes which
+    /// rewrites a session adopts — only how fast it responds.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.config.parallelism = threads;
+        self
+    }
+
     /// The current query.
     pub fn current_query(&self) -> &PatternQuery {
         &self.current

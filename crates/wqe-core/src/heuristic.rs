@@ -13,6 +13,7 @@ use crate::opsgen::{next_ops, ScoredOp};
 use crate::session::{EvalResult, Session, WhyQuestion};
 use std::collections::HashSet;
 use std::time::Instant;
+use wqe_pool::WorkerPool;
 use wqe_query::{AtomicOp, OpClass, PatternQuery};
 
 /// Operator-selection policy.
@@ -47,6 +48,14 @@ struct BeamState {
     ops: Vec<AtomicOp>,
     cost: f64,
     eval: EvalResult,
+    phase: Phase,
+}
+
+/// A gathered-but-unevaluated beam child, shipped to the worker pool.
+struct BeamCandidate {
+    query: PatternQuery,
+    ops: Vec<AtomicOp>,
+    cost: f64,
     phase: Phase,
 }
 
@@ -128,6 +137,8 @@ pub fn ans_heu(
             .is_none_or(|ms| start.elapsed().as_millis() < ms as u128)
     };
 
+    let pool = WorkerPool::new(session.config.parallelism);
+
     while !frontier.is_empty() {
         if !time_ok(&start)
             || report.expansions >= session.config.max_expansions
@@ -135,15 +146,14 @@ pub fn ans_heu(
         {
             break;
         }
-        let mut children: Vec<BeamState> = Vec::new();
-        for state in &frontier {
-            let mut ops = next_ops(
-                session,
-                &state.query,
-                &state.eval,
-                state.phase,
-                best_satisfying_cl,
-            );
+        // ---- Gather: propose this level's children serially. Operator
+        // generation prunes against the closeness threshold *frozen at level
+        // start*, so the gathered set is a pure function of the frontier and
+        // never depends on evaluation interleaving (thread count).
+        let level_cl = best_satisfying_cl;
+        let mut cands: Vec<BeamCandidate> = Vec::new();
+        'gather: for state in &frontier {
+            let mut ops = next_ops(session, &state.query, &state.eval, state.phase, level_cl);
             if let Some(rng) = rng.as_mut() {
                 // AnsHeuB: shuffle by random scores.
                 let mut scored: Vec<(f64, ScoredOp)> =
@@ -170,38 +180,52 @@ pub fn ans_heu(
                 if !visited.insert(nq.signature()) {
                     continue;
                 }
-                let eval = session.evaluate(&nq);
-                report.truncated |= eval.outcome.truncated;
-                report.expansions += 1;
                 let mut nops = state.ops.clone();
                 nops.push(sop.op.clone());
                 let cost = state.cost + sop.op.cost(session.graph());
-                consider(
-                    session,
-                    &nq,
-                    &nops,
-                    cost,
-                    &eval,
-                    &start,
-                    &mut best,
-                    &mut best_satisfying_cl,
-                    &mut report,
-                );
                 let phase = match sop.op.class() {
                     OpClass::Relax => state.phase,
                     OpClass::Refine => Phase::Refine,
                 };
-                children.push(BeamState {
+                cands.push(BeamCandidate {
                     query: nq,
                     ops: nops,
                     cost,
-                    eval,
                     phase,
                 });
-                if report.expansions >= session.config.max_expansions || !time_ok(&start) {
-                    break;
+                if report.expansions + cands.len() >= session.config.max_expansions
+                    || !time_ok(&start)
+                {
+                    break 'gather;
                 }
             }
+        }
+
+        // ---- Evaluate the whole level on the pool, then merge serially in
+        // gather order so `best`/trace updates are deterministic.
+        let evals: Vec<EvalResult> = pool.map(&cands, |_, c| session.evaluate(&c.query));
+        let mut children: Vec<BeamState> = Vec::with_capacity(cands.len());
+        for (cand, eval) in cands.into_iter().zip(evals) {
+            report.truncated |= eval.outcome.truncated;
+            report.expansions += 1;
+            consider(
+                session,
+                &cand.query,
+                &cand.ops,
+                cand.cost,
+                &eval,
+                &start,
+                &mut best,
+                &mut best_satisfying_cl,
+                &mut report,
+            );
+            children.push(BeamState {
+                query: cand.query,
+                ops: cand.ops,
+                cost: cand.cost,
+                eval,
+                phase: cand.phase,
+            });
         }
         // Beam: keep the global top-k children ranked by the optimistic
         // bound cl⁺ first, closeness second, cost third. Ranking by raw

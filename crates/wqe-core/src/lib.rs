@@ -57,6 +57,11 @@ pub mod spec;
 pub mod whyempty;
 pub mod whymany;
 
+/// The scoped fork-join worker pool shared by the whole stack (re-export of
+/// the bottom-level `wqe-pool` crate, so callers of `wqe-core` need no extra
+/// dependency to size or share pools).
+pub use wqe_pool as pool;
+
 pub use answ::{answ, AnswerReport, RewriteResult, TracePoint};
 pub use closeness::{relative_closeness, ClosenessConfig};
 pub use ctx::EngineCtx;

@@ -47,9 +47,19 @@ pub struct WqeConfig {
     /// Use the normal-form + cl⁺ pruning (`false`, with `caching = false`,
     /// reproduces `AnsWb`).
     pub pruning: bool,
-    /// Threads for focus-candidate verification inside the matcher
-    /// (1 = single-threaded; larger values help on big candidate pools).
+    /// Worker threads for every parallel hot path: batched `AnsW` frontier
+    /// evaluation, `AnsHeu` beam evaluation, and focus-candidate
+    /// verification inside the matcher. `0` (the [`Default`]) means *auto*
+    /// — one worker per available core; `1` forces fully serial execution.
+    /// The thread count never changes answers, only wall-clock (see
+    /// DESIGN.md "Parallel search and index construction").
     pub parallelism: usize,
+    /// How many frontier candidates `AnsW` pops and evaluates per batch.
+    /// The search trajectory is a function of this width (and never of
+    /// `parallelism`); `1` reproduces the classic pop-one-evaluate-one
+    /// order exactly, larger batches expose work for the pool. `0` is
+    /// clamped to 1.
+    pub frontier_batch: usize,
 }
 
 impl Default for WqeConfig {
@@ -64,8 +74,17 @@ impl Default for WqeConfig {
             relevance_sample: 64,
             caching: true,
             pruning: true,
-            parallelism: 1,
+            parallelism: 0,
+            frontier_batch: 8,
         }
+    }
+}
+
+impl WqeConfig {
+    /// The resolved worker-thread count: `parallelism`, with `0` mapped to
+    /// the number of available cores (always at least 1).
+    pub fn effective_parallelism(&self) -> usize {
+        wqe_pool::resolve_threads(self.parallelism)
     }
 }
 
@@ -133,7 +152,7 @@ impl Session {
         } else {
             Matcher::new(ctx.graph_arc(), ctx.oracle_arc()).without_cache()
         };
-        matcher = matcher.with_parallelism(config.parallelism);
+        matcher = matcher.with_parallelism(config.effective_parallelism());
         let graph = ctx.graph();
         let focus_label = question
             .query

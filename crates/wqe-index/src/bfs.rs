@@ -9,7 +9,7 @@
 use crate::oracle::DistanceOracle;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock, TryLockError};
 use wqe_graph::{Graph, NodeId};
 
 /// Memoizing bounded-BFS oracle.
@@ -23,17 +23,69 @@ use wqe_graph::{Graph, NodeId};
 /// table is internally synchronized; concurrent queries may race to compute
 /// the same source's reach set, in which case the first insert wins and the
 /// duplicates are dropped.
+///
+/// BFS traversals reuse a shared scratch buffer (distance array + queue)
+/// across calls instead of reallocating per query; when several threads
+/// miss the memo at once, the loser of the `try_lock` race falls back to a
+/// one-shot local buffer, so scratch reuse never serializes queries.
 pub struct BoundedBfsOracle {
     graph: Arc<Graph>,
     horizon: u32,
     capacity: usize,
     memo: RwLock<MemoState>,
+    scratch: Mutex<BfsScratch>,
 }
 
 #[derive(Default)]
 struct MemoState {
     map: HashMap<NodeId, Arc<HashMap<NodeId, u32>>>,
     order: std::collections::VecDeque<NodeId>,
+}
+
+/// Reusable BFS buffers: `dist` is node-indexed (`u32::MAX` = unvisited,
+/// reset via the queue, which doubles as the visited list), `queue` is a
+/// flat ring with a head cursor.
+#[derive(Default)]
+struct BfsScratch {
+    dist: Vec<u32>,
+    queue: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Runs a bounded BFS from `u`, returning the reach map. Leaves the
+    /// buffers clean (all touched `dist` slots reset) for the next call.
+    fn bounded_bfs(&mut self, graph: &Graph, u: NodeId, horizon: u32) -> HashMap<NodeId, u32> {
+        if self.dist.len() < graph.node_count() {
+            self.dist.resize(graph.node_count(), u32::MAX);
+        }
+        self.queue.clear();
+        self.queue.push(u);
+        self.dist[u.index()] = 0;
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            let d = self.dist[x.index()];
+            if d == horizon {
+                continue;
+            }
+            for &(y, _) in graph.out_neighbors(x) {
+                if self.dist[y.index()] == u32::MAX {
+                    self.dist[y.index()] = d + 1;
+                    self.queue.push(y);
+                }
+            }
+        }
+        let reach = self
+            .queue
+            .iter()
+            .map(|&v| (v, self.dist[v.index()]))
+            .collect();
+        for &v in &self.queue {
+            self.dist[v.index()] = u32::MAX;
+        }
+        reach
+    }
 }
 
 impl BoundedBfsOracle {
@@ -44,6 +96,7 @@ impl BoundedBfsOracle {
             horizon,
             capacity: 100_000,
             memo: RwLock::new(MemoState::default()),
+            scratch: Mutex::new(BfsScratch::default()),
         }
     }
 
@@ -67,11 +120,16 @@ impl BoundedBfsOracle {
         if let Some(hit) = self.memo.read().unwrap().map.get(&u) {
             return Arc::clone(hit);
         }
-        let computed: HashMap<NodeId, u32> = self
-            .graph
-            .bounded_bfs(u, self.horizon)
-            .into_iter()
-            .collect();
+        let computed = match self.scratch.try_lock() {
+            Ok(mut scratch) => scratch.bounded_bfs(&self.graph, u, self.horizon),
+            Err(TryLockError::Poisoned(p)) => {
+                p.into_inner().bounded_bfs(&self.graph, u, self.horizon)
+            }
+            // Another thread holds the scratch: do not serialize on it.
+            Err(TryLockError::WouldBlock) => {
+                BfsScratch::default().bounded_bfs(&self.graph, u, self.horizon)
+            }
+        };
         let arc = Arc::new(computed);
         let mut state = self.memo.write().unwrap();
         if !state.map.contains_key(&u) {
@@ -92,6 +150,24 @@ impl DistanceOracle for BoundedBfsOracle {
         let bound = bound.min(self.horizon);
         let reach = self.reach_from(u);
         reach.get(&v).copied().filter(|&d| d <= bound)
+    }
+
+    /// Batched queries fetch each source's reach map once per run of
+    /// consecutive pairs sharing that source (the common access pattern:
+    /// matchers probe one candidate against many targets).
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        let bound = bound.min(self.horizon);
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut cached: Option<(NodeId, Arc<HashMap<NodeId, u32>>)> = None;
+        for &(u, v) in pairs {
+            let stale = cached.as_ref().map(|(s, _)| *s != u).unwrap_or(true);
+            if stale {
+                cached = Some((u, self.reach_from(u)));
+            }
+            let reach = &cached.as_ref().expect("just populated").1;
+            out.push(reach.get(&v).copied().filter(|&d| d <= bound));
+        }
+        out
     }
 }
 
@@ -132,6 +208,45 @@ mod tests {
         let g = cycle(3);
         let o = BoundedBfsOracle::new(g, 2);
         assert_eq!(o.distance_within(NodeId(1), NodeId(1), 0), Some(0));
+    }
+
+    #[test]
+    fn dist_batch_matches_pointwise() {
+        let g = cycle(9);
+        let o = BoundedBfsOracle::new(Arc::clone(&g), 5);
+        let mut pairs = Vec::new();
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                pairs.push((u, v));
+            }
+        }
+        let batched = o.dist_batch(&pairs, 4);
+        for (&(u, v), got) in pairs.iter().zip(&batched) {
+            assert_eq!(*got, o.distance_within(u, v, 4), "{u:?}->{v:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_answers_identically_across_calls() {
+        // Successive misses share one scratch; every answer must still be
+        // exact (stale dist entries would corrupt later traversals).
+        let g = cycle(12);
+        let o = BoundedBfsOracle::new(Arc::clone(&g), 6).with_capacity(1);
+        for round in 0..3 {
+            for u in g.node_ids() {
+                for v in g.node_ids() {
+                    let expect = {
+                        let fwd = (v.index() + 12 - u.index()) % 12;
+                        (fwd as u32 <= 6).then_some(fwd as u32)
+                    };
+                    assert_eq!(
+                        o.distance_within(u, v, 6),
+                        expect,
+                        "round {round}, {u:?}->{v:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

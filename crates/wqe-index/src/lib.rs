@@ -60,6 +60,21 @@ mod proptests {
             }
         }
 
+        /// The rank-windowed parallel build answers exactly like plain BFS
+        /// (label *sets* may differ from the sequential build — windowing
+        /// prunes slightly less — but distances never do).
+        #[test]
+        fn parallel_pll_matches_bfs_oracle(g in arb_graph()) {
+            let par = PllIndex::build_with(&g, 4);
+            let g = std::sync::Arc::new(g);
+            let bfs = BoundedBfsOracle::new(std::sync::Arc::clone(&g), u32::MAX);
+            for u in g.node_ids() {
+                for v in g.node_ids() {
+                    prop_assert_eq!(par.distance(u, v), bfs.distance_within(u, v, u32::MAX));
+                }
+            }
+        }
+
         /// The bounded oracle agrees with PLL inside its horizon.
         #[test]
         fn bounded_matches_pll_within_horizon(g in arb_graph(), horizon in 1u32..5) {

@@ -23,11 +23,26 @@ pub trait DistanceOracle: Send + Sync {
     fn within(&self, u: NodeId, v: NodeId, bound: u32) -> bool {
         self.distance_within(u, v, bound).is_some()
     }
+
+    /// Batched form of [`distance_within`](DistanceOracle::distance_within):
+    /// one `Option<u32>` per `(u, v)` pair, in pair order. The default just
+    /// loops; implementations with per-source state (e.g. the memoizing BFS
+    /// oracle) override it to amortize source lookups across consecutive
+    /// pairs sharing a source.
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        pairs
+            .iter()
+            .map(|&(u, v)| self.distance_within(u, v, bound))
+            .collect()
+    }
 }
 
 impl<T: DistanceOracle + ?Sized> DistanceOracle for &T {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
         (**self).distance_within(u, v, bound)
+    }
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        (**self).dist_batch(pairs, bound)
     }
 }
 
@@ -35,11 +50,17 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for Arc<T> {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
         (**self).distance_within(u, v, bound)
     }
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        (**self).dist_batch(pairs, bound)
+    }
 }
 
 impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
         (**self).distance_within(u, v, bound)
+    }
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        (**self).dist_batch(pairs, bound)
     }
 }
 
@@ -60,10 +81,13 @@ pub enum HybridOracle {
 
 impl HybridOracle {
     /// Builds PLL for graphs up to `pll_node_limit` nodes, otherwise a
-    /// bounded-BFS oracle with the given `horizon`.
+    /// bounded-BFS oracle with the given `horizon`. PLL construction uses
+    /// the rank-windowed parallel build ([`crate::pll::PllIndex::build_with`]
+    /// with auto thread count); the resulting labels are deterministic and
+    /// the answered distances identical to a sequential build.
     pub fn auto(graph: &Arc<Graph>, horizon: u32, pll_node_limit: usize) -> Self {
         if graph.node_count() <= pll_node_limit {
-            HybridOracle::Pll(crate::pll::PllIndex::build(graph))
+            HybridOracle::Pll(crate::pll::PllIndex::build_with(graph, 0))
         } else {
             HybridOracle::Bfs(crate::bfs::BoundedBfsOracle::new(
                 Arc::clone(graph),
@@ -88,6 +112,12 @@ impl DistanceOracle for HybridOracle {
         match self {
             HybridOracle::Pll(p) => p.distance_within(u, v, bound),
             HybridOracle::Bfs(b) => b.distance_within(u, v, bound),
+        }
+    }
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        match self {
+            HybridOracle::Pll(p) => p.dist_batch(pairs, bound),
+            HybridOracle::Bfs(b) => b.dist_batch(pairs, bound),
         }
     }
 }

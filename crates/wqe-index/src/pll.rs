@@ -14,14 +14,56 @@
 //!   labels certify `dist(w, x) <= d`.
 //!
 //! `dist(u, v)` is answered by a sorted merge of `L_out(u)` and `L_in(v)`.
+//!
+//! ## Parallel construction (rank-windowed batches)
+//!
+//! [`PllIndex::build_with`] parallelizes construction: landmarks are
+//! processed in rank order in fixed-size *windows*; the forward/backward
+//! pruned BFS of every landmark in a window runs concurrently on a
+//! [`wqe_pool::WorkerPool`], pruning only against the labels *frozen* from
+//! previous windows; the window's label entries are then committed in rank
+//! order (keeping every label sorted by rank). Intra-window landmarks
+//! cannot prune against each other, so the labels may carry a few redundant
+//! entries compared to the strictly sequential build — but every entry is a
+//! real path length and the completeness argument of Akiba et al. only
+//! relies on pruning hubs having *strictly higher* rank, which frozen
+//! previous windows guarantee. Distances answered are therefore still
+//! exact, and the label set is a deterministic function of the window size
+//! alone: thread count changes wall-clock, never the index.
+//! [`PllIndex::build`] is the window-size-1 special case (classic maximally
+//! pruned sequential PLL).
 
 use crate::oracle::DistanceOracle;
 use serde::{Deserialize, Serialize};
 use wqe_graph::{Graph, NodeId};
+use wqe_pool::WorkerPool;
 
 /// Label entry: `(landmark rank, distance)`. Ranks are positions in the
 /// degree ordering, which keeps labels sorted and merge-joinable.
 type Label = Vec<(u32, u32)>;
+
+/// Landmarks per parallel construction window. Fixed (rather than derived
+/// from the thread count) so that `build_with` produces bit-identical
+/// labels regardless of parallelism; 32 keeps workers saturated while
+/// bounding how much pruning is deferred.
+const PARALLEL_WINDOW: usize = 32;
+
+/// Reusable per-worker BFS scratch: a distance array indexed by node and a
+/// flat queue. Reset via the visited list, so a build allocates O(n) once
+/// per worker instead of once per landmark.
+struct BfsScratch {
+    dist: Vec<u32>,
+    queue: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            dist: vec![u32::MAX; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+}
 
 /// The pruned-landmark-labeling index.
 ///
@@ -37,56 +79,84 @@ pub struct PllIndex {
 }
 
 impl PllIndex {
-    /// Builds the index over `graph`. Time is `O(Σ label sizes · avg degree)`
-    /// in practice; labels stay small on small-world graphs.
+    /// Builds the index over `graph`, sequentially, with maximal pruning
+    /// (every landmark prunes against all previously labeled landmarks).
+    /// Time is `O(Σ label sizes · avg degree)` in practice; labels stay
+    /// small on small-world graphs.
     pub fn build(graph: &Graph) -> Self {
+        Self::build_windowed(graph, 1, 1)
+    }
+
+    /// Builds the index with rank-windowed parallel BFS batches (see the
+    /// module docs). `threads = 0` means auto (one worker per core); the
+    /// resulting labels are identical for every thread count.
+    pub fn build_with(graph: &Graph, threads: usize) -> Self {
+        Self::build_windowed(graph, threads, PARALLEL_WINDOW)
+    }
+
+    fn build_windowed(graph: &Graph, threads: usize, window: usize) -> Self {
         let n = graph.node_count();
         // Rank vertices by total degree, descending (classic PLL ordering).
         let mut order: Vec<NodeId> = graph.node_ids().collect();
         order.sort_by_key(|&v| std::cmp::Reverse(graph.out_degree(v) + graph.in_degree(v)));
-        let mut rank_of = vec![0u32; n];
-        for (r, &v) in order.iter().enumerate() {
-            rank_of[v.index()] = r as u32;
-        }
 
         let mut index = PllIndex {
             out_labels: vec![Vec::new(); n],
             in_labels: vec![Vec::new(); n],
         };
+        let pool = WorkerPool::new(threads);
+        let window = window.max(1);
 
-        // Scratch buffers reused across BFS runs.
-        let mut dist = vec![u32::MAX; n];
-        let mut queue: Vec<NodeId> = Vec::with_capacity(n);
-
-        for (r, &w) in order.iter().enumerate() {
-            let wrank = r as u32;
-            // Forward pruned BFS: label L_in of reached vertices.
-            Self::pruned_bfs(
-                graph, w, wrank, /*forward=*/ true, &mut dist, &mut queue, &mut index,
+        for (chunk_no, chunk) in order.chunks(window).enumerate() {
+            let base_rank = (chunk_no * window) as u32;
+            // Run each landmark's forward + backward pruned BFS against the
+            // labels frozen from previous windows. `index` is only read
+            // here; entries are committed below, in rank order.
+            type LandmarkLabels = (Vec<(NodeId, u32)>, Vec<(NodeId, u32)>);
+            let results: Vec<LandmarkLabels> = pool.map_init(
+                chunk,
+                || BfsScratch::new(n),
+                |scratch, _, &w| {
+                    let fwd = Self::pruned_bfs(graph, w, true, &index, scratch);
+                    let bwd = Self::pruned_bfs(graph, w, false, &index, scratch);
+                    (fwd, bwd)
+                },
             );
-            // Backward pruned BFS: label L_out of reaching vertices.
-            Self::pruned_bfs(
-                graph, w, wrank, /*forward=*/ false, &mut dist, &mut queue, &mut index,
-            );
+            for (i, (fwd, bwd)) in results.into_iter().enumerate() {
+                let wrank = base_rank + i as u32;
+                for (u, d) in fwd {
+                    index.in_labels[u.index()].push((wrank, d));
+                }
+                for (u, d) in bwd {
+                    index.out_labels[u.index()].push((wrank, d));
+                }
+            }
         }
         index
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// One pruned BFS from landmark `w`, certifying against the frozen
+    /// `index` and *collecting* the label entries `(vertex, distance)`
+    /// instead of writing them (so concurrent BFS runs can share the frozen
+    /// index immutably). Within a single landmark this is equivalent to the
+    /// classic in-place formulation: a landmark's own entries never
+    /// influence its own certifications (the forward pass only writes `in`
+    /// labels, which forward certification reads for the vertex *before*
+    /// its entry is added; the backward pass reads `out(u)`, which cannot
+    /// yet contain `w`).
     fn pruned_bfs(
         graph: &Graph,
         w: NodeId,
-        wrank: u32,
         forward: bool,
-        dist: &mut [u32],
-        queue: &mut Vec<NodeId>,
-        index: &mut PllIndex,
-    ) {
+        index: &PllIndex,
+        scratch: &mut BfsScratch,
+    ) -> Vec<(NodeId, u32)> {
+        let BfsScratch { dist, queue } = scratch;
         queue.clear();
         queue.push(w);
         dist[w.index()] = 0;
         let mut head = 0usize;
-        let mut visited: Vec<NodeId> = vec![w];
+        let mut labeled: Vec<(NodeId, u32)> = Vec::new();
         while head < queue.len() {
             let u = queue[head];
             head += 1;
@@ -101,13 +171,9 @@ impl PllIndex {
             if certified <= d {
                 continue;
             }
-            // Record the label. Ranks are pushed in increasing order across
-            // the outer loop, so labels remain sorted by rank.
-            if forward {
-                index.in_labels[u.index()].push((wrank, d));
-            } else {
-                index.out_labels[u.index()].push((wrank, d));
-            }
+            // Record the label. Ranks are committed in increasing order
+            // across windows, so labels remain sorted by rank.
+            labeled.push((u, d));
             let neighbors = if forward {
                 graph.out_neighbors(u)
             } else {
@@ -117,13 +183,13 @@ impl PllIndex {
                 if dist[x.index()] == u32::MAX {
                     dist[x.index()] = d + 1;
                     queue.push(x);
-                    visited.push(x);
                 }
             }
         }
-        for v in visited {
+        for &v in queue.iter() {
             dist[v.index()] = u32::MAX;
         }
+        labeled
     }
 
     /// Merge-join two sorted labels, returning the minimum hub distance
@@ -181,13 +247,12 @@ mod tests {
 
     fn check_all_pairs(g: &Graph) {
         let idx = PllIndex::build(g);
+        let par = PllIndex::build_with(g, 4);
         for u in g.node_ids() {
             for v in g.node_ids() {
-                assert_eq!(
-                    idx.distance(u, v),
-                    brute_distance(g, u, v),
-                    "mismatch for {u:?}->{v:?}"
-                );
+                let truth = brute_distance(g, u, v);
+                assert_eq!(idx.distance(u, v), truth, "seq mismatch for {u:?}->{v:?}");
+                assert_eq!(par.distance(u, v), truth, "par mismatch for {u:?}->{v:?}");
             }
         }
     }
@@ -248,6 +313,43 @@ mod tests {
         b.add_edge(ids[0], ids[4], "e"); // shortcut
         b.add_edge(ids[2], ids[7], "e"); // shortcut
         check_all_pairs(&b.finalize());
+    }
+
+    #[test]
+    fn windowed_labels_independent_of_thread_count() {
+        // Labels (not just answers) must be a function of the window size
+        // alone: 1, 2, and 8 threads produce the same index bytes.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..40).map(|_| b.add_node("N", [])).collect();
+        for i in 0..40usize {
+            b.add_edge(ids[i], ids[(i + 1) % 40], "e");
+            b.add_edge(ids[i], ids[(i * 7 + 3) % 40], "e");
+        }
+        let g = b.finalize();
+        let one = serde_json::to_string(&PllIndex::build_with(&g, 1)).unwrap();
+        for threads in [2, 8] {
+            let t = serde_json::to_string(&PllIndex::build_with(&g, threads)).unwrap();
+            assert_eq!(one, t, "labels diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn windowed_build_at_most_slightly_less_pruned() {
+        // The windowed build may keep redundant entries (intra-window
+        // landmarks cannot prune against each other) but never fewer than
+        // the sequential build, and answers stay exact (checked above).
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..60).map(|_| b.add_node("N", [])).collect();
+        for i in 0..60usize {
+            b.add_edge(ids[i], ids[(i + 1) % 60], "e");
+            if i % 3 == 0 {
+                b.add_edge(ids[i], ids[(i + 11) % 60], "e");
+            }
+        }
+        let g = b.finalize();
+        let seq = PllIndex::build(&g);
+        let par = PllIndex::build_with(&g, 4);
+        assert!(par.label_entries() >= seq.label_entries());
     }
 }
 

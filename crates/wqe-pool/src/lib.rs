@@ -1,0 +1,229 @@
+//! # wqe-pool
+//!
+//! A small scoped worker-pool for deterministic fork-join parallelism.
+//!
+//! Every parallel hot path in the WQE stack — batched `AnsW` frontier
+//! expansion, beam evaluation, matcher candidate verification, windowed PLL
+//! index construction — has the same shape: a slice of independent work
+//! items, a function per item, and a *merge step that must observe results
+//! in item order* so that the degree of parallelism never changes answers.
+//! [`WorkerPool::map`] captures exactly that contract: results come back in
+//! input order regardless of how items were scheduled across threads.
+//!
+//! The pool sits below `wqe-index` and `wqe-query` in the crate graph (it
+//! depends on nothing), and is re-exported as `wqe_core::pool` for
+//! algorithm-level callers.
+//!
+//! Threads are scoped (`std::thread::scope`), so borrowing the enclosing
+//! stack — a `&Session`, a `&Graph`, a partially built index — is free: no
+//! `'static` bounds, no `Arc` plumbing, no long-lived pool threads to shut
+//! down.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a user-facing thread-count knob: `0` means *auto* (one worker
+/// per available core, as reported by
+/// [`std::thread::available_parallelism`]); any other value is taken
+/// literally. Always returns at least 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// A fixed-width scoped worker pool.
+///
+/// The pool itself is trivially cheap (one `usize`); workers are spawned
+/// per [`map`](WorkerPool::map) call and joined before it returns, so a
+/// `WorkerPool` can be created once per search and reused for every batch.
+///
+/// Scheduling is dynamic (an atomic work-stealing cursor), which keeps
+/// skewed item costs balanced; determinism comes from re-ordering results
+/// by item index before returning, never from the schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given width. `0` means auto
+    /// (see [`resolve_threads`]).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// The number of worker threads `map` will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in item
+    /// order. `f` receives `(item_index, &item)`.
+    ///
+    /// With one thread (or zero/one items) this degenerates to a plain
+    /// serial loop with no spawning, so callers can use it unconditionally.
+    ///
+    /// Panics in `f` are propagated to the caller (first joined panic wins)
+    /// after all workers have stopped.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_init(items, || (), |_, i, item| f(i, item))
+    }
+
+    /// [`map`](WorkerPool::map) with per-worker scratch state: `init` runs
+    /// once on each worker thread and the resulting state is threaded
+    /// through every item that worker processes. Use it to reuse expensive
+    /// buffers (BFS queues, distance arrays) across items without sharing
+    /// them across threads.
+    pub fn map_init<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut state, i, item))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(&mut state, i, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(n);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => panic = panic.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+            all
+        });
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(x).wrapping_add(7);
+        let serial = WorkerPool::new(1).map(&items, f);
+        for threads in [2, 4, 8] {
+            assert_eq!(WorkerPool::new(threads).map(&items, f), serial);
+        }
+    }
+
+    #[test]
+    fn borrows_enclosing_stack() {
+        let data = vec![1, 2, 3, 4];
+        let pool = WorkerPool::new(2);
+        let out = pool.map(&data, |_, &x| data.iter().sum::<i32>() + x);
+        assert_eq!(out, vec![11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<usize> = (0..40).collect();
+        // Each worker's scratch counts how many items it processed; results
+        // must still come back in item order.
+        let out = pool.map_init(
+            &items,
+            || 0usize,
+            |seen, i, &x| {
+                *seen += 1;
+                assert!(*seen <= items.len());
+                (i, x + 1)
+            },
+        );
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = WorkerPool::new(8);
+        let empty: Vec<u8> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[42u8], |_, &x| x), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -197,10 +197,11 @@ impl Matcher {
     }
 
     /// Verifies focus candidates on up to `threads` OS threads (candidate
-    /// verifications are mutually independent). `1` (the default) keeps
-    /// evaluation single-threaded; large pools only.
+    /// verifications are mutually independent). `0` resolves to one worker
+    /// per available core; `1` (the default) keeps evaluation
+    /// single-threaded; large pools only.
     pub fn with_parallelism(mut self, threads: usize) -> Self {
-        self.parallelism = threads.max(1);
+        self.parallelism = wqe_pool::resolve_threads(threads);
         self
     }
 
@@ -429,26 +430,21 @@ impl Matcher {
         };
 
         // Candidate verifications are independent; fan out across threads
-        // when the pool is large enough to amortize spawning.
+        // when the pool is large enough to amortize spawning. Chunk results
+        // come back in chunk order, so matches are thread-count-invariant
+        // even before the final sort.
         let (verified, truncated) = if self.parallelism > 1 && focus_domain.len() >= 64 {
             let chunk_size = focus_domain.len().div_ceil(self.parallelism);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = focus_domain
-                    .chunks(chunk_size)
-                    .map(|chunk| scope.spawn(|| verify_chunk(chunk)))
-                    .collect();
-                let mut verified = Vec::new();
-                let mut truncated = false;
-                for h in handles {
-                    let (found, trunc) = match h.join() {
-                        Ok(r) => r,
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    };
-                    verified.extend(found);
-                    truncated |= trunc;
-                }
-                (verified, truncated)
-            })
+            let chunks: Vec<&[NodeId]> = focus_domain.chunks(chunk_size).collect();
+            let results = wqe_pool::WorkerPool::new(self.parallelism)
+                .map(&chunks, |_, chunk| verify_chunk(chunk));
+            let mut verified = Vec::new();
+            let mut truncated = false;
+            for (found, trunc) in results {
+                verified.extend(found);
+                truncated |= trunc;
+            }
+            (verified, truncated)
         } else {
             verify_chunk(&focus_domain)
         };

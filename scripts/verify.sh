@@ -16,4 +16,13 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+# Parallelism must never change answers: run the determinism suite both
+# single-threaded (serializes any latent race into a reproducible order)
+# and with the default test threading.
+echo "==> determinism: RUST_TEST_THREADS=1 cargo test --test parallel_determinism -q"
+RUST_TEST_THREADS=1 cargo test --test parallel_determinism -q
+
+echo "==> determinism: cargo test --test parallel_determinism -q"
+cargo test --test parallel_determinism -q
+
 echo "verify: OK"
