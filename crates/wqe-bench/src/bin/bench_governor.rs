@@ -1,0 +1,189 @@
+//! Governor overhead harness.
+//!
+//! ```text
+//! bench_governor [--out results/BENCH_governor.json] [--scale F]
+//!                [--queries N] [--reps R]
+//! ```
+//!
+//! The governor's cooperative checks sit on the hot paths of `AnsW`
+//! (batch gather, matcher fan-out, BFS oracle, pool item boundaries), so
+//! its *idle* cost — a session with no limits configured — must be noise.
+//! This harness answers the same generated why-question suite twice per
+//! repetition:
+//!
+//! * `baseline` — sessions run with [`Governor::disabled`], whose checks
+//!   compile down to immediate `None` returns;
+//! * `governed` — sessions run with the default live governor
+//!   (unlimited: atomics are read and charged, but nothing ever trips).
+//!
+//! Both modes must produce bit-identical answers; the JSON records the
+//! min-over-reps wall clock of each mode and the relative overhead, with
+//! a <3% target on the intra-query workload.
+
+use std::sync::Arc;
+use std::time::Instant;
+use wqe_bench::runner::{QuestionKind, Workload};
+use wqe_core::pool::governor::Governor;
+use wqe_core::{answ, AnswerReport, Session, WqeConfig};
+use wqe_datagen::{dbpedia_like, QueryGenConfig, WhyGenConfig};
+
+fn fingerprint(reports: &[AnswerReport]) -> String {
+    reports
+        .iter()
+        .map(|r| match &r.best {
+            None => "none;".to_string(),
+            Some(b) => format!(
+                "{:x}/{:x}/{:?}/{:?};",
+                b.closeness.to_bits(),
+                b.cost.to_bits(),
+                b.ops,
+                b.matches
+            ),
+        })
+        .collect()
+}
+
+#[derive(serde::Serialize)]
+struct BenchGovernor {
+    host_available_parallelism: usize,
+    queries: usize,
+    reps: usize,
+    baseline_ms: f64,
+    governed_ms: f64,
+    overhead_pct: f64,
+    target_pct: f64,
+    within_target: bool,
+    answers_identical: bool,
+}
+
+fn run_suite(
+    wl: &Workload,
+    ctx: &wqe_core::EngineCtx,
+    cfg: &WqeConfig,
+    disabled: bool,
+) -> (f64, String) {
+    let t0 = Instant::now();
+    let reports: Vec<AnswerReport> = wl
+        .questions
+        .iter()
+        .map(|gw| {
+            let mut session = Session::new(ctx.clone(), &gw.question, cfg.clone());
+            if disabled {
+                session = session.with_governor(Arc::new(Governor::disabled()));
+            }
+            answ(&session, &gw.question)
+        })
+        .collect();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (ms, fingerprint(&reports))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "results/BENCH_governor.json".to_string();
+    // Defaults sized so the suite takes ~20ms per mode: small enough for
+    // CI, large enough that scheduler noise doesn't swamp a <3% signal.
+    let mut scale = 10.0f64;
+    let mut queries = 8usize;
+    let mut reps = 7usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 1;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(1.0);
+                i += 1;
+            }
+            "--queries" if i + 1 < args.len() => {
+                queries = args[i + 1].parse().unwrap_or(6);
+                i += 1;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().unwrap_or(5).max(1);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_governor [--out FILE] [--scale F] [--queries N] [--reps R]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let wl = Workload::build(
+        "governor",
+        dbpedia_like(0.02 * scale, 21),
+        queries,
+        &QueryGenConfig {
+            edges: 2,
+            seed: 21,
+            ..Default::default()
+        },
+        &WhyGenConfig::default(),
+        QuestionKind::Why,
+    );
+    let ctx = wl.ctx(4);
+    let cfg = WqeConfig {
+        budget: 3.0,
+        max_expansions: 150,
+        time_limit_ms: None,
+        parallelism: 2,
+        ..Default::default()
+    };
+
+    // Warm both paths once (page-in, allocator, star-view caches are
+    // per-session so stay cold either way), then take min-over-reps,
+    // alternating modes so drift hits both equally.
+    let (_, reference) = run_suite(&wl, &ctx, &cfg, true);
+    let mut baseline_ms = f64::INFINITY;
+    let mut governed_ms = f64::INFINITY;
+    let mut answers_identical = true;
+    for rep in 0..reps {
+        // Alternate which mode runs first, so cache/frequency drift within
+        // a rep cannot systematically favor either side.
+        let ((b_ms, b_fp), (g_ms, g_fp)) = if rep % 2 == 0 {
+            let b = run_suite(&wl, &ctx, &cfg, true);
+            let g = run_suite(&wl, &ctx, &cfg, false);
+            (b, g)
+        } else {
+            let g = run_suite(&wl, &ctx, &cfg, false);
+            let b = run_suite(&wl, &ctx, &cfg, true);
+            (b, g)
+        };
+        eprintln!("rep {rep}: baseline {b_ms:.1} ms, governed {g_ms:.1} ms");
+        baseline_ms = baseline_ms.min(b_ms);
+        governed_ms = governed_ms.min(g_ms);
+        answers_identical &= b_fp == reference && g_fp == reference;
+    }
+    let overhead_pct = (governed_ms / baseline_ms.max(1e-9) - 1.0) * 100.0;
+    let report = BenchGovernor {
+        host_available_parallelism: host,
+        queries: wl.questions.len(),
+        reps,
+        baseline_ms,
+        governed_ms,
+        overhead_pct,
+        target_pct: 3.0,
+        within_target: overhead_pct < 3.0,
+        answers_identical,
+    };
+    assert!(report.answers_identical, "an idle governor changed answers");
+    eprintln!(
+        "governor overhead: {overhead_pct:.2}% (baseline {baseline_ms:.1} ms, governed {governed_ms:.1} ms)"
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

@@ -705,8 +705,67 @@ pub fn exp7_sample_ablation(cfg: &ExpConfig) -> Reporter {
     rep
 }
 
+/// Exp-8 (extension): per-query governor telemetry. Runs `AnsW` once
+/// ungoverned and once under a deadline + step cap, and reports each
+/// query's termination reason, matcher work, and frontier peak — the
+/// series name is the termination reason, so the rendered table shows at a
+/// glance how many queries ended `complete` vs `deadline`/`step_cap`.
+pub fn exp8_governor(cfg: &ExpConfig) -> Reporter {
+    let mut rep = Reporter::new();
+    let graph = dbpedia_like(cfg.scale, cfg.seed);
+    let w = Workload::build(
+        "DBpedia",
+        graph,
+        cfg.queries,
+        &cfg.qcfg(2, TopologyKind::Star),
+        &cfg.wcfg(5),
+        QuestionKind::Why,
+    );
+    let ctx = w.ctx(4);
+    let mut governed = cfg.wqe();
+    // A tight deadline plus a matcher-step cap, so partial terminations
+    // actually occur at laptop scale.
+    governed.deadline_ms = (cfg.time_limit_ms as f64 / 4.0).max(1.0);
+    governed.max_match_steps = (cfg.max_expansions as u64).max(1);
+    for (mode, base) in [("ungoverned", cfg.wqe()), ("governed", governed)] {
+        let stats = run_algo_with(&w, &ctx, AlgoSpec::AnsW, &base);
+        for (i, t) in stats.governor.iter().enumerate() {
+            let q = format!("{mode}/q{i}");
+            rep.record(
+                "exp8-governor-elapsed",
+                &t.termination,
+                &q,
+                t.elapsed_ms,
+                "ms",
+            );
+            rep.record(
+                "exp8-governor-steps",
+                &t.termination,
+                &q,
+                t.match_steps as f64,
+                "steps",
+            );
+            rep.record(
+                "exp8-governor-frontier",
+                &t.termination,
+                &q,
+                t.frontier_peak as f64,
+                "states",
+            );
+            rep.record(
+                "exp8-governor-partial",
+                &t.termination,
+                &q,
+                t.partial as u8 as f64,
+                "flag",
+            );
+        }
+    }
+    rep
+}
+
 /// All experiment ids in paper order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "exp1-efficiency",
     "exp1-scalability",
     "exp1-querysize",
@@ -722,6 +781,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "exp5-userstudy",
     "exp6-planted-recall",
     "exp7-sample-ablation",
+    "exp8-governor",
 ];
 
 /// Dispatches an experiment by id.
@@ -742,6 +802,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<Reporter> {
         "exp5-userstudy" => exp5_userstudy(cfg),
         "exp6-planted-recall" => exp6_planted(cfg),
         "exp7-sample-ablation" => exp7_sample_ablation(cfg),
+        "exp8-governor" => exp8_governor(cfg),
         _ => return None,
     })
 }
@@ -770,6 +831,35 @@ mod tests {
         assert!(series.contains("FMAnsW"));
         // 4 datasets x 5 algorithms.
         assert_eq!(rep.rows().len(), 20);
+    }
+
+    #[test]
+    fn governor_experiment_reports_per_query() {
+        let cfg = tiny();
+        let rep = exp8_governor(&cfg);
+        // Four metrics x two modes x one row per query.
+        let steps: Vec<_> = rep
+            .rows()
+            .iter()
+            .filter(|r| r.experiment == "exp8-governor-steps")
+            .collect();
+        assert!(!steps.is_empty());
+        assert!(steps.iter().any(|r| r.x.starts_with("ungoverned/")));
+        assert!(steps.iter().any(|r| r.x.starts_with("governed/")));
+        // Series names are termination reasons.
+        for r in rep.rows() {
+            assert!(
+                [
+                    "complete",
+                    "deadline",
+                    "cancelled",
+                    "frontier_cap",
+                    "step_cap"
+                ]
+                .contains(&r.series.as_str()),
+                "{r:?}"
+            );
+        }
     }
 
     #[test]

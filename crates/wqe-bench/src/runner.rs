@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use wqe_core::{
     ans_heu, ans_we, answ, apx_why_many, fm_answ, relative_closeness, AnswerReport, EngineCtx,
-    Selection, Session, TracePoint, WqeConfig,
+    GovernorTelemetry, Selection, Session, TracePoint, WqeConfig,
 };
 use wqe_datagen::{
     generate_query, generate_why, generate_why_empty, generate_why_many, GeneratedWhy,
@@ -180,6 +180,9 @@ pub struct RunStats {
     /// Mean number of irrelevant matches remaining in the best rewrite's
     /// answers (the quantity Why-Many minimizes, Fig. 12(b)).
     pub mean_im_after: f64,
+    /// Per-question governor telemetry, in question order: how each run
+    /// ended (`complete`, `deadline`, `step_cap`, …) and what it cost.
+    pub governor: Vec<GovernorTelemetry>,
 }
 
 /// Runs one algorithm over every question of a workload. Builds a fresh
@@ -223,6 +226,7 @@ pub fn run_algo_with(
                 .count() as f64;
         }
         stats.traces.push(report.trace.clone());
+        stats.governor.push(GovernorTelemetry::from_report(&report));
     }
     if stats.runs > 0 {
         let n = stats.runs as f64;

@@ -24,10 +24,13 @@
 //! exactly.
 
 use crate::chase::Phase;
+use crate::error::WqeError;
+use crate::governor::{self, Termination};
 use crate::opsgen::{next_ops, ScoredOp};
 use crate::session::{EvalResult, Session, WhyQuestion};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 use wqe_graph::NodeId;
 use wqe_pool::WorkerPool;
@@ -79,6 +82,15 @@ pub struct AnswerReport {
     /// values may then under-count matches and the verdicts are
     /// conservative. Raise `Matcher::with_step_limit` when set.
     pub truncated: bool,
+    /// Why the search stopped. Anything but [`Termination::Complete`] means
+    /// `best` / `top_k` are best-so-far, not exhaustive.
+    pub termination: Termination,
+    /// Matcher join steps charged against the governor by this run (the
+    /// quantity `max_match_steps` caps). Parallelism-invariant.
+    pub match_steps: u64,
+    /// Peak retained-search-state count observed by the governor (the
+    /// quantity `max_frontier_states` caps).
+    pub frontier_peak: usize,
 }
 
 /// Ordered f64 wrapper for the priority queue (total order, no panic).
@@ -116,8 +128,28 @@ struct Candidate {
 }
 
 /// Runs `AnsW` on a why-question, returning the report.
+///
+/// # Panics
+///
+/// Re-raises a worker panic after containment (see [`try_answ`]). Prefer
+/// `try_answ` when a failed query must not take the caller down.
 pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
+    try_answ(session, question).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible `AnsW`: runs under the session's governor and maps a contained
+/// worker panic to [`WqeError::WorkerPanicked`] instead of unwinding, so
+/// one poisoned query cannot take down sibling sessions sharing the same
+/// `EngineCtx`.
+pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerReport, WqeError> {
     let start = Instant::now();
+    let gov = Arc::clone(&session.governor);
+    let steps_before = gov.steps();
+    // The whole search runs inside a governor scope so every shared layer
+    // below (matcher fan-out, BFS oracle) can poll it via
+    // `governor::current()`, even on the gather path outside the pool.
+    let _gov_scope = governor::enter(Arc::clone(&gov));
+    let mut termination = Termination::Complete;
     let budget = session.config.budget;
     let top_k_n = session.config.top_k.max(1);
     let mut report = AnswerReport::default();
@@ -180,8 +212,27 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
         }
     };
 
-    // Root: the original query (line 2-3 of Fig. 5).
-    let root_eval = session.evaluate(&question.query);
+    let pool = WorkerPool::new(session.config.parallelism);
+
+    // Root: the original query (line 2-3 of Fig. 5). Routed through the
+    // governed pool even though it is a single item, so a panic inside the
+    // evaluation surfaces as a typed error and a pre-tripped governor
+    // (deadline already past, cancelled before starting) is honoured
+    // before any work.
+    let (mut root_slots, root_halt) =
+        pool.map_governed(std::slice::from_ref(&question.query), &gov, |_, q| {
+            session.evaluate(q)
+        })?;
+    let Some(root_eval) = root_slots.pop().flatten() else {
+        report.termination = root_halt.unwrap_or(Termination::Cancelled);
+        report.match_steps = gov.steps() - steps_before;
+        report.frontier_peak = gov.frontier_peak();
+        report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        return Ok(report);
+    };
+    if let Some(t) = gov.charge_steps(root_eval.outcome.steps as u64) {
+        termination = t;
+    }
     report.truncated |= root_eval.outcome.truncated;
     visited.insert(question.query.signature());
     record(
@@ -216,11 +267,22 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
             .is_none_or(|ms| start.elapsed().as_millis() < ms as u128)
     };
 
-    let pool = WorkerPool::new(session.config.parallelism);
     let batch_width = session.config.frontier_batch.max(1);
 
     'search: loop {
-        if !time_ok(&start) || report.expansions >= session.config.max_expansions {
+        if termination.is_partial() {
+            break;
+        }
+        if let Some(t) = gov.check() {
+            termination = t;
+            break;
+        }
+        if !time_ok(&start) {
+            termination = Termination::Deadline;
+            break;
+        }
+        if report.expansions >= session.config.max_expansions {
+            termination = Termination::StepCap;
             break;
         }
         // Early global termination: theoretically optimal reached.
@@ -315,29 +377,38 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
             break 'search;
         }
 
-        // ---- Evaluate: fan the matcher runs out over the pool. Results
-        // come back in batch order regardless of worker scheduling.
-        let evals: Vec<EvalResult> = pool.map(&batch, |_, c| session.evaluate(&c.query));
+        // ---- Evaluate: fan the matcher runs out over the governed pool.
+        // Results come back in batch order regardless of worker scheduling;
+        // a halt (cancel/deadline) leaves later slots `None`, a worker
+        // panic surfaces as a typed error.
+        let (evals, halted) = pool.map_governed(&batch, &gov, |_, c| session.evaluate(&c.query))?;
 
-        // ---- Merge: commit serially in a deterministic order — stable on
-        // (cost asc, closeness desc, operator-sequence key) — so the heap,
-        // visited set, trace, and top-k evolve identically for any thread
-        // count.
+        // ---- Merge: commit the *completed* evaluations serially in a
+        // deterministic order — stable on (cost asc, closeness desc,
+        // operator-sequence key) — so the heap, visited set, trace, and
+        // top-k evolve identically for any thread count. Step and frontier
+        // caps are charged here (and only here), which makes cap trips a
+        // pure function of the trajectory, never of worker scheduling.
         let op_keys: Vec<String> = batch.iter().map(|c| format!("{:?}", c.ops)).collect();
-        let mut order: Vec<usize> = (0..batch.len()).collect();
+        let mut order: Vec<usize> = (0..batch.len()).filter(|&i| evals[i].is_some()).collect();
         order.sort_by(|&a, &b| {
+            let (ea, eb) = (evals[a].as_ref().unwrap(), evals[b].as_ref().unwrap());
             batch[a]
                 .cost
                 .total_cmp(&batch[b].cost)
-                .then_with(|| evals[b].closeness.total_cmp(&evals[a].closeness))
+                .then_with(|| eb.closeness.total_cmp(&ea.closeness))
                 .then_with(|| op_keys[a].cmp(&op_keys[b]))
         });
-        let mut slots: Vec<Option<(Candidate, EvalResult)>> =
-            batch.into_iter().zip(evals).map(Some).collect();
+        let mut slots: Vec<Option<(Candidate, EvalResult)>> = batch
+            .into_iter()
+            .zip(evals)
+            .map(|(c, e)| e.map(|e| (c, e)))
+            .collect();
         for i in order {
             let (cand, eval) = slots[i].take().expect("each slot committed once");
             report.truncated |= eval.outcome.truncated;
             report.expansions += 1;
+            let stepped = gov.charge_steps(eval.outcome.steps as u64);
 
             record(
                 &cand.query,
@@ -348,6 +419,11 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
                 &mut best_fallback,
                 &start,
             );
+
+            if let Some(t) = stepped {
+                termination = t;
+                break 'search;
+            }
 
             // Prune (line 9, Lemma 5.5(2)): in the refinement phase cl⁺ only
             // shrinks, so a subtree whose bound is below the (k-th) best is
@@ -377,6 +453,15 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
                 Reverse(OrdF64(new_cost)),
                 Reverse(new_idx),
             ));
+            if let Some(t) = gov.note_frontier(arena.len()) {
+                termination = t;
+                break 'search;
+            }
+        }
+
+        if let Some(t) = halted {
+            termination = t;
+            break 'search;
         }
     }
 
@@ -389,8 +474,11 @@ pub fn answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
         report.optimal_reached = true;
     }
     report.best = report.top_k.first().cloned().or(best_fallback);
+    report.termination = termination;
+    report.match_steps = gov.steps() - steps_before;
+    report.frontier_peak = gov.frontier_peak();
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

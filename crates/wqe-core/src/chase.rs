@@ -62,6 +62,14 @@ impl ChaseSequence {
         let mut prev_covered = covered_tuples(session, &prev.outcome.matches);
         let mut steps = Vec::with_capacity(ops.len());
         for op in ops {
+            // Cooperative governor check between step applications: a
+            // cancelled or deadline-expired session stops replaying. Only
+            // `halt()` is polled — the step counter belongs to the search
+            // that produced the sequence, and charging replay against it
+            // would make replays fail under caps the search survived.
+            if session.governor.halt().is_some() {
+                return None;
+            }
             let cost = op.cost(session.graph());
             op.apply(&mut q).ok()?;
             let next = session.evaluate(&q);

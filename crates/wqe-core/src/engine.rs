@@ -1,11 +1,12 @@
 //! The `WqeEngine` facade: one object bundling a why-question session with
 //! every algorithm of the paper.
 
-use crate::answ::{answ, AnswerReport, RewriteResult};
+use crate::answ::{answ, try_answ, AnswerReport, RewriteResult};
 use crate::ctx::EngineCtx;
+use crate::error::WqeError;
 use crate::explain::DifferentialTable;
 use crate::fmansw::fm_answ;
-use crate::heuristic::{ans_heu, Selection};
+use crate::heuristic::{ans_heu, try_ans_heu, Selection};
 use crate::session::{EvalResult, Session, WhyQuestion, WqeConfig};
 use crate::whyempty::ans_we;
 use crate::whymany::apx_why_many;
@@ -125,6 +126,41 @@ impl WqeEngine {
                 Selection::Random(seed),
             ),
             Algorithm::FMAnsW => self.answer_baseline(),
+        }
+    }
+
+    /// Fallible [`run`](WqeEngine::run): a worker panic during the search
+    /// is contained by the pool and surfaced as
+    /// [`WqeError::WorkerPanicked`] — this query fails, the process (and
+    /// every sibling engine sharing the same [`EngineCtx`]) keeps running.
+    pub fn try_run(&self, algorithm: Algorithm) -> Result<AnswerReport, WqeError> {
+        match algorithm {
+            Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => {
+                try_answ(&self.session, &self.question)
+            }
+            Algorithm::AnsHeu(k) => {
+                try_ans_heu(&self.session, &self.question, Some(k), Selection::Picky)
+            }
+            Algorithm::AnsHeuB(k, seed) => try_ans_heu(
+                &self.session,
+                &self.question,
+                Some(k),
+                Selection::Random(seed),
+            ),
+            // The baseline has no pool fan-out of its own; contain a panic
+            // here so `try_run` keeps its no-unwind contract for every
+            // variant.
+            Algorithm::FMAnsW => {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.answer_baseline()))
+                    .map_err(|p| {
+                        let message = p
+                            .downcast_ref::<&'static str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        WqeError::WorkerPanicked { item: 0, message }
+                    })
+            }
         }
     }
 

@@ -22,6 +22,16 @@ pub enum WqeError {
     },
     /// A pattern-level operation failed (refocusing, operator application).
     Pattern(PatternError),
+    /// A worker thread panicked while evaluating one search candidate. The
+    /// panic was contained by the pool ([`wqe_pool::PoolError::Panicked`]):
+    /// this query failed, but the process — and any sibling session sharing
+    /// the same `EngineCtx` — keeps running.
+    WorkerPanicked {
+        /// Index of the batch item whose evaluation panicked.
+        item: usize,
+        /// The stringified panic payload.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for WqeError {
@@ -32,6 +42,9 @@ impl std::fmt::Display for WqeError {
                 write!(f, "invalid config: {field} = {value}")
             }
             WqeError::Pattern(e) => write!(f, "pattern error: {e}"),
+            WqeError::WorkerPanicked { item, message } => {
+                write!(f, "worker panicked on item {item}: {message}")
+            }
         }
     }
 }
@@ -51,6 +64,13 @@ impl From<PatternError> for WqeError {
     }
 }
 
+impl From<wqe_pool::PoolError> for WqeError {
+    fn from(e: wqe_pool::PoolError) -> Self {
+        let wqe_pool::PoolError::Panicked { item, message } = e;
+        WqeError::WorkerPanicked { item, message }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +83,24 @@ mod tests {
             value: f64::NAN,
         };
         assert!(e.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn pool_panics_convert() {
+        let e: WqeError = wqe_pool::PoolError::Panicked {
+            item: 3,
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(
+            e,
+            WqeError::WorkerPanicked {
+                item: 3,
+                message: "boom".into()
+            }
+        );
+        let s = e.to_string();
+        assert!(s.contains("item 3") && s.contains("boom"), "{s}");
     }
 
     #[test]

@@ -9,9 +9,12 @@
 
 use crate::answ::{AnswerReport, RewriteResult, TracePoint};
 use crate::chase::Phase;
+use crate::error::WqeError;
+use crate::governor::{self, Termination};
 use crate::opsgen::{next_ops, ScoredOp};
 use crate::session::{EvalResult, Session, WhyQuestion};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 use wqe_pool::WorkerPool;
 use wqe_query::{AtomicOp, OpClass, PatternQuery};
@@ -87,13 +90,32 @@ fn cap_per_class(ops: Vec<ScoredOp>, k: usize) -> Vec<ScoredOp> {
 
 /// Runs beam-search Q-Chase. `beam` overrides the session's configured
 /// width when `Some`.
+///
+/// # Panics
+///
+/// Re-raises a worker panic after containment (see [`try_ans_heu`]).
 pub fn ans_heu(
     session: &Session,
     question: &WhyQuestion,
     beam: Option<usize>,
     selection: Selection,
 ) -> AnswerReport {
+    try_ans_heu(session, question, beam, selection).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible beam-search Q-Chase: runs under the session's governor and maps
+/// a contained worker panic to [`WqeError::WorkerPanicked`].
+pub fn try_ans_heu(
+    session: &Session,
+    question: &WhyQuestion,
+    beam: Option<usize>,
+    selection: Selection,
+) -> Result<AnswerReport, WqeError> {
     let start = Instant::now();
+    let gov = Arc::clone(&session.governor);
+    let steps_before = gov.steps();
+    let _gov_scope = governor::enter(Arc::clone(&gov));
+    let mut termination = Termination::Complete;
     let k = beam.unwrap_or(session.config.beam_width).max(1);
     let budget = session.config.budget;
     let mut report = AnswerReport::default();
@@ -106,7 +128,22 @@ pub fn ans_heu(
     let mut best: Option<RewriteResult> = None;
     let mut best_satisfying_cl = f64::NEG_INFINITY;
 
-    let root_eval = session.evaluate(&question.query);
+    let pool = WorkerPool::new(session.config.parallelism);
+
+    let (mut root_slots, root_halt) =
+        pool.map_governed(std::slice::from_ref(&question.query), &gov, |_, q| {
+            session.evaluate(q)
+        })?;
+    let Some(root_eval) = root_slots.pop().flatten() else {
+        report.termination = root_halt.unwrap_or(Termination::Cancelled);
+        report.match_steps = gov.steps() - steps_before;
+        report.frontier_peak = gov.frontier_peak();
+        report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        return Ok(report);
+    };
+    if let Some(t) = gov.charge_steps(root_eval.outcome.steps as u64) {
+        termination = t;
+    }
     report.truncated |= root_eval.outcome.truncated;
     visited.insert(question.query.signature());
     report.expansions += 1;
@@ -137,13 +174,23 @@ pub fn ans_heu(
             .is_none_or(|ms| start.elapsed().as_millis() < ms as u128)
     };
 
-    let pool = WorkerPool::new(session.config.parallelism);
-
     while !frontier.is_empty() {
-        if !time_ok(&start)
-            || report.expansions >= session.config.max_expansions
-            || best_satisfying_cl >= session.cl_star - 1e-12
-        {
+        if termination.is_partial() {
+            break;
+        }
+        if let Some(t) = gov.check() {
+            termination = t;
+            break;
+        }
+        if !time_ok(&start) {
+            termination = Termination::Deadline;
+            break;
+        }
+        if report.expansions >= session.config.max_expansions {
+            termination = Termination::StepCap;
+            break;
+        }
+        if best_satisfying_cl >= session.cl_star - 1e-12 {
             break;
         }
         // ---- Gather: propose this level's children serially. Operator
@@ -201,13 +248,26 @@ pub fn ans_heu(
             }
         }
 
-        // ---- Evaluate the whole level on the pool, then merge serially in
-        // gather order so `best`/trace updates are deterministic.
-        let evals: Vec<EvalResult> = pool.map(&cands, |_, c| session.evaluate(&c.query));
+        // Retained-state accounting: every gathered signature stays in
+        // `visited` for the rest of the search, so its size is the beam
+        // search's memory footprint. Gather is serial, so this trip is
+        // deterministic at any thread count.
+        if let Some(t) = gov.note_frontier(visited.len()) {
+            termination = t;
+            break;
+        }
+
+        // ---- Evaluate the whole level on the governed pool, then merge
+        // the completed slots serially in gather order so `best`/trace
+        // updates are deterministic. A halt leaves later slots `None`; a
+        // worker panic surfaces as a typed error.
+        let (evals, halted) = pool.map_governed(&cands, &gov, |_, c| session.evaluate(&c.query))?;
         let mut children: Vec<BeamState> = Vec::with_capacity(cands.len());
         for (cand, eval) in cands.into_iter().zip(evals) {
+            let Some(eval) = eval else { continue };
             report.truncated |= eval.outcome.truncated;
             report.expansions += 1;
+            let stepped = gov.charge_steps(eval.outcome.steps as u64);
             consider(
                 session,
                 &cand.query,
@@ -226,6 +286,13 @@ pub fn ans_heu(
                 eval,
                 phase: cand.phase,
             });
+            if let Some(t) = stepped {
+                termination = t;
+                break;
+            }
+        }
+        if let Some(t) = halted {
+            termination = t;
         }
         // Beam: keep the global top-k children ranked by the optimistic
         // bound cl⁺ first, closeness second, cost third. Ranking by raw
@@ -253,8 +320,11 @@ pub fn ans_heu(
         }
     }
     report.best = best;
+    report.termination = termination;
+    report.match_steps = gov.steps() - steps_before;
+    report.frontier_peak = gov.frontier_peak();
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-    report
+    Ok(report)
 }
 
 #[allow(clippy::too_many_arguments)]

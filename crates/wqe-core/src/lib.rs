@@ -46,6 +46,7 @@ mod exemplar_proptests;
 pub mod explain;
 pub mod explorer;
 pub mod fmansw;
+pub mod governor;
 pub mod heuristic;
 pub mod metrics;
 pub mod multifocus;
@@ -62,7 +63,7 @@ pub mod whymany;
 /// dependency to size or share pools).
 pub use wqe_pool as pool;
 
-pub use answ::{answ, AnswerReport, RewriteResult, TracePoint};
+pub use answ::{answ, try_answ, AnswerReport, RewriteResult, TracePoint};
 pub use closeness::{relative_closeness, ClosenessConfig};
 pub use ctx::EngineCtx;
 pub use engine::{Algorithm, WqeEngine};
@@ -73,7 +74,9 @@ pub use exemplar::{
 pub use explain::DifferentialTable;
 pub use explorer::{Explorer, SessionRecord, SessionStrategy};
 pub use fmansw::fm_answ;
-pub use heuristic::{ans_heu, Selection};
+pub use governor::{governor_for, Governor, Termination};
+pub use heuristic::{ans_heu, try_ans_heu, Selection};
+pub use metrics::GovernorTelemetry;
 pub use multifocus::{answer_multi_focus, FocusAnswer, MultiFocusAnswer, MultiFocusQuestion};
 pub use relevance::RelevanceSets;
 pub use session::{EvalResult, Session, WhyQuestion, WqeConfig};

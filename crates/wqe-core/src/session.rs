@@ -60,6 +60,22 @@ pub struct WqeConfig {
     /// order exactly, larger batches expose work for the pool. `0` is
     /// clamped to 1.
     pub frontier_batch: usize,
+    /// Governor wall-clock deadline in milliseconds; `0` (the default)
+    /// means no deadline. Unlike `time_limit_ms` — which only the search
+    /// loops consult between expansions — the deadline is polled
+    /// cooperatively all the way down (matcher fan-out, BFS oracle), so it
+    /// bounds even a single slow evaluation. See DESIGN.md "Query
+    /// governor".
+    pub deadline_ms: f64,
+    /// Governor cap on retained search states (the `AnsW` arena / `AnsHeu`
+    /// visited set); `0` means unlimited. Exceeding it ends the search with
+    /// `Termination::FrontierCap` and best-so-far answers.
+    pub max_frontier_states: usize,
+    /// Governor cap on cumulative matcher join steps across the whole
+    /// search; `0` means unlimited. Charged serially from merge code, so
+    /// trips are deterministic at any `parallelism`. Exceeding it ends the
+    /// search with `Termination::StepCap`.
+    pub max_match_steps: u64,
 }
 
 impl Default for WqeConfig {
@@ -76,6 +92,9 @@ impl Default for WqeConfig {
             pruning: true,
             parallelism: 0,
             frontier_batch: 8,
+            deadline_ms: 0.0,
+            max_frontier_states: 0,
+            max_match_steps: 0,
         }
     }
 }
@@ -126,6 +145,10 @@ pub struct Session {
     pub r_uo: Vec<NodeId>,
     /// The theoretical optimum `cl*`.
     pub cl_star: f64,
+    /// The query governor: deadline / cancellation / step and frontier
+    /// caps, built from the config by [`crate::governor::governor_for`].
+    /// Clone the `Arc` to cancel a running search from another thread.
+    pub governor: std::sync::Arc<wqe_pool::governor::Governor>,
 }
 
 impl Session {
@@ -170,6 +193,7 @@ impl Session {
         );
         let r_uo: Vec<NodeId> = v_uo.iter().copied().filter(|&v| rep.contains(v)).collect();
         let cl_star = theoretical_optimum(&rep, &v_uo);
+        let governor = crate::governor::governor_for(&config);
         Ok(Session {
             ctx,
             matcher,
@@ -179,7 +203,16 @@ impl Session {
             v_uo,
             r_uo,
             cl_star,
+            governor,
         })
+    }
+
+    /// Replaces the session's governor (e.g. with a pre-armed handle shared
+    /// with a supervisor thread, or [`wqe_pool::governor::Governor::disabled`]
+    /// when benchmarking check overhead).
+    pub fn with_governor(mut self, governor: std::sync::Arc<wqe_pool::governor::Governor>) -> Self {
+        self.governor = governor;
+        self
     }
 
     /// The data graph.
@@ -239,6 +272,11 @@ fn validate(question: &WhyQuestion, config: &WqeConfig) -> Result<(), WqeError> 
             0.0,
             f64::INFINITY,
         ),
+        // 0.0 means "no deadline"; NaN and negatives are rejected like the
+        // other numeric tunables. The integer governor caps
+        // (`max_frontier_states`, `max_match_steps`) need no check: every
+        // representable value is valid, with 0 meaning unlimited.
+        ("deadline_ms", config.deadline_ms, 0.0, f64::INFINITY),
     ];
     for (field, value, lo, hi) in checks {
         if !(lo..=hi).contains(&value) {
@@ -460,5 +498,75 @@ mod tests {
                 Ok(_) => panic!("expected InvalidConfig for {field}, got Ok"),
             }
         }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_deadline() {
+        let pg = product_graph();
+        let g = &pg.graph;
+        let wq = paper_question(g);
+        for bad in [f64::NAN, -1.0, f64::NEG_INFINITY] {
+            match Session::try_new(
+                ctx_for(g),
+                &wq,
+                WqeConfig {
+                    deadline_ms: bad,
+                    ..Default::default()
+                },
+            ) {
+                Err(crate::error::WqeError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, "deadline_ms");
+                }
+                Err(other) => {
+                    panic!("expected InvalidConfig for deadline_ms = {bad}, got {other:?}")
+                }
+                Ok(_) => panic!("expected InvalidConfig for deadline_ms = {bad}, got Ok"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_governor_limits_mean_unlimited() {
+        // The three governor knobs all default to 0 = unlimited: the
+        // session builds fine and its governor never trips on its own.
+        let pg = product_graph();
+        let g = &pg.graph;
+        let wq = paper_question(g);
+        let cfg = WqeConfig {
+            deadline_ms: 0.0,
+            max_frontier_states: 0,
+            max_match_steps: 0,
+            ..Default::default()
+        };
+        let session = Session::try_new(ctx_for(g), &wq, cfg).expect("zero means unlimited");
+        assert_eq!(session.governor.halt(), None);
+        assert_eq!(session.governor.charge_steps(1_000_000), None);
+        assert_eq!(session.governor.note_frontier(1_000_000), None);
+    }
+
+    #[test]
+    fn governor_limits_reach_the_session() {
+        use wqe_pool::governor::Termination;
+        let pg = product_graph();
+        let g = &pg.graph;
+        let wq = paper_question(g);
+        let session = Session::try_new(
+            ctx_for(g),
+            &wq,
+            WqeConfig {
+                max_frontier_states: 2,
+                max_match_steps: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            session.governor.note_frontier(3),
+            Some(Termination::FrontierCap)
+        );
+        assert_eq!(
+            session.governor.charge_steps(11),
+            Some(Termination::StepCap)
+        );
     }
 }

@@ -9,8 +9,14 @@
 use crate::oracle::DistanceOracle;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock, TryLockError};
+use std::sync::{Mutex, PoisonError, RwLock, TryLockError};
 use wqe_graph::{Graph, NodeId};
+use wqe_pool::governor::{self, Governor};
+
+/// How many BFS pops happen between governor polls. Coarse enough to keep
+/// the check off the per-edge fast path, fine enough that a deadline stops
+/// a huge traversal within microseconds.
+const GOVERNOR_POLL_INTERVAL: usize = 256;
 
 /// Memoizing bounded-BFS oracle.
 ///
@@ -52,9 +58,23 @@ struct BfsScratch {
 }
 
 impl BfsScratch {
-    /// Runs a bounded BFS from `u`, returning the reach map. Leaves the
-    /// buffers clean (all touched `dist` slots reset) for the next call.
-    fn bounded_bfs(&mut self, graph: &Graph, u: NodeId, horizon: u32) -> HashMap<NodeId, u32> {
+    /// Runs a bounded BFS from `u`, returning the reach map and whether the
+    /// traversal ran to completion. Leaves the buffers clean (all touched
+    /// `dist` slots reset) for the next call.
+    ///
+    /// When a governor is supplied, the loop polls it every
+    /// [`GOVERNOR_POLL_INTERVAL`] pops and aborts once the query is
+    /// cancelled, past its deadline, or out of step budget; the partial
+    /// reach map is still internally consistent (distances present are
+    /// exact) but *incomplete* — callers must treat `complete == false` as
+    /// "do not memoize".
+    fn bounded_bfs(
+        &mut self,
+        graph: &Graph,
+        u: NodeId,
+        horizon: u32,
+        gov: Option<&Governor>,
+    ) -> (HashMap<NodeId, u32>, bool) {
         if self.dist.len() < graph.node_count() {
             self.dist.resize(graph.node_count(), u32::MAX);
         }
@@ -62,7 +82,16 @@ impl BfsScratch {
         self.queue.push(u);
         self.dist[u.index()] = 0;
         let mut head = 0usize;
+        let mut complete = true;
         while head < self.queue.len() {
+            if let Some(g) = gov {
+                if head % GOVERNOR_POLL_INTERVAL == GOVERNOR_POLL_INTERVAL - 1
+                    && (g.halt().is_some() || g.step_budget_exhausted())
+                {
+                    complete = false;
+                    break;
+                }
+            }
             let x = self.queue[head];
             head += 1;
             let d = self.dist[x.index()];
@@ -76,6 +105,9 @@ impl BfsScratch {
                 }
             }
         }
+        if let Some(g) = gov {
+            g.charge_oracle_steps(head as u64);
+        }
         let reach = self
             .queue
             .iter()
@@ -84,7 +116,7 @@ impl BfsScratch {
         for &v in &self.queue {
             self.dist[v.index()] = u32::MAX;
         }
-        reach
+        (reach, complete)
     }
 }
 
@@ -113,25 +145,53 @@ impl BoundedBfsOracle {
 
     /// Number of memoized sources (for tests and instrumentation).
     pub fn cached_sources(&self) -> usize {
-        self.memo.read().unwrap().map.len()
+        self.memo
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
     }
 
+    /// The memo is shared by every session on the context, so its locks
+    /// recover from poison: a panic in one session (e.g. injected by a
+    /// `FaultOracle` in front of this one, or a bug in a verifier thread)
+    /// must never take the cache down for its siblings. The map itself is
+    /// never left mid-update by the code below — entries are inserted with
+    /// a single `insert` after being fully computed.
     fn reach_from(&self, u: NodeId) -> Arc<HashMap<NodeId, u32>> {
-        if let Some(hit) = self.memo.read().unwrap().map.get(&u) {
+        if let Some(hit) = self
+            .memo
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .get(&u)
+        {
             return Arc::clone(hit);
         }
-        let computed = match self.scratch.try_lock() {
-            Ok(mut scratch) => scratch.bounded_bfs(&self.graph, u, self.horizon),
+        // The active session's governor (if any) bounds the traversal. All
+        // three scratch paths — the shared buffer, the poison-recovered
+        // buffer, and the `WouldBlock` one-shot fallback — honor it.
+        let gov = governor::current();
+        let gov = gov.as_deref();
+        let (computed, complete) = match self.scratch.try_lock() {
+            Ok(mut scratch) => scratch.bounded_bfs(&self.graph, u, self.horizon, gov),
             Err(TryLockError::Poisoned(p)) => {
-                p.into_inner().bounded_bfs(&self.graph, u, self.horizon)
+                p.into_inner()
+                    .bounded_bfs(&self.graph, u, self.horizon, gov)
             }
             // Another thread holds the scratch: do not serialize on it.
             Err(TryLockError::WouldBlock) => {
-                BfsScratch::default().bounded_bfs(&self.graph, u, self.horizon)
+                BfsScratch::default().bounded_bfs(&self.graph, u, self.horizon, gov)
             }
         };
         let arc = Arc::new(computed);
-        let mut state = self.memo.write().unwrap();
+        // A governed abort leaves the reach map incomplete; memoizing it
+        // would silently corrupt *other* sessions sharing this oracle, so
+        // partial results are returned to the aborting query only.
+        if !complete {
+            return arc;
+        }
+        let mut state = self.memo.write().unwrap_or_else(PoisonError::into_inner);
         if !state.map.contains_key(&u) {
             if state.map.len() >= self.capacity {
                 if let Some(old) = state.order.pop_front() {
@@ -155,12 +215,24 @@ impl DistanceOracle for BoundedBfsOracle {
     /// Batched queries fetch each source's reach map once per run of
     /// consecutive pairs sharing that source (the common access pattern:
     /// matchers probe one candidate against many targets).
+    ///
+    /// Between source chunks (and every 64 pairs) the batch polls the
+    /// active governor for cancellation/deadline; on a trip the remaining
+    /// pairs come back `None` (conservatively unreachable) — by then the
+    /// querying search is terminating and already tagged partial.
     fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
         let bound = bound.min(self.horizon);
+        let gov = governor::current();
         let mut out = Vec::with_capacity(pairs.len());
         let mut cached: Option<(NodeId, Arc<HashMap<NodeId, u32>>)> = None;
-        for &(u, v) in pairs {
+        for (i, &(u, v)) in pairs.iter().enumerate() {
             let stale = cached.as_ref().map(|(s, _)| *s != u).unwrap_or(true);
+            if let Some(g) = gov.as_deref() {
+                if (stale || i % 64 == 63) && g.halt().is_some() {
+                    out.resize(pairs.len(), None);
+                    break;
+                }
+            }
             if stale {
                 cached = Some((u, self.reach_from(u)));
             }
@@ -247,6 +319,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cancelled_governor_truncates_and_skips_memo() {
+        // A long path graph so the BFS needs > GOVERNOR_POLL_INTERVAL pops.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..2_000).map(|_| b.add_node("N", [])).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], "e");
+        }
+        let g = Arc::new(b.finalize());
+        let o = BoundedBfsOracle::new(Arc::clone(&g), u32::MAX);
+
+        let gov = Arc::new(Governor::unlimited());
+        gov.cancel();
+        {
+            let _scope = governor::enter(Arc::clone(&gov));
+            // The truncated traversal answers what it reached, reports the
+            // rest unreachable, and must NOT be memoized.
+            let far = o.distance_within(ids[0], ids[1_999], u32::MAX);
+            assert_eq!(far, None, "cancelled BFS cannot reach the far end");
+            assert_eq!(o.cached_sources(), 0, "partial reach must not be cached");
+            assert!(gov.oracle_steps() > 0, "oracle work is charged");
+        }
+        // With the scope gone, the same query completes and memoizes.
+        assert_eq!(o.distance_within(ids[0], ids[1_999], u32::MAX), Some(1_999));
+        assert_eq!(o.cached_sources(), 1);
+    }
+
+    #[test]
+    fn exhausted_step_budget_truncates_bfs() {
+        // Satellite 2: every scratch path (including the try_lock fallback,
+        // which shares this code) refuses traversal work once the step
+        // budget is spent.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..2_000).map(|_| b.add_node("N", [])).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], "e");
+        }
+        let g = Arc::new(b.finalize());
+        let o = BoundedBfsOracle::new(Arc::clone(&g), u32::MAX);
+        let gov = Arc::new(Governor::new(None, 1, 0));
+        gov.charge_steps(1); // budget now exactly exhausted
+        assert!(gov.step_budget_exhausted());
+        let _scope = governor::enter(Arc::clone(&gov));
+        assert_eq!(o.distance_within(ids[0], ids[1_999], u32::MAX), None);
+        assert_eq!(o.cached_sources(), 0);
+    }
+
+    #[test]
+    fn dist_batch_cancellation_fills_none() {
+        let g = cycle(9);
+        let o = BoundedBfsOracle::new(Arc::clone(&g), 5);
+        let mut pairs = Vec::new();
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                pairs.push((u, v));
+            }
+        }
+        let gov = Arc::new(Governor::unlimited());
+        gov.cancel();
+        let _scope = governor::enter(Arc::clone(&gov));
+        let batched = o.dist_batch(&pairs, 4);
+        assert_eq!(batched.len(), pairs.len());
+        assert!(
+            batched.iter().all(Option::is_none),
+            "cancelled before the first source chunk: everything is None"
+        );
+    }
+
+    #[test]
+    fn ungoverned_calls_are_unaffected() {
+        // No thread-local governor: behavior identical to the pre-governor
+        // oracle (exact answers, memoization).
+        let g = cycle(9);
+        let o = BoundedBfsOracle::new(Arc::clone(&g), 5);
+        assert!(governor::current().is_none());
+        assert_eq!(o.distance_within(NodeId(0), NodeId(2), 4), Some(2));
+        assert_eq!(o.cached_sources(), 1);
     }
 
     #[test]

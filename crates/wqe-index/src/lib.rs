@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 
 mod bfs;
+mod fault;
 mod oracle;
 mod pll;
 
 pub use bfs::BoundedBfsOracle;
+pub use fault::{FaultKind, FaultOracle};
 pub use oracle::{DistanceOracle, HybridOracle};
 pub use pll::PllIndex;
 

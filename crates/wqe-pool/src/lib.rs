@@ -12,16 +12,32 @@
 //!
 //! The pool sits below `wqe-index` and `wqe-query` in the crate graph (it
 //! depends on nothing), and is re-exported as `wqe_core::pool` for
-//! algorithm-level callers.
+//! algorithm-level callers. The [`governor`] module lives here for the same
+//! reason: every layer above needs to see the query governor.
 //!
 //! Threads are scoped (`std::thread::scope`), so borrowing the enclosing
 //! stack — a `&Session`, a `&Graph`, a partially built index — is free: no
 //! `'static` bounds, no `Arc` plumbing, no long-lived pool threads to shut
 //! down.
+//!
+//! ## Panic containment
+//!
+//! Every `map` variant catches per-item panics instead of letting them
+//! unwind through the pool: [`WorkerPool::try_map`] surfaces the first
+//! (lowest-item-index) panic as a typed [`PoolError::Panicked`], while
+//! [`WorkerPool::map`] re-raises it as its own panic *after* all workers
+//! have drained — so a panicking item can never leave the pool (or the
+//! thread-local governor stack) in a broken state, and the same pool value
+//! is reusable for the next call.
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod governor;
+
+use governor::{Governor, Termination};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Resolves a user-facing thread-count knob: `0` means *auto* (one worker
 /// per available core, as reported by
@@ -34,6 +50,43 @@ pub fn resolve_threads(requested: usize) -> usize {
             .unwrap_or(1)
     } else {
         requested
+    }
+}
+
+/// Why a pool run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker's item function panicked. `item` is the lowest panicking
+    /// item index (deterministic under races); `message` is the panic
+    /// payload when it was a string, or a placeholder otherwise.
+    Panicked {
+        /// Index of the item whose function panicked.
+        item: usize,
+        /// The stringified panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Panicked { item, message } => {
+                write!(f, "worker panicked on item {item}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -71,8 +124,13 @@ impl WorkerPool {
     /// With one thread (or zero/one items) this degenerates to a plain
     /// serial loop with no spawning, so callers can use it unconditionally.
     ///
-    /// Panics in `f` are propagated to the caller (first joined panic wins)
-    /// after all workers have stopped.
+    /// Panics in `f` are *contained* per item (the payload is captured, the
+    /// remaining workers stop pulling items and drain), then re-raised here
+    /// as a `worker panicked on item {i}: {message}` panic once all workers
+    /// have stopped — so `map` keeps its historical propagate-panic
+    /// behavior, but the pool and the thread-local governor stack are left
+    /// clean and reusable. Use [`WorkerPool::try_map`] to receive the
+    /// panic as a typed [`PoolError`] instead.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -95,52 +153,215 @@ impl WorkerPool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &T) -> R + Sync,
     {
-        let n = items.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            let mut state = init();
-            return items
-                .iter()
-                .enumerate()
-                .map(|(i, item)| f(&mut state, i, item))
-                .collect();
+        match self.try_map_init(items, init, f) {
+            Ok(out) => out,
+            Err(PoolError::Panicked { item, message }) => {
+                panic!("worker panicked on item {item}: {message}")
+            }
         }
+    }
+
+    /// Fallible [`map`](WorkerPool::map): a panic in `f` is captured and
+    /// returned as [`PoolError::Panicked`] (lowest item index wins) after
+    /// all in-flight work has drained, instead of unwinding.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.try_map_init(items, || (), |_, i, item| f(i, item))
+    }
+
+    /// Fallible [`map_init`](WorkerPool::map_init); see
+    /// [`try_map`](WorkerPool::try_map).
+    pub fn try_map_init<T, R, S, I, F>(
+        &self,
+        items: &[T],
+        init: I,
+        f: F,
+    ) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let (slots, _halted) = self.run_core(items, init, f, None)?;
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("ungoverned runs complete every item"))
+            .collect())
+    }
+
+    /// Governed map: like [`try_map`](WorkerPool::try_map), but polls
+    /// `gov.halt()` between items (cancellation / deadline — never the
+    /// deterministic caps) and stops pulling new work once it trips,
+    /// draining items already in flight. Returns one `Option<R>` per item
+    /// (`None` = skipped) plus the observed termination, if any.
+    ///
+    /// `gov` is also entered as the thread-local current governor on every
+    /// worker thread (and on the calling thread for the serial path), so
+    /// governor-aware layers below `f` — the matcher's candidate fan-out,
+    /// the BFS oracle — see it without any parameter threading.
+    pub fn map_governed<T, R, F>(
+        &self,
+        items: &[T],
+        gov: &Arc<Governor>,
+        f: F,
+    ) -> Result<(Vec<Option<R>>, Option<Termination>), PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_core(items, || (), |_, i, item| f(i, item), Some(gov))
+    }
+
+    /// The shared engine behind every map variant.
+    ///
+    /// * catches per-item panics (`AssertUnwindSafe`: items are independent
+    ///   and shared state below is poison-recovering), recording the lowest
+    ///   panicking item index and aborting further pulls;
+    /// * when `gov` is `Some`, polls `halt()` before each pull and records
+    ///   the first observed termination;
+    /// * propagates the caller's thread-local governor (or the explicit
+    ///   `gov`) into worker threads.
+    fn run_core<T, R, S, I, F>(
+        &self,
+        items: &[T],
+        init: I,
+        f: F,
+        gov: Option<&Arc<Governor>>,
+    ) -> Result<(Vec<Option<R>>, Option<Termination>), PoolError>
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let workers = self.threads.min(n);
+
+        if workers <= 1 {
+            // Serial path on the caller's thread. The caller's thread-local
+            // governor scope (if any) is naturally still active; enter the
+            // explicit one on top so layers below `f` see it.
+            let _scope = gov.map(|g| governor::enter(Arc::clone(g)));
+            let mut state = init();
+            let mut halted = None;
+            for (i, item) in items.iter().enumerate() {
+                if let Some(g) = gov {
+                    if let Some(t) = g.halt() {
+                        halted = Some(t);
+                        break;
+                    }
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, item))) {
+                    Ok(r) => slots[i] = Some(r),
+                    Err(p) => {
+                        return Err(PoolError::Panicked {
+                            item: i,
+                            message: panic_message(&*p),
+                        })
+                    }
+                }
+            }
+            return Ok((slots, halted));
+        }
+
+        // Worker threads start with an empty thread-local governor stack;
+        // hand them the explicit governor, or failing that whatever scope
+        // the calling thread currently has, so nested governed layers keep
+        // working across the fan-out.
+        let scope_gov: Option<Arc<Governor>> = gov.cloned().or_else(governor::current);
         let cursor = AtomicUsize::new(0);
-        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let abort = AtomicBool::new(false);
+        let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        let halted_slot: Mutex<Option<Termination>> = Mutex::new(None);
+
+        let tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
+                    let abort = &abort;
+                    let first_panic = &first_panic;
+                    let halted_slot = &halted_slot;
                     let init = &init;
                     let f = &f;
+                    let scope_gov = scope_gov.clone();
                     scope.spawn(move || {
+                        let _scope = scope_gov.map(governor::enter);
                         let mut state = init();
                         let mut out: Vec<(usize, R)> = Vec::new();
                         loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            if let Some(g) = gov {
+                                if let Some(t) = g.halt() {
+                                    let mut h =
+                                        halted_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                                    h.get_or_insert(t);
+                                    break;
+                                }
+                            }
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            out.push((i, f(&mut state, i, &items[i])));
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, &items[i]))) {
+                                Ok(r) => out.push((i, r)),
+                                Err(p) => {
+                                    let msg = panic_message(&*p);
+                                    let mut slot =
+                                        first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                                    match slot.as_ref() {
+                                        Some(&(j, _)) if j <= i => {}
+                                        _ => *slot = Some((i, msg)),
+                                    }
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                         }
                         out
                     })
                 })
                 .collect();
             let mut all = Vec::with_capacity(n);
-            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
             for h in handles {
                 match h.join() {
                     Ok(part) => all.extend(part),
-                    Err(payload) => panic = panic.or(Some(payload)),
+                    // Unreachable for item panics (caught above); covers a
+                    // hypothetical panic in `init` itself.
+                    Err(p) => {
+                        let msg = panic_message(&*p);
+                        let mut slot = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                        slot.get_or_insert((0, msg));
+                    }
                 }
-            }
-            if let Some(payload) = panic {
-                std::panic::resume_unwind(payload);
             }
             all
         });
-        tagged.sort_unstable_by_key(|&(i, _)| i);
-        tagged.into_iter().map(|(_, r)| r).collect()
+
+        if let Some((item, message)) = first_panic
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            return Err(PoolError::Panicked { item, message });
+        }
+        for (i, r) in tagged {
+            slots[i] = Some(r);
+        }
+        let halted = halted_slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok((slots, halted))
     }
 }
 
@@ -225,5 +446,134 @@ mod tests {
             })
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_map_surfaces_typed_error() {
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let items: Vec<usize> = (0..32).collect();
+            let err = pool
+                .try_map(&items, |_, &x| {
+                    if x >= 9 {
+                        panic!("injected failure at {x}");
+                    }
+                    x
+                })
+                .unwrap_err();
+            let PoolError::Panicked { item, message } = err;
+            // Lowest panicking index wins deterministically on the serial
+            // path; under races it is still a panicking item.
+            assert!(item >= 9, "item {item}");
+            if threads == 1 {
+                assert_eq!(item, 9);
+            }
+            assert!(message.contains("injected failure"), "{message}");
+        }
+    }
+
+    #[test]
+    fn try_map_ok_path_matches_map() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u32> = (0..41).collect();
+        let ok = pool.try_map(&items, |_, &x| x * 3).unwrap();
+        assert_eq!(ok, pool.map(&items, |_, &x| x * 3));
+    }
+
+    #[test]
+    fn pool_is_reusable_after_panic() {
+        // Satellite 1: a panic must leave the pool fully usable for the
+        // next call (and the panic message must carry the item).
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 3 {
+                    panic!("first call dies");
+                }
+                x
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("worker panicked on item"), "{msg}");
+        assert!(msg.contains("first call dies"), "{msg}");
+        // Same pool value, next call: full, ordered results.
+        let out = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        // And the governor TLS stack is clean.
+        assert!(governor::current().is_none());
+    }
+
+    #[test]
+    fn map_governed_stops_on_cancel() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let gov = Arc::new(Governor::unlimited());
+            let items: Vec<usize> = (0..1000).collect();
+            let g = Arc::clone(&gov);
+            let (slots, halted) = pool
+                .map_governed(&items, &gov, move |i, &x| {
+                    if i == 0 {
+                        g.cancel();
+                    }
+                    x
+                })
+                .unwrap();
+            assert_eq!(halted, Some(Termination::Cancelled));
+            let done = slots.iter().filter(|s| s.is_some()).count();
+            assert!(done < items.len(), "cancel must skip some items");
+            // Completed slots carry the right values.
+            for (i, s) in slots.iter().enumerate() {
+                if let Some(v) = s {
+                    assert_eq!(*v, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_governed_untripped_is_complete() {
+        let pool = WorkerPool::new(4);
+        let gov = Arc::new(Governor::unlimited());
+        let items: Vec<usize> = (0..100).collect();
+        let (slots, halted) = pool.map_governed(&items, &gov, |_, &x| x * 2).unwrap();
+        assert_eq!(halted, None);
+        assert!(slots.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn map_governed_propagates_tls_to_workers() {
+        let pool = WorkerPool::new(4);
+        let gov = Arc::new(Governor::new(None, 123, 0));
+        let items: Vec<usize> = (0..64).collect();
+        let (slots, _) = pool
+            .map_governed(&items, &gov, |_, _| {
+                let seen = governor::current().expect("worker sees the governor");
+                Arc::ptr_eq(&seen, &governor::current().unwrap())
+            })
+            .unwrap();
+        assert!(slots.into_iter().all(|s| s == Some(true)));
+        assert!(governor::current().is_none(), "scope popped after the call");
+    }
+
+    #[test]
+    fn plain_map_propagates_callers_scope() {
+        let gov = Arc::new(Governor::unlimited());
+        let _scope = governor::enter(Arc::clone(&gov));
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.map(&items, |_, _| governor::current().is_some());
+        assert!(out.into_iter().all(|seen| seen));
+    }
+
+    #[test]
+    fn pool_error_display() {
+        let e = PoolError::Panicked {
+            item: 7,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("boom"), "{s}");
     }
 }

@@ -28,8 +28,14 @@ pub struct MatchOutcome {
     /// picky-operator generation, §5.3).
     pub tables: Vec<StarTable>,
     /// True if some candidate's verification hit the step budget and was
-    /// conservatively reported as a non-match.
+    /// conservatively reported as a non-match, or a governor halt cut the
+    /// candidate fan-out short.
     pub truncated: bool,
+    /// Join steps consumed verifying candidates. A deterministic measure of
+    /// work done: a pure function of the query and graph, independent of
+    /// thread count, so governor step caps keyed on it stay reproducible
+    /// at any parallelism.
+    pub steps: usize,
 }
 
 impl MatchOutcome {
@@ -349,6 +355,7 @@ impl Matcher {
                 .iter()
                 .map(|&v| (v, HashMap::from([(focus, v)])))
                 .collect();
+            let steps = matches.len();
             return MatchOutcome {
                 matches: matches.clone(),
                 valuations,
@@ -369,6 +376,7 @@ impl Matcher {
                     ),
                 }],
                 truncated: false,
+                steps,
             };
         }
 
@@ -407,10 +415,21 @@ impl Matcher {
         let focus_domain = domains.get(&focus).cloned().unwrap_or_default();
         self.stats_lock().candidates_verified += focus_domain.len() as u64;
 
-        let verify_chunk = |chunk: &[NodeId]| -> (Vec<(NodeId, Valuation)>, bool) {
+        let verify_chunk = |chunk: &[NodeId]| -> (Vec<(NodeId, Valuation)>, bool, usize) {
             let mut found = Vec::new();
             let mut truncated = false;
-            for &v in chunk {
+            let mut consumed = 0usize;
+            // Governor halts (cancel/deadline) cut the candidate fan-out
+            // short; polled every few candidates so a slow oracle cannot
+            // pin the thread past the deadline.
+            let gov = wqe_pool::governor::current();
+            for (i, &v) in chunk.iter().enumerate() {
+                if let Some(g) = gov.as_deref() {
+                    if i % 16 == 15 && g.halt().is_some() {
+                        truncated = true;
+                        break;
+                    }
+                }
                 let mut steps = self.step_limit;
                 match verify_candidate(
                     &self.graph,
@@ -425,26 +444,29 @@ impl Matcher {
                     Ok(None) => {}
                     Err(Truncated) => truncated = true,
                 }
+                consumed += self.step_limit - steps;
             }
-            (found, truncated)
+            (found, truncated, consumed)
         };
 
         // Candidate verifications are independent; fan out across threads
         // when the pool is large enough to amortize spawning. Chunk results
         // come back in chunk order, so matches are thread-count-invariant
         // even before the final sort.
-        let (verified, truncated) = if self.parallelism > 1 && focus_domain.len() >= 64 {
+        let (verified, truncated, steps) = if self.parallelism > 1 && focus_domain.len() >= 64 {
             let chunk_size = focus_domain.len().div_ceil(self.parallelism);
             let chunks: Vec<&[NodeId]> = focus_domain.chunks(chunk_size).collect();
             let results = wqe_pool::WorkerPool::new(self.parallelism)
                 .map(&chunks, |_, chunk| verify_chunk(chunk));
             let mut verified = Vec::new();
             let mut truncated = false;
-            for (found, trunc) in results {
+            let mut steps = 0usize;
+            for (found, trunc, consumed) in results {
                 verified.extend(found);
                 truncated |= trunc;
+                steps += consumed;
             }
-            (verified, truncated)
+            (verified, truncated, steps)
         } else {
             verify_chunk(&focus_domain)
         };
@@ -457,6 +479,7 @@ impl Matcher {
             valuations,
             tables,
             truncated,
+            steps,
         }
     }
 }

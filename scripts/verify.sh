@@ -25,4 +25,13 @@ RUST_TEST_THREADS=1 cargo test --test parallel_determinism -q
 echo "==> determinism: cargo test --test parallel_determinism -q"
 cargo test --test parallel_determinism -q
 
+# The governor suite covers wall-clock deadlines, cross-thread
+# cancellation, and cap determinism; like the determinism suite it must
+# hold both serialized and under default test threading.
+echo "==> governor: RUST_TEST_THREADS=1 cargo test --test governor -q"
+RUST_TEST_THREADS=1 cargo test --test governor -q
+
+echo "==> governor: cargo test --test governor -q"
+cargo test --test governor -q
+
 echo "verify: OK"

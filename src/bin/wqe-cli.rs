@@ -10,7 +10,9 @@
 //!
 //! `why` options: `--budget B` (default 3), `--top-k K`,
 //! `--algo answ|heu|whymany|whyempty|fm`, `--beam K`, `--lambda X`,
-//! `--theta X`, `--time-limit MS`.
+//! `--theta X`, `--time-limit MS`, and the governor limits `--deadline MS`,
+//! `--max-steps N`, `--max-frontier N` (0 = unlimited; a tripped limit
+//! prints the termination reason and returns best-so-far answers).
 //!
 //! The question file holds `{"query": ..., "exemplar": ...}` in the format
 //! documented in `wqe_core::spec`.
@@ -133,6 +135,9 @@ fn cmd_why(args: &[String]) -> i32 {
             "--lambda" => config.closeness.lambda = need("a number").parse().unwrap_or(1.0),
             "--theta" => config.closeness.theta = need("a number").parse().unwrap_or(1.0),
             "--time-limit" => config.time_limit_ms = Some(need("ms").parse().unwrap_or(10_000)),
+            "--deadline" => config.deadline_ms = need("ms").parse().unwrap_or(0.0),
+            "--max-steps" => config.max_match_steps = need("an int").parse().unwrap_or(0),
+            "--max-frontier" => config.max_frontier_states = need("an int").parse().unwrap_or(0),
             "--beam" => beam = need("an int").parse().unwrap_or(3),
             "--algo" => algo = need("a name"),
             "--dot" => dot_out = Some(need("a path")),
@@ -165,13 +170,21 @@ fn cmd_why(args: &[String]) -> i32 {
             engine.session().cl_star
         );
         let report = match algo.as_str() {
-            "answ" => engine.answer(),
+            "answ" => engine
+                .try_run(wqe::core::Algorithm::AnsW)
+                .map_err(|e| e.to_string())?,
             "heu" => engine.answer_heuristic(beam),
             "whymany" => engine.answer_why_many(),
             "whyempty" => engine.answer_why_empty(),
             "fm" => engine.answer_baseline(),
             other => return Err(format!("unknown algorithm {other:?}")),
         };
+        if report.termination.is_partial() {
+            println!(
+                "search stopped early ({}); answers are best-so-far",
+                report.termination
+            );
+        }
         let results = if report.top_k.is_empty() {
             report.best.clone().into_iter().collect()
         } else {

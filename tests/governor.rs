@@ -1,0 +1,285 @@
+//! The query governor end to end: deadlines return best-so-far answers,
+//! cross-thread cancellation stops a running session, step/frontier caps
+//! trip deterministically at any parallelism (reusing the
+//! parallel-determinism harness), and a panic injected into one session
+//! never poisons a sibling sharing the same `EngineCtx`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wqe::core::{try_answ, EngineCtx, Session, Termination, WhyQuestion, WqeConfig, WqeError};
+use wqe::datagen::{
+    dbpedia_like, generate_query, generate_why, QueryGenConfig, TopologyKind, WhyGenConfig,
+};
+use wqe::index::{DistanceOracle, FaultKind, FaultOracle, HybridOracle, PllIndex};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Same comparable report summary as `tests/parallel_determinism.rs`, plus
+/// the governor fields: a cap-terminated run must agree bit-for-bit on
+/// *where* it stopped, not just on what it found.
+fn fingerprint(report: &wqe::core::AnswerReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    fn push(out: &mut String, r: &wqe::core::RewriteResult) {
+        let _ = write!(
+            out,
+            "[{:x}/{:x}/{:?}/{:?}/{}]",
+            r.closeness.to_bits(),
+            r.cost.to_bits(),
+            r.ops,
+            r.matches,
+            r.satisfies
+        );
+    }
+    match &report.best {
+        None => out.push_str("none"),
+        Some(b) => push(&mut out, b),
+    }
+    for r in &report.top_k {
+        push(&mut out, r);
+    }
+    let _ = write!(
+        out,
+        "|opt={}|term={}|exp={}|steps={}",
+        report.optimal_reached, report.termination, report.expansions, report.match_steps
+    );
+    out
+}
+
+fn generated_questions(
+    graph: &Arc<wqe::graph::Graph>,
+    oracle: &Arc<dyn DistanceOracle>,
+    n: usize,
+) -> Vec<WhyQuestion> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < n && seed < 200 {
+        seed += 1;
+        let qcfg = QueryGenConfig {
+            edges: 2,
+            seed,
+            topology: TopologyKind::Star,
+            ..Default::default()
+        };
+        if let Some(truth) = generate_query(graph, &qcfg) {
+            let wcfg = WhyGenConfig {
+                seed: seed * 13,
+                ..Default::default()
+            };
+            if let Some(gw) = generate_why(graph, oracle, &truth, &wcfg) {
+                out.push(gw.question);
+            }
+        }
+    }
+    out
+}
+
+/// The paper scenario behind a deterministically slow oracle: every
+/// distance call sleeps `delay_ms`, making wall-clock behavior testable
+/// without large graphs.
+fn slow_paper_setup(delay_ms: u64) -> (EngineCtx, WhyQuestion) {
+    let graph = Arc::new(wqe::graph::product::product_graph().graph);
+    let inner: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&graph));
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(FaultOracle::slow(inner, delay_ms));
+    let wq = wqe::core::paper::paper_question(&graph);
+    (EngineCtx::new(graph, oracle), wq)
+}
+
+#[test]
+fn deadline_returns_partial_answers() {
+    let (ctx, wq) = slow_paper_setup(2);
+    let session = Session::new(
+        ctx,
+        &wq,
+        WqeConfig {
+            budget: 4.0,
+            deadline_ms: 30.0,
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let report = try_answ(&session, &wq).expect("deadline is a partial answer, not an error");
+    // The search stops soon after the deadline (generous margin for CI):
+    // cooperative checks sit between pool items, every 16 matcher
+    // candidates, and inside the BFS oracle, so a 2ms-per-call oracle
+    // cannot pin the run for seconds.
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "run outlived its deadline by far: {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report.termination, Termination::Deadline);
+    assert!(report.termination.is_partial());
+    // The root evaluation always commits before the deadline check, so
+    // best-so-far exists (the anytime contract of §5.1).
+    assert!(report.best.is_some(), "deadline must return best-so-far");
+    assert!(!report.optimal_reached, "25ms is not enough to finish");
+}
+
+#[test]
+fn cancellation_stops_a_running_session_from_another_thread() {
+    let (ctx, wq) = slow_paper_setup(2);
+    let session = Session::new(
+        ctx,
+        &wq,
+        WqeConfig {
+            budget: 4.0,
+            time_limit_ms: None,
+            ..Default::default()
+        },
+    );
+    let gov = Arc::clone(&session.governor);
+    let handle = std::thread::spawn(move || {
+        let t0 = Instant::now();
+        let report = try_answ(&session, &wq).expect("cancellation is not an error");
+        (report, t0.elapsed())
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    gov.cancel();
+    let (report, elapsed) = handle.join().expect("search thread exits cleanly");
+    assert_eq!(report.termination, Termination::Cancelled);
+    assert!(report.termination.is_partial());
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "cancel must stop the run promptly, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn step_cap_is_deterministic_across_parallelism() {
+    let graph = Arc::new(dbpedia_like(0.02, 5));
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&graph, 4));
+    let qs = generated_questions(&graph, &oracle, 3);
+    assert!(qs.len() >= 2, "suite too small");
+    let ctx = EngineCtx::new(Arc::clone(&graph), Arc::clone(&oracle));
+
+    for wq in &qs {
+        // Calibrate: how much join work does the full search do?
+        let base_cfg = WqeConfig {
+            budget: 3.0,
+            max_expansions: 300,
+            top_k: 3,
+            parallelism: 1,
+            ..Default::default()
+        };
+        let session = Session::new(ctx.clone(), wq, base_cfg.clone());
+        let full = try_answ(&session, wq).unwrap();
+        if full.match_steps < 2 {
+            continue; // degenerate question, nothing to cap
+        }
+        // Cap at half the full work: the search must stop early, with
+        // `StepCap`, at the same trajectory point for every thread count.
+        let cap = (full.match_steps / 2).max(1);
+        let runs: Vec<wqe::core::AnswerReport> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                let session = Session::new(
+                    ctx.clone(),
+                    wq,
+                    WqeConfig {
+                        parallelism: t,
+                        max_match_steps: cap,
+                        ..base_cfg.clone()
+                    },
+                );
+                try_answ(&session, wq).unwrap()
+            })
+            .collect();
+        for r in &runs {
+            assert_eq!(r.termination, Termination::StepCap, "cap {cap} must trip");
+            assert!(r.match_steps > cap, "trips only on excess");
+        }
+        let fps: Vec<String> = runs.iter().map(fingerprint).collect();
+        assert_eq!(fps[0], fps[1], "step cap: parallelism 1 vs 2 diverged");
+        assert_eq!(fps[0], fps[2], "step cap: parallelism 1 vs 8 diverged");
+    }
+}
+
+#[test]
+fn frontier_cap_is_deterministic_across_parallelism() {
+    let graph = Arc::new(dbpedia_like(0.02, 5));
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&graph, 4));
+    let qs = generated_questions(&graph, &oracle, 3);
+    assert!(qs.len() >= 2, "suite too small");
+    let ctx = EngineCtx::new(Arc::clone(&graph), Arc::clone(&oracle));
+
+    for wq in &qs {
+        let base_cfg = WqeConfig {
+            budget: 3.0,
+            max_expansions: 300,
+            top_k: 3,
+            parallelism: 1,
+            ..Default::default()
+        };
+        let session = Session::new(ctx.clone(), wq, base_cfg.clone());
+        let full = try_answ(&session, wq).unwrap();
+        if full.frontier_peak < 4 {
+            continue; // too small a search tree to cap meaningfully
+        }
+        let cap = full.frontier_peak / 2;
+        let runs: Vec<wqe::core::AnswerReport> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                let session = Session::new(
+                    ctx.clone(),
+                    wq,
+                    WqeConfig {
+                        parallelism: t,
+                        max_frontier_states: cap,
+                        ..base_cfg.clone()
+                    },
+                );
+                try_answ(&session, wq).unwrap()
+            })
+            .collect();
+        for r in &runs {
+            assert_eq!(
+                r.termination,
+                Termination::FrontierCap,
+                "cap {cap} must trip"
+            );
+            assert_eq!(r.frontier_peak, cap + 1, "stops at first excess state");
+        }
+        let fps: Vec<String> = runs.iter().map(fingerprint).collect();
+        assert_eq!(fps[0], fps[1], "frontier cap: parallelism 1 vs 2 diverged");
+        assert_eq!(fps[0], fps[2], "frontier cap: parallelism 1 vs 8 diverged");
+    }
+}
+
+#[test]
+fn injected_panic_fails_one_session_without_poisoning_siblings() {
+    let graph = Arc::new(wqe::graph::product::product_graph().graph);
+    let inner: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&graph));
+    // The very first oracle call panics; after that single fault the
+    // wrapper is a pure pass-through.
+    let oracle: Arc<dyn DistanceOracle> =
+        Arc::new(FaultOracle::new(inner, FaultKind::Panic, 0, 1).with_fault_limit(1));
+    let ctx = EngineCtx::new(Arc::clone(&graph), oracle);
+    let wq = wqe::core::paper::paper_question(&graph);
+    let cfg = WqeConfig {
+        budget: 4.0,
+        ..Default::default()
+    };
+
+    // Session A absorbs the fault: a typed error, not an unwind.
+    let a = Session::new(ctx.clone(), &wq, cfg.clone());
+    match try_answ(&a, &wq) {
+        Err(WqeError::WorkerPanicked { message, .. }) => {
+            assert!(message.contains("injected oracle fault"), "{message}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+
+    // Sibling session B shares the same ctx (same matcher cache lineage,
+    // same oracle, same graph) and must be completely unaffected — all the
+    // way to the paper's optimal rewrite.
+    let b = Session::new(ctx.clone(), &wq, cfg);
+    let report = try_answ(&b, &wq).expect("sibling session keeps working");
+    assert_eq!(report.termination, Termination::Complete);
+    assert!(report.optimal_reached, "B still reaches cl* = 0.5");
+    let best = report.best.expect("B finds the rewrite");
+    assert!((best.closeness - 0.5).abs() < 1e-9);
+
+    // And the calling thread's governor stack is clean after both runs.
+    assert!(wqe::core::governor::current().is_none());
+}
