@@ -11,10 +11,15 @@
 //! This harness answers the same generated why-question suite twice per
 //! repetition:
 //!
-//! * `baseline` — sessions run with [`Governor::disabled`], whose checks
-//!   compile down to immediate `None` returns;
-//! * `governed` — sessions run with the default live governor
-//!   (unlimited: atomics are read and charged, but nothing ever trips).
+//! * `baseline` — sessions run with [`Governor::disabled`] *and* no
+//!   profiler, so governor checks compile down to immediate `None` returns
+//!   and observability spans/counters are skipped entirely;
+//! * `governed` — sessions run with the default live governor and the
+//!   default per-query profiler (unlimited: atomics are read and charged,
+//!   spans are timed, but nothing ever trips).
+//!
+//! The <3% bar therefore covers the governor *and* the observability layer
+//! together on their shared idle path.
 //!
 //! Both modes must produce bit-identical answers; the JSON records the
 //! min-over-reps wall clock of each mode and the relative overhead, with
@@ -69,7 +74,9 @@ fn run_suite(
         .map(|gw| {
             let mut session = Session::new(ctx.clone(), &gw.question, cfg.clone());
             if disabled {
-                session = session.with_governor(Arc::new(Governor::disabled()));
+                session = session
+                    .with_governor(Arc::new(Governor::disabled()))
+                    .without_profiler();
             }
             answ(&session, &gw.question)
         })

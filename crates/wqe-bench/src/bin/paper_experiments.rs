@@ -3,8 +3,14 @@
 //! ```text
 //! paper_experiments <experiment-id>|all [--scale F] [--queries N]
 //!                   [--seed S] [--budget B] [--time-limit MS]
-//!                   [--out results.jsonl] [--quick|--full]
+//!                   [--out results.jsonl] [--profiles-dir DIR]
+//!                   [--quick|--full]
 //! ```
+//!
+//! Besides the aggregate rows, every experiment writes the per-query
+//! observability profiles (stage spans + counter registry) behind its data
+//! points to `<profiles-dir>/PROFILE_<experiment-id>.json` (default
+//! `results/`); pass `--profiles-dir ""` to skip the export.
 //!
 //! Experiment ids: see `--list` or DESIGN.md §5.
 
@@ -67,6 +73,7 @@ fn main() {
     let target = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut out_path: Option<String> = None;
+    let mut profiles_dir = "results".to_string();
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -88,6 +95,7 @@ fn main() {
                 take(&mut |v| cfg.time_limit_ms = v.parse().expect("--time-limit takes ms"))
             }
             "--out" => take(&mut |v| out_path = Some(v.to_string())),
+            "--profiles-dir" => take(&mut |v| profiles_dir = v.to_string()),
             "--quick" => {
                 cfg.scale = 0.01;
                 cfg.queries = 2;
@@ -128,6 +136,15 @@ fn main() {
         match run_experiment(id, &cfg) {
             Some(rep) => {
                 print!("{}", rep.to_markdown_all());
+                if !profiles_dir.is_empty() && !rep.profiles().is_empty() {
+                    let path = format!("{profiles_dir}/PROFILE_{id}.json");
+                    match write_profiles(&rep, &profiles_dir, &path) {
+                        Ok(()) => {
+                            eprintln!("wrote {} profiles to {path}", rep.profiles().len())
+                        }
+                        Err(e) => eprintln!("cannot write {path}: {e}"),
+                    }
+                }
                 all.merge(rep);
                 eprintln!("== {id} done in {:.1}s ==", t0.elapsed().as_secs_f64());
             }
@@ -144,10 +161,19 @@ fn main() {
     }
 }
 
+fn write_profiles(rep: &Reporter, dir: &str, path: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    rep.write_profiles_json(&mut w)?;
+    w.flush()
+}
+
 fn usage() {
     eprintln!(
         "usage: paper_experiments <experiment-id|all> [--scale F] [--queries N] \
-         [--seed S] [--budget B] [--time-limit MS] [--out FILE] [--quick|--full]\n\
+         [--seed S] [--budget B] [--time-limit MS] [--out FILE] \
+         [--profiles-dir DIR] [--quick|--full]\n\
          ids: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -105,6 +105,7 @@ pub fn exp1_efficiency(cfg: &ExpConfig) -> Reporter {
         for spec in MAIN_ALGOS {
             let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
             rep.record("fig10a-efficiency", &spec.name(), name, stats.mean_ms, "ms");
+            rep.record_profiles("fig10a-efficiency", &spec.name(), name, &stats.profiles);
         }
     }
     rep
@@ -134,6 +135,7 @@ pub fn exp1_scalability(cfg: &ExpConfig) -> Reporter {
                 stats.mean_ms,
                 "ms",
             );
+            rep.record_profiles("fig10b-scalability", &spec.name(), &label, &stats.profiles);
         }
     }
     rep
@@ -156,6 +158,7 @@ pub fn exp1_querysize(cfg: &ExpConfig) -> Reporter {
         for spec in MAIN_ALGOS {
             let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
             rep.record("fig10c-querysize", &spec.name(), edges, stats.mean_ms, "ms");
+            rep.record_profiles("fig10c-querysize", &spec.name(), edges, &stats.profiles);
         }
     }
     rep
@@ -191,6 +194,7 @@ pub fn exp1_budget(cfg: &ExpConfig) -> Reporter {
             for spec in MAIN_ALGOS {
                 let stats = run_algo_with(&w, &ctx, spec, &base);
                 rep.record(fig, &spec.name(), b, stats.mean_ms, "ms");
+                rep.record_profiles(fig, &spec.name(), b, &stats.profiles);
             }
         }
     }
@@ -229,6 +233,7 @@ pub fn exp1_exemplars(cfg: &ExpConfig) -> Reporter {
             for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsWb] {
                 let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
                 rep.record(fig, &spec.name(), tuples, stats.mean_ms, "ms");
+                rep.record_profiles(fig, &spec.name(), tuples, &stats.profiles);
             }
         }
     }
@@ -256,6 +261,7 @@ pub fn exp1_topology(cfg: &ExpConfig) -> Reporter {
         for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsWb] {
             let stats = run_algo_with(&w, &ctx, spec, &cfg.wqe());
             rep.record("fig10h-topology", &spec.name(), label, stats.mean_ms, "ms");
+            rep.record_profiles("fig10h-topology", &spec.name(), label, &stats.profiles);
         }
     }
     rep
@@ -292,6 +298,7 @@ pub fn exp2_effectiveness(cfg: &ExpConfig) -> Reporter {
                 stats.mean_delta,
                 "delta",
             );
+            rep.record_profiles("fig10i-effectiveness", &spec.name(), name, &stats.profiles);
         }
     }
     rep
@@ -325,6 +332,12 @@ pub fn exp2_querysize(cfg: &ExpConfig) -> Reporter {
                 stats.mean_delta,
                 "delta",
             );
+            rep.record_profiles(
+                "fig10j-delta-querysize",
+                &spec.name(),
+                edges,
+                &stats.profiles,
+            );
         }
     }
     rep
@@ -355,6 +368,7 @@ pub fn exp2_budget(cfg: &ExpConfig) -> Reporter {
                 stats.mean_delta,
                 "delta",
             );
+            rep.record_profiles("fig10k-delta-budget", &spec.name(), b, &stats.profiles);
         }
     }
     rep
@@ -392,6 +406,7 @@ pub fn exp3_anytime(cfg: &ExpConfig) -> Reporter {
     base.max_expansions = usize::MAX >> 1;
     for spec in [AlgoSpec::AnsW, AlgoSpec::AnsHeu(3), AlgoSpec::AnsHeuB(3)] {
         let stats = run_algo_with(&w, &ctx, spec, &base);
+        rep.record_profiles("fig10l-anytime", &spec.name(), "all", &stats.profiles);
         for &cp in &checkpoints_ms {
             let mut total = 0.0;
             let mut n = 0usize;
@@ -451,6 +466,7 @@ pub fn exp4_whymany(cfg: &ExpConfig) -> Reporter {
                 stats.mean_ms,
                 "ms",
             );
+            rep.record_profiles("fig12a-whymany-time", &spec.name(), name, &stats.profiles);
             rep.record(
                 "fig12b-whymany-closeness",
                 &spec.name(),
@@ -496,6 +512,7 @@ pub fn exp4_whyempty(cfg: &ExpConfig) -> Reporter {
                 stats.mean_ms,
                 "ms",
             );
+            rep.record_profiles("fig12c-whyempty-time", &spec.name(), name, &stats.profiles);
         }
     }
     rep
@@ -538,6 +555,14 @@ pub fn exp5_userstudy(cfg: &ExpConfig) -> Reporter {
     for gw in &w.questions {
         let session = Session::new(ctx.clone(), &gw.question, base.clone());
         let report = wqe_core::answ(&session, &gw.question);
+        if let Some(profile) = &report.profile {
+            rep.record_profiles(
+                "exp5-userstudy",
+                "AnsW",
+                "all",
+                std::slice::from_ref(profile),
+            );
+        }
         if report.top_k.is_empty() {
             continue;
         }
@@ -642,6 +667,14 @@ pub fn exp6_planted(cfg: &ExpConfig) -> Reporter {
             let config = spec.config(cfg.wqe());
             let session = Session::new(ctx.clone(), &gw.question, config);
             let report = spec.execute(&session, &gw.question);
+            if let Some(profile) = &report.profile {
+                rep.record_profiles(
+                    "exp6-planted-recall",
+                    &spec.name(),
+                    copies,
+                    std::slice::from_ref(profile),
+                );
+            }
             let recall = report
                 .best
                 .as_ref()
@@ -693,6 +726,7 @@ pub fn exp7_sample_ablation(cfg: &ExpConfig) -> Reporter {
                 stats.mean_ms,
                 "ms",
             );
+            rep.record_profiles("exp7-sample-time", &spec.name(), sample, &stats.profiles);
             rep.record(
                 "exp7-sample-delta",
                 &spec.name(),
@@ -729,6 +763,7 @@ pub fn exp8_governor(cfg: &ExpConfig) -> Reporter {
     governed.max_match_steps = (cfg.max_expansions as u64).max(1);
     for (mode, base) in [("ungoverned", cfg.wqe()), ("governed", governed)] {
         let stats = run_algo_with(&w, &ctx, AlgoSpec::AnsW, &base);
+        rep.record_profiles("exp8-governor", "AnsW", mode, &stats.profiles);
         for (i, t) in stats.governor.iter().enumerate() {
             let q = format!("{mode}/q{i}");
             rep.record(

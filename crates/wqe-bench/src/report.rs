@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::Write;
+use wqe_core::QueryProfile;
 
 /// One measured data point of a figure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,10 +20,27 @@ pub struct ExpRow {
     pub unit: String,
 }
 
+/// One per-query observability profile attached to an experiment data
+/// point (the stage/counter breakdown behind the row's aggregate value).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Figure identifier, e.g. `fig10a`.
+    pub experiment: String,
+    /// Series (algorithm) name, e.g. `AnsW`.
+    pub series: String,
+    /// X-axis value the profile belongs to.
+    pub x: String,
+    /// Question index within the workload.
+    pub question: usize,
+    /// The full per-query profile.
+    pub profile: QueryProfile,
+}
+
 /// Collects rows and renders them per experiment.
 #[derive(Debug, Default)]
 pub struct Reporter {
     rows: Vec<ExpRow>,
+    profiles: Vec<ProfileRow>,
 }
 
 impl Reporter {
@@ -49,14 +67,41 @@ impl Reporter {
         });
     }
 
+    /// Records the per-query profiles behind one data point, in question
+    /// order.
+    pub fn record_profiles(
+        &mut self,
+        experiment: &str,
+        series: &str,
+        x: impl ToString,
+        profiles: &[QueryProfile],
+    ) {
+        let x = x.to_string();
+        for (question, profile) in profiles.iter().enumerate() {
+            self.profiles.push(ProfileRow {
+                experiment: experiment.to_string(),
+                series: series.to_string(),
+                x: x.clone(),
+                question,
+                profile: profile.clone(),
+            });
+        }
+    }
+
     /// All recorded rows.
     pub fn rows(&self) -> &[ExpRow] {
         &self.rows
     }
 
+    /// All recorded per-query profiles.
+    pub fn profiles(&self) -> &[ProfileRow] {
+        &self.profiles
+    }
+
     /// Extends with rows from another reporter.
     pub fn merge(&mut self, other: Reporter) {
         self.rows.extend(other.rows);
+        self.profiles.extend(other.profiles);
     }
 
     /// Renders one experiment as a markdown table: series as rows, x values
@@ -125,6 +170,15 @@ impl Reporter {
             writeln!(w, "{}", serde_json::to_string(r).expect("serializable"))?;
         }
         Ok(())
+    }
+
+    /// Writes the recorded per-query profiles as one JSON array (the
+    /// `results/PROFILE_*.json` export). The field set is stable; timing
+    /// values of course vary run to run.
+    pub fn write_profiles_json<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(&self.profiles)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        w.write_all(json.as_bytes())
     }
 
     /// Reads rows previously written by [`Reporter::write_jsonl`].

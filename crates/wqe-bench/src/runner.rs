@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use wqe_core::{
     ans_heu, ans_we, answ, apx_why_many, fm_answ, relative_closeness, AnswerReport, EngineCtx,
-    GovernorTelemetry, Selection, Session, TracePoint, WqeConfig,
+    GovernorTelemetry, QueryProfile, Selection, Session, TracePoint, WqeConfig,
 };
 use wqe_datagen::{
     generate_query, generate_why, generate_why_empty, generate_why_many, GeneratedWhy,
@@ -182,7 +182,12 @@ pub struct RunStats {
     pub mean_im_after: f64,
     /// Per-question governor telemetry, in question order: how each run
     /// ended (`complete`, `deadline`, `step_cap`, …) and what it cost.
+    /// A view over the matching entry of `profiles`.
     pub governor: Vec<GovernorTelemetry>,
+    /// Per-question observability profiles, in question order: stage spans
+    /// and the full counter registry (exported as `results/PROFILE_*.json`
+    /// by `paper_experiments`).
+    pub profiles: Vec<QueryProfile>,
 }
 
 /// Runs one algorithm over every question of a workload. Builds a fresh
@@ -227,6 +232,9 @@ pub fn run_algo_with(
         }
         stats.traces.push(report.trace.clone());
         stats.governor.push(GovernorTelemetry::from_report(&report));
+        stats
+            .profiles
+            .push(report.profile.clone().unwrap_or_default());
     }
     if stats.runs > 0 {
         let n = stats.runs as f64;
@@ -337,6 +345,12 @@ mod tests {
             assert_eq!(stats.runs, w.questions.len(), "{}", spec.name());
             assert!(stats.mean_ms >= 0.0);
             assert!(stats.mean_delta >= 0.0 && stats.mean_delta <= 1.0);
+            assert_eq!(
+                stats.profiles.len(),
+                stats.runs,
+                "{}: one profile per question",
+                spec.name()
+            );
         }
     }
 

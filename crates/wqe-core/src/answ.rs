@@ -91,6 +91,9 @@ pub struct AnswerReport {
     /// Peak retained-search-state count observed by the governor (the
     /// quantity `max_frontier_states` caps).
     pub frontier_peak: usize,
+    /// The per-query stage/counter breakdown (see [`crate::obs`]). `None`
+    /// only when the session was built [`Session::without_profiler`].
+    pub profile: Option<crate::obs::QueryProfile>,
 }
 
 /// Ordered f64 wrapper for the priority queue (total order, no panic).
@@ -149,6 +152,9 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
     // below (matcher fan-out, BFS oracle) can poll it via
     // `governor::current()`, even on the gather path outside the pool.
     let _gov_scope = governor::enter(Arc::clone(&gov));
+    // Likewise for the profiler: spans and counters recorded anywhere below
+    // (matcher, cache, oracle, pool) land in this session's profiler.
+    let _obs_scope = session.obs_scope();
     let mut termination = Termination::Complete;
     let budget = session.config.budget;
     let top_k_n = session.config.top_k.max(1);
@@ -228,6 +234,13 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
         report.match_steps = gov.steps() - steps_before;
         report.frontier_peak = gov.frontier_peak();
         report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        report.profile = session.query_profile(
+            report.termination,
+            report.elapsed_ms,
+            report.expansions as u64,
+            report.match_steps,
+            report.frontier_peak as u64,
+        );
         return Ok(report);
     };
     if let Some(t) = gov.charge_steps(root_eval.outcome.steps as u64) {
@@ -301,6 +314,7 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
         // Never over-draw past `max_expansions` so the cap stays exact.
         let width = batch_width.min(session.config.max_expansions - report.expansions);
         let kth = kth_best(&report.top_k);
+        let chase_span = crate::obs::span(crate::obs::Stage::Chase);
         let mut batch: Vec<Candidate> = Vec::new();
         while batch.len() < width {
             let Some(&(_, _, Reverse(idx))) = heap.peek() else {
@@ -372,6 +386,8 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
             });
         }
 
+        drop(chase_span);
+
         if batch.is_empty() {
             // Frontier exhausted (every chase node backtracked).
             break 'search;
@@ -389,6 +405,7 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
         // top-k evolve identically for any thread count. Step and frontier
         // caps are charged here (and only here), which makes cap trips a
         // pure function of the trajectory, never of worker scheduling.
+        let merge_span = crate::obs::span(crate::obs::Stage::Merge);
         let op_keys: Vec<String> = batch.iter().map(|c| format!("{:?}", c.ops)).collect();
         let mut order: Vec<usize> = (0..batch.len()).filter(|&i| evals[i].is_some()).collect();
         order.sort_by(|&a, &b| {
@@ -459,6 +476,8 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
             }
         }
 
+        drop(merge_span);
+
         if let Some(t) = halted {
             termination = t;
             break 'search;
@@ -478,6 +497,13 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
     report.match_steps = gov.steps() - steps_before;
     report.frontier_peak = gov.frontier_peak();
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.profile = session.query_profile(
+        report.termination,
+        report.elapsed_ms,
+        report.expansions as u64,
+        report.match_steps,
+        report.frontier_peak as u64,
+    );
     Ok(report)
 }
 

@@ -193,6 +193,7 @@ fn mine_ops(session: &Session, question: &WhyQuestion) -> Vec<(f64, AtomicOp)> {
 /// Runs the FM baseline: greedy application of frequency-ranked operators.
 pub fn fm_answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
+    let _obs_scope = session.obs_scope();
     let mut report = AnswerReport::default();
     let budget = session.config.budget;
 
@@ -242,6 +243,13 @@ pub fn fm_answ(session: &Session, question: &WhyQuestion) -> AnswerReport {
 
     report.best = Some(best);
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.profile = session.query_profile(
+        report.termination,
+        report.elapsed_ms,
+        report.expansions as u64,
+        report.match_steps,
+        report.frontier_peak as u64,
+    );
     report
 }
 

@@ -115,6 +115,7 @@ pub fn try_ans_heu(
     let gov = Arc::clone(&session.governor);
     let steps_before = gov.steps();
     let _gov_scope = governor::enter(Arc::clone(&gov));
+    let _obs_scope = session.obs_scope();
     let mut termination = Termination::Complete;
     let k = beam.unwrap_or(session.config.beam_width).max(1);
     let budget = session.config.budget;
@@ -139,6 +140,13 @@ pub fn try_ans_heu(
         report.match_steps = gov.steps() - steps_before;
         report.frontier_peak = gov.frontier_peak();
         report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        report.profile = session.query_profile(
+            report.termination,
+            report.elapsed_ms,
+            report.expansions as u64,
+            report.match_steps,
+            report.frontier_peak as u64,
+        );
         return Ok(report);
     };
     if let Some(t) = gov.charge_steps(root_eval.outcome.steps as u64) {
@@ -198,6 +206,7 @@ pub fn try_ans_heu(
         // start*, so the gathered set is a pure function of the frontier and
         // never depends on evaluation interleaving (thread count).
         let level_cl = best_satisfying_cl;
+        let chase_span = crate::obs::span(crate::obs::Stage::Chase);
         let mut cands: Vec<BeamCandidate> = Vec::new();
         'gather: for state in &frontier {
             let mut ops = next_ops(session, &state.query, &state.eval, state.phase, level_cl);
@@ -248,6 +257,8 @@ pub fn try_ans_heu(
             }
         }
 
+        drop(chase_span);
+
         // Retained-state accounting: every gathered signature stays in
         // `visited` for the rest of the search, so its size is the beam
         // search's memory footprint. Gather is serial, so this trip is
@@ -262,6 +273,7 @@ pub fn try_ans_heu(
         // updates are deterministic. A halt leaves later slots `None`; a
         // worker panic surfaces as a typed error.
         let (evals, halted) = pool.map_governed(&cands, &gov, |_, c| session.evaluate(&c.query))?;
+        let merge_span = crate::obs::span(crate::obs::Stage::Merge);
         let mut children: Vec<BeamState> = Vec::with_capacity(cands.len());
         for (cand, eval) in cands.into_iter().zip(evals) {
             let Some(eval) = eval else { continue };
@@ -311,6 +323,7 @@ pub fn try_ans_heu(
         });
         children.truncate(k);
         frontier = children;
+        drop(merge_span);
     }
 
     report.optimal_reached = best_satisfying_cl >= session.cl_star - 1e-12;
@@ -324,6 +337,13 @@ pub fn try_ans_heu(
     report.match_steps = gov.steps() - steps_before;
     report.frontier_peak = gov.frontier_peak();
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.profile = session.query_profile(
+        report.termination,
+        report.elapsed_ms,
+        report.expansions as u64,
+        report.match_steps,
+        report.frontier_peak as u64,
+    );
     Ok(report)
 }
 

@@ -50,6 +50,7 @@ pub mod governor;
 pub mod heuristic;
 pub mod metrics;
 pub mod multifocus;
+pub mod obs;
 pub mod opsgen;
 pub mod paper;
 pub mod relevance;
@@ -78,6 +79,7 @@ pub use governor::{governor_for, Governor, Termination};
 pub use heuristic::{ans_heu, try_ans_heu, Selection};
 pub use metrics::GovernorTelemetry;
 pub use multifocus::{answer_multi_focus, FocusAnswer, MultiFocusAnswer, MultiFocusQuestion};
+pub use obs::{CounterRegistry, QueryProfile, StageProfile};
 pub use relevance::RelevanceSets;
 pub use session::{EvalResult, Session, WhyQuestion, WqeConfig};
 pub use whyempty::ans_we;

@@ -26,14 +26,31 @@ pub struct GovernorTelemetry {
 }
 
 impl GovernorTelemetry {
-    /// Reads the governor counters off a finished report.
+    /// Reads the governor counters off a finished report. When the report
+    /// carries a [`crate::obs::QueryProfile`] this is exactly
+    /// [`GovernorTelemetry::from_profile`] of it — the telemetry is a view
+    /// over the profile's counter registry.
     pub fn from_report(report: &AnswerReport) -> Self {
+        if let Some(profile) = &report.profile {
+            return GovernorTelemetry::from_profile(profile);
+        }
         GovernorTelemetry {
             termination: report.termination.as_str().to_string(),
             partial: report.termination.is_partial(),
             elapsed_ms: report.elapsed_ms,
             match_steps: report.match_steps,
             frontier_peak: report.frontier_peak,
+        }
+    }
+
+    /// The governor-telemetry view over a full per-query profile.
+    pub fn from_profile(profile: &crate::obs::QueryProfile) -> Self {
+        GovernorTelemetry {
+            termination: profile.termination.clone(),
+            partial: profile.partial,
+            elapsed_ms: profile.elapsed_ms,
+            match_steps: profile.counters.match_steps,
+            frontier_peak: profile.counters.frontier_peak as usize,
         }
     }
 }
@@ -62,22 +79,27 @@ pub fn ndcg_at(gains: &[f64], k: usize) -> Option<f64> {
 /// Precision / recall / F1 of an answer set against a relevant set.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrecisionRecall {
-    /// `|answers ∩ relevant| / |answers|` (1.0 for empty answers).
+    /// `|set(answers) ∩ relevant| / |set(answers)|` (1.0 for empty
+    /// answers).
     pub precision: f64,
-    /// `|answers ∩ relevant| / |relevant|` (1.0 for empty relevant set).
+    /// `|set(answers) ∩ relevant| / |relevant|` (1.0 for empty relevant
+    /// set).
     pub recall: f64,
 }
 
 impl PrecisionRecall {
-    /// Computes both measures.
+    /// Computes both measures. Both inputs are treated as *sets*: a
+    /// node-id repeated in `answers` counts once, so duplicated answers
+    /// cannot inflate either measure.
     pub fn of(answers: &[NodeId], relevant: &[NodeId]) -> Self {
         let rel: HashSet<NodeId> = relevant.iter().copied().collect();
-        let hits = answers.iter().filter(|v| rel.contains(v)).count();
+        let uniq: HashSet<NodeId> = answers.iter().copied().collect();
+        let hits = uniq.iter().filter(|v| rel.contains(v)).count();
         PrecisionRecall {
-            precision: if answers.is_empty() {
+            precision: if uniq.is_empty() {
                 1.0
             } else {
-                hits as f64 / answers.len() as f64
+                hits as f64 / uniq.len() as f64
             },
             recall: if rel.is_empty() {
                 1.0
@@ -182,6 +204,23 @@ mod tests {
         // Edge cases.
         assert_eq!(PrecisionRecall::of(&[], &relevant).precision, 1.0);
         assert_eq!(PrecisionRecall::of(&answers, &[]).recall, 1.0);
+    }
+
+    #[test]
+    fn precision_recall_dedupes_duplicate_answers() {
+        use wqe_graph::NodeId;
+        let relevant = vec![NodeId(1), NodeId(2)];
+        // One relevant answer repeated three times, one irrelevant answer:
+        // the relevant hit must count once, not once per occurrence.
+        let answers = vec![NodeId(1), NodeId(1), NodeId(1), NodeId(9)];
+        let pr = PrecisionRecall::of(&answers, &relevant);
+        assert!((pr.precision - 0.5).abs() < 1e-9, "got {}", pr.precision);
+        assert!((pr.recall - 0.5).abs() < 1e-9, "got {}", pr.recall);
+        // Duplicates alone must not lift recall above the exact-set value.
+        let dup_only = vec![NodeId(2), NodeId(2)];
+        let pr = PrecisionRecall::of(&dup_only, &relevant);
+        assert!((pr.precision - 1.0).abs() < 1e-9);
+        assert!((pr.recall - 0.5).abs() < 1e-9, "got {}", pr.recall);
     }
 
     #[test]

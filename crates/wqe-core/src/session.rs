@@ -149,6 +149,12 @@ pub struct Session {
     /// caps, built from the config by [`crate::governor::governor_for`].
     /// Clone the `Arc` to cancel a running search from another thread.
     pub governor: std::sync::Arc<wqe_pool::governor::Governor>,
+    /// The per-query profiler every answer algorithm enters while it runs
+    /// (stage spans + the counter registry; see [`crate::obs`]). `None`
+    /// disables profiling entirely ([`Session::without_profiler`]) — spans
+    /// then skip the clock reads, so benchmark baselines exclude the
+    /// observability overhead.
+    pub profiler: Option<std::sync::Arc<crate::obs::Profiler>>,
 }
 
 impl Session {
@@ -204,6 +210,7 @@ impl Session {
             r_uo,
             cl_star,
             governor,
+            profiler: Some(std::sync::Arc::new(crate::obs::Profiler::new())),
         })
     }
 
@@ -213,6 +220,49 @@ impl Session {
     pub fn with_governor(mut self, governor: std::sync::Arc<wqe_pool::governor::Governor>) -> Self {
         self.governor = governor;
         self
+    }
+
+    /// Disables per-query profiling: spans and counters become no-ops and
+    /// reports carry no [`crate::obs::QueryProfile`]. Used by benchmark
+    /// baselines (`bench_governor`) to measure the instrumented stack
+    /// without observability overhead.
+    pub fn without_profiler(mut self) -> Self {
+        self.profiler = None;
+        self
+    }
+
+    /// Enters this session's profiler scope (a no-op returning `None` after
+    /// [`Session::without_profiler`]). Every report-producing algorithm
+    /// calls this first, so instrumentation in lower layers lands in the
+    /// session's profiler.
+    pub fn obs_scope(&self) -> Option<crate::obs::ObsScope> {
+        self.profiler
+            .as_ref()
+            .map(|p| crate::obs::enter(std::sync::Arc::clone(p)))
+    }
+
+    /// Folds the session's profiler snapshot and governor counters into the
+    /// serializable per-query profile. `None` after
+    /// [`Session::without_profiler`].
+    pub fn query_profile(
+        &self,
+        termination: wqe_pool::governor::Termination,
+        elapsed_ms: f64,
+        expansions: u64,
+        match_steps: u64,
+        frontier_peak: u64,
+    ) -> Option<crate::obs::QueryProfile> {
+        self.profiler.as_ref().map(|p| {
+            crate::obs::QueryProfile::from_snapshot(
+                &p.snapshot(),
+                termination,
+                elapsed_ms,
+                expansions,
+                match_steps,
+                self.governor.oracle_steps(),
+                frontier_peak,
+            )
+        })
     }
 
     /// The data graph.

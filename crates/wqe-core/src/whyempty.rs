@@ -166,6 +166,7 @@ fn diagnose(session: &Session, q: &PatternQuery, v: NodeId) -> Option<CandidateR
 /// least one relevant candidate as a match.
 pub fn ans_we(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
+    let _obs_scope = session.obs_scope();
     let mut report = AnswerReport::default();
     let budget = session.config.budget;
 
@@ -214,6 +215,13 @@ pub fn ans_we(session: &Session, question: &WhyQuestion) -> AnswerReport {
     }
 
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.profile = session.query_profile(
+        report.termination,
+        report.elapsed_ms,
+        report.expansions as u64,
+        report.match_steps,
+        report.frontier_peak as u64,
+    );
     report
 }
 

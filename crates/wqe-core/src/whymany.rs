@@ -45,6 +45,7 @@ fn element_weight(session: &Session, v: NodeId) -> f64 {
 /// Runs `ApxWhyM`. The rewrite contains **refinement operators only**.
 pub fn apx_why_many(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let start = Instant::now();
+    let _obs_scope = session.obs_scope();
     let mut report = AnswerReport::default();
     let budget = session.config.budget;
 
@@ -162,6 +163,13 @@ pub fn apx_why_many(session: &Session, question: &WhyQuestion) -> AnswerReport {
     }
     report.best = Some(best);
     report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.profile = session.query_profile(
+        report.termination,
+        report.elapsed_ms,
+        report.expansions as u64,
+        report.match_steps,
+        report.frontier_peak as u64,
+    );
     report
 }
 

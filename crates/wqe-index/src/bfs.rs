@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::sync::{Mutex, PoisonError, RwLock, TryLockError};
 use wqe_graph::{Graph, NodeId};
 use wqe_pool::governor::{self, Governor};
+use wqe_pool::obs;
 
 /// How many BFS pops happen between governor polls. Coarse enough to keep
 /// the check off the per-edge fast path, fine enough that a deadline stops
@@ -173,6 +174,9 @@ impl BoundedBfsOracle {
         // buffer, and the `WouldBlock` one-shot fallback — honor it.
         let gov = governor::current();
         let gov = gov.as_deref();
+        // Span the cold traversal only: memo-served calls are counted (in
+        // `distance_within` / `dist_batch`) but not timed.
+        let span = obs::span(obs::Stage::Oracle);
         let (computed, complete) = match self.scratch.try_lock() {
             Ok(mut scratch) => scratch.bounded_bfs(&self.graph, u, self.horizon, gov),
             Err(TryLockError::Poisoned(p)) => {
@@ -184,6 +188,7 @@ impl BoundedBfsOracle {
                 BfsScratch::default().bounded_bfs(&self.graph, u, self.horizon, gov)
             }
         };
+        drop(span);
         let arc = Arc::new(computed);
         // A governed abort leaves the reach map incomplete; memoizing it
         // would silently corrupt *other* sessions sharing this oracle, so
@@ -207,6 +212,7 @@ impl BoundedBfsOracle {
 
 impl DistanceOracle for BoundedBfsOracle {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        obs::with_current(|p| p.add(obs::Counter::OracleDist, 1));
         let bound = bound.min(self.horizon);
         let reach = self.reach_from(u);
         reach.get(&v).copied().filter(|&d| d <= bound)
@@ -221,6 +227,7 @@ impl DistanceOracle for BoundedBfsOracle {
     /// pairs come back `None` (conservatively unreachable) — by then the
     /// querying search is terminating and already tagged partial.
     fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        obs::with_current(|p| p.add(obs::Counter::OracleDistBatch, 1));
         let bound = bound.min(self.horizon);
         let gov = governor::current();
         let mut out = Vec::with_capacity(pairs.len());

@@ -229,6 +229,7 @@ impl PllIndex {
 
 impl DistanceOracle for PllIndex {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        wqe_pool::obs::with_current(|p| p.add(wqe_pool::obs::Counter::OracleDist, 1));
         self.distance(u, v).filter(|&d| d <= bound)
     }
 }

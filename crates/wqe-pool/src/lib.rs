@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod governor;
+pub mod obs;
 
 use governor::{Governor, Termination};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -271,14 +272,18 @@ impl WorkerPool {
                     }
                 }
             }
+            note_pool_run(&slots);
             return Ok((slots, halted));
         }
 
         // Worker threads start with an empty thread-local governor stack;
         // hand them the explicit governor, or failing that whatever scope
         // the calling thread currently has, so nested governed layers keep
-        // working across the fan-out.
+        // working across the fan-out. The caller's profiler scope (if any)
+        // travels the same way, so spans recorded inside workers land in
+        // the owning session's profile.
         let scope_gov: Option<Arc<Governor>> = gov.cloned().or_else(governor::current);
+        let scope_obs: Option<Arc<obs::Profiler>> = obs::current();
         let cursor = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
@@ -294,8 +299,10 @@ impl WorkerPool {
                     let init = &init;
                     let f = &f;
                     let scope_gov = scope_gov.clone();
+                    let scope_obs = scope_obs.clone();
                     scope.spawn(move || {
                         let _scope = scope_gov.map(governor::enter);
+                        let _obs = scope_obs.map(obs::enter);
                         let mut state = init();
                         let mut out: Vec<(usize, R)> = Vec::new();
                         loop {
@@ -361,8 +368,21 @@ impl WorkerPool {
         let halted = halted_slot
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
+        note_pool_run(&slots);
         Ok((slots, halted))
     }
+}
+
+/// Counts one completed pool run (and its completed items) into the
+/// calling thread's current profiler. Called from the caller's thread on
+/// both the serial and the parallel path, after the run has drained, so
+/// the totals are parallelism-invariant whenever the item outcomes are.
+fn note_pool_run<R>(slots: &[Option<R>]) {
+    obs::with_current(|p| {
+        p.add(obs::Counter::PoolRun, 1);
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        p.add(obs::Counter::PoolTask, done as u64);
+    });
 }
 
 #[cfg(test)]
@@ -565,6 +585,23 @@ mod tests {
         let items: Vec<usize> = (0..64).collect();
         let out = pool.map(&items, |_, _| governor::current().is_some());
         assert!(out.into_iter().all(|seen| seen));
+    }
+
+    #[test]
+    fn pool_propagates_profiler_scope_and_counts_runs() {
+        let p = Arc::new(obs::Profiler::new());
+        let scope = obs::enter(Arc::clone(&p));
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let items: Vec<usize> = (0..64).collect();
+            let out = pool.map(&items, |_, _| obs::current().is_some());
+            assert!(out.into_iter().all(|seen| seen), "threads={threads}");
+        }
+        drop(scope);
+        assert!(obs::current().is_none(), "scope popped after the calls");
+        let s = p.snapshot();
+        assert_eq!(s.counter(obs::Counter::PoolRun), 2);
+        assert_eq!(s.counter(obs::Counter::PoolTask), 128);
     }
 
     #[test]

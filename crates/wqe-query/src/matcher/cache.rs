@@ -20,6 +20,7 @@ use crate::matcher::star::StarRow;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use wqe_pool::obs;
 
 struct Entry {
     rows: Arc<Vec<StarRow>>,
@@ -121,15 +122,22 @@ impl StarCache {
                 e.last_tick = tick;
                 let rows = Arc::clone(&e.rows);
                 inner.stats.hits += 1;
+                obs::with_current(|p| p.add(obs::Counter::CacheHit, 1));
                 return rows;
             }
             inner.stats.misses += 1;
+            obs::with_current(|p| p.add(obs::Counter::CacheMiss, 1));
         }
         // Materialize outside the lock: star tables can be expensive. Two
         // threads may race on the same new key; the first insert wins and
         // both return equivalent rows (materialization is deterministic).
         let rows = Arc::new(compute());
         let mut inner = relock(shard.lock());
+        // Advance the shard clock for the insert itself: other lookups may
+        // have aged the shard while we materialized, and entries inserted
+        // back-to-back must not share one stale `last_tick` (that skews the
+        // decayed-least-hit victim choice toward evicting fresh entries).
+        inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.shard_capacity && !inner.map.contains_key(key) {
             // Evict the entry with the smallest decayed score.
@@ -145,6 +153,7 @@ impl StarCache {
             if let Some(k) = victim {
                 inner.map.remove(&k);
                 inner.stats.evictions += 1;
+                obs::with_current(|p| p.add(obs::Counter::CacheEviction, 1));
             }
         }
         let rows = match inner.map.entry(key.to_string()) {
@@ -301,6 +310,83 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 100);
         assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn insert_advances_the_shard_clock() {
+        // Regression for the stale-insert-tick bug: the insert path used to
+        // read `inner.tick` without advancing it, so an entry's `last_tick`
+        // reflected the *previous* lookup, making fresh inserts look older
+        // than they are and skewing eviction toward recently inserted keys.
+        //
+        // Single shard (capacity 3 < SHARD_THRESHOLD), decay 0.9. Build up:
+        //   "a": inserted early, one late refresh  -> small decayed score
+        //   "f": inserted early, 12 hits           -> large decayed score
+        //   "b": inserted last, never hit          -> score 1.0, barely aged
+        // Then insert "c", forcing one eviction. With correct insert ticks
+        // the decayed scores at eviction time are a≈0.79 < b=0.81 << f, so
+        // the stalest entry "a" is the victim. With the stale-tick bug "b"'s
+        // insert tick equals the preceding lookup's, its score decays as if
+        // it were older, and the cache wrongly evicts its newest entry "b".
+        let c = StarCache::new(3, 0.9);
+        c.get_or_compute("a", || vec![row(1)]);
+        c.get_or_compute("f", || vec![row(2)]);
+        for _ in 0..12 {
+            c.get_or_compute("f", || unreachable!("f is cached"));
+        }
+        c.get_or_compute("a", || unreachable!("a is cached"));
+        c.get_or_compute("b", || vec![row(3)]);
+        c.get_or_compute("c", || vec![row(4)]); // evicts exactly one entry
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 3);
+        // "b" must have survived ...
+        let misses = c.stats().misses;
+        c.get_or_compute("b", || panic!("the newest entry was evicted"));
+        assert_eq!(c.stats().misses, misses);
+        // ... and "a" (stalest, lowest decayed score) must be the victim.
+        c.get_or_compute("a", || vec![row(1)]);
+        assert_eq!(c.stats().misses, misses + 1, "a should have been evicted");
+    }
+
+    #[test]
+    fn two_threads_racing_a_cold_key_converge() {
+        // Two threads race `get_or_compute` on the same cold key, with the
+        // materialization window held open long enough that both usually
+        // miss: both must get equivalent rows, exactly one entry survives,
+        // and the counters add up to the two lookups.
+        let c = std::sync::Arc::new(StarCache::new(8, 1.0));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = std::sync::Arc::clone(&c);
+            let barrier = std::sync::Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                c.get_or_compute("cold", || {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    vec![row(42)]
+                })
+            }));
+        }
+        let rows: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic under the race"))
+            .collect();
+        for r in &rows {
+            assert_eq!(r.len(), 1);
+            assert_eq!(r[0].center, NodeId(42));
+        }
+        assert_eq!(c.len(), 1, "exactly one entry survives the race");
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 2, "one lookup per thread");
+        assert!(s.misses >= 1, "someone had to materialize");
+        assert_eq!(s.evictions, 0);
+        // The survivor serves subsequent lookups as a plain hit.
+        let before = c.stats();
+        c.get_or_compute("cold", || panic!("must hit"));
+        let after = c.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use wqe_graph::{Graph, NodeId};
 use wqe_index::DistanceOracle;
+use wqe_pool::obs;
 
 /// The result of evaluating a query.
 #[derive(Debug, Clone, Default)]
@@ -31,10 +32,11 @@ pub struct MatchOutcome {
     /// conservatively reported as a non-match, or a governor halt cut the
     /// candidate fan-out short.
     pub truncated: bool,
-    /// Join steps consumed verifying candidates. A deterministic measure of
-    /// work done: a pure function of the query and graph, independent of
-    /// thread count, so governor step caps keyed on it stay reproducible
-    /// at any parallelism.
+    /// Steps consumed verifying candidates: one per focus candidate
+    /// examined, plus the join iterations its verification performed. A
+    /// deterministic measure of work done: a pure function of the query
+    /// and graph, independent of thread count, so governor step caps
+    /// keyed on it stay reproducible at any parallelism.
     pub steps: usize,
 }
 
@@ -266,6 +268,7 @@ impl Matcher {
                 let mut built = false;
                 let rows = cache.get_or_compute(&key, || {
                     built = true;
+                    let _span = obs::span(obs::Stage::StarMaterialize);
                     star::materialize_rows(&self.graph, q, s, focus_cands)
                 });
                 if built {
@@ -278,6 +281,7 @@ impl Matcher {
             }
             None => {
                 self.stats_lock().tables_built += 1;
+                let _span = obs::span(obs::Stage::StarMaterialize);
                 StarTable {
                     star: s.clone(),
                     rows: Arc::new(star::materialize_rows(&self.graph, q, s, focus_cands)),
@@ -344,6 +348,7 @@ impl Matcher {
 
     /// Evaluates `Q(G)` (procedure `Match`).
     pub fn evaluate(&self, q: &PatternQuery) -> MatchOutcome {
+        let _span = obs::span(obs::Stage::Match);
         self.stats_lock().evaluations += 1;
         let focus = q.focus();
 
@@ -444,7 +449,15 @@ impl Matcher {
                     Ok(None) => {}
                     Err(Truncated) => truncated = true,
                 }
-                consumed += self.step_limit - steps;
+                // One step for examining the candidate itself, plus the
+                // join work its verification consumed. Without the `1 +`,
+                // candidates rejected before the join recursion descends
+                // (single-node assignment orders, empty inner domains,
+                // literal failures) consume nothing, so tiny queries
+                // report `steps == 0` and a governor step cap can never
+                // engage on them. Charged per candidate — not batched —
+                // so per-chunk sums are exact at any parallelism.
+                consumed += 1 + (self.step_limit - steps);
             }
             (found, truncated, consumed)
         };
@@ -453,6 +466,7 @@ impl Matcher {
         // when the pool is large enough to amortize spawning. Chunk results
         // come back in chunk order, so matches are thread-count-invariant
         // even before the final sort.
+        let join_span = obs::span(obs::Stage::Join);
         let (verified, truncated, steps) = if self.parallelism > 1 && focus_domain.len() >= 64 {
             let chunk_size = focus_domain.len().div_ceil(self.parallelism);
             let chunks: Vec<&[NodeId]> = focus_domain.chunks(chunk_size).collect();
@@ -470,6 +484,7 @@ impl Matcher {
         } else {
             verify_chunk(&focus_domain)
         };
+        drop(join_span);
 
         let mut matches: Vec<NodeId> = verified.iter().map(|(v, _)| *v).collect();
         let valuations: HashMap<NodeId, Valuation> = verified.into_iter().collect();

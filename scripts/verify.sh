@@ -34,4 +34,18 @@ RUST_TEST_THREADS=1 cargo test --test governor -q
 echo "==> governor: cargo test --test governor -q"
 cargo test --test governor -q
 
+# The observability layer: stable QueryProfile JSON schema, populated
+# spans/counters on a real run, and the without_profiler opt-out.
+echo "==> observability: cargo test --test profile -q"
+cargo test --test profile -q
+
+# Idle governor + profiler overhead must stay under the 3% bar on the
+# intra-query workload (min-over-reps, alternating modes).
+echo "==> observability: bench_governor overhead gate"
+cargo run --release -p wqe-bench --bin bench_governor -- --out results/BENCH_governor.json
+grep -q '"within_target": true' results/BENCH_governor.json || {
+    echo "bench_governor: idle overhead exceeded the 3% target" >&2
+    exit 1
+}
+
 echo "verify: OK"

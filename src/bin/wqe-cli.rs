@@ -10,9 +10,11 @@
 //!
 //! `why` options: `--budget B` (default 3), `--top-k K`,
 //! `--algo answ|heu|whymany|whyempty|fm`, `--beam K`, `--lambda X`,
-//! `--theta X`, `--time-limit MS`, and the governor limits `--deadline MS`,
+//! `--theta X`, `--time-limit MS`, the governor limits `--deadline MS`,
 //! `--max-steps N`, `--max-frontier N` (0 = unlimited; a tripped limit
-//! prints the termination reason and returns best-so-far answers).
+//! prints the termination reason and returns best-so-far answers), and
+//! `--profile` to print the per-query observability profile (stage spans +
+//! counter registry) as JSON after the answers.
 //!
 //! The question file holds `{"query": ..., "exemplar": ...}` in the format
 //! documented in `wqe_core::spec`.
@@ -119,6 +121,7 @@ fn cmd_why(args: &[String]) -> i32 {
     let mut beam = 3usize;
     let mut dot_out: Option<String> = None;
     let mut json_out = false;
+    let mut profile_out = false;
     let mut i = 2;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -143,6 +146,10 @@ fn cmd_why(args: &[String]) -> i32 {
             "--dot" => dot_out = Some(need("a path")),
             "--json" => {
                 json_out = true;
+                i -= 1; // boolean flag, no value
+            }
+            "--profile" => {
+                profile_out = true;
                 i -= 1; // boolean flag, no value
             }
             other => {
@@ -184,6 +191,15 @@ fn cmd_why(args: &[String]) -> i32 {
                 "search stopped early ({}); answers are best-so-far",
                 report.termination
             );
+        }
+        if profile_out {
+            match &report.profile {
+                Some(profile) => println!(
+                    "{}",
+                    serde_json::to_string_pretty(profile).expect("serializable")
+                ),
+                None => eprintln!("no profile recorded for this session"),
+            }
         }
         let results = if report.top_k.is_empty() {
             report.best.clone().into_iter().collect()

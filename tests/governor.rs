@@ -195,6 +195,47 @@ fn step_cap_is_deterministic_across_parallelism() {
     }
 }
 
+/// Regression pin for the matcher's step accounting: every candidate the
+/// matcher pops charges at least one step (pruned candidates used to
+/// consume zero, letting a capped search spin far past its budget), and
+/// the total is identical at any parallelism. The constant pins the paper
+/// scenario's exact count so an accounting change fails loudly instead of
+/// silently recalibrating the cap tests above.
+#[test]
+fn match_step_accounting_is_exact_and_parallelism_invariant() {
+    const EXPECTED_MATCH_STEPS: u64 = 326;
+    let graph = Arc::new(wqe::graph::product::product_graph().graph);
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&graph));
+    let ctx = EngineCtx::new(Arc::clone(&graph), oracle);
+    let wq = wqe::core::paper::paper_question(&graph);
+    let counts: Vec<u64> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let session = Session::new(
+                ctx.clone(),
+                &wq,
+                WqeConfig {
+                    budget: 4.0,
+                    parallelism: t,
+                    ..Default::default()
+                },
+            );
+            let report = try_answ(&session, &wq).unwrap();
+            assert_eq!(report.termination, Termination::Complete);
+            report.match_steps
+        })
+        .collect();
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "match steps diverged across parallelism {THREAD_COUNTS:?}: {counts:?}"
+    );
+    assert_eq!(
+        counts[0], EXPECTED_MATCH_STEPS,
+        "paper-scenario step count moved; if the matcher's work (not its \
+         accounting) legitimately changed, re-pin the constant"
+    );
+}
+
 #[test]
 fn frontier_cap_is_deterministic_across_parallelism() {
     let graph = Arc::new(dbpedia_like(0.02, 5));
