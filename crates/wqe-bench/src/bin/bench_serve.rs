@@ -1,0 +1,299 @@
+//! `QueryService` serving-layer harness.
+//!
+//! ```text
+//! bench_serve [--out results/BENCH_serve.json] [--scale F]
+//!             [--queries N] [--repeats R]
+//! ```
+//!
+//! Measures the three serving-layer claims:
+//!
+//! * **Batched throughput** — the same request batch (each question asked
+//!   `repeats` times, algorithms cycled per question) served at concurrency
+//!   1/2/4/8 versus a serial one-at-a-time direct-engine baseline that
+//!   recomputes every request. The answer cache is what a serving layer
+//!   buys on repeated questions, so concurrency 4 must meet or beat the
+//!   serial baseline even on a single-core host.
+//! * **Hot vs cold latency** — per-request service time of a cache hit
+//!   versus the cold compute, ≥10× target.
+//! * **Answer fidelity** — every served report is bit-identical to a
+//!   direct `WqeEngine::try_run` under the same effective config
+//!   (hard-asserted: a serving layer that changes answers is wrong, not
+//!   slow).
+
+use std::time::Instant;
+use wqe_bench::runner::{QuestionKind, Workload};
+use wqe_core::{
+    Algorithm, AnswerReport, CacheConfig, QueryRequest, QueryService, ServiceConfig, WhyQuestion,
+    WqeConfig, WqeEngine,
+};
+use wqe_datagen::{dbpedia_like, QueryGenConfig, WhyGenConfig};
+
+/// Algorithms cycled across the question suite (a mixed serving workload).
+const ALGS: [Algorithm; 4] = [
+    Algorithm::AnsW,
+    Algorithm::AnsHeu,
+    Algorithm::WhyMany,
+    Algorithm::WhyEmpty,
+];
+
+fn fingerprint(report: &AnswerReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    fn push(out: &mut String, r: &wqe_core::RewriteResult) {
+        let _ = write!(
+            out,
+            "[{:x}/{:x}/{:?}/{:?}/{}]",
+            r.closeness.to_bits(),
+            r.cost.to_bits(),
+            r.ops,
+            r.matches,
+            r.satisfies
+        );
+    }
+    match &report.best {
+        None => out.push_str("none"),
+        Some(b) => push(&mut out, b),
+    }
+    for r in &report.top_k {
+        push(&mut out, r);
+    }
+    out.push('|');
+    out.push_str(report.termination.as_str());
+    out
+}
+
+#[derive(serde::Serialize)]
+struct ConcurrencyPoint {
+    workers: usize,
+    total_ms: f64,
+    throughput_qps: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchServe {
+    host_available_parallelism: usize,
+    questions: usize,
+    repeats: usize,
+    requests: usize,
+    /// One-at-a-time direct-engine baseline over the full request batch.
+    serial_ms: f64,
+    serial_qps: f64,
+    points: Vec<ConcurrencyPoint>,
+    concurrency4_qps: f64,
+    concurrency4_ge_serial: bool,
+    cold_service_ms_mean: f64,
+    warm_service_ms_mean: f64,
+    warm_speedup: f64,
+    warm_speedup_target: f64,
+    warm_within_target: bool,
+    answers_identical: bool,
+}
+
+/// The request batch: `repeats` rounds over the question suite so rounds
+/// after the first are cache hits for the service (the serial baseline
+/// recomputes them, as a cache-less client would).
+fn batch(questions: &[(WhyQuestion, Algorithm)], repeats: usize) -> Vec<QueryRequest> {
+    let mut out = Vec::with_capacity(questions.len() * repeats);
+    for _ in 0..repeats {
+        for (q, alg) in questions {
+            out.push(QueryRequest::new(q.clone(), *alg));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "results/BENCH_serve.json".to_string();
+    let mut scale = 10.0f64;
+    let mut queries = 6usize;
+    let mut repeats = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 1;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(10.0);
+                i += 1;
+            }
+            "--queries" if i + 1 < args.len() => {
+                queries = args[i + 1].parse().unwrap_or(6).max(1);
+                i += 1;
+            }
+            "--repeats" if i + 1 < args.len() => {
+                repeats = args[i + 1].parse().unwrap_or(4).max(2);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_serve [--out FILE] [--scale F] [--queries N] [--repeats R]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let wl = Workload::build(
+        "serve",
+        dbpedia_like(0.02 * scale, 33),
+        queries,
+        &QueryGenConfig {
+            edges: 2,
+            seed: 33,
+            ..Default::default()
+        },
+        &WhyGenConfig::default(),
+        QuestionKind::Why,
+    );
+    let ctx = wl.ctx(4);
+    let cfg = WqeConfig {
+        budget: 3.0,
+        max_expansions: 150,
+        parallelism: 1, // the service's worker count is the concurrency axis
+        ..Default::default()
+    };
+    let suite: Vec<(WhyQuestion, Algorithm)> = wl
+        .questions
+        .iter()
+        .enumerate()
+        .map(|(i, gw)| (gw.question.clone(), ALGS[i % ALGS.len()]))
+        .collect();
+
+    // Ground truth: one direct run per distinct (question, algorithm).
+    let direct = |q: &WhyQuestion, alg: Algorithm| -> AnswerReport {
+        let engine = WqeEngine::try_new(ctx.clone(), q.clone(), alg.apply_to(cfg.clone()))
+            .expect("generated question is valid");
+        engine.try_run(alg).expect("direct run succeeds")
+    };
+    let expected: Vec<String> = suite
+        .iter()
+        .map(|(q, alg)| fingerprint(&direct(q, *alg)))
+        .collect();
+
+    // Serial one-at-a-time baseline: recompute the entire batch directly.
+    let n_requests = suite.len() * repeats;
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for (q, alg) in &suite {
+            let _ = direct(q, *alg);
+        }
+    }
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let serial_qps = n_requests as f64 / (serial_ms / 1e3);
+    eprintln!(
+        "serial baseline: {serial_ms:.1} ms ({serial_qps:.1} q/s over {n_requests} requests)"
+    );
+
+    let mut answers_identical = true;
+    let mut points = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let svc = QueryService::new(
+            ctx.clone(),
+            ServiceConfig {
+                max_inflight: workers,
+                queue_cap: n_requests,
+                base_config: cfg.clone(),
+                cache: CacheConfig::default(),
+            },
+        );
+        let t0 = Instant::now();
+        let responses = svc.serve_batch(batch(&suite, repeats));
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for (i, resp) in responses.iter().enumerate() {
+            let Some(report) = resp.report() else {
+                eprintln!("request {i} at {workers} workers failed: {:?}", resp.status);
+                answers_identical = false;
+                continue;
+            };
+            answers_identical &= fingerprint(report) == expected[i % suite.len()];
+        }
+        let stats = svc.stats();
+        let point = ConcurrencyPoint {
+            workers,
+            total_ms,
+            throughput_qps: n_requests as f64 / (total_ms / 1e3),
+            cache_hits: stats.counters.answer_cache_hits,
+            cache_misses: stats.counters.answer_cache_misses,
+        };
+        eprintln!(
+            "concurrency {}: {:.1} ms ({:.1} q/s, {} hits / {} misses)",
+            workers, point.total_ms, point.throughput_qps, point.cache_hits, point.cache_misses
+        );
+        points.push(point);
+    }
+
+    // Hot vs cold: per-request service time, cold compute vs cache hit.
+    let svc = QueryService::new(
+        ctx.clone(),
+        ServiceConfig {
+            max_inflight: 1,
+            queue_cap: suite.len(),
+            base_config: cfg.clone(),
+            cache: CacheConfig::default(),
+        },
+    );
+    let mut cold_ms = Vec::new();
+    let mut warm_ms = Vec::new();
+    for (i, (q, alg)) in suite.iter().enumerate() {
+        let cold = svc.call(QueryRequest::new(q.clone(), *alg));
+        let warm = svc.call(QueryRequest::new(q.clone(), *alg));
+        assert!(!cold.cache_hit(), "first request must miss");
+        assert!(warm.cache_hit(), "repeat request must hit");
+        for resp in [&cold, &warm] {
+            let report = resp.report().expect("served");
+            answers_identical &= fingerprint(report) == expected[i];
+        }
+        cold_ms.push(cold.service_ms);
+        warm_ms.push(warm.service_ms);
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let cold_service_ms_mean = mean(&cold_ms);
+    let warm_service_ms_mean = mean(&warm_ms);
+    let warm_speedup = cold_service_ms_mean / warm_service_ms_mean.max(1e-9);
+    eprintln!(
+        "hot vs cold: {cold_service_ms_mean:.3} ms cold, {warm_service_ms_mean:.4} ms warm ({warm_speedup:.0}x)"
+    );
+
+    let concurrency4_qps = points
+        .iter()
+        .find(|p| p.workers == 4)
+        .map(|p| p.throughput_qps)
+        .unwrap_or(0.0);
+    let report = BenchServe {
+        host_available_parallelism: host,
+        questions: suite.len(),
+        repeats,
+        requests: n_requests,
+        serial_ms,
+        serial_qps,
+        points,
+        concurrency4_qps,
+        concurrency4_ge_serial: concurrency4_qps >= serial_qps,
+        cold_service_ms_mean,
+        warm_service_ms_mean,
+        warm_speedup,
+        warm_speedup_target: 10.0,
+        warm_within_target: warm_speedup >= 10.0,
+        answers_identical,
+    };
+    assert!(
+        report.answers_identical,
+        "the serving layer changed an answer"
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

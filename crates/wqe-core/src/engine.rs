@@ -11,7 +11,18 @@ use crate::session::{EvalResult, Session, WhyQuestion, WqeConfig};
 use crate::whyempty::ans_we;
 use crate::whymany::apx_why_many;
 
-/// Which algorithm variant to run (mirrors the implementations of §7).
+/// Which algorithm variant to run — the complete §5–§6 catalogue, so
+/// [`WqeEngine::run`] / [`WqeEngine::try_run`] are the one entry point for
+/// every question kind (the former `answer_*` wrappers are deprecated
+/// shims over this enum).
+///
+/// Tunables live in [`crate::session::WqeConfig`], not here: the beam
+/// width of `AnsHeu`/`AnsHeuB` comes from
+/// [`WqeConfig::beam_width`](crate::session::WqeConfig::beam_width), and
+/// the `AnsWnc`/`AnsWb` ablations take effect through
+/// `caching`/`pruning` (applied automatically by
+/// [`Algorithm::apply_to`]; construct the engine with the matching config,
+/// or let [`crate::service::QueryService`] do it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// Exact anytime search with caching and pruning.
@@ -20,12 +31,79 @@ pub enum Algorithm {
     AnsWnc,
     /// `AnsW` without caching *and* without pruning.
     AnsWb,
-    /// Beam-search heuristic with the given width.
-    AnsHeu(usize),
-    /// Beam search with random operator selection (seeded).
-    AnsHeuB(usize, u64),
+    /// Beam-search heuristic (width = `WqeConfig::beam_width`).
+    AnsHeu,
+    /// Beam search with random operator selection, seeded (width =
+    /// `WqeConfig::beam_width`).
+    AnsHeuB(u64),
     /// Frequent-pattern-mining baseline.
     FMAnsW,
+    /// `ApxWhyM` (Why-Many, §6.1): remove surplus irrelevant answers.
+    WhyMany,
+    /// `AnsWE` (Why-Empty, §6.1): relax an over-constrained query.
+    WhyEmpty,
+}
+
+impl Algorithm {
+    /// A stable lower-case name — the spec/CLI spelling, and the
+    /// algorithm's component in the `QueryService` cache key.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Algorithm::AnsW => "answ",
+            Algorithm::AnsWnc => "answnc",
+            Algorithm::AnsWb => "answb",
+            Algorithm::AnsHeu => "heu",
+            Algorithm::AnsHeuB(_) => "heub",
+            Algorithm::FMAnsW => "fm",
+            Algorithm::WhyMany => "whymany",
+            Algorithm::WhyEmpty => "whyempty",
+        }
+    }
+
+    /// Parses the spec/CLI spelling produced by [`Algorithm::as_str`].
+    /// `heub` accepts an optional `:seed` suffix (e.g. `heub:42`).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s {
+            "answ" => Some(Algorithm::AnsW),
+            "answnc" => Some(Algorithm::AnsWnc),
+            "answb" => Some(Algorithm::AnsWb),
+            "heu" => Some(Algorithm::AnsHeu),
+            "heub" => Some(Algorithm::AnsHeuB(0)),
+            "fm" => Some(Algorithm::FMAnsW),
+            "whymany" => Some(Algorithm::WhyMany),
+            "whyempty" => Some(Algorithm::WhyEmpty),
+            other => {
+                let seed = other.strip_prefix("heub:")?.parse().ok()?;
+                Some(Algorithm::AnsHeuB(seed))
+            }
+        }
+    }
+
+    /// Applies this variant's config ablations: `AnsWnc` forces
+    /// `caching = false`, `AnsWb` additionally `pruning = false`; every
+    /// other variant leaves the config untouched. The `QueryService` runs
+    /// this over each request's effective config so the [`Algorithm`] value
+    /// alone fully determines the variant.
+    pub fn apply_to(&self, mut config: crate::session::WqeConfig) -> crate::session::WqeConfig {
+        match self {
+            Algorithm::AnsWnc => config.caching = false,
+            Algorithm::AnsWb => {
+                config.caching = false;
+                config.pruning = false;
+            }
+            _ => {}
+        }
+        config
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::AnsHeuB(seed) => write!(f, "heub:{seed}"),
+            other => f.write_str(other.as_str()),
+        }
+    }
 }
 
 /// A why-question engine over one shared context + question.
@@ -49,9 +127,10 @@ const _: fn() = || {
 };
 
 impl WqeEngine {
-    /// Builds the engine. `config.caching`/`config.pruning` are overridden
-    /// per algorithm by [`WqeEngine::run`]; set them directly when calling
-    /// [`WqeEngine::answer`].
+    /// Builds the engine. The `AnsWnc`/`AnsWb` ablations act through
+    /// `config.caching`/`config.pruning` — run the config through
+    /// [`Algorithm::apply_to`] before construction (the `QueryService`
+    /// does this automatically per request).
     ///
     /// # Panics
     ///
@@ -87,45 +166,64 @@ impl WqeEngine {
     }
 
     /// Runs `AnsW` with the session's configuration.
+    #[deprecated(since = "0.1.0", note = "use run(Algorithm::AnsW)")]
     pub fn answer(&self) -> AnswerReport {
-        answ(&self.session, &self.question)
+        self.run(Algorithm::AnsW)
     }
 
-    /// Runs the beam-search heuristic.
+    /// Runs the beam-search heuristic with an explicit width. The beam now
+    /// lives in [`WqeConfig::beam_width`](crate::session::WqeConfig); build
+    /// the engine with the width you want and use `run(Algorithm::AnsHeu)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set WqeConfig::beam_width and use run(Algorithm::AnsHeu)"
+    )]
     pub fn answer_heuristic(&self, beam: usize) -> AnswerReport {
         ans_heu(&self.session, &self.question, Some(beam), Selection::Picky)
     }
 
     /// Runs `ApxWhyM` (Why-Many, §6.1).
+    #[deprecated(since = "0.1.0", note = "use run(Algorithm::WhyMany)")]
     pub fn answer_why_many(&self) -> AnswerReport {
-        apx_why_many(&self.session, &self.question)
+        self.run(Algorithm::WhyMany)
     }
 
     /// Runs `AnsWE` (Why-Empty, §6.1).
+    #[deprecated(since = "0.1.0", note = "use run(Algorithm::WhyEmpty)")]
     pub fn answer_why_empty(&self) -> AnswerReport {
-        ans_we(&self.session, &self.question)
+        self.run(Algorithm::WhyEmpty)
     }
 
     /// Runs the frequent-pattern baseline.
+    #[deprecated(since = "0.1.0", note = "use run(Algorithm::FMAnsW)")]
     pub fn answer_baseline(&self) -> AnswerReport {
-        fm_answ(&self.session, &self.question)
+        self.run(Algorithm::FMAnsW)
     }
 
-    /// Dispatches by [`Algorithm`]. Note: `AnsWnc`/`AnsWb` take effect via
-    /// the session's config, so prefer constructing the engine with the
-    /// matching `WqeConfig` (see [`crate::session::WqeConfig`]'s docs); this
-    /// method only dispatches the search strategy.
+    /// The canonical entry point: dispatches any [`Algorithm`] variant.
+    ///
+    /// Tunables come from the session's [`WqeConfig`] (beam width
+    /// included). Note: `AnsWnc`/`AnsWb` take effect via the session's
+    /// `caching`/`pruning` flags, so construct the engine with
+    /// [`Algorithm::apply_to`]'s output (the `QueryService` does this for
+    /// every request); this method only dispatches the search strategy.
+    ///
+    /// # Panics
+    ///
+    /// Propagates worker panics; use [`WqeEngine::try_run`] for the
+    /// panic-contained variant.
     pub fn run(&self, algorithm: Algorithm) -> AnswerReport {
         match algorithm {
-            Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => self.answer(),
-            Algorithm::AnsHeu(k) => self.answer_heuristic(k),
-            Algorithm::AnsHeuB(k, seed) => ans_heu(
-                &self.session,
-                &self.question,
-                Some(k),
-                Selection::Random(seed),
-            ),
-            Algorithm::FMAnsW => self.answer_baseline(),
+            Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => {
+                answ(&self.session, &self.question)
+            }
+            Algorithm::AnsHeu => ans_heu(&self.session, &self.question, None, Selection::Picky),
+            Algorithm::AnsHeuB(seed) => {
+                ans_heu(&self.session, &self.question, None, Selection::Random(seed))
+            }
+            Algorithm::FMAnsW => fm_answ(&self.session, &self.question),
+            Algorithm::WhyMany => apx_why_many(&self.session, &self.question),
+            Algorithm::WhyEmpty => ans_we(&self.session, &self.question),
         }
     }
 
@@ -138,20 +236,15 @@ impl WqeEngine {
             Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => {
                 try_answ(&self.session, &self.question)
             }
-            Algorithm::AnsHeu(k) => {
-                try_ans_heu(&self.session, &self.question, Some(k), Selection::Picky)
+            Algorithm::AnsHeu => try_ans_heu(&self.session, &self.question, None, Selection::Picky),
+            Algorithm::AnsHeuB(seed) => {
+                try_ans_heu(&self.session, &self.question, None, Selection::Random(seed))
             }
-            Algorithm::AnsHeuB(k, seed) => try_ans_heu(
-                &self.session,
-                &self.question,
-                Some(k),
-                Selection::Random(seed),
-            ),
-            // The baseline has no pool fan-out of its own; contain a panic
-            // here so `try_run` keeps its no-unwind contract for every
-            // variant.
-            Algorithm::FMAnsW => {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.answer_baseline()))
+            // These variants have no pool fan-out of their own; contain a
+            // panic here so `try_run` keeps its no-unwind contract for
+            // every variant.
+            Algorithm::FMAnsW | Algorithm::WhyMany | Algorithm::WhyEmpty => {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(algorithm)))
                     .map_err(|p| {
                         let message = p
                             .downcast_ref::<&'static str>()
@@ -193,7 +286,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let report = engine.answer();
+        let report = engine.run(Algorithm::AnsW);
         let best = report.best.as_ref().expect("answer");
         assert!((best.closeness - 0.5).abs() < 1e-9);
         let table = engine.explain(best).expect("explainable");
@@ -213,14 +306,14 @@ mod tests {
             },
         );
         // Why-Many removes the irrelevant matches P1, P2 (refinement-only).
-        let wm = engine.answer_why_many().best.unwrap();
+        let wm = engine.run(Algorithm::WhyMany).best.unwrap();
         assert!(wm
             .ops
             .iter()
             .all(|o| o.class() == wqe_query::OpClass::Refine));
         // Why-Empty: the original query has a relevant match (P5), so the
         // removal-only repair trivially exists.
-        let we = engine.answer_why_empty();
+        let we = engine.run(Algorithm::WhyEmpty);
         assert!(we.best.is_some());
     }
 
@@ -238,12 +331,37 @@ mod tests {
         );
         for alg in [
             Algorithm::AnsW,
-            Algorithm::AnsHeu(2),
-            Algorithm::AnsHeuB(2, 7),
+            Algorithm::AnsHeu,
+            Algorithm::AnsHeuB(7),
             Algorithm::FMAnsW,
+            Algorithm::WhyMany,
+            Algorithm::WhyEmpty,
         ] {
             let report = engine.run(alg);
             assert!(report.best.is_some(), "{alg:?} produced no result");
+            let fallible = engine.try_run(alg).expect("try_run");
+            assert_eq!(fallible.best.is_some(), report.best.is_some());
         }
+    }
+
+    #[test]
+    fn algorithm_round_trips_and_ablations() {
+        for alg in [
+            Algorithm::AnsW,
+            Algorithm::AnsWnc,
+            Algorithm::AnsWb,
+            Algorithm::AnsHeu,
+            Algorithm::AnsHeuB(42),
+            Algorithm::FMAnsW,
+            Algorithm::WhyMany,
+            Algorithm::WhyEmpty,
+        ] {
+            assert_eq!(Algorithm::parse(&alg.to_string()), Some(alg), "{alg:?}");
+        }
+        assert_eq!(Algorithm::parse("nope"), None);
+        let cfg = Algorithm::AnsWnc.apply_to(WqeConfig::default());
+        assert!(!cfg.caching && cfg.pruning);
+        let cfg = Algorithm::AnsWb.apply_to(WqeConfig::default());
+        assert!(!cfg.caching && !cfg.pruning);
     }
 }

@@ -5,6 +5,7 @@
 //! question that passes [`crate::session::Session::try_new`] never trips an
 //! invariant deeper in the search.
 
+use crate::spec::SpecError;
 use wqe_query::PatternError;
 
 /// Why a session, engine, or multi-focus answer could not be built.
@@ -13,6 +14,9 @@ pub enum WqeError {
     /// The question's pattern has no live focus node (e.g. it was removed
     /// by an operator before the question was posed).
     DeadFocus,
+    /// A human-writable question spec failed to parse or resolve against
+    /// the graph's schema (see [`crate::spec`]).
+    Spec(SpecError),
     /// A numeric tunable is non-finite or out of its documented range.
     InvalidConfig {
         /// Which `WqeConfig` field was rejected.
@@ -38,6 +42,7 @@ impl std::fmt::Display for WqeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WqeError::DeadFocus => write!(f, "the query's focus node is not live"),
+            WqeError::Spec(e) => write!(f, "{e}"),
             WqeError::InvalidConfig { field, value } => {
                 write!(f, "invalid config: {field} = {value}")
             }
@@ -53,6 +58,7 @@ impl std::error::Error for WqeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WqeError::Pattern(e) => Some(e),
+            WqeError::Spec(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +67,12 @@ impl std::error::Error for WqeError {
 impl From<PatternError> for WqeError {
     fn from(e: PatternError) -> Self {
         WqeError::Pattern(e)
+    }
+}
+
+impl From<SpecError> for WqeError {
+    fn from(e: SpecError) -> Self {
+        WqeError::Spec(e)
     }
 }
 
@@ -108,6 +120,15 @@ mod tests {
         let p = PatternError::FocusRemoval;
         let e: WqeError = p.clone().into();
         assert_eq!(e, WqeError::Pattern(p));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn spec_errors_convert() {
+        let s = SpecError("unknown label \"Spaceship\"".into());
+        let e: WqeError = s.clone().into();
+        assert_eq!(e, WqeError::Spec(s));
+        assert!(e.to_string().contains("Spaceship"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -16,9 +16,10 @@
 //! ```
 //! use std::sync::Arc;
 //! use wqe_core::ctx::EngineCtx;
-//! use wqe_core::engine::WqeEngine;
+//! use wqe_core::engine::{Algorithm, WqeEngine};
 //! use wqe_core::paper::paper_question;
 //! use wqe_core::session::WqeConfig;
+//! use wqe_core::service::{QueryRequest, QueryService, ServiceConfig};
 //! use wqe_graph::product::product_graph;
 //!
 //! let graph = Arc::new(product_graph().graph);
@@ -28,8 +29,16 @@
 //!     paper_question(&graph),
 //!     WqeConfig { budget: 4.0, ..Default::default() },
 //! );
-//! let report = engine.answer();
+//! let report = engine.run(Algorithm::AnsW);
 //! assert!((report.best.unwrap().closeness - 0.5).abs() < 1e-9);
+//!
+//! // Or go through the serving layer: admission control + answer cache.
+//! let service = QueryService::new(ctx, ServiceConfig {
+//!     base_config: WqeConfig { budget: 4.0, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let resp = service.call(QueryRequest::new(paper_question(&graph), Algorithm::AnsW));
+//! assert!(resp.report().unwrap().best.is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -54,6 +63,7 @@ pub mod obs;
 pub mod opsgen;
 pub mod paper;
 pub mod relevance;
+pub mod service;
 pub mod session;
 pub mod spec;
 pub mod whyempty;
@@ -81,6 +91,10 @@ pub use metrics::GovernorTelemetry;
 pub use multifocus::{answer_multi_focus, FocusAnswer, MultiFocusAnswer, MultiFocusQuestion};
 pub use obs::{CounterRegistry, QueryProfile, StageProfile};
 pub use relevance::RelevanceSets;
-pub use session::{EvalResult, Session, WhyQuestion, WqeConfig};
+pub use service::{
+    CacheConfig, PendingQuery, Priority, QueryRequest, QueryResponse, QueryService, QueryStatus,
+    ServiceConfig, ServiceStats,
+};
+pub use session::{EvalResult, Session, WhyQuestion, WqeConfig, WqeConfigBuilder};
 pub use whyempty::ans_we;
 pub use whymany::apx_why_many;

@@ -78,6 +78,38 @@ pub struct CounterRegistry {
     pub oracle_steps: u64,
     /// Governor: peak retained-search-state count.
     pub frontier_peak: u64,
+    /// `QueryService` answer-cache hits. Service-level: populated in the
+    /// service's stats registry, always zero in per-query profiles.
+    pub answer_cache_hits: u64,
+    /// `QueryService` answer-cache misses (service-level, see above).
+    pub answer_cache_misses: u64,
+    /// `QueryService` answer-cache evictions — LRU displacement and TTL
+    /// expiry both count (service-level, see above).
+    pub answer_cache_evictions: u64,
+}
+
+impl CounterRegistry {
+    /// Folds every profiler-backed counter out of a snapshot. The three
+    /// governor-sourced fields (`match_steps`, `oracle_steps`,
+    /// `frontier_peak`) are not in the profiler; they stay zero here and
+    /// are patched in by [`QueryProfile::from_snapshot`].
+    pub fn from_snapshot(snapshot: &ProfileSnapshot) -> Self {
+        CounterRegistry {
+            cache_hits: snapshot.counter(Counter::CacheHit),
+            cache_misses: snapshot.counter(Counter::CacheMiss),
+            cache_evictions: snapshot.counter(Counter::CacheEviction),
+            oracle_dist_calls: snapshot.counter(Counter::OracleDist),
+            oracle_dist_batch_calls: snapshot.counter(Counter::OracleDistBatch),
+            pool_runs: snapshot.counter(Counter::PoolRun),
+            pool_tasks: snapshot.counter(Counter::PoolTask),
+            match_steps: 0,
+            oracle_steps: 0,
+            frontier_peak: 0,
+            answer_cache_hits: snapshot.counter(Counter::AnswerCacheHit),
+            answer_cache_misses: snapshot.counter(Counter::AnswerCacheMiss),
+            answer_cache_evictions: snapshot.counter(Counter::AnswerCacheEviction),
+        }
+    }
 }
 
 /// The full per-query stage/counter breakdown attached to a finished
@@ -125,16 +157,10 @@ impl QueryProfile {
                 .map(|&s| StageProfile::from_snapshot(s, snapshot.stage(s)))
                 .collect(),
             counters: CounterRegistry {
-                cache_hits: snapshot.counter(Counter::CacheHit),
-                cache_misses: snapshot.counter(Counter::CacheMiss),
-                cache_evictions: snapshot.counter(Counter::CacheEviction),
-                oracle_dist_calls: snapshot.counter(Counter::OracleDist),
-                oracle_dist_batch_calls: snapshot.counter(Counter::OracleDistBatch),
-                pool_runs: snapshot.counter(Counter::PoolRun),
-                pool_tasks: snapshot.counter(Counter::PoolTask),
                 match_steps,
                 oracle_steps,
                 frontier_peak,
+                ..CounterRegistry::from_snapshot(snapshot)
             },
         }
     }

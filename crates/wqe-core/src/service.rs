@@ -1,0 +1,981 @@
+//! The serving layer: [`QueryService`] — one front door for every
+//! why-question variant.
+//!
+//! A service wraps a shared [`EngineCtx`] with:
+//!
+//! * a **request/response API**: [`QueryRequest`] (question, [`Algorithm`],
+//!   optional per-request [`WqeConfig`] override, [`Priority`], deadline)
+//!   in, [`QueryResponse`] (status plus queue/service timing) out, via
+//!   [`QueryService::submit`] (async handle), [`QueryService::call`]
+//!   (blocking), or [`QueryService::serve_batch`] (many at once, responses
+//!   in request order);
+//! * an **admission-controlled scheduler**: at most `max_inflight` worker
+//!   threads drain a bounded [`JobQueue`](wqe_pool::serve::JobQueue) —
+//!   highest [`Priority`] class first, FIFO within a class — and a full
+//!   queue yields an explicit [`QueryStatus::Rejected`] instead of
+//!   unbounded buffering;
+//! * a **sharded answer cache**: completed reports are keyed by a
+//!   canonical encoding of (question, algorithm, effective config) with
+//!   TTL expiry and LRU eviction; a hit skips the engine entirely and the
+//!   response says so (`cache_hit`).
+//!
+//! Determinism is preserved end to end: the cache key excludes
+//! `parallelism` (answers never depend on it — see DESIGN.md "Parallel
+//! search"), only [`Termination::Complete`] reports are cached, and a
+//! cached answer is the bit-identical report the cold run produced. See
+//! DESIGN.md "Serving layer".
+
+use crate::answ::AnswerReport;
+use crate::ctx::EngineCtx;
+use crate::engine::{Algorithm, WqeEngine};
+use crate::error::WqeError;
+use crate::governor::Termination;
+use crate::obs::{Counter, CounterRegistry, Profiler};
+use crate::session::{WhyQuestion, WqeConfig};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use wqe_pool::serve::{JobQueue, PushError};
+
+pub use wqe_pool::serve::Priority;
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------------
+
+/// One why-question submitted to a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The why-question to answer.
+    pub question: WhyQuestion,
+    /// Which algorithm variant to run.
+    pub algorithm: Algorithm,
+    /// Full per-request config override; `None` uses the service's
+    /// [`ServiceConfig::base_config`]. Build overrides with
+    /// [`WqeConfig::to_builder`] on the base so they validate early.
+    pub config: Option<WqeConfig>,
+    /// Scheduling class (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Per-request governor deadline in milliseconds, overriding the
+    /// effective config's `deadline_ms`. The clock starts when a worker
+    /// picks the job up (service time), not at submission.
+    pub deadline_ms: Option<f64>,
+}
+
+impl QueryRequest {
+    /// A request with the service's base config and normal priority.
+    pub fn new(question: WhyQuestion, algorithm: Algorithm) -> Self {
+        QueryRequest {
+            question,
+            algorithm,
+            config: None,
+            priority: Priority::Normal,
+            deadline_ms: None,
+        }
+    }
+
+    /// Replaces the effective config for this request.
+    pub fn with_config(mut self, config: WqeConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-request service-time deadline.
+    pub fn with_deadline_ms(mut self, ms: f64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// The terminal state of one served request.
+#[derive(Debug, Clone)]
+pub enum QueryStatus {
+    /// The engine produced a report (possibly partial — check
+    /// `report.termination`).
+    Done {
+        /// The answer, exactly as the engine (or the cache) produced it
+        /// (boxed: a report is much larger than the other variants).
+        report: Box<AnswerReport>,
+        /// True when the report came from the answer cache.
+        cache_hit: bool,
+    },
+    /// The request failed validation or the worker was lost to a panic.
+    Failed {
+        /// What went wrong.
+        error: WqeError,
+    },
+    /// Admission control turned the request away; nothing ran.
+    Rejected {
+        /// True when the bounded queue was at capacity; false when the
+        /// service was already shut down.
+        queue_full: bool,
+        /// Queue depth observed at rejection.
+        queue_len: usize,
+    },
+}
+
+/// What a [`QueryService`] returns for one request.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The service-assigned request id (monotonic per service).
+    pub id: u64,
+    /// Outcome.
+    pub status: QueryStatus,
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: f64,
+    /// Milliseconds of worker service time (cache probe + engine run).
+    pub service_ms: f64,
+}
+
+impl QueryResponse {
+    /// The answer report, if the request completed.
+    pub fn report(&self) -> Option<&AnswerReport> {
+        match &self.status {
+            QueryStatus::Done { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// True when the report came from the answer cache.
+    pub fn cache_hit(&self) -> bool {
+        matches!(
+            self.status,
+            QueryStatus::Done {
+                cache_hit: true,
+                ..
+            }
+        )
+    }
+
+    /// True when admission control rejected the request.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self.status, QueryStatus::Rejected { .. })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Answer-cache tunables.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total cached reports across all shards; `0` disables the cache.
+    pub capacity: usize,
+    /// Entry time-to-live in milliseconds; `0` means no expiry.
+    pub ttl_ms: u64,
+    /// Shard count (clamped to at least 1). More shards, less lock
+    /// contention between workers.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 256,
+            ttl_ms: 600_000,
+            shards: 4,
+        }
+    }
+}
+
+/// [`QueryService`] tunables.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue — the concurrency admission
+    /// limit. `0` means one per available core.
+    pub max_inflight: usize,
+    /// Bounded queue depth; a push beyond it is rejected. `0` is clamped
+    /// to 1.
+    pub queue_cap: usize,
+    /// The config requests start from (overridden per request by
+    /// [`QueryRequest::config`]).
+    pub base_config: WqeConfig,
+    /// Answer-cache tunables.
+    pub cache: CacheConfig,
+}
+
+impl ServiceConfig {
+    fn effective_queue_cap(&self) -> usize {
+        if self.queue_cap == 0 {
+            64
+        } else {
+            self.queue_cap
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical cache key
+// ---------------------------------------------------------------------------
+
+/// Encodes (question, algorithm, effective config) into a canonical string:
+/// two structurally identical submissions always produce the same key, no
+/// matter how their `HashMap`-backed exemplar cells iterate. `parallelism`
+/// is deliberately excluded — answers never depend on it — while every
+/// termination-affecting knob (deadline, caps, time limit) is included so a
+/// cached `Complete` report is never served to a request whose limits could
+/// have produced a different (partial) answer.
+fn canonical_key(question: &WhyQuestion, algorithm: Algorithm, config: &WqeConfig) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(256);
+    let _ = write!(s, "alg={algorithm};");
+
+    let q = &question.query;
+    let _ = write!(s, "q:focus={},bound={};", q.focus().0, q.max_bound());
+    for u in q.node_ids() {
+        match q.node(u) {
+            Some(n) => {
+                let _ = write!(s, "n{}=[l={:?}", u.0, n.label.map(|l| l.0));
+                for lit in &n.literals {
+                    let _ = write!(s, ",{}{:?}{:?}", lit.attr.0, lit.op, lit.value);
+                }
+                s.push_str("];");
+            }
+            None => {
+                let _ = write!(s, "n{}=dead;", u.0);
+            }
+        }
+    }
+    for e in q.edges() {
+        let _ = write!(s, "e={}-{}<={};", e.from.0, e.to.0, e.bound);
+    }
+
+    let ex = &question.exemplar;
+    for (i, t) in ex.tuples.iter().enumerate() {
+        let mut cells: Vec<_> = t.cells.iter().collect();
+        cells.sort_by_key(|(a, _)| **a);
+        let _ = write!(s, "t{i}=[");
+        for (a, c) in cells {
+            let _ = write!(s, "{}:{c:?},", a.0);
+        }
+        s.push_str("];");
+    }
+    for c in &ex.constraints {
+        let _ = write!(s, "c={c:?};");
+    }
+
+    let _ = write!(
+        s,
+        "cfg:theta={},lambda={},budget={},tl={:?},exp={},beam={},topk={},rs={},cache={},prune={},fb={},dl={},mfs={},mms={}",
+        config.closeness.theta,
+        config.closeness.lambda,
+        config.budget,
+        config.time_limit_ms,
+        config.max_expansions,
+        config.beam_width,
+        config.top_k,
+        config.relevance_sample,
+        config.caching,
+        config.pruning,
+        config.frontier_batch,
+        config.deadline_ms,
+        config.max_frontier_states,
+        config.max_match_steps,
+    );
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Sharded TTL + LRU answer cache
+// ---------------------------------------------------------------------------
+
+struct CacheEntry {
+    report: AnswerReport,
+    inserted: Instant,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    /// Keyed by the *full* canonical string (not its hash), so a hash
+    /// collision can never serve the wrong answer.
+    entries: HashMap<String, CacheEntry>,
+    tick: u64,
+}
+
+struct AnswerCache {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard_cap: usize,
+    ttl: Option<Duration>,
+}
+
+impl AnswerCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let per_shard_cap = if cfg.capacity == 0 {
+            0
+        } else {
+            cfg.capacity.div_ceil(shards)
+        };
+        AnswerCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            per_shard_cap,
+            ttl: (cfg.ttl_ms > 0).then(|| Duration::from_millis(cfg.ttl_ms)),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.per_shard_cap > 0
+    }
+
+    fn shard(&self, key: &str) -> std::sync::MutexGuard<'_, CacheShard> {
+        // DefaultHasher is keyed with fixed constants, so shard placement
+        // is stable; it only spreads load, never correctness.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let idx = (h.finish() % self.shards.len() as u64) as usize;
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks a key up; expired entries are dropped (counted as one
+    /// eviction via the second tuple slot).
+    fn get(&self, key: &str) -> (Option<AnswerReport>, u64) {
+        if !self.enabled() {
+            return (None, 0);
+        }
+        let mut shard = self.shard(key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(e) => {
+                if self.ttl.is_some_and(|ttl| e.inserted.elapsed() > ttl) {
+                    shard.entries.remove(key);
+                    (None, 1)
+                } else {
+                    e.last_used = tick;
+                    (Some(e.report.clone()), 0)
+                }
+            }
+            None => (None, 0),
+        }
+    }
+
+    /// Inserts (or refreshes) a report, returning how many entries were
+    /// evicted to make room.
+    fn insert(&self, key: String, report: AnswerReport) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        let mut shard = self.shard(&key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        let mut evicted = 0;
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard_cap {
+            if let Some(lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&lru);
+                evicted = 1;
+            }
+        }
+        shard.entries.insert(
+            key,
+            CacheEntry {
+                report,
+                inserted: Instant::now(),
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .entries
+                .clear();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Lets a caller cancel a request whose job may not have started yet: the
+/// flag is sticky, and the governor is armed by the worker when the run
+/// begins — whichever side gets there second observes the other.
+#[derive(Default)]
+struct CancelHandle {
+    state: Mutex<CancelState>,
+}
+
+#[derive(Default)]
+struct CancelState {
+    cancelled: bool,
+    governor: Option<Arc<wqe_pool::governor::Governor>>,
+}
+
+impl CancelHandle {
+    fn cancel(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.cancelled = true;
+        if let Some(g) = &s.governor {
+            g.cancel();
+        }
+    }
+
+    fn arm(&self, governor: Arc<wqe_pool::governor::Governor>) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.cancelled {
+            governor.cancel();
+        }
+        s.governor = Some(governor);
+    }
+}
+
+struct Job {
+    id: u64,
+    question: WhyQuestion,
+    algorithm: Algorithm,
+    config: WqeConfig,
+    key: String,
+    enqueued: Instant,
+    reply: mpsc::Sender<QueryResponse>,
+    cancel: Arc<CancelHandle>,
+}
+
+struct Inner {
+    ctx: EngineCtx,
+    queue: JobQueue<Job>,
+    cache: AnswerCache,
+    profiler: Arc<Profiler>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A handle to one in-flight request: wait for the response, or cancel the
+/// run (the engine returns best-so-far with [`Termination::Cancelled`]).
+pub struct PendingQuery {
+    id: u64,
+    rx: mpsc::Receiver<QueryResponse>,
+    cancel: Arc<CancelHandle>,
+}
+
+impl PendingQuery {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Cancels the request. If the run already started, its governor trips
+    /// with [`Termination::Cancelled`] and the response carries the
+    /// best-so-far report; if it has not, the run ends immediately on its
+    /// first governor poll.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().unwrap_or_else(|_| QueryResponse {
+            id: self.id,
+            status: QueryStatus::Failed {
+                error: WqeError::WorkerPanicked {
+                    item: 0,
+                    message: "service worker disappeared".to_string(),
+                },
+            },
+            queue_ms: 0.0,
+            service_ms: 0.0,
+        })
+    }
+}
+
+/// A point-in-time summary of a service's activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue (rejections excluded).
+    pub submitted: u64,
+    /// Requests that produced a [`QueryStatus::Done`] response.
+    pub completed: u64,
+    /// Requests that produced a [`QueryStatus::Failed`] response.
+    pub failed: u64,
+    /// Requests turned away by admission control.
+    pub rejected: u64,
+    /// Jobs queued right now.
+    pub queue_depth: usize,
+    /// Reports cached right now.
+    pub cache_len: usize,
+    /// The service-level counter registry (answer-cache hits / misses /
+    /// evictions live in `answer_cache_*`).
+    pub counters: CounterRegistry,
+}
+
+/// The serving layer over one [`EngineCtx`]. See the module docs.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    base_config: WqeConfig,
+    next_id: AtomicU64,
+}
+
+impl QueryService {
+    /// Builds a service and spawns its `max_inflight` worker threads.
+    pub fn new(ctx: EngineCtx, config: ServiceConfig) -> Self {
+        let workers_n = wqe_pool::resolve_threads(config.max_inflight);
+        let inner = Arc::new(Inner {
+            ctx,
+            queue: JobQueue::new(config.effective_queue_cap()),
+            cache: AnswerCache::new(&config.cache),
+            profiler: Arc::new(Profiler::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let workers = (0..workers_n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wqe-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = inner.queue.pop() {
+                            process(&inner, job);
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService {
+            inner,
+            workers,
+            base_config: config.base_config,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a request, returning immediately with a [`PendingQuery`].
+    /// Validation failures and admission rejections are still delivered as
+    /// responses through the handle, so every submission yields exactly one
+    /// [`QueryResponse`].
+    pub fn submit(&self, request: QueryRequest) -> PendingQuery {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(CancelHandle::default());
+        let pending = PendingQuery {
+            id,
+            rx,
+            cancel: Arc::clone(&cancel),
+        };
+
+        let mut effective = self.effective_config(&request);
+        if let Err(error) = effective.validate() {
+            self.inner.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(QueryResponse {
+                id,
+                status: QueryStatus::Failed { error },
+                queue_ms: 0.0,
+                service_ms: 0.0,
+            });
+            return pending;
+        }
+        // Normalize once so the cached key and the session agree.
+        effective = request.algorithm.apply_to(effective);
+
+        let key = canonical_key(&request.question, request.algorithm, &effective);
+        let job = Job {
+            id,
+            question: request.question,
+            algorithm: request.algorithm,
+            config: effective,
+            key,
+            enqueued: Instant::now(),
+            reply: tx.clone(),
+            cancel,
+        };
+        match self.inner.queue.push(request.priority, job) {
+            Ok(_) => {
+                self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                let (queue_full, queue_len) = match e {
+                    PushError::Full { queue_len } => (true, queue_len),
+                    PushError::Closed => (false, 0),
+                };
+                let _ = tx.send(QueryResponse {
+                    id,
+                    status: QueryStatus::Rejected {
+                        queue_full,
+                        queue_len,
+                    },
+                    queue_ms: 0.0,
+                    service_ms: 0.0,
+                });
+            }
+        }
+        pending
+    }
+
+    /// Submits and blocks for the response.
+    pub fn call(&self, request: QueryRequest) -> QueryResponse {
+        self.submit(request).wait()
+    }
+
+    /// Submits a whole batch up front (so queueing and cache reuse overlap
+    /// across requests), then waits; responses come back in request order.
+    /// Batches larger than the queue capacity see tail rejections — size
+    /// `queue_cap` accordingly or feed the batch in chunks.
+    pub fn serve_batch(&self, requests: Vec<QueryRequest>) -> Vec<QueryResponse> {
+        let pending: Vec<PendingQuery> = requests.into_iter().map(|r| self.submit(r)).collect();
+        pending.into_iter().map(PendingQuery::wait).collect()
+    }
+
+    /// The config a request will effectively run under (before the
+    /// algorithm's ablations are applied).
+    fn effective_config(&self, request: &QueryRequest) -> WqeConfig {
+        let mut cfg = request
+            .config
+            .clone()
+            .unwrap_or_else(|| self.base_config.clone());
+        if let Some(dl) = request.deadline_ms {
+            cfg.deadline_ms = dl;
+        }
+        cfg
+    }
+
+    /// Holds the scheduler: admission stays open, workers idle. Tests use
+    /// this to fill the queue deterministically; operators to drain.
+    pub fn pause(&self) {
+        self.inner.queue.pause();
+    }
+
+    /// Releases a [`QueryService::pause`].
+    pub fn resume(&self) {
+        self.inner.queue.resume();
+    }
+
+    /// Drops every cached report (counters are unaffected).
+    pub fn clear_cache(&self) {
+        self.inner.cache.clear();
+    }
+
+    /// A point-in-time activity summary.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.len(),
+            cache_len: self.inner.cache.len(),
+            counters: CounterRegistry::from_snapshot(&self.inner.profiler.snapshot()),
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One job, start to finish, on a worker thread. Panics cannot escape: the
+/// engine entry is [`WqeEngine::try_run`], which contains them per query.
+fn process(inner: &Inner, job: Job) {
+    let started = Instant::now();
+    let queue_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
+
+    let (hit, expired) = inner.cache.get(&job.key);
+    if expired > 0 {
+        inner.profiler.add(Counter::AnswerCacheEviction, expired);
+    }
+    if let Some(report) = hit {
+        inner.profiler.add(Counter::AnswerCacheHit, 1);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(QueryResponse {
+            id: job.id,
+            status: QueryStatus::Done {
+                report: Box::new(report),
+                cache_hit: true,
+            },
+            queue_ms,
+            service_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+        return;
+    }
+    inner.profiler.add(Counter::AnswerCacheMiss, 1);
+
+    let status = match WqeEngine::try_new(inner.ctx.clone(), job.question, job.config) {
+        Err(error) => {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            QueryStatus::Failed { error }
+        }
+        Ok(engine) => {
+            job.cancel.arm(Arc::clone(&engine.session().governor));
+            match engine.try_run(job.algorithm) {
+                Ok(report) => {
+                    inner.completed.fetch_add(1, Ordering::Relaxed);
+                    if report.termination == Termination::Complete {
+                        let evicted = inner.cache.insert(job.key, report.clone());
+                        if evicted > 0 {
+                            inner.profiler.add(Counter::AnswerCacheEviction, evicted);
+                        }
+                    }
+                    QueryStatus::Done {
+                        report: Box::new(report),
+                        cache_hit: false,
+                    }
+                }
+                Err(error) => {
+                    inner.failed.fetch_add(1, Ordering::Relaxed);
+                    QueryStatus::Failed { error }
+                }
+            }
+        }
+    };
+    let _ = job.reply.send(QueryResponse {
+        id: job.id,
+        status,
+        queue_ms,
+        service_ms: started.elapsed().as_secs_f64() * 1e3,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_question;
+    use wqe_graph::product::product_graph;
+
+    fn service(cfg: ServiceConfig) -> (QueryService, WhyQuestion) {
+        let g = Arc::new(product_graph().graph);
+        let ctx = EngineCtx::with_default_oracle(Arc::clone(&g));
+        let q = paper_question(&g);
+        (QueryService::new(ctx, cfg), q)
+    }
+
+    fn base_cfg() -> WqeConfig {
+        WqeConfig {
+            budget: 4.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn call_answers_and_caches() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        let cold = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW));
+        assert!(!cold.cache_hit());
+        let cold_best = cold.report().unwrap().best.clone().unwrap();
+        assert!((cold_best.closeness - 0.5).abs() < 1e-9);
+
+        let warm = svc.call(QueryRequest::new(q, Algorithm::AnsW));
+        assert!(warm.cache_hit(), "identical request must hit the cache");
+        let warm_best = warm.report().unwrap().best.clone().unwrap();
+        assert_eq!(warm_best.ops, cold_best.ops);
+        assert_eq!(warm_best.matches, cold_best.matches);
+        let stats = svc.stats();
+        assert_eq!(stats.counters.answer_cache_hits, 1);
+        assert_eq!(stats.counters.answer_cache_misses, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_len, 1);
+    }
+
+    #[test]
+    fn algorithms_key_the_cache_separately() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        let a = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW));
+        let b = svc.call(QueryRequest::new(q, Algorithm::AnsHeu));
+        assert!(!a.cache_hit() && !b.cache_hit());
+        assert_eq!(svc.stats().counters.answer_cache_misses, 2);
+    }
+
+    #[test]
+    fn canonical_key_is_stable_across_clones() {
+        // The exemplar's cells live in HashMaps; the canonical encoder must
+        // not depend on their iteration order.
+        let g = product_graph().graph;
+        let q = paper_question(&g);
+        let k1 = canonical_key(&q, Algorithm::AnsW, &WqeConfig::default());
+        let q2: WhyQuestion = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        let k2 = canonical_key(&q2, Algorithm::AnsW, &WqeConfig::default());
+        assert_eq!(k1, k2);
+        // Seeded variants key separately.
+        assert_ne!(
+            canonical_key(&q, Algorithm::AnsHeuB(1), &WqeConfig::default()),
+            canonical_key(&q, Algorithm::AnsHeuB(2), &WqeConfig::default())
+        );
+        // Parallelism is excluded; budget is not.
+        let mut c = WqeConfig::default();
+        c.parallelism = 7;
+        assert_eq!(
+            canonical_key(&q, Algorithm::AnsW, &c),
+            canonical_key(&q, Algorithm::AnsW, &WqeConfig::default())
+        );
+        c.budget = 5.0;
+        assert_ne!(
+            canonical_key(&q, Algorithm::AnsW, &c),
+            canonical_key(&q, Algorithm::AnsW, &WqeConfig::default())
+        );
+    }
+
+    #[test]
+    fn invalid_override_fails_fast() {
+        let (svc, q) = service(ServiceConfig::default());
+        let bad = WqeConfig {
+            budget: -1.0,
+            ..Default::default()
+        };
+        let resp = svc.call(QueryRequest::new(q, Algorithm::AnsW).with_config(bad));
+        match resp.status {
+            QueryStatus::Failed {
+                error: WqeError::InvalidConfig { field, .. },
+            } => assert_eq!(field, "budget"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert_eq!(svc.stats().failed, 1);
+        assert_eq!(svc.stats().submitted, 0);
+    }
+
+    #[test]
+    fn queue_full_rejects_explicitly() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            queue_cap: 2,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        svc.pause();
+        let p1 = svc.submit(QueryRequest::new(q.clone(), Algorithm::AnsW));
+        let p2 = svc.submit(QueryRequest::new(q.clone(), Algorithm::AnsHeu));
+        let p3 = svc.submit(QueryRequest::new(q.clone(), Algorithm::FMAnsW));
+        svc.resume();
+        let r3 = p3.wait();
+        match r3.status {
+            QueryStatus::Rejected {
+                queue_full: true,
+                queue_len,
+            } => assert_eq!(queue_len, 2),
+            other => panic!("expected queue-full rejection, got {other:?}"),
+        }
+        assert!(p1.wait().report().is_some());
+        assert!(p2.wait().report().is_some());
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn cancel_before_run_terminates_with_cancelled() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        svc.pause();
+        let p = svc.submit(QueryRequest::new(q, Algorithm::AnsW));
+        p.cancel();
+        svc.resume();
+        let resp = p.wait();
+        let report = resp.report().expect("cancel yields best-so-far");
+        assert_eq!(report.termination, Termination::Cancelled);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 4,
+            ttl_ms: 1,
+            shards: 1,
+        });
+        cache.insert("k".to_string(), AnswerReport::default());
+        std::thread::sleep(Duration::from_millis(5));
+        let (hit, expired) = cache.get("k");
+        assert!(hit.is_none());
+        assert_eq!(expired, 1);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 2,
+            ttl_ms: 0,
+            shards: 1,
+        });
+        assert_eq!(cache.insert("a".into(), AnswerReport::default()), 0);
+        assert_eq!(cache.insert("b".into(), AnswerReport::default()), 0);
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get("a").0.is_some());
+        assert_eq!(cache.insert("c".into(), AnswerReport::default()), 1);
+        assert!(cache.get("a").0.is_some());
+        assert!(cache.get("b").0.is_none());
+        assert!(cache.get("c").0.is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            cache: CacheConfig {
+                capacity: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let a = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW));
+        let b = svc.call(QueryRequest::new(q, Algorithm::AnsW));
+        assert!(!a.cache_hit() && !b.cache_hit());
+        assert_eq!(svc.stats().cache_len, 0);
+    }
+
+    #[test]
+    fn drop_drains_and_joins() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 2,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        let pending: Vec<_> = (0..4)
+            .map(|_| svc.submit(QueryRequest::new(q.clone(), Algorithm::AnsW)))
+            .collect();
+        drop(svc); // close + join: queued work still completes
+        for p in pending {
+            assert!(p.wait().report().is_some());
+        }
+    }
+}

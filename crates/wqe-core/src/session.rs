@@ -105,6 +105,163 @@ impl WqeConfig {
     pub fn effective_parallelism(&self) -> usize {
         wqe_pool::resolve_threads(self.parallelism)
     }
+
+    /// A builder over the [`Default`] configuration. Prefer this for
+    /// untrusted or per-request tunables: every numeric range check runs
+    /// once, at [`WqeConfigBuilder::build`], instead of being deferred to
+    /// whichever `try_new` call site first consumes the config.
+    pub fn builder() -> WqeConfigBuilder {
+        WqeConfig::default().to_builder()
+    }
+
+    /// A builder seeded from this configuration — the override idiom used
+    /// by [`crate::service::QueryRequest`]: start from a service's base
+    /// config, change a few fields, validate the result.
+    pub fn to_builder(&self) -> WqeConfigBuilder {
+        WqeConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Validates every numeric tunable against its documented range. This
+    /// is the single source of truth consulted both by
+    /// [`WqeConfigBuilder::build`] and by [`Session::try_new`], so a config
+    /// that passed the builder never fails session construction.
+    pub fn validate(&self) -> Result<(), WqeError> {
+        let checks = [
+            ("budget", self.budget, 0.0, f64::INFINITY),
+            ("closeness.theta", self.closeness.theta, 0.0, 1.0),
+            (
+                "closeness.lambda",
+                self.closeness.lambda,
+                0.0,
+                f64::INFINITY,
+            ),
+            // 0.0 means "no deadline"; NaN and negatives are rejected like
+            // the other numeric tunables. The integer governor caps
+            // (`max_frontier_states`, `max_match_steps`) need no check:
+            // every representable value is valid, with 0 meaning unlimited.
+            ("deadline_ms", self.deadline_ms, 0.0, f64::INFINITY),
+        ];
+        for (field, value, lo, hi) in checks {
+            if !(lo..=hi).contains(&value) {
+                return Err(WqeError::InvalidConfig { field, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A validating builder for [`WqeConfig`]. Construct with
+/// [`WqeConfig::builder`] (from defaults) or [`WqeConfig::to_builder`]
+/// (override an existing config); plain struct construction keeps working
+/// for trusted call sites.
+#[derive(Debug, Clone)]
+pub struct WqeConfigBuilder {
+    cfg: WqeConfig,
+}
+
+impl WqeConfigBuilder {
+    /// Sets the whole closeness model at once.
+    pub fn closeness(mut self, c: ClosenessConfig) -> Self {
+        self.cfg.closeness = c;
+        self
+    }
+
+    /// Sets the similarity threshold `theta` (valid range `[0, 1]`).
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.cfg.closeness.theta = theta;
+        self
+    }
+
+    /// Sets the irrelevant-match penalty weight `lambda` (`>= 0`).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.cfg.closeness.lambda = lambda;
+        self
+    }
+
+    /// Sets the rewrite budget `B` (`>= 0`).
+    pub fn budget(mut self, budget: f64) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Sets the anytime wall-clock cap (`None` = unlimited).
+    pub fn time_limit_ms(mut self, ms: Option<u64>) -> Self {
+        self.cfg.time_limit_ms = ms;
+        self
+    }
+
+    /// Sets the Q-Chase step-simulation safety valve.
+    pub fn max_expansions(mut self, n: usize) -> Self {
+        self.cfg.max_expansions = n;
+        self
+    }
+
+    /// Sets the beam width `k` used by `AnsHeu`/`AnsHeuB`.
+    pub fn beam_width(mut self, k: usize) -> Self {
+        self.cfg.beam_width = k;
+        self
+    }
+
+    /// Sets the number of rewrites to return (top-k suggestion).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.cfg.top_k = k;
+        self
+    }
+
+    /// Sets the RC/RM sample cap for picky-edge analysis.
+    pub fn relevance_sample(mut self, n: usize) -> Self {
+        self.cfg.relevance_sample = n;
+        self
+    }
+
+    /// Enables or disables the star-view cache.
+    pub fn caching(mut self, on: bool) -> Self {
+        self.cfg.caching = on;
+        self
+    }
+
+    /// Enables or disables normal-form + cl⁺ pruning.
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.cfg.pruning = on;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = auto, `1` = serial).
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.cfg.parallelism = threads;
+        self
+    }
+
+    /// Sets the `AnsW` frontier batch width (`0` is clamped to 1).
+    pub fn frontier_batch(mut self, width: usize) -> Self {
+        self.cfg.frontier_batch = width;
+        self
+    }
+
+    /// Sets the governor wall-clock deadline in milliseconds (`0` = none).
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.cfg.deadline_ms = ms;
+        self
+    }
+
+    /// Sets the governor retained-search-state cap (`0` = unlimited).
+    pub fn max_frontier_states(mut self, n: usize) -> Self {
+        self.cfg.max_frontier_states = n;
+        self
+    }
+
+    /// Sets the governor cumulative match-step cap (`0` = unlimited).
+    pub fn max_match_steps(mut self, n: u64) -> Self {
+        self.cfg.max_match_steps = n;
+        self
+    }
+
+    /// Validates and returns the configuration (see [`WqeConfig::validate`]
+    /// for the rejection rules).
+    pub fn build(self) -> Result<WqeConfig, WqeError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 /// Everything evaluated about one query rewrite.
@@ -313,27 +470,7 @@ fn validate(question: &WhyQuestion, config: &WqeConfig) -> Result<(), WqeError> 
     if question.query.node(question.query.focus()).is_none() {
         return Err(WqeError::DeadFocus);
     }
-    let checks = [
-        ("budget", config.budget, 0.0, f64::INFINITY),
-        ("closeness.theta", config.closeness.theta, 0.0, 1.0),
-        (
-            "closeness.lambda",
-            config.closeness.lambda,
-            0.0,
-            f64::INFINITY,
-        ),
-        // 0.0 means "no deadline"; NaN and negatives are rejected like the
-        // other numeric tunables. The integer governor caps
-        // (`max_frontier_states`, `max_match_steps`) need no check: every
-        // representable value is valid, with 0 meaning unlimited.
-        ("deadline_ms", config.deadline_ms, 0.0, f64::INFINITY),
-    ];
-    for (field, value, lo, hi) in checks {
-        if !(lo..=hi).contains(&value) {
-            return Err(WqeError::InvalidConfig { field, value });
-        }
-    }
-    Ok(())
+    config.validate()
 }
 
 #[cfg(test)]
@@ -592,6 +729,54 @@ mod tests {
         assert_eq!(session.governor.halt(), None);
         assert_eq!(session.governor.charge_steps(1_000_000), None);
         assert_eq!(session.governor.note_frontier(1_000_000), None);
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        // Happy path: overrides land, everything else keeps its default.
+        let cfg = WqeConfig::builder()
+            .budget(5.0)
+            .beam_width(7)
+            .deadline_ms(250.0)
+            .caching(false)
+            .build()
+            .expect("valid overrides");
+        assert_eq!(cfg.budget, 5.0);
+        assert_eq!(cfg.beam_width, 7);
+        assert_eq!(cfg.deadline_ms, 250.0);
+        assert!(!cfg.caching);
+        assert_eq!(cfg.top_k, WqeConfig::default().top_k);
+
+        // Every range violation is caught at build(), naming the field.
+        for (builder, field) in [
+            (WqeConfig::builder().budget(-1.0), "budget"),
+            (WqeConfig::builder().budget(f64::NAN), "budget"),
+            (WqeConfig::builder().theta(1.5), "closeness.theta"),
+            (WqeConfig::builder().lambda(-0.5), "closeness.lambda"),
+            (WqeConfig::builder().deadline_ms(-3.0), "deadline_ms"),
+        ] {
+            match builder.build() {
+                Err(WqeError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn to_builder_roundtrips_and_overrides() {
+        let base = WqeConfig {
+            budget: 9.0,
+            top_k: 4,
+            ..Default::default()
+        };
+        // No overrides: the builder reproduces the config exactly.
+        let same = base.to_builder().build().unwrap();
+        assert_eq!(same.budget, 9.0);
+        assert_eq!(same.top_k, 4);
+        // Per-request override keeps the rest of the base.
+        let tweaked = base.to_builder().deadline_ms(10.0).build().unwrap();
+        assert_eq!(tweaked.budget, 9.0);
+        assert_eq!(tweaked.deadline_ms, 10.0);
     }
 
     #[test]

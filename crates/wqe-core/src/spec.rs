@@ -38,8 +38,10 @@ use std::collections::HashMap;
 use wqe_graph::{AttrValue, CmpOp, Graph, Schema};
 use wqe_query::{Literal, PatternQuery, QNodeId};
 
-/// Spec parsing errors, with enough context to fix the file.
-#[derive(Debug)]
+/// Spec parsing errors, with enough context to fix the file. Folds into
+/// [`crate::error::WqeError::Spec`], so spec-driven callers (the CLI, the
+/// `QueryService` batch front door) surface one error type end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError(pub String);
 
 impl std::fmt::Display for SpecError {

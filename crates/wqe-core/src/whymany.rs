@@ -28,8 +28,9 @@ const MAX_SEEDS: usize = 48;
 struct Seed {
     op: AtomicOp,
     cost: f64,
-    /// Answer elements removed by applying the op alone.
-    covers: HashSet<NodeId>,
+    /// Answer elements removed by applying the op alone (sorted: weight
+    /// sums must run in a fixed order, or float ties break unpredictably).
+    covers: Vec<NodeId>,
 }
 
 /// Element weight in the coverage instance: removing an irrelevant match
@@ -55,7 +56,15 @@ pub fn apx_why_many(session: &Session, question: &WhyQuestion) -> AnswerReport {
     let base_matches: HashSet<NodeId> = base.outcome.matches.iter().copied().collect();
 
     // Line 2 (SeedRf): picky refinement seeds, each materialized once.
+    // Generation iterates hash maps, so impose the pickiness order (ties on
+    // the op key) before truncating — otherwise both the retained seed set
+    // and every downstream tie-break would vary run to run.
     let mut scored = generate_refinements(session, &question.query, &base);
+    scored.sort_by(|a, b| {
+        b.pickiness
+            .total_cmp(&a.pickiness)
+            .then_with(|| format!("{:?}", a.op).cmp(&format!("{:?}", b.op)))
+    });
     scored.truncate(MAX_SEEDS);
     let mut seeds: Vec<Seed> = Vec::with_capacity(scored.len());
     for s in scored {
@@ -70,7 +79,8 @@ pub fn apx_why_many(session: &Session, question: &WhyQuestion) -> AnswerReport {
         let eval = session.evaluate(&q);
         report.expansions += 1;
         let after: HashSet<NodeId> = eval.outcome.matches.iter().copied().collect();
-        let covers: HashSet<NodeId> = base_matches.difference(&after).copied().collect();
+        let mut covers: Vec<NodeId> = base_matches.difference(&after).copied().collect();
+        covers.sort_unstable();
         if covers.is_empty() {
             continue;
         }
@@ -81,9 +91,8 @@ pub fn apx_why_many(session: &Session, question: &WhyQuestion) -> AnswerReport {
         });
     }
 
-    let set_weight = |covered: &HashSet<NodeId>| -> f64 {
-        covered.iter().map(|&v| element_weight(session, v)).sum()
-    };
+    let set_weight =
+        |covered: &[NodeId]| -> f64 { covered.iter().map(|&v| element_weight(session, v)).sum() };
 
     // Line 3: O2 = the single best operator.
     let o2: Option<&Seed> = seeds

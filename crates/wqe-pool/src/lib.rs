@@ -34,6 +34,7 @@
 
 pub mod governor;
 pub mod obs;
+pub mod serve;
 
 use governor::{Governor, Termination};
 use std::panic::{catch_unwind, AssertUnwindSafe};

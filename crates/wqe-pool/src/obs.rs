@@ -105,11 +105,17 @@ pub enum Counter {
     PoolRun = 5,
     /// Work items completed across all pool runs.
     PoolTask = 6,
+    /// Answer-cache hits (the `QueryService` result cache in `wqe-core`).
+    AnswerCacheHit = 7,
+    /// Answer-cache misses.
+    AnswerCacheMiss = 8,
+    /// Answer-cache evictions (LRU capacity or TTL expiry).
+    AnswerCacheEviction = 9,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 10] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheEviction,
@@ -117,6 +123,9 @@ impl Counter {
         Counter::OracleDistBatch,
         Counter::PoolRun,
         Counter::PoolTask,
+        Counter::AnswerCacheHit,
+        Counter::AnswerCacheMiss,
+        Counter::AnswerCacheEviction,
     ];
 
     /// A stable snake_case name (used as the JSON key).
@@ -129,6 +138,9 @@ impl Counter {
             Counter::OracleDistBatch => "oracle_dist_batch_calls",
             Counter::PoolRun => "pool_runs",
             Counter::PoolTask => "pool_tasks",
+            Counter::AnswerCacheHit => "answer_cache_hits",
+            Counter::AnswerCacheMiss => "answer_cache_misses",
+            Counter::AnswerCacheEviction => "answer_cache_evictions",
         }
     }
 }
@@ -196,7 +208,7 @@ pub struct ProfileSnapshot {
     /// (i.e. in [`Stage::ALL`] order).
     pub stages: [StageSnapshot; 6],
     /// One value per [`Counter`], indexed by discriminant.
-    pub counters: [u64; 7],
+    pub counters: [u64; 10],
 }
 
 impl ProfileSnapshot {
@@ -217,7 +229,7 @@ impl ProfileSnapshot {
 #[derive(Debug, Default)]
 pub struct Profiler {
     stages: [StageStats; 6],
-    counters: [AtomicU64; 7],
+    counters: [AtomicU64; 10],
 }
 
 impl Profiler {
@@ -439,6 +451,9 @@ mod tests {
                 "oracle_dist_batch_calls",
                 "pool_runs",
                 "pool_tasks",
+                "answer_cache_hits",
+                "answer_cache_misses",
+                "answer_cache_evictions",
             ]
         );
     }

@@ -7,7 +7,7 @@
 //! ```
 
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::relative_closeness;
 use wqe::core::session::WqeConfig;
 use wqe::core::EngineCtx;
@@ -58,11 +58,12 @@ fn main() {
             WqeConfig {
                 budget: 3.0,
                 time_limit_ms: Some(1000),
+                beam_width: 3,
                 ..Default::default()
             },
         );
         // Fast interactive response: the beam heuristic (a search session).
-        let report = engine.answer_heuristic(3);
+        let report = engine.run(Algorithm::AnsHeu);
         let delta = report
             .best
             .as_ref()

@@ -6,7 +6,7 @@
 //! ```
 
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::paper::{paper_exemplar, paper_query};
 use wqe::core::session::{WhyQuestion, WqeConfig};
 use wqe::core::EngineCtx;
@@ -65,7 +65,7 @@ fn main() {
     );
 
     // Top-3 rewrites.
-    let report = engine.answer();
+    let report = engine.run(Algorithm::AnsW);
     println!("\ntop-{} rewrites:", report.top_k.len());
     for (i, r) in report.top_k.iter().enumerate() {
         println!(
@@ -112,7 +112,7 @@ fn main() {
         before.outcome.matches.len(),
         before.relevance.im.len()
     );
-    let wm = many_engine.answer_why_many();
+    let wm = many_engine.run(Algorithm::WhyMany);
     if let Some(best) = wm.best {
         println!(
             "ApxWhyM refines to {} matches (closeness {:.3}) with:",

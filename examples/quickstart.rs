@@ -6,7 +6,7 @@
 //! ```
 
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::paper::paper_question;
 use wqe::core::session::WqeConfig;
 use wqe::core::EngineCtx;
@@ -42,7 +42,7 @@ fn main() {
         original.outcome.matches, original.closeness
     );
 
-    let report = engine.answer();
+    let report = engine.run(Algorithm::AnsW);
     let best = report.best.expect("a rewrite is found");
     println!(
         "\nsuggested rewrite Q' (cost {:.2}, closeness {:.3}):",

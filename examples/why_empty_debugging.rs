@@ -7,7 +7,7 @@
 //! ```
 
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::paper::{paper_exemplar, paper_query};
 use wqe::core::session::{WhyQuestion, WqeConfig};
 use wqe::core::EngineCtx;
@@ -53,7 +53,7 @@ fn main() {
         eval.outcome.matches, eval.relevance.rm
     );
 
-    let report = engine.answer_why_empty();
+    let report = engine.run(Algorithm::WhyEmpty);
     match report.best {
         Some(best) => {
             println!("AnsWE repair (cost {:.2}):", best.cost);
@@ -72,7 +72,7 @@ fn main() {
             println!("repaired answers: [{}]", names.join(", "));
             // Compare against the general algorithm: AnsW can spend the
             // budget on non-removal operators too.
-            let full = engine.answer();
+            let full = engine.run(Algorithm::AnsW);
             if let Some(fb) = full.best {
                 println!(
                     "\n(for reference, AnsW reaches closeness {:.3} with {} ops)",

@@ -39,12 +39,31 @@ cargo test --test governor -q
 echo "==> observability: cargo test --test profile -q"
 cargo test --test profile -q
 
+# The serving layer: concurrent mixed-algorithm batches, the answer
+# cache, admission control, and per-request deadlines must all be
+# bit-identical to direct engine runs — serialized and under default
+# test threading, like the other determinism suites.
+echo "==> serving: RUST_TEST_THREADS=1 cargo test --test service -q"
+RUST_TEST_THREADS=1 cargo test --test service -q
+
+echo "==> serving: cargo test --test service -q"
+cargo test --test service -q
+
 # Idle governor + profiler overhead must stay under the 3% bar on the
 # intra-query workload (min-over-reps, alternating modes).
 echo "==> observability: bench_governor overhead gate"
 cargo run --release -p wqe-bench --bin bench_governor -- --out results/BENCH_governor.json
 grep -q '"within_target": true' results/BENCH_governor.json || {
     echo "bench_governor: idle overhead exceeded the 3% target" >&2
+    exit 1
+}
+
+# The serving-layer bench hard-asserts served == direct inside the bin;
+# gate on the recorded flag too so a stale JSON cannot pass.
+echo "==> serving: bench_serve answers-identical gate"
+cargo run --release -p wqe-bench --bin bench_serve -- --out results/BENCH_serve.json
+grep -q '"answers_identical": true' results/BENCH_serve.json || {
+    echo "bench_serve: served answers diverged from direct engine runs" >&2
     exit 1
 }
 

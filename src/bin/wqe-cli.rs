@@ -4,28 +4,39 @@
 //! wqe-cli stats  <graph.jsonl>
 //! wqe-cli match  <graph.jsonl> <question.json>          # evaluate Q only
 //! wqe-cli why    <graph.jsonl> <question.json> [opts]   # suggest rewrites
+//! wqe-cli serve  <graph.jsonl> <questions.jsonl> [opts] # batch serving
 //! wqe-cli gen    <preset> <scale> <seed> <out.jsonl>    # synthetic data
 //! wqe-cli demo                                          # built-in Fig. 1
 //! ```
 //!
 //! `why` options: `--budget B` (default 3), `--top-k K`,
-//! `--algo answ|heu|whymany|whyempty|fm`, `--beam K`, `--lambda X`,
+//! `--algo answ|answnc|answb|heu|heub:SEED|whymany|whyempty|fm`,
+//! `--beam K` (heuristic beam width, now a `WqeConfig` field), `--lambda X`,
 //! `--theta X`, `--time-limit MS`, the governor limits `--deadline MS`,
 //! `--max-steps N`, `--max-frontier N` (0 = unlimited; a tripped limit
 //! prints the termination reason and returns best-so-far answers), and
 //! `--profile` to print the per-query observability profile (stage spans +
 //! counter registry) as JSON after the answers.
 //!
+//! `serve` reads one question per line from `questions.jsonl` — each line
+//! is the usual `{"query": ..., "exemplar": ...}` spec, optionally with
+//! `"algo"`, `"priority"` (`high|normal|low`), and `"deadline_ms"` keys —
+//! and serves the whole batch through a `QueryService` (admission-controlled
+//! scheduler + answer cache). Options: `--workers N` (0 = one per core),
+//! `--queue-cap N`, `--cache-cap N` (0 disables the cache), `--ttl MS`,
+//! `--algo A` (default for lines without one), every `why` tunable, and
+//! `--json` for one machine-readable response summary per line.
+//!
 //! The question file holds `{"query": ..., "exemplar": ...}` in the format
 //! documented in `wqe_core::spec`.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter};
 use std::sync::Arc;
 use wqe::core::engine::WqeEngine;
 use wqe::core::session::WqeConfig;
 use wqe::core::spec::parse_question;
-use wqe::core::EngineCtx;
+use wqe::core::{Algorithm, EngineCtx};
 use wqe::graph::{read_jsonl, write_jsonl, Graph, NodeId};
 use wqe::index::HybridOracle;
 
@@ -35,11 +46,12 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("match") => cmd_match(&args[1..]),
         Some("why") => cmd_why(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: wqe-cli <stats|match|why|gen|demo> ...\n\
+                "usage: wqe-cli <stats|match|why|serve|gen|demo> ...\n\
                  run `wqe-cli why graph.jsonl question.json --budget 3` to\n\
                  get query-rewrite suggestions; see crate docs for formats."
             );
@@ -118,7 +130,6 @@ fn cmd_why(args: &[String]) -> i32 {
     };
     let mut config = WqeConfig::default();
     let mut algo = "answ".to_string();
-    let mut beam = 3usize;
     let mut dot_out: Option<String> = None;
     let mut json_out = false;
     let mut profile_out = false;
@@ -141,7 +152,7 @@ fn cmd_why(args: &[String]) -> i32 {
             "--deadline" => config.deadline_ms = need("ms").parse().unwrap_or(0.0),
             "--max-steps" => config.max_match_steps = need("an int").parse().unwrap_or(0),
             "--max-frontier" => config.max_frontier_states = need("an int").parse().unwrap_or(0),
-            "--beam" => beam = need("an int").parse().unwrap_or(3),
+            "--beam" => config.beam_width = need("an int").parse().unwrap_or(3),
             "--algo" => algo = need("a name"),
             "--dot" => dot_out = Some(need("a path")),
             "--json" => {
@@ -166,7 +177,9 @@ fn cmd_why(args: &[String]) -> i32 {
             Arc::clone(&g),
             Arc::new(HybridOracle::default_for(&g, wq.query.max_bound())),
         );
-        let engine = WqeEngine::try_new(ctx, wq, config).map_err(|e| e.to_string())?;
+        let algorithm = Algorithm::parse(&algo).ok_or(format!("unknown algorithm {algo:?}"))?;
+        let engine =
+            WqeEngine::try_new(ctx, wq, algorithm.apply_to(config)).map_err(|e| e.to_string())?;
         let original = engine.evaluate_original();
         println!(
             "Q(G): {} matches ({} relevant, {} irrelevant); cl = {:.3}, cl* = {:.3}",
@@ -176,16 +189,7 @@ fn cmd_why(args: &[String]) -> i32 {
             original.closeness,
             engine.session().cl_star
         );
-        let report = match algo.as_str() {
-            "answ" => engine
-                .try_run(wqe::core::Algorithm::AnsW)
-                .map_err(|e| e.to_string())?,
-            "heu" => engine.answer_heuristic(beam),
-            "whymany" => engine.answer_why_many(),
-            "whyempty" => engine.answer_why_empty(),
-            "fm" => engine.answer_baseline(),
-            other => return Err(format!("unknown algorithm {other:?}")),
-        };
+        let report = engine.try_run(algorithm).map_err(|e| e.to_string())?;
         if report.termination.is_partial() {
             println!(
                 "search stopped early ({}); answers are best-so-far",
@@ -277,11 +281,179 @@ fn cmd_why(args: &[String]) -> i32 {
     report_result(run())
 }
 
+fn cmd_serve(args: &[String]) -> i32 {
+    use wqe::core::{
+        CacheConfig, Priority, QueryRequest, QueryService, QueryStatus, ServiceConfig,
+    };
+    let (Some(gpath), Some(qpath)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: wqe-cli serve <graph.jsonl> <questions.jsonl> [--workers N] ...");
+        return 2;
+    };
+    let mut config = WqeConfig::default();
+    let mut service_cfg = ServiceConfig::default();
+    let mut cache_cfg = CacheConfig::default();
+    let mut default_algo = "answ".to_string();
+    let mut json_out = false;
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).cloned();
+        let need = |what: &str| -> String {
+            val.clone().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--budget" => config.budget = need("a number").parse().unwrap_or(3.0),
+            "--top-k" => config.top_k = need("an int").parse().unwrap_or(1),
+            "--lambda" => config.closeness.lambda = need("a number").parse().unwrap_or(1.0),
+            "--theta" => config.closeness.theta = need("a number").parse().unwrap_or(1.0),
+            "--time-limit" => config.time_limit_ms = Some(need("ms").parse().unwrap_or(10_000)),
+            "--deadline" => config.deadline_ms = need("ms").parse().unwrap_or(0.0),
+            "--max-steps" => config.max_match_steps = need("an int").parse().unwrap_or(0),
+            "--max-frontier" => config.max_frontier_states = need("an int").parse().unwrap_or(0),
+            "--beam" => config.beam_width = need("an int").parse().unwrap_or(3),
+            "--algo" => default_algo = need("a name"),
+            "--workers" => service_cfg.max_inflight = need("an int").parse().unwrap_or(0),
+            "--queue-cap" => service_cfg.queue_cap = need("an int").parse().unwrap_or(64),
+            "--cache-cap" => cache_cfg.capacity = need("an int").parse().unwrap_or(256),
+            "--ttl" => cache_cfg.ttl_ms = need("ms").parse().unwrap_or(600_000),
+            "--json" => {
+                json_out = true;
+                i -= 1; // boolean flag, no value
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return 2;
+            }
+        }
+        i += 2;
+    }
+    let run = || -> Result<(), String> {
+        let g = Arc::new(load_graph(gpath)?);
+        let f = File::open(qpath).map_err(|e| format!("cannot open {qpath}: {e}"))?;
+        let mut requests = Vec::new();
+        let mut max_bound = 1u32;
+        for (lineno, line) in BufReader::new(f).lines().enumerate() {
+            let line = line.map_err(|e| format!("cannot read {qpath}: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let json: serde_json::Value = serde_json::from_str(&line)
+                .map_err(|e| format!("{qpath}:{}: invalid json: {e}", lineno + 1))?;
+            let wq =
+                parse_question(&g, &json).map_err(|e| format!("{qpath}:{}: {e}", lineno + 1))?;
+            max_bound = max_bound.max(wq.query.max_bound());
+            let algo_name = json
+                .get("algo")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or(&default_algo);
+            let algorithm = Algorithm::parse(algo_name).ok_or(format!(
+                "{qpath}:{}: unknown algorithm {algo_name:?}",
+                lineno + 1
+            ))?;
+            let mut req = QueryRequest::new(wq, algorithm);
+            if let Some(p) = json.get("priority").and_then(serde_json::Value::as_str) {
+                req.priority = Priority::parse(p)
+                    .ok_or(format!("{qpath}:{}: unknown priority {p:?}", lineno + 1))?;
+            }
+            if let Some(dl) = json.get("deadline_ms").and_then(serde_json::Value::as_f64) {
+                req = req.with_deadline_ms(dl);
+            }
+            requests.push(req);
+        }
+        if requests.is_empty() {
+            return Err(format!("{qpath} holds no questions"));
+        }
+        // One queue slot per request: the whole batch is admitted up front.
+        if service_cfg.queue_cap < requests.len() {
+            service_cfg.queue_cap = requests.len();
+        }
+        service_cfg.base_config = config;
+        service_cfg.cache = cache_cfg;
+        let ctx = EngineCtx::new(
+            Arc::clone(&g),
+            Arc::new(HybridOracle::default_for(&g, max_bound)),
+        );
+        let service = QueryService::new(ctx, service_cfg);
+        let started = std::time::Instant::now();
+        let responses = service.serve_batch(requests);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        for r in &responses {
+            if json_out {
+                let (status, detail) = match &r.status {
+                    QueryStatus::Done { report, cache_hit } => (
+                        "done",
+                        serde_json::json!({
+                            "cache_hit": cache_hit,
+                            "termination": report.termination.as_str(),
+                            "closeness": report.best.as_ref().map(|b| b.closeness),
+                            "matches": report.best.as_ref().map(|b| b.matches.len()),
+                        }),
+                    ),
+                    QueryStatus::Failed { error } => {
+                        ("failed", serde_json::json!({ "error": error.to_string() }))
+                    }
+                    QueryStatus::Rejected {
+                        queue_full,
+                        queue_len,
+                    } => (
+                        "rejected",
+                        serde_json::json!({ "queue_full": queue_full, "queue_len": queue_len }),
+                    ),
+                };
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "id": r.id,
+                        "status": status,
+                        "queue_ms": r.queue_ms,
+                        "service_ms": r.service_ms,
+                        "detail": detail,
+                    })
+                );
+            } else {
+                match &r.status {
+                    QueryStatus::Done { report, cache_hit } => println!(
+                        "#{}: {}closeness {} in {:.1} ms ({})",
+                        r.id,
+                        if *cache_hit { "[cached] " } else { "" },
+                        report
+                            .best
+                            .as_ref()
+                            .map_or("-".to_string(), |b| format!("{:.3}", b.closeness)),
+                        r.service_ms,
+                        report.termination,
+                    ),
+                    QueryStatus::Failed { error } => println!("#{}: failed: {error}", r.id),
+                    QueryStatus::Rejected { queue_len, .. } => {
+                        println!("#{}: rejected (queue depth {queue_len})", r.id)
+                    }
+                }
+            }
+        }
+        let stats = service.stats();
+        eprintln!(
+            "\n[{} served ({} cache hits, {} rejected, {} failed) in {:.1} ms]",
+            stats.completed,
+            stats.counters.answer_cache_hits,
+            stats.rejected,
+            stats.failed,
+            wall_ms
+        );
+        Ok(())
+    };
+    report_result(run())
+}
+
 fn cmd_gen(args: &[String]) -> i32 {
     let (Some(preset), Some(scale), Some(seed), Some(out)) =
         (args.first(), args.get(1), args.get(2), args.get(3))
     else {
-        eprintln!("usage: wqe-cli gen <dbpedia|imdb|offshore|watdiv> <scale> <seed> <out.jsonl>");
+        eprintln!(
+            "usage: wqe-cli gen <product|dbpedia|imdb|offshore|watdiv> <scale> <seed> <out.jsonl>"
+        );
         return 2;
     };
     let run = || -> Result<(), String> {
@@ -292,6 +464,9 @@ fn cmd_gen(args: &[String]) -> i32 {
             .parse()
             .map_err(|_| "seed must be an int".to_string())?;
         let g = match preset.as_str() {
+            // Fig. 1's fixed product graph (scale and seed are ignored):
+            // pairs with the `wqe_core::spec` docs example question.
+            "product" => wqe::graph::product::product_graph().graph,
             "dbpedia" => wqe::datagen::dbpedia_like(scale, seed),
             "imdb" => wqe::datagen::imdb_like(scale, seed),
             "offshore" => wqe::datagen::offshore_like(scale, seed),
@@ -322,7 +497,7 @@ fn cmd_demo() -> i32 {
             ..Default::default()
         },
     );
-    let report = engine.answer();
+    let report = engine.run(Algorithm::AnsW);
     let best = report.best.expect("demo always solves");
     println!("demo: the paper's Fig. 1 scenario");
     println!("rewrite (closeness {:.3}):", best.closeness);

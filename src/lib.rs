@@ -21,7 +21,12 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use wqe::core::{engine::WqeEngine, paper::paper_question, session::WqeConfig, EngineCtx};
+//! use wqe::core::{
+//!     engine::{Algorithm, WqeEngine},
+//!     paper::paper_question,
+//!     session::WqeConfig,
+//!     EngineCtx,
+//! };
 //! use wqe::graph::product::product_graph;
 //! use wqe::index::PllIndex;
 //!
@@ -32,7 +37,7 @@
 //!     paper_question(&graph),
 //!     WqeConfig { budget: 4.0, ..Default::default() },
 //! );
-//! let best = engine.answer().best.expect("a rewrite");
+//! let best = engine.run(Algorithm::AnsW).best.expect("a rewrite");
 //! assert!((best.closeness - 0.5).abs() < 1e-9); // the paper's optimum
 //! ```
 

@@ -10,7 +10,7 @@
 //!   `MR942LL/A` (matched through fuzzy categorical `vsim` at `θ < 1`).
 
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::session::{WhyQuestion, WqeConfig};
 use wqe::core::{ClosenessConfig, EngineCtx, Exemplar};
 use wqe::graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
@@ -85,7 +85,7 @@ fn case_a_video_games_narrowed_by_genre_and_os() {
     let before = engine.evaluate_original();
     assert!(before.outcome.matches.len() >= 8, "flooded with games");
 
-    let best = engine.answer().best.expect("rewrite found");
+    let best = engine.run(Algorithm::AnsW).best.expect("rewrite found");
     // The rewrite narrows to the Windows FPS titles (color-coded
     // predicates of Fig. 11): all four FPS/Windows games, nothing else.
     let expect: std::collections::HashSet<NodeId> = fps.into_iter().collect();
@@ -196,7 +196,7 @@ fn case_b_laptops_relax_gpu_and_brand_edge() {
         "Q_b must start empty of relevant matches"
     );
 
-    let best = engine.answer().best.expect("rewrite found");
+    let best = engine.run(Algorithm::AnsW).best.expect("rewrite found");
     // The rewrite must relax the GPU literal and stretch the brand edge
     // (the paper's RmL(name=NVidia) + RxE(Laptop, Brand, 1, 2)).
     assert!(best.matches.contains(&known));

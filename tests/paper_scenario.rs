@@ -2,7 +2,7 @@
 //! (Examples 1.1–5.4) across all workspace crates.
 
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::paper::{paper_exemplar, paper_optimal_ops, paper_query, CARRIER, FOCUS, SENSOR};
 use wqe::core::session::{WhyQuestion, WqeConfig};
 use wqe::core::{compute_representation, relative_closeness, EngineCtx};
@@ -64,7 +64,7 @@ fn answ_reaches_theoretical_optimum() {
             ..Default::default()
         },
     );
-    let report = engine.answer();
+    let report = engine.run(Algorithm::AnsW);
     assert!(report.optimal_reached, "cl* = 1/2 is attainable at B = 4");
     let best = report.best.unwrap();
     assert!((best.closeness - 0.5).abs() < 1e-9);
@@ -89,9 +89,9 @@ fn all_algorithms_agree_on_the_paper_scenario() {
             ..Default::default()
         },
     );
-    let exact = engine.answer().best.unwrap().closeness;
-    let heu = engine.answer_heuristic(3).best.unwrap().closeness;
-    let fm = engine.answer_baseline().best.unwrap().closeness;
+    let exact = engine.run(Algorithm::AnsW).best.unwrap().closeness;
+    let heu = engine.run(Algorithm::AnsHeu).best.unwrap().closeness;
+    let fm = engine.run(Algorithm::FMAnsW).best.unwrap().closeness;
     assert!(exact >= heu - 1e-9);
     assert!(heu >= fm - 1e-9);
     assert!((exact - 0.5).abs() < 1e-9);

@@ -5,7 +5,7 @@
 
 use std::io::Cursor;
 use std::sync::Arc;
-use wqe::core::engine::WqeEngine;
+use wqe::core::engine::{Algorithm, WqeEngine};
 use wqe::core::session::WqeConfig;
 use wqe::core::spec::parse_question;
 use wqe::core::EngineCtx;
@@ -82,7 +82,7 @@ fn full_pipeline_roundtrip() {
             ..Default::default()
         },
     );
-    let report = engine.answer();
+    let report = engine.run(Algorithm::AnsW);
     let best = report.best.expect("some rewrite");
 
     // 5. Serialize the result for downstream tooling.

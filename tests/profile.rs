@@ -96,6 +96,9 @@ fn profile_json_field_set_is_stable() {
         "\"match_steps\"",
         "\"oracle_steps\"",
         "\"frontier_peak\"",
+        "\"answer_cache_hits\"",
+        "\"answer_cache_misses\"",
+        "\"answer_cache_evictions\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
@@ -109,11 +112,18 @@ fn profile_json_field_set_is_stable() {
 fn every_algorithm_attaches_a_profile() {
     let (ctx, wq) = paper_setup();
     let engine = WqeEngine::try_new(ctx, wq, cfg()).unwrap();
-    assert!(engine.try_run(Algorithm::AnsW).unwrap().profile.is_some());
-    assert!(engine.answer_heuristic(2).profile.is_some());
-    assert!(engine.answer_why_many().profile.is_some());
-    assert!(engine.answer_why_empty().profile.is_some());
-    assert!(engine.answer_baseline().profile.is_some());
+    for alg in [
+        Algorithm::AnsW,
+        Algorithm::AnsHeu,
+        Algorithm::WhyMany,
+        Algorithm::WhyEmpty,
+        Algorithm::FMAnsW,
+    ] {
+        assert!(
+            engine.try_run(alg).unwrap().profile.is_some(),
+            "{alg} lost its profile"
+        );
+    }
 }
 
 #[test]
