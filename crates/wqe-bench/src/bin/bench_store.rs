@@ -1,0 +1,179 @@
+//! Durable-store cold-start harness.
+//!
+//! ```text
+//! bench_store [--out results/BENCH_store.json] [--scale F] [--reps R]
+//! ```
+//!
+//! Measures the one claim the snapshot store makes: opening a written
+//! snapshot (`EngineCtx::from_snapshot` — mmap, checksum verify, zero-copy
+//! array views, PLL served from the mapped labels) must be **≥10× faster**
+//! than the cold path (parse the JSONL text graph, rebuild the CSR and
+//! label index, rebuild PLL from scratch), while producing a context whose
+//! graph and distances are identical.
+//!
+//! The dataset is the DBpedia-like preset — the largest generator base
+//! (40k nodes at `--scale 1.0`). The default `--scale 0.1` (4k nodes)
+//! keeps the verify gate to seconds: PLL construction is superlinear, so
+//! the snapshot's advantage only *grows* with scale, and the gate stays
+//! honest at any size.
+
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+use wqe_core::EngineCtx;
+use wqe_graph::{read_jsonl, write_jsonl, NodeId};
+use wqe_store::{build_and_write_snapshot, Snapshot};
+
+#[derive(serde::Serialize)]
+struct BenchStore {
+    scale: f64,
+    nodes: usize,
+    edges: usize,
+    reps: usize,
+    /// One-time `index build` cost (graph + PLL + write), amortized over
+    /// every later load; reported, not part of the ratio.
+    build_ms: f64,
+    snapshot_bytes: u64,
+    mmap: bool,
+    /// Min over reps: JSONL parse + CSR/label-index rebuild + PLL build.
+    cold_ms: f64,
+    /// Min over reps: `EngineCtx::from_snapshot`.
+    snapshot_load_ms: f64,
+    speedup: f64,
+    speedup_target: f64,
+    within_target: bool,
+    /// Loaded context spot-checked against the fresh one: same graph
+    /// shape, bit-identical distances.
+    load_faithful: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "results/BENCH_store.json".to_string();
+    let mut scale = 0.1f64;
+    let mut reps = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 1;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(0.1);
+                i += 1;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().unwrap_or(3).max(1);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_store [--out FILE] [--scale F] [--reps R]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let dir = std::env::temp_dir();
+    let jsonl_path = dir.join(format!("wqe-bench-store-{}.jsonl", std::process::id()));
+    let snap_path = dir.join(format!("wqe-bench-store-{}.wqs", std::process::id()));
+
+    let graph = wqe_datagen::dbpedia_like(scale, 33);
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    eprintln!("dataset: dbpedia-like at scale {scale} ({nodes} nodes, {edges} edges)");
+    {
+        let f = std::fs::File::create(&jsonl_path).expect("create jsonl");
+        write_jsonl(&graph, BufWriter::new(f)).expect("write jsonl");
+    }
+
+    let t0 = Instant::now();
+    let snapshot_bytes = build_and_write_snapshot(&snap_path, &graph).expect("write snapshot");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("index build: {snapshot_bytes} bytes in {build_ms:.1} ms");
+
+    let cold = || -> EngineCtx {
+        let f = std::fs::File::open(&jsonl_path).expect("open jsonl");
+        let g = read_jsonl(BufReader::new(f)).expect("parse jsonl");
+        EngineCtx::with_default_oracle(std::sync::Arc::new(g))
+    };
+    let mut cold_ms = f64::INFINITY;
+    let mut fresh = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let ctx = cold();
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        fresh = Some(ctx);
+    }
+    let fresh = fresh.expect("at least one rep");
+    eprintln!("cold start (parse + rebuild): {cold_ms:.1} ms (min over {reps})");
+
+    let mut snapshot_load_ms = f64::INFINITY;
+    let mut loaded = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let ctx = EngineCtx::from_snapshot(&snap_path).expect("load snapshot");
+        snapshot_load_ms = snapshot_load_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        loaded = Some(ctx);
+    }
+    let loaded = loaded.expect("at least one rep");
+    let mmap = Snapshot::open(&snap_path)
+        .map(|s| s.is_mmap())
+        .unwrap_or(false);
+    eprintln!("snapshot load: {snapshot_load_ms:.1} ms (min over {reps}, mmap: {mmap})");
+
+    // Fidelity: the loaded context must be indistinguishable where it
+    // counts — graph shape and exact distances.
+    let mut load_faithful = loaded.graph().node_count() == fresh.graph().node_count()
+        && loaded.graph().edge_count() == fresh.graph().edge_count();
+    let step = (nodes / 64).max(1) as u32;
+    for u in (0..nodes as u32).step_by(step as usize) {
+        for v in (0..nodes as u32).step_by((step * 3) as usize) {
+            let a = fresh.oracle().distance_within(NodeId(u), NodeId(v), 4);
+            let b = loaded.oracle().distance_within(NodeId(u), NodeId(v), 4);
+            if a != b {
+                eprintln!("distance mismatch at ({u}, {v}): fresh {a:?} vs snapshot {b:?}");
+                load_faithful = false;
+            }
+        }
+    }
+
+    let speedup = cold_ms / snapshot_load_ms;
+    let speedup_target = 10.0;
+    let within_target = speedup >= speedup_target && load_faithful;
+    eprintln!(
+        "speedup: {speedup:.1}x (target >= {speedup_target}x, faithful: {load_faithful}) => {}",
+        if within_target { "PASS" } else { "FAIL" }
+    );
+
+    let report = BenchStore {
+        scale,
+        nodes,
+        edges,
+        reps,
+        build_ms,
+        snapshot_bytes,
+        mmap,
+        cold_ms,
+        snapshot_load_ms,
+        speedup,
+        speedup_target,
+        within_target,
+        load_faithful,
+    };
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("create output dir");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("write report");
+    eprintln!("wrote {out}");
+
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+    if !within_target {
+        std::process::exit(1);
+    }
+}

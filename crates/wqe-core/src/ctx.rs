@@ -7,9 +7,23 @@
 //! be handed across threads: one graph and one index, built once, answering
 //! many concurrent why-questions.
 
+use crate::error::WqeError;
+use std::path::Path;
 use std::sync::Arc;
 use wqe_graph::Graph;
-use wqe_index::{DistanceOracle, HybridOracle};
+use wqe_index::{BoundedBfsOracle, DistanceOracle, HybridOracle};
+use wqe_store::{Snapshot, SnapshotOracle};
+
+/// What [`EngineCtx::from_snapshot`] observed while loading: enough for a
+/// session to seed its profiler with a `snapshot_load` span even though the
+/// load happened before the session (or its profiler) existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStartup {
+    /// Wall time of `Snapshot::open` + graph/oracle reconstruction.
+    pub load_ns: u64,
+    /// Bytes of snapshot file made addressable (mapped or read).
+    pub bytes_mapped: u64,
+}
 
 /// Shared, immutable inputs of a why-question session.
 ///
@@ -26,19 +40,65 @@ use wqe_index::{DistanceOracle, HybridOracle};
 pub struct EngineCtx {
     graph: Arc<Graph>,
     oracle: Arc<dyn DistanceOracle>,
+    startup: Option<SnapshotStartup>,
 }
 
 impl EngineCtx {
     /// Bundles a graph with a caller-chosen oracle.
     pub fn new(graph: Arc<Graph>, oracle: Arc<dyn DistanceOracle>) -> Self {
-        EngineCtx { graph, oracle }
+        EngineCtx {
+            graph,
+            oracle,
+            startup: None,
+        }
     }
 
     /// Bundles a graph with [`HybridOracle::default_for`] at the paper's
     /// default distance horizon (`b_m = 4`).
     pub fn with_default_oracle(graph: Arc<Graph>) -> Self {
         let oracle = Arc::new(HybridOracle::default_for(&graph, 4));
-        EngineCtx { graph, oracle }
+        EngineCtx {
+            graph,
+            oracle,
+            startup: None,
+        }
+    }
+
+    /// Opens a durable snapshot (see [`wqe_store`]) and builds a context
+    /// from it without re-parsing text or re-building any index.
+    ///
+    /// Snapshots written with PLL labels serve distances straight from the
+    /// mapped label arrays ([`SnapshotOracle`], zero-copy); snapshots
+    /// without them get the same bounded-BFS oracle (`horizon = 4`) that
+    /// [`HybridOracle::default_for`] would pick for a graph past the PLL
+    /// crossover. Because the writer's [`wqe_store::wants_pll`] policy
+    /// mirrors that crossover, answers from a snapshot-loaded context are
+    /// bit-identical to a freshly built one.
+    pub fn from_snapshot(path: &Path) -> Result<EngineCtx, WqeError> {
+        let started = std::time::Instant::now();
+        let snap = Snapshot::open(path)?;
+        let bytes_mapped = snap.bytes_len();
+        let graph = Arc::new(snap.load_graph()?);
+        let oracle: Arc<dyn DistanceOracle> = if snap.meta().has_pll() {
+            Arc::new(SnapshotOracle::new(Arc::new(snap))?)
+        } else {
+            Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), 4))
+        };
+        let load_ns = started.elapsed().as_nanos() as u64;
+        Ok(EngineCtx {
+            graph,
+            oracle,
+            startup: Some(SnapshotStartup {
+                load_ns,
+                bytes_mapped,
+            }),
+        })
+    }
+
+    /// Load telemetry when this context came from
+    /// [`EngineCtx::from_snapshot`]; `None` for in-memory constructions.
+    pub fn snapshot_startup(&self) -> Option<SnapshotStartup> {
+        self.startup
     }
 
     /// The data graph.
@@ -91,6 +151,45 @@ mod tests {
         assert_eq!(
             ctx.oracle().distance_within(NodeId(0), NodeId(0), 0),
             clone.oracle().distance_within(NodeId(0), NodeId(0), 0),
+        );
+    }
+
+    #[test]
+    fn from_snapshot_matches_fresh_context() {
+        let graph = Arc::new(product_graph().graph);
+        let path =
+            std::env::temp_dir().join(format!("wqe-core-ctx-snapshot-{}.wqs", std::process::id()));
+        wqe_store::build_and_write_snapshot(&path, &graph).unwrap();
+
+        let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
+        let loaded = EngineCtx::from_snapshot(&path).unwrap();
+        assert_eq!(loaded.graph().node_count(), fresh.graph().node_count());
+        assert_eq!(loaded.graph().edge_count(), fresh.graph().edge_count());
+        for s in graph.node_ids() {
+            for t in graph.node_ids() {
+                assert_eq!(
+                    loaded.oracle().distance_within(s, t, 4),
+                    fresh.oracle().distance_within(s, t, 4),
+                    "distance({s:?}, {t:?})"
+                );
+            }
+        }
+
+        let startup = loaded.snapshot_startup().expect("load telemetry");
+        assert!(startup.bytes_mapped > 0);
+        assert!(fresh.snapshot_startup().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_snapshot_missing_file_is_snapshot_error() {
+        let err = EngineCtx::from_snapshot(std::path::Path::new(
+            "/nonexistent/wqe/no-such-snapshot.wqs",
+        ))
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::error::WqeError::Snapshot(_)),
+            "{err:?}"
         );
     }
 

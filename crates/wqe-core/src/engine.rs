@@ -13,8 +13,7 @@ use crate::whymany::apx_why_many;
 
 /// Which algorithm variant to run — the complete §5–§6 catalogue, so
 /// [`WqeEngine::run`] / [`WqeEngine::try_run`] are the one entry point for
-/// every question kind (the former `answer_*` wrappers are deprecated
-/// shims over this enum).
+/// every question kind.
 ///
 /// Tunables live in [`crate::session::WqeConfig`], not here: the beam
 /// width of `AnsHeu`/`AnsHeuB` comes from
@@ -163,41 +162,6 @@ impl WqeEngine {
     /// Evaluates the *original* query.
     pub fn evaluate_original(&self) -> EvalResult {
         self.session.evaluate(&self.question.query)
-    }
-
-    /// Runs `AnsW` with the session's configuration.
-    #[deprecated(since = "0.1.0", note = "use run(Algorithm::AnsW)")]
-    pub fn answer(&self) -> AnswerReport {
-        self.run(Algorithm::AnsW)
-    }
-
-    /// Runs the beam-search heuristic with an explicit width. The beam now
-    /// lives in [`WqeConfig::beam_width`](crate::session::WqeConfig); build
-    /// the engine with the width you want and use `run(Algorithm::AnsHeu)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set WqeConfig::beam_width and use run(Algorithm::AnsHeu)"
-    )]
-    pub fn answer_heuristic(&self, beam: usize) -> AnswerReport {
-        ans_heu(&self.session, &self.question, Some(beam), Selection::Picky)
-    }
-
-    /// Runs `ApxWhyM` (Why-Many, §6.1).
-    #[deprecated(since = "0.1.0", note = "use run(Algorithm::WhyMany)")]
-    pub fn answer_why_many(&self) -> AnswerReport {
-        self.run(Algorithm::WhyMany)
-    }
-
-    /// Runs `AnsWE` (Why-Empty, §6.1).
-    #[deprecated(since = "0.1.0", note = "use run(Algorithm::WhyEmpty)")]
-    pub fn answer_why_empty(&self) -> AnswerReport {
-        self.run(Algorithm::WhyEmpty)
-    }
-
-    /// Runs the frequent-pattern baseline.
-    #[deprecated(since = "0.1.0", note = "use run(Algorithm::FMAnsW)")]
-    pub fn answer_baseline(&self) -> AnswerReport {
-        self.run(Algorithm::FMAnsW)
     }
 
     /// The canonical entry point: dispatches any [`Algorithm`] variant.

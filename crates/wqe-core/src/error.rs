@@ -26,6 +26,10 @@ pub enum WqeError {
     },
     /// A pattern-level operation failed (refocusing, operator application).
     Pattern(PatternError),
+    /// A durable snapshot could not be opened or decoded. Carries the
+    /// stringified [`wqe_graph::LoadError`] (that type owns `io::Error`
+    /// sources, so it cannot satisfy this enum's `Clone + PartialEq`).
+    Snapshot(String),
     /// A worker thread panicked while evaluating one search candidate. The
     /// panic was contained by the pool ([`wqe_pool::PoolError::Panicked`]):
     /// this query failed, but the process — and any sibling session sharing
@@ -47,6 +51,7 @@ impl std::fmt::Display for WqeError {
                 write!(f, "invalid config: {field} = {value}")
             }
             WqeError::Pattern(e) => write!(f, "pattern error: {e}"),
+            WqeError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             WqeError::WorkerPanicked { item, message } => {
                 write!(f, "worker panicked on item {item}: {message}")
             }
@@ -73,6 +78,12 @@ impl From<PatternError> for WqeError {
 impl From<SpecError> for WqeError {
     fn from(e: SpecError) -> Self {
         WqeError::Spec(e)
+    }
+}
+
+impl From<wqe_graph::LoadError> for WqeError {
+    fn from(e: wqe_graph::LoadError) -> Self {
+        WqeError::Snapshot(e.to_string())
     }
 }
 
@@ -113,6 +124,16 @@ mod tests {
         );
         let s = e.to_string();
         assert!(s.contains("item 3") && s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn load_errors_convert_to_snapshot_strings() {
+        let e: WqeError = wqe_graph::LoadError::BadMagic.into();
+        match &e {
+            WqeError::Snapshot(msg) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected Snapshot, got {other:?}"),
+        }
+        assert!(e.to_string().starts_with("snapshot error:"));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use wqe_pool as pool;
 
 pub use answ::{answ, try_answ, AnswerReport, RewriteResult, TracePoint};
 pub use closeness::{relative_closeness, ClosenessConfig};
-pub use ctx::EngineCtx;
+pub use ctx::{EngineCtx, SnapshotStartup};
 pub use engine::{Algorithm, WqeEngine};
 pub use error::WqeError;
 pub use exemplar::{

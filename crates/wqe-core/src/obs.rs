@@ -86,6 +86,11 @@ pub struct CounterRegistry {
     /// `QueryService` answer-cache evictions — LRU displacement and TTL
     /// expiry both count (service-level, see above).
     pub answer_cache_evictions: u64,
+    /// Bytes of durable snapshot mapped (or read) at startup when the
+    /// context came from [`EngineCtx::from_snapshot`]
+    /// (`crate::ctx::EngineCtx::from_snapshot`); zero for contexts built
+    /// from a parsed graph.
+    pub snapshot_bytes_mapped: u64,
 }
 
 impl CounterRegistry {
@@ -108,6 +113,7 @@ impl CounterRegistry {
             answer_cache_hits: snapshot.counter(Counter::AnswerCacheHit),
             answer_cache_misses: snapshot.counter(Counter::AnswerCacheMiss),
             answer_cache_evictions: snapshot.counter(Counter::AnswerCacheEviction),
+            snapshot_bytes_mapped: snapshot.counter(Counter::SnapshotBytesMapped),
         }
     }
 }
@@ -125,8 +131,8 @@ pub struct QueryProfile {
     pub elapsed_ms: f64,
     /// Q-Chase steps simulated.
     pub expansions: u64,
-    /// One entry per instrumented stage, in pipeline order, always all six
-    /// (zero-count stages included, so the JSON field set is stable).
+    /// One entry per instrumented stage, in pipeline order, always all of
+    /// them (zero-count stages included, so the JSON field set is stable).
     pub stages: Vec<StageProfile>,
     /// The aggregated counter registry.
     pub counters: CounterRegistry,

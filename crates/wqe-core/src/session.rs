@@ -357,6 +357,14 @@ impl Session {
         let r_uo: Vec<NodeId> = v_uo.iter().copied().filter(|&v| rep.contains(v)).collect();
         let cl_star = theoretical_optimum(&rep, &v_uo);
         let governor = crate::governor::governor_for(&config);
+        let profiler = std::sync::Arc::new(crate::obs::Profiler::new());
+        // A snapshot-loaded context did its expensive work before any
+        // session existed; replay that cost into this query's profile so
+        // `--profile` shows where startup time went.
+        if let Some(s) = ctx.snapshot_startup() {
+            profiler.record_span(crate::obs::Stage::SnapshotLoad, s.load_ns);
+            profiler.add(crate::obs::Counter::SnapshotBytesMapped, s.bytes_mapped);
+        }
         Ok(Session {
             ctx,
             matcher,
@@ -367,7 +375,7 @@ impl Session {
             r_uo,
             cl_star,
             governor,
-            profiler: Some(std::sync::Arc::new(crate::obs::Profiler::new())),
+            profiler: Some(profiler),
         })
     }
 

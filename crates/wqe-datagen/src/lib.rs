@@ -16,7 +16,8 @@ pub mod whygen;
 pub use plant::{generate_planted, PlantSpoke, PlantTemplate, PlantedWorkload};
 pub use queries::{generate_query, GeneratedQuery, QueryGenConfig, TopologyKind};
 pub use synth::{
-    all_datasets, dbpedia_like, generate, imdb_like, offshore_like, watdiv_like, SynthConfig,
+    all_datasets, dbpedia_like, emit_snapshot, generate, imdb_like, offshore_like, watdiv_like,
+    SynthConfig,
 };
 pub use whygen::{
     exemplar_from, generate_why, generate_why_empty, generate_why_many, load_suite, save_suite,

@@ -212,6 +212,35 @@ fn scaled(base: usize, scale: f64) -> usize {
     ((base as f64 * scale) as usize).max(100)
 }
 
+/// Generates a named preset (`dbpedia`, `imdb`, `offshore`, `watdiv`, or
+/// the fixed `product` demo graph) and persists it straight to a durable
+/// snapshot — graph plus whatever index [`wqe_store`]'s policy wants. The
+/// datagen side of the `index build` lifecycle: benchmarks get a
+/// ready-to-map file without round-tripping through JSONL. Returns the
+/// generated graph and the snapshot's byte length.
+pub fn emit_snapshot(
+    preset: &str,
+    scale: f64,
+    seed: u64,
+    path: &std::path::Path,
+) -> std::io::Result<(Graph, u64)> {
+    let graph = match preset {
+        "product" => wqe_graph::product::product_graph().graph,
+        "dbpedia" => dbpedia_like(scale, seed),
+        "imdb" => imdb_like(scale, seed),
+        "offshore" => offshore_like(scale, seed),
+        "watdiv" => watdiv_like(scale, seed),
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unknown preset {other:?}"),
+            ))
+        }
+    };
+    let bytes = wqe_store::build_and_write_snapshot(path, &graph)?;
+    Ok((graph, bytes))
+}
+
 /// The four dataset presets at a common scale, in paper order.
 pub fn all_datasets(scale: f64, seed: u64) -> Vec<(&'static str, Graph)> {
     vec![
@@ -256,6 +285,20 @@ mod tests {
             (c.edge_count() + 1, 0.0),
             "different seeds differ somewhere"
         );
+    }
+
+    #[test]
+    fn emit_snapshot_writes_a_loadable_file() {
+        let p = std::env::temp_dir().join(format!("wqe-datagen-snap-{}.wqs", std::process::id()));
+        let (g, bytes) = emit_snapshot("product", 1.0, 7, &p).unwrap();
+        assert!(bytes > 0);
+        let snap = wqe_store::Snapshot::open(&p).unwrap();
+        let loaded = snap.load_graph().unwrap();
+        assert_eq!(loaded.node_count(), g.node_count());
+        assert_eq!(loaded.edge_count(), g.edge_count());
+        std::fs::remove_file(&p).ok();
+        let err = emit_snapshot("nope", 1.0, 7, &p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cost model (Table 1 normalizes literal changes by `range(A)` and edge
 //! bound changes by the diameter `D(G)`).
 
+use crate::error::LoadError;
 use crate::schema::{AttrId, EdgeLabelId, LabelId, NodeId, Schema};
 use crate::stats::{AttrStats, GraphStats};
 use crate::value::AttrValue;
@@ -308,6 +309,80 @@ impl Graph {
         None
     }
 
+    /// Reassembles a graph from exploded [`GraphParts`] without re-deriving
+    /// CSR adjacency, the label index, statistics, or the diameter — the
+    /// snapshot-load fast path. Validates structural invariants (offset
+    /// monotonicity, id ranges, array lengths) and returns
+    /// [`LoadError::Corrupt`] on violation; never panics.
+    pub fn from_parts(parts: GraphParts) -> Result<Graph, LoadError> {
+        parts.validate()?;
+        let edge_count = parts.out_targets.len();
+        Ok(Graph {
+            schema: parts.schema,
+            nodes: parts.nodes,
+            out: Csr {
+                offsets: parts.out_offsets,
+                targets: parts.out_targets,
+            },
+            inn: Csr {
+                offsets: parts.in_offsets,
+                targets: parts.in_targets,
+            },
+            label_index: parts.label_index,
+            edge_count,
+            attr_stats: parts.attr_stats,
+            diameter: parts.diameter,
+        })
+    }
+
+    /// Explodes the graph into its [`GraphParts`], consuming it (no copies).
+    pub fn into_parts(self) -> GraphParts {
+        GraphParts {
+            schema: self.schema,
+            nodes: self.nodes,
+            out_offsets: self.out.offsets,
+            out_targets: self.out.targets,
+            in_offsets: self.inn.offsets,
+            in_targets: self.inn.targets,
+            label_index: self.label_index,
+            attr_stats: self.attr_stats,
+            diameter: self.diameter,
+        }
+    }
+
+    /// Clones the graph into [`GraphParts`] (the snapshot writer's view of
+    /// a live graph it does not own).
+    pub fn to_parts(&self) -> GraphParts {
+        self.clone().into_parts()
+    }
+
+    /// Raw forward CSR arrays `(offsets, targets)` — the writer-side view.
+    pub fn out_csr(&self) -> (&[u32], &[(NodeId, EdgeLabelId)]) {
+        (&self.out.offsets, &self.out.targets)
+    }
+
+    /// Raw reverse CSR arrays `(offsets, sources)`.
+    pub fn in_csr(&self) -> (&[u32], &[(NodeId, EdgeLabelId)]) {
+        (&self.inn.offsets, &self.inn.targets)
+    }
+
+    /// The full per-label node index, indexed by [`LabelId`].
+    pub fn label_index(&self) -> &[Vec<NodeId>] {
+        &self.label_index
+    }
+
+    /// All per-attribute statistics, indexed by [`AttrId`].
+    pub fn attr_stats_all(&self) -> &[AttrStats] {
+        &self.attr_stats
+    }
+
+    /// The stored diameter estimate exactly as finalized (no floor) — what
+    /// a lossless snapshot must persist so [`Graph::from_parts`] reproduces
+    /// [`Graph::diameter`] bit-for-bit.
+    pub fn raw_diameter(&self) -> u32 {
+        self.diameter
+    }
+
     /// Like [`Graph::bounded_bfs`] but traversing edges backwards.
     pub fn bounded_bfs_rev(&self, src: NodeId, max_dist: u32) -> Vec<(NodeId, u32)> {
         let mut seen: HashMap<NodeId, u32> = HashMap::new();
@@ -329,6 +404,133 @@ impl Graph {
             }
         }
         out
+    }
+}
+
+/// Every derived structure of a finalized [`Graph`], exploded into plain
+/// vectors — the exchange type between a graph and its durable snapshot.
+///
+/// [`Graph::into_parts`]/[`Graph::to_parts`] export a graph losslessly;
+/// [`Graph::from_parts`] reconstitutes one *without re-deriving anything*
+/// (no CSR rebuild, no stats pass, no diameter sweeps), which is what makes
+/// snapshot load fast. `from_parts` validates structural invariants and
+/// returns [`LoadError::Corrupt`] — never panics — so it is safe to feed
+/// with data decoded from untrusted bytes.
+#[derive(Debug, Clone)]
+pub struct GraphParts {
+    /// Label/attribute/edge-label id spaces.
+    pub schema: Schema,
+    /// Per-node payloads, indexed by [`NodeId`].
+    pub nodes: Vec<NodeData>,
+    /// Forward CSR offsets (`nodes.len() + 1` entries, starting at 0).
+    pub out_offsets: Vec<u32>,
+    /// Forward CSR targets, each run sorted by target id.
+    pub out_targets: Vec<(NodeId, EdgeLabelId)>,
+    /// Reverse CSR offsets.
+    pub in_offsets: Vec<u32>,
+    /// Reverse CSR targets (sources), each run sorted by source id.
+    pub in_targets: Vec<(NodeId, EdgeLabelId)>,
+    /// Nodes grouped by label, indexed by [`LabelId`].
+    pub label_index: Vec<Vec<NodeId>>,
+    /// Active-domain statistics, indexed by [`AttrId`].
+    pub attr_stats: Vec<AttrStats>,
+    /// The stored diameter estimate (raw, pre-floor).
+    pub diameter: u32,
+}
+
+impl GraphParts {
+    fn validate(&self) -> Result<(), LoadError> {
+        let corrupt =
+            |section: &'static str, detail: String| LoadError::Corrupt { section, detail };
+        let n = self.nodes.len();
+        for (section, offsets, targets) in [
+            ("out_csr", &self.out_offsets, &self.out_targets),
+            ("in_csr", &self.in_offsets, &self.in_targets),
+        ] {
+            if offsets.len() != n + 1 {
+                return Err(corrupt(
+                    section,
+                    format!("{} offsets for {n} nodes (need {})", offsets.len(), n + 1),
+                ));
+            }
+            if offsets[0] != 0 {
+                return Err(corrupt(section, "first offset not 0".to_string()));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt(section, "offsets not monotonic".to_string()));
+            }
+            if offsets[n] as usize != targets.len() {
+                return Err(corrupt(
+                    section,
+                    format!(
+                        "last offset {} != target count {}",
+                        offsets[n],
+                        targets.len()
+                    ),
+                ));
+            }
+            if let Some(&(t, l)) = targets
+                .iter()
+                .find(|&&(t, l)| t.index() >= n || l.index() >= self.schema.edge_label_count())
+            {
+                return Err(corrupt(
+                    section,
+                    format!("target ({}, {}) out of range", t.0, l.0),
+                ));
+            }
+        }
+        if self.out_targets.len() != self.in_targets.len() {
+            return Err(corrupt(
+                "in_csr",
+                format!(
+                    "reverse edge count {} != forward {}",
+                    self.in_targets.len(),
+                    self.out_targets.len()
+                ),
+            ));
+        }
+        for node in &self.nodes {
+            if node.label.index() >= self.schema.label_count() {
+                return Err(corrupt(
+                    "nodes",
+                    format!("node label {} out of range", node.label.0),
+                ));
+            }
+            if let Some(&(a, _)) = node
+                .attrs
+                .iter()
+                .find(|(a, _)| a.index() >= self.schema.attr_count())
+            {
+                return Err(corrupt("nodes", format!("attr id {} out of range", a.0)));
+            }
+        }
+        if self.label_index.len() != self.schema.label_count() {
+            return Err(corrupt(
+                "label_index",
+                format!(
+                    "{} buckets for {} labels",
+                    self.label_index.len(),
+                    self.schema.label_count()
+                ),
+            ));
+        }
+        if let Some(&v) = self.label_index.iter().flatten().find(|v| v.index() >= n) {
+            return Err(corrupt(
+                "label_index",
+                format!("node id {} out of range", v.0),
+            ));
+        }
+        if self.attr_stats.len() != self.schema.attr_count() {
+            return Err(corrupt(
+                "attr_stats",
+                format!(
+                    "{} entries for {} attributes",
+                    self.attr_stats.len(),
+                    self.schema.attr_count()
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -648,6 +850,113 @@ mod tests {
         assert_eq!(g.out_neighbors(a), &[(c, likes)]);
         assert_eq!(g.out_neighbors(c), &[(a, follows)]);
         assert_eq!(g.in_neighbors(a), &[(c, follows)]);
+    }
+
+    fn attrs_equal(a: &Graph, b: &Graph) -> bool {
+        a.node_ids().all(|v| a.node(v).attrs == b.node(v).attrs)
+    }
+
+    #[test]
+    fn parts_roundtrip_is_lossless() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_node(
+            "Phone",
+            [
+                ("price", AttrValue::Int(800)),
+                ("brand", AttrValue::Str("S".into())),
+            ],
+        );
+        let c = b.add_node("Carrier", [("discount", AttrValue::Float(0.25))]);
+        let q = b.add_node("Phone", [("hot", AttrValue::Bool(true))]);
+        b.add_edge(p, c, "served_by");
+        b.add_edge(q, c, "served_by");
+        b.add_edge(c, p, "serves");
+        let g = b.finalize();
+
+        let g2 = Graph::from_parts(g.to_parts()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.diameter(), g.diameter());
+        assert_eq!(g2.raw_diameter(), g.raw_diameter());
+        assert!(attrs_equal(&g, &g2));
+        for v in g.node_ids() {
+            assert_eq!(g2.label(v), g.label(v));
+            assert_eq!(g2.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(g2.in_neighbors(v), g.in_neighbors(v));
+        }
+        let phone = g.schema().label_id("Phone").unwrap();
+        assert_eq!(g2.nodes_with_label(phone), g.nodes_with_label(phone));
+        let price = g.schema().attr_id("price").unwrap();
+        assert_eq!(g2.attr_range(price), g.attr_range(price));
+        assert_eq!(
+            g2.attr_stats(price).unwrap().count,
+            g.attr_stats(price).unwrap().count
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_structures() {
+        let g = chain(4);
+
+        let mut p = g.to_parts();
+        p.out_offsets[1] = 99; // beyond target count and non-monotonic
+        assert!(matches!(
+            Graph::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "out_csr",
+                ..
+            })
+        ));
+
+        let mut p = g.to_parts();
+        p.out_targets[0].0 = NodeId(1000);
+        assert!(matches!(
+            Graph::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "out_csr",
+                ..
+            })
+        ));
+
+        let mut p = g.to_parts();
+        p.in_offsets.pop();
+        assert!(matches!(
+            Graph::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "in_csr",
+                ..
+            })
+        ));
+
+        let mut p = g.to_parts();
+        p.label_index[0].push(NodeId(77));
+        assert!(matches!(
+            Graph::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "label_index",
+                ..
+            })
+        ));
+
+        let mut p = g.to_parts();
+        p.attr_stats.clear();
+        assert!(matches!(
+            Graph::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "attr_stats",
+                ..
+            })
+        ));
+
+        let mut p = g.to_parts();
+        p.nodes[0].label = crate::schema::LabelId(9);
+        assert!(matches!(
+            Graph::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "nodes",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod dot;
+mod error;
 mod graph;
 mod loader;
 pub mod product;
@@ -30,8 +31,9 @@ mod schema;
 mod stats;
 mod value;
 
-pub use graph::{Graph, GraphBuilder, NodeData};
-pub use loader::{read_jsonl, read_tsv, write_jsonl, write_tsv, LoadError};
+pub use error::LoadError;
+pub use graph::{Graph, GraphBuilder, GraphParts, NodeData};
+pub use loader::{read_jsonl, read_tsv, write_jsonl, write_tsv};
 pub use schema::{AttrId, EdgeLabelId, Interner, LabelId, NodeId, Schema};
 pub use stats::{AttrStats, GraphStats};
 pub use value::{AttrValue, CmpOp};

@@ -12,63 +12,19 @@
 //! Attribute values map JSON numbers to `Int`/`Float`, strings to `Str`, and
 //! booleans to `Bool`.
 
+use crate::error::LoadError;
 use crate::graph::{Graph, GraphBuilder};
 use crate::schema::NodeId;
 use crate::value::AttrValue;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::fmt;
 use std::io::{BufRead, Write};
 
-/// Errors raised while loading a graph.
-#[derive(Debug)]
-pub enum LoadError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// A line failed to parse as JSON.
-    Json {
-        /// 1-based source line.
-        line: usize,
-        /// Parser error.
-        source: serde_json::Error,
-    },
-    /// An edge referenced an id with no preceding node record.
-    UnknownNode {
-        /// 1-based source line.
-        line: usize,
-        /// Unresolved node id.
-        id: String,
-    },
-    /// A node id occurred twice.
-    DuplicateNode {
-        /// 1-based source line.
-        line: usize,
-        /// Repeated node id.
-        id: String,
-    },
-}
-
-impl fmt::Display for LoadError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Json { line, source } => write!(f, "line {line}: invalid json: {source}"),
-            LoadError::UnknownNode { line, id } => {
-                write!(f, "line {line}: edge references unknown node id {id:?}")
-            }
-            LoadError::DuplicateNode { line, id } => {
-                write!(f, "line {line}: duplicate node id {id:?}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for LoadError {}
-
-impl From<std::io::Error> for LoadError {
-    fn from(e: std::io::Error) -> Self {
-        LoadError::Io(e)
-    }
+/// Serializes one record, surfacing encoder failures as `InvalidData`
+/// rather than panicking mid-write.
+fn encode_record(rec: &Record) -> std::io::Result<String> {
+    serde_json::to_string(rec)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[derive(Serialize, Deserialize)]
@@ -180,7 +136,7 @@ pub fn write_jsonl<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
             label: graph.schema().label_name(node.label).to_string(),
             attrs,
         });
-        writeln!(w, "{}", serde_json::to_string(&rec).expect("serializable"))?;
+        writeln!(w, "{}", encode_record(&rec)?)?;
     }
     for v in graph.node_ids() {
         for &(t, l) in graph.out_neighbors(v) {
@@ -189,7 +145,7 @@ pub fn write_jsonl<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
                 to: format!("n{}", t.0),
                 label: graph.schema().edge_label_name(l).to_string(),
             });
-            writeln!(w, "{}", serde_json::to_string(&rec).expect("serializable"))?;
+            writeln!(w, "{}", encode_record(&rec)?)?;
         }
     }
     Ok(())
@@ -214,12 +170,9 @@ pub fn read_tsv<N: BufRead, E: BufRead>(nodes: N, edges: E) -> Result<Graph, Loa
         }
         let mut fields = t.split('\t');
         let (Some(id), Some(label)) = (fields.next(), fields.next()) else {
-            return Err(LoadError::Json {
+            return Err(LoadError::Malformed {
                 line: lineno,
-                source: serde_json::Error::io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "node line needs `id<TAB>label`",
-                )),
+                detail: "node line needs `id<TAB>label`".to_string(),
             });
         };
         if ids.contains_key(id) {
@@ -246,7 +199,10 @@ pub fn read_tsv<N: BufRead, E: BufRead>(nodes: N, edges: E) -> Result<Graph, Loa
         }
         let mut fields = t.split('\t');
         let (Some(from), Some(to)) = (fields.next(), fields.next()) else {
-            continue;
+            return Err(LoadError::Malformed {
+                line: lineno,
+                detail: "edge line needs `from<TAB>to`".to_string(),
+            });
         };
         let label = fields.next().unwrap_or("edge");
         let f = *ids.get(from).ok_or_else(|| LoadError::UnknownNode {
@@ -398,6 +354,44 @@ mod tests {
         let nodes = "a\tN\na\tN\n";
         let err = read_tsv(Cursor::new(nodes), Cursor::new("")).unwrap_err();
         assert!(matches!(err, LoadError::DuplicateNode { line: 2, .. }));
+    }
+
+    #[test]
+    fn tsv_malformed_node_line_rejected() {
+        // A single-field node line is structurally malformed, not JSON-broken.
+        let nodes = "just-an-id\n";
+        let err = read_tsv(Cursor::new(nodes), Cursor::new("")).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("id<TAB>label"));
+    }
+
+    #[test]
+    fn tsv_malformed_edge_line_rejected() {
+        let nodes = "a\tN\n";
+        let edges = "a\n";
+        let err = read_tsv(Cursor::new(nodes), Cursor::new(edges)).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("from<TAB>to"));
+    }
+
+    #[test]
+    fn truncated_jsonl_record_is_error_not_panic() {
+        // A record cut mid-object — as from a truncated download.
+        let bad = "{\"node\": {\"id\": \"a\", \"lab";
+        let err = read_jsonl(Cursor::new(bad)).unwrap_err();
+        assert!(matches!(err, LoadError::Json { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn garbage_bytes_are_error_not_panic() {
+        let garbage: &[u8] = &[0x00, 0xde, 0xad, 0xbe, 0xef, b'\n', 0xff, 0xfe];
+        // Non-UTF8 input surfaces as an Io error from the line reader;
+        // anything that decodes surfaces as Json. Either way: no panic.
+        let err = read_jsonl(Cursor::new(garbage)).unwrap_err();
+        assert!(
+            matches!(err, LoadError::Io(_) | LoadError::Json { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -39,6 +39,29 @@ impl Default for AttrStats {
 }
 
 impl AttrStats {
+    /// Reconstitutes a summary from its persisted scalar fields (the
+    /// durable-snapshot load path). The categorical dedup set is not
+    /// persisted — it only serves [`AttrStats::observe`] during graph
+    /// construction, and a loaded graph is immutable — so a reconstituted
+    /// summary answers every read-side query identically but must not be
+    /// fed further observations.
+    pub fn from_raw(
+        count: usize,
+        numeric_count: usize,
+        min_num: f64,
+        max_num: f64,
+        distinct_categorical: usize,
+    ) -> Self {
+        AttrStats {
+            count,
+            numeric_count,
+            min_num,
+            max_num,
+            distinct_categorical,
+            seen_categorical: HashSet::new(),
+        }
+    }
+
     /// Folds one observed value into the summary.
     pub fn observe(&mut self, v: &AttrValue) {
         self.count += 1;

@@ -12,7 +12,9 @@
 //!   index for directed graphs, exact at any distance;
 //! * [`BoundedBfsOracle`] — a memoizing truncated-BFS oracle, exact up to a
 //!   configurable horizon (the matcher never asks beyond `b_m`);
-//! * [`HybridOracle`] — picks between the two by graph size.
+//! * [`HybridOracle`] — picks between the two by graph size;
+//! * [`PllParts`] / [`PllSlices`] — flattened label export for the durable
+//!   snapshot store and a zero-copy borrowed-slice serving view over it.
 
 #![warn(missing_docs)]
 
@@ -23,8 +25,8 @@ mod pll;
 
 pub use bfs::BoundedBfsOracle;
 pub use fault::{FaultKind, FaultOracle};
-pub use oracle::{DistanceOracle, HybridOracle};
-pub use pll::PllIndex;
+pub use oracle::{DistanceOracle, HybridOracle, PLL_NODE_LIMIT};
+pub use pll::{PllIndex, PllParts, PllSlices};
 
 #[cfg(test)]
 mod proptests {

@@ -64,6 +64,13 @@ impl<T: DistanceOracle + ?Sized> DistanceOracle for Box<T> {
     }
 }
 
+/// Default PLL/BFS crossover: graphs with at most this many nodes get a
+/// full pruned-landmark-labeling index ([`HybridOracle::default_for`]).
+/// Exported so other layers (the snapshot writer, the snapshot loader)
+/// can make the *same* decision and keep answers bit-identical between a
+/// freshly built context and a snapshot-loaded one.
+pub const PLL_NODE_LIMIT: usize = 50_000;
+
 /// Chooses an index implementation appropriate for the graph size.
 ///
 /// Pruned landmark labeling answers in microseconds but costs superlinear
@@ -96,9 +103,9 @@ impl HybridOracle {
         }
     }
 
-    /// Default policy: PLL below 50k nodes.
+    /// Default policy: PLL up to [`PLL_NODE_LIMIT`] nodes.
     pub fn default_for(graph: &Arc<Graph>, horizon: u32) -> Self {
-        Self::auto(graph, horizon, 50_000)
+        Self::auto(graph, horizon, PLL_NODE_LIMIT)
     }
 
     /// True if backed by the PLL index.

@@ -35,7 +35,7 @@
 
 use crate::oracle::DistanceOracle;
 use serde::{Deserialize, Serialize};
-use wqe_graph::{Graph, NodeId};
+use wqe_graph::{Graph, LoadError, NodeId};
 use wqe_pool::WorkerPool;
 
 /// Label entry: `(landmark rank, distance)`. Ranks are positions in the
@@ -234,6 +234,241 @@ impl DistanceOracle for PllIndex {
     }
 }
 
+/// The label arrays of a [`PllIndex`], flattened into a CSR of interleaved
+/// `(rank, dist)` `u32` pairs — the exchange type between the index and its
+/// durable snapshot. Offsets count label *entries* (pairs), so
+/// `entries[2*offsets[v] .. 2*offsets[v+1]]` is `L(v)` interleaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PllParts {
+    /// Per-node entry offsets into `out_entries`, `n + 1` values.
+    pub out_offsets: Vec<u32>,
+    /// `L_out` entries, interleaved `rank, dist, rank, dist, …`.
+    pub out_entries: Vec<u32>,
+    /// Per-node entry offsets into `in_entries`.
+    pub in_offsets: Vec<u32>,
+    /// `L_in` entries, interleaved.
+    pub in_entries: Vec<u32>,
+}
+
+fn flatten_labels(labels: &[Label]) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(labels.len() + 1);
+    let mut entries = Vec::with_capacity(2 * labels.iter().map(Vec::len).sum::<usize>());
+    offsets.push(0u32);
+    for label in labels {
+        for &(rank, dist) in label {
+            entries.push(rank);
+            entries.push(dist);
+        }
+        offsets.push((entries.len() / 2) as u32);
+    }
+    (offsets, entries)
+}
+
+fn unflatten_labels(
+    section: &'static str,
+    offsets: &[u32],
+    entries: &[u32],
+) -> Result<Vec<Label>, LoadError> {
+    validate_label_csr(section, offsets, entries)?;
+    let mut labels = Vec::with_capacity(offsets.len() - 1);
+    for w in offsets.windows(2) {
+        let (lo, hi) = (2 * w[0] as usize, 2 * w[1] as usize);
+        labels.push(
+            entries[lo..hi]
+                .chunks_exact(2)
+                .map(|p| (p[0], p[1]))
+                .collect(),
+        );
+    }
+    Ok(labels)
+}
+
+fn validate_label_csr(
+    section: &'static str,
+    offsets: &[u32],
+    entries: &[u32],
+) -> Result<(), LoadError> {
+    let corrupt = |detail: String| LoadError::Corrupt { section, detail };
+    if offsets.is_empty() || offsets[0] != 0 {
+        return Err(corrupt("offsets must start with 0".to_string()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("offsets not monotonic".to_string()));
+    }
+    if !entries.len().is_multiple_of(2) {
+        return Err(corrupt(format!(
+            "odd entry array length {} (interleaved pairs expected)",
+            entries.len()
+        )));
+    }
+    let last = *offsets.last().expect("nonempty checked above") as usize;
+    if 2 * last != entries.len() {
+        return Err(corrupt(format!(
+            "last offset {last} != entry pair count {}",
+            entries.len() / 2
+        )));
+    }
+    Ok(())
+}
+
+impl PllIndex {
+    /// Flattens the labels into [`PllParts`] for persistence.
+    pub fn to_parts(&self) -> PllParts {
+        let (out_offsets, out_entries) = flatten_labels(&self.out_labels);
+        let (in_offsets, in_entries) = flatten_labels(&self.in_labels);
+        PllParts {
+            out_offsets,
+            out_entries,
+            in_offsets,
+            in_entries,
+        }
+    }
+
+    /// Rebuilds an index from flattened parts without any BFS — the
+    /// snapshot-load fast path. Validates CSR invariants and returns
+    /// [`LoadError::Corrupt`] on violation; never panics.
+    pub fn from_parts(parts: PllParts) -> Result<PllIndex, LoadError> {
+        let out_labels = unflatten_labels("pll_out", &parts.out_offsets, &parts.out_entries)?;
+        let in_labels = unflatten_labels("pll_in", &parts.in_offsets, &parts.in_entries)?;
+        if out_labels.len() != in_labels.len() {
+            return Err(LoadError::Corrupt {
+                section: "pll_in",
+                detail: format!(
+                    "in-label node count {} != out-label node count {}",
+                    in_labels.len(),
+                    out_labels.len()
+                ),
+            });
+        }
+        Ok(PllIndex {
+            out_labels,
+            in_labels,
+        })
+    }
+}
+
+/// A [`PllIndex`] view over *borrowed* flattened label arrays — the
+/// zero-copy serving path: a memory-mapped snapshot hands its aligned
+/// `u32` sections straight to this view and answers distance queries with
+/// no per-node allocation at all.
+///
+/// Layout is exactly [`PllParts`]: offsets count interleaved `(rank, dist)`
+/// pairs. [`PllSlices::new`] validates the CSR invariants once, so the
+/// per-query merge-join can index without bounds surprises.
+#[derive(Debug, Clone, Copy)]
+pub struct PllSlices<'a> {
+    out_offsets: &'a [u32],
+    out_entries: &'a [u32],
+    in_offsets: &'a [u32],
+    in_entries: &'a [u32],
+}
+
+impl<'a> PllSlices<'a> {
+    /// Wraps flattened label arrays, validating offsets/lengths up front
+    /// (returns [`LoadError::Corrupt`], never panics on bad input).
+    pub fn new(
+        out_offsets: &'a [u32],
+        out_entries: &'a [u32],
+        in_offsets: &'a [u32],
+        in_entries: &'a [u32],
+    ) -> Result<Self, LoadError> {
+        validate_label_csr("pll_out", out_offsets, out_entries)?;
+        validate_label_csr("pll_in", in_offsets, in_entries)?;
+        if out_offsets.len() != in_offsets.len() {
+            return Err(LoadError::Corrupt {
+                section: "pll_in",
+                detail: format!(
+                    "in-label offset count {} != out-label offset count {}",
+                    in_offsets.len(),
+                    out_offsets.len()
+                ),
+            });
+        }
+        Ok(PllSlices {
+            out_offsets,
+            out_entries,
+            in_offsets,
+            in_entries,
+        })
+    }
+
+    /// Wraps flattened label arrays *without* re-validating — for holders
+    /// that ran [`PllSlices::new`] over the same arrays earlier (e.g. a
+    /// snapshot validated once at open) and now reconstruct the view on
+    /// every query. Queries over arrays that would not pass validation may
+    /// panic on out-of-bounds indexing.
+    pub fn new_unchecked(
+        out_offsets: &'a [u32],
+        out_entries: &'a [u32],
+        in_offsets: &'a [u32],
+        in_entries: &'a [u32],
+    ) -> Self {
+        PllSlices {
+            out_offsets,
+            out_entries,
+            in_offsets,
+            in_entries,
+        }
+    }
+
+    /// Number of nodes the labels cover.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// `L_out(v)` as an interleaved pair slice.
+    #[inline]
+    fn out_label(&self, v: NodeId) -> &'a [u32] {
+        let lo = 2 * self.out_offsets[v.index()] as usize;
+        let hi = 2 * self.out_offsets[v.index() + 1] as usize;
+        &self.out_entries[lo..hi]
+    }
+
+    /// `L_in(v)` as an interleaved pair slice.
+    #[inline]
+    fn in_label(&self, v: NodeId) -> &'a [u32] {
+        let lo = 2 * self.in_offsets[v.index()] as usize;
+        let hi = 2 * self.in_offsets[v.index() + 1] as usize;
+        &self.in_entries[lo..hi]
+    }
+
+    /// Merge-join over interleaved pair slices: minimum hub distance, or
+    /// `u32::MAX` when the labels share no landmark.
+    fn query_interleaved(out: &[u32], inn: &[u32]) -> u32 {
+        let mut best = u32::MAX;
+        let (mut i, mut j) = (0, 0);
+        while i < out.len() && j < inn.len() {
+            match out[i].cmp(&inn[j]) {
+                std::cmp::Ordering::Less => i += 2,
+                std::cmp::Ordering::Greater => j += 2,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(out[i + 1].saturating_add(inn[j + 1]));
+                    i += 2;
+                    j += 2;
+                }
+            }
+        }
+        best
+    }
+
+    /// Exact directed distance `dist(u, v)`, `None` when unreachable.
+    /// Identical answers to [`PllIndex::distance`] over the same labels.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let d = Self::query_interleaved(self.out_label(u), self.in_label(v));
+        (d != u32::MAX).then_some(d)
+    }
+}
+
+impl DistanceOracle for PllSlices<'_> {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        wqe_pool::obs::with_current(|p| p.add(wqe_pool::obs::Counter::OracleDist, 1));
+        self.distance(u, v).filter(|&d| d <= bound)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +614,99 @@ mod persistence_tests {
             }
         }
         assert_eq!(idx.label_entries(), idx2.label_entries());
+    }
+
+    fn dense_test_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..20).map(|_| b.add_node("N", [])).collect();
+        for i in 0..20 {
+            b.add_edge(ids[i], ids[(i + 1) % 20], "e");
+            if i % 4 == 0 {
+                b.add_edge(ids[i], ids[(i + 7) % 20], "e");
+            }
+        }
+        b.finalize()
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_labels_exactly() {
+        let g = dense_test_graph();
+        let idx = PllIndex::build_with(&g, 2);
+        let idx2 = PllIndex::from_parts(idx.to_parts()).unwrap();
+        // Label-level equality, not just answer equality.
+        assert_eq!(
+            serde_json::to_string(&idx).unwrap(),
+            serde_json::to_string(&idx2).unwrap()
+        );
+    }
+
+    #[test]
+    fn slices_answer_identically_to_owned_index() {
+        let g = dense_test_graph();
+        let idx = PllIndex::build(&g);
+        let parts = idx.to_parts();
+        let slices = PllSlices::new(
+            &parts.out_offsets,
+            &parts.out_entries,
+            &parts.in_offsets,
+            &parts.in_entries,
+        )
+        .unwrap();
+        assert_eq!(slices.node_count(), g.node_count());
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                assert_eq!(slices.distance(u, v), idx.distance(u, v), "{u:?}->{v:?}");
+                assert_eq!(
+                    slices.distance_within(u, v, 3),
+                    idx.distance_within(u, v, 3)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_parts_rejected_not_panicking() {
+        let g = dense_test_graph();
+        let parts = PllIndex::build(&g).to_parts();
+
+        let mut p = parts.clone();
+        p.out_offsets[3] = u32::MAX; // non-monotonic + out of range
+        assert!(matches!(
+            PllIndex::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "pll_out",
+                ..
+            })
+        ));
+
+        let mut p = parts.clone();
+        p.in_entries.pop(); // odd interleave
+        assert!(matches!(
+            PllIndex::from_parts(p),
+            Err(LoadError::Corrupt {
+                section: "pll_in",
+                ..
+            })
+        ));
+
+        let mut p = parts.clone();
+        p.in_offsets.pop(); // node-count mismatch vs out side
+        let err = PllIndex::from_parts(p);
+        assert!(matches!(err, Err(LoadError::Corrupt { .. })));
+
+        let mut p = parts.clone();
+        p.out_entries.truncate(p.out_entries.len() - 2); // last offset dangling
+        assert!(matches!(
+            PllSlices::new(&p.out_offsets, &p.out_entries, &p.in_offsets, &p.in_entries),
+            Err(LoadError::Corrupt {
+                section: "pll_out",
+                ..
+            })
+        ));
+
+        assert!(matches!(
+            PllSlices::new(&[], &[], &[0], &[]),
+            Err(LoadError::Corrupt { .. })
+        ));
     }
 }

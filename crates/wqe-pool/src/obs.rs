@@ -55,17 +55,23 @@ pub enum Stage {
     Oracle = 4,
     /// The serial merge step ranking evaluated rewrites into the frontier.
     Merge = 5,
+    /// Durable-snapshot load at startup: opening, checksumming, and
+    /// reconstituting a `wqe-store` snapshot into an engine context. A
+    /// once-per-context cost, recorded so `--profile` shows startup beside
+    /// the per-query stages.
+    SnapshotLoad = 6,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the order profiles render in).
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Match,
         Stage::StarMaterialize,
         Stage::Join,
         Stage::Chase,
         Stage::Oracle,
         Stage::Merge,
+        Stage::SnapshotLoad,
     ];
 
     /// A stable snake_case name (used as the JSON key).
@@ -77,6 +83,7 @@ impl Stage {
             Stage::Chase => "chase",
             Stage::Oracle => "oracle",
             Stage::Merge => "merge",
+            Stage::SnapshotLoad => "snapshot_load",
         }
     }
 }
@@ -111,11 +118,14 @@ pub enum Counter {
     AnswerCacheMiss = 8,
     /// Answer-cache evictions (LRU capacity or TTL expiry).
     AnswerCacheEviction = 9,
+    /// Bytes of durable snapshot mapped (or read) into the address space
+    /// when the engine context was loaded from a `wqe-store` snapshot.
+    SnapshotBytesMapped = 10,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 11] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheEviction,
@@ -126,6 +136,7 @@ impl Counter {
         Counter::AnswerCacheHit,
         Counter::AnswerCacheMiss,
         Counter::AnswerCacheEviction,
+        Counter::SnapshotBytesMapped,
     ];
 
     /// A stable snake_case name (used as the JSON key).
@@ -141,6 +152,7 @@ impl Counter {
             Counter::AnswerCacheHit => "answer_cache_hits",
             Counter::AnswerCacheMiss => "answer_cache_misses",
             Counter::AnswerCacheEviction => "answer_cache_evictions",
+            Counter::SnapshotBytesMapped => "snapshot_bytes_mapped",
         }
     }
 }
@@ -206,9 +218,9 @@ impl Default for StageSnapshot {
 pub struct ProfileSnapshot {
     /// One snapshot per [`Stage`], indexed by discriminant
     /// (i.e. in [`Stage::ALL`] order).
-    pub stages: [StageSnapshot; 6],
+    pub stages: [StageSnapshot; Stage::ALL.len()],
     /// One value per [`Counter`], indexed by discriminant.
-    pub counters: [u64; 10],
+    pub counters: [u64; Counter::ALL.len()],
 }
 
 impl ProfileSnapshot {
@@ -228,8 +240,8 @@ impl ProfileSnapshot {
 /// and any pool workers it fans out to.
 #[derive(Debug, Default)]
 pub struct Profiler {
-    stages: [StageStats; 6],
-    counters: [AtomicU64; 10],
+    stages: [StageStats; Stage::ALL.len()],
+    counters: [AtomicU64; Counter::ALL.len()],
 }
 
 impl Profiler {
@@ -454,6 +466,7 @@ mod tests {
                 "answer_cache_hits",
                 "answer_cache_misses",
                 "answer_cache_evictions",
+                "snapshot_bytes_mapped",
             ]
         );
     }

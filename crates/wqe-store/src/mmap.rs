@@ -1,0 +1,246 @@
+//! Read-only file mapping with a portable fallback.
+//!
+//! On unix the snapshot is `mmap`ed through a thin hand-written
+//! `extern "C"` binding (the workspace builds offline, so no `libc`/
+//! `memmap2`): the kernel pages data in lazily and evicted pages cost
+//! nothing until touched, which is what makes snapshot open effectively
+//! O(header + checksums) instead of O(file). Everywhere else — or when the
+//! syscall fails — the file is read into a 16-byte-aligned owned buffer,
+//! which preserves the zero-copy *views* (the in-place `u32`/`u64` slices)
+//! even though the bytes themselves were copied once.
+//!
+//! The mapping is `PROT_READ`/`MAP_PRIVATE`: nothing here ever writes
+//! through it, and a snapshot file must not be mutated while mapped (the
+//! checksums are verified once, at open).
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// A read-only byte buffer backed by either an OS file mapping or an
+/// aligned owned allocation. The start is always at least 16-byte aligned
+/// (page-aligned for real mappings).
+pub struct MappedFile {
+    backing: Backing,
+    len: usize,
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mmap {
+        ptr: *mut std::ffi::c_void,
+        /// Length passed to `mmap` (guaranteed nonzero).
+        map_len: usize,
+    },
+    /// `u128` elements force 16-byte alignment of the buffer start.
+    Owned(Vec<u128>),
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime and
+// the raw pointer is owned exclusively by this struct, so sharing across
+// threads is no different from sharing a `&[u8]`.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+impl MappedFile {
+    /// Opens `path` read-only: mapped on unix, read into an aligned buffer
+    /// otherwise (or if the mapping syscall fails).
+    pub fn open(path: &Path) -> std::io::Result<MappedFile> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map")
+        })?;
+        #[cfg(unix)]
+        if len > 0 {
+            if let Some(mapped) = Self::try_mmap(&file, len) {
+                return Ok(mapped);
+            }
+        }
+        Self::read_aligned(&mut file, len)
+    }
+
+    #[cfg(unix)]
+    fn try_mmap(file: &File, len: usize) -> Option<MappedFile> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh private read-only mapping of a file we own a
+        // handle to; the kernel validates fd/len. On failure we get
+        // MAP_FAILED and fall back to reading.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED || ptr.is_null() {
+            return None;
+        }
+        Some(MappedFile {
+            backing: Backing::Mmap { ptr, map_len: len },
+            len,
+        })
+    }
+
+    fn read_aligned(file: &mut File, len: usize) -> std::io::Result<MappedFile> {
+        let words = len.div_ceil(16);
+        let mut buf = vec![0u128; words];
+        if len > 0 {
+            // SAFETY: the Vec owns `words * 16 >= len` initialized bytes;
+            // viewing them as `u8` has no alignment or validity caveats.
+            let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+            file.read_exact(bytes)?;
+        }
+        Ok(MappedFile {
+            backing: Backing::Owned(buf),
+            len,
+        })
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: the mapping covers `len` readable bytes and lives
+            // until drop; PROT_READ forbids mutation through it.
+            Backing::Mmap { ptr, .. } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, self.len)
+            },
+            Backing::Owned(buf) => {
+                // SAFETY: as in `read_aligned` — the allocation holds at
+                // least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, self.len) }
+            }
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when backed by an OS mapping (false for the read fallback).
+    pub fn is_mmap(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mmap { ptr, map_len } => {
+                // SAFETY: exactly the pointer/length pair returned by mmap,
+                // unmapped once (drop runs once).
+                unsafe {
+                    sys::munmap(*ptr, *map_len);
+                }
+            }
+            Backing::Owned(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wqe-store-mmap-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_and_reads_back() {
+        let p = temp_path("basic");
+        let payload: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&p)
+            .and_then(|mut f| f.write_all(&payload))
+            .unwrap();
+        let m = MappedFile::open(&p).unwrap();
+        assert_eq!(m.len(), payload.len());
+        assert_eq!(m.bytes(), &payload[..]);
+        #[cfg(unix)]
+        assert!(m.is_mmap());
+        // The base is aligned enough for in-place u32 views.
+        let (pre, mid, _) = unsafe { m.bytes().align_to::<u32>() };
+        assert!(pre.is_empty());
+        assert_eq!(mid[1], 1);
+        drop(m);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn fallback_buffer_is_aligned() {
+        let p = temp_path("fallback");
+        std::fs::File::create(&p)
+            .and_then(|mut f| f.write_all(&[7u8; 33]))
+            .unwrap();
+        let mut f = File::open(&p).unwrap();
+        let m = MappedFile::read_aligned(&mut f, 33).unwrap();
+        assert!(!m.is_mmap());
+        assert_eq!(m.len(), 33);
+        assert_eq!(m.bytes()[32], 7);
+        assert_eq!(m.bytes().as_ptr() as usize % 16, 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_buffer() {
+        let p = temp_path("empty");
+        std::fs::File::create(&p).unwrap();
+        let m = MappedFile::open(&p).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes().len(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = MappedFile::open(Path::new("/nonexistent/wqe/definitely-not-here")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

@@ -39,6 +39,16 @@ cargo test --test governor -q
 echo "==> observability: cargo test --test profile -q"
 cargo test --test profile -q
 
+# The durable store: snapshot-loaded contexts must answer bit-identically
+# to freshly built ones across all five algorithms and every parallelism,
+# round-trips must be lossless, and corruption/truncation must surface as
+# structured errors — serialized and under default test threading.
+echo "==> store: RUST_TEST_THREADS=1 cargo test --test snapshot_determinism -q"
+RUST_TEST_THREADS=1 cargo test --test snapshot_determinism -q
+
+echo "==> store: cargo test --test snapshot_determinism -q"
+cargo test --test snapshot_determinism -q
+
 # The serving layer: concurrent mixed-algorithm batches, the answer
 # cache, admission control, and per-request deadlines must all be
 # bit-identical to direct engine runs — serialized and under default
@@ -64,6 +74,16 @@ echo "==> serving: bench_serve answers-identical gate"
 cargo run --release -p wqe-bench --bin bench_serve -- --out results/BENCH_serve.json
 grep -q '"answers_identical": true' results/BENCH_serve.json || {
     echo "bench_serve: served answers diverged from direct engine runs" >&2
+    exit 1
+}
+
+# The snapshot store's headline number: loading a written snapshot must
+# beat the cold parse+rebuild path by >= 10x, with a faithful context
+# (the bin hard-checks graph shape and spot-checks distances).
+echo "==> store: bench_store cold-start gate"
+cargo run --release -p wqe-bench --bin bench_store -- --out results/BENCH_store.json
+grep -q '"within_target": true' results/BENCH_store.json || {
+    echo "bench_store: snapshot load missed the 10x cold-start target" >&2
     exit 1
 }
 

@@ -4,10 +4,19 @@
 //! wqe-cli stats  <graph.jsonl>
 //! wqe-cli match  <graph.jsonl> <question.json>          # evaluate Q only
 //! wqe-cli why    <graph.jsonl> <question.json> [opts]   # suggest rewrites
+//! wqe-cli why    --snapshot <g.wqs> <question.json> ... # from a snapshot
 //! wqe-cli serve  <graph.jsonl> <questions.jsonl> [opts] # batch serving
 //! wqe-cli gen    <preset> <scale> <seed> <out.jsonl>    # synthetic data
+//! wqe-cli index  build <graph.jsonl> -o <g.wqs>         # durable snapshot
+//! wqe-cli index  inspect <g.wqs>                        # header + sections
 //! wqe-cli demo                                          # built-in Fig. 1
 //! ```
+//!
+//! The `index` lifecycle persists a graph **and** the distance index the
+//! engine would build for it into one versioned binary snapshot
+//! (`wqe_store`); `why --snapshot` then answers questions from that file
+//! without re-parsing text or re-building the index, with answers
+//! bit-identical to the fresh path.
 //!
 //! `why` options: `--budget B` (default 3), `--top-k K`,
 //! `--algo answ|answnc|answb|heu|heub:SEED|whymany|whyempty|fm`,
@@ -48,10 +57,11 @@ fn main() {
         Some("why") => cmd_why(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: wqe-cli <stats|match|why|serve|gen|demo> ...\n\
+                "usage: wqe-cli <stats|match|why|serve|gen|index|demo> ...\n\
                  run `wqe-cli why graph.jsonl question.json --budget 3` to\n\
                  get query-rewrite suggestions; see crate docs for formats."
             );
@@ -124,8 +134,15 @@ fn cmd_match(args: &[String]) -> i32 {
 }
 
 fn cmd_why(args: &[String]) -> i32 {
-    let (Some(gpath), Some(qpath)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: wqe-cli why <graph.jsonl> <question.json> [--budget B] [--algo A] ...");
+    // `why --snapshot g.wqs question.json` swaps the text graph for a
+    // durable snapshot; everything downstream is identical.
+    let snapshot_mode = args.first().map(String::as_str) == Some("--snapshot");
+    let first = if snapshot_mode { 1 } else { 0 };
+    let (Some(gpath), Some(qpath)) = (args.get(first), args.get(first + 1)) else {
+        eprintln!(
+            "usage: wqe-cli why <graph.jsonl|--snapshot g.wqs> <question.json> \
+             [--budget B] [--algo A] ..."
+        );
         return 2;
     };
     let mut config = WqeConfig::default();
@@ -133,7 +150,7 @@ fn cmd_why(args: &[String]) -> i32 {
     let mut dot_out: Option<String> = None;
     let mut json_out = false;
     let mut profile_out = false;
-    let mut i = 2;
+    let mut i = first + 2;
     while i < args.len() {
         let flag = args[i].as_str();
         let val = args.get(i + 1).cloned();
@@ -171,12 +188,21 @@ fn cmd_why(args: &[String]) -> i32 {
         i += 2;
     }
     let run = || -> Result<(), String> {
-        let g = Arc::new(load_graph(gpath)?);
-        let wq = load_question(&g, qpath)?;
-        let ctx = EngineCtx::new(
-            Arc::clone(&g),
-            Arc::new(HybridOracle::default_for(&g, wq.query.max_bound())),
-        );
+        let (ctx, g, wq) = if snapshot_mode {
+            let ctx = EngineCtx::from_snapshot(std::path::Path::new(gpath.as_str()))
+                .map_err(|e| e.to_string())?;
+            let g = ctx.graph_arc();
+            let wq = load_question(&g, qpath)?;
+            (ctx, g, wq)
+        } else {
+            let g = Arc::new(load_graph(gpath)?);
+            let wq = load_question(&g, qpath)?;
+            let ctx = EngineCtx::new(
+                Arc::clone(&g),
+                Arc::new(HybridOracle::default_for(&g, wq.query.max_bound())),
+            );
+            (ctx, g, wq)
+        };
         let algorithm = Algorithm::parse(&algo).ok_or(format!("unknown algorithm {algo:?}"))?;
         let engine =
             WqeEngine::try_new(ctx, wq, algorithm.apply_to(config)).map_err(|e| e.to_string())?;
@@ -484,6 +510,98 @@ fn cmd_gen(args: &[String]) -> i32 {
         Ok(())
     };
     report_result(run())
+}
+
+fn cmd_index(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_index_build(&args[1..]),
+        Some("inspect") => cmd_index_inspect(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: wqe-cli index build <graph.jsonl> -o <out.wqs>\n\
+                 \x20      wqe-cli index inspect <snapshot.wqs>"
+            );
+            2
+        }
+    }
+}
+
+fn cmd_index_build(args: &[String]) -> i32 {
+    let (gpath, out) = match args {
+        [g, flag, o] if flag == "-o" || flag == "--out" => (g, o),
+        _ => {
+            eprintln!("usage: wqe-cli index build <graph.jsonl|nodes.tsv,edges.tsv> -o <out.wqs>");
+            return 2;
+        }
+    };
+    let run = || -> Result<(), String> {
+        let g = load_graph(gpath)?;
+        let started = std::time::Instant::now();
+        let bytes = wqe::store::build_and_write_snapshot(std::path::Path::new(out.as_str()), &g)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote {out:?}: {} nodes, {} edges, {} ({}) in {:.1} ms",
+            g.node_count(),
+            g.edge_count(),
+            human_bytes(bytes),
+            if wqe::store::wants_pll(&g) {
+                "with PLL index"
+            } else {
+                "no PLL (past crossover); bounded BFS at load"
+            },
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        Ok(())
+    };
+    report_result(run())
+}
+
+fn cmd_index_inspect(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: wqe-cli index inspect <snapshot.wqs>");
+        return 2;
+    };
+    let run = || -> Result<(), String> {
+        let snap = wqe::store::Snapshot::open(std::path::Path::new(path.as_str()))
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        let meta = snap.meta();
+        println!(
+            "snapshot {path}: format v{}, {} ({})",
+            snap.format_version(),
+            human_bytes(snap.bytes_len()),
+            if snap.is_mmap() { "mmap" } else { "read" },
+        );
+        println!(
+            "graph: {} nodes, {} edges, diameter {}, pll: {}",
+            meta.node_count,
+            meta.edge_count,
+            meta.diameter,
+            if meta.has_pll() { "yes" } else { "no" },
+        );
+        println!("sections:");
+        for s in snap.section_infos() {
+            println!(
+                "  {:>20}  id {:>2}  offset {:>10}  {:>12}  fnv1a64 {:016x}",
+                s.name,
+                s.id,
+                s.offset,
+                human_bytes(s.len),
+                s.checksum,
+            );
+        }
+        Ok(())
+    };
+    report_result(run())
+}
+
+fn human_bytes(n: u64) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1} MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
 }
 
 fn cmd_demo() -> i32 {

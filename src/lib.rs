@@ -11,6 +11,8 @@
 //!
 //! * [`graph`] — the attributed graph store (`wqe-graph`);
 //! * [`index`] — exact distance indexes (`wqe-index`);
+//! * [`store`] — the durable snapshot store: versioned binary graph+index
+//!   files with zero-copy load (`wqe-store`);
 //! * [`query`] — pattern queries, operators, star-view matcher (`wqe-query`);
 //! * [`core`] — exemplars, closeness, Q-Chase, and every algorithm
 //!   (`wqe-core`);
@@ -48,3 +50,4 @@ pub use wqe_datagen as datagen;
 pub use wqe_graph as graph;
 pub use wqe_index as index;
 pub use wqe_query as query;
+pub use wqe_store as store;

@@ -1,0 +1,280 @@
+//! The durable store must be invisible to the algorithms: a context loaded
+//! from a snapshot (`EngineCtx::from_snapshot`) answers every question
+//! bit-identically to a context built fresh from the same graph — across
+//! all five algorithm families and at any parallelism — and a written
+//! snapshot decodes back to exactly the graph that produced it.
+//!
+//! Corrupted files must surface as structured `LoadError`s, never panics:
+//! every section is protected by its own checksum, and truncation at any
+//! point is detected before any array is interpreted.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use wqe::core::engine::{Algorithm, WqeEngine};
+use wqe::core::{EngineCtx, WhyQuestion, WqeConfig};
+use wqe::datagen::{
+    dbpedia_like, generate, generate_query, generate_why, QueryGenConfig, SynthConfig,
+    TopologyKind, WhyGenConfig,
+};
+use wqe::graph::{Graph, LoadError};
+use wqe::index::DistanceOracle;
+use wqe::store::{build_and_write_snapshot, Snapshot};
+
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Every algorithm family the engine dispatches (§5–§6).
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::AnsW,
+    Algorithm::AnsHeu,
+    Algorithm::FMAnsW,
+    Algorithm::WhyMany,
+    Algorithm::WhyEmpty,
+];
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wqe-snapdet-{tag}-{}.wqs", std::process::id()))
+}
+
+/// A comparable summary of a full report, floats compared bit-exactly.
+fn fingerprint(report: &wqe::core::AnswerReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    fn push(out: &mut String, r: &wqe::core::RewriteResult) {
+        let _ = write!(
+            out,
+            "[{:x}/{:x}/{:?}/{:?}/{}]",
+            r.closeness.to_bits(),
+            r.cost.to_bits(),
+            r.ops,
+            r.matches,
+            r.satisfies
+        );
+    }
+    match &report.best {
+        None => out.push_str("none"),
+        Some(b) => push(&mut out, b),
+    }
+    for r in &report.top_k {
+        push(&mut out, r);
+    }
+    let _ = write!(out, "|opt={}", report.optimal_reached);
+    out
+}
+
+/// Deep structural equality: everything the engine can observe about a
+/// graph, with float statistics compared bit-exactly.
+fn assert_graphs_equal(a: &Graph, b: &Graph) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    let (sa, sb) = (a.schema(), b.schema());
+    assert_eq!(sa.label_count(), sb.label_count());
+    assert_eq!(sa.attr_count(), sb.attr_count());
+    assert_eq!(sa.edge_label_count(), sb.edge_label_count());
+    for i in 0..sa.label_count() as u32 {
+        assert_eq!(sa.label_name(i.into()), sb.label_name(i.into()));
+    }
+    for i in 0..sa.attr_count() as u32 {
+        assert_eq!(sa.attr_name(i.into()), sb.attr_name(i.into()));
+    }
+    for i in 0..sa.edge_label_count() as u32 {
+        assert_eq!(sa.edge_label_name(i.into()), sb.edge_label_name(i.into()));
+    }
+    for v in a.node_ids() {
+        assert_eq!(a.node(v).label, b.node(v).label, "{v:?}");
+        assert_eq!(a.node(v).attrs, b.node(v).attrs, "{v:?}");
+    }
+    assert_eq!(a.out_csr(), b.out_csr());
+    assert_eq!(a.in_csr(), b.in_csr());
+    assert_eq!(a.label_index(), b.label_index());
+    assert_eq!(a.raw_diameter(), b.raw_diameter());
+    for (x, y) in a.attr_stats_all().iter().zip(b.attr_stats_all()) {
+        assert_eq!(x.count, y.count);
+        assert_eq!(x.numeric_count, y.numeric_count);
+        assert_eq!(x.min_num.to_bits(), y.min_num.to_bits());
+        assert_eq!(x.max_num.to_bits(), y.max_num.to_bits());
+        assert_eq!(x.distinct_categorical, y.distinct_categorical);
+    }
+}
+
+fn generated_questions(
+    graph: &Arc<Graph>,
+    oracle: &Arc<dyn DistanceOracle>,
+    n: usize,
+) -> Vec<WhyQuestion> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < n && seed < 200 {
+        seed += 1;
+        let qcfg = QueryGenConfig {
+            edges: 2,
+            seed,
+            topology: TopologyKind::Star,
+            ..Default::default()
+        };
+        if let Some(truth) = generate_query(graph, &qcfg) {
+            let wcfg = WhyGenConfig {
+                seed: seed * 13,
+                ..Default::default()
+            };
+            if let Some(gw) = generate_why(graph, oracle, &truth, &wcfg) {
+                out.push(gw.question);
+            }
+        }
+    }
+    out
+}
+
+fn config(parallelism: usize) -> WqeConfig {
+    WqeConfig {
+        budget: 3.0,
+        max_expansions: 300,
+        top_k: 3,
+        parallelism,
+        ..Default::default()
+    }
+}
+
+/// The headline contract: five algorithms, three thread counts, two
+/// provenances (fresh build vs snapshot load) — one fingerprint.
+#[test]
+fn snapshot_loaded_answers_bit_identical_to_fresh() {
+    let graph = Arc::new(dbpedia_like(0.02, 5));
+    let path = temp_path("identical");
+    build_and_write_snapshot(&path, &graph).unwrap();
+
+    let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
+    let loaded = EngineCtx::from_snapshot(&path).unwrap();
+    assert!(loaded.snapshot_startup().is_some());
+    assert_graphs_equal(fresh.graph(), loaded.graph());
+
+    let qs = generated_questions(&graph, &fresh.oracle_arc(), 3);
+    assert!(qs.len() >= 2, "suite too small");
+    for wq in &qs {
+        for algo in ALGORITHMS {
+            for &t in &THREAD_COUNTS {
+                let cfg = algo.apply_to(config(t));
+                let a = WqeEngine::try_new(fresh.clone(), wq.clone(), cfg.clone())
+                    .expect("fresh engine")
+                    .try_run(algo)
+                    .expect("fresh run");
+                let b = WqeEngine::try_new(loaded.clone(), wq.clone(), cfg)
+                    .expect("snapshot engine")
+                    .try_run(algo)
+                    .expect("snapshot run");
+                assert_eq!(
+                    fingerprint(&a),
+                    fingerprint(&b),
+                    "{algo:?} at parallelism {t} diverged between fresh and snapshot"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any generated graph survives write → load losslessly, and when a
+    /// why-question can be generated for it, `answ` from the snapshot
+    /// context matches the fresh context bit-for-bit at every parallelism.
+    #[test]
+    fn roundtrip_is_lossless_for_generated_graphs(nodes in 60usize..200, seed in 0u64..1_000) {
+        let graph = Arc::new(generate(&SynthConfig {
+            nodes,
+            seed,
+            ..Default::default()
+        }));
+        let path = temp_path(&format!("prop-{nodes}-{seed}"));
+        build_and_write_snapshot(&path, &graph).unwrap();
+
+        let snap = Snapshot::open(&path).unwrap();
+        let decoded = snap.load_graph().unwrap();
+        assert_graphs_equal(&graph, &decoded);
+
+        let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
+        let loaded = EngineCtx::from_snapshot(&path).unwrap();
+        if let Some(wq) = generated_questions(&graph, &fresh.oracle_arc(), 1).pop() {
+            for &t in &THREAD_COUNTS {
+                let a = WqeEngine::try_new(fresh.clone(), wq.clone(), config(t))
+                    .expect("fresh engine")
+                    .try_run(Algorithm::AnsW)
+                    .expect("fresh run");
+                let b = WqeEngine::try_new(loaded.clone(), wq.clone(), config(t))
+                    .expect("snapshot engine")
+                    .try_run(Algorithm::AnsW)
+                    .expect("snapshot run");
+                prop_assert_eq!(fingerprint(&a), fingerprint(&b), "parallelism {}", t);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Flipping one payload byte in *any* section is caught by that section's
+/// checksum — a structured error naming the section, never a panic and
+/// never a silently-wrong graph.
+#[test]
+fn every_section_corruption_is_detected() {
+    let graph = dbpedia_like(0.01, 9);
+    let path = temp_path("corrupt");
+    build_and_write_snapshot(&path, &graph).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let sections: Vec<_> = Snapshot::open(&path)
+        .unwrap()
+        .section_infos()
+        .into_iter()
+        .filter(|s| s.len > 0)
+        .collect();
+    assert!(sections.len() >= 13, "expected every required section");
+
+    for s in &sections {
+        let mut bytes = pristine.clone();
+        let at = (s.offset + s.len / 2) as usize;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match Snapshot::open(&path) {
+            Err(LoadError::ChecksumMismatch { section }) => {
+                assert_eq!(section, s.name, "blamed the wrong section");
+            }
+            other => panic!("corrupt {} accepted: {other:?}", s.name),
+        }
+    }
+    std::fs::write(&path, &pristine).unwrap();
+    assert!(Snapshot::open(&path).is_ok(), "pristine bytes must reload");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Truncation anywhere — mid-header, mid-table, mid-payload, one byte
+/// short — is an error, not a panic, and `from_snapshot` wraps it.
+#[test]
+fn truncated_snapshots_error_cleanly() {
+    let graph = dbpedia_like(0.01, 9);
+    let path = temp_path("trunc");
+    build_and_write_snapshot(&path, &graph).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    for cut in [
+        0,
+        7,
+        16,
+        31,
+        32,
+        200,
+        pristine.len() / 2,
+        pristine.len() - 1,
+    ] {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        assert!(
+            Snapshot::open(&path).is_err(),
+            "truncation at {cut} accepted"
+        );
+        let err = EngineCtx::from_snapshot(&path).unwrap_err();
+        assert!(
+            matches!(err, wqe::core::WqeError::Snapshot(_)),
+            "truncation at {cut}: {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
