@@ -12,6 +12,7 @@ use std::path::Path;
 use std::sync::Arc;
 use wqe_graph::Graph;
 use wqe_index::{BoundedBfsOracle, DistanceOracle, HybridOracle};
+use wqe_store::format::VERSION_INTERLEAVED_PLL;
 use wqe_store::{Snapshot, SnapshotOracle};
 
 /// What [`EngineCtx::from_snapshot`] observed while loading: enough for a
@@ -68,8 +69,10 @@ impl EngineCtx {
     /// from it without re-parsing text or re-building any index.
     ///
     /// Snapshots written with PLL labels serve distances straight from the
-    /// mapped label arrays ([`SnapshotOracle`], zero-copy); snapshots
-    /// without them get the same bounded-BFS oracle (`horizon = 4`) that
+    /// mapped label arrays ([`SnapshotOracle`], zero-copy); version-1
+    /// files (interleaved label entries, no flat view to borrow) get the
+    /// same labels deinterleaved once into an owned index; snapshots
+    /// without labels get the same bounded-BFS oracle (`horizon = 4`) that
     /// [`HybridOracle::default_for`] would pick for a graph past the PLL
     /// crossover. Because the writer's [`wqe_store::wants_pll`] policy
     /// mirrors that crossover, answers from a snapshot-loaded context are
@@ -79,10 +82,15 @@ impl EngineCtx {
         let snap = Snapshot::open(path)?;
         let bytes_mapped = snap.bytes_len();
         let graph = Arc::new(snap.load_graph()?);
-        let oracle: Arc<dyn DistanceOracle> = if snap.meta().has_pll() {
+        let oracle: Arc<dyn DistanceOracle> = if !snap.meta().has_pll() {
+            Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), 4))
+        } else if snap.format_version() > VERSION_INTERLEAVED_PLL {
             Arc::new(SnapshotOracle::new(Arc::new(snap))?)
         } else {
-            Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), 4))
+            let pll = snap
+                .load_pll()?
+                .expect("has_pll implies label sections (validated at open)");
+            Arc::new(pll)
         };
         let load_ns = started.elapsed().as_nanos() as u64;
         Ok(EngineCtx {

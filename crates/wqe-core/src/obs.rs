@@ -68,6 +68,10 @@ pub struct CounterRegistry {
     pub oracle_dist_calls: u64,
     /// Batched distance-oracle calls (`dist_batch`).
     pub oracle_dist_batch_calls: u64,
+    /// PLL label entries scanned by the merge-join/probe kernels across
+    /// all point and batched oracle calls — the work metric the batch
+    /// grouping and SIMD kernels are judged by (`bench_kernels`).
+    pub oracle_label_entries_scanned: u64,
     /// Worker-pool runs.
     pub pool_runs: u64,
     /// Work items completed across all pool runs.
@@ -105,6 +109,7 @@ impl CounterRegistry {
             cache_evictions: snapshot.counter(Counter::CacheEviction),
             oracle_dist_calls: snapshot.counter(Counter::OracleDist),
             oracle_dist_batch_calls: snapshot.counter(Counter::OracleDistBatch),
+            oracle_label_entries_scanned: snapshot.counter(Counter::OracleLabelEntries),
             pool_runs: snapshot.counter(Counter::PoolRun),
             pool_tasks: snapshot.counter(Counter::PoolTask),
             match_steps: 0,

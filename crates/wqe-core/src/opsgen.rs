@@ -650,29 +650,48 @@ pub fn generate_refinements(
             continue;
         }
         for outgoing in [true, false] {
-            let dist_of = |m: NodeId| -> Option<u32> {
+            let pair_of = |m: NodeId| -> Option<(NodeId, NodeId)> {
                 let hu = witness(m, u)?;
-                let (a, b) = if outgoing { (m, hu) } else { (hu, m) };
-                session
-                    .matcher
-                    .oracle()
-                    .distance_within(a, b, q.max_bound())
+                Some(if outgoing { (m, hu) } else { (hu, m) })
             };
             // k = max RM witness distance (all RM pairs stay within k).
-            let rm_dists: Vec<Option<u32>> = rm.iter().map(|&m| dist_of(m)).collect();
+            // Every RM witness pair shares the same source (direction
+            // fixed, focus side constant per member set), so one batched
+            // oracle call amortizes the source-label loads.
+            let Some(rm_pairs) = rm
+                .iter()
+                .map(|&m| pair_of(m))
+                .collect::<Option<Vec<(NodeId, NodeId)>>>()
+            else {
+                continue;
+            };
+            let rm_dists = session
+                .matcher
+                .oracle()
+                .dist_batch(&rm_pairs, q.max_bound());
             if rm_dists.iter().any(Option::is_none) {
                 continue;
             }
             let Some(k) = rm_dists.iter().flatten().copied().max() else {
                 continue;
             };
-            let killed: Vec<NodeId> = im
+            // Unknown witness counts as not killed (conservative), so only
+            // members with a witness enter the batch.
+            let im_with: Vec<(NodeId, (NodeId, NodeId))> = im
                 .iter()
                 .copied()
-                .filter(|&m| {
-                    // Unknown witness counts as not killed (conservative).
-                    witness(m, u).is_some() && dist_of(m).is_none_or(|d| d > k)
-                })
+                .filter_map(|m| pair_of(m).map(|p| (m, p)))
+                .collect();
+            let im_pairs: Vec<(NodeId, NodeId)> = im_with.iter().map(|&(_, p)| p).collect();
+            let im_dists = session
+                .matcher
+                .oracle()
+                .dist_batch(&im_pairs, q.max_bound());
+            let killed: Vec<NodeId> = im_with
+                .iter()
+                .zip(&im_dists)
+                .filter(|(_, d)| d.is_none_or(|d| d > k))
+                .map(|((m, _), _)| *m)
                 .collect();
             if killed.is_empty() {
                 continue;

@@ -841,8 +841,10 @@ mod tests {
             canonical_key(&q, Algorithm::AnsHeuB(2), &WqeConfig::default())
         );
         // Parallelism is excluded; budget is not.
-        let mut c = WqeConfig::default();
-        c.parallelism = 7;
+        let mut c = WqeConfig {
+            parallelism: 7,
+            ..Default::default()
+        };
         assert_eq!(
             canonical_key(&q, Algorithm::AnsW, &c),
             canonical_key(&q, Algorithm::AnsW, &WqeConfig::default())

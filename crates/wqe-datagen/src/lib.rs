@@ -10,11 +10,13 @@
 
 pub mod plant;
 pub mod queries;
+pub mod stream;
 pub mod synth;
 pub mod whygen;
 
 pub use plant::{generate_planted, PlantSpoke, PlantTemplate, PlantedWorkload};
 pub use queries::{generate_query, GeneratedQuery, QueryGenConfig, TopologyKind};
+pub use stream::{materialize, stream_snapshot, ScaleConfig, StreamReport};
 pub use synth::{
     all_datasets, dbpedia_like, emit_snapshot, generate, imdb_like, offshore_like, watdiv_like,
     SynthConfig,

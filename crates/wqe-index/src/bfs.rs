@@ -218,11 +218,14 @@ impl DistanceOracle for BoundedBfsOracle {
         reach.get(&v).copied().filter(|&d| d <= bound)
     }
 
-    /// Batched queries fetch each source's reach map once per run of
-    /// consecutive pairs sharing that source (the common access pattern:
-    /// matchers probe one candidate against many targets).
+    /// Batched queries run **one** traversal per distinct source node in
+    /// the batch: every pair's answer is served from a per-batch map of
+    /// reach sets, keyed by source, filled lazily in pair order. Unlike
+    /// the earlier consecutive-run cache, interleaved sources (`a, b, a,
+    /// b, …`) cost two traversals, not one per run — even when the shared
+    /// memo is too small to hold them.
     ///
-    /// Between source chunks (and every 64 pairs) the batch polls the
+    /// Before each new traversal (and every 64 pairs) the batch polls the
     /// active governor for cancellation/deadline; on a trip the remaining
     /// pairs come back `None` (conservatively unreachable) — by then the
     /// querying search is terminating and already tagged partial.
@@ -231,19 +234,16 @@ impl DistanceOracle for BoundedBfsOracle {
         let bound = bound.min(self.horizon);
         let gov = governor::current();
         let mut out = Vec::with_capacity(pairs.len());
-        let mut cached: Option<(NodeId, Arc<HashMap<NodeId, u32>>)> = None;
+        let mut reaches: HashMap<NodeId, Arc<HashMap<NodeId, u32>>> = HashMap::new();
         for (i, &(u, v)) in pairs.iter().enumerate() {
-            let stale = cached.as_ref().map(|(s, _)| *s != u).unwrap_or(true);
+            let fresh = !reaches.contains_key(&u);
             if let Some(g) = gov.as_deref() {
-                if (stale || i % 64 == 63) && g.halt().is_some() {
+                if (fresh || i % 64 == 63) && g.halt().is_some() {
                     out.resize(pairs.len(), None);
                     break;
                 }
             }
-            if stale {
-                cached = Some((u, self.reach_from(u)));
-            }
-            let reach = &cached.as_ref().expect("just populated").1;
+            let reach = reaches.entry(u).or_insert_with(|| self.reach_from(u));
             out.push(reach.get(&v).copied().filter(|&d| d <= bound));
         }
         out
@@ -300,6 +300,35 @@ mod tests {
             }
         }
         let batched = o.dist_batch(&pairs, 4);
+        for (&(u, v), got) in pairs.iter().zip(&batched) {
+            assert_eq!(*got, o.distance_within(u, v, 4), "{u:?}->{v:?}");
+        }
+    }
+
+    #[test]
+    fn dist_batch_traverses_once_per_distinct_source() {
+        // Interleaved sources with a memo too small to hold them: the
+        // grouped batch still runs exactly one cold traversal (= one
+        // Stage::Oracle span) per distinct source, and every answer
+        // matches the pointwise oracle.
+        let g = cycle(10);
+        let o = BoundedBfsOracle::new(Arc::clone(&g), 5).with_capacity(1);
+        let mut pairs = Vec::new();
+        for v in 0..10u32 {
+            for u in [0u32, 4, 7] {
+                pairs.push((NodeId(u), NodeId(v)));
+            }
+        }
+        let p = Arc::new(obs::Profiler::new());
+        let batched = {
+            let _scope = obs::enter(Arc::clone(&p));
+            o.dist_batch(&pairs, 4)
+        };
+        assert_eq!(
+            p.snapshot().stage(obs::Stage::Oracle).count,
+            3,
+            "one traversal per distinct source"
+        );
         for (&(u, v), got) in pairs.iter().zip(&batched) {
             assert_eq!(*got, o.distance_within(u, v, 4), "{u:?}->{v:?}");
         }

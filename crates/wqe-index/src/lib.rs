@@ -13,20 +13,26 @@
 //! * [`BoundedBfsOracle`] — a memoizing truncated-BFS oracle, exact up to a
 //!   configurable horizon (the matcher never asks beyond `b_m`);
 //! * [`HybridOracle`] — picks between the two by graph size;
-//! * [`PllParts`] / [`PllSlices`] — flattened label export for the durable
-//!   snapshot store and a zero-copy borrowed-slice serving view over it.
+//! * [`PllParts`] / [`PllSlices`] — flat struct-of-arrays label export for
+//!   the durable snapshot store and a zero-copy borrowed-slice serving view
+//!   over it ([`PllSlices`] is *the* query path — owned and mapped indexes
+//!   both answer through it);
+//! * [`kernel`] — the scalar/AVX2 merge-join kernels behind every label
+//!   query, runtime-dispatched and pinned bit-identical to each other.
 
 #![warn(missing_docs)]
 
 mod bfs;
 mod fault;
+pub mod kernel;
 mod oracle;
 mod pll;
 
 pub use bfs::BoundedBfsOracle;
 pub use fault::{FaultKind, FaultOracle};
+pub use kernel::{active_kernel, BatchScratch, Kernel};
 pub use oracle::{DistanceOracle, HybridOracle, PLL_NODE_LIMIT};
-pub use pll::{PllIndex, PllParts, PllSlices};
+pub use pll::{LabelStats, PllIndex, PllParts, PllSlices};
 
 #[cfg(test)]
 mod proptests {
@@ -92,6 +98,86 @@ mod proptests {
                         pll.distance_within(u, v, horizon)
                     );
                 }
+            }
+        }
+
+        /// Batched PLL answers match pointwise `distance_within` on random
+        /// pair lists (mixed group sizes exercise both the table and the
+        /// pairwise paths).
+        #[test]
+        fn pll_dist_batch_matches_pointwise(
+            g in arb_graph(),
+            picks in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+            bound in 0u32..6,
+        ) {
+            let pll = PllIndex::build_with(&g, 2);
+            let n = g.node_count();
+            let pairs: Vec<(NodeId, NodeId)> = picks
+                .into_iter()
+                .map(|(u, v)| (NodeId((u % n) as u32), NodeId((v % n) as u32)))
+                .collect();
+            let batched = pll.dist_batch(&pairs, bound);
+            for (&(u, v), got) in pairs.iter().zip(&batched) {
+                prop_assert_eq!(*got, pll.distance_within(u, v, bound));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod kernel_proptests {
+    use crate::kernel::{merge_join_with, BatchScratch, Kernel};
+    use proptest::prelude::*;
+
+    /// A rank-sorted label: strictly ascending ranks, arbitrary distances
+    /// below the `u32::MAX` sentinel. Gaps between ranks are drawn from a
+    /// skewed range so shapes vary from dense runs to sparse spreads; the
+    /// length range covers empty, single-entry, and long labels.
+    fn arb_label(max_len: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+        proptest::collection::vec((1u32..50, 0u32..u32::MAX), 0..max_len).prop_map(|entries| {
+            let mut rank = 0u32;
+            let mut ranks = Vec::with_capacity(entries.len());
+            let mut dists = Vec::with_capacity(entries.len());
+            for (gap, d) in entries {
+                rank += gap;
+                ranks.push(rank);
+                dists.push(d);
+            }
+            (ranks, dists)
+        })
+    }
+
+    proptest! {
+        /// AVX2 and scalar merge-joins agree — answer *and* entries
+        /// scanned — on adversarial label shapes (empty, single-entry,
+        /// long, skewed, distances that saturate).
+        #[test]
+        fn simd_merge_join_matches_scalar(
+            (or_, od) in arb_label(80),
+            (ir, id_) in arb_label(80),
+        ) {
+            let scalar = merge_join_with(Kernel::Scalar, &or_, &od, &ir, &id_).unwrap();
+            if let Some(simd) = merge_join_with(Kernel::Avx2, &or_, &od, &ir, &id_) {
+                prop_assert_eq!(scalar, simd);
+            }
+        }
+
+        /// AVX2 and scalar batch probes agree over a loaded source table,
+        /// and the table answer matches the reference merge-join.
+        #[test]
+        fn simd_batch_probe_matches_scalar(
+            (src_r, src_d) in arb_label(60),
+            targets in proptest::collection::vec(arb_label(60), 0..8),
+        ) {
+            let mut scratch = BatchScratch::new();
+            scratch.load_source(&src_r, &src_d);
+            for (ir, id_) in &targets {
+                let scalar = scratch.probe_with(Kernel::Scalar, ir, id_).unwrap();
+                if let Some(simd) = scratch.probe_with(Kernel::Avx2, ir, id_) {
+                    prop_assert_eq!(scalar, simd);
+                }
+                let (want, _) = merge_join_with(Kernel::Scalar, &src_r, &src_d, ir, id_).unwrap();
+                prop_assert_eq!(scalar.0, want);
             }
         }
     }

@@ -5,7 +5,9 @@
 //! networks*, SIGMOD 2013. This module implements that index for directed,
 //! unweighted graphs:
 //!
-//! * vertices are processed in decreasing-degree order;
+//! * vertices are processed in decreasing-degree order (refined by the
+//!   product of out- and in-degree, which favors vertices central in both
+//!   directions);
 //! * a forward pruned BFS from landmark `w` adds `(w, d)` to the **in**
 //!   label of every vertex it reaches (so `w` can serve as an intermediate
 //!   hub on paths *into* that vertex);
@@ -14,6 +16,18 @@
 //!   labels certify `dist(w, x) <= d`.
 //!
 //! `dist(u, v)` is answered by a sorted merge of `L_out(u)` and `L_in(v)`.
+//!
+//! ## Flat label layout
+//!
+//! Labels live in a CSR-style struct-of-arrays: one contiguous rank array,
+//! one contiguous distance array, and per-node offsets, per direction —
+//! exactly the shape `wqe-store` persists and maps. [`PllSlices`] is a
+//! borrowed view over those six arrays and carries the *only* query
+//! implementation; the owned [`PllIndex`] and the snapshot-backed oracle
+//! both answer by constructing a `PllSlices` over their arrays, so the
+//! fresh and mapped paths cannot diverge. The merge-join itself lives in
+//! [`crate::kernel`], which dispatches between a scalar and an AVX2
+//! variant pinned bit-identical to each other.
 //!
 //! ## Parallel construction (rank-windowed batches)
 //!
@@ -31,16 +45,18 @@
 //! exact, and the label set is a deterministic function of the window size
 //! alone: thread count changes wall-clock, never the index.
 //! [`PllIndex::build`] is the window-size-1 special case (classic maximally
-//! pruned sequential PLL).
+//! pruned sequential PLL). Each worker reuses a bitset-visited BFS scratch
+//! across landmarks, so a build allocates O(n) once per worker instead of
+//! once per landmark.
 
+use crate::kernel::{self, BatchScratch, MIN_GROUP};
 use crate::oracle::DistanceOracle;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Mutex, TryLockError};
 use wqe_graph::{Graph, LoadError, NodeId};
+use wqe_pool::obs;
 use wqe_pool::WorkerPool;
-
-/// Label entry: `(landmark rank, distance)`. Ranks are positions in the
-/// degree ordering, which keeps labels sorted and merge-joinable.
-type Label = Vec<(u32, u32)>;
 
 /// Landmarks per parallel construction window. Fixed (rather than derived
 /// from the thread count) so that `build_with` produces bit-identical
@@ -48,34 +64,367 @@ type Label = Vec<(u32, u32)>;
 /// bounding how much pruning is deferred.
 const PARALLEL_WINDOW: usize = 32;
 
-/// Reusable per-worker BFS scratch: a distance array indexed by node and a
-/// flat queue. Reset via the visited list, so a build allocates O(n) once
-/// per worker instead of once per landmark.
+/// The label arrays of a PLL index in their flat struct-of-arrays form:
+/// per direction, a contiguous rank array, a parallel distance array, and
+/// per-node entry offsets. This is both the in-memory layout of
+/// [`PllIndex`] and the exchange type with the durable snapshot (which
+/// persists each array as its own section).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PllParts {
+    /// Per-node entry offsets into the `out_*` arrays, `n + 1` values.
+    pub out_offsets: Vec<u32>,
+    /// `L_out` landmark ranks, ascending within each node's run.
+    pub out_ranks: Vec<u32>,
+    /// `L_out` distances, parallel to `out_ranks`.
+    pub out_dists: Vec<u32>,
+    /// Per-node entry offsets into the `in_*` arrays.
+    pub in_offsets: Vec<u32>,
+    /// `L_in` landmark ranks, ascending within each node's run.
+    pub in_ranks: Vec<u32>,
+    /// `L_in` distances, parallel to `in_ranks`.
+    pub in_dists: Vec<u32>,
+}
+
+fn validate_label_csr(
+    section: &'static str,
+    offsets: &[u32],
+    ranks: &[u32],
+    dists: &[u32],
+) -> Result<(), LoadError> {
+    let corrupt = |detail: String| LoadError::Corrupt { section, detail };
+    if offsets.is_empty() || offsets[0] != 0 {
+        return Err(corrupt("offsets must start with 0".to_string()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("offsets not monotonic".to_string()));
+    }
+    if ranks.len() != dists.len() {
+        return Err(corrupt(format!(
+            "{} ranks but {} distances (parallel arrays expected)",
+            ranks.len(),
+            dists.len()
+        )));
+    }
+    let last = *offsets.last().expect("nonempty checked above") as usize;
+    if last != ranks.len() {
+        return Err(corrupt(format!(
+            "last offset {last} != entry count {}",
+            ranks.len()
+        )));
+    }
+    let n = offsets.len() as u64 - 1;
+    for w in offsets.windows(2) {
+        let run = &ranks[w[0] as usize..w[1] as usize];
+        // The merge kernels assume ascending ranks; the batch table sizes
+        // itself by the maximum rank, so ranks must stay below n.
+        if run.windows(2).any(|r| r[0] >= r[1]) {
+            return Err(corrupt("label ranks not strictly ascending".to_string()));
+        }
+        if run.last().is_some_and(|&r| r as u64 >= n) {
+            return Err(corrupt(format!("label rank out of range (n = {n})")));
+        }
+    }
+    Ok(())
+}
+
+/// Size and shape statistics of a label set — the `index inspect` payload
+/// that makes index-size regressions observable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LabelStats {
+    /// Nodes covered.
+    pub nodes: usize,
+    /// `L_out` entries across all nodes.
+    pub out_entries: u64,
+    /// `L_in` entries across all nodes.
+    pub in_entries: u64,
+    /// Total entries (both directions).
+    pub total_entries: u64,
+    /// Mean label length (entries per node per direction).
+    pub avg_label_len: f64,
+    /// Longest single label in either direction.
+    pub max_label_len: u64,
+    /// Bytes of label storage (ranks + distances + offsets, 4 bytes each).
+    pub bytes: u64,
+}
+
+/// A view over *borrowed* flat label arrays — **the** query path: a
+/// memory-mapped snapshot hands its aligned `u32` sections straight to
+/// this view, and an owned [`PllIndex`] borrows its own arrays the same
+/// way, so both answer with identical code and no per-node allocation.
+///
+/// Layout is exactly [`PllParts`]. [`PllSlices::new`] validates the CSR
+/// invariants once, so the per-query merge-join can index without bounds
+/// surprises.
+#[derive(Debug, Clone, Copy)]
+pub struct PllSlices<'a> {
+    out_offsets: &'a [u32],
+    out_ranks: &'a [u32],
+    out_dists: &'a [u32],
+    in_offsets: &'a [u32],
+    in_ranks: &'a [u32],
+    in_dists: &'a [u32],
+}
+
+impl<'a> PllSlices<'a> {
+    /// Wraps flat label arrays, validating offsets/lengths/rank order up
+    /// front (returns [`LoadError::Corrupt`], never panics on bad input).
+    pub fn new(
+        out_offsets: &'a [u32],
+        out_ranks: &'a [u32],
+        out_dists: &'a [u32],
+        in_offsets: &'a [u32],
+        in_ranks: &'a [u32],
+        in_dists: &'a [u32],
+    ) -> Result<Self, LoadError> {
+        validate_label_csr("pll_out", out_offsets, out_ranks, out_dists)?;
+        validate_label_csr("pll_in", in_offsets, in_ranks, in_dists)?;
+        if out_offsets.len() != in_offsets.len() {
+            return Err(LoadError::Corrupt {
+                section: "pll_in",
+                detail: format!(
+                    "in-label offset count {} != out-label offset count {}",
+                    in_offsets.len(),
+                    out_offsets.len()
+                ),
+            });
+        }
+        Ok(PllSlices {
+            out_offsets,
+            out_ranks,
+            out_dists,
+            in_offsets,
+            in_ranks,
+            in_dists,
+        })
+    }
+
+    /// Wraps flat label arrays *without* re-validating — for holders that
+    /// ran [`PllSlices::new`] over the same arrays earlier (e.g. a
+    /// snapshot validated once at open) and now reconstruct the view on
+    /// every query. Queries over arrays that would not pass validation may
+    /// panic on out-of-bounds indexing.
+    pub fn new_unchecked(
+        out_offsets: &'a [u32],
+        out_ranks: &'a [u32],
+        out_dists: &'a [u32],
+        in_offsets: &'a [u32],
+        in_ranks: &'a [u32],
+        in_dists: &'a [u32],
+    ) -> Self {
+        PllSlices {
+            out_offsets,
+            out_ranks,
+            out_dists,
+            in_offsets,
+            in_ranks,
+            in_dists,
+        }
+    }
+
+    /// Number of nodes the labels cover.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// `L_out(v)` as parallel (ranks, dists) slices.
+    #[inline]
+    fn out_label(&self, v: NodeId) -> (&'a [u32], &'a [u32]) {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        (&self.out_ranks[lo..hi], &self.out_dists[lo..hi])
+    }
+
+    /// `L_in(v)` as parallel (ranks, dists) slices.
+    #[inline]
+    fn in_label(&self, v: NodeId) -> (&'a [u32], &'a [u32]) {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        (&self.in_ranks[lo..hi], &self.in_dists[lo..hi])
+    }
+
+    /// Exact directed distance `dist(u, v)`, `None` when unreachable.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let (or_, od) = self.out_label(u);
+        let (ir, id_) = self.in_label(v);
+        let (d, scanned) = kernel::merge_join(or_, od, ir, id_);
+        obs::with_current(|p| p.add(obs::Counter::OracleLabelEntries, scanned));
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Batched distances with caller-provided scratch: pairs are grouped
+    /// by source (first-occurrence order); groups of [`MIN_GROUP`] or more
+    /// targets load `L_out(u)` into the scratch table once and probe each
+    /// target's in-label with a rank cutoff, smaller groups merge-join
+    /// pairwise. Answers are bit-identical to pointwise
+    /// [`PllSlices::distance_within`] either way — the grouping only
+    /// changes how many label entries get scanned.
+    pub fn dist_batch_with(
+        &self,
+        scratch: &mut BatchScratch,
+        pairs: &[(NodeId, NodeId)],
+        bound: u32,
+    ) -> Vec<Option<u32>> {
+        let mut out = vec![None; pairs.len()];
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut groups: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (idx, &(u, _)) in pairs.iter().enumerate() {
+            groups
+                .entry(u)
+                .or_insert_with(|| {
+                    order.push(u);
+                    Vec::new()
+                })
+                .push(idx as u32);
+        }
+        let mut scanned = 0u64;
+        for u in order {
+            let idxs = &groups[&u];
+            let (or_, od) = self.out_label(u);
+            let tabled = idxs.len() >= MIN_GROUP;
+            if tabled {
+                scanned += scratch.load_source(or_, od);
+            }
+            for &ix in idxs {
+                let v = pairs[ix as usize].1;
+                if u == v {
+                    out[ix as usize] = Some(0);
+                    continue;
+                }
+                let (ir, id_) = self.in_label(v);
+                let (d, s) = if tabled {
+                    scratch.probe(ir, id_)
+                } else {
+                    kernel::merge_join(or_, od, ir, id_)
+                };
+                scanned += s;
+                out[ix as usize] = (d != u32::MAX && d <= bound).then_some(d);
+            }
+        }
+        obs::with_current(|p| p.add(obs::Counter::OracleLabelEntries, scanned));
+        out
+    }
+
+    /// Size statistics over the label arrays (see [`LabelStats`]).
+    pub fn stats(&self) -> LabelStats {
+        let out_entries = self.out_ranks.len() as u64;
+        let in_entries = self.in_ranks.len() as u64;
+        let nodes = self.node_count();
+        let max_label_len = self
+            .out_offsets
+            .windows(2)
+            .chain(self.in_offsets.windows(2))
+            .map(|w| (w[1] - w[0]) as u64)
+            .max()
+            .unwrap_or(0);
+        let total_entries = out_entries + in_entries;
+        LabelStats {
+            nodes,
+            out_entries,
+            in_entries,
+            total_entries,
+            avg_label_len: if nodes == 0 {
+                0.0
+            } else {
+                total_entries as f64 / (2 * nodes) as f64
+            },
+            max_label_len,
+            bytes: 4
+                * (2 * total_entries
+                    + self.out_offsets.len() as u64
+                    + self.in_offsets.len() as u64),
+        }
+    }
+}
+
+impl DistanceOracle for PllSlices<'_> {
+    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
+        obs::with_current(|p| p.add(obs::Counter::OracleDist, 1));
+        self.distance(u, v).filter(|&d| d <= bound)
+    }
+
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        obs::with_current(|p| p.add(obs::Counter::OracleDistBatch, 1));
+        let mut scratch = BatchScratch::new();
+        self.dist_batch_with(&mut scratch, pairs, bound)
+    }
+}
+
+/// Per-worker BFS scratch for the pruned landmark searches: a bitset
+/// visited array plus a flat FIFO queue, reset via the queue so a build
+/// allocates O(n) once per worker instead of once per landmark.
 struct BfsScratch {
-    dist: Vec<u32>,
+    visited: Vec<u64>,
     queue: Vec<NodeId>,
 }
 
 impl BfsScratch {
     fn new(n: usize) -> Self {
         BfsScratch {
-            dist: vec![u32::MAX; n],
+            visited: vec![0; n.div_ceil(64)],
             queue: Vec::with_capacity(n),
         }
     }
+
+    /// Marks node `i` visited; returns true when it was previously unseen.
+    #[inline]
+    fn visit(&mut self, i: usize) -> bool {
+        let word = &mut self.visited[i >> 6];
+        let bit = 1u64 << (i & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
 }
 
-/// The pruned-landmark-labeling index.
+/// Build-time label store: per-node rank/distance vectors per direction,
+/// flattened into [`PllParts`] once construction finishes. Kept split so
+/// the certification merge-joins during the build run through the same
+/// [`kernel`] as serving queries.
+struct BuildLabels {
+    out_ranks: Vec<Vec<u32>>,
+    out_dists: Vec<Vec<u32>>,
+    in_ranks: Vec<Vec<u32>>,
+    in_dists: Vec<Vec<u32>>,
+}
+
+impl BuildLabels {
+    fn new(n: usize) -> Self {
+        BuildLabels {
+            out_ranks: vec![Vec::new(); n],
+            out_dists: vec![Vec::new(); n],
+            in_ranks: vec![Vec::new(); n],
+            in_dists: vec![Vec::new(); n],
+        }
+    }
+
+    /// `min(dist(u, hub) + dist(hub, v))` over the committed labels.
+    #[inline]
+    fn query(&self, u: usize, v: usize) -> u32 {
+        kernel::merge_join(
+            &self.out_ranks[u],
+            &self.out_dists[u],
+            &self.in_ranks[v],
+            &self.in_dists[v],
+        )
+        .0
+    }
+}
+
+/// The pruned-landmark-labeling index, stored flat ([`PllParts`]).
 ///
 /// Serializable: build once, persist with `serde_json`/any serde format,
 /// and reload beside the graph (the index is only valid for the exact graph
 /// it was built from).
 #[derive(Serialize, Deserialize)]
 pub struct PllIndex {
-    /// `L_out(v)`: landmarks reachable *from* v, with distances.
-    out_labels: Vec<Label>,
-    /// `L_in(v)`: landmarks that reach v, with distances.
-    in_labels: Vec<Label>,
+    parts: PllParts,
+    /// Batch-query scratch, shared across calls; contended callers fall
+    /// back to a one-shot local scratch, so reuse never serializes.
+    #[serde(skip)]
+    scratch: Mutex<BatchScratch>,
 }
 
 impl PllIndex {
@@ -96,77 +445,114 @@ impl PllIndex {
 
     fn build_windowed(graph: &Graph, threads: usize, window: usize) -> Self {
         let n = graph.node_count();
-        // Rank vertices by total degree, descending (classic PLL ordering).
+        // Rank vertices by the product of (out+1) and (in+1) degree,
+        // descending: like the classic total-degree ordering it puts hubs
+        // first, but it prefers vertices central in *both* directions,
+        // which prunes directed searches earlier. Stable sort keeps the
+        // order deterministic across runs.
         let mut order: Vec<NodeId> = graph.node_ids().collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(graph.out_degree(v) + graph.in_degree(v)));
+        order.sort_by_key(|&v| {
+            std::cmp::Reverse((graph.out_degree(v) + 1) * (graph.in_degree(v) + 1))
+        });
 
-        let mut index = PllIndex {
-            out_labels: vec![Vec::new(); n],
-            in_labels: vec![Vec::new(); n],
-        };
+        let mut labels = BuildLabels::new(n);
         let pool = WorkerPool::new(threads);
         let window = window.max(1);
 
         for (chunk_no, chunk) in order.chunks(window).enumerate() {
             let base_rank = (chunk_no * window) as u32;
             // Run each landmark's forward + backward pruned BFS against the
-            // labels frozen from previous windows. `index` is only read
+            // labels frozen from previous windows. `labels` is only read
             // here; entries are committed below, in rank order.
             type LandmarkLabels = (Vec<(NodeId, u32)>, Vec<(NodeId, u32)>);
             let results: Vec<LandmarkLabels> = pool.map_init(
                 chunk,
                 || BfsScratch::new(n),
                 |scratch, _, &w| {
-                    let fwd = Self::pruned_bfs(graph, w, true, &index, scratch);
-                    let bwd = Self::pruned_bfs(graph, w, false, &index, scratch);
+                    let fwd = Self::pruned_bfs(graph, w, true, &labels, scratch);
+                    let bwd = Self::pruned_bfs(graph, w, false, &labels, scratch);
                     (fwd, bwd)
                 },
             );
             for (i, (fwd, bwd)) in results.into_iter().enumerate() {
                 let wrank = base_rank + i as u32;
                 for (u, d) in fwd {
-                    index.in_labels[u.index()].push((wrank, d));
+                    labels.in_ranks[u.index()].push(wrank);
+                    labels.in_dists[u.index()].push(d);
                 }
                 for (u, d) in bwd {
-                    index.out_labels[u.index()].push((wrank, d));
+                    labels.out_ranks[u.index()].push(wrank);
+                    labels.out_dists[u.index()].push(d);
                 }
             }
         }
-        index
+
+        let flatten = |ranks: Vec<Vec<u32>>, dists: Vec<Vec<u32>>| {
+            let total = ranks.iter().map(Vec::len).sum::<usize>();
+            let mut offsets = Vec::with_capacity(ranks.len() + 1);
+            let mut flat_r = Vec::with_capacity(total);
+            let mut flat_d = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for (r, d) in ranks.into_iter().zip(dists) {
+                flat_r.extend_from_slice(&r);
+                flat_d.extend_from_slice(&d);
+                offsets.push(flat_r.len() as u32);
+            }
+            (offsets, flat_r, flat_d)
+        };
+        let (out_offsets, out_ranks, out_dists) = flatten(labels.out_ranks, labels.out_dists);
+        let (in_offsets, in_ranks, in_dists) = flatten(labels.in_ranks, labels.in_dists);
+        PllIndex {
+            parts: PllParts {
+                out_offsets,
+                out_ranks,
+                out_dists,
+                in_offsets,
+                in_ranks,
+                in_dists,
+            },
+            scratch: Mutex::new(BatchScratch::new()),
+        }
     }
 
     /// One pruned BFS from landmark `w`, certifying against the frozen
-    /// `index` and *collecting* the label entries `(vertex, distance)`
-    /// instead of writing them (so concurrent BFS runs can share the frozen
-    /// index immutably). Within a single landmark this is equivalent to the
-    /// classic in-place formulation: a landmark's own entries never
-    /// influence its own certifications (the forward pass only writes `in`
-    /// labels, which forward certification reads for the vertex *before*
-    /// its entry is added; the backward pass reads `out(u)`, which cannot
-    /// yet contain `w`).
+    /// `labels` and *collecting* the entries `(vertex, distance)` instead
+    /// of writing them (so concurrent BFS runs can share the frozen labels
+    /// immutably). The traversal is level-ordered: the level index *is*
+    /// the distance, so the scratch needs only a visited bitset, no
+    /// per-node distance array. Within a single landmark this is
+    /// equivalent to the classic in-place formulation: a landmark's own
+    /// entries never influence its own certifications (the forward pass
+    /// only writes `in` labels, which forward certification reads for the
+    /// vertex *before* its entry is added; the backward pass reads
+    /// `out(u)`, which cannot yet contain `w`).
     fn pruned_bfs(
         graph: &Graph,
         w: NodeId,
         forward: bool,
-        index: &PllIndex,
+        labels: &BuildLabels,
         scratch: &mut BfsScratch,
     ) -> Vec<(NodeId, u32)> {
-        let BfsScratch { dist, queue } = scratch;
-        queue.clear();
-        queue.push(w);
-        dist[w.index()] = 0;
+        scratch.queue.clear();
+        scratch.queue.push(w);
+        scratch.visit(w.index());
         let mut head = 0usize;
+        let mut d = 0u32;
+        let mut level_end = 1usize;
         let mut labeled: Vec<(NodeId, u32)> = Vec::new();
-        while head < queue.len() {
-            let u = queue[head];
+        while head < scratch.queue.len() {
+            if head == level_end {
+                d += 1;
+                level_end = scratch.queue.len();
+            }
+            let u = scratch.queue[head];
             head += 1;
-            let d = dist[u.index()];
             // Prune if existing labels already certify dist(w,u) <= d
             // (forward: w -> u; backward: u -> w).
             let certified = if forward {
-                Self::query_labels(&index.out_labels[w.index()], &index.in_labels[u.index()])
+                labels.query(w.index(), u.index())
             } else {
-                Self::query_labels(&index.out_labels[u.index()], &index.in_labels[w.index()])
+                labels.query(u.index(), w.index())
             };
             if certified <= d {
                 continue;
@@ -180,292 +566,90 @@ impl PllIndex {
                 graph.in_neighbors(u)
             };
             for &(x, _) in neighbors {
-                if dist[x.index()] == u32::MAX {
-                    dist[x.index()] = d + 1;
-                    queue.push(x);
+                if scratch.visit(x.index()) {
+                    scratch.queue.push(x);
                 }
             }
         }
-        for &v in queue.iter() {
-            dist[v.index()] = u32::MAX;
+        for i in 0..scratch.queue.len() {
+            let v = scratch.queue[i];
+            scratch.visited[v.index() >> 6] &= !(1u64 << (v.index() & 63));
         }
         labeled
     }
 
-    /// Merge-join two sorted labels, returning the minimum hub distance
-    /// (`u32::MAX` when disjoint).
-    fn query_labels(out: &[(u32, u32)], inn: &[(u32, u32)]) -> u32 {
-        let mut best = u32::MAX;
-        let (mut i, mut j) = (0, 0);
-        while i < out.len() && j < inn.len() {
-            match out[i].0.cmp(&inn[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    best = best.min(out[i].1.saturating_add(inn[j].1));
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        best
+    /// The labels as a borrowed [`PllSlices`] view (the query path).
+    pub fn as_slices(&self) -> PllSlices<'_> {
+        let p = &self.parts;
+        PllSlices::new_unchecked(
+            &p.out_offsets,
+            &p.out_ranks,
+            &p.out_dists,
+            &p.in_offsets,
+            &p.in_ranks,
+            &p.in_dists,
+        )
     }
 
     /// Exact directed distance `dist(u, v)`, `None` when unreachable.
     pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
-        if u == v {
-            return Some(0);
-        }
-        let d = Self::query_labels(&self.out_labels[u.index()], &self.in_labels[v.index()]);
-        (d != u32::MAX).then_some(d)
+        self.as_slices().distance(u, v)
     }
 
     /// Total number of label entries (index size diagnostic).
     pub fn label_entries(&self) -> usize {
-        self.out_labels.iter().map(Vec::len).sum::<usize>()
-            + self.in_labels.iter().map(Vec::len).sum::<usize>()
+        self.parts.out_ranks.len() + self.parts.in_ranks.len()
+    }
+
+    /// Size statistics over the label arrays (see [`LabelStats`]).
+    pub fn stats(&self) -> LabelStats {
+        self.as_slices().stats()
+    }
+
+    /// The flat label arrays, cloned for persistence.
+    pub fn to_parts(&self) -> PllParts {
+        self.parts.clone()
+    }
+
+    /// Rebuilds an index from flat parts without any BFS — the
+    /// snapshot-load fast path. Validates CSR invariants and returns
+    /// [`LoadError::Corrupt`] on violation; never panics.
+    pub fn from_parts(parts: PllParts) -> Result<PllIndex, LoadError> {
+        PllSlices::new(
+            &parts.out_offsets,
+            &parts.out_ranks,
+            &parts.out_dists,
+            &parts.in_offsets,
+            &parts.in_ranks,
+            &parts.in_dists,
+        )?;
+        Ok(PllIndex {
+            parts,
+            scratch: Mutex::new(BatchScratch::new()),
+        })
     }
 }
 
 impl DistanceOracle for PllIndex {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
-        wqe_pool::obs::with_current(|p| p.add(wqe_pool::obs::Counter::OracleDist, 1));
-        self.distance(u, v).filter(|&d| d <= bound)
-    }
-}
-
-/// The label arrays of a [`PllIndex`], flattened into a CSR of interleaved
-/// `(rank, dist)` `u32` pairs — the exchange type between the index and its
-/// durable snapshot. Offsets count label *entries* (pairs), so
-/// `entries[2*offsets[v] .. 2*offsets[v+1]]` is `L(v)` interleaved.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PllParts {
-    /// Per-node entry offsets into `out_entries`, `n + 1` values.
-    pub out_offsets: Vec<u32>,
-    /// `L_out` entries, interleaved `rank, dist, rank, dist, …`.
-    pub out_entries: Vec<u32>,
-    /// Per-node entry offsets into `in_entries`.
-    pub in_offsets: Vec<u32>,
-    /// `L_in` entries, interleaved.
-    pub in_entries: Vec<u32>,
-}
-
-fn flatten_labels(labels: &[Label]) -> (Vec<u32>, Vec<u32>) {
-    let mut offsets = Vec::with_capacity(labels.len() + 1);
-    let mut entries = Vec::with_capacity(2 * labels.iter().map(Vec::len).sum::<usize>());
-    offsets.push(0u32);
-    for label in labels {
-        for &(rank, dist) in label {
-            entries.push(rank);
-            entries.push(dist);
-        }
-        offsets.push((entries.len() / 2) as u32);
-    }
-    (offsets, entries)
-}
-
-fn unflatten_labels(
-    section: &'static str,
-    offsets: &[u32],
-    entries: &[u32],
-) -> Result<Vec<Label>, LoadError> {
-    validate_label_csr(section, offsets, entries)?;
-    let mut labels = Vec::with_capacity(offsets.len() - 1);
-    for w in offsets.windows(2) {
-        let (lo, hi) = (2 * w[0] as usize, 2 * w[1] as usize);
-        labels.push(
-            entries[lo..hi]
-                .chunks_exact(2)
-                .map(|p| (p[0], p[1]))
-                .collect(),
-        );
-    }
-    Ok(labels)
-}
-
-fn validate_label_csr(
-    section: &'static str,
-    offsets: &[u32],
-    entries: &[u32],
-) -> Result<(), LoadError> {
-    let corrupt = |detail: String| LoadError::Corrupt { section, detail };
-    if offsets.is_empty() || offsets[0] != 0 {
-        return Err(corrupt("offsets must start with 0".to_string()));
-    }
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(corrupt("offsets not monotonic".to_string()));
-    }
-    if !entries.len().is_multiple_of(2) {
-        return Err(corrupt(format!(
-            "odd entry array length {} (interleaved pairs expected)",
-            entries.len()
-        )));
-    }
-    let last = *offsets.last().expect("nonempty checked above") as usize;
-    if 2 * last != entries.len() {
-        return Err(corrupt(format!(
-            "last offset {last} != entry pair count {}",
-            entries.len() / 2
-        )));
-    }
-    Ok(())
-}
-
-impl PllIndex {
-    /// Flattens the labels into [`PllParts`] for persistence.
-    pub fn to_parts(&self) -> PllParts {
-        let (out_offsets, out_entries) = flatten_labels(&self.out_labels);
-        let (in_offsets, in_entries) = flatten_labels(&self.in_labels);
-        PllParts {
-            out_offsets,
-            out_entries,
-            in_offsets,
-            in_entries,
-        }
+        self.as_slices().distance_within(u, v, bound)
     }
 
-    /// Rebuilds an index from flattened parts without any BFS — the
-    /// snapshot-load fast path. Validates CSR invariants and returns
-    /// [`LoadError::Corrupt`] on violation; never panics.
-    pub fn from_parts(parts: PllParts) -> Result<PllIndex, LoadError> {
-        let out_labels = unflatten_labels("pll_out", &parts.out_offsets, &parts.out_entries)?;
-        let in_labels = unflatten_labels("pll_in", &parts.in_offsets, &parts.in_entries)?;
-        if out_labels.len() != in_labels.len() {
-            return Err(LoadError::Corrupt {
-                section: "pll_in",
-                detail: format!(
-                    "in-label node count {} != out-label node count {}",
-                    in_labels.len(),
-                    out_labels.len()
-                ),
-            });
-        }
-        Ok(PllIndex {
-            out_labels,
-            in_labels,
-        })
-    }
-}
-
-/// A [`PllIndex`] view over *borrowed* flattened label arrays — the
-/// zero-copy serving path: a memory-mapped snapshot hands its aligned
-/// `u32` sections straight to this view and answers distance queries with
-/// no per-node allocation at all.
-///
-/// Layout is exactly [`PllParts`]: offsets count interleaved `(rank, dist)`
-/// pairs. [`PllSlices::new`] validates the CSR invariants once, so the
-/// per-query merge-join can index without bounds surprises.
-#[derive(Debug, Clone, Copy)]
-pub struct PllSlices<'a> {
-    out_offsets: &'a [u32],
-    out_entries: &'a [u32],
-    in_offsets: &'a [u32],
-    in_entries: &'a [u32],
-}
-
-impl<'a> PllSlices<'a> {
-    /// Wraps flattened label arrays, validating offsets/lengths up front
-    /// (returns [`LoadError::Corrupt`], never panics on bad input).
-    pub fn new(
-        out_offsets: &'a [u32],
-        out_entries: &'a [u32],
-        in_offsets: &'a [u32],
-        in_entries: &'a [u32],
-    ) -> Result<Self, LoadError> {
-        validate_label_csr("pll_out", out_offsets, out_entries)?;
-        validate_label_csr("pll_in", in_offsets, in_entries)?;
-        if out_offsets.len() != in_offsets.len() {
-            return Err(LoadError::Corrupt {
-                section: "pll_in",
-                detail: format!(
-                    "in-label offset count {} != out-label offset count {}",
-                    in_offsets.len(),
-                    out_offsets.len()
-                ),
-            });
-        }
-        Ok(PllSlices {
-            out_offsets,
-            out_entries,
-            in_offsets,
-            in_entries,
-        })
-    }
-
-    /// Wraps flattened label arrays *without* re-validating — for holders
-    /// that ran [`PllSlices::new`] over the same arrays earlier (e.g. a
-    /// snapshot validated once at open) and now reconstruct the view on
-    /// every query. Queries over arrays that would not pass validation may
-    /// panic on out-of-bounds indexing.
-    pub fn new_unchecked(
-        out_offsets: &'a [u32],
-        out_entries: &'a [u32],
-        in_offsets: &'a [u32],
-        in_entries: &'a [u32],
-    ) -> Self {
-        PllSlices {
-            out_offsets,
-            out_entries,
-            in_offsets,
-            in_entries,
-        }
-    }
-
-    /// Number of nodes the labels cover.
-    pub fn node_count(&self) -> usize {
-        self.out_offsets.len() - 1
-    }
-
-    /// `L_out(v)` as an interleaved pair slice.
-    #[inline]
-    fn out_label(&self, v: NodeId) -> &'a [u32] {
-        let lo = 2 * self.out_offsets[v.index()] as usize;
-        let hi = 2 * self.out_offsets[v.index() + 1] as usize;
-        &self.out_entries[lo..hi]
-    }
-
-    /// `L_in(v)` as an interleaved pair slice.
-    #[inline]
-    fn in_label(&self, v: NodeId) -> &'a [u32] {
-        let lo = 2 * self.in_offsets[v.index()] as usize;
-        let hi = 2 * self.in_offsets[v.index() + 1] as usize;
-        &self.in_entries[lo..hi]
-    }
-
-    /// Merge-join over interleaved pair slices: minimum hub distance, or
-    /// `u32::MAX` when the labels share no landmark.
-    fn query_interleaved(out: &[u32], inn: &[u32]) -> u32 {
-        let mut best = u32::MAX;
-        let (mut i, mut j) = (0, 0);
-        while i < out.len() && j < inn.len() {
-            match out[i].cmp(&inn[j]) {
-                std::cmp::Ordering::Less => i += 2,
-                std::cmp::Ordering::Greater => j += 2,
-                std::cmp::Ordering::Equal => {
-                    best = best.min(out[i + 1].saturating_add(inn[j + 1]));
-                    i += 2;
-                    j += 2;
-                }
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        obs::with_current(|p| p.add(obs::Counter::OracleDistBatch, 1));
+        // Reuse the shared scratch when free; a contending thread gets a
+        // one-shot local buffer instead of waiting (identical answers).
+        match self.scratch.try_lock() {
+            Ok(mut scratch) => self.as_slices().dist_batch_with(&mut scratch, pairs, bound),
+            Err(TryLockError::Poisoned(p)) => {
+                self.as_slices()
+                    .dist_batch_with(&mut p.into_inner(), pairs, bound)
+            }
+            Err(TryLockError::WouldBlock) => {
+                self.as_slices()
+                    .dist_batch_with(&mut BatchScratch::new(), pairs, bound)
             }
         }
-        best
-    }
-
-    /// Exact directed distance `dist(u, v)`, `None` when unreachable.
-    /// Identical answers to [`PllIndex::distance`] over the same labels.
-    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
-        if u == v {
-            return Some(0);
-        }
-        let d = Self::query_interleaved(self.out_label(u), self.in_label(v));
-        (d != u32::MAX).then_some(d)
-    }
-}
-
-impl DistanceOracle for PllSlices<'_> {
-    fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
-        wqe_pool::obs::with_current(|p| p.add(wqe_pool::obs::Counter::OracleDist, 1));
-        self.distance(u, v).filter(|&d| d <= bound)
     }
 }
 
@@ -551,17 +735,21 @@ mod tests {
         check_all_pairs(&b.finalize());
     }
 
+    fn twisty_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_node("N", [])).collect();
+        for i in 0..n {
+            b.add_edge(ids[i], ids[(i + 1) % n], "e");
+            b.add_edge(ids[i], ids[(i * 7 + 3) % n], "e");
+        }
+        b.finalize()
+    }
+
     #[test]
     fn windowed_labels_independent_of_thread_count() {
         // Labels (not just answers) must be a function of the window size
         // alone: 1, 2, and 8 threads produce the same index bytes.
-        let mut b = GraphBuilder::new();
-        let ids: Vec<_> = (0..40).map(|_| b.add_node("N", [])).collect();
-        for i in 0..40usize {
-            b.add_edge(ids[i], ids[(i + 1) % 40], "e");
-            b.add_edge(ids[i], ids[(i * 7 + 3) % 40], "e");
-        }
-        let g = b.finalize();
+        let g = twisty_graph(40);
         let one = serde_json::to_string(&PllIndex::build_with(&g, 1)).unwrap();
         for threads in [2, 8] {
             let t = serde_json::to_string(&PllIndex::build_with(&g, threads)).unwrap();
@@ -586,6 +774,61 @@ mod tests {
         let seq = PllIndex::build(&g);
         let par = PllIndex::build_with(&g, 4);
         assert!(par.label_entries() >= seq.label_entries());
+    }
+
+    #[test]
+    fn dist_batch_matches_pointwise() {
+        // Mixed group sizes: one source with many targets (table path),
+        // several with a single target (pairwise path), self pairs, and
+        // repeated pairs.
+        let g = twisty_graph(30);
+        let idx = PllIndex::build_with(&g, 2);
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in g.node_ids() {
+            pairs.push((NodeId(0), v)); // big group
+        }
+        for u in g.node_ids().take(7) {
+            pairs.push((u, NodeId(29))); // singleton groups (and one dup)
+        }
+        pairs.push((NodeId(3), NodeId(3)));
+        pairs.push((NodeId(0), NodeId(5))); // repeat inside the big group
+        for bound in [0, 2, 4, u32::MAX] {
+            let batched = idx.dist_batch(&pairs, bound);
+            for (&(u, v), got) in pairs.iter().zip(&batched) {
+                assert_eq!(
+                    *got,
+                    idx.distance_within(u, v, bound),
+                    "bound {bound}, {u:?}->{v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dist_batch_counts_label_entries() {
+        let g = twisty_graph(30);
+        let idx = PllIndex::build(&g);
+        let pairs: Vec<(NodeId, NodeId)> = g.node_ids().map(|v| (NodeId(0), v)).collect();
+        let p = std::sync::Arc::new(obs::Profiler::new());
+        {
+            let _scope = obs::enter(std::sync::Arc::clone(&p));
+            idx.dist_batch(&pairs, 4);
+        }
+        assert!(p.counter(obs::Counter::OracleLabelEntries) > 0);
+        assert_eq!(p.counter(obs::Counter::OracleDistBatch), 1);
+    }
+
+    #[test]
+    fn label_stats_consistent() {
+        let g = twisty_graph(25);
+        let idx = PllIndex::build(&g);
+        let s = idx.stats();
+        assert_eq!(s.nodes, 25);
+        assert_eq!(s.total_entries, idx.label_entries() as u64);
+        assert_eq!(s.out_entries + s.in_entries, s.total_entries);
+        assert!(s.max_label_len >= 1);
+        assert!(s.avg_label_len > 0.0);
+        assert_eq!(s.bytes, 4 * (2 * s.total_entries + 2 * 26));
     }
 }
 
@@ -634,10 +877,7 @@ mod persistence_tests {
         let idx = PllIndex::build_with(&g, 2);
         let idx2 = PllIndex::from_parts(idx.to_parts()).unwrap();
         // Label-level equality, not just answer equality.
-        assert_eq!(
-            serde_json::to_string(&idx).unwrap(),
-            serde_json::to_string(&idx2).unwrap()
-        );
+        assert_eq!(idx.to_parts(), idx2.to_parts());
     }
 
     #[test]
@@ -647,9 +887,11 @@ mod persistence_tests {
         let parts = idx.to_parts();
         let slices = PllSlices::new(
             &parts.out_offsets,
-            &parts.out_entries,
+            &parts.out_ranks,
+            &parts.out_dists,
             &parts.in_offsets,
-            &parts.in_entries,
+            &parts.in_ranks,
+            &parts.in_dists,
         )
         .unwrap();
         assert_eq!(slices.node_count(), g.node_count());
@@ -662,6 +904,8 @@ mod persistence_tests {
                 );
             }
         }
+        let pairs: Vec<(NodeId, NodeId)> = g.node_ids().map(|v| (NodeId(2), v)).collect();
+        assert_eq!(slices.dist_batch(&pairs, 4), idx.dist_batch(&pairs, 4));
     }
 
     #[test]
@@ -680,7 +924,7 @@ mod persistence_tests {
         ));
 
         let mut p = parts.clone();
-        p.in_entries.pop(); // odd interleave
+        p.in_dists.pop(); // ranks/dists no longer parallel
         assert!(matches!(
             PllIndex::from_parts(p),
             Err(LoadError::Corrupt {
@@ -695,17 +939,44 @@ mod persistence_tests {
         assert!(matches!(err, Err(LoadError::Corrupt { .. })));
 
         let mut p = parts.clone();
-        p.out_entries.truncate(p.out_entries.len() - 2); // last offset dangling
+        p.out_ranks.pop(); // last offset dangling
+        p.out_dists.pop();
         assert!(matches!(
-            PllSlices::new(&p.out_offsets, &p.out_entries, &p.in_offsets, &p.in_entries),
+            PllIndex::from_parts(p),
             Err(LoadError::Corrupt {
                 section: "pll_out",
                 ..
             })
         ));
 
+        let mut p = parts.clone();
+        if let Some(run) = p
+            .out_offsets
+            .windows(2)
+            .position(|w| w[1] - w[0] >= 2)
+            .map(|v| p.out_offsets[v] as usize)
+        {
+            p.out_ranks.swap(run, run + 1); // ranks out of order
+            assert!(matches!(
+                PllIndex::from_parts(p),
+                Err(LoadError::Corrupt {
+                    section: "pll_out",
+                    ..
+                })
+            ));
+        }
+
+        let mut p = parts.clone();
+        if let Some(r) = p.out_ranks.last_mut() {
+            *r = u32::MAX; // rank out of range: would blow up the table
+        }
         assert!(matches!(
-            PllSlices::new(&[], &[], &[0], &[]),
+            PllIndex::from_parts(p),
+            Err(LoadError::Corrupt { .. })
+        ));
+
+        assert!(matches!(
+            PllSlices::new(&[], &[], &[], &[0], &[], &[]),
             Err(LoadError::Corrupt { .. })
         ));
     }

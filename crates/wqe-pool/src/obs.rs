@@ -121,11 +121,15 @@ pub enum Counter {
     /// Bytes of durable snapshot mapped (or read) into the address space
     /// when the engine context was loaded from a `wqe-store` snapshot.
     SnapshotBytesMapped = 10,
+    /// PLL label entries scanned by distance-kernel merge-joins — the
+    /// machine-independent work metric for the oracle hot path (wall-clock
+    /// is meaningless on a shared 1-CPU host; entry scans are not).
+    OracleLabelEntries = 11,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 12] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheEviction,
@@ -137,6 +141,7 @@ impl Counter {
         Counter::AnswerCacheMiss,
         Counter::AnswerCacheEviction,
         Counter::SnapshotBytesMapped,
+        Counter::OracleLabelEntries,
     ];
 
     /// A stable snake_case name (used as the JSON key).
@@ -153,6 +158,7 @@ impl Counter {
             Counter::AnswerCacheMiss => "answer_cache_misses",
             Counter::AnswerCacheEviction => "answer_cache_evictions",
             Counter::SnapshotBytesMapped => "snapshot_bytes_mapped",
+            Counter::OracleLabelEntries => "oracle_label_entries_scanned",
         }
     }
 }
@@ -467,6 +473,7 @@ mod tests {
                 "answer_cache_misses",
                 "answer_cache_evictions",
                 "snapshot_bytes_mapped",
+                "oracle_label_entries_scanned",
             ]
         );
     }

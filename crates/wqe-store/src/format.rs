@@ -28,12 +28,26 @@
 //! [`LoadError::UnsupportedVersion`](wqe_graph::LoadError). *Adding* a new
 //! section id is backward compatible (old readers must ignore unknown ids),
 //! so purely additive evolution does not bump the version.
+//!
+//! Version history:
+//!
+//! * **1** — initial layout; PLL labels persisted as two interleaved
+//!   `(rank, dist)` pair sections per direction
+//!   ([`SectionId::PllOutEntries`] / [`SectionId::PllInEntries`]).
+//! * **2** — PLL labels persisted struct-of-arrays: separate rank and
+//!   distance sections per direction ([`SectionId::PLL`]), matching the
+//!   in-memory layout the SIMD merge kernels consume, so a mapped snapshot
+//!   serves distance queries with zero deinterleaving. Readers still load
+//!   version-1 files (deinterleaving on load); writers emit only version 2.
 
 /// First eight bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"WQESNAP\0";
 
 /// Current (and highest readable) format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The last format version whose PLL sections were interleaved pairs.
+pub const VERSION_INTERLEAVED_PLL: u32 = 1;
 
 /// Endianness canary stored in the header: a reader on a platform that
 /// sees a different value cannot reinterpret the arrays in place.
@@ -66,7 +80,9 @@ pub const TAG_BOOL: u32 = 3;
 /// present (graphs at or below the PLL crossover persist their index).
 pub const FLAG_HAS_PLL: u64 = 1;
 
-/// Every section a version-1 snapshot may carry, with its stable id.
+/// Every section a snapshot may carry, with its stable id. Ids are never
+/// reused: 15/17 remain reserved for the version-1 interleaved PLL entry
+/// sections, which version-2 writers no longer emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
 pub enum SectionId {
@@ -100,12 +116,22 @@ pub enum SectionId {
     AttrStats = 13,
     /// PLL `L_out` entry offsets, `u32` per node + 1 (optional section).
     PllOutOffsets = 14,
-    /// PLL `L_out` entries, interleaved `u32` pairs (rank, dist).
+    /// Version-1 only: PLL `L_out` entries, interleaved `u32` pairs
+    /// (rank, dist). Version-2 files carry [`SectionId::PllOutRanks`] and
+    /// [`SectionId::PllOutDists`] instead.
     PllOutEntries = 15,
     /// PLL `L_in` entry offsets.
     PllInOffsets = 16,
-    /// PLL `L_in` entries, interleaved `u32` pairs.
+    /// Version-1 only: PLL `L_in` entries, interleaved `u32` pairs.
     PllInEntries = 17,
+    /// PLL `L_out` landmark ranks, one `u32` per entry (version 2+).
+    PllOutRanks = 18,
+    /// PLL `L_out` distances, parallel to the ranks (version 2+).
+    PllOutDists = 19,
+    /// PLL `L_in` landmark ranks (version 2+).
+    PllInRanks = 20,
+    /// PLL `L_in` distances (version 2+).
+    PllInDists = 21,
 }
 
 impl SectionId {
@@ -126,8 +152,20 @@ impl SectionId {
         SectionId::AttrStats,
     ];
 
-    /// The four optional PLL label sections.
-    pub const PLL: [SectionId; 4] = [
+    /// The optional PLL label sections of a version-2 file (flat
+    /// struct-of-arrays: offsets + ranks + distances per direction).
+    pub const PLL: [SectionId; 6] = [
+        SectionId::PllOutOffsets,
+        SectionId::PllOutRanks,
+        SectionId::PllOutDists,
+        SectionId::PllInOffsets,
+        SectionId::PllInRanks,
+        SectionId::PllInDists,
+    ];
+
+    /// The optional PLL label sections of a version-1 file (offsets +
+    /// interleaved pair entries per direction). Readers only.
+    pub const PLL_V1: [SectionId; 4] = [
         SectionId::PllOutOffsets,
         SectionId::PllOutEntries,
         SectionId::PllInOffsets,
@@ -155,6 +193,10 @@ impl SectionId {
             15 => SectionId::PllOutEntries,
             16 => SectionId::PllInOffsets,
             17 => SectionId::PllInEntries,
+            18 => SectionId::PllOutRanks,
+            19 => SectionId::PllOutDists,
+            20 => SectionId::PllInRanks,
+            21 => SectionId::PllInDists,
             _ => return None,
         })
     }
@@ -179,6 +221,10 @@ impl SectionId {
             SectionId::PllOutEntries => "pll_out_entries",
             SectionId::PllInOffsets => "pll_in_offsets",
             SectionId::PllInEntries => "pll_in_entries",
+            SectionId::PllOutRanks => "pll_out_ranks",
+            SectionId::PllOutDists => "pll_out_dists",
+            SectionId::PllInRanks => "pll_in_ranks",
+            SectionId::PllInDists => "pll_in_dists",
         }
     }
 }
@@ -196,16 +242,47 @@ pub struct SectionEntry {
     pub checksum: u64,
 }
 
-/// FNV-1a 64-bit hash — the per-section checksum. Not cryptographic; it
-/// exists to catch torn writes, truncation, and bit rot, and it is
-/// dependency-free and fast enough to verify every section at open.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Incremental FNV-1a 64-bit hasher — the per-section checksum, usable
+/// over chunked payloads so the streaming writer never needs the whole
+/// section in memory. Not cryptographic; it exists to catch torn writes,
+/// truncation, and bit rot, and it is dependency-free and fast enough to
+/// verify every section at open.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher in the FNV-1a initial state.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a 64 over a whole buffer (see [`Fnv1a`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
 }
 
 /// Rounds `off` up to the next [`SECTION_ALIGN`] boundary.
@@ -226,6 +303,15 @@ mod tests {
     }
 
     #[test]
+    fn fnv_incremental_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
     fn align_up_boundaries() {
         assert_eq!(align_up(0), 0);
         assert_eq!(align_up(1), 16);
@@ -235,7 +321,11 @@ mod tests {
 
     #[test]
     fn section_ids_roundtrip() {
-        for id in SectionId::REQUIRED.into_iter().chain(SectionId::PLL) {
+        for id in SectionId::REQUIRED
+            .into_iter()
+            .chain(SectionId::PLL)
+            .chain(SectionId::PLL_V1)
+        {
             assert_eq!(SectionId::from_u32(id as u32), Some(id));
             assert!(!id.name().is_empty());
         }

@@ -36,11 +36,13 @@
 pub mod format;
 mod mmap;
 mod read;
+mod stream;
 mod write;
 
 pub use format::{SectionId, FORMAT_VERSION, MAGIC};
 pub use mmap::MappedFile;
 pub use read::{SectionInfo, Snapshot, SnapshotMeta, SnapshotOracle};
+pub use stream::SnapshotWriter;
 pub use write::{build_and_write_snapshot, wants_pll, write_snapshot};
 
 #[cfg(test)]
@@ -151,6 +153,38 @@ mod tests {
             oracle.distance_within(NodeId(0), NodeId(5), 10),
             pll.distance_within(NodeId(0), NodeId(5), 10)
         );
+        // The mapped batch path answers exactly like the owned index's.
+        let pairs: Vec<(NodeId, NodeId)> = g.node_ids().map(|v| (NodeId(3), v)).collect();
+        assert_eq!(oracle.dist_batch(&pairs, 8), pll.dist_batch(&pairs, 8));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version1_interleaved_pll_still_loads() {
+        // A genuine version-1 file (interleaved PLL pair sections) must
+        // keep opening: graph decodes, load_pll deinterleaves to the same
+        // answers, and the zero-copy view is (correctly) unavailable.
+        let g = sample_graph();
+        let pll = PllIndex::build_with(&g, 0);
+        let path = temp_snap("v1compat");
+        crate::write::write_snapshot_versioned(&path, &g, Some(&pll), 1).unwrap();
+
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.format_version(), 1);
+        assert!(snap.meta().has_pll());
+        let names: Vec<&str> = snap.section_infos().iter().map(|i| i.name).collect();
+        assert!(names.contains(&"pll_out_entries"));
+        assert!(!names.contains(&"pll_out_ranks"));
+        graphs_equal(&g, &snap.load_graph().unwrap());
+
+        assert!(snap.pll_slices().unwrap().is_none());
+        let pll2 = snap.load_pll().unwrap().unwrap();
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                assert_eq!(pll2.distance(u, v), pll.distance(u, v));
+            }
+        }
+        assert!(SnapshotOracle::new(Arc::new(snap)).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -303,7 +337,9 @@ mod tests {
         }
         // sample_graph is under the PLL limit, so the policy writes labels.
         assert!(wants_pll(&g));
-        assert!(names.contains(&"pll_out_entries"));
+        for id in SectionId::PLL {
+            assert!(names.contains(&id.name()), "missing {}", id.name());
+        }
         std::fs::remove_file(&path).ok();
     }
 }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use wqe_graph::{
     AttrStats, AttrValue, EdgeLabelId, Graph, GraphParts, LoadError, NodeData, NodeId, Schema,
 };
-use wqe_index::{DistanceOracle, PllIndex, PllParts, PllSlices};
+use wqe_index::{BatchScratch, DistanceOracle, PllIndex, PllParts, PllSlices};
 
 /// Decoded `meta` section.
 #[derive(Debug, Clone, Copy)]
@@ -192,7 +192,14 @@ impl Snapshot {
         }
         let meta = snap.decode_meta()?;
         if meta.has_pll() {
-            for id in SectionId::PLL {
+            // Which label sections the flag promises depends on the format
+            // generation: flat arrays since v2, interleaved pairs before.
+            let promised: &[SectionId] = if version > VERSION_INTERLEAVED_PLL {
+                &SectionId::PLL
+            } else {
+                &SectionId::PLL_V1
+            };
+            for &id in promised {
                 if snap.section(id).is_none() {
                     return Err(corrupt(
                         "section_table",
@@ -506,17 +513,23 @@ impl Snapshot {
         })
     }
 
-    /// The PLL label arrays as a validated zero-copy view, or `None` when
-    /// the snapshot carries no index.
+    /// The PLL label arrays as a validated zero-copy view. `None` when the
+    /// snapshot carries no index, *or* when the file predates format
+    /// version 2 — version-1 files interleave their label entries, so no
+    /// borrowed flat view exists; [`Snapshot::load_pll`] deinterleaves
+    /// them into an owned index instead.
     pub fn pll_slices(&self) -> Result<Option<PllSlices<'_>>, LoadError> {
-        if !self.meta.has_pll() {
+        if !self.meta.has_pll() || self.version <= VERSION_INTERLEAVED_PLL {
             return Ok(None);
         }
-        let out_offsets = self.section_u32(SectionId::PllOutOffsets)?;
-        let out_entries = self.section_u32(SectionId::PllOutEntries)?;
-        let in_offsets = self.section_u32(SectionId::PllInOffsets)?;
-        let in_entries = self.section_u32(SectionId::PllInEntries)?;
-        let slices = PllSlices::new(out_offsets, out_entries, in_offsets, in_entries)?;
+        let slices = PllSlices::new(
+            self.section_u32(SectionId::PllOutOffsets)?,
+            self.section_u32(SectionId::PllOutRanks)?,
+            self.section_u32(SectionId::PllOutDists)?,
+            self.section_u32(SectionId::PllInOffsets)?,
+            self.section_u32(SectionId::PllInRanks)?,
+            self.section_u32(SectionId::PllInDists)?,
+        )?;
         if slices.node_count() as u64 != self.meta.node_count {
             return Err(corrupt(
                 "pll_out_offsets",
@@ -530,18 +543,52 @@ impl Snapshot {
         Ok(Some(slices))
     }
 
-    /// Rebuilds an owned [`PllIndex`] from the label sections (copying),
-    /// or `None` when absent. Prefer [`Snapshot::pll_slices`] /
-    /// [`SnapshotOracle`] for serving.
+    /// Splits a version-1 interleaved `(rank, dist)` pair section into its
+    /// flat rank and distance arrays.
+    fn deinterleave(&self, id: SectionId) -> Result<(Vec<u32>, Vec<u32>), LoadError> {
+        let words = self.section_u32(id)?;
+        if !words.len().is_multiple_of(2) {
+            return Err(corrupt(
+                id.name(),
+                format!("odd word count {} for pair array", words.len()),
+            ));
+        }
+        let mut ranks = Vec::with_capacity(words.len() / 2);
+        let mut dists = Vec::with_capacity(words.len() / 2);
+        for p in words.chunks_exact(2) {
+            ranks.push(p[0]);
+            dists.push(p[1]);
+        }
+        Ok((ranks, dists))
+    }
+
+    /// Rebuilds an owned [`PllIndex`] from the label sections (copying;
+    /// deinterleaving for version-1 files), or `None` when absent. Prefer
+    /// [`Snapshot::pll_slices`] / [`SnapshotOracle`] for serving version-2
+    /// snapshots.
     pub fn load_pll(&self) -> Result<Option<PllIndex>, LoadError> {
         if !self.meta.has_pll() {
             return Ok(None);
         }
+        let (out_ranks, out_dists, in_ranks, in_dists) = if self.version > VERSION_INTERLEAVED_PLL {
+            (
+                self.section_u32(SectionId::PllOutRanks)?.to_vec(),
+                self.section_u32(SectionId::PllOutDists)?.to_vec(),
+                self.section_u32(SectionId::PllInRanks)?.to_vec(),
+                self.section_u32(SectionId::PllInDists)?.to_vec(),
+            )
+        } else {
+            let (or_, od) = self.deinterleave(SectionId::PllOutEntries)?;
+            let (ir, id_) = self.deinterleave(SectionId::PllInEntries)?;
+            (or_, od, ir, id_)
+        };
         let parts = PllParts {
             out_offsets: self.section_u32(SectionId::PllOutOffsets)?.to_vec(),
-            out_entries: self.section_u32(SectionId::PllOutEntries)?.to_vec(),
+            out_ranks,
+            out_dists,
             in_offsets: self.section_u32(SectionId::PllInOffsets)?.to_vec(),
-            in_entries: self.section_u32(SectionId::PllInEntries)?.to_vec(),
+            in_ranks,
+            in_dists,
         };
         PllIndex::from_parts(parts).map(Some)
     }
@@ -549,30 +596,50 @@ impl Snapshot {
 
 /// A [`DistanceOracle`] serving exact distances straight from a snapshot's
 /// mapped PLL label sections — zero-copy: queries merge-join over the file
-/// bytes with no per-query or per-node allocation.
+/// bytes with no per-query or per-node allocation. Requires a format
+/// version 2+ snapshot (the flat label layout *is* the query layout).
 pub struct SnapshotOracle {
     snap: Arc<Snapshot>,
-    /// Byte ranges of the four label sections, validated at construction
-    /// so per-query reconstruction can skip checks.
-    ranges: [(usize, usize); 4],
+    /// Byte ranges of the six label sections (in [`PllSlices::new`]
+    /// argument order), validated at construction so per-query
+    /// reconstruction can skip checks.
+    ranges: [(usize, usize); 6],
+    /// Shared batch scratch, reused across `dist_batch` calls exactly like
+    /// the owned index does.
+    scratch: std::sync::Mutex<BatchScratch>,
 }
 
 impl SnapshotOracle {
     /// Wraps `snap`, validating the label view once. Fails with
-    /// [`LoadError::Corrupt`] when the snapshot has no PLL sections.
+    /// [`LoadError::Corrupt`] when the snapshot has no zero-copy PLL view
+    /// (no index, or a pre-v2 file — load those via
+    /// [`Snapshot::load_pll`]).
     pub fn new(snap: Arc<Snapshot>) -> Result<SnapshotOracle, LoadError> {
         snap.pll_slices()?.ok_or_else(|| {
             corrupt(
                 "section_table",
-                "snapshot carries no PLL sections; use a BFS oracle",
+                "snapshot has no zero-copy PLL view (absent or pre-v2); \
+                 use load_pll or a BFS oracle",
             )
         })?;
-        let mut ranges = [(0usize, 0usize); 4];
-        for (slot, id) in SectionId::PLL.into_iter().enumerate() {
+        let order = [
+            SectionId::PllOutOffsets,
+            SectionId::PllOutRanks,
+            SectionId::PllOutDists,
+            SectionId::PllInOffsets,
+            SectionId::PllInRanks,
+            SectionId::PllInDists,
+        ];
+        let mut ranges = [(0usize, 0usize); 6];
+        for (slot, id) in order.into_iter().enumerate() {
             let e = snap.entry(id).expect("pll_slices validated presence above");
             ranges[slot] = (e.offset as usize, e.len as usize);
         }
-        Ok(SnapshotOracle { snap, ranges })
+        Ok(SnapshotOracle {
+            snap,
+            ranges,
+            scratch: std::sync::Mutex::new(BatchScratch::new()),
+        })
     }
 
     #[inline]
@@ -585,12 +652,36 @@ impl SnapshotOracle {
 
     #[inline]
     fn slices(&self) -> PllSlices<'_> {
-        PllSlices::new_unchecked(self.u32s(0), self.u32s(1), self.u32s(2), self.u32s(3))
+        PllSlices::new_unchecked(
+            self.u32s(0),
+            self.u32s(1),
+            self.u32s(2),
+            self.u32s(3),
+            self.u32s(4),
+            self.u32s(5),
+        )
     }
 }
 
 impl DistanceOracle for SnapshotOracle {
     fn distance_within(&self, u: NodeId, v: NodeId, bound: u32) -> Option<u32> {
         self.slices().distance_within(u, v, bound)
+    }
+
+    fn dist_batch(&self, pairs: &[(NodeId, NodeId)], bound: u32) -> Vec<Option<u32>> {
+        wqe_pool::obs::with_current(|p| p.add(wqe_pool::obs::Counter::OracleDistBatch, 1));
+        // Reuse the shared scratch when free; a contending thread gets a
+        // one-shot local buffer instead of waiting (identical answers).
+        match self.scratch.try_lock() {
+            Ok(mut scratch) => self.slices().dist_batch_with(&mut scratch, pairs, bound),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                self.slices()
+                    .dist_batch_with(&mut p.into_inner(), pairs, bound)
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.slices()
+                    .dist_batch_with(&mut BatchScratch::new(), pairs, bound)
+            }
+        }
     }
 }

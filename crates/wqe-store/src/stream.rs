@@ -1,0 +1,232 @@
+//! Streaming snapshot writer: emits the section format of
+//! [`crate::format`] incrementally, so a producer can write a section in
+//! chunks — checksummed on the fly by [`format::Fnv1a`](crate::format::Fnv1a)
+//! — without ever materializing the whole payload (or the whole file) in
+//! memory. This is what lets the scale datagen path stream multi-million-node
+//! graphs straight to disk.
+//!
+//! Protocol: `create(path, section_count)` reserves the header + section
+//! table region, then for each section (ascending section id) call
+//! [`SnapshotWriter::begin_section`], any number of
+//! [`SnapshotWriter::write`]s, and [`SnapshotWriter::end_section`]; finally
+//! [`SnapshotWriter::finish`] seeks back, fills in the header and table,
+//! and syncs. The batch writer ([`crate::write_snapshot`]) is a thin loop
+//! over this type, so streamed and batch-built snapshots are byte-identical
+//! given identical payloads.
+
+use crate::format::*;
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+fn misuse(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, msg.into())
+}
+
+/// Incremental writer for one snapshot file. See the module docs for the
+/// call protocol; any out-of-order call fails with
+/// [`std::io::ErrorKind::InvalidInput`] rather than corrupting the file.
+pub struct SnapshotWriter {
+    out: BufWriter<File>,
+    version: u32,
+    section_count: usize,
+    entries: Vec<SectionEntry>,
+    /// Current absolute byte offset in the file.
+    offset: u64,
+    /// Section in progress: (id, payload start offset, running checksum).
+    current: Option<(SectionId, u64, Fnv1a)>,
+}
+
+impl SnapshotWriter {
+    /// Creates `path` and reserves room for a header plus a
+    /// `section_count`-entry table. The count is fixed up front because the
+    /// table precedes the payloads; [`SnapshotWriter::finish`] verifies
+    /// exactly that many sections were written.
+    pub fn create(path: &Path, section_count: usize) -> std::io::Result<SnapshotWriter> {
+        Self::create_with_version(path, section_count, FORMAT_VERSION)
+    }
+
+    /// Test seam: emit an older `version` stamp (used to fabricate
+    /// version-1 files for reader compatibility tests).
+    pub(crate) fn create_with_version(
+        path: &Path,
+        section_count: usize,
+        version: u32,
+    ) -> std::io::Result<SnapshotWriter> {
+        if section_count > MAX_SECTIONS {
+            return Err(misuse(format!(
+                "section count {section_count} exceeds MAX_SECTIONS"
+            )));
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        // Zero the header + table region now; finish() seeks back to fill
+        // it in once every offset, length, and checksum is known.
+        let data_start = align_up(HEADER_LEN as u64 + (section_count * SECTION_ENTRY_LEN) as u64);
+        out.write_all(&vec![0u8; data_start as usize])?;
+        Ok(SnapshotWriter {
+            out,
+            version,
+            section_count,
+            entries: Vec::with_capacity(section_count),
+            offset: data_start,
+            current: None,
+        })
+    }
+
+    /// Starts the next section. Ids must strictly ascend across the file —
+    /// the batch writer emits them in id order, and enforcing it here keeps
+    /// streamed output deterministic.
+    pub fn begin_section(&mut self, id: SectionId) -> std::io::Result<()> {
+        if self.current.is_some() {
+            return Err(misuse("begin_section with a section still open"));
+        }
+        if self.entries.len() == self.section_count {
+            return Err(misuse(format!(
+                "more than the declared {} sections",
+                self.section_count
+            )));
+        }
+        if let Some(last) = self.entries.last() {
+            if last.id >= id as u32 {
+                return Err(misuse(format!(
+                    "section id {} not ascending after {}",
+                    id as u32, last.id
+                )));
+            }
+        }
+        self.current = Some((id, self.offset, Fnv1a::new()));
+        Ok(())
+    }
+
+    /// Appends payload bytes to the open section, folding them into its
+    /// checksum. Call any number of times between begin and end.
+    pub fn write(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let Some((_, _, hasher)) = self.current.as_mut() else {
+            return Err(misuse("write with no section open"));
+        };
+        hasher.update(bytes);
+        self.out.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Closes the open section: records its table entry and pads the file
+    /// to the next [`SECTION_ALIGN`] boundary.
+    pub fn end_section(&mut self) -> std::io::Result<()> {
+        let Some((id, start, hasher)) = self.current.take() else {
+            return Err(misuse("end_section with no section open"));
+        };
+        self.entries.push(SectionEntry {
+            id: id as u32,
+            offset: start,
+            len: self.offset - start,
+            checksum: hasher.finish(),
+        });
+        let padded = align_up(self.offset);
+        let pad = (padded - self.offset) as usize;
+        self.out.write_all(&[0u8; SECTION_ALIGN][..pad])?;
+        self.offset = padded;
+        Ok(())
+    }
+
+    /// Convenience: a whole section from one buffer.
+    pub fn write_section(&mut self, id: SectionId, payload: &[u8]) -> std::io::Result<()> {
+        self.begin_section(id)?;
+        self.write(payload)?;
+        self.end_section()
+    }
+
+    /// Seeks back to fill in the header and section table, flushes, and
+    /// syncs. Returns the total file length.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        if self.current.is_some() {
+            return Err(misuse("finish with a section still open"));
+        }
+        if self.entries.len() != self.section_count {
+            return Err(misuse(format!(
+                "declared {} sections, wrote {}",
+                self.section_count,
+                self.entries.len()
+            )));
+        }
+        let file_len = self.offset;
+        self.out.seek(SeekFrom::Start(0))?;
+        let mut head = Vec::with_capacity(HEADER_LEN + self.entries.len() * SECTION_ENTRY_LEN);
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&self.version.to_le_bytes());
+        head.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        head.extend_from_slice(&file_len.to_le_bytes());
+        head.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes());
+        debug_assert_eq!(head.len(), HEADER_LEN);
+        for e in &self.entries {
+            head.extend_from_slice(&e.id.to_le_bytes());
+            head.extend_from_slice(&0u32.to_le_bytes());
+            head.extend_from_slice(&e.offset.to_le_bytes());
+            head.extend_from_slice(&e.len.to_le_bytes());
+            head.extend_from_slice(&e.checksum.to_le_bytes());
+        }
+        self.out.write_all(&head)?;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        Ok(file_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wqe-stream-test-{tag}-{}.wqs", std::process::id()))
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let path = temp("misuse");
+        let mut w = SnapshotWriter::create(&path, 2).unwrap();
+        assert!(w.write(b"x").is_err()); // no section open
+        assert!(w.end_section().is_err());
+        w.begin_section(SectionId::Schema).unwrap();
+        assert!(w.begin_section(SectionId::Meta).is_err()); // still open
+        w.write(b"{}").unwrap();
+        w.end_section().unwrap();
+        // Ids must ascend.
+        assert!(w.begin_section(SectionId::Schema).is_err());
+        w.write_section(SectionId::Meta, &[0u8; 32]).unwrap();
+        // Declared two sections; a third is refused, then finish works.
+        assert!(w.begin_section(SectionId::NodeLabels).is_err());
+        assert!(w.finish().is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_requires_declared_count() {
+        let path = temp("count");
+        let mut w = SnapshotWriter::create(&path, 2).unwrap();
+        w.write_section(SectionId::Schema, b"{}").unwrap();
+        assert!(w.finish().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_writes_match_batch() {
+        // The same payloads written in one piece and in odd-sized chunks
+        // must produce byte-identical files.
+        let payload: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let (p1, p2) = (temp("chunk1"), temp("chunk2"));
+        let mut w = SnapshotWriter::create(&p1, 1).unwrap();
+        w.write_section(SectionId::Schema, &payload).unwrap();
+        w.finish().unwrap();
+        let mut w = SnapshotWriter::create(&p2, 1).unwrap();
+        w.begin_section(SectionId::Schema).unwrap();
+        for chunk in payload.chunks(7) {
+            w.write(chunk).unwrap();
+        }
+        w.end_section().unwrap();
+        w.finish().unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+}

@@ -7,12 +7,12 @@
 //! content-compared and cached.
 
 use crate::format::*;
+use crate::stream::SnapshotWriter;
 use serde::Serialize;
 use std::collections::HashMap;
-use std::io::Write;
 use std::path::Path;
 use wqe_graph::{AttrValue, Graph};
-use wqe_index::{PllIndex, PLL_NODE_LIMIT};
+use wqe_index::{PllIndex, PllParts, PLL_NODE_LIMIT};
 
 /// Schema name lists in id order — the JSON payload of
 /// [`SectionId::Schema`].
@@ -39,14 +39,12 @@ fn json_err(e: impl std::fmt::Display) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
 }
 
-/// Builds every section payload for `graph` (+ optional `pll`), in section
-/// id order.
-fn build_sections(
-    graph: &Graph,
-    pll: Option<&PllIndex>,
-) -> std::io::Result<Vec<(SectionId, Vec<u8>)>> {
+/// Builds every graph section payload (the [`SectionId::REQUIRED`] set),
+/// in section id order. `has_pll` only feeds the meta flags word; the PLL
+/// payloads themselves come from [`pll_sections`].
+fn graph_sections(graph: &Graph, has_pll: bool) -> std::io::Result<Vec<(SectionId, Vec<u8>)>> {
     let schema = graph.schema();
-    let mut sections: Vec<(SectionId, Vec<u8>)> = Vec::with_capacity(17);
+    let mut sections: Vec<(SectionId, Vec<u8>)> = Vec::with_capacity(13);
 
     let names = SchemaNames {
         labels: (0..schema.label_count() as u32)
@@ -64,7 +62,7 @@ fn build_sections(
         serde_json::to_vec(&names).map_err(json_err)?,
     ));
 
-    let flags = if pll.is_some() { FLAG_HAS_PLL } else { 0 };
+    let flags = if has_pll { FLAG_HAS_PLL } else { 0 };
     let mut meta = Vec::with_capacity(32);
     push_u64s(
         &mut meta,
@@ -161,68 +159,76 @@ fn build_sections(
         );
     }
     sections.push((SectionId::AttrStats, stats));
-
-    if let Some(pll) = pll {
-        let parts = pll.to_parts();
-        for (id, arr) in [
-            (SectionId::PllOutOffsets, &parts.out_offsets),
-            (SectionId::PllOutEntries, &parts.out_entries),
-            (SectionId::PllInOffsets, &parts.in_offsets),
-            (SectionId::PllInEntries, &parts.in_entries),
-        ] {
-            let mut buf = Vec::with_capacity(4 * arr.len());
-            push_u32s(&mut buf, arr.iter().copied());
-            sections.push((id, buf));
-        }
-    }
     Ok(sections)
+}
+
+/// Builds the PLL label section payloads for the given format `version`,
+/// in ascending id order: version 2 persists the flat struct-of-arrays
+/// directly; version 1 (reader-compat tests only) interleaves each
+/// direction back into `(rank, dist)` pairs.
+fn pll_sections(parts: &PllParts, version: u32) -> Vec<(SectionId, Vec<u8>)> {
+    let flat = |arr: &[u32]| {
+        let mut buf = Vec::with_capacity(4 * arr.len());
+        push_u32s(&mut buf, arr.iter().copied());
+        buf
+    };
+    if version > VERSION_INTERLEAVED_PLL {
+        vec![
+            (SectionId::PllOutOffsets, flat(&parts.out_offsets)),
+            (SectionId::PllInOffsets, flat(&parts.in_offsets)),
+            (SectionId::PllOutRanks, flat(&parts.out_ranks)),
+            (SectionId::PllOutDists, flat(&parts.out_dists)),
+            (SectionId::PllInRanks, flat(&parts.in_ranks)),
+            (SectionId::PllInDists, flat(&parts.in_dists)),
+        ]
+    } else {
+        let interleave = |ranks: &[u32], dists: &[u32]| {
+            let mut buf = Vec::with_capacity(8 * ranks.len());
+            push_u32s(
+                &mut buf,
+                ranks.iter().zip(dists).flat_map(|(&r, &d)| [r, d]),
+            );
+            buf
+        };
+        vec![
+            (SectionId::PllOutOffsets, flat(&parts.out_offsets)),
+            (
+                SectionId::PllOutEntries,
+                interleave(&parts.out_ranks, &parts.out_dists),
+            ),
+            (SectionId::PllInOffsets, flat(&parts.in_offsets)),
+            (
+                SectionId::PllInEntries,
+                interleave(&parts.in_ranks, &parts.in_dists),
+            ),
+        ]
+    }
 }
 
 /// Serializes `graph` (and `pll`, when given) to `path` in snapshot format.
 /// Returns the total bytes written. Writes deterministically; fails with an
 /// [`std::io::Error`] rather than panicking.
 pub fn write_snapshot(path: &Path, graph: &Graph, pll: Option<&PllIndex>) -> std::io::Result<u64> {
-    let sections = build_sections(graph, pll)?;
+    write_snapshot_versioned(path, graph, pll, FORMAT_VERSION)
+}
 
-    let table_len = (sections.len() * SECTION_ENTRY_LEN) as u64;
-    let mut offset = align_up(HEADER_LEN as u64 + table_len);
-    let mut entries: Vec<SectionEntry> = Vec::with_capacity(sections.len());
+/// Version-parameterized writer — the seam reader compatibility tests use
+/// to fabricate genuine version-1 files with interleaved PLL sections.
+pub(crate) fn write_snapshot_versioned(
+    path: &Path,
+    graph: &Graph,
+    pll: Option<&PllIndex>,
+    version: u32,
+) -> std::io::Result<u64> {
+    let mut sections = graph_sections(graph, pll.is_some())?;
+    if let Some(pll) = pll {
+        sections.extend(pll_sections(&pll.to_parts(), version));
+    }
+    let mut w = SnapshotWriter::create_with_version(path, sections.len(), version)?;
     for (id, payload) in &sections {
-        entries.push(SectionEntry {
-            id: *id as u32,
-            offset,
-            len: payload.len() as u64,
-            checksum: fnv1a64(payload),
-        });
-        offset = align_up(offset + payload.len() as u64);
+        w.write_section(*id, payload)?;
     }
-    let file_len = offset;
-
-    let mut out = Vec::with_capacity(file_len as usize);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
-    out.extend_from_slice(&file_len.to_le_bytes());
-    out.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes());
-    debug_assert_eq!(out.len(), HEADER_LEN);
-    for e in &entries {
-        out.extend_from_slice(&e.id.to_le_bytes());
-        out.extend_from_slice(&0u32.to_le_bytes());
-        out.extend_from_slice(&e.offset.to_le_bytes());
-        out.extend_from_slice(&e.len.to_le_bytes());
-        out.extend_from_slice(&e.checksum.to_le_bytes());
-    }
-    for (e, (_, payload)) in entries.iter().zip(&sections) {
-        out.resize(e.offset as usize, 0);
-        out.extend_from_slice(payload);
-    }
-    out.resize(file_len as usize, 0);
-
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&out)?;
-    f.sync_all()?;
-    Ok(file_len)
+    w.finish()
 }
 
 /// Policy helper: should a snapshot of `graph` carry a PLL index? Mirrors

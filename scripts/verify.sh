@@ -59,6 +59,26 @@ RUST_TEST_THREADS=1 cargo test --test service -q
 echo "==> serving: cargo test --test service -q"
 cargo test --test service -q
 
+# The distance kernels dispatch at runtime (AVX2 when the CPU has it,
+# scalar otherwise); both paths must pass the index suite bit-identically.
+# The forced-scalar run covers the fallback even on AVX2 hosts.
+echo "==> kernels: WQE_FORCE_SCALAR=1 cargo test -p wqe-index -q"
+WQE_FORCE_SCALAR=1 cargo test -p wqe-index -q
+
+echo "==> kernels: cargo test -p wqe-index -q"
+cargo test -p wqe-index -q
+
+# The batched oracle's headline number, in work counts (wall-clock-free):
+# dist_batch must scan >= 2x fewer label entries than pairwise merge-joins
+# with bit-identical answers, and the streamed million-node snapshot must
+# load and answer a why-question end to end (both checked inside the bin).
+echo "==> kernels: bench_kernels entries-scanned gate"
+cargo run --release -p wqe-bench --bin bench_kernels -- --out results/BENCH_kernels.json
+grep -q '"within_target": true' results/BENCH_kernels.json || {
+    echo "bench_kernels: batched path missed the 2x entries-scanned target" >&2
+    exit 1
+}
+
 # Idle governor + profiler overhead must stay under the 3% bar on the
 # intra-query workload (min-over-reps, alternating modes).
 echo "==> observability: bench_governor overhead gate"

@@ -7,6 +7,7 @@
 //! wqe-cli why    --snapshot <g.wqs> <question.json> ... # from a snapshot
 //! wqe-cli serve  <graph.jsonl> <questions.jsonl> [opts] # batch serving
 //! wqe-cli gen    <preset> <scale> <seed> <out.jsonl>    # synthetic data
+//! wqe-cli gen    --scale <nodes> <seed> <out.wqs>       # streamed, paper-scale
 //! wqe-cli index  build <graph.jsonl> -o <g.wqs>         # durable snapshot
 //! wqe-cli index  inspect <g.wqs>                        # header + sections
 //! wqe-cli demo                                          # built-in Fig. 1
@@ -474,11 +475,15 @@ fn cmd_serve(args: &[String]) -> i32 {
 }
 
 fn cmd_gen(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) == Some("--scale") {
+        return cmd_gen_scale(&args[1..]);
+    }
     let (Some(preset), Some(scale), Some(seed), Some(out)) =
         (args.first(), args.get(1), args.get(2), args.get(3))
     else {
         eprintln!(
-            "usage: wqe-cli gen <product|dbpedia|imdb|offshore|watdiv> <scale> <seed> <out.jsonl>"
+            "usage: wqe-cli gen <product|dbpedia|imdb|offshore|watdiv> <scale> <seed> <out.jsonl>\n\
+             \x20      wqe-cli gen --scale <nodes> <seed> <out.wqs> [--avg-degree D]"
         );
         return 2;
     };
@@ -506,6 +511,50 @@ fn cmd_gen(args: &[String]) -> i32 {
             out,
             g.node_count(),
             g.edge_count()
+        );
+        Ok(())
+    };
+    report_result(run())
+}
+
+/// `gen --scale`: streams a paper-scale synthetic graph straight into a
+/// snapshot, never materializing it in memory (`wqe::datagen::stream`).
+fn cmd_gen_scale(args: &[String]) -> i32 {
+    let (Some(nodes), Some(seed), Some(out)) = (args.first(), args.get(1), args.get(2)) else {
+        eprintln!("usage: wqe-cli gen --scale <nodes> <seed> <out.wqs> [--avg-degree D]");
+        return 2;
+    };
+    let run = || -> Result<(), String> {
+        let nodes: u64 = nodes
+            .parse()
+            .map_err(|_| "nodes must be an integer".to_string())?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| "seed must be an int".to_string())?;
+        let mut cfg = wqe::datagen::ScaleConfig::new(nodes, seed);
+        let mut rest = args[3..].iter();
+        while let Some(flag) = rest.next() {
+            match flag.as_str() {
+                "--avg-degree" => {
+                    cfg.avg_out_degree = rest
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--avg-degree needs a float")?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        let started = std::time::Instant::now();
+        let report = wqe::datagen::stream_snapshot(&cfg, std::path::Path::new(out.as_str()))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote {out:?}: {} nodes, {} edges, diameter {}, {} in {:.1} s (streamed; \
+             no PLL — the loader serves it with bounded BFS)",
+            report.nodes,
+            report.edges,
+            report.diameter,
+            human_bytes(report.bytes),
+            started.elapsed().as_secs_f64(),
         );
         Ok(())
     };
@@ -588,6 +637,26 @@ fn cmd_index_inspect(args: &[String]) -> i32 {
                 human_bytes(s.len),
                 s.checksum,
             );
+        }
+        match snap.pll_slices().map_err(|e| e.to_string())? {
+            Some(slices) => {
+                let ls = slices.stats();
+                println!(
+                    "pll labels: {} nodes, {} entries ({} out + {} in), \
+                     avg label len {:.2}, max {}, {}",
+                    ls.nodes,
+                    ls.total_entries,
+                    ls.out_entries,
+                    ls.in_entries,
+                    ls.avg_label_len,
+                    ls.max_label_len,
+                    human_bytes(ls.bytes),
+                );
+            }
+            None if meta.has_pll() => {
+                println!("pll labels: present, pre-v2 interleaved layout (no zero-copy view)")
+            }
+            None => println!("pll labels: none (bounded BFS serves distances at load)"),
         }
         Ok(())
     };

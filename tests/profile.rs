@@ -91,6 +91,7 @@ fn profile_json_field_set_is_stable() {
         "\"cache_evictions\"",
         "\"oracle_dist_calls\"",
         "\"oracle_dist_batch_calls\"",
+        "\"oracle_label_entries_scanned\"",
         "\"pool_runs\"",
         "\"pool_tasks\"",
         "\"match_steps\"",

@@ -16,7 +16,7 @@ use wqe::datagen::{
     dbpedia_like, generate, generate_query, generate_why, QueryGenConfig, SynthConfig,
     TopologyKind, WhyGenConfig,
 };
-use wqe::graph::{Graph, LoadError};
+use wqe::graph::{Graph, LoadError, NodeId};
 use wqe::index::DistanceOracle;
 use wqe::store::{build_and_write_snapshot, Snapshot};
 
@@ -169,6 +169,50 @@ fn snapshot_loaded_answers_bit_identical_to_fresh() {
                     "{algo:?} at parallelism {t} diverged between fresh and snapshot"
                 );
             }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The batched oracle path must be provenance-invariant too: `dist_batch`
+/// through the snapshot's zero-copy labels (`SnapshotOracle`, shared
+/// scratch behind a `try_lock`) answers exactly like the freshly built
+/// `PllIndex`, at every bound and under concurrent callers (which exercise
+/// the per-call scratch fallback).
+#[test]
+fn dist_batch_parity_fresh_vs_snapshot() {
+    let graph = Arc::new(dbpedia_like(0.02, 5));
+    let path = temp_path("distbatch");
+    build_and_write_snapshot(&path, &graph).unwrap();
+    let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
+    let loaded = EngineCtx::from_snapshot(&path).unwrap();
+
+    let n = graph.node_count() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..n)
+        .step_by(7)
+        .flat_map(|s| (0..24u32).map(move |t| (NodeId(s), NodeId((s * 31 + t * 17 + 1) % n))))
+        .collect();
+    assert!(pairs.len() > 500, "suite too small");
+
+    for bound in [1, 2, 4, 8, u32::MAX] {
+        assert_eq!(
+            fresh.oracle().dist_batch(&pairs, bound),
+            loaded.oracle().dist_batch(&pairs, bound),
+            "bound {bound}"
+        );
+    }
+
+    let expected = fresh.oracle().dist_batch(&pairs, 4);
+    for &t in &THREAD_COUNTS {
+        let handles: Vec<_> = (0..t)
+            .map(|_| {
+                let ctx = loaded.clone();
+                let pairs = pairs.clone();
+                std::thread::spawn(move || ctx.oracle().dist_batch(&pairs, 4))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected, "{t} concurrent callers");
         }
     }
     std::fs::remove_file(&path).ok();
