@@ -204,6 +204,7 @@ fn main() {
                 queue_cap: n_requests,
                 base_config: cfg.clone(),
                 cache: CacheConfig::default(),
+                ..Default::default()
             },
         );
         let t0 = Instant::now();
@@ -240,6 +241,7 @@ fn main() {
             queue_cap: suite.len(),
             base_config: cfg.clone(),
             cache: CacheConfig::default(),
+            ..Default::default()
         },
     );
     let mut cold_ms = Vec::new();

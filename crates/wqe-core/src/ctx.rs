@@ -11,19 +11,30 @@ use crate::error::WqeError;
 use std::path::Path;
 use std::sync::Arc;
 use wqe_graph::Graph;
-use wqe_index::{BoundedBfsOracle, DistanceOracle, HybridOracle};
+use wqe_index::{BoundedBfsOracle, DistanceOracle, HybridOracle, ResilientOracle, PLL_NODE_LIMIT};
 use wqe_store::format::VERSION_INTERLEAVED_PLL;
 use wqe_store::{Snapshot, SnapshotOracle};
 
 /// What [`EngineCtx::from_snapshot`] observed while loading: enough for a
 /// session to seed its profiler with a `snapshot_load` span even though the
 /// load happened before the session (or its profiler) existed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotStartup {
     /// Wall time of `Snapshot::open` + graph/oracle reconstruction.
     pub load_ns: u64,
     /// Bytes of snapshot file made addressable (mapped or read).
     pub bytes_mapped: u64,
+    /// Optional sections whose checksum failed at open and were quarantined
+    /// (the context degraded around them instead of refusing the file).
+    /// Empty for a healthy snapshot.
+    pub quarantined_sections: Vec<&'static str>,
+}
+
+impl SnapshotStartup {
+    /// True when the load degraded around one or more corrupt sections.
+    pub fn degraded(&self) -> bool {
+        !self.quarantined_sections.is_empty()
+    }
 }
 
 /// Shared, immutable inputs of a why-question session.
@@ -55,14 +66,33 @@ impl EngineCtx {
     }
 
     /// Bundles a graph with [`HybridOracle::default_for`] at the paper's
-    /// default distance horizon (`b_m = 4`).
+    /// default distance horizon (`b_m = 4`), wrapped in the
+    /// [`ResilientOracle`] degradation ladder (retry → circuit breaker →
+    /// answer-parity BFS fallback). With no fault plan installed the wrap
+    /// is a pass-through; answers are always bit-identical either way.
     pub fn with_default_oracle(graph: Arc<Graph>) -> Self {
-        let oracle = Arc::new(HybridOracle::default_for(&graph, 4));
+        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&graph, 4));
+        let oracle = Self::resilient(&graph, oracle);
         EngineCtx {
             graph,
             oracle,
             startup: None,
         }
+    }
+
+    /// Wraps `primary` in a [`ResilientOracle`] whose fallback answers
+    /// identically: graphs at or under the PLL crossover get an unbounded
+    /// BFS (exact, like the PLL labels), larger graphs the same horizon-4
+    /// BFS that [`HybridOracle::default_for`] would pick — so degradation
+    /// never changes an answer, only its latency.
+    fn resilient(graph: &Arc<Graph>, primary: Arc<dyn DistanceOracle>) -> Arc<dyn DistanceOracle> {
+        let horizon = if graph.node_count() <= PLL_NODE_LIMIT {
+            u32::MAX
+        } else {
+            4
+        };
+        let fallback = Arc::new(BoundedBfsOracle::new(Arc::clone(graph), horizon));
+        Arc::new(ResilientOracle::new(primary, fallback))
     }
 
     /// Opens a durable snapshot (see [`wqe_store`]) and builds a context
@@ -77,21 +107,48 @@ impl EngineCtx {
     /// crossover. Because the writer's [`wqe_store::wants_pll`] policy
     /// mirrors that crossover, answers from a snapshot-loaded context are
     /// bit-identical to a freshly built one.
+    ///
+    /// A snapshot whose *optional* sections (the PLL label arrays) failed
+    /// their checksum is not refused: `Snapshot::open` quarantines them,
+    /// and the context degrades to an exact unbounded BFS oracle — same
+    /// answers, slower — recording the quarantined section names in
+    /// [`SnapshotStartup::quarantined_sections`] so the degradation is
+    /// visible in startup telemetry and `--profile` output.
     pub fn from_snapshot(path: &Path) -> Result<EngineCtx, WqeError> {
         let started = std::time::Instant::now();
         let snap = Snapshot::open(path)?;
+        Self::build(snap, started)
+    }
+
+    /// Builds a context from an already-open [`Snapshot`] — the seam for
+    /// callers (the CLI) that open the file themselves to classify load
+    /// errors before committing to a context. Same semantics as
+    /// [`EngineCtx::from_snapshot`], load time measured from here.
+    pub fn from_open_snapshot(snap: Snapshot) -> Result<EngineCtx, WqeError> {
+        Self::build(snap, std::time::Instant::now())
+    }
+
+    fn build(snap: Snapshot, started: std::time::Instant) -> Result<EngineCtx, WqeError> {
         let bytes_mapped = snap.bytes_len();
+        let quarantined_sections = snap.quarantined();
         let graph = Arc::new(snap.load_graph()?);
-        let oracle: Arc<dyn DistanceOracle> = if !snap.meta().has_pll() {
-            Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), 4))
+        let pll_usable = snap.meta().has_pll() && snap.pll_available();
+        let primary: Arc<dyn DistanceOracle> = if !pll_usable {
+            // Either the writer skipped labels (big graph: horizon-4 BFS is
+            // exactly what a fresh HybridOracle would use) or the label
+            // sections were quarantined (degrade to an unbounded BFS, which
+            // answers bit-identically to the lost PLL labels).
+            let horizon = if snap.meta().has_pll() { u32::MAX } else { 4 };
+            Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), horizon))
         } else if snap.format_version() > VERSION_INTERLEAVED_PLL {
             Arc::new(SnapshotOracle::new(Arc::new(snap))?)
         } else {
             let pll = snap
                 .load_pll()?
-                .expect("has_pll implies label sections (validated at open)");
+                .expect("pll_available implies label sections (validated at open)");
             Arc::new(pll)
         };
+        let oracle = Self::resilient(&graph, primary);
         let load_ns = started.elapsed().as_nanos() as u64;
         Ok(EngineCtx {
             graph,
@@ -99,6 +156,7 @@ impl EngineCtx {
             startup: Some(SnapshotStartup {
                 load_ns,
                 bytes_mapped,
+                quarantined_sections,
             }),
         })
     }
@@ -106,7 +164,7 @@ impl EngineCtx {
     /// Load telemetry when this context came from
     /// [`EngineCtx::from_snapshot`]; `None` for in-memory constructions.
     pub fn snapshot_startup(&self) -> Option<SnapshotStartup> {
-        self.startup
+        self.startup.clone()
     }
 
     /// The data graph.
@@ -186,6 +244,45 @@ mod tests {
         let startup = loaded.snapshot_startup().expect("load telemetry");
         assert!(startup.bytes_mapped > 0);
         assert!(fresh.snapshot_startup().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantined_pll_snapshot_degrades_to_exact_bfs() {
+        let graph = Arc::new(product_graph().graph);
+        let path = std::env::temp_dir().join(format!(
+            "wqe-core-ctx-quarantine-{}.wqs",
+            std::process::id()
+        ));
+        wqe_store::build_and_write_snapshot(&path, &graph).unwrap();
+
+        // Flip one byte inside a PLL label section: open() quarantines it.
+        let probe = wqe_store::Snapshot::open(&path).unwrap();
+        let pll_section = probe
+            .section_infos()
+            .into_iter()
+            .find(|s| s.name.starts_with("pll_") && s.len > 0)
+            .expect("snapshot of a small graph carries PLL sections");
+        drop(probe);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[pll_section.offset as usize] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
+        let degraded = EngineCtx::from_snapshot(&path).unwrap();
+        let startup = degraded.snapshot_startup().expect("load telemetry");
+        assert!(startup.degraded());
+        assert_eq!(startup.quarantined_sections, vec![pll_section.name]);
+        // Degradation changes the oracle, never the answers.
+        for s in graph.node_ids() {
+            for t in graph.node_ids() {
+                assert_eq!(
+                    degraded.oracle().distance_within(s, t, 4),
+                    fresh.oracle().distance_within(s, t, 4),
+                    "distance({s:?}, {t:?})"
+                );
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 

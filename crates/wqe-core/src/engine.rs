@@ -140,12 +140,23 @@ impl WqeEngine {
     }
 
     /// Fallible constructor: validates the question and tunables first.
+    /// Session construction (representation build, oracle warm-up) is also
+    /// panic-contained: a panic there becomes [`WqeError::WorkerPanicked`],
+    /// so a fault injected at build time is a typed, retryable error.
     pub fn try_new(
         ctx: EngineCtx,
         question: WhyQuestion,
         config: WqeConfig,
     ) -> Result<Self, crate::error::WqeError> {
-        let session = Session::try_new(ctx, &question, config)?;
+        let session = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Session::try_new(ctx, &question, config)
+        }))
+        .unwrap_or_else(|p| {
+            Err(WqeError::WorkerPanicked {
+                item: 0,
+                message: panic_message(&p),
+            })
+        })?;
         Ok(WqeEngine { session, question })
     }
 
@@ -192,11 +203,14 @@ impl WqeEngine {
     }
 
     /// Fallible [`run`](WqeEngine::run): a worker panic during the search
-    /// is contained by the pool and surfaced as
-    /// [`WqeError::WorkerPanicked`] — this query fails, the process (and
-    /// every sibling engine sharing the same [`EngineCtx`]) keeps running.
+    /// is contained and surfaced as [`WqeError::WorkerPanicked`] — this
+    /// query fails, the process (and every sibling engine sharing the same
+    /// [`EngineCtx`]) keeps running. The whole dispatch is wrapped, not
+    /// just the pool fan-out, so a panic *outside* a worker (scoring,
+    /// representation maintenance, an injected fault between batches) is
+    /// contained identically — `try_run` never unwinds.
     pub fn try_run(&self, algorithm: Algorithm) -> Result<AnswerReport, WqeError> {
-        match algorithm {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match algorithm {
             Algorithm::AnsW | Algorithm::AnsWnc | Algorithm::AnsWb => {
                 try_answ(&self.session, &self.question)
             }
@@ -204,27 +218,28 @@ impl WqeEngine {
             Algorithm::AnsHeuB(seed) => {
                 try_ans_heu(&self.session, &self.question, None, Selection::Random(seed))
             }
-            // These variants have no pool fan-out of their own; contain a
-            // panic here so `try_run` keeps its no-unwind contract for
-            // every variant.
-            Algorithm::FMAnsW | Algorithm::WhyMany | Algorithm::WhyEmpty => {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(algorithm)))
-                    .map_err(|p| {
-                        let message = p
-                            .downcast_ref::<&'static str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| p.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_string());
-                        WqeError::WorkerPanicked { item: 0, message }
-                    })
-            }
-        }
+            Algorithm::FMAnsW | Algorithm::WhyMany | Algorithm::WhyEmpty => Ok(self.run(algorithm)),
+        }))
+        .unwrap_or_else(|p| {
+            Err(WqeError::WorkerPanicked {
+                item: 0,
+                message: panic_message(&p),
+            })
+        })
     }
 
     /// Builds the differential-table explanation for a result (§5.4).
     pub fn explain(&self, result: &RewriteResult) -> Option<DifferentialTable> {
         DifferentialTable::build(&self.session, &self.question.query, &result.ops)
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]

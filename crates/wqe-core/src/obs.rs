@@ -95,6 +95,16 @@ pub struct CounterRegistry {
     /// (`crate::ctx::EngineCtx::from_snapshot`); zero for contexts built
     /// from a parsed graph.
     pub snapshot_bytes_mapped: u64,
+    /// Faults fired by an installed `FaultPlan` (zero with no plan).
+    pub faults_injected: u64,
+    /// Degradation-ladder retries of transient oracle/worker faults.
+    pub retries: u64,
+    /// Serves completed on a degraded path (pinned fallback oracle,
+    /// quarantined snapshot via BFS, or success only after retry).
+    pub degraded_serves: u64,
+    /// `SnapshotOracle` batch calls that lost the shared-scratch lock race
+    /// and allocated a local scratch instead.
+    pub scratch_fallbacks: u64,
 }
 
 impl CounterRegistry {
@@ -119,6 +129,10 @@ impl CounterRegistry {
             answer_cache_misses: snapshot.counter(Counter::AnswerCacheMiss),
             answer_cache_evictions: snapshot.counter(Counter::AnswerCacheEviction),
             snapshot_bytes_mapped: snapshot.counter(Counter::SnapshotBytesMapped),
+            faults_injected: snapshot.counter(Counter::FaultInjected),
+            retries: snapshot.counter(Counter::Retry),
+            degraded_serves: snapshot.counter(Counter::DegradedServe),
+            scratch_fallbacks: snapshot.counter(Counter::ScratchFallback),
         }
     }
 }

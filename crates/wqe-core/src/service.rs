@@ -202,6 +202,13 @@ pub struct ServiceConfig {
     pub base_config: WqeConfig,
     /// Answer-cache tunables.
     pub cache: CacheConfig,
+    /// How many times a worker re-runs a request whose engine was lost to
+    /// a (possibly injected) panic before giving up with
+    /// [`QueryStatus::Failed`]. `None` means the default (1 retry);
+    /// `Some(0)` disables the ladder. Retries rebuild the engine from
+    /// scratch — the run is deterministic, so a retried success is the
+    /// bit-identical report the first attempt would have produced.
+    pub max_retries: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -211,6 +218,10 @@ impl ServiceConfig {
         } else {
             self.queue_cap
         }
+    }
+
+    fn effective_max_retries(&self) -> usize {
+        self.max_retries.unwrap_or(1)
     }
 }
 
@@ -347,6 +358,12 @@ impl AnswerCache {
         if !self.enabled() {
             return (None, 0);
         }
+        // Fault site `answer_cache`: a fired fault forces a miss, sending
+        // the request through the full engine path. Safe by construction —
+        // a recomputed report is bit-identical to the cached one.
+        if wqe_pool::fault::fire(wqe_pool::fault::FaultSite::AnswerCache).is_some() {
+            return (None, 0);
+        }
         let mut shard = self.shard(key);
         shard.tick += 1;
         let tick = shard.tick;
@@ -470,6 +487,7 @@ struct Inner {
     queue: JobQueue<Job>,
     cache: AnswerCache,
     profiler: Arc<Profiler>,
+    max_retries: usize,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -551,6 +569,7 @@ impl QueryService {
             queue: JobQueue::new(config.effective_queue_cap()),
             cache: AnswerCache::new(&config.cache),
             profiler: Arc::new(Profiler::new()),
+            max_retries: config.effective_max_retries(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -708,9 +727,21 @@ impl Drop for QueryService {
 
 /// One job, start to finish, on a worker thread. Panics cannot escape: the
 /// engine entry is [`WqeEngine::try_run`], which contains them per query.
+///
+/// This is the service rung of the degradation ladder: a run lost to a
+/// panic ([`WqeError::WorkerPanicked`] — real or injected) is rebuilt and
+/// re-run up to `max_retries` times (counting
+/// [`Counter::Retry`]); a success after at least one retry is counted as a
+/// [`Counter::DegradedServe`]. Any other error, and exhaustion, surface as
+/// [`QueryStatus::Failed`]. Retries are safe because a run is
+/// deterministic: a retried success is bit-identical to an undisturbed one.
 fn process(inner: &Inner, job: Job) {
     let started = Instant::now();
     let queue_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
+
+    // Service-layer events (cache-probe faults, retries) land in the
+    // service profiler; per-query scopes nest inside and shadow it.
+    let _obs = wqe_pool::obs::enter(Arc::clone(&inner.profiler));
 
     let (hit, expired) = inner.cache.get(&job.key);
     if expired > 0 {
@@ -732,31 +763,41 @@ fn process(inner: &Inner, job: Job) {
     }
     inner.profiler.add(Counter::AnswerCacheMiss, 1);
 
-    let status = match WqeEngine::try_new(inner.ctx.clone(), job.question, job.config) {
-        Err(error) => {
-            inner.failed.fetch_add(1, Ordering::Relaxed);
-            QueryStatus::Failed { error }
-        }
-        Ok(engine) => {
-            job.cancel.arm(Arc::clone(&engine.session().governor));
-            match engine.try_run(job.algorithm) {
-                Ok(report) => {
-                    inner.completed.fetch_add(1, Ordering::Relaxed);
-                    if report.termination == Termination::Complete {
-                        let evicted = inner.cache.insert(job.key, report.clone());
-                        if evicted > 0 {
-                            inner.profiler.add(Counter::AnswerCacheEviction, evicted);
-                        }
-                    }
-                    QueryStatus::Done {
-                        report: Box::new(report),
-                        cache_hit: false,
+    let mut attempt = 0usize;
+    let status = loop {
+        let outcome =
+            WqeEngine::try_new(inner.ctx.clone(), job.question.clone(), job.config.clone())
+                .and_then(|engine| {
+                    job.cancel.arm(Arc::clone(&engine.session().governor));
+                    engine.try_run(job.algorithm)
+                });
+        match outcome {
+            Ok(report) => {
+                if attempt > 0 {
+                    inner.profiler.add(Counter::DegradedServe, 1);
+                }
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                if report.termination == Termination::Complete {
+                    let evicted = inner.cache.insert(job.key, report.clone());
+                    if evicted > 0 {
+                        inner.profiler.add(Counter::AnswerCacheEviction, evicted);
                     }
                 }
-                Err(error) => {
-                    inner.failed.fetch_add(1, Ordering::Relaxed);
-                    QueryStatus::Failed { error }
+                break QueryStatus::Done {
+                    report: Box::new(report),
+                    cache_hit: false,
+                };
+            }
+            Err(error) => {
+                let transient = matches!(error, WqeError::WorkerPanicked { .. });
+                if transient && attempt < inner.max_retries {
+                    attempt += 1;
+                    inner.profiler.add(Counter::Retry, 1);
+                    std::thread::sleep(Duration::from_micros(50 * attempt as u64));
+                    continue;
                 }
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                break QueryStatus::Failed { error };
             }
         }
     };

@@ -364,6 +364,12 @@ impl Session {
         if let Some(s) = ctx.snapshot_startup() {
             profiler.record_span(crate::obs::Stage::SnapshotLoad, s.load_ns);
             profiler.add(crate::obs::Counter::SnapshotBytesMapped, s.bytes_mapped);
+            // Serving from a snapshot with quarantined sections means the
+            // oracle already degraded to its fallback: surface that in the
+            // same per-query profile that `--profile` prints.
+            if s.degraded() {
+                profiler.add(crate::obs::Counter::DegradedServe, 1);
+            }
         }
         Ok(Session {
             ctx,

@@ -29,7 +29,7 @@ mod oracle;
 mod pll;
 
 pub use bfs::BoundedBfsOracle;
-pub use fault::{FaultKind, FaultOracle};
+pub use fault::{FaultKind, FaultOracle, ResilientOracle};
 pub use kernel::{active_kernel, BatchScratch, Kernel};
 pub use oracle::{DistanceOracle, HybridOracle, PLL_NODE_LIMIT};
 pub use pll::{LabelStats, PllIndex, PllParts, PllSlices};

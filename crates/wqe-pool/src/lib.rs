@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod governor;
 pub mod obs;
 pub mod serve;
@@ -263,7 +264,10 @@ impl WorkerPool {
                         break;
                     }
                 }
-                match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, item))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    fault_pool_item(i);
+                    f(&mut state, i, item)
+                })) {
                     Ok(r) => slots[i] = Some(r),
                     Err(p) => {
                         return Err(PoolError::Panicked {
@@ -322,7 +326,10 @@ impl WorkerPool {
                             if i >= n {
                                 break;
                             }
-                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, &items[i]))) {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                fault_pool_item(i);
+                                f(&mut state, i, &items[i])
+                            })) {
                                 Ok(r) => out.push((i, r)),
                                 Err(p) => {
                                     let msg = panic_message(&*p);
@@ -371,6 +378,16 @@ impl WorkerPool {
             .unwrap_or_else(PoisonError::into_inner);
         note_pool_run(&slots);
         Ok((slots, halted))
+    }
+}
+
+/// The pool-worker fault-injection site: panics inside the per-item
+/// `catch_unwind` when the installed [`fault::FaultPlan`] says so, so an
+/// injected worker fault surfaces exactly like a real one — as a typed
+/// [`PoolError::Panicked`]. One relaxed load when no plan is installed.
+fn fault_pool_item(i: usize) {
+    if fault::fire(fault::FaultSite::PoolWorker).is_some() {
+        panic!("injected pool-worker fault at item {i}");
     }
 }
 

@@ -125,11 +125,25 @@ pub enum Counter {
     /// machine-independent work metric for the oracle hot path (wall-clock
     /// is meaningless on a shared 1-CPU host; entry scans are not).
     OracleLabelEntries = 11,
+    /// Faults fired by the installed [`fault::FaultPlan`](crate::fault)
+    /// (all sites combined). Zero in production runs with no plan.
+    FaultInjected = 12,
+    /// Degradation-ladder retries: a transient oracle/worker fault was
+    /// retried (with backoff) instead of surfacing.
+    Retry = 13,
+    /// Serves completed on a degraded path: a circuit breaker pinned the
+    /// fallback oracle, a quarantined snapshot served via BFS, or a job
+    /// succeeded only after retry.
+    DegradedServe = 14,
+    /// `SnapshotOracle` batch calls that could not take the shared scratch
+    /// lock and allocated a local scratch instead — the silent-allocation
+    /// path under contention, now observable.
+    ScratchFallback = 15,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheEviction,
@@ -142,6 +156,10 @@ impl Counter {
         Counter::AnswerCacheEviction,
         Counter::SnapshotBytesMapped,
         Counter::OracleLabelEntries,
+        Counter::FaultInjected,
+        Counter::Retry,
+        Counter::DegradedServe,
+        Counter::ScratchFallback,
     ];
 
     /// A stable snake_case name (used as the JSON key).
@@ -159,6 +177,10 @@ impl Counter {
             Counter::AnswerCacheEviction => "answer_cache_evictions",
             Counter::SnapshotBytesMapped => "snapshot_bytes_mapped",
             Counter::OracleLabelEntries => "oracle_label_entries_scanned",
+            Counter::FaultInjected => "faults_injected",
+            Counter::Retry => "retries",
+            Counter::DegradedServe => "degraded_serves",
+            Counter::ScratchFallback => "scratch_fallbacks",
         }
     }
 }
@@ -474,6 +496,10 @@ mod tests {
                 "answer_cache_evictions",
                 "snapshot_bytes_mapped",
                 "oracle_label_entries_scanned",
+                "faults_injected",
+                "retries",
+                "degraded_serves",
+                "scratch_fallbacks",
             ]
         );
     }

@@ -151,12 +151,18 @@ impl<T> JobQueue<T> {
 
     /// Admits a job, or rejects it when the queue is full or closed.
     /// Returns the job's admission sequence number (global, monotonic).
+    ///
+    /// This is also the queue's fault-injection site: an installed
+    /// [`FaultPlan`](crate::fault::FaultPlan) with the `queue` site armed
+    /// makes the push spuriously reject as [`PushError::Full`] (reporting
+    /// the observed depth) — the same typed admission-control outcome a
+    /// genuinely saturated queue produces.
     pub fn push(&self, priority: Priority, job: T) -> Result<u64, PushError> {
         let mut s = self.lock();
         if s.closed {
             return Err(PushError::Closed);
         }
-        if s.len >= self.capacity {
+        if s.len >= self.capacity || crate::fault::fire(crate::fault::FaultSite::Queue).is_some() {
             return Err(PushError::Full { queue_len: s.len });
         }
         let seq = s.seq;

@@ -110,20 +110,27 @@ impl StarCache {
     where
         F: FnOnce() -> Vec<StarRow>,
     {
+        // Fault site `star_cache`: a fired fault skips the hit lookup and
+        // re-materializes — safe by construction, since star tables are a
+        // pure function of (graph, spec) and the recomputed rows are
+        // equivalent to the cached ones.
+        let forced_miss = wqe_pool::fault::fire(wqe_pool::fault::FaultSite::StarCache).is_some();
         let shard = self.shard_for(key);
         {
             let mut inner = relock(shard.lock());
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some(e) = inner.map.get_mut(key) {
-                // Decay the stored score to "now", then record the hit.
-                let age = (tick - e.last_tick) as i32;
-                e.hits = e.hits * self.decay.powi(age) + 1.0;
-                e.last_tick = tick;
-                let rows = Arc::clone(&e.rows);
-                inner.stats.hits += 1;
-                obs::with_current(|p| p.add(obs::Counter::CacheHit, 1));
-                return rows;
+            if !forced_miss {
+                if let Some(e) = inner.map.get_mut(key) {
+                    // Decay the stored score to "now", then record the hit.
+                    let age = (tick - e.last_tick) as i32;
+                    e.hits = e.hits * self.decay.powi(age) + 1.0;
+                    e.last_tick = tick;
+                    let rows = Arc::clone(&e.rows);
+                    inner.stats.hits += 1;
+                    obs::with_current(|p| p.add(obs::Counter::CacheHit, 1));
+                    return rows;
+                }
             }
             inner.stats.misses += 1;
             obs::with_current(|p| p.add(obs::Counter::CacheMiss, 1));

@@ -289,7 +289,10 @@ mod tests {
         let snap = Snapshot::open(&path).unwrap();
         let infos = snap.section_infos();
         drop(snap);
-        // Flip one byte inside every nonempty section: open() must name it.
+        // Flip one byte inside every nonempty section. open_strict() must
+        // always name the section; open() must fail for required sections
+        // and *quarantine* optional (PLL) ones, keeping the graph
+        // servable.
         for info in &infos {
             if info.len == 0 {
                 continue;
@@ -298,17 +301,93 @@ mod tests {
             let target = info.offset as usize + (info.len as usize) / 2;
             bytes[target] ^= 0xff;
             std::fs::write(&path, &bytes).unwrap();
-            match Snapshot::open(&path) {
+            match Snapshot::open_strict(&path) {
                 Err(LoadError::ChecksumMismatch { section }) => {
                     assert_eq!(section, info.name, "wrong section blamed");
                 }
                 other => panic!(
-                    "corrupting {} must fail with ChecksumMismatch, got {:?}",
+                    "corrupting {} must fail open_strict with ChecksumMismatch, got {:?}",
                     info.name,
                     other.err().map(|e| e.to_string())
                 ),
             }
+            let required =
+                SectionId::from_u32(info.id).is_some_and(|id| SectionId::REQUIRED.contains(&id));
+            if required {
+                match Snapshot::open(&path) {
+                    Err(LoadError::ChecksumMismatch { section }) => {
+                        assert_eq!(section, info.name, "wrong section blamed");
+                    }
+                    other => panic!(
+                        "corrupting required {} must fail open, got {:?}",
+                        info.name,
+                        other.err().map(|e| e.to_string())
+                    ),
+                }
+            } else {
+                let snap = Snapshot::open(&path)
+                    .unwrap_or_else(|e| panic!("optional {} must quarantine: {e}", info.name));
+                assert_eq!(snap.quarantined(), vec![info.name]);
+                assert!(!snap.pll_available(), "PLL set is broken");
+                assert!(snap.pll_slices().unwrap().is_none());
+                assert!(snap.load_pll().unwrap().is_none());
+                assert!(snap.meta().has_pll(), "the file still *claims* PLL");
+                // The graph itself still loads bit-for-bit.
+                graphs_equal(&g, &snap.load_graph().unwrap());
+                // And inspect flags exactly the quarantined row.
+                let flagged: Vec<&str> = snap
+                    .section_infos()
+                    .iter()
+                    .filter(|i| i.quarantined)
+                    .map(|i| i.name)
+                    .collect();
+                assert_eq!(flagged, vec![info.name]);
+            }
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scratch_fallback_under_contention_is_counted_and_exact() {
+        use wqe_pool::obs;
+        // Satellite: the SnapshotOracle try_lock fallback allocates per
+        // call; contend the shared scratch deterministically (by holding
+        // its lock) and assert the fallback path is counted *and* answers
+        // identically.
+        let g = sample_graph();
+        let pll = PllIndex::build_with(&g, 0);
+        let path = temp_snap("scratchfb");
+        write_snapshot(&path, &g, Some(&pll)).unwrap();
+        let snap = Arc::new(Snapshot::open(&path).unwrap());
+        let oracle = SnapshotOracle::new(Arc::clone(&snap)).unwrap();
+        let pairs: Vec<(NodeId, NodeId)> = g.node_ids().map(|v| (NodeId(3), v)).collect();
+        let expected = oracle.dist_batch(&pairs, 8);
+
+        let guard = oracle.scratch.lock().unwrap();
+        let profiler = Arc::new(obs::Profiler::new());
+        let (contended, fallbacks) = std::thread::scope(|scope| {
+            let oracle = &oracle;
+            let pairs = &pairs;
+            let profiler = Arc::clone(&profiler);
+            scope
+                .spawn(move || {
+                    let _scope = obs::enter(Arc::clone(&profiler));
+                    let got = oracle.dist_batch(pairs, 8);
+                    (got, profiler.counter(obs::Counter::ScratchFallback))
+                })
+                .join()
+                .unwrap()
+        });
+        drop(guard);
+        assert_eq!(contended, expected, "fallback path must answer identically");
+        assert_eq!(fallbacks, 1, "contended call must count one fallback");
+        // Uncontended calls never touch the counter.
+        let p2 = Arc::new(obs::Profiler::new());
+        {
+            let _scope = obs::enter(Arc::clone(&p2));
+            let _ = oracle.dist_batch(&pairs, 8);
+        }
+        assert_eq!(p2.counter(obs::Counter::ScratchFallback), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -16,6 +16,7 @@
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
+use wqe_pool::fault::{self, FaultSite};
 
 /// A read-only byte buffer backed by either an OS file mapping or an
 /// aligned owned allocation. The start is always at least 16-byte aligned
@@ -82,8 +83,11 @@ impl MappedFile {
         let len = usize::try_from(len).map_err(|_| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map")
         })?;
+        // Fault site `store_mmap`: a fired fault simulates the mmap
+        // syscall failing, exercising the owned-read fallback path (which
+        // serves byte-identical contents).
         #[cfg(unix)]
-        if len > 0 {
+        if len > 0 && fault::fire(FaultSite::StoreMmap).is_none() {
             if let Some(mapped) = Self::try_mmap(&file, len) {
                 return Ok(mapped);
             }
@@ -119,11 +123,25 @@ impl MappedFile {
     fn read_aligned(file: &mut File, len: usize) -> std::io::Result<MappedFile> {
         let words = len.div_ceil(16);
         let mut buf = vec![0u128; words];
+        let mut len = len;
         if len > 0 {
             // SAFETY: the Vec owns `words * 16 >= len` initialized bytes;
             // viewing them as `u8` has no alignment or validity caveats.
             let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
             file.read_exact(bytes)?;
+            // Fault site `store_read`: corrupt what was just read — an
+            // even entropy word flips one bit, an odd one truncates (a
+            // short read). Downstream per-section checksums must turn
+            // either into a typed LoadError or a section quarantine;
+            // nothing past this point trusts the bytes unchecked.
+            if let Some(word) = fault::fire(FaultSite::StoreRead) {
+                if word % 2 == 0 {
+                    let byte = ((word >> 8) % len as u64) as usize;
+                    bytes[byte] ^= 1 << ((word >> 4) & 7);
+                } else {
+                    len = ((word >> 8) % len as u64) as usize;
+                }
+            }
         }
         Ok(MappedFile {
             backing: Backing::Owned(buf),

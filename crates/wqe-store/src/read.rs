@@ -50,13 +50,33 @@ pub struct SectionInfo {
     pub len: u64,
     /// FNV-1a 64 checksum (verified at open).
     pub checksum: u64,
+    /// True when the payload failed its checksum and the section was
+    /// quarantined (optional sections only — see [`Snapshot::open`]).
+    pub quarantined: bool,
 }
 
-/// An opened, fully checksum-verified snapshot.
+/// An opened, checksum-verified snapshot.
+///
+/// [`Snapshot::open`] verifies every section eagerly. A checksum mismatch
+/// in a **required** section is fatal; a mismatch in an *optional* section
+/// (the PLL label sections, or ids this reader does not know) puts that
+/// section in **quarantine** instead: it is recorded in
+/// [`quarantined`](Snapshot::quarantined), excluded from every accessor,
+/// and — when it breaks the PLL set — [`pll_available`] turns false so
+/// the engine falls back to its exact BFS oracle rather than failing the
+/// open. Use [`Snapshot::open_strict`] to keep the old any-mismatch-fatal
+/// behavior (e.g. for verifying freshly written files).
+///
+/// [`pll_available`]: Snapshot::pll_available
 #[derive(Debug)]
 pub struct Snapshot {
     map: MappedFile,
     entries: Vec<SectionEntry>,
+    /// Sections that failed their checksum and were quarantined (never in
+    /// `entries`).
+    quarantined: Vec<SectionEntry>,
+    /// Whether the full PLL section set is present *and* healthy.
+    pll_available: bool,
     version: u32,
     meta: SnapshotMeta,
 }
@@ -79,7 +99,22 @@ fn corrupt(section: &'static str, detail: impl Into<String>) -> LoadError {
 impl Snapshot {
     /// Opens and validates `path`: header, section table, and every
     /// section checksum. O(file) once; later accessors are cheap.
+    ///
+    /// Checksum mismatches in *optional* sections (PLL labels, unknown
+    /// ids) are quarantined rather than fatal — see the type docs.
     pub fn open(path: &Path) -> Result<Snapshot, LoadError> {
+        Self::open_impl(path, false)
+    }
+
+    /// Like [`Snapshot::open`], but any checksum mismatch — including in
+    /// optional sections — fails the open. Use when verifying a freshly
+    /// written file, where a quarantined section means the write itself is
+    /// broken, not merely degraded.
+    pub fn open_strict(path: &Path) -> Result<Snapshot, LoadError> {
+        Self::open_impl(path, true)
+    }
+
+    fn open_impl(path: &Path, strict: bool) -> Result<Snapshot, LoadError> {
         let map = MappedFile::open(path)?;
         let bytes = map.bytes();
         if bytes.len() < HEADER_LEN {
@@ -131,6 +166,7 @@ impl Snapshot {
         }
 
         let mut entries = Vec::with_capacity(section_count);
+        let mut quarantined: Vec<SectionEntry> = Vec::new();
         for i in 0..section_count {
             let base = HEADER_LEN + i * SECTION_ENTRY_LEN;
             let entry = SectionEntry {
@@ -158,7 +194,11 @@ impl Snapshot {
                     format!("section {name} offset {} unaligned", entry.offset),
                 ));
             }
-            if entries.iter().any(|e: &SectionEntry| e.id == entry.id) {
+            if entries
+                .iter()
+                .chain(quarantined.iter())
+                .any(|e: &SectionEntry| e.id == entry.id)
+            {
                 return Err(corrupt(
                     "section_table",
                     format!("duplicate section id {}", entry.id),
@@ -166,7 +206,17 @@ impl Snapshot {
             }
             let payload = &bytes[entry.offset as usize..end as usize];
             if fnv1a64(payload) != entry.checksum {
-                return Err(LoadError::ChecksumMismatch { section: name });
+                // A corrupt *required* section makes the snapshot
+                // unservable; a corrupt optional one (PLL labels, unknown
+                // ids) is quarantined so the graph still serves — the
+                // engine recomputes what the section would have provided.
+                let required = SectionId::from_u32(entry.id)
+                    .is_some_and(|id| SectionId::REQUIRED.contains(&id));
+                if strict || required {
+                    return Err(LoadError::ChecksumMismatch { section: name });
+                }
+                quarantined.push(entry);
+                continue;
             }
             entries.push(entry);
         }
@@ -174,6 +224,8 @@ impl Snapshot {
         let snap = Snapshot {
             map,
             entries,
+            quarantined,
+            pll_available: false,
             version,
             meta: SnapshotMeta {
                 node_count: 0,
@@ -191,6 +243,7 @@ impl Snapshot {
             }
         }
         let meta = snap.decode_meta()?;
+        let mut pll_available = meta.has_pll();
         if meta.has_pll() {
             // Which label sections the flag promises depends on the format
             // generation: flat arrays since v2, interleaved pairs before.
@@ -201,14 +254,25 @@ impl Snapshot {
             };
             for &id in promised {
                 if snap.section(id).is_none() {
-                    return Err(corrupt(
-                        "section_table",
-                        format!("PLL flag set but section {} missing", id.name()),
-                    ));
+                    // Quarantined = present but corrupt: the PLL set is
+                    // unusable, not the file. Absent entirely while the
+                    // flag promises it = structural corruption.
+                    if snap.quarantined.iter().any(|e| e.id == id as u32) {
+                        pll_available = false;
+                    } else {
+                        return Err(corrupt(
+                            "section_table",
+                            format!("PLL flag set but section {} missing", id.name()),
+                        ));
+                    }
                 }
             }
         }
-        Ok(Snapshot { meta, ..snap })
+        Ok(Snapshot {
+            meta,
+            pll_available,
+            ..snap
+        })
     }
 
     fn decode_meta(&self) -> Result<SnapshotMeta, LoadError> {
@@ -247,20 +311,44 @@ impl Snapshot {
         self.meta
     }
 
-    /// Table rows for `index inspect`, in file order.
+    /// Table rows for `index inspect`: healthy sections in file order,
+    /// then quarantined ones (flagged).
     pub fn section_infos(&self) -> Vec<SectionInfo> {
-        self.entries
+        let info = |e: &SectionEntry, quarantined: bool| SectionInfo {
+            name: SectionId::from_u32(e.id)
+                .map(SectionId::name)
+                .unwrap_or("unknown"),
+            id: e.id,
+            offset: e.offset,
+            len: e.len,
+            checksum: e.checksum,
+            quarantined,
+        };
+        let mut rows: Vec<SectionInfo> = self.entries.iter().map(|e| info(e, false)).collect();
+        rows.extend(self.quarantined.iter().map(|e| info(e, true)));
+        rows.sort_by_key(|r| r.offset);
+        rows
+    }
+
+    /// Names of sections that failed their checksum and were quarantined
+    /// at open (empty for a healthy snapshot).
+    pub fn quarantined(&self) -> Vec<&'static str> {
+        self.quarantined
             .iter()
-            .map(|e| SectionInfo {
-                name: SectionId::from_u32(e.id)
+            .map(|e| {
+                SectionId::from_u32(e.id)
                     .map(SectionId::name)
-                    .unwrap_or("unknown"),
-                id: e.id,
-                offset: e.offset,
-                len: e.len,
-                checksum: e.checksum,
+                    .unwrap_or("unknown")
             })
             .collect()
+    }
+
+    /// Whether the PLL label set is present *and* healthy. False when the
+    /// snapshot never carried an index, or when quarantine claimed part of
+    /// it — in which case the engine serves distances via its exact BFS
+    /// fallback instead.
+    pub fn pll_available(&self) -> bool {
+        self.pll_available
     }
 
     fn entry(&self, id: SectionId) -> Option<&SectionEntry> {
@@ -519,7 +607,7 @@ impl Snapshot {
     /// borrowed flat view exists; [`Snapshot::load_pll`] deinterleaves
     /// them into an owned index instead.
     pub fn pll_slices(&self) -> Result<Option<PllSlices<'_>>, LoadError> {
-        if !self.meta.has_pll() || self.version <= VERSION_INTERLEAVED_PLL {
+        if !self.pll_available || self.version <= VERSION_INTERLEAVED_PLL {
             return Ok(None);
         }
         let slices = PllSlices::new(
@@ -567,7 +655,7 @@ impl Snapshot {
     /// [`Snapshot::pll_slices`] / [`SnapshotOracle`] for serving version-2
     /// snapshots.
     pub fn load_pll(&self) -> Result<Option<PllIndex>, LoadError> {
-        if !self.meta.has_pll() {
+        if !self.pll_available {
             return Ok(None);
         }
         let (out_ranks, out_dists, in_ranks, in_dists) = if self.version > VERSION_INTERLEAVED_PLL {
@@ -605,8 +693,9 @@ pub struct SnapshotOracle {
     /// reconstruction can skip checks.
     ranges: [(usize, usize); 6],
     /// Shared batch scratch, reused across `dist_batch` calls exactly like
-    /// the owned index does.
-    scratch: std::sync::Mutex<BatchScratch>,
+    /// the owned index does. Crate-visible so the contention regression
+    /// test can hold the lock deterministically.
+    pub(crate) scratch: std::sync::Mutex<BatchScratch>,
 }
 
 impl SnapshotOracle {
@@ -679,6 +768,10 @@ impl DistanceOracle for SnapshotOracle {
                     .dist_batch_with(&mut p.into_inner(), pairs, bound)
             }
             Err(std::sync::TryLockError::WouldBlock) => {
+                // Degraded path: a fresh allocation per contended call.
+                // Counted so saturation shows up in profiles instead of
+                // silently inflating allocator pressure.
+                wqe_pool::obs::with_current(|p| p.add(wqe_pool::obs::Counter::ScratchFallback, 1));
                 self.slices()
                     .dist_batch_with(&mut BatchScratch::new(), pairs, bound)
             }

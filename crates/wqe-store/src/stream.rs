@@ -17,17 +17,35 @@
 use crate::format::*;
 use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn misuse(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidInput, msg.into())
 }
 
+/// Distinguishes concurrent writers targeting the same destination within
+/// one process (the pid distinguishes across processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Incremental writer for one snapshot file. See the module docs for the
 /// call protocol; any out-of-order call fails with
 /// [`std::io::ErrorKind::InvalidInput`] rather than corrupting the file.
+///
+/// Writes are **crash-safe**: all bytes go to a temp file in the
+/// destination's directory, and only [`SnapshotWriter::finish`] — after a
+/// flush and `fsync` — atomically renames it into place. A crash (or a
+/// dropped writer) at any earlier point leaves the destination untouched:
+/// either the previous complete snapshot, or nothing. Dropping an
+/// unfinished writer removes its temp file.
 pub struct SnapshotWriter {
     out: BufWriter<File>,
+    /// Where the bytes are being written (same directory as `dest`).
+    tmp: PathBuf,
+    /// Where `finish` renames the file to.
+    dest: PathBuf,
+    /// Set by `finish` so `Drop` leaves the renamed file alone.
+    done: bool,
     version: u32,
     section_count: usize,
     entries: Vec<SectionEntry>,
@@ -38,10 +56,10 @@ pub struct SnapshotWriter {
 }
 
 impl SnapshotWriter {
-    /// Creates `path` and reserves room for a header plus a
-    /// `section_count`-entry table. The count is fixed up front because the
-    /// table precedes the payloads; [`SnapshotWriter::finish`] verifies
-    /// exactly that many sections were written.
+    /// Opens a writer targeting `path` and reserves room for a header plus
+    /// a `section_count`-entry table. The count is fixed up front because
+    /// the table precedes the payloads; [`SnapshotWriter::finish`] verifies
+    /// exactly that many sections were written before publishing the file.
     pub fn create(path: &Path, section_count: usize) -> std::io::Result<SnapshotWriter> {
         Self::create_with_version(path, section_count, FORMAT_VERSION)
     }
@@ -58,13 +76,28 @@ impl SnapshotWriter {
                 "section count {section_count} exceeds MAX_SECTIONS"
             )));
         }
-        let mut out = BufWriter::new(File::create(path)?);
+        // Same-directory temp file so the final rename cannot cross a
+        // filesystem boundary (rename is only atomic within one).
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| misuse(format!("snapshot path {} has no file name", path.display())))?
+            .to_string_lossy()
+            .into_owned();
+        let tmp = path.with_file_name(format!(
+            ".{file_name}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut out = BufWriter::new(File::create(&tmp)?);
         // Zero the header + table region now; finish() seeks back to fill
         // it in once every offset, length, and checksum is known.
         let data_start = align_up(HEADER_LEN as u64 + (section_count * SECTION_ENTRY_LEN) as u64);
         out.write_all(&vec![0u8; data_start as usize])?;
         Ok(SnapshotWriter {
             out,
+            tmp,
+            dest: path.to_path_buf(),
+            done: false,
             version,
             section_count,
             entries: Vec::with_capacity(section_count),
@@ -136,8 +169,11 @@ impl SnapshotWriter {
         self.end_section()
     }
 
-    /// Seeks back to fill in the header and section table, flushes, and
-    /// syncs. Returns the total file length.
+    /// Seeks back to fill in the header and section table, flushes,
+    /// `fsync`s, and atomically renames the temp file onto the
+    /// destination (then best-effort `fsync`s the directory so the rename
+    /// itself is durable). Returns the total file length. Until this
+    /// returns, the destination path is untouched.
     pub fn finish(mut self) -> std::io::Result<u64> {
         if self.current.is_some() {
             return Err(misuse("finish with a section still open"));
@@ -169,7 +205,28 @@ impl SnapshotWriter {
         self.out.write_all(&head)?;
         self.out.flush()?;
         self.out.get_ref().sync_all()?;
+        // Publish: atomic within-directory rename. On failure, Drop still
+        // removes the temp file.
+        std::fs::rename(&self.tmp, &self.dest)?;
+        self.done = true;
+        // Durability of the rename itself needs the directory synced; on
+        // platforms/filesystems where opening a directory for sync is not
+        // supported this is best-effort (the data itself is already
+        // synced).
+        if let Some(dir) = self.dest.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
         Ok(file_len)
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        if !self.done {
+            std::fs::remove_file(&self.tmp).ok();
+        }
     }
 }
 
@@ -206,6 +263,45 @@ mod tests {
         let mut w = SnapshotWriter::create(&path, 2).unwrap();
         w.write_section(SectionId::Schema, b"{}").unwrap();
         assert!(w.finish().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn destination_appears_only_at_finish() {
+        let path = temp("atomic");
+        std::fs::remove_file(&path).ok();
+        let mut w = SnapshotWriter::create(&path, 1).unwrap();
+        w.write_section(SectionId::Schema, b"{}").unwrap();
+        assert!(
+            !path.exists(),
+            "bytes must land in the temp file, not the destination"
+        );
+        w.finish().unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_destination_untouched() {
+        let path = temp("crash");
+        // A pre-existing complete file must survive an abandoned rewrite.
+        std::fs::write(&path, b"previous complete snapshot").unwrap();
+        {
+            let mut w = SnapshotWriter::create(&path, 2).unwrap();
+            w.write_section(SectionId::Schema, b"{}").unwrap();
+            w.begin_section(SectionId::Meta).unwrap();
+            w.write(&[0u8; 16]).unwrap();
+            // Simulated crash: writer dropped mid-section.
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"previous complete snapshot");
+        // And the dropped writer removed its temp file.
+        let dir = path.parent().unwrap().to_path_buf();
+        let marker = path.file_name().unwrap().to_string_lossy().into_owned();
+        let litter = std::fs::read_dir(dir).unwrap().any(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            name.contains(&marker) && name.contains(".tmp")
+        });
+        assert!(!litter, "abandoned temp file must be cleaned up");
         std::fs::remove_file(&path).ok();
     }
 

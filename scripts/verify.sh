@@ -59,6 +59,16 @@ RUST_TEST_THREADS=1 cargo test --test service -q
 echo "==> serving: cargo test --test service -q"
 cargo test --test service -q
 
+# The chaos suite: deterministic fault schedules (pinned seed so failures
+# reproduce) across oracle, pool, queue, cache, and store sites must
+# uphold the never-wrong invariant — bit-correct answer, tagged partial,
+# or typed error — serialized and under default test threading.
+echo "==> chaos: RUST_TEST_THREADS=1 WQE_CHAOS_SEED=3405691582 cargo test --test chaos -q"
+RUST_TEST_THREADS=1 WQE_CHAOS_SEED=3405691582 cargo test --test chaos -q
+
+echo "==> chaos: WQE_CHAOS_SEED=3405691582 cargo test --test chaos -q"
+WQE_CHAOS_SEED=3405691582 cargo test --test chaos -q
+
 # The distance kernels dispatch at runtime (AVX2 when the CPU has it,
 # scalar otherwise); both paths must pass the index suite bit-identically.
 # The forced-scalar run covers the fallback even on AVX2 hosts.
@@ -85,6 +95,16 @@ echo "==> observability: bench_governor overhead gate"
 cargo run --release -p wqe-bench --bin bench_governor -- --out results/BENCH_governor.json
 grep -q '"within_target": true' results/BENCH_governor.json || {
     echo "bench_governor: idle overhead exceeded the 3% target" >&2
+    exit 1
+}
+
+# The fault-injection hooks (ResilientOracle ladder, pool/queue/cache/
+# store fire() sites) must be free on the production path: an armed but
+# never-firing plan stays under the 3% bar with bit-identical answers.
+echo "==> chaos: bench_faults no-fault overhead gate"
+cargo run --release -p wqe-bench --bin bench_faults -- --out results/BENCH_faults.json
+grep -q '"within_target": true' results/BENCH_faults.json || {
+    echo "bench_faults: fault-hook overhead exceeded the 3% target" >&2
     exit 1
 }
 

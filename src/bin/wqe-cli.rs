@@ -51,6 +51,17 @@ use wqe::graph::{read_jsonl, write_jsonl, Graph, NodeId};
 use wqe::index::HybridOracle;
 
 fn main() {
+    // Chaos quick-start: `WQE_FAULT_SEED=42 wqe-cli why ...` arms the
+    // deterministic fault plan for the whole run (period via
+    // WQE_FAULT_PERIOD, site subset via WQE_FAULT_SITES). Absent the env
+    // var this is a no-op and the hot paths stay fault-free.
+    if let Some(plan) = wqe::pool::fault::FaultPlan::from_env() {
+        eprintln!(
+            "fault plan armed: seed {} (WQE_FAULT_SEED); injected faults degrade, never corrupt",
+            plan.seed()
+        );
+        wqe::pool::fault::install(Arc::new(plan));
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("stats") => cmd_stats(&args[1..]),
@@ -70,6 +81,56 @@ fn main() {
         }
     };
     std::process::exit(code);
+}
+
+/// Distinct exit codes for the snapshot corruption classes, so scripted
+/// health checks can tell "bit rot" from "cut short" from "bad structure"
+/// without parsing stderr.
+const EXIT_CHECKSUM: i32 = 3;
+const EXIT_TRUNCATED: i32 = 4;
+const EXIT_CORRUPT: i32 = 5;
+
+/// Opens a snapshot, mapping load failures to the exit codes above plus a
+/// one-line remediation hint. `Err` carries the process exit code.
+fn open_snapshot_cli(path: &str) -> Result<wqe::store::Snapshot, i32> {
+    use wqe::graph::LoadError;
+    match wqe::store::Snapshot::open(std::path::Path::new(path)) {
+        Ok(s) => Ok(s),
+        Err(e) => {
+            let (code, hint) = match &e {
+                LoadError::ChecksumMismatch { section } => (
+                    EXIT_CHECKSUM,
+                    format!(
+                        "required section {section:?} is corrupt; \
+                         `wqe-cli index inspect {path}` shows which sections still verify — \
+                         rebuild with `wqe-cli index build`"
+                    ),
+                ),
+                LoadError::Truncated { what, .. } => (
+                    EXIT_TRUNCATED,
+                    format!(
+                        "file ends mid-{what}; snapshot writes are atomic \
+                         (temp file + rename), so a short file means an interrupted copy — \
+                         re-copy or rebuild with `wqe-cli index build`"
+                    ),
+                ),
+                LoadError::Corrupt { section, .. } => (
+                    EXIT_CORRUPT,
+                    format!(
+                        "section {section:?} violates a structural invariant; \
+                         `wqe-cli index inspect {path}` narrows it down — rebuild with \
+                         `wqe-cli index build`"
+                    ),
+                ),
+                _ => (1, String::new()),
+            };
+            eprintln!("error: cannot open {path}: {e}");
+            if !hint.is_empty() {
+                eprintln!("hint: {hint}");
+            }
+            Err(code)
+        }
+    }
 }
 
 /// Loads a graph from `graph.jsonl`, or from a TSV pair when given
@@ -188,10 +249,26 @@ fn cmd_why(args: &[String]) -> i32 {
         }
         i += 2;
     }
-    let run = || -> Result<(), String> {
-        let (ctx, g, wq) = if snapshot_mode {
-            let ctx = EngineCtx::from_snapshot(std::path::Path::new(gpath.as_str()))
-                .map_err(|e| e.to_string())?;
+    let snap = if snapshot_mode {
+        match open_snapshot_cli(gpath) {
+            Ok(s) => Some(s),
+            Err(code) => return code,
+        }
+    } else {
+        None
+    };
+    let run = move || -> Result<(), String> {
+        let (ctx, g, wq) = if let Some(snap) = snap {
+            let ctx = EngineCtx::from_open_snapshot(snap).map_err(|e| e.to_string())?;
+            if let Some(s) = ctx.snapshot_startup() {
+                if s.degraded() {
+                    eprintln!(
+                        "warning: quarantined corrupt section(s) {:?}; distances served by \
+                         BFS fallback (answers exact, startup telemetry records the degrade)",
+                        s.quarantined_sections
+                    );
+                }
+            }
             let g = ctx.graph_arc();
             let wq = load_question(&g, qpath)?;
             (ctx, g, wq)
@@ -610,9 +687,11 @@ fn cmd_index_inspect(args: &[String]) -> i32 {
         eprintln!("usage: wqe-cli index inspect <snapshot.wqs>");
         return 2;
     };
-    let run = || -> Result<(), String> {
-        let snap = wqe::store::Snapshot::open(std::path::Path::new(path.as_str()))
-            .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let snap = match open_snapshot_cli(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let run = move || -> Result<(), String> {
         let meta = snap.meta();
         println!(
             "snapshot {path}: format v{}, {} ({})",
@@ -630,12 +709,25 @@ fn cmd_index_inspect(args: &[String]) -> i32 {
         println!("sections:");
         for s in snap.section_infos() {
             println!(
-                "  {:>20}  id {:>2}  offset {:>10}  {:>12}  fnv1a64 {:016x}",
+                "  {:>20}  id {:>2}  offset {:>10}  {:>12}  fnv1a64 {:016x}{}",
                 s.name,
                 s.id,
                 s.offset,
                 human_bytes(s.len),
                 s.checksum,
+                if s.quarantined {
+                    "  QUARANTINED (checksum mismatch)"
+                } else {
+                    ""
+                },
+            );
+        }
+        if !snap.quarantined().is_empty() {
+            println!(
+                "quarantined: {:?} — optional section(s) failed their checksum; the \
+                 snapshot still serves (BFS fallback), rebuild with `wqe-cli index build` \
+                 to restore full speed",
+                snap.quarantined()
             );
         }
         match snap.pll_slices().map_err(|e| e.to_string())? {
@@ -652,6 +744,9 @@ fn cmd_index_inspect(args: &[String]) -> i32 {
                     ls.max_label_len,
                     human_bytes(ls.bytes),
                 );
+            }
+            None if meta.has_pll() && !snap.pll_available() => {
+                println!("pll labels: written but quarantined (corrupt) — BFS serves distances")
             }
             None if meta.has_pll() => {
                 println!("pll labels: present, pre-v2 interleaved layout (no zero-copy view)")

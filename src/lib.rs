@@ -13,6 +13,8 @@
 //! * [`index`] — exact distance indexes (`wqe-index`);
 //! * [`store`] — the durable snapshot store: versioned binary graph+index
 //!   files with zero-copy load (`wqe-store`);
+//! * [`pool`] — worker pools, governors, observability, and the
+//!   deterministic fault-injection plan (`wqe-pool`);
 //! * [`query`] — pattern queries, operators, star-view matcher (`wqe-query`);
 //! * [`core`] — exemplars, closeness, Q-Chase, and every algorithm
 //!   (`wqe-core`);
@@ -49,5 +51,6 @@ pub use wqe_core as core;
 pub use wqe_datagen as datagen;
 pub use wqe_graph as graph;
 pub use wqe_index as index;
+pub use wqe_pool as pool;
 pub use wqe_query as query;
 pub use wqe_store as store;

@@ -100,6 +100,10 @@ fn profile_json_field_set_is_stable() {
         "\"answer_cache_hits\"",
         "\"answer_cache_misses\"",
         "\"answer_cache_evictions\"",
+        "\"faults_injected\"",
+        "\"retries\"",
+        "\"degraded_serves\"",
+        "\"scratch_fallbacks\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }

@@ -129,6 +129,7 @@ fn concurrent_mixed_algorithms_match_direct_runs() {
                     capacity: 0,
                     ..Default::default()
                 },
+                ..Default::default()
             },
         );
         let requests: Vec<QueryRequest> = questions
