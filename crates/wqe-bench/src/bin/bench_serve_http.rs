@@ -1,0 +1,407 @@
+//! HTTP front-end harness: latency and correctness of `wqe-serve` over a
+//! real loopback socket.
+//!
+//! ```text
+//! bench_serve_http [--out results/BENCH_http.json] [--requests N]
+//!                  [--workers W]
+//! ```
+//!
+//! Measures the three front-end claims:
+//!
+//! * **Streamed-vs-blocking parity** — for every algorithm, the terminal
+//!   SSE `done` event over the wire is bit-identical (by report
+//!   fingerprint) to the blocking HTTP response and to a direct in-process
+//!   `QueryService::call`, and intermediate updates improve strictly
+//!   monotonically. Hard-asserted: a front-end that changes answers is
+//!   wrong, not slow.
+//! * **End-to-end latency** — client-side p50/p99 over `--requests`
+//!   one-shot connections (connect + request + full response), blocking
+//!   and streaming, on a warm service. The p99 gate is a generous
+//!   absolute bound that catches wedged accept loops and lost
+//!   connections, not a µ-benchmark.
+//! * **Load shedding under saturation** — with the governor-driven shed
+//!   policy enabled and the queue held at capacity, a low-priority
+//!   request is refused with a typed `shed`/`overload` response while the
+//!   server keeps answering `/healthz`; nothing hangs, nothing panics.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+use wqe_core::{
+    CacheConfig, EngineCtx, QueryService, RateLimitConfig, ServiceConfig, ShedConfig, WqeConfig,
+};
+use wqe_serve::{http::HttpServer, parse_request, ServeCtx};
+
+/// Every algorithm the engine serves, in spec-name form.
+const ALGORITHMS: [&str; 8] = [
+    "answ", "answnc", "answb", "heu", "heub:7", "fm", "whymany", "whyempty",
+];
+
+/// The paper's Fig. 1 question in spec form — the canonical fixture the
+/// spec and HTTP suites pin.
+const PAPER_SPEC: &str = r#"{
+  "query": {
+    "max_bound": 4,
+    "nodes": [
+      {"id": "phone", "label": "Cellphone", "focus": true,
+       "literals": [
+         {"attr": "Price", "op": ">=", "value": 840},
+         {"attr": "Brand", "op": "=", "value": "Samsung"},
+         {"attr": "RAM", "op": ">=", "value": 4},
+         {"attr": "Display", "op": ">=", "value": 62}
+       ]},
+      {"id": "carrier", "label": "Carrier"},
+      {"id": "sensor", "label": "Sensor"}
+    ],
+    "edges": [
+      {"from": "phone", "to": "carrier", "bound": 1},
+      {"from": "phone", "to": "sensor", "bound": 2}
+    ]
+  },
+  "exemplar": {
+    "tuples": [
+      {"Display": 62, "Storage": "?", "Price": "_"},
+      {"Display": 63, "Storage": "?", "Price": "?"}
+    ],
+    "constraints": [
+      {"lhs": {"tuple": 1, "attr": "Price"}, "op": "<", "value": 800},
+      {"lhs": {"tuple": 0, "attr": "Storage"}, "op": ">",
+       "var": {"tuple": 1, "attr": "Storage"}}
+    ]
+  }
+}"#;
+
+fn spec_with(extra: &[(&str, serde_json::Value)]) -> serde_json::Value {
+    let mut v: serde_json::Value = serde_json::from_str(PAPER_SPEC).expect("fixture parses");
+    if let serde_json::Value::Object(m) = &mut v {
+        for (k, val) in extra {
+            m.insert((*k).into(), val.clone());
+        }
+    }
+    v
+}
+
+fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn fingerprint_of(body: &serde_json::Value) -> Option<String> {
+    Some(
+        body.get("report")?
+            .get("fingerprint")?
+            .as_str()?
+            .to_string(),
+    )
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[ix]
+}
+
+fn serve_ctx(mutate: impl FnOnce(&mut ServiceConfig)) -> ServeCtx {
+    let graph = Arc::new(wqe_graph::product::product_graph().graph);
+    let ctx = EngineCtx::with_default_oracle(Arc::clone(&graph));
+    let mut config = ServiceConfig {
+        max_inflight: 2,
+        queue_cap: 64,
+        base_config: WqeConfig {
+            budget: 3.0,
+            max_expansions: 150,
+            top_k: 3,
+            parallelism: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    mutate(&mut config);
+    ServeCtx {
+        service: Arc::new(QueryService::new(ctx, config)),
+        graph,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct BenchHttp {
+    requests: usize,
+    workers: usize,
+    algorithms: usize,
+    blocking_p50_ms: f64,
+    blocking_p99_ms: f64,
+    sse_p50_ms: f64,
+    sse_p99_ms: f64,
+    stream_updates_total: u64,
+    parity_checked: usize,
+    parity_ok: bool,
+    shed_typed: bool,
+    healthz_under_saturation: bool,
+    rate_limit_typed: bool,
+    p99_target_ms: f64,
+    within_target: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "results/BENCH_http.json".to_string();
+    let mut requests = 64usize;
+    let mut workers = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 1;
+            }
+            "--requests" if i + 1 < args.len() => {
+                requests = args[i + 1].parse().unwrap_or(64).max(8);
+                i += 1;
+            }
+            "--workers" if i + 1 < args.len() => {
+                workers = args[i + 1].parse().unwrap_or(2).max(1);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_serve_http [--out FILE] [--requests N] [--workers W]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // ---- parity: streamed == blocking == direct, per algorithm ----
+    // Cache disabled so every streamed request really runs the engine and
+    // emits its anytime updates.
+    let ctx = serve_ctx(|c| {
+        c.max_inflight = workers;
+        c.cache = CacheConfig {
+            capacity: 0,
+            ..Default::default()
+        };
+    });
+    let service = Arc::clone(&ctx.service);
+    let graph = Arc::clone(&ctx.graph);
+    let server = HttpServer::bind(ctx, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let mut parity_ok = true;
+    let mut parity_checked = 0usize;
+    let mut stream_updates_total = 0u64;
+    for algo in ALGORITHMS {
+        let body = spec_with(&[("algo", serde_json::json!(algo))]);
+        let (req, _) = parse_request(&graph, &body).expect("fixture request");
+        let direct_fp = service
+            .call(req)
+            .report()
+            .expect("direct run completes")
+            .fingerprint();
+
+        let (status, blocking) = post(addr, "/why", &body.to_string());
+        let blocking_fp = serde_json::from_str::<serde_json::Value>(&blocking)
+            .ok()
+            .and_then(|v| fingerprint_of(&v));
+        let blocking_ok = status == 200 && blocking_fp.as_deref() == Some(direct_fp.as_str());
+
+        let sse_body = spec_with(&[
+            ("algo", serde_json::json!(algo)),
+            ("stream", serde_json::json!(true)),
+        ]);
+        let (status, sse) = post(addr, "/why", &sse_body.to_string());
+        let mut done_fp = None;
+        let mut updates_monotone = true;
+        let mut prev = f64::NEG_INFINITY;
+        for frame in sse.split("\n\n").filter(|f| !f.trim().is_empty()) {
+            let name = frame.lines().find_map(|l| l.strip_prefix("event: "));
+            let data = frame
+                .lines()
+                .find_map(|l| l.strip_prefix("data: "))
+                .and_then(|d| serde_json::from_str::<serde_json::Value>(d).ok());
+            match (name, data) {
+                (Some("update"), Some(u)) => {
+                    stream_updates_total += 1;
+                    let c = u
+                        .get("closeness")
+                        .and_then(|c| c.as_f64())
+                        .unwrap_or(f64::NAN);
+                    updates_monotone &= c > prev;
+                    prev = c;
+                }
+                (Some("done"), Some(d)) => done_fp = fingerprint_of(&d),
+                _ => updates_monotone = false,
+            }
+        }
+        let sse_ok =
+            status == 200 && updates_monotone && done_fp.as_deref() == Some(direct_fp.as_str());
+        if !blocking_ok || !sse_ok {
+            eprintln!("parity FAILED for {algo}: blocking_ok={blocking_ok} sse_ok={sse_ok}");
+        }
+        parity_ok &= blocking_ok && sse_ok;
+        parity_checked += 1;
+    }
+    eprintln!(
+        "parity: {parity_checked} algorithms, {} ({stream_updates_total} streamed updates)",
+        if parity_ok {
+            "all bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // ---- latency: p50/p99 over one-shot connections, warm service ----
+    // A fresh server with the default cache: after the first request the
+    // service side is a cache hit, so the distribution measures the HTTP
+    // front-end itself (connect + parse + serve + close).
+    drop(server);
+    let ctx = serve_ctx(|c| c.max_inflight = workers);
+    let server = HttpServer::bind(ctx, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let blocking_body = spec_with(&[]).to_string();
+    let sse_body = spec_with(&[("stream", serde_json::json!(true))]).to_string();
+    let mut blocking_ms = Vec::with_capacity(requests);
+    let mut sse_ms = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        let (status, _) = post(addr, "/why", &blocking_body);
+        assert_eq!(status, 200, "blocking request failed mid-bench");
+        blocking_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        let (status, _) = post(addr, "/why", &sse_body);
+        assert_eq!(status, 200, "sse request failed mid-bench");
+        sse_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    blocking_ms.sort_by(|a, b| a.total_cmp(b));
+    sse_ms.sort_by(|a, b| a.total_cmp(b));
+    let blocking_p50_ms = percentile(&blocking_ms, 0.50);
+    let blocking_p99_ms = percentile(&blocking_ms, 0.99);
+    let sse_p50_ms = percentile(&sse_ms, 0.50);
+    let sse_p99_ms = percentile(&sse_ms, 0.99);
+    eprintln!(
+        "latency over {requests} one-shot requests: blocking p50 {blocking_p50_ms:.2} ms / \
+         p99 {blocking_p99_ms:.2} ms, sse p50 {sse_p50_ms:.2} ms / p99 {sse_p99_ms:.2} ms"
+    );
+    drop(server);
+
+    // ---- load shedding under saturation + typed rate limiting ----
+    let ctx = serve_ctx(|c| {
+        c.queue_cap = 4;
+        c.shed = ShedConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        c.rate_limit = Some(RateLimitConfig {
+            per_sec: 0.001,
+            burst: 1.0,
+        });
+    });
+    let service = Arc::clone(&ctx.service);
+    let graph = Arc::clone(&ctx.graph);
+    let server = HttpServer::bind(ctx, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    service.pause();
+    let held: Vec<_> = (0..4)
+        .map(|_| {
+            let (req, _) = parse_request(&graph, &spec_with(&[])).expect("fixture");
+            service.submit(req)
+        })
+        .collect();
+    let low = spec_with(&[("priority", serde_json::json!("low"))]);
+    let (status, body) = post(addr, "/why", &low.to_string());
+    let shed_typed = status == 503
+        && serde_json::from_str::<serde_json::Value>(&body)
+            .ok()
+            .and_then(|v| Some(v.get("shed")?.get("reason")?.as_str()? == "overload"))
+            .unwrap_or(false);
+    let (status, _) = exchange(addr, "GET /healthz HTTP/1.1\r\nHost: b\r\n\r\n");
+    let healthz_under_saturation = status == 200;
+    eprintln!(
+        "saturation: low-priority shed typed = {shed_typed}, healthz alive = \
+         {healthz_under_saturation}"
+    );
+    service.resume();
+    for p in held {
+        assert!(p.wait().report().is_some(), "held request lost in drain");
+    }
+    // Rate limiting: burst 1, no refill — the second request is refused.
+    let tenant_req = |body: &str| {
+        exchange(
+            addr,
+            &format!(
+                "POST /why HTTP/1.1\r\nHost: b\r\nx-wqe-tenant: bench\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    };
+    let (first, _) = tenant_req(&blocking_body);
+    let (second, body) = tenant_req(&blocking_body);
+    let rate_limit_typed = first == 200
+        && second == 429
+        && serde_json::from_str::<serde_json::Value>(&body)
+            .ok()
+            .and_then(|v| Some(v.get("shed")?.get("reason")?.as_str()? == "rate_limited"))
+            .unwrap_or(false);
+    eprintln!("rate limit: typed 429 on over-burst tenant = {rate_limit_typed}");
+
+    let p99_target_ms = 250.0;
+    let report = BenchHttp {
+        requests,
+        workers,
+        algorithms: ALGORITHMS.len(),
+        blocking_p50_ms,
+        blocking_p99_ms,
+        sse_p50_ms,
+        sse_p99_ms,
+        stream_updates_total,
+        parity_checked,
+        parity_ok,
+        shed_typed,
+        healthz_under_saturation,
+        rate_limit_typed,
+        p99_target_ms,
+        within_target: parity_ok
+            && shed_typed
+            && healthz_under_saturation
+            && rate_limit_typed
+            && blocking_p99_ms < p99_target_ms
+            && sse_p99_ms < p99_target_ms,
+    };
+    assert!(
+        report.parity_ok,
+        "the HTTP front-end changed an answer (streamed or blocking)"
+    );
+    assert!(report.within_target, "HTTP serving target missed");
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

@@ -96,6 +96,41 @@ pub struct AnswerReport {
     pub profile: Option<crate::obs::QueryProfile>,
 }
 
+impl AnswerReport {
+    /// A bit-exact fingerprint of the report's *answers*: best and top-k
+    /// closeness/cost (as raw `f64` bits), operator sequences, match sets,
+    /// satisfaction verdicts, and the termination reason. Two reports
+    /// fingerprint equal iff a client could not tell them apart — timing,
+    /// trace, and profile are deliberately excluded. This is the equality
+    /// the determinism suites assert and the HTTP front-end exposes so
+    /// streamed-vs-blocking parity can be checked over the wire.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        fn push(out: &mut String, r: &RewriteResult) {
+            let _ = write!(
+                out,
+                "[{:x}/{:x}/{:?}/{:?}/{}]",
+                r.closeness.to_bits(),
+                r.cost.to_bits(),
+                r.ops,
+                r.matches,
+                r.satisfies
+            );
+        }
+        match &self.best {
+            None => out.push_str("none"),
+            Some(b) => push(&mut out, b),
+        }
+        for r in &self.top_k {
+            push(&mut out, r);
+        }
+        out.push('|');
+        out.push_str(self.termination.as_str());
+        out
+    }
+}
+
 /// Ordered f64 wrapper for the priority queue (total order, no panic).
 #[derive(PartialEq)]
 struct OrdF64(f64);
@@ -211,10 +246,26 @@ pub fn try_answ(session: &Session, question: &WhyQuestion) -> Result<AnswerRepor
         }
         let new_best = report.top_k.first().map(|r| r.closeness);
         if new_best > prev_best || prev_best.is_none() {
+            let elapsed_us = started.elapsed().as_micros() as u64;
             report.trace.push(TracePoint {
-                elapsed_us: started.elapsed().as_micros() as u64,
+                elapsed_us,
                 closeness: new_best.unwrap_or(f64::NEG_INFINITY),
             });
+            // Stream the improvement. This is the only emission point and
+            // it runs on the coordinating thread (root evaluation + serial
+            // merge loop), so the update sequence — seq, closeness, cost,
+            // ops — is parallelism-invariant; elapsed_us is the one
+            // wall-clock field.
+            if let Some(best) = report.top_k.first() {
+                session.emit_progress(&crate::session::AnswerUpdate {
+                    seq: report.trace.len() as u64 - 1,
+                    elapsed_us,
+                    closeness: best.closeness,
+                    cost: best.cost,
+                    ops: best.ops.len(),
+                    satisfies: best.satisfies,
+                });
+            }
         }
     };
 

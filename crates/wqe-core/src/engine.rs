@@ -165,6 +165,17 @@ impl WqeEngine {
         &self.session
     }
 
+    /// Installs a streaming progress sink on the underlying session: it
+    /// receives an [`crate::session::AnswerUpdate`] each time the anytime
+    /// search improves its best-so-far answer (see
+    /// [`Session::with_progress`]). Algorithms without an incremental
+    /// emission point (the heuristics, `WhyMany`, `WhyEmpty`) simply never
+    /// call it; callers stream the final report regardless.
+    pub fn with_progress(mut self, sink: crate::session::ProgressSink) -> Self {
+        self.session = self.session.with_progress(sink);
+        self
+    }
+
     /// The why-question.
     pub fn question(&self) -> &WhyQuestion {
         &self.question

@@ -93,8 +93,11 @@ pub use obs::{CounterRegistry, QueryProfile, StageProfile};
 pub use relevance::RelevanceSets;
 pub use service::{
     CacheConfig, PendingQuery, Priority, QueryRequest, QueryResponse, QueryService, QueryStatus,
-    ServiceConfig, ServiceStats,
+    RateLimitConfig, ServiceConfig, ServiceStats, ShedConfig, ShedReason, StreamEvent,
+    StreamingQuery,
 };
-pub use session::{EvalResult, Session, WhyQuestion, WqeConfig, WqeConfigBuilder};
+pub use session::{
+    AnswerUpdate, EvalResult, ProgressSink, Session, WhyQuestion, WqeConfig, WqeConfigBuilder,
+};
 pub use whyempty::ans_we;
 pub use whymany::apx_why_many;

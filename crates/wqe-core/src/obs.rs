@@ -105,6 +105,12 @@ pub struct CounterRegistry {
     /// `SnapshotOracle` batch calls that lost the shared-scratch lock race
     /// and allocated a local scratch instead.
     pub scratch_fallbacks: u64,
+    /// Incremental anytime-answer events emitted to streaming clients.
+    pub stream_updates: u64,
+    /// Requests shed by the service (queue-elapsed deadlines, overload).
+    pub shed_requests: u64,
+    /// Requests refused by the per-tenant rate limiter.
+    pub rate_limited: u64,
 }
 
 impl CounterRegistry {
@@ -133,6 +139,9 @@ impl CounterRegistry {
             retries: snapshot.counter(Counter::Retry),
             degraded_serves: snapshot.counter(Counter::DegradedServe),
             scratch_fallbacks: snapshot.counter(Counter::ScratchFallback),
+            stream_updates: snapshot.counter(Counter::StreamUpdate),
+            shed_requests: snapshot.counter(Counter::ShedRequest),
+            rate_limited: snapshot.counter(Counter::RateLimited),
         }
     }
 }

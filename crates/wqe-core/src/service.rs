@@ -24,6 +24,21 @@
 //! search"), only [`Termination::Complete`] reports are cached, and a
 //! cached answer is the bit-identical report the cold run produced. See
 //! DESIGN.md "Serving layer".
+//!
+//! Three serving-edge facilities sit in front of the queue:
+//!
+//! * **streaming** ([`QueryService::submit_streaming`]): the anytime
+//!   search's best-so-far improvements arrive as [`StreamEvent::Update`]s
+//!   while the run is still going, followed by a terminal
+//!   [`StreamEvent::Done`] carrying the exact [`QueryResponse`] the
+//!   blocking path would have returned;
+//! * **load shedding** ([`ShedConfig`]): as queue depth grows past a soft
+//!   watermark the service tightens effective deadlines (the governor then
+//!   returns best-so-far instead of queue-collapsing), and past a hard
+//!   watermark sheddable priority classes get a typed
+//!   [`QueryStatus::Shed`] instead of a queue slot;
+//! * **rate limiting** ([`RateLimitConfig`]): a per-tenant token bucket
+//!   refuses over-rate submissions with [`ShedReason::RateLimited`].
 
 use crate::answ::AnswerReport;
 use crate::ctx::EngineCtx;
@@ -31,7 +46,8 @@ use crate::engine::{Algorithm, WqeEngine};
 use crate::error::WqeError;
 use crate::governor::Termination;
 use crate::obs::{Counter, CounterRegistry, Profiler};
-use crate::session::{WhyQuestion, WqeConfig};
+use crate::session::{AnswerUpdate, ProgressSink, WhyQuestion, WqeConfig};
+use crate::spec::SpecError;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,9 +76,23 @@ pub struct QueryRequest {
     /// Scheduling class (default [`Priority::Normal`]).
     pub priority: Priority,
     /// Per-request governor deadline in milliseconds, overriding the
-    /// effective config's `deadline_ms`. The clock starts when a worker
-    /// picks the job up (service time), not at submission.
+    /// effective config's `deadline_ms`. Must be finite and non-negative;
+    /// anything else is refused at submit time with [`WqeError::Spec`]
+    /// (never forwarded to the governor unvalidated).
+    ///
+    /// **Semantics — service time vs queue time.** The governor's clock
+    /// starts when a worker picks the job up, so `deadline_ms` bounds
+    /// *service* time, not end-to-end latency. Queue wait is not unbounded
+    /// either: a job whose queue wait alone reaches `deadline_ms` is
+    /// already dead to its caller, so the worker sheds it at dequeue with
+    /// [`ShedReason::DeadlineElapsed`] instead of burning a slot running
+    /// it.
     pub deadline_ms: Option<f64>,
+    /// Rate-limiting identity. Requests with a tenant draw from that
+    /// tenant's token bucket when [`ServiceConfig::rate_limit`] is set;
+    /// `None` bypasses the limiter (trusted in-process callers). The HTTP
+    /// front-end fills this from the `x-wqe-tenant` header.
+    pub tenant: Option<String>,
 }
 
 impl QueryRequest {
@@ -74,6 +104,7 @@ impl QueryRequest {
             config: None,
             priority: Priority::Normal,
             deadline_ms: None,
+            tenant: None,
         }
     }
 
@@ -93,6 +124,50 @@ impl QueryRequest {
     pub fn with_deadline_ms(mut self, ms: f64) -> Self {
         self.deadline_ms = Some(ms);
         self
+    }
+
+    /// Sets the rate-limiting tenant identity.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
+/// Why the service shed a request instead of serving it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShedReason {
+    /// The job's deadline budget fully elapsed while it sat in the queue;
+    /// running it would only return a result its caller already gave up
+    /// on. Shed at dequeue, before any engine work.
+    DeadlineElapsed {
+        /// Milliseconds the job waited in the queue.
+        queue_ms: f64,
+        /// The effective deadline that elapsed.
+        deadline_ms: f64,
+    },
+    /// Queue depth crossed [`ShedConfig::hard_watermark`] and the
+    /// request's priority class is sheddable under overload.
+    Overload {
+        /// Queue depth observed at shed time.
+        queue_len: usize,
+        /// The queue's capacity.
+        queue_cap: usize,
+    },
+    /// The tenant's token bucket was empty.
+    RateLimited {
+        /// The tenant that exceeded its rate.
+        tenant: String,
+    },
+}
+
+impl ShedReason {
+    /// A stable snake_case name (the HTTP front-end's wire value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::DeadlineElapsed { .. } => "deadline_elapsed",
+            ShedReason::Overload { .. } => "overload",
+            ShedReason::RateLimited { .. } => "rate_limited",
+        }
     }
 }
 
@@ -120,6 +195,13 @@ pub enum QueryStatus {
         queue_full: bool,
         /// Queue depth observed at rejection.
         queue_len: usize,
+    },
+    /// The service shed the request — overload, rate limit, or a deadline
+    /// that fully elapsed in the queue. Nothing ran; counted with
+    /// rejections in [`ServiceStats`].
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
     },
 }
 
@@ -160,6 +242,34 @@ impl QueryResponse {
     pub fn is_rejected(&self) -> bool {
         matches!(self.status, QueryStatus::Rejected { .. })
     }
+
+    /// True when the service shed the request (overload, rate limit, or a
+    /// queue-elapsed deadline).
+    pub fn is_shed(&self) -> bool {
+        matches!(self.status, QueryStatus::Shed { .. })
+    }
+
+    /// The shed reason, if the request was shed.
+    pub fn shed_reason(&self) -> Option<&ShedReason> {
+        match &self.status {
+            QueryStatus::Shed { reason } => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+/// One event delivered through a [`StreamingQuery`] handle.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// The anytime search improved its best-so-far answer. Updates arrive
+    /// in `seq` order; `closeness` strictly increases across them.
+    Update(AnswerUpdate),
+    /// The terminal response — always the last event, and bit-identical to
+    /// what [`QueryService::call`] would have returned for the same
+    /// request. Exactly one `Done` is delivered per streaming submission
+    /// unless the service is torn down first (the channel then just
+    /// closes).
+    Done(QueryResponse),
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +298,69 @@ impl Default for CacheConfig {
     }
 }
 
+/// Load-shedding policy: the governor wired in as admission control.
+///
+/// As queue depth grows past `soft_watermark` (a fraction of queue
+/// capacity), the service tightens every admitted request's effective
+/// deadline — linearly from `base_deadline_ms` down to `min_deadline_ms`
+/// at `hard_watermark` — so under load the anytime algorithms return
+/// best-so-far answers quickly instead of letting latency collapse. Past
+/// `hard_watermark`, [`Priority::Low`] requests are shed outright with a
+/// typed [`QueryStatus::Shed`].
+///
+/// The tightened deadline is part of the effective config, so it keys the
+/// answer cache like any other deadline: a report computed under pressure
+/// is never served to an unpressured request. Disabled by default —
+/// shedding changes answers (partial, best-so-far) by design, so it is
+/// opt-in for the network front-end.
+#[derive(Debug, Clone)]
+pub struct ShedConfig {
+    /// Master switch; `false` (the default) preserves the exact PR-5
+    /// serving behavior.
+    pub enabled: bool,
+    /// Queue-depth fraction at which deadline tightening starts.
+    pub soft_watermark: f64,
+    /// Queue-depth fraction at which `Low`-priority requests are shed
+    /// outright (and tightening bottoms out at `min_deadline_ms`).
+    pub hard_watermark: f64,
+    /// The deadline imposed right at the soft watermark, milliseconds.
+    pub base_deadline_ms: f64,
+    /// The tightest imposed deadline, reached at the hard watermark.
+    pub min_deadline_ms: f64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig {
+            enabled: false,
+            soft_watermark: 0.5,
+            hard_watermark: 0.9,
+            base_deadline_ms: 250.0,
+            min_deadline_ms: 25.0,
+        }
+    }
+}
+
+/// Per-tenant token-bucket rate limiting. A tenant accrues `per_sec`
+/// tokens per second up to `burst`; each submission spends one. Requests
+/// without a [`QueryRequest::tenant`] bypass the limiter.
+#[derive(Debug, Clone)]
+pub struct RateLimitConfig {
+    /// Steady-state tokens per second per tenant.
+    pub per_sec: f64,
+    /// Bucket capacity (maximum burst).
+    pub burst: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        RateLimitConfig {
+            per_sec: 50.0,
+            burst: 10.0,
+        }
+    }
+}
+
 /// [`QueryService`] tunables.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
@@ -209,6 +382,10 @@ pub struct ServiceConfig {
     /// scratch — the run is deterministic, so a retried success is the
     /// bit-identical report the first attempt would have produced.
     pub max_retries: Option<usize>,
+    /// Load-shedding policy (disabled by default).
+    pub shed: ShedConfig,
+    /// Per-tenant rate limiting; `None` (the default) disables it.
+    pub rate_limit: Option<RateLimitConfig>,
 }
 
 impl ServiceConfig {
@@ -392,14 +569,25 @@ impl AnswerCache {
         let tick = shard.tick;
         let mut evicted = 0;
         if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard_cap {
-            if let Some(lru) = shard
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                shard.entries.remove(&lru);
-                evicted = 1;
+            // Expired-but-unread entries must not pin capacity: TTL is
+            // otherwise only enforced lazily on lookup, so a shard full of
+            // dead entries would LRU-evict live ones. Drop the dead first;
+            // only a shard still full of live entries costs an LRU victim.
+            if let Some(ttl) = self.ttl {
+                let before = shard.entries.len();
+                shard.entries.retain(|_, e| e.inserted.elapsed() <= ttl);
+                evicted += (before - shard.entries.len()) as u64;
+            }
+            if shard.entries.len() >= self.per_shard_cap {
+                if let Some(lru) = shard
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    shard.entries.remove(&lru);
+                    evicted += 1;
+                }
             }
         }
         shard.entries.insert(
@@ -471,6 +659,37 @@ impl CancelHandle {
     }
 }
 
+/// Where a job's events go: a blocking submission gets exactly one
+/// [`QueryResponse`]; a streaming one gets zero or more
+/// [`StreamEvent::Update`]s and then one [`StreamEvent::Done`]. Both sends
+/// ignore a hung-up receiver — a client that stopped listening must never
+/// panic a worker.
+#[derive(Clone)]
+enum ReplyTo {
+    Blocking(mpsc::Sender<QueryResponse>),
+    Streaming(mpsc::Sender<StreamEvent>),
+}
+
+impl ReplyTo {
+    fn send_done(&self, response: QueryResponse) {
+        match self {
+            ReplyTo::Blocking(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplyTo::Streaming(tx) => {
+                let _ = tx.send(StreamEvent::Done(response));
+            }
+        }
+    }
+
+    fn update_sender(&self) -> Option<&mpsc::Sender<StreamEvent>> {
+        match self {
+            ReplyTo::Blocking(_) => None,
+            ReplyTo::Streaming(tx) => Some(tx),
+        }
+    }
+}
+
 struct Job {
     id: u64,
     question: WhyQuestion,
@@ -478,8 +697,40 @@ struct Job {
     config: WqeConfig,
     key: String,
     enqueued: Instant,
-    reply: mpsc::Sender<QueryResponse>,
+    reply: ReplyTo,
     cancel: Arc<CancelHandle>,
+}
+
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+struct RateLimiter {
+    cfg: RateLimitConfig,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+}
+
+impl RateLimiter {
+    /// Refills `tenant`'s bucket by elapsed time and tries to spend one
+    /// token; `false` means the submission must be shed.
+    fn admit(&self, tenant: &str) -> bool {
+        let mut buckets = self.buckets.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+        let b = buckets.entry(tenant.to_string()).or_insert(TokenBucket {
+            tokens: self.cfg.burst,
+            last: now,
+        });
+        let elapsed = now.duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * self.cfg.per_sec).min(self.cfg.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 struct Inner {
@@ -488,6 +739,8 @@ struct Inner {
     cache: AnswerCache,
     profiler: Arc<Profiler>,
     max_retries: usize,
+    shed: ShedConfig,
+    rate: Option<RateLimiter>,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -519,6 +772,68 @@ impl PendingQuery {
     /// Blocks until the response arrives.
     pub fn wait(self) -> QueryResponse {
         self.rx.recv().unwrap_or_else(|_| QueryResponse {
+            id: self.id,
+            status: QueryStatus::Failed {
+                error: WqeError::WorkerPanicked {
+                    item: 0,
+                    message: "service worker disappeared".to_string(),
+                },
+            },
+            queue_ms: 0.0,
+            service_ms: 0.0,
+        })
+    }
+}
+
+/// A handle to one in-flight *streaming* request: iterate the events as
+/// the anytime search improves, or wait for the terminal response.
+///
+/// Dropping the handle mid-stream is safe and cheap: the worker's sends
+/// just start failing (ignored) and the run finishes on its own — use
+/// [`StreamingQuery::cancel`] first to stop the engine promptly.
+pub struct StreamingQuery {
+    id: u64,
+    rx: mpsc::Receiver<StreamEvent>,
+    cancel: Arc<CancelHandle>,
+}
+
+impl StreamingQuery {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Cancels the request (same semantics as [`PendingQuery::cancel`]:
+    /// the engine returns best-so-far with [`Termination::Cancelled`], and
+    /// the terminal [`StreamEvent::Done`] is still delivered).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks for the next event; `None` once the stream is exhausted
+    /// (after [`StreamEvent::Done`], or if the service was torn down
+    /// before a terminal event could be sent).
+    pub fn recv(&self) -> Option<StreamEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// A blocking iterator over the remaining events.
+    pub fn iter(&self) -> impl Iterator<Item = StreamEvent> + '_ {
+        std::iter::from_fn(move || self.recv())
+    }
+
+    /// Drains the stream and returns the terminal response, discarding
+    /// intermediate updates — the streaming handle's equivalent of
+    /// [`PendingQuery::wait`], with the same synthesized failure if the
+    /// worker disappeared.
+    pub fn wait(self) -> QueryResponse {
+        let mut last = None;
+        while let Some(event) = self.recv() {
+            if let StreamEvent::Done(resp) = event {
+                last = Some(resp);
+            }
+        }
+        last.unwrap_or_else(|| QueryResponse {
             id: self.id,
             status: QueryStatus::Failed {
                 error: WqeError::WorkerPanicked {
@@ -570,6 +885,11 @@ impl QueryService {
             cache: AnswerCache::new(&config.cache),
             profiler: Arc::new(Profiler::new()),
             max_retries: config.effective_max_retries(),
+            shed: config.shed.clone(),
+            rate: config.rate_limit.clone().map(|cfg| RateLimiter {
+                cfg,
+                buckets: Mutex::new(HashMap::new()),
+            }),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -601,28 +921,120 @@ impl QueryService {
     /// responses through the handle, so every submission yields exactly one
     /// [`QueryResponse`].
     pub fn submit(&self, request: QueryRequest) -> PendingQuery {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(CancelHandle::default());
-        let pending = PendingQuery {
-            id,
-            rx,
-            cancel: Arc::clone(&cancel),
+        let id = self.admit(request, ReplyTo::Blocking(tx), Arc::clone(&cancel));
+        PendingQuery { id, rx, cancel }
+    }
+
+    /// Submits a request for *streaming* service: the returned handle
+    /// yields a [`StreamEvent::Update`] each time the anytime search
+    /// improves its best-so-far answer, then exactly one terminal
+    /// [`StreamEvent::Done`] whose response is bit-identical to what
+    /// [`QueryService::call`] would have returned. Admission (validation,
+    /// rate limiting, shedding, queue bounds) behaves exactly like
+    /// [`QueryService::submit`]; rejected or shed submissions deliver
+    /// their `Done` with no updates.
+    ///
+    /// Update order and content are parallelism-invariant (emitted from
+    /// the search's coordinating thread only); a retried run after a
+    /// contained worker panic restarts its updates from `seq` 0.
+    pub fn submit_streaming(&self, request: QueryRequest) -> StreamingQuery {
+        let (tx, rx) = mpsc::channel();
+        let cancel = Arc::new(CancelHandle::default());
+        let id = self.admit(request, ReplyTo::Streaming(tx), Arc::clone(&cancel));
+        StreamingQuery { id, rx, cancel }
+    }
+
+    /// The shared admission path: validates, rate-limits, sheds, and
+    /// enqueues. Every submission produces exactly one terminal event
+    /// through `reply`, whichever branch it takes.
+    fn admit(&self, request: QueryRequest, reply: ReplyTo, cancel: Arc<CancelHandle>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let refuse = |status: QueryStatus| {
+            reply.send_done(QueryResponse {
+                id,
+                status,
+                queue_ms: 0.0,
+                service_ms: 0.0,
+            });
         };
+
+        // Per-request deadline override: refuse non-finite or negative
+        // values here, at the front door. The override is applied to the
+        // effective config below *before* `validate()`, but validation's
+        // range check admits +inf, which `governor_for` cannot represent —
+        // so the unvalidated-input bug class is closed where the untrusted
+        // value enters, with the spec-level error type front-end callers
+        // already handle.
+        if let Some(dl) = request.deadline_ms {
+            if !dl.is_finite() || dl < 0.0 {
+                self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                refuse(QueryStatus::Failed {
+                    error: WqeError::Spec(SpecError(format!(
+                        "per-request deadline_ms must be finite and >= 0, got {dl}"
+                    ))),
+                });
+                return id;
+            }
+        }
+
+        // Per-tenant token bucket, before any queue-state inspection.
+        if let (Some(rate), Some(tenant)) = (&self.inner.rate, &request.tenant) {
+            if !rate.admit(tenant) {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.profiler.add(Counter::RateLimited, 1);
+                refuse(QueryStatus::Shed {
+                    reason: ShedReason::RateLimited {
+                        tenant: tenant.clone(),
+                    },
+                });
+                return id;
+            }
+        }
 
         let mut effective = self.effective_config(&request);
         if let Err(error) = effective.validate() {
             self.inner.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(QueryResponse {
-                id,
-                status: QueryStatus::Failed { error },
-                queue_ms: 0.0,
-                service_ms: 0.0,
-            });
-            return pending;
+            refuse(QueryStatus::Failed { error });
+            return id;
         }
         // Normalize once so the cached key and the session agree.
         effective = request.algorithm.apply_to(effective);
+
+        // Load shedding: the governor as admission control. Depth past the
+        // hard watermark sheds Low-priority work outright; past the soft
+        // watermark every admitted request gets a tightened effective
+        // deadline (linearly down to `min_deadline_ms`), which — being
+        // part of the effective config — also keys the cache.
+        let shed = &self.inner.shed;
+        if shed.enabled {
+            let queue_len = self.inner.queue.len();
+            let queue_cap = self.inner.queue.capacity();
+            let ratio = queue_len as f64 / queue_cap.max(1) as f64;
+            if ratio >= shed.hard_watermark && request.priority == Priority::Low {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.profiler.add(Counter::ShedRequest, 1);
+                refuse(QueryStatus::Shed {
+                    reason: ShedReason::Overload {
+                        queue_len,
+                        queue_cap,
+                    },
+                });
+                return id;
+            }
+            if ratio >= shed.soft_watermark {
+                let span = (shed.hard_watermark - shed.soft_watermark).max(f64::EPSILON);
+                let f = ((ratio - shed.soft_watermark) / span).clamp(0.0, 1.0);
+                let imposed =
+                    shed.base_deadline_ms + (shed.min_deadline_ms - shed.base_deadline_ms) * f;
+                effective.deadline_ms = if effective.deadline_ms > 0.0 {
+                    effective.deadline_ms.min(imposed)
+                } else {
+                    imposed
+                };
+            }
+        }
 
         let key = canonical_key(&request.question, request.algorithm, &effective);
         let job = Job {
@@ -632,7 +1044,7 @@ impl QueryService {
             config: effective,
             key,
             enqueued: Instant::now(),
-            reply: tx.clone(),
+            reply: reply.clone(),
             cancel,
         };
         match self.inner.queue.push(request.priority, job) {
@@ -645,18 +1057,13 @@ impl QueryService {
                     PushError::Full { queue_len } => (true, queue_len),
                     PushError::Closed => (false, 0),
                 };
-                let _ = tx.send(QueryResponse {
-                    id,
-                    status: QueryStatus::Rejected {
-                        queue_full,
-                        queue_len,
-                    },
-                    queue_ms: 0.0,
-                    service_ms: 0.0,
+                refuse(QueryStatus::Rejected {
+                    queue_full,
+                    queue_len,
                 });
             }
         }
-        pending
+        id
     }
 
     /// Submits and blocks for the response.
@@ -743,6 +1150,28 @@ fn process(inner: &Inner, job: Job) {
     // service profiler; per-query scopes nest inside and shadow it.
     let _obs = wqe_pool::obs::enter(Arc::clone(&inner.profiler));
 
+    // A job whose deadline budget fully elapsed while it was queued is
+    // already dead to its caller: the governor's clock starts *now*, so
+    // running it would burn a worker slot producing a result nobody is
+    // waiting for. Shed it (counted with rejections, never as Done).
+    let deadline_ms = job.config.deadline_ms;
+    if deadline_ms > 0.0 && queue_ms >= deadline_ms {
+        inner.rejected.fetch_add(1, Ordering::Relaxed);
+        inner.profiler.add(Counter::ShedRequest, 1);
+        job.reply.send_done(QueryResponse {
+            id: job.id,
+            status: QueryStatus::Shed {
+                reason: ShedReason::DeadlineElapsed {
+                    queue_ms,
+                    deadline_ms,
+                },
+            },
+            queue_ms,
+            service_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+        return;
+    }
+
     let (hit, expired) = inner.cache.get(&job.key);
     if expired > 0 {
         inner.profiler.add(Counter::AnswerCacheEviction, expired);
@@ -750,7 +1179,7 @@ fn process(inner: &Inner, job: Job) {
     if let Some(report) = hit {
         inner.profiler.add(Counter::AnswerCacheHit, 1);
         inner.completed.fetch_add(1, Ordering::Relaxed);
-        let _ = job.reply.send(QueryResponse {
+        job.reply.send_done(QueryResponse {
             id: job.id,
             status: QueryStatus::Done {
                 report: Box::new(report),
@@ -763,10 +1192,27 @@ fn process(inner: &Inner, job: Job) {
     }
     inner.profiler.add(Counter::AnswerCacheMiss, 1);
 
+    // Streaming jobs get a progress sink wired into the engine: each
+    // best-so-far improvement becomes a StreamEvent::Update. A send to a
+    // hung-up client is silently dropped — disconnects must never panic a
+    // worker or abort the run (the result still populates the cache).
+    let sink: Option<ProgressSink> = job.reply.update_sender().map(|tx| {
+        let tx = tx.clone();
+        let profiler = Arc::clone(&inner.profiler);
+        Arc::new(move |u: &AnswerUpdate| {
+            profiler.add(Counter::StreamUpdate, 1);
+            let _ = tx.send(StreamEvent::Update(u.clone()));
+        }) as ProgressSink
+    });
+
     let mut attempt = 0usize;
     let status = loop {
         let outcome =
             WqeEngine::try_new(inner.ctx.clone(), job.question.clone(), job.config.clone())
+                .map(|engine| match &sink {
+                    Some(s) => engine.with_progress(Arc::clone(s)),
+                    None => engine,
+                })
                 .and_then(|engine| {
                     job.cancel.arm(Arc::clone(&engine.session().governor));
                     engine.try_run(job.algorithm)
@@ -801,7 +1247,7 @@ fn process(inner: &Inner, job: Job) {
             }
         }
     };
-    let _ = job.reply.send(QueryResponse {
+    job.reply.send_done(QueryResponse {
         id: job.id,
         status,
         queue_ms,
@@ -970,6 +1416,251 @@ mod tests {
         assert!(hit.is_none());
         assert_eq!(expired, 1);
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn nonfinite_per_request_deadline_is_refused_as_spec_error() {
+        // Regression (pre-fix failure): the per-request override wrote
+        // `cfg.deadline_ms = dl` directly; +inf passed `validate()`'s
+        // range check and then panicked inside `governor_for`
+        // (`Duration::from_secs_f64` rejects non-finite), surfacing as a
+        // WorkerPanicked after burning the retry ladder. NaN/negative were
+        // caught, but as InvalidConfig a spec-driven caller can't
+        // distinguish from a bad config *override*. All three now refuse
+        // at the front door with WqeError::Spec.
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        for bad in [f64::INFINITY, f64::NAN, f64::NEG_INFINITY, -5.0] {
+            let resp =
+                svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW).with_deadline_ms(bad));
+            match resp.status {
+                QueryStatus::Failed {
+                    error: WqeError::Spec(e),
+                } => assert!(e.0.contains("deadline_ms"), "message names the field: {e}"),
+                other => panic!("deadline {bad} must refuse with Spec, got {other:?}"),
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.failed, 4);
+        assert_eq!(stats.submitted, 0, "nothing reached the queue");
+        assert_eq!(stats.counters.retries, 0, "nothing burned the retry ladder");
+    }
+
+    #[test]
+    fn queue_dead_jobs_are_shed_at_dequeue() {
+        // Regression (pre-fix failure): the deadline clock started at
+        // worker pickup, so a job whose whole budget elapsed in the queue
+        // still ran and produced Done. It must shed instead.
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        svc.pause();
+        let p = svc.submit(QueryRequest::new(q, Algorithm::AnsW).with_deadline_ms(5.0));
+        std::thread::sleep(Duration::from_millis(30));
+        svc.resume();
+        let resp = p.wait();
+        match resp.status {
+            QueryStatus::Shed {
+                reason:
+                    ShedReason::DeadlineElapsed {
+                        queue_ms,
+                        deadline_ms,
+                    },
+            } => {
+                assert!(queue_ms >= deadline_ms, "{queue_ms} >= {deadline_ms}");
+                assert!((deadline_ms - 5.0).abs() < 1e-9);
+            }
+            other => panic!("expected DeadlineElapsed shed, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.counters.shed_requests, 1);
+    }
+
+    #[test]
+    fn expired_entries_are_evicted_before_live_ones() {
+        // Regression (pre-fix failure): the eviction victim scan was pure
+        // LRU, so an expired entry with a *recent* last_used tick pinned
+        // capacity and a live-but-colder entry got evicted in its place.
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 2,
+            ttl_ms: 400,
+            shards: 1,
+        });
+        cache.insert("dead".into(), AnswerReport::default());
+        std::thread::sleep(Duration::from_millis(150));
+        cache.insert("live".into(), AnswerReport::default());
+        // Touch "dead" while it is still fresh: it now has the *newest*
+        // last_used tick, making "live" the pure-LRU victim.
+        assert!(cache.get("dead").0.is_some());
+        // Let "dead" expire ("live", inserted 150ms later, stays valid).
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(cache.insert("new".into(), AnswerReport::default()), 1);
+        assert!(cache.get("live").0.is_some(), "live entry must survive");
+        assert!(cache.get("new").0.is_some());
+        assert!(cache.get("dead").0.is_none());
+    }
+
+    #[test]
+    fn overload_sheds_low_priority_and_tightens_deadlines() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            queue_cap: 4,
+            base_config: base_cfg(),
+            shed: ShedConfig {
+                enabled: true,
+                soft_watermark: 0.25,
+                hard_watermark: 0.75,
+                base_deadline_ms: 200.0,
+                min_deadline_ms: 20.0,
+            },
+            ..Default::default()
+        });
+        svc.pause();
+        // Fill to the hard watermark (3/4 = 0.75).
+        let held: Vec<_> = (0..3)
+            .map(|_| svc.submit(QueryRequest::new(q.clone(), Algorithm::AnsW)))
+            .collect();
+        let low = svc
+            .submit(QueryRequest::new(q.clone(), Algorithm::AnsHeu).with_priority(Priority::Low));
+        let shed = low.wait();
+        match shed.status {
+            QueryStatus::Shed {
+                reason:
+                    ShedReason::Overload {
+                        queue_len,
+                        queue_cap,
+                    },
+            } => {
+                assert_eq!(queue_len, 3);
+                assert_eq!(queue_cap, 4);
+            }
+            other => panic!("expected overload shed, got {other:?}"),
+        }
+        // Normal priority is still admitted past the hard watermark, but
+        // with a tightened (imposed) deadline in its effective config.
+        let normal = svc.submit(QueryRequest::new(q, Algorithm::WhyMany));
+        svc.resume();
+        let resp = normal.wait();
+        assert!(
+            !resp.is_rejected(),
+            "normal priority is never overload-shed"
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.counters.shed_requests, 1);
+        assert_eq!(stats.rejected, 1);
+        for p in held {
+            let r = p.wait();
+            assert!(r.report().is_some() || r.is_shed());
+        }
+    }
+
+    #[test]
+    fn rate_limiter_sheds_over_burst_tenants_only() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            queue_cap: 16,
+            base_config: base_cfg(),
+            rate_limit: Some(RateLimitConfig {
+                per_sec: 0.001, // effectively no refill within the test
+                burst: 2.0,
+            }),
+            ..Default::default()
+        });
+        let mut shed = 0;
+        for _ in 0..4 {
+            let resp = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW).with_tenant("t1"));
+            match resp.status {
+                QueryStatus::Shed {
+                    reason: ShedReason::RateLimited { ref tenant },
+                } => {
+                    assert_eq!(tenant, "t1");
+                    shed += 1;
+                }
+                QueryStatus::Done { .. } => {}
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        assert_eq!(shed, 2, "burst of 2, then the bucket is empty");
+        // A different tenant has its own bucket; no tenant bypasses.
+        assert!(svc
+            .call(QueryRequest::new(q.clone(), Algorithm::AnsW).with_tenant("t2"))
+            .report()
+            .is_some());
+        assert!(svc
+            .call(QueryRequest::new(q, Algorithm::AnsW))
+            .report()
+            .is_some());
+        assert_eq!(svc.stats().counters.rate_limited, 2);
+    }
+
+    #[test]
+    fn streaming_final_event_matches_blocking_call() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            cache: CacheConfig {
+                capacity: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let blocking = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW));
+        let stream = svc.submit_streaming(QueryRequest::new(q, Algorithm::AnsW));
+        let mut updates = Vec::new();
+        let mut done = None;
+        for event in stream.iter() {
+            match event {
+                StreamEvent::Update(u) => updates.push(u),
+                StreamEvent::Done(r) => done = Some(r),
+            }
+        }
+        let done = done.expect("exactly one terminal event");
+        let (b, s) = (blocking.report().unwrap(), done.report().unwrap());
+        assert_eq!(
+            b.best.as_ref().map(|r| r.closeness.to_bits()),
+            s.best.as_ref().map(|r| r.closeness.to_bits())
+        );
+        assert_eq!(b.top_k.len(), s.top_k.len());
+        assert_eq!(b.termination, s.termination);
+        // Updates mirror the report's trace: one per best improvement,
+        // strictly increasing closeness, contiguous seq.
+        assert_eq!(updates.len(), s.trace.len());
+        for (i, u) in updates.iter().enumerate() {
+            assert_eq!(u.seq, i as u64);
+            assert!(u.satisfies);
+            if i > 0 {
+                assert!(u.closeness > updates[i - 1].closeness);
+            }
+        }
+        assert!(svc.stats().counters.stream_updates >= updates.len() as u64);
+    }
+
+    #[test]
+    fn dropping_a_streaming_handle_mid_run_is_harmless() {
+        let (svc, q) = service(ServiceConfig {
+            max_inflight: 1,
+            base_config: base_cfg(),
+            ..Default::default()
+        });
+        // Drop the handle before the run even starts; the worker's sends
+        // all hit a closed channel and must be ignored.
+        svc.pause();
+        let stream = svc.submit_streaming(QueryRequest::new(q.clone(), Algorithm::AnsW));
+        drop(stream);
+        svc.resume();
+        // The service keeps serving; stats stay coherent.
+        let resp = svc.call(QueryRequest::new(q, Algorithm::AnsW));
+        assert!(resp.report().is_some());
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 2, "the orphaned run still completed");
+        assert_eq!(stats.failed, 0);
     }
 
     #[test]

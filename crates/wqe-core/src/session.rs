@@ -279,6 +279,39 @@ pub struct EvalResult {
     pub satisfies: bool,
 }
 
+/// One incremental best-so-far improvement emitted by an anytime
+/// algorithm while it runs.
+///
+/// Updates are emitted from the coordinating thread only (the root
+/// evaluation and AnsW's serial merge loop), exactly when the best
+/// satisfying answer's closeness improves — the same condition that pushes
+/// a [`crate::answ::TracePoint`]. Because the emission point is serial and
+/// the search trajectory is a function of `frontier_batch` alone, the
+/// sequence of updates is bit-identical across `parallelism` settings.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnswerUpdate {
+    /// 0-based position of this update in the run's emission order.
+    pub seq: u64,
+    /// Microseconds since the search started (wall-clock; the only
+    /// machine-dependent field).
+    pub elapsed_us: u64,
+    /// Closeness of the new best satisfying answer. Strictly increases
+    /// across the updates of one run.
+    pub closeness: f64,
+    /// Rewrite cost of the new best answer.
+    pub cost: f64,
+    /// Number of atomic operations in the rewrite.
+    pub ops: usize,
+    /// Whether the rewrite satisfies the exemplar (always true for
+    /// updates emitted today; kept explicit for the wire format).
+    pub satisfies: bool,
+}
+
+/// A callback receiving [`AnswerUpdate`]s as a search improves its
+/// best-so-far answer. Shared (`Arc`) so the serving layer can hand the
+/// same sink to a retry of the same job.
+pub type ProgressSink = std::sync::Arc<dyn Fn(&AnswerUpdate) + Send + Sync>;
+
 /// Shared session state.
 ///
 /// The session owns its inputs through an [`EngineCtx`] (shared `Arc`s), so
@@ -312,6 +345,10 @@ pub struct Session {
     /// then skip the clock reads, so benchmark baselines exclude the
     /// observability overhead.
     pub profiler: Option<std::sync::Arc<crate::obs::Profiler>>,
+    /// Streaming progress sink: called (from the coordinating thread only)
+    /// with each [`AnswerUpdate`] as the best-so-far answer improves.
+    /// `None` (the default) makes emission a no-op branch.
+    pub progress: Option<ProgressSink>,
 }
 
 impl Session {
@@ -382,6 +419,7 @@ impl Session {
             cl_star,
             governor,
             profiler: Some(profiler),
+            progress: None,
         })
     }
 
@@ -400,6 +438,24 @@ impl Session {
     pub fn without_profiler(mut self) -> Self {
         self.profiler = None;
         self
+    }
+
+    /// Installs a streaming progress sink: `sink` is called with each
+    /// [`AnswerUpdate`] as the best-so-far answer improves. Emission
+    /// happens on the coordinating thread only, so the update sequence is
+    /// identical across `parallelism` settings.
+    pub fn with_progress(mut self, sink: ProgressSink) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Emits a best-so-far improvement to the installed progress sink (a
+    /// no-op branch without one). Called by the anytime algorithms at the
+    /// same serial point that records a [`crate::answ::TracePoint`].
+    pub fn emit_progress(&self, update: &AnswerUpdate) {
+        if let Some(sink) = &self.progress {
+            sink(update);
+        }
     }
 
     /// Enters this session's profiler scope (a no-op returning `None` after

@@ -69,11 +69,16 @@ pub enum FaultSite {
     /// miss, so the star view is rematerialized (identical by
     /// determinism).
     StarCache = 6,
+    /// An `wqe-serve` HTTP connection: a fired fault drops the connection
+    /// mid-exchange (before the response, or mid-stream for SSE),
+    /// exercising the client-disconnect path — the server must shed the
+    /// connection without panicking a worker or wedging the accept loop.
+    HttpConn = 7,
 }
 
 impl FaultSite {
     /// Every site, in declaration order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::StoreMmap,
         FaultSite::StoreRead,
         FaultSite::Oracle,
@@ -81,6 +86,7 @@ impl FaultSite {
         FaultSite::Queue,
         FaultSite::AnswerCache,
         FaultSite::StarCache,
+        FaultSite::HttpConn,
     ];
 
     /// A stable snake_case name (used by `WQE_FAULT_SITES`).
@@ -93,6 +99,7 @@ impl FaultSite {
             FaultSite::Queue => "queue",
             FaultSite::AnswerCache => "answer_cache",
             FaultSite::StarCache => "star_cache",
+            FaultSite::HttpConn => "http_conn",
         }
     }
 

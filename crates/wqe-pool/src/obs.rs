@@ -139,11 +139,21 @@ pub enum Counter {
     /// lock and allocated a local scratch instead — the silent-allocation
     /// path under contention, now observable.
     ScratchFallback = 15,
+    /// Incremental anytime-answer events emitted to a streaming client
+    /// (one per best-so-far improvement pushed over SSE or a stream
+    /// handle).
+    StreamUpdate = 16,
+    /// Requests shed by the service instead of served: the per-request
+    /// deadline fully elapsed in the queue, or overload shedding dropped a
+    /// sheddable priority class past the hard watermark.
+    ShedRequest = 17,
+    /// Requests refused by the per-tenant token-bucket rate limiter.
+    RateLimited = 18,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheEviction,
@@ -160,6 +170,9 @@ impl Counter {
         Counter::Retry,
         Counter::DegradedServe,
         Counter::ScratchFallback,
+        Counter::StreamUpdate,
+        Counter::ShedRequest,
+        Counter::RateLimited,
     ];
 
     /// A stable snake_case name (used as the JSON key).
@@ -181,6 +194,9 @@ impl Counter {
             Counter::Retry => "retries",
             Counter::DegradedServe => "degraded_serves",
             Counter::ScratchFallback => "scratch_fallbacks",
+            Counter::StreamUpdate => "stream_updates",
+            Counter::ShedRequest => "shed_requests",
+            Counter::RateLimited => "rate_limited",
         }
     }
 }
@@ -500,6 +516,9 @@ mod tests {
                 "retries",
                 "degraded_serves",
                 "scratch_fallbacks",
+                "stream_updates",
+                "shed_requests",
+                "rate_limited",
             ]
         );
     }

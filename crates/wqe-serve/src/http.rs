@@ -1,0 +1,386 @@
+//! A minimal HTTP/1.1 server over `std::net` — thread-per-connection with
+//! a nonblocking accept poll loop, no external runtime.
+//!
+//! Every response closes its connection (`Connection: close`): requests
+//! here are answer-a-why-question sized, not keep-alive chatter, and
+//! one-shot connections keep the shutdown story trivial — stop the accept
+//! loop, drain the in-flight handler count, done.
+//!
+//! Fault injection: [`FaultSite::HttpConn`] is consulted once when a
+//! connection is accepted (a fired fault drops it before any bytes are
+//! read) and once between SSE events (a fired fault severs the stream
+//! mid-exchange). Either way the handler sheds only its own connection;
+//! the accept loop and the service's workers never notice.
+
+use crate::{parse_request, response_json, update_json, ServeCtx};
+use serde_json::{json, Value};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use wqe_core::{QueryStatus, ShedReason, StreamEvent};
+use wqe_pool::fault::{fire, FaultSite};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted request body.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Per-connection socket read timeout — a stalled client sheds itself.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Accept-loop poll interval while idle.
+const POLL: Duration = Duration::from_millis(2);
+/// How long [`Drop`] waits for in-flight handlers before giving up.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The server handle. Serving starts at [`HttpServer::bind`] and stops
+/// when this is dropped (accept loop halted, in-flight handlers drained).
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `ctx` on a background accept thread.
+    pub fn bind(ctx: ServeCtx, addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            thread::Builder::new()
+                .name("wqe-serve-accept".into())
+                .spawn(move || accept_loop(listener, ctx, stop, active))?
+        };
+        Ok(Self {
+            addr,
+            stop,
+            active,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the real port, when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being handled.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.active.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            thread::sleep(POLL);
+        }
+    }
+}
+
+/// Decrements the in-flight counter even if a handler unwinds.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ctx: ServeCtx,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if fire(FaultSite::HttpConn).is_some() {
+                    // Injected connection loss at accept: the client sees
+                    // a reset, nothing else happens.
+                    drop(stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let guard = ActiveGuard(Arc::clone(&active));
+                let ctx = ctx.clone();
+                // On spawn failure the connection is shed and the unrun
+                // closure is dropped, guard included, so the in-flight
+                // count still comes back down.
+                let _ = thread::Builder::new()
+                    .name("wqe-serve-conn".into())
+                    .spawn(move || {
+                        let _guard = guard;
+                        let _ = handle_connection(stream, &ctx);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    tenant: Option<String>,
+    body: Vec<u8>,
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Reads one request. `Ok(None)` means the peer hung up or sent garbage —
+/// the caller just closes the connection.
+fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Ok(None);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Ok(None),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = match parts.next() {
+        Some(m) => m.to_string(),
+        None => return Ok(None),
+    };
+    let path = match parts.next() {
+        Some(p) => p.to_string(),
+        None => return Ok(None),
+    };
+    let mut content_length = 0usize;
+    let mut tenant = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("x-wqe-tenant") && !value.is_empty() {
+            tenant = Some(value.to_string());
+        }
+    }
+    if content_length > MAX_BODY {
+        return Ok(None);
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Some(Request {
+        method,
+        path,
+        tenant,
+        body,
+    }))
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn write_json(stream: &mut TcpStream, status: u16, value: &Value) -> io::Result<()> {
+    write_response(
+        stream,
+        status,
+        "application/json",
+        value.to_string().as_bytes(),
+    )
+}
+
+fn error_json(message: impl Into<String>) -> Value {
+    json!({ "error": message.into() })
+}
+
+/// HTTP status for a blocking (non-streaming) query response.
+fn http_status(status: &QueryStatus) -> u16 {
+    match status {
+        QueryStatus::Done { .. } => 200,
+        QueryStatus::Failed { .. } => 400,
+        QueryStatus::Rejected { .. } => 503,
+        QueryStatus::Shed {
+            reason: ShedReason::RateLimited { .. },
+        } => 429,
+        QueryStatus::Shed { .. } => 503,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let Some(req) = read_request(&mut stream)? else {
+        return Ok(());
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_json(&mut stream, 200, &json!({ "ok": true })),
+        ("GET", "/stats") => {
+            let stats = serde_json::to_value(&ctx.service.stats());
+            write_json(&mut stream, 200, &stats)
+        }
+        ("POST", "/why") => handle_why(&mut stream, ctx, &req),
+        ("POST", "/why/batch") => handle_batch(&mut stream, ctx, &req),
+        ("GET", _) | ("POST", _) => write_json(
+            &mut stream,
+            404,
+            &error_json(format!("no route {}", req.path)),
+        ),
+        _ => write_json(
+            &mut stream,
+            405,
+            &error_json(format!("method {} not supported", req.method)),
+        ),
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::from_str(text).map_err(|e| format!("body is not JSON: {e}"))
+}
+
+fn handle_why(stream: &mut TcpStream, ctx: &ServeCtx, req: &Request) -> io::Result<()> {
+    let spec = match parse_body(&req.body) {
+        Ok(v) => v,
+        Err(e) => return write_json(stream, 400, &error_json(e)),
+    };
+    let (mut request, stream_requested) = match parse_request(&ctx.graph, &spec) {
+        Ok(parsed) => parsed,
+        Err(e) => return write_json(stream, 400, &error_json(e)),
+    };
+    if req.tenant.is_some() {
+        request.tenant = req.tenant.clone();
+    }
+    if !stream_requested {
+        let response = ctx.service.call(request);
+        return write_json(
+            stream,
+            http_status(&response.status),
+            &response_json(&response),
+        );
+    }
+
+    // SSE: headers first, then one `update` event per anytime improvement
+    // and a terminal `done` event carrying the full blocking-equivalent
+    // response. A client that hangs up mid-stream (or an injected
+    // HttpConn fault) cancels the query and sheds only this connection.
+    let handle = ctx.service.submit_streaming(request);
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()?;
+    while let Some(event) = handle.recv() {
+        if fire(FaultSite::HttpConn).is_some() {
+            // Injected mid-stream connection loss: cancel the in-flight
+            // query and sever the socket. The worker sees the cancel (or
+            // a closed channel) and carries on; nothing panics.
+            handle.cancel();
+            return Ok(());
+        }
+        let (name, data) = match &event {
+            StreamEvent::Update(u) => ("update", update_json(u)),
+            StreamEvent::Done(resp) => ("done", response_json(resp)),
+        };
+        let frame = format!("event: {name}\ndata: {data}\n\n");
+        if stream.write_all(frame.as_bytes()).is_err() || stream.flush().is_err() {
+            // Peer hung up: stop paying for an answer nobody will read.
+            handle.cancel();
+            return Ok(());
+        }
+        if matches!(event, StreamEvent::Done(_)) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn handle_batch(stream: &mut TcpStream, ctx: &ServeCtx, req: &Request) -> io::Result<()> {
+    let spec = match parse_body(&req.body) {
+        Ok(v) => v,
+        Err(e) => return write_json(stream, 400, &error_json(e)),
+    };
+    let Some(questions) = spec.get("questions").and_then(Value::as_array) else {
+        return write_json(
+            stream,
+            400,
+            &error_json("body must have a \"questions\" array"),
+        );
+    };
+    let mut requests = Vec::with_capacity(questions.len());
+    for (i, q) in questions.iter().enumerate() {
+        match parse_request(&ctx.graph, q) {
+            // Streaming is a single-question affair; batch ignores the flag.
+            Ok((mut r, _)) => {
+                if req.tenant.is_some() {
+                    r.tenant = req.tenant.clone();
+                }
+                requests.push(r);
+            }
+            Err(e) => return write_json(stream, 400, &error_json(format!("questions[{i}]: {e}"))),
+        }
+    }
+    let responses = ctx.service.serve_batch(requests);
+    let body = json!({
+        "responses": responses.iter().map(response_json).collect::<Vec<_>>(),
+    });
+    write_json(stream, 200, &body)
+}

@@ -1,0 +1,132 @@
+//! An MCP (Model Context Protocol) stdio tool: JSON-RPC 2.0, one message
+//! per line, exposing a single `ask_why` tool over the same
+//! [`ServeCtx`](crate::ServeCtx) the HTTP front-end serves.
+//!
+//! The loop is transport-generic (`BufRead` in, `Write` out) so tests can
+//! drive it with in-memory buffers; `serve --mcp` in the CLI binds it to
+//! stdin/stdout. Per JSON-RPC, requests carrying an `id` always get a
+//! reply; notifications (no `id`) never do.
+
+use crate::{parse_request, response_json, ServeCtx};
+use serde_json::{json, Value};
+use std::io::{self, BufRead, Write};
+
+/// The MCP protocol revision this server speaks.
+pub const PROTOCOL_VERSION: &str = "2024-11-05";
+
+fn rpc_result(id: &Value, result: Value) -> Value {
+    json!({ "jsonrpc": "2.0", "id": id, "result": result })
+}
+
+fn rpc_error(id: &Value, code: i64, message: String) -> Value {
+    json!({
+        "jsonrpc": "2.0",
+        "id": id,
+        "error": { "code": code, "message": message },
+    })
+}
+
+fn tool_list() -> Value {
+    json!([{
+        "name": "ask_why",
+        "description": "Answer a why-question by exemplars over the loaded attributed graph: \
+                        given a pattern query and an exemplar of expected/unexpected answers, \
+                        returns the top-k cheapest query rewrites whose answers best match the \
+                        exemplar, with closeness scores and the operator sequence for each.",
+        "inputSchema": {
+            "type": "object",
+            "properties": {
+                "query": {
+                    "type": "object",
+                    "description": "The pattern query: nodes with labels/attribute predicates, edges."
+                },
+                "exemplar": {
+                    "type": "object",
+                    "description": "Expected (Pe) and unexpected (Pu) answer sets."
+                },
+                "algo": {
+                    "type": "string",
+                    "description": "Algorithm: answ (default), answnc, answb, heu, heub:SEED, fm, whymany, whyempty"
+                },
+                "priority": { "type": "string", "description": "high | normal | low" },
+                "deadline_ms": { "type": "number", "description": "Per-request deadline override." }
+            },
+            "required": ["query", "exemplar"]
+        }
+    }])
+}
+
+fn call_tool(ctx: &ServeCtx, params: Option<&Value>) -> Result<Value, String> {
+    let params = params.ok_or("tools/call needs params")?;
+    let name = params
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("tools/call needs a tool name")?;
+    if name != "ask_why" {
+        return Err(format!("unknown tool {name:?}"));
+    }
+    let arguments = params.get("arguments").ok_or("ask_why needs arguments")?;
+    let (request, _stream) = parse_request(&ctx.graph, arguments)?;
+    let response = ctx.service.call(request);
+    let is_error = response.report().is_none();
+    let body = response_json(&response);
+    let text = serde_json::to_string_pretty(&body).unwrap_or_else(|_| body.to_string());
+    Ok(json!({
+        "content": [{ "type": "text", "text": text }],
+        "isError": is_error,
+    }))
+}
+
+/// Handles one decoded JSON-RPC message; `None` means no reply is owed
+/// (a notification, or a malformed message without an id).
+fn handle_message(ctx: &ServeCtx, msg: &Value) -> Option<Value> {
+    let id = msg.get("id").cloned();
+    let method = msg.get("method").and_then(Value::as_str).unwrap_or("");
+    let params = msg.get("params");
+    let reply = match method {
+        "initialize" => Some(Ok(json!({
+            "protocolVersion": PROTOCOL_VERSION,
+            "capabilities": { "tools": {} },
+            "serverInfo": {
+                "name": "wqe-serve",
+                "version": env!("CARGO_PKG_VERSION"),
+            },
+        }))),
+        "notifications/initialized" | "notifications/cancelled" => None,
+        "tools/list" => Some(Ok(json!({ "tools": tool_list() }))),
+        "tools/call" => Some(call_tool(ctx, params).map_err(|e| (-32602i64, e))),
+        "ping" => Some(Ok(json!({}))),
+        other => Some(Err((-32601i64, format!("method {other:?} not found")))),
+    };
+    // A reply is owed only for requests (id present), never notifications.
+    let id = id.filter(|v| !v.is_null())?;
+    match reply? {
+        Ok(result) => Some(rpc_result(&id, result)),
+        Err((code, message)) => Some(rpc_error(&id, code, message)),
+    }
+}
+
+/// Runs the JSON-RPC loop until `reader` reaches EOF. Blank lines are
+/// skipped; a line that is not JSON gets a `-32700` parse error (with a
+/// null id, as the real one is unrecoverable).
+pub fn serve_mcp<R: BufRead, W: Write>(
+    ctx: &ServeCtx,
+    reader: R,
+    writer: &mut W,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<Value>(&line) {
+            Ok(msg) => handle_message(ctx, &msg),
+            Err(e) => Some(rpc_error(&Value::Null, -32700, format!("parse error: {e}"))),
+        };
+        if let Some(reply) = reply {
+            writeln!(writer, "{reply}")?;
+            writer.flush()?;
+        }
+    }
+    Ok(())
+}

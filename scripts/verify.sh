@@ -59,6 +59,16 @@ RUST_TEST_THREADS=1 cargo test --test service -q
 echo "==> serving: cargo test --test service -q"
 cargo test --test service -q
 
+# The network front-end: endpoint smoke (healthz/why/batch/stats, error
+# codes) plus the streaming-parity pin — the terminal SSE event must be
+# bit-identical to the blocking response at every parallelism for every
+# algorithm — serialized and under default test threading.
+echo "==> serving: RUST_TEST_THREADS=1 cargo test --test http_serve -q"
+RUST_TEST_THREADS=1 cargo test --test http_serve -q
+
+echo "==> serving: cargo test --test http_serve -q"
+cargo test --test http_serve -q
+
 # The chaos suite: deterministic fault schedules (pinned seed so failures
 # reproduce) across oracle, pool, queue, cache, and store sites must
 # uphold the never-wrong invariant — bit-correct answer, tagged partial,
@@ -114,6 +124,17 @@ echo "==> serving: bench_serve answers-identical gate"
 cargo run --release -p wqe-bench --bin bench_serve -- --out results/BENCH_serve.json
 grep -q '"answers_identical": true' results/BENCH_serve.json || {
     echo "bench_serve: served answers diverged from direct engine runs" >&2
+    exit 1
+}
+
+# The HTTP front-end over a real loopback socket: streamed answers must
+# be bit-identical to blocking ones for all eight algorithms, saturation
+# must shed typed (healthz stays alive), over-burst tenants get 429, and
+# one-shot request p99 must stay under the wedge-catching bound.
+echo "==> serving: bench_serve_http streaming-parity gate"
+cargo run --release -p wqe-bench --bin bench_serve_http -- --out results/BENCH_http.json
+grep -q '"within_target": true' results/BENCH_http.json || {
+    echo "bench_serve_http: HTTP serving target missed (parity/shed/latency)" >&2
     exit 1
 }
 

@@ -6,6 +6,8 @@
 //! wqe-cli why    <graph.jsonl> <question.json> [opts]   # suggest rewrites
 //! wqe-cli why    --snapshot <g.wqs> <question.json> ... # from a snapshot
 //! wqe-cli serve  <graph.jsonl> <questions.jsonl> [opts] # batch serving
+//! wqe-cli serve  --http <port> <graph.jsonl> [opts]     # HTTP + SSE
+//! wqe-cli serve  --mcp <graph.jsonl> [opts]             # MCP stdio tool
 //! wqe-cli gen    <preset> <scale> <seed> <out.jsonl>    # synthetic data
 //! wqe-cli gen    --scale <nodes> <seed> <out.wqs>       # streamed, paper-scale
 //! wqe-cli index  build <graph.jsonl> -o <g.wqs>         # durable snapshot
@@ -27,6 +29,15 @@
 //! prints the termination reason and returns best-so-far answers), and
 //! `--profile` to print the per-query observability profile (stage spans +
 //! counter registry) as JSON after the answers.
+//!
+//! `serve --http` binds a streaming HTTP front-end on localhost (`POST
+//! /why` with `"stream": true` for SSE anytime answers, `POST /why/batch`,
+//! `GET /stats`, `GET /healthz`); `serve --mcp` speaks MCP JSON-RPC over
+//! stdio, exposing the `ask_why` tool. Both accept `--workers`,
+//! `--queue-cap`, `--cache-cap`, `--ttl`, `--budget`, `--top-k`,
+//! `--deadline`, plus `--shed` (overload-adaptive deadlines + low-priority
+//! shedding) and `--rate-limit N` (per-tenant token bucket, keyed by the
+//! `x-wqe-tenant` header).
 //!
 //! `serve` reads one question per line from `questions.jsonl` — each line
 //! is the usual `{"query": ..., "exemplar": ...}` spec, optionally with
@@ -385,12 +396,108 @@ fn cmd_why(args: &[String]) -> i32 {
     report_result(run())
 }
 
+/// Parses the flags the network front-ends share (`serve --http` /
+/// `serve --mcp`) and builds the `ServeCtx` from a graph file.
+fn build_serve_ctx(gpath: &str, args: &[String]) -> Result<wqe::serve::ServeCtx, String> {
+    use wqe::core::{QueryService, RateLimitConfig, ServiceConfig};
+    let mut service_cfg = ServiceConfig::default();
+    service_cfg.base_config.budget = 3.0;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).cloned();
+        let need = |what: &str| -> Result<String, String> {
+            val.clone().ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag {
+            "--budget" => service_cfg.base_config.budget = need("a number")?.parse().unwrap_or(3.0),
+            "--top-k" => service_cfg.base_config.top_k = need("an int")?.parse().unwrap_or(1),
+            "--deadline" => {
+                service_cfg.base_config.deadline_ms = need("ms")?.parse().unwrap_or(0.0)
+            }
+            "--workers" => service_cfg.max_inflight = need("an int")?.parse().unwrap_or(0),
+            "--queue-cap" => service_cfg.queue_cap = need("an int")?.parse().unwrap_or(64),
+            "--cache-cap" => service_cfg.cache.capacity = need("an int")?.parse().unwrap_or(256),
+            "--ttl" => service_cfg.cache.ttl_ms = need("ms")?.parse().unwrap_or(600_000),
+            "--shed" => {
+                service_cfg.shed.enabled = true;
+                i -= 1; // boolean flag, no value
+            }
+            "--rate-limit" => {
+                service_cfg.rate_limit = Some(RateLimitConfig {
+                    per_sec: need("requests/sec")?.parse().unwrap_or(50.0),
+                    ..Default::default()
+                })
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    let g = Arc::new(load_graph(gpath)?);
+    // Question specs arrive at request time, so the distance oracle must
+    // cover any bound a spec may use; default_for caps its PLL effort.
+    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(HybridOracle::default_for(&g, 4)));
+    Ok(wqe::serve::ServeCtx {
+        service: Arc::new(QueryService::new(ctx, service_cfg)),
+        graph: g,
+    })
+}
+
+fn cmd_serve_http(args: &[String]) -> i32 {
+    let (Some(port), Some(gpath)) = (args.first(), args.get(1)) else {
+        eprintln!(
+            "usage: wqe-cli serve --http <port> <graph.jsonl> \
+             [--workers N] [--queue-cap N] [--shed] [--rate-limit N] ..."
+        );
+        return 2;
+    };
+    let run = || -> Result<(), String> {
+        let ctx = build_serve_ctx(gpath, &args[2..])?;
+        let server = wqe::serve::http::HttpServer::bind(ctx, &format!("127.0.0.1:{port}"))
+            .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+        eprintln!(
+            "serving on http://{} — POST /why (add \"stream\": true for SSE), \
+             POST /why/batch, GET /stats, GET /healthz",
+            server.addr()
+        );
+        // Serve until killed; the accept loop lives on its own thread.
+        loop {
+            std::thread::park();
+        }
+    };
+    report_result(run())
+}
+
+fn cmd_serve_mcp(args: &[String]) -> i32 {
+    let Some(gpath) = args.first() else {
+        eprintln!("usage: wqe-cli serve --mcp <graph.jsonl> [--workers N] ...");
+        return 2;
+    };
+    let run = || -> Result<(), String> {
+        let ctx = build_serve_ctx(gpath, &args[1..])?;
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        wqe::serve::mcp::serve_mcp(&ctx, stdin.lock(), &mut stdout.lock())
+            .map_err(|e| format!("mcp transport error: {e}"))
+    };
+    report_result(run())
+}
+
 fn cmd_serve(args: &[String]) -> i32 {
     use wqe::core::{
         CacheConfig, Priority, QueryRequest, QueryService, QueryStatus, ServiceConfig,
     };
+    match args.first().map(String::as_str) {
+        Some("--http") => return cmd_serve_http(&args[1..]),
+        Some("--mcp") => return cmd_serve_mcp(&args[1..]),
+        _ => {}
+    }
     let (Some(gpath), Some(qpath)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: wqe-cli serve <graph.jsonl> <questions.jsonl> [--workers N] ...");
+        eprintln!(
+            "usage: wqe-cli serve <graph.jsonl> <questions.jsonl> [--workers N] ...\n\
+             \x20      wqe-cli serve --http <port> <graph.jsonl> [opts]\n\
+             \x20      wqe-cli serve --mcp <graph.jsonl> [opts]"
+        );
         return 2;
     };
     let mut config = WqeConfig::default();
@@ -506,6 +613,9 @@ fn cmd_serve(args: &[String]) -> i32 {
                         "rejected",
                         serde_json::json!({ "queue_full": queue_full, "queue_len": queue_len }),
                     ),
+                    QueryStatus::Shed { reason } => {
+                        ("shed", serde_json::json!({ "reason": reason.as_str() }))
+                    }
                 };
                 println!(
                     "{}",
@@ -533,6 +643,9 @@ fn cmd_serve(args: &[String]) -> i32 {
                     QueryStatus::Failed { error } => println!("#{}: failed: {error}", r.id),
                     QueryStatus::Rejected { queue_len, .. } => {
                         println!("#{}: rejected (queue depth {queue_len})", r.id)
+                    }
+                    QueryStatus::Shed { reason } => {
+                        println!("#{}: shed ({})", r.id, reason.as_str())
                     }
                 }
             }

@@ -18,6 +18,8 @@
 //! * [`query`] — pattern queries, operators, star-view matcher (`wqe-query`);
 //! * [`core`] — exemplars, closeness, Q-Chase, and every algorithm
 //!   (`wqe-core`);
+//! * [`serve`] — the network front-end: streaming HTTP/SSE endpoints and
+//!   an MCP stdio tool over `QueryService` (`wqe-serve`);
 //! * [`datagen`] — synthetic datasets and why-question generators
 //!   (`wqe-datagen`).
 //!
@@ -53,4 +55,5 @@ pub use wqe_graph as graph;
 pub use wqe_index as index;
 pub use wqe_pool as pool;
 pub use wqe_query as query;
+pub use wqe_serve as serve;
 pub use wqe_store as store;

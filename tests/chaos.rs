@@ -431,3 +431,124 @@ fn store_read_faults_are_typed_or_quarantined() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+/// `HttpConn` faults drop individual connections — at accept or mid-SSE —
+/// and nothing else: requests that do get through carry bit-identical
+/// answers, the accept loop keeps accepting, and no worker panics.
+#[test]
+fn http_conn_faults_shed_connections_not_the_server() {
+    use std::io::{Read as _, Write as _};
+
+    let spec: serde_json::Value = serde_json::from_str(
+        r#"{
+          "query": {
+            "max_bound": 4,
+            "nodes": [
+              {"id": "phone", "label": "Cellphone", "focus": true,
+               "literals": [
+                 {"attr": "Price", "op": ">=", "value": 840},
+                 {"attr": "Brand", "op": "=", "value": "Samsung"},
+                 {"attr": "RAM", "op": ">=", "value": 4},
+                 {"attr": "Display", "op": ">=", "value": 62}
+               ]},
+              {"id": "carrier", "label": "Carrier"},
+              {"id": "sensor", "label": "Sensor"}
+            ],
+            "edges": [
+              {"from": "phone", "to": "carrier", "bound": 1},
+              {"from": "phone", "to": "sensor", "bound": 2}
+            ]
+          },
+          "exemplar": {
+            "tuples": [
+              {"Display": 62, "Storage": "?", "Price": "_"},
+              {"Display": 63, "Storage": "?", "Price": "?"}
+            ],
+            "constraints": [
+              {"lhs": {"tuple": 1, "attr": "Price"}, "op": "<", "value": 800},
+              {"lhs": {"tuple": 0, "attr": "Storage"}, "op": ">",
+               "var": {"tuple": 1, "attr": "Storage"}}
+            ]
+          }
+        }"#,
+    )
+    .unwrap();
+
+    let (g, _) = setup();
+    let ctx = EngineCtx::with_default_oracle(Arc::clone(&g));
+    let service = Arc::new(QueryService::new(
+        ctx,
+        ServiceConfig {
+            max_inflight: 2,
+            base_config: config(1),
+            ..Default::default()
+        },
+    ));
+    let serve_ctx = wqe::serve::ServeCtx { service, graph: g };
+    let server = wqe::serve::http::HttpServer::bind(serve_ctx, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // A best-effort exchange: `None` when the connection was dropped on us.
+    let post = |body: &str| -> Option<(u16, String)> {
+        let mut s = std::net::TcpStream::connect(addr).ok()?;
+        let req = format!(
+            "POST /why HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        s.write_all(req.as_bytes()).ok()?;
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).ok()?;
+        let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
+        Some((status, raw.split_once("\r\n\r\n")?.1.to_string()))
+    };
+    let fingerprint_of = |body: &str| -> Option<String> {
+        let v: serde_json::Value = serde_json::from_str(body).ok()?;
+        Some(v.get("report")?.get("fingerprint")?.as_str()?.to_string())
+    };
+
+    // Baseline outside the plan guard, fault-free, through the full stack.
+    let blocking = spec.to_string();
+    let (status, body) = post(&blocking).expect("fault-free exchange");
+    assert_eq!(status, 200);
+    let expected = fingerprint_of(&body).expect("baseline fingerprint");
+
+    let mut streaming = spec.clone();
+    if let serde_json::Value::Object(m) = &mut streaming {
+        m.insert("stream".into(), serde_json::Value::Bool(true));
+    }
+    let streaming = streaming.to_string();
+
+    let plan = Arc::new(FaultPlan::new(chaos_seed()).arm(FaultSite::HttpConn, 2));
+    let _guard = with_plan(Arc::clone(&plan));
+    let mut served = 0;
+    for i in 0..12 {
+        // Alternate blocking and streaming so the fault hits both the
+        // accept-time site and the mid-SSE site.
+        let body = if i % 2 == 0 { &blocking } else { &streaming };
+        let Some((status, reply)) = post(body) else {
+            continue; // the injected drop — exactly what must stay contained
+        };
+        if i % 2 == 0 {
+            assert_eq!(status, 200, "served request failed under chaos");
+            assert_eq!(
+                fingerprint_of(&reply).expect("served reply carries a report"),
+                expected,
+                "chaos changed a served answer (seed {})",
+                plan.seed()
+            );
+            served += 1;
+        }
+    }
+    assert!(
+        plan.fired(FaultSite::HttpConn) > 0,
+        "schedule never fired (seed {})",
+        plan.seed()
+    );
+    assert!(served > 0, "every request dropped (seed {})", plan.seed());
+    drop(_guard);
+
+    // The storm is over; the server still accepts and answers.
+    let (status, body) = post(&blocking).expect("post-chaos exchange");
+    assert_eq!(status, 200);
+    assert_eq!(fingerprint_of(&body).unwrap(), expected);
+}

@@ -104,6 +104,9 @@ fn profile_json_field_set_is_stable() {
         "\"retries\"",
         "\"degraded_serves\"",
         "\"scratch_fallbacks\"",
+        "\"stream_updates\"",
+        "\"shed_requests\"",
+        "\"rate_limited\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }

@@ -2,16 +2,18 @@
 //! back must be bit-identical to what a direct `WqeEngine::try_run` with
 //! the same effective config produces — through the concurrent scheduler,
 //! through the answer cache, at any worker count. Plus the admission and
-//! deadline contracts: a full queue rejects explicitly, and a per-request
-//! deadline surfaces as `Termination::Deadline`.
+//! deadline contracts: a full queue rejects explicitly, a request whose
+//! queue wait already consumed its deadline is shed typed at dequeue, and
+//! a deadline tripping *during* service surfaces as a best-so-far report
+//! with `Termination::Deadline`.
 
 use std::sync::Arc;
 use wqe::core::{
     Algorithm, CacheConfig, EngineCtx, QueryRequest, QueryService, QueryStatus, ServiceConfig,
-    Termination, WhyQuestion, WqeConfig, WqeEngine,
+    ShedReason, Termination, WhyQuestion, WqeConfig, WqeEngine,
 };
 use wqe::datagen::{generate_query, generate_why, QueryGenConfig, TopologyKind, WhyGenConfig};
-use wqe::index::{DistanceOracle, HybridOracle};
+use wqe::index::{DistanceOracle, FaultOracle, HybridOracle, PllIndex};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -284,7 +286,13 @@ fn full_queue_rejects_and_the_rest_still_serve() {
 
 #[test]
 fn per_request_deadline_terminates_with_deadline() {
-    let (ctx, q) = paper_setup();
+    // A deterministically slow oracle (2ms per distance call) so a 30ms
+    // deadline reliably trips *during* service, never during queueing.
+    let graph = Arc::new(wqe::graph::product::product_graph().graph);
+    let inner: Arc<dyn DistanceOracle> = Arc::new(PllIndex::build(&graph));
+    let oracle: Arc<dyn DistanceOracle> = Arc::new(FaultOracle::slow(inner, 2));
+    let q = wqe::core::paper::paper_question(&graph);
+    let ctx = EngineCtx::new(graph, oracle);
     let svc = QueryService::new(
         ctx,
         ServiceConfig {
@@ -296,9 +304,9 @@ fn per_request_deadline_terminates_with_deadline() {
             ..Default::default()
         },
     );
-    // An (effectively) already-expired deadline: the search's first governor
-    // poll trips, and the response still carries a best-so-far report.
-    let resp = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW).with_deadline_ms(1e-6));
+    // `deadline_ms` budgets *service* time: the search starts, the governor
+    // trips mid-run, and the response carries a best-so-far report.
+    let resp = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW).with_deadline_ms(30.0));
     let report = resp
         .report()
         .expect("deadline yields best-so-far, not an error");
@@ -306,9 +314,31 @@ fn per_request_deadline_terminates_with_deadline() {
 
     // Partial reports must never be cached: a follow-up without the
     // deadline computes the complete answer.
-    let full = svc.call(QueryRequest::new(q, Algorithm::AnsW));
+    let full = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW));
     assert!(!full.cache_hit());
     assert_eq!(full.report().unwrap().termination, Termination::Complete);
+
+    // Queue time is charged separately: a job whose wait already consumed
+    // its whole deadline is shed typed at dequeue, not run to a useless
+    // partial and not reported as `Done`.
+    svc.pause();
+    let pending = svc.submit(QueryRequest::new(q, Algorithm::AnsW).with_deadline_ms(20.0));
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    svc.resume();
+    let resp = pending.wait();
+    match &resp.status {
+        QueryStatus::Shed {
+            reason:
+                ShedReason::DeadlineElapsed {
+                    queue_ms,
+                    deadline_ms,
+                },
+        } => {
+            assert!(*queue_ms >= *deadline_ms);
+            assert_eq!(*deadline_ms, 20.0);
+        }
+        other => panic!("queue-dead job must shed, got {other:?}"),
+    }
 }
 
 #[test]
@@ -339,4 +369,72 @@ fn priorities_never_change_answers_only_order() {
             direct_fingerprint(&ctx, q, Algorithm::AnsW, &cfg)
         );
     }
+}
+
+/// Shutdown/drop races with in-flight streaming handles: a vanished
+/// receiver never poisons the service, and a torn-down service never
+/// leaves a handle hanging — every `wait()` resolves to a real answer or
+/// a typed failure.
+#[test]
+fn streaming_drop_and_shutdown_races_are_safe() {
+    let (ctx, q) = paper_setup();
+    let cfg = base_config();
+    let make = || {
+        QueryService::new(
+            ctx.clone(),
+            ServiceConfig {
+                max_inflight: 2,
+                base_config: cfg.clone(),
+                cache: CacheConfig {
+                    capacity: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    };
+
+    // Receivers vanish while jobs are (possibly) in flight; the service
+    // then still serves a fresh request bit-identically.
+    let svc = make();
+    for _ in 0..4 {
+        drop(svc.submit_streaming(QueryRequest::new(q.clone(), Algorithm::AnsW)));
+    }
+    let resp = svc.call(QueryRequest::new(q.clone(), Algorithm::AnsW));
+    assert_eq!(
+        fingerprint(resp.report().expect("service survives dropped streams")),
+        direct_fingerprint(&ctx, &q, Algorithm::AnsW, &cfg)
+    );
+    drop(svc);
+
+    // The service is torn down with live streaming handles: each handle
+    // resolves — served answers are bit-correct, unserved ones fail typed.
+    let svc = make();
+    let handles: Vec<_> = (0..4)
+        .map(|_| svc.submit_streaming(QueryRequest::new(q.clone(), Algorithm::AnsW)))
+        .collect();
+    drop(svc);
+    let expected = direct_fingerprint(&ctx, &q, Algorithm::AnsW, &cfg);
+    for h in handles {
+        let resp = h.wait();
+        match &resp.status {
+            QueryStatus::Done { report, .. } => assert_eq!(fingerprint(report), expected),
+            QueryStatus::Failed { .. } => {}
+            other => panic!("teardown must yield done or failed, got {other:?}"),
+        }
+    }
+
+    // Cancel + drop against a paused queue: nothing wedges, and the
+    // service keeps answering afterwards.
+    let svc = make();
+    svc.pause();
+    let h = svc.submit_streaming(QueryRequest::new(q.clone(), Algorithm::AnsW));
+    h.cancel();
+    drop(h);
+    svc.resume();
+    let resp = svc.call(QueryRequest::new(q, Algorithm::AnsW));
+    assert_eq!(
+        fingerprint(resp.report().expect("post-cancel serve")),
+        expected
+    );
 }
