@@ -1,0 +1,256 @@
+//! Live-graph write-path harness.
+//!
+//! ```text
+//! bench_live [--out results/BENCH_live.json] [--scale F] [--reps R]
+//! ```
+//!
+//! Measures the two claims the epoch-versioned write path makes:
+//!
+//! 1. **Incremental beats rebuild.** Publishing a pure-edge-insert batch
+//!    through [`GraphStore::apply`] (incremental PLL label repair, star
+//!    cache carry-over, epoch install) must be **≥5× faster** than a full
+//!    PLL rebuild of the post-update graph at the 4k-node default scale.
+//!    Repair cost is local to the touched region while rebuild cost is
+//!    superlinear in the graph, so the gap only grows with scale.
+//! 2. **Reads pay nothing for writability.** With no writer running, a
+//!    query through an epoch-pinned handle must be within **3%** of the
+//!    same query through a plain fixed [`EngineCtx`] (min-over-reps), with
+//!    bit-identical answers.
+
+use std::sync::Arc;
+use std::time::Instant;
+use wqe_core::engine::{Algorithm, WqeEngine};
+use wqe_core::{EngineCtx, GraphStore, OracleTier, WhyQuestion, WqeConfig};
+use wqe_datagen::{generate_query, generate_why, QueryGenConfig, TopologyKind, WhyGenConfig};
+use wqe_graph::{Graph, GraphUpdate, NodeId};
+use wqe_index::{DistanceOracle, PllIndex};
+
+#[derive(serde::Serialize)]
+struct BenchLive {
+    scale: f64,
+    nodes: usize,
+    edges: usize,
+    reps: usize,
+    /// Publishes timed (one pure-insert batch each; min taken).
+    publishes: usize,
+    /// Min publish latency: apply_updates + incremental PLL repair +
+    /// keyed cache carry-over + epoch install.
+    publish_ms: f64,
+    /// Min full-PLL-rebuild latency on the post-update graph.
+    rebuild_ms: f64,
+    repair_speedup: f64,
+    repair_speedup_target: f64,
+    /// Every timed publish ran on the repaired-PLL tier (an overlay or
+    /// rebuild would make the comparison vacuous).
+    repair_tier_ok: bool,
+    /// Min per-question latency through a plain fixed context.
+    read_fixed_ms: f64,
+    /// Min per-question latency through an epoch-pinned store handle.
+    read_pinned_ms: f64,
+    read_overhead_pct: f64,
+    read_overhead_target_pct: f64,
+    /// Pinned answers were bit-identical to fixed-context answers.
+    answers_identical: bool,
+    within_target: bool,
+}
+
+fn questions(graph: &Arc<Graph>, oracle: &Arc<dyn DistanceOracle>, n: usize) -> Vec<WhyQuestion> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < n && seed < 300 {
+        seed += 1;
+        let qcfg = QueryGenConfig {
+            edges: 2,
+            seed,
+            topology: TopologyKind::Star,
+            ..Default::default()
+        };
+        if let Some(truth) = generate_query(graph, &qcfg) {
+            let wcfg = WhyGenConfig {
+                seed: seed * 13,
+                ..Default::default()
+            };
+            if let Some(gw) = generate_why(graph, oracle, &truth, &wcfg) {
+                out.push(gw.question);
+            }
+        }
+    }
+    out
+}
+
+fn config() -> WqeConfig {
+    WqeConfig {
+        budget: 3.0,
+        max_expansions: 300,
+        top_k: 3,
+        parallelism: 1,
+        ..Default::default()
+    }
+}
+
+fn fingerprint(report: &wqe_core::AnswerReport) -> String {
+    report.fingerprint()
+}
+
+/// One timed pass of AnsW over `qs` on `ctx`: per-question wall time and
+/// the answer fingerprints.
+fn read_pass(ctx: &EngineCtx, qs: &[WhyQuestion]) -> (f64, Vec<String>) {
+    let t = Instant::now();
+    let mut fps = Vec::with_capacity(qs.len());
+    for wq in qs {
+        let report = WqeEngine::try_new(ctx.clone(), wq.clone(), config())
+            .expect("engine")
+            .try_run(Algorithm::AnsW)
+            .expect("run");
+        fps.push(fingerprint(&report));
+    }
+    (t.elapsed().as_secs_f64() * 1e3 / qs.len() as f64, fps)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "results/BENCH_live.json".to_string();
+    let mut scale = 0.1f64;
+    let mut reps = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 1;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(0.1);
+                i += 1;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().unwrap_or(3).max(1);
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_live [--out FILE] [--scale F] [--reps R]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let graph = Arc::new(wqe_datagen::dbpedia_like(scale, 33));
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    let n = nodes as u32;
+    eprintln!("dataset: dbpedia-like at scale {scale} ({nodes} nodes, {edges} edges)");
+
+    // --- Claim 1: incremental repair vs full rebuild --------------------
+    let store = GraphStore::new(Arc::clone(&graph));
+    let publishes = reps.max(3);
+    let mut publish_ms = f64::INFINITY;
+    let mut repair_tier_ok = true;
+    for i in 0..publishes {
+        let k = i as u32;
+        // Fresh edges each round so no batch is a semantic no-op.
+        let batch = [
+            GraphUpdate::InsertEdge {
+                from: NodeId((k * 97 + 13) % n),
+                to: NodeId((k * 131 + 57) % n),
+                label: "live".into(),
+            },
+            GraphUpdate::InsertEdge {
+                from: NodeId((k * 193 + 29) % n),
+                to: NodeId((k * 61 + 3) % n),
+                label: "live".into(),
+            },
+        ];
+        let t = Instant::now();
+        let report = store.apply(&batch).expect("publish");
+        publish_ms = publish_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        if !matches!(report.tier, OracleTier::RepairedPll) {
+            eprintln!(
+                "publish {i} fell off the repair tier: {}",
+                report.tier.name()
+            );
+            repair_tier_ok = false;
+        }
+    }
+    eprintln!("incremental publish: {publish_ms:.2} ms (min over {publishes})");
+
+    let head_graph = Arc::clone(store.pin().ctx().graph());
+    let mut rebuild_ms = f64::INFINITY;
+    for _ in 0..reps.min(2).max(1) {
+        let t = Instant::now();
+        let pll = PllIndex::build_with(&head_graph, 4);
+        rebuild_ms = rebuild_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        drop(pll);
+    }
+    eprintln!("full PLL rebuild: {rebuild_ms:.1} ms");
+    let repair_speedup = rebuild_ms / publish_ms;
+    let repair_speedup_target = 5.0;
+    eprintln!(
+        "repair speedup: {repair_speedup:.1}x (target >= {repair_speedup_target}x, tier ok: {repair_tier_ok})"
+    );
+
+    // --- Claim 2: epoch-pinned reads are free when nobody writes --------
+    let fixed = EngineCtx::with_default_oracle(Arc::clone(&graph));
+    let read_store = GraphStore::new(Arc::clone(&graph));
+    let pinned = read_store.pin();
+    let qs = questions(&graph, fixed.oracle(), 4);
+    assert!(!qs.is_empty(), "no questions generated");
+    eprintln!("read workload: {} questions x AnsW", qs.len());
+
+    // Alternate modes each rep (min-over-reps) so thermal/frequency drift
+    // hits both paths equally instead of whichever ran second.
+    let read_reps = reps.max(9);
+    let mut read_fixed_ms = f64::INFINITY;
+    let mut read_pinned_ms = f64::INFINITY;
+    let mut fixed_fps = Vec::new();
+    let mut pinned_fps = Vec::new();
+    for rep in 0..read_reps {
+        let (f_ms, f_fp) = read_pass(&fixed, &qs);
+        let (p_ms, p_fp) = read_pass(pinned.ctx(), &qs);
+        read_fixed_ms = read_fixed_ms.min(f_ms);
+        read_pinned_ms = read_pinned_ms.min(p_ms);
+        if rep == 0 {
+            fixed_fps = f_fp;
+            pinned_fps = p_fp;
+        }
+    }
+    let answers_identical = fixed_fps == pinned_fps;
+    let read_overhead_pct = (read_pinned_ms - read_fixed_ms) / read_fixed_ms * 100.0;
+    let read_overhead_target_pct = 3.0;
+    eprintln!(
+        "reads: fixed {read_fixed_ms:.2} ms/q, pinned {read_pinned_ms:.2} ms/q, \
+         overhead {read_overhead_pct:+.2}% (target < {read_overhead_target_pct}%, \
+         identical: {answers_identical})"
+    );
+
+    let within_target = repair_speedup >= repair_speedup_target
+        && repair_tier_ok
+        && read_overhead_pct < read_overhead_target_pct
+        && answers_identical;
+    eprintln!("=> {}", if within_target { "PASS" } else { "FAIL" });
+
+    let report = BenchLive {
+        scale,
+        nodes,
+        edges,
+        reps,
+        publishes,
+        publish_ms,
+        rebuild_ms,
+        repair_speedup,
+        repair_speedup_target,
+        repair_tier_ok,
+        read_fixed_ms,
+        read_pinned_ms,
+        read_overhead_pct,
+        read_overhead_target_pct,
+        answers_identical,
+        within_target,
+    };
+    let json = serde_json::to_string_pretty(&serde_json::to_value(&report)).expect("encode report");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out}");
+    if !within_target {
+        std::process::exit(1);
+    }
+}

@@ -1,21 +1,28 @@
 //! Shared-ownership engine context.
 //!
 //! Everything a why-question session needs from the outside world — the
-//! data graph and a distance oracle over it — bundled behind `Arc`s. The
-//! context is cheap to clone (two refcount bumps) and `'static`, which is
-//! what lets [`crate::session::Session`] and [`crate::engine::WqeEngine`]
-//! be handed across threads: one graph and one index, built once, answering
-//! many concurrent why-questions.
+//! data graph, a distance oracle over it, the epoch it was published at,
+//! and the star cache shared by sessions of that epoch — bundled behind
+//! `Arc`s. The context is cheap to clone (refcount bumps) and `'static`,
+//! which is what lets [`crate::session::Session`] and
+//! [`crate::engine::WqeEngine`] be handed across threads: one graph and
+//! one index, built once, answering many concurrent why-questions.
+//!
+//! Contexts are made by [`EngineCtx::builder`]; the named constructors
+//! ([`EngineCtx::new`], [`EngineCtx::with_default_oracle`],
+//! [`EngineCtx::from_snapshot`]) are thin sugar over it.
 
 use crate::error::WqeError;
-use std::path::Path;
+use crate::live::EpochId;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use wqe_graph::Graph;
 use wqe_index::{BoundedBfsOracle, DistanceOracle, HybridOracle, ResilientOracle, PLL_NODE_LIMIT};
+use wqe_query::StarCache;
 use wqe_store::format::VERSION_INTERLEAVED_PLL;
 use wqe_store::{Snapshot, SnapshotOracle};
 
-/// What [`EngineCtx::from_snapshot`] observed while loading: enough for a
+/// What a snapshot-sourced build observed while loading: enough for a
 /// session to seed its profiler with a `snapshot_load` span even though the
 /// load happened before the session (or its profiler) existed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,7 +52,7 @@ impl SnapshotStartup {
 /// use wqe_graph::product::product_graph;
 ///
 /// let ctx = EngineCtx::with_default_oracle(Arc::new(product_graph().graph));
-/// let clone = ctx.clone(); // cheap: two Arc bumps
+/// let clone = ctx.clone(); // cheap: a few Arc bumps
 /// assert_eq!(clone.graph().node_count(), ctx.graph().node_count());
 /// ```
 #[derive(Clone)]
@@ -53,16 +60,185 @@ pub struct EngineCtx {
     graph: Arc<Graph>,
     oracle: Arc<dyn DistanceOracle>,
     startup: Option<SnapshotStartup>,
+    epoch: EpochId,
+    star_cache: Arc<StarCache>,
+}
+
+/// Assembles an [`EngineCtx`] from one graph source — an in-memory graph,
+/// a snapshot path, or an already-open [`Snapshot`] — plus optional
+/// overrides (oracle, epoch, star cache).
+///
+/// ```
+/// use std::sync::Arc;
+/// use wqe_core::ctx::EngineCtx;
+/// use wqe_graph::product::product_graph;
+///
+/// let ctx = EngineCtx::builder()
+///     .graph(Arc::new(product_graph().graph))
+///     .build()
+///     .unwrap();
+/// assert_eq!(ctx.epoch().0, 0); // contexts are born at epoch 0
+/// assert!(ctx.snapshot_startup().is_none());
+/// ```
+#[derive(Default)]
+#[must_use = "a builder does nothing until .build()"]
+pub struct EngineCtxBuilder {
+    graph: Option<Arc<Graph>>,
+    oracle: Option<Arc<dyn DistanceOracle>>,
+    snapshot_path: Option<PathBuf>,
+    snapshot: Option<Snapshot>,
+    epoch: EpochId,
+    star_cache: Option<Arc<StarCache>>,
+}
+
+impl EngineCtxBuilder {
+    /// Uses an in-memory graph as the context's graph source.
+    pub fn graph(mut self, graph: Arc<Graph>) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Uses a caller-chosen oracle verbatim (no resilience wrapping —
+    /// callers that pick their own oracle own its failure behavior).
+    /// Without this, [`build`](Self::build) derives the default oracle for
+    /// the graph source: [`HybridOracle::default_for`] (in-memory graphs)
+    /// or the snapshot's own labels, wrapped in the [`ResilientOracle`]
+    /// degradation ladder either way.
+    pub fn oracle(mut self, oracle: Arc<dyn DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Opens the durable snapshot at `path` as the graph source.
+    pub fn snapshot_path(mut self, path: impl AsRef<Path>) -> Self {
+        self.snapshot_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Uses an already-open [`Snapshot`] as the graph source — the seam
+    /// for callers (the CLI) that open the file themselves to classify
+    /// load errors before committing to a context.
+    pub fn snapshot(mut self, snap: Snapshot) -> Self {
+        self.snapshot = Some(snap);
+        self
+    }
+
+    /// Tags the context with the epoch it was published at. Defaults to
+    /// [`EpochId::INITIAL`]; [`crate::live::GraphStore`] sets this on
+    /// every publish.
+    pub fn epoch(mut self, epoch: EpochId) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Shares an existing star cache instead of creating a fresh one —
+    /// how a [`crate::live::GraphStore`] publish carries unaffected star
+    /// tables into the next epoch.
+    pub fn star_cache(mut self, cache: Arc<StarCache>) -> Self {
+        self.star_cache = Some(cache);
+        self
+    }
+
+    /// Builds the context. Exactly one graph source must have been given;
+    /// anything else is [`WqeError::Builder`]. Snapshot sources can also
+    /// fail with [`WqeError::Snapshot`].
+    pub fn build(self) -> Result<EngineCtx, WqeError> {
+        let sources = usize::from(self.graph.is_some())
+            + usize::from(self.snapshot.is_some())
+            + usize::from(self.snapshot_path.is_some());
+        if sources == 0 {
+            return Err(WqeError::Builder {
+                reason: "no graph source: call .graph(), .snapshot() or .snapshot_path()",
+            });
+        }
+        if sources > 1 {
+            return Err(WqeError::Builder {
+                reason: "conflicting graph sources: give exactly one of \
+                         .graph(), .snapshot(), .snapshot_path()",
+            });
+        }
+        let star_cache = self
+            .star_cache
+            .unwrap_or_else(|| Arc::new(StarCache::default_sized()));
+
+        if let Some(graph) = self.graph {
+            let oracle = match self.oracle {
+                Some(o) => o,
+                None => {
+                    let primary: Arc<dyn DistanceOracle> =
+                        Arc::new(HybridOracle::default_for(&graph, 4));
+                    EngineCtx::resilient(&graph, primary)
+                }
+            };
+            return Ok(EngineCtx {
+                graph,
+                oracle,
+                startup: None,
+                epoch: self.epoch,
+                star_cache,
+            });
+        }
+
+        let started = std::time::Instant::now();
+        let snap = match self.snapshot {
+            Some(snap) => snap,
+            None => Snapshot::open(&self.snapshot_path.expect("one source"))?,
+        };
+        let bytes_mapped = snap.bytes_len();
+        let quarantined_sections = snap.quarantined();
+        let graph = Arc::new(snap.load_graph()?);
+        let pll_usable = snap.meta().has_pll() && snap.pll_available();
+        let oracle = match self.oracle {
+            Some(o) => o,
+            None => {
+                let primary: Arc<dyn DistanceOracle> = if !pll_usable {
+                    // Either the writer skipped labels (big graph: horizon-4
+                    // BFS is exactly what a fresh HybridOracle would use) or
+                    // the label sections were quarantined (degrade to an
+                    // unbounded BFS, which answers bit-identically to the
+                    // lost PLL labels).
+                    let horizon = if snap.meta().has_pll() { u32::MAX } else { 4 };
+                    Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), horizon))
+                } else if snap.format_version() > VERSION_INTERLEAVED_PLL {
+                    Arc::new(SnapshotOracle::new(Arc::new(snap))?)
+                } else {
+                    let pll = snap
+                        .load_pll()?
+                        .expect("pll_available implies label sections (validated at open)");
+                    Arc::new(pll)
+                };
+                EngineCtx::resilient(&graph, primary)
+            }
+        };
+        let load_ns = started.elapsed().as_nanos() as u64;
+        Ok(EngineCtx {
+            graph,
+            oracle,
+            startup: Some(SnapshotStartup {
+                load_ns,
+                bytes_mapped,
+                quarantined_sections,
+            }),
+            epoch: self.epoch,
+            star_cache,
+        })
+    }
 }
 
 impl EngineCtx {
+    /// Starts assembling a context. See [`EngineCtxBuilder`].
+    pub fn builder() -> EngineCtxBuilder {
+        EngineCtxBuilder::default()
+    }
+
     /// Bundles a graph with a caller-chosen oracle.
+    /// Sugar for `builder().graph(graph).oracle(oracle).build()`.
     pub fn new(graph: Arc<Graph>, oracle: Arc<dyn DistanceOracle>) -> Self {
-        EngineCtx {
-            graph,
-            oracle,
-            startup: None,
-        }
+        EngineCtx::builder()
+            .graph(graph)
+            .oracle(oracle)
+            .build()
+            .expect("graph+oracle builds are infallible")
     }
 
     /// Bundles a graph with [`HybridOracle::default_for`] at the paper's
@@ -70,14 +246,12 @@ impl EngineCtx {
     /// [`ResilientOracle`] degradation ladder (retry → circuit breaker →
     /// answer-parity BFS fallback). With no fault plan installed the wrap
     /// is a pass-through; answers are always bit-identical either way.
+    /// Sugar for `builder().graph(graph).build()`.
     pub fn with_default_oracle(graph: Arc<Graph>) -> Self {
-        let oracle: Arc<dyn DistanceOracle> = Arc::new(HybridOracle::default_for(&graph, 4));
-        let oracle = Self::resilient(&graph, oracle);
-        EngineCtx {
-            graph,
-            oracle,
-            startup: None,
-        }
+        EngineCtx::builder()
+            .graph(graph)
+            .build()
+            .expect("graph-only builds are infallible")
     }
 
     /// Wraps `primary` in a [`ResilientOracle`] whose fallback answers
@@ -85,7 +259,10 @@ impl EngineCtx {
     /// BFS (exact, like the PLL labels), larger graphs the same horizon-4
     /// BFS that [`HybridOracle::default_for`] would pick — so degradation
     /// never changes an answer, only its latency.
-    fn resilient(graph: &Arc<Graph>, primary: Arc<dyn DistanceOracle>) -> Arc<dyn DistanceOracle> {
+    pub(crate) fn resilient(
+        graph: &Arc<Graph>,
+        primary: Arc<dyn DistanceOracle>,
+    ) -> Arc<dyn DistanceOracle> {
         let horizon = if graph.node_count() <= PLL_NODE_LIMIT {
             u32::MAX
         } else {
@@ -97,6 +274,7 @@ impl EngineCtx {
 
     /// Opens a durable snapshot (see [`wqe_store`]) and builds a context
     /// from it without re-parsing text or re-building any index.
+    /// Sugar for `builder().snapshot_path(path).build()`.
     ///
     /// Snapshots written with PLL labels serve distances straight from the
     /// mapped label arrays ([`SnapshotOracle`], zero-copy); version-1
@@ -115,76 +293,39 @@ impl EngineCtx {
     /// [`SnapshotStartup::quarantined_sections`] so the degradation is
     /// visible in startup telemetry and `--profile` output.
     pub fn from_snapshot(path: &Path) -> Result<EngineCtx, WqeError> {
-        let started = std::time::Instant::now();
-        let snap = Snapshot::open(path)?;
-        Self::build(snap, started)
+        EngineCtx::builder().snapshot_path(path).build()
     }
 
-    /// Builds a context from an already-open [`Snapshot`] — the seam for
-    /// callers (the CLI) that open the file themselves to classify load
-    /// errors before committing to a context. Same semantics as
-    /// [`EngineCtx::from_snapshot`], load time measured from here.
-    pub fn from_open_snapshot(snap: Snapshot) -> Result<EngineCtx, WqeError> {
-        Self::build(snap, std::time::Instant::now())
-    }
-
-    fn build(snap: Snapshot, started: std::time::Instant) -> Result<EngineCtx, WqeError> {
-        let bytes_mapped = snap.bytes_len();
-        let quarantined_sections = snap.quarantined();
-        let graph = Arc::new(snap.load_graph()?);
-        let pll_usable = snap.meta().has_pll() && snap.pll_available();
-        let primary: Arc<dyn DistanceOracle> = if !pll_usable {
-            // Either the writer skipped labels (big graph: horizon-4 BFS is
-            // exactly what a fresh HybridOracle would use) or the label
-            // sections were quarantined (degrade to an unbounded BFS, which
-            // answers bit-identically to the lost PLL labels).
-            let horizon = if snap.meta().has_pll() { u32::MAX } else { 4 };
-            Arc::new(BoundedBfsOracle::new(Arc::clone(&graph), horizon))
-        } else if snap.format_version() > VERSION_INTERLEAVED_PLL {
-            Arc::new(SnapshotOracle::new(Arc::new(snap))?)
-        } else {
-            let pll = snap
-                .load_pll()?
-                .expect("pll_available implies label sections (validated at open)");
-            Arc::new(pll)
-        };
-        let oracle = Self::resilient(&graph, primary);
-        let load_ns = started.elapsed().as_nanos() as u64;
-        Ok(EngineCtx {
-            graph,
-            oracle,
-            startup: Some(SnapshotStartup {
-                load_ns,
-                bytes_mapped,
-                quarantined_sections,
-            }),
-        })
-    }
-
-    /// Load telemetry when this context came from
-    /// [`EngineCtx::from_snapshot`]; `None` for in-memory constructions.
+    /// Load telemetry when this context came from a snapshot source;
+    /// `None` for in-memory constructions.
     pub fn snapshot_startup(&self) -> Option<SnapshotStartup> {
         self.startup.clone()
     }
 
-    /// The data graph.
-    pub fn graph(&self) -> &Graph {
+    /// The data graph (deref to use it as `&Graph`, clone the `Arc` to
+    /// share it).
+    pub fn graph(&self) -> &Arc<Graph> {
         &self.graph
     }
 
-    /// A shared handle to the graph.
-    pub fn graph_arc(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+    /// The distance oracle (deref to use it as `&dyn DistanceOracle`,
+    /// clone the `Arc` to share it).
+    pub fn oracle(&self) -> &Arc<dyn DistanceOracle> {
+        &self.oracle
     }
 
-    /// The distance oracle.
-    pub fn oracle(&self) -> &dyn DistanceOracle {
-        &*self.oracle
+    /// The epoch this context's graph was published at. In-memory and
+    /// snapshot contexts made outside a [`crate::live::GraphStore`] are
+    /// epoch 0.
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
     }
 
-    /// A shared handle to the oracle.
-    pub fn oracle_arc(&self) -> Arc<dyn DistanceOracle> {
-        Arc::clone(&self.oracle)
+    /// The star cache sessions of this context share. Per-epoch: a
+    /// [`crate::live::GraphStore`] publish derives the next epoch's cache
+    /// from this one, never mutates it.
+    pub fn star_cache(&self) -> &Arc<StarCache> {
+        &self.star_cache
     }
 }
 
@@ -193,6 +334,7 @@ impl std::fmt::Debug for EngineCtx {
         f.debug_struct("EngineCtx")
             .field("nodes", &self.graph.node_count())
             .field("edges", &self.graph.edge_count())
+            .field("epoch", &self.epoch)
             .finish_non_exhaustive()
     }
 }
@@ -213,11 +355,43 @@ mod tests {
     fn clones_share_the_graph() {
         let ctx = EngineCtx::with_default_oracle(Arc::new(product_graph().graph));
         let clone = ctx.clone();
-        assert!(std::ptr::eq(ctx.graph(), clone.graph()));
+        assert!(Arc::ptr_eq(ctx.graph(), clone.graph()));
+        assert!(Arc::ptr_eq(ctx.star_cache(), clone.star_cache()));
         assert_eq!(
             ctx.oracle().distance_within(NodeId(0), NodeId(0), 0),
             clone.oracle().distance_within(NodeId(0), NodeId(0), 0),
         );
+    }
+
+    #[test]
+    fn builder_rejects_zero_and_two_sources() {
+        let err = EngineCtx::builder().build().unwrap_err();
+        assert!(matches!(err, WqeError::Builder { .. }), "{err:?}");
+
+        let g = Arc::new(product_graph().graph);
+        let err = EngineCtx::builder()
+            .graph(g)
+            .snapshot_path("/tmp/irrelevant.wqs")
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, WqeError::Builder { reason } if reason.contains("conflicting")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn builder_carries_epoch_and_star_cache() {
+        let g = Arc::new(product_graph().graph);
+        let cache = Arc::new(StarCache::new(8, 1.0));
+        let ctx = EngineCtx::builder()
+            .graph(g)
+            .epoch(EpochId(7))
+            .star_cache(Arc::clone(&cache))
+            .build()
+            .unwrap();
+        assert_eq!(ctx.epoch(), EpochId(7));
+        assert!(Arc::ptr_eq(ctx.star_cache(), &cache));
     }
 
     #[test]
@@ -244,6 +418,12 @@ mod tests {
         let startup = loaded.snapshot_startup().expect("load telemetry");
         assert!(startup.bytes_mapped > 0);
         assert!(fresh.snapshot_startup().is_none());
+
+        // The open-snapshot seam folds into the builder.
+        let snap = Snapshot::open(&path).unwrap();
+        let via_builder = EngineCtx::builder().snapshot(snap).build().unwrap();
+        assert_eq!(via_builder.graph().node_count(), fresh.graph().node_count());
+        assert!(via_builder.snapshot_startup().is_some());
         std::fs::remove_file(&path).ok();
     }
 
@@ -293,7 +473,13 @@ mod tests {
         ))
         .unwrap_err();
         assert!(
-            matches!(err, crate::error::WqeError::Snapshot(_)),
+            matches!(
+                err,
+                crate::error::WqeError::Snapshot {
+                    kind: crate::error::SnapshotErrorKind::Io,
+                    ..
+                }
+            ),
             "{err:?}"
         );
     }

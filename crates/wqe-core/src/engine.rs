@@ -111,7 +111,7 @@ impl std::fmt::Display for Algorithm {
 /// can drive many engines on many threads over the same graph and index.
 /// Each engine also parallelizes *within* a question —
 /// [`WqeConfig::parallelism`] workers evaluate the search's batched
-/// frontier (see [`crate::answ`]) — without affecting answers.
+/// frontier (see [`crate::answ`](module@crate::answ)) — without affecting answers.
 pub struct WqeEngine {
     session: Session,
     question: WhyQuestion,
@@ -163,6 +163,12 @@ impl WqeEngine {
     /// The underlying session (representation, `V_uo`, `cl*`, …).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// The epoch this engine answers against (from its context; see
+    /// [`crate::live::GraphStore`]).
+    pub fn epoch(&self) -> crate::live::EpochId {
+        self.session.epoch()
     }
 
     /// Installs a streaming progress sink on the underlying session: it

@@ -9,9 +9,10 @@
 //! differential-table explanations.
 //!
 //! The engine owns its inputs through a shared [`ctx::EngineCtx`]
-//! (`Arc<Graph>` + `Arc<dyn DistanceOracle>`), so engines are `'static`,
-//! `Send + Sync`, and many can answer questions concurrently over one graph
-//! and one index:
+//! (`Arc<Graph>` + `Arc<dyn DistanceOracle>`), built through
+//! [`ctx::EngineCtx::builder`], so engines are `'static`, `Send + Sync`,
+//! and many can answer questions concurrently over one graph and one
+//! index:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -23,7 +24,10 @@
 //! use wqe_graph::product::product_graph;
 //!
 //! let graph = Arc::new(product_graph().graph);
-//! let ctx = EngineCtx::with_default_oracle(Arc::clone(&graph));
+//! let ctx = EngineCtx::builder()
+//!     .graph(Arc::clone(&graph)) // default oracle picked for the graph
+//!     .build()
+//!     .unwrap();
 //! let engine = WqeEngine::new(
 //!     ctx.clone(), // cheap: clones share the graph and the index
 //!     paper_question(&graph),
@@ -39,6 +43,10 @@
 //! });
 //! let resp = service.call(QueryRequest::new(paper_question(&graph), Algorithm::AnsW));
 //! assert!(resp.report().unwrap().best.is_some());
+//!
+//! // Live graphs: a GraphStore owns the write path — see [`live`].
+//! let store = wqe_core::GraphStore::new(graph);
+//! assert_eq!(store.pin().id(), wqe_core::EpochId(0));
 //! ```
 
 #![warn(missing_docs)]
@@ -57,6 +65,7 @@ pub mod explorer;
 pub mod fmansw;
 pub mod governor;
 pub mod heuristic;
+pub mod live;
 pub mod metrics;
 pub mod multifocus;
 pub mod obs;
@@ -76,9 +85,9 @@ pub use wqe_pool as pool;
 
 pub use answ::{answ, try_answ, AnswerReport, RewriteResult, TracePoint};
 pub use closeness::{relative_closeness, ClosenessConfig};
-pub use ctx::{EngineCtx, SnapshotStartup};
+pub use ctx::{EngineCtx, EngineCtxBuilder, SnapshotStartup};
 pub use engine::{Algorithm, WqeEngine};
-pub use error::WqeError;
+pub use error::{SnapshotErrorKind, WqeError};
 pub use exemplar::{
     compute_representation, Cell, Constraint, Exemplar, Representation, Rhs, TuplePattern, VarRef,
 };
@@ -87,6 +96,9 @@ pub use explorer::{Explorer, SessionRecord, SessionStrategy};
 pub use fmansw::fm_answ;
 pub use governor::{governor_for, Governor, Termination};
 pub use heuristic::{ans_heu, try_ans_heu, Selection};
+pub use live::{
+    EpochHandle, EpochId, EpochInfo, EpochSubscriber, GraphStore, OracleTier, PublishReport,
+};
 pub use metrics::GovernorTelemetry;
 pub use multifocus::{answer_multi_focus, FocusAnswer, MultiFocusAnswer, MultiFocusQuestion};
 pub use obs::{CounterRegistry, QueryProfile, StageProfile};

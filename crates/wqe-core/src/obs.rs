@@ -91,7 +91,7 @@ pub struct CounterRegistry {
     /// expiry both count (service-level, see above).
     pub answer_cache_evictions: u64,
     /// Bytes of durable snapshot mapped (or read) at startup when the
-    /// context came from [`EngineCtx::from_snapshot`]
+    /// context came from [`crate::EngineCtx::from_snapshot`]
     /// (`crate::ctx::EngineCtx::from_snapshot`); zero for contexts built
     /// from a parsed graph.
     pub snapshot_bytes_mapped: u64,

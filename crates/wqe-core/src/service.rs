@@ -10,7 +10,7 @@
 //!   (blocking), or [`QueryService::serve_batch`] (many at once, responses
 //!   in request order);
 //! * an **admission-controlled scheduler**: at most `max_inflight` worker
-//!   threads drain a bounded [`JobQueue`](wqe_pool::serve::JobQueue) —
+//!   threads drain a bounded [`JobQueue`](`wqe_pool::serve::JobQueue`) —
 //!   highest [`Priority`] class first, FIFO within a class — and a full
 //!   queue yields an explicit [`QueryStatus::Rejected`] instead of
 //!   unbounded buffering;
@@ -45,6 +45,7 @@ use crate::ctx::EngineCtx;
 use crate::engine::{Algorithm, WqeEngine};
 use crate::error::WqeError;
 use crate::governor::Termination;
+use crate::live::{EpochHandle, EpochId, EpochSubscriber, GraphStore};
 use crate::obs::{Counter, CounterRegistry, Profiler};
 use crate::session::{AnswerUpdate, ProgressSink, WhyQuestion, WqeConfig};
 use crate::spec::SpecError;
@@ -52,8 +53,9 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
+use wqe_graph::DeltaSummary;
 use wqe_pool::serve::{JobQueue, PushError};
 
 pub use wqe_pool::serve::Priority;
@@ -93,6 +95,13 @@ pub struct QueryRequest {
     /// `None` bypasses the limiter (trusted in-process callers). The HTTP
     /// front-end fills this from the `x-wqe-tenant` header.
     pub tenant: Option<String>,
+    /// Which epoch to answer against, for services built over a live
+    /// [`GraphStore`] ([`QueryService::with_store`]). `None` pins the head
+    /// at admission (the common case); a specific id answers against that
+    /// epoch if some handle still holds it live, and fails with a typed
+    /// spec error otherwise. Ignored (must be `None` or the context's own
+    /// epoch) for store-less services.
+    pub epoch: Option<EpochId>,
 }
 
 impl QueryRequest {
@@ -105,6 +114,7 @@ impl QueryRequest {
             priority: Priority::Normal,
             deadline_ms: None,
             tenant: None,
+            epoch: None,
         }
     }
 
@@ -129,6 +139,13 @@ impl QueryRequest {
     /// Sets the rate-limiting tenant identity.
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Pins this request to a specific live epoch (see
+    /// [`QueryService::with_store`]).
+    pub fn with_epoch(mut self, epoch: EpochId) -> Self {
+        self.epoch = Some(epoch);
         self
     }
 }
@@ -172,7 +189,11 @@ impl ShedReason {
 }
 
 /// The terminal state of one served request.
+///
+/// Marked `#[non_exhaustive]`: front-ends must keep a catch-all arm so the
+/// service can grow outcomes without breaking them.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum QueryStatus {
     /// The engine produced a report (possibly partial — check
     /// `report.termination`).
@@ -473,12 +494,84 @@ fn canonical_key(question: &WhyQuestion, algorithm: Algorithm, config: &WqeConfi
     s
 }
 
+/// Composes the epoch-qualified cache key: answers are only shared within
+/// one epoch, and carried across epochs explicitly (with keyed
+/// invalidation) by [`AnswerCache::carry_forward`].
+fn epoch_key(epoch: EpochId, canonical: &str) -> String {
+    format!("ep{};{canonical}", epoch.0)
+}
+
+/// What a cached answer depends on — matched against a publish's
+/// [`DeltaSummary`] when entries are carried into the next epoch. Labels
+/// come from the question's pattern nodes, attrs from pattern literals and
+/// the exemplar's cells/constraints. Topology changes evict
+/// unconditionally (distances and the diameter normalizer feed every
+/// algorithm); label- and attr-only deltas are keyed, so a publish that
+/// touches unrelated attributes leaves the entry serving hits.
+#[derive(Debug, Clone, Default)]
+struct AnswerFootprint {
+    labels: Vec<u32>,
+    wildcard: bool,
+    attrs: Vec<u32>,
+}
+
+impl AnswerFootprint {
+    fn of(question: &WhyQuestion) -> AnswerFootprint {
+        let mut fp = AnswerFootprint::default();
+        let q = &question.query;
+        for u in q.node_ids() {
+            let Some(n) = q.node(u) else { continue };
+            match n.label {
+                Some(l) => fp.labels.push(l.0),
+                None => fp.wildcard = true,
+            }
+            for lit in &n.literals {
+                fp.attrs.push(lit.attr.0);
+            }
+        }
+        for t in &question.exemplar.tuples {
+            fp.attrs.extend(t.cells.keys().map(|a| a.0));
+        }
+        for c in &question.exemplar.constraints {
+            fp.attrs.push(c.lhs.attr.0);
+            if let crate::exemplar::Rhs::Var(v) = &c.rhs {
+                fp.attrs.push(v.attr.0);
+            }
+        }
+        fp.labels.sort_unstable();
+        fp.labels.dedup();
+        fp.attrs.sort_unstable();
+        fp.attrs.dedup();
+        fp
+    }
+
+    fn affected_by(&self, delta: &DeltaSummary) -> bool {
+        if delta.topology_changed() {
+            return true;
+        }
+        if !delta.membership_labels.is_empty()
+            && (self.wildcard
+                || delta
+                    .membership_labels
+                    .iter()
+                    .any(|l| self.labels.contains(&l.0)))
+        {
+            return true;
+        }
+        delta
+            .touched_attrs
+            .iter()
+            .any(|a| self.attrs.contains(&a.0))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded TTL + LRU answer cache
 // ---------------------------------------------------------------------------
 
 struct CacheEntry {
     report: AnswerReport,
+    footprint: AnswerFootprint,
     inserted: Instant,
     last_used: u64,
 }
@@ -560,7 +653,7 @@ impl AnswerCache {
 
     /// Inserts (or refreshes) a report, returning how many entries were
     /// evicted to make room.
-    fn insert(&self, key: String, report: AnswerReport) -> u64 {
+    fn insert(&self, key: String, report: AnswerReport, footprint: AnswerFootprint) -> u64 {
         if !self.enabled() {
             return 0;
         }
@@ -594,11 +687,55 @@ impl AnswerCache {
             key,
             CacheEntry {
                 report,
+                footprint,
                 inserted: Instant::now(),
                 last_used: tick,
             },
         );
         evicted
+    }
+
+    /// Carries the previous head epoch's answers into the new epoch after
+    /// a publish: every `ep{prev};…` entry whose [`AnswerFootprint`] the
+    /// delta cannot have affected is *aliased* under the `ep{next};…` key
+    /// (the old entry stays, still serving sessions pinned to `prev`);
+    /// affected entries are dropped from the `prev` keyspace too — their
+    /// epoch is no longer head, and pinned readers re-derive them cheaply
+    /// while new-epoch readers must not inherit them. Returns
+    /// `(aliased, evicted)`.
+    fn carry_forward(&self, prev: EpochId, next: EpochId, delta: &DeltaSummary) -> (u64, u64) {
+        if !self.enabled() {
+            return (0, 0);
+        }
+        let prefix = format!("ep{};", prev.0);
+        let mut aliased = 0u64;
+        let mut evicted = 0u64;
+        // Collect under per-shard locks, insert through the normal path so
+        // capacity and shard placement stay uniform.
+        let mut survivors: Vec<(String, AnswerReport, AnswerFootprint)> = Vec::new();
+        for s in &self.shards {
+            let mut shard = s.lock().unwrap_or_else(PoisonError::into_inner);
+            let doomed: Vec<String> = shard
+                .entries
+                .iter()
+                .filter(|(k, e)| k.starts_with(&prefix) && e.footprint.affected_by(delta))
+                .map(|(k, _)| k.clone())
+                .collect();
+            evicted += doomed.len() as u64;
+            for k in doomed {
+                shard.entries.remove(&k);
+            }
+            for (k, e) in &shard.entries {
+                if let Some(rest) = k.strip_prefix(&prefix) {
+                    survivors.push((epoch_key(next, rest), e.report.clone(), e.footprint.clone()));
+                }
+            }
+        }
+        for (key, report, footprint) in survivors {
+            aliased += 1;
+            evicted += self.insert(key, report, footprint);
+        }
+        (aliased, evicted)
     }
 
     fn len(&self) -> usize {
@@ -695,6 +832,14 @@ struct Job {
     question: WhyQuestion,
     algorithm: Algorithm,
     config: WqeConfig,
+    /// The epoch-pinned context this job runs against (the service-level
+    /// context for store-less services). Pinned at admission: a publish
+    /// that lands while the job is queued or running cannot change what
+    /// this job sees.
+    ctx: EngineCtx,
+    /// Keeps the pinned epoch alive (and listed live) for the job's whole
+    /// life, including queue time.
+    _pin: Option<EpochHandle>,
     key: String,
     enqueued: Instant,
     reply: ReplyTo,
@@ -735,6 +880,9 @@ impl RateLimiter {
 
 struct Inner {
     ctx: EngineCtx,
+    /// The live store behind [`QueryService::with_store`] services;
+    /// `None` for fixed-graph services.
+    store: Option<Arc<GraphStore>>,
     queue: JobQueue<Job>,
     cache: AnswerCache,
     profiler: Arc<Profiler>,
@@ -867,20 +1015,58 @@ pub struct ServiceStats {
     pub counters: CounterRegistry,
 }
 
+/// Bridges [`GraphStore`] publishes to the answer cache: carries
+/// unaffected entries into the new epoch's keyspace, drops affected ones
+/// (counted as `answer_cache_evictions`). Registered weakly, so dropping
+/// the service unhooks it.
+struct CacheCarrier {
+    inner: Weak<Inner>,
+}
+
+impl EpochSubscriber for CacheCarrier {
+    fn on_publish(&self, prev: EpochId, next: EpochId, delta: &DeltaSummary) {
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        let (_aliased, evicted) = inner.cache.carry_forward(prev, next, delta);
+        if evicted > 0 {
+            inner.profiler.add(Counter::AnswerCacheEviction, evicted);
+        }
+    }
+}
+
 /// The serving layer over one [`EngineCtx`]. See the module docs.
 pub struct QueryService {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
     base_config: WqeConfig,
     next_id: AtomicU64,
+    /// Keeps the weakly-registered epoch subscriber alive for services
+    /// built over a [`GraphStore`].
+    _carrier: Option<Arc<CacheCarrier>>,
 }
 
 impl QueryService {
     /// Builds a service and spawns its `max_inflight` worker threads.
     pub fn new(ctx: EngineCtx, config: ServiceConfig) -> Self {
+        QueryService::build(ctx, None, config)
+    }
+
+    /// Builds a service over a live [`GraphStore`]: every request pins an
+    /// epoch at admission (head by default, [`QueryRequest::epoch`] to
+    /// answer against an older pinned epoch), answers are cached per
+    /// epoch, and each publish carries unaffected cached answers into the
+    /// new epoch while evicting the ones the delta touched.
+    pub fn with_store(store: Arc<GraphStore>, config: ServiceConfig) -> Self {
+        let ctx = store.pin().ctx().clone();
+        QueryService::build(ctx, Some(store), config)
+    }
+
+    fn build(ctx: EngineCtx, store: Option<Arc<GraphStore>>, config: ServiceConfig) -> Self {
         let workers_n = wqe_pool::resolve_threads(config.max_inflight);
         let inner = Arc::new(Inner {
             ctx,
+            store: store.clone(),
             queue: JobQueue::new(config.effective_queue_cap()),
             cache: AnswerCache::new(&config.cache),
             profiler: Arc::new(Profiler::new()),
@@ -908,11 +1094,19 @@ impl QueryService {
                     .expect("spawn service worker")
             })
             .collect();
+        let carrier = store.map(|store| {
+            let carrier = Arc::new(CacheCarrier {
+                inner: Arc::downgrade(&inner),
+            });
+            store.subscribe(Arc::downgrade(&carrier) as Weak<dyn EpochSubscriber>);
+            carrier
+        });
         QueryService {
             inner,
             workers,
             base_config: config.base_config,
             next_id: AtomicU64::new(0),
+            _carrier: carrier,
         }
     }
 
@@ -1036,12 +1230,53 @@ impl QueryService {
             }
         }
 
-        let key = canonical_key(&request.question, request.algorithm, &effective);
+        // Pin the epoch the job will answer against — at admission, so a
+        // publish landing while the job is queued cannot change what it
+        // sees, and the cache key can carry the epoch.
+        let (ctx, pin) = match (&self.inner.store, request.epoch) {
+            (Some(store), Some(want)) => match store.pin_epoch(want) {
+                Some(h) => (h.ctx().clone(), Some(h)),
+                None => {
+                    self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                    refuse(QueryStatus::Failed {
+                        error: WqeError::Spec(SpecError(format!(
+                            "epoch {} is not live (retired or never published)",
+                            want.0
+                        ))),
+                    });
+                    return id;
+                }
+            },
+            (Some(store), None) => {
+                let h = store.pin();
+                (h.ctx().clone(), Some(h))
+            }
+            (None, Some(want)) if want != self.inner.ctx.epoch() => {
+                self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                refuse(QueryStatus::Failed {
+                    error: WqeError::Spec(SpecError(format!(
+                        "epoch {} requested but this service has no live store \
+                         (its fixed context is epoch {})",
+                        want.0,
+                        self.inner.ctx.epoch().0
+                    ))),
+                });
+                return id;
+            }
+            (None, _) => (self.inner.ctx.clone(), None),
+        };
+
+        let key = epoch_key(
+            ctx.epoch(),
+            &canonical_key(&request.question, request.algorithm, &effective),
+        );
         let job = Job {
             id,
             question: request.question,
             algorithm: request.algorithm,
             config: effective,
+            ctx,
+            _pin: pin,
             key,
             enqueued: Instant::now(),
             reply: reply.clone(),
@@ -1207,16 +1442,15 @@ fn process(inner: &Inner, job: Job) {
 
     let mut attempt = 0usize;
     let status = loop {
-        let outcome =
-            WqeEngine::try_new(inner.ctx.clone(), job.question.clone(), job.config.clone())
-                .map(|engine| match &sink {
-                    Some(s) => engine.with_progress(Arc::clone(s)),
-                    None => engine,
-                })
-                .and_then(|engine| {
-                    job.cancel.arm(Arc::clone(&engine.session().governor));
-                    engine.try_run(job.algorithm)
-                });
+        let outcome = WqeEngine::try_new(job.ctx.clone(), job.question.clone(), job.config.clone())
+            .map(|engine| match &sink {
+                Some(s) => engine.with_progress(Arc::clone(s)),
+                None => engine,
+            })
+            .and_then(|engine| {
+                job.cancel.arm(Arc::clone(&engine.session().governor));
+                engine.try_run(job.algorithm)
+            });
         match outcome {
             Ok(report) => {
                 if attempt > 0 {
@@ -1224,7 +1458,11 @@ fn process(inner: &Inner, job: Job) {
                 }
                 inner.completed.fetch_add(1, Ordering::Relaxed);
                 if report.termination == Termination::Complete {
-                    let evicted = inner.cache.insert(job.key, report.clone());
+                    let evicted = inner.cache.insert(
+                        job.key,
+                        report.clone(),
+                        AnswerFootprint::of(&job.question),
+                    );
                     if evicted > 0 {
                         inner.profiler.add(Counter::AnswerCacheEviction, evicted);
                     }
@@ -1410,7 +1648,11 @@ mod tests {
             ttl_ms: 1,
             shards: 1,
         });
-        cache.insert("k".to_string(), AnswerReport::default());
+        cache.insert(
+            "k".to_string(),
+            AnswerReport::default(),
+            AnswerFootprint::default(),
+        );
         std::thread::sleep(Duration::from_millis(5));
         let (hit, expired) = cache.get("k");
         assert!(hit.is_none());
@@ -1493,15 +1735,30 @@ mod tests {
             ttl_ms: 400,
             shards: 1,
         });
-        cache.insert("dead".into(), AnswerReport::default());
+        cache.insert(
+            "dead".into(),
+            AnswerReport::default(),
+            AnswerFootprint::default(),
+        );
         std::thread::sleep(Duration::from_millis(150));
-        cache.insert("live".into(), AnswerReport::default());
+        cache.insert(
+            "live".into(),
+            AnswerReport::default(),
+            AnswerFootprint::default(),
+        );
         // Touch "dead" while it is still fresh: it now has the *newest*
         // last_used tick, making "live" the pure-LRU victim.
         assert!(cache.get("dead").0.is_some());
         // Let "dead" expire ("live", inserted 150ms later, stays valid).
         std::thread::sleep(Duration::from_millis(300));
-        assert_eq!(cache.insert("new".into(), AnswerReport::default()), 1);
+        assert_eq!(
+            cache.insert(
+                "new".into(),
+                AnswerReport::default(),
+                AnswerFootprint::default()
+            ),
+            1
+        );
         assert!(cache.get("live").0.is_some(), "live entry must survive");
         assert!(cache.get("new").0.is_some());
         assert!(cache.get("dead").0.is_none());
@@ -1670,11 +1927,32 @@ mod tests {
             ttl_ms: 0,
             shards: 1,
         });
-        assert_eq!(cache.insert("a".into(), AnswerReport::default()), 0);
-        assert_eq!(cache.insert("b".into(), AnswerReport::default()), 0);
+        assert_eq!(
+            cache.insert(
+                "a".into(),
+                AnswerReport::default(),
+                AnswerFootprint::default()
+            ),
+            0
+        );
+        assert_eq!(
+            cache.insert(
+                "b".into(),
+                AnswerReport::default(),
+                AnswerFootprint::default()
+            ),
+            0
+        );
         // Touch "a" so "b" is the LRU victim.
         assert!(cache.get("a").0.is_some());
-        assert_eq!(cache.insert("c".into(), AnswerReport::default()), 1);
+        assert_eq!(
+            cache.insert(
+                "c".into(),
+                AnswerReport::default(),
+                AnswerFootprint::default()
+            ),
+            1
+        );
         assert!(cache.get("a").0.is_some());
         assert!(cache.get("b").0.is_none());
         assert!(cache.get("c").0.is_some());

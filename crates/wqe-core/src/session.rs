@@ -12,6 +12,7 @@ use crate::ctx::EngineCtx;
 use crate::error::WqeError;
 use crate::exemplar::{compute_representation, satisfies, Exemplar, Representation};
 use crate::relevance::RelevanceSets;
+use std::sync::Arc;
 use wqe_graph::{Graph, NodeId};
 use wqe_query::{MatchOutcome, Matcher, PatternQuery};
 
@@ -352,6 +353,12 @@ pub struct Session {
 }
 
 impl Session {
+    /// The epoch this session answers against (from its context; epoch 0
+    /// for contexts built outside a [`crate::live::GraphStore`]).
+    pub fn epoch(&self) -> crate::live::EpochId {
+        self.ctx.epoch()
+    }
+
     /// Builds a session for a why-question over a shared context.
     ///
     /// # Panics
@@ -371,9 +378,12 @@ impl Session {
     ) -> Result<Self, WqeError> {
         validate(question, &config)?;
         let mut matcher = if config.caching {
-            Matcher::new(ctx.graph_arc(), ctx.oracle_arc())
+            // Share the context's per-epoch star cache: sessions pinned to
+            // the same epoch reuse each other's materialized star tables.
+            Matcher::new(Arc::clone(ctx.graph()), Arc::clone(ctx.oracle()))
+                .with_shared_cache(Arc::clone(ctx.star_cache()))
         } else {
-            Matcher::new(ctx.graph_arc(), ctx.oracle_arc()).without_cache()
+            Matcher::new(Arc::clone(ctx.graph()), Arc::clone(ctx.oracle())).without_cache()
         };
         matcher = matcher.with_parallelism(config.effective_parallelism());
         let graph = ctx.graph();

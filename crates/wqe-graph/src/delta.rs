@@ -1,0 +1,607 @@
+//! Graph deltas: the write path of the live-graph epoch store.
+//!
+//! A [`Graph`] is immutable once finalized — every index, cache, and
+//! snapshot layer above it relies on that. Mutation therefore happens by
+//! *derivation*: [`Graph::apply_updates`] takes a batch of [`GraphUpdate`]
+//! operations and produces a brand-new graph (rebuilt through
+//! [`crate::GraphBuilder`], so it is bit-identical to a graph built from
+//! scratch with the same contents) together with a [`DeltaSummary`]
+//! describing exactly what changed. The summary is the *invalidation key*
+//! for the layers above: the distance index uses the inserted/deleted edge
+//! lists to decide between incremental label repair and fallback BFS, and
+//! the star/answer caches use the touched label and attribute sets to evict
+//! only the entries a change can affect.
+//!
+//! # Node identity across epochs
+//!
+//! Node ids are positional, so deleting a node by compaction would shift
+//! every id behind it and invalidate cached answers wholesale. Deletion is
+//! therefore a *detach*: the node keeps its id, loses all incident edges
+//! and attributes, and is relabeled to the reserved [`TOMBSTONE_LABEL`].
+//! Tombstoned nodes never match a labeled pattern node again; ids stay
+//! stable for every live node.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::schema::{AttrId, EdgeLabelId, LabelId, NodeId};
+use crate::value::AttrValue;
+use std::collections::{BTreeSet, HashSet};
+
+/// Reserved label given to detached (deleted) nodes. Ordinary data labels
+/// must not use this name; the loader and builders do not enforce that, but
+/// a tombstoned node is excluded from pattern matching only because no
+/// query labels a pattern node with it.
+pub const TOMBSTONE_LABEL: &str = "__tombstone__";
+
+/// One mutation in a write batch. Labels and attributes are referenced by
+/// name (interned into the schema on apply), node endpoints by id.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphUpdate {
+    /// Appends a new node; its id is the previous node count.
+    AddNode {
+        /// Label name of the new node (interned if unseen).
+        label: String,
+        /// Named attribute values of the new node.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// Relabels an existing node.
+    SetLabel {
+        /// The node to relabel.
+        node: NodeId,
+        /// The new label name (interned if unseen).
+        label: String,
+    },
+    /// Sets (`Some`) or removes (`None`) one attribute of a node.
+    SetAttr {
+        /// The node whose tuple changes.
+        node: NodeId,
+        /// Attribute name (interned if unseen).
+        attr: String,
+        /// New value, or `None` to drop the attribute.
+        value: Option<AttrValue>,
+    },
+    /// Detaches a node: drops all incident edges and attributes and
+    /// relabels it to [`TOMBSTONE_LABEL`]. The id stays allocated so ids
+    /// of live nodes are stable across epochs.
+    DetachNode {
+        /// The node to detach.
+        node: NodeId,
+    },
+    /// Inserts a directed labeled edge (idempotent: re-inserting an
+    /// existing `(from, to, label)` triple is a no-op).
+    InsertEdge {
+        /// Source endpoint.
+        from: NodeId,
+        /// Target endpoint.
+        to: NodeId,
+        /// Edge label name (interned if unseen).
+        label: String,
+    },
+    /// Deletes every edge from `from` to `to`, regardless of label
+    /// (no-op when none exist).
+    DeleteEdge {
+        /// Source endpoint.
+        from: NodeId,
+        /// Target endpoint.
+        to: NodeId,
+    },
+}
+
+/// Why a write batch was rejected. The batch is validated before anything
+/// is built, so a rejected batch leaves no partial state anywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// An update referenced a node id at or past the node count.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+        /// The node count the id was checked against.
+        nodes: usize,
+    },
+    /// A label or attribute name was empty.
+    EmptyName,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownNode { node, nodes } => {
+                write!(f, "unknown node id {} (graph has {nodes} nodes)", node.0)
+            }
+            DeltaError::EmptyName => write!(f, "empty label or attribute name"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// What a write batch actually changed — the invalidation key consumed by
+/// the index-repair and cache-maintenance layers on publish.
+///
+/// All sets are deduplicated and sorted; an update that turns out to be a
+/// no-op (re-inserting an existing edge, setting an attribute to its
+/// current value) contributes nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Ids of nodes whose label, attributes, or incidence changed, plus
+    /// endpoints of inserted/deleted edges and newly added nodes.
+    pub touched_nodes: Vec<NodeId>,
+    /// Number of nodes appended by the batch.
+    pub added_nodes: usize,
+    /// Labels whose member set changed (gained or lost a node), including
+    /// the tombstone label when nodes were detached.
+    pub membership_labels: Vec<LabelId>,
+    /// Labels of nodes whose attribute tuple changed (attr-keyed cache
+    /// entries over these labels may now filter differently).
+    pub attr_labels: Vec<LabelId>,
+    /// Attributes whose value changed on some node.
+    pub touched_attrs: Vec<AttrId>,
+    /// Distinct `(from, to)` pairs that gained at least one edge.
+    pub inserted_edges: Vec<(NodeId, NodeId)>,
+    /// Distinct `(from, to)` pairs that lost at least one edge.
+    pub deleted_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DeltaSummary {
+    /// True when the edge set or node set changed — the condition under
+    /// which distances (and hence star tables) can change.
+    pub fn topology_changed(&self) -> bool {
+        self.added_nodes > 0 || !self.inserted_edges.is_empty() || !self.deleted_edges.is_empty()
+    }
+
+    /// True when only attribute values changed: distances, label members,
+    /// and star tables are all unaffected.
+    pub fn attr_only(&self) -> bool {
+        !self.topology_changed() && self.membership_labels.is_empty()
+    }
+
+    /// True when the topology change is purely edge insertions over the
+    /// existing node set — the case incremental PLL label repair handles.
+    pub fn pure_edge_insert(&self) -> bool {
+        self.added_nodes == 0 && self.deleted_edges.is_empty() && !self.inserted_edges.is_empty()
+    }
+
+    /// True when nothing changed at all.
+    pub fn is_empty(&self) -> bool {
+        !self.topology_changed()
+            && self.membership_labels.is_empty()
+            && self.touched_attrs.is_empty()
+            && self.touched_nodes.is_empty()
+    }
+}
+
+impl Graph {
+    /// Applies a batch of updates, producing a new graph plus the
+    /// [`DeltaSummary`] of what actually changed. `self` is untouched.
+    ///
+    /// The new graph is rebuilt through [`GraphBuilder`] with a schema
+    /// extending this graph's (existing label/attribute ids are stable; new
+    /// names are appended), so it is indistinguishable from a graph built
+    /// from scratch with the same contents — derived state (CSR ordering,
+    /// label index, attr stats, diameter estimate) is recomputed, which is
+    /// what keeps epoch-pinned answers bit-identical to fresh builds.
+    pub fn apply_updates(
+        &self,
+        updates: &[GraphUpdate],
+    ) -> Result<(Graph, DeltaSummary), DeltaError> {
+        let n = self.node_count();
+        // Validate every referenced id up front so a failed batch has no
+        // side effects (new nodes become addressable only after the update
+        // that adds them).
+        let mut virtual_n = n;
+        for u in updates {
+            let check = |node: NodeId, upper: usize| {
+                if node.index() >= upper {
+                    Err(DeltaError::UnknownNode { node, nodes: upper })
+                } else {
+                    Ok(())
+                }
+            };
+            match u {
+                GraphUpdate::AddNode { label, attrs } => {
+                    if label.is_empty() || attrs.iter().any(|(a, _)| a.is_empty()) {
+                        return Err(DeltaError::EmptyName);
+                    }
+                    virtual_n += 1;
+                }
+                GraphUpdate::SetLabel { node, label } => {
+                    if label.is_empty() {
+                        return Err(DeltaError::EmptyName);
+                    }
+                    check(*node, virtual_n)?;
+                }
+                GraphUpdate::SetAttr { node, attr, .. } => {
+                    if attr.is_empty() {
+                        return Err(DeltaError::EmptyName);
+                    }
+                    check(*node, virtual_n)?;
+                }
+                GraphUpdate::DetachNode { node } => check(*node, virtual_n)?,
+                GraphUpdate::InsertEdge { from, to, label } => {
+                    if label.is_empty() {
+                        return Err(DeltaError::EmptyName);
+                    }
+                    check(*from, virtual_n)?;
+                    check(*to, virtual_n)?;
+                }
+                GraphUpdate::DeleteEdge { from, to } => {
+                    check(*from, virtual_n)?;
+                    check(*to, virtual_n)?;
+                }
+            }
+        }
+
+        let mut schema = self.schema().clone();
+        let mut nodes: Vec<(LabelId, Vec<(AttrId, AttrValue)>)> = self
+            .node_ids()
+            .map(|v| {
+                let d = self.node(v);
+                (d.label, d.attrs.clone())
+            })
+            .collect();
+        let mut edges: Vec<(NodeId, NodeId, EdgeLabelId)> = Vec::with_capacity(self.edge_count());
+        for v in self.node_ids() {
+            for &(t, l) in self.out_neighbors(v) {
+                edges.push((v, t, l));
+            }
+        }
+        let mut edge_set: HashSet<(u32, u32, u32)> =
+            edges.iter().map(|&(f, t, l)| (f.0, t.0, l.0)).collect();
+
+        let mut touched_nodes: BTreeSet<NodeId> = BTreeSet::new();
+        let mut membership_labels: BTreeSet<LabelId> = BTreeSet::new();
+        let mut attr_labels: BTreeSet<LabelId> = BTreeSet::new();
+        let mut touched_attrs: BTreeSet<AttrId> = BTreeSet::new();
+        let mut inserted_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut deleted_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut added_nodes = 0usize;
+
+        for u in updates {
+            match u {
+                GraphUpdate::AddNode { label, attrs } => {
+                    let l = schema.label(label);
+                    let attrs: Vec<(AttrId, AttrValue)> = attrs
+                        .iter()
+                        .map(|(a, v)| (schema.attr(a), v.clone()))
+                        .collect();
+                    for (a, _) in &attrs {
+                        touched_attrs.insert(*a);
+                    }
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push((l, attrs));
+                    added_nodes += 1;
+                    touched_nodes.insert(id);
+                    membership_labels.insert(l);
+                    if !nodes[id.index()].1.is_empty() {
+                        attr_labels.insert(l);
+                    }
+                }
+                GraphUpdate::SetLabel { node, label } => {
+                    let l = schema.label(label);
+                    let old = nodes[node.index()].0;
+                    if old != l {
+                        nodes[node.index()].0 = l;
+                        touched_nodes.insert(*node);
+                        membership_labels.insert(old);
+                        membership_labels.insert(l);
+                    }
+                }
+                GraphUpdate::SetAttr { node, attr, value } => {
+                    let a = schema.attr(attr);
+                    let tuple = &mut nodes[node.index()].1;
+                    let pos = tuple.binary_search_by_key(&a, |(id, _)| *id);
+                    let changed = match (pos, value) {
+                        (Ok(i), Some(v)) => {
+                            if &tuple[i].1 == v {
+                                false
+                            } else {
+                                tuple[i].1 = v.clone();
+                                true
+                            }
+                        }
+                        (Ok(i), None) => {
+                            tuple.remove(i);
+                            true
+                        }
+                        (Err(i), Some(v)) => {
+                            tuple.insert(i, (a, v.clone()));
+                            true
+                        }
+                        (Err(_), None) => false,
+                    };
+                    if changed {
+                        touched_nodes.insert(*node);
+                        touched_attrs.insert(a);
+                        attr_labels.insert(nodes[node.index()].0);
+                    }
+                }
+                GraphUpdate::DetachNode { node } => {
+                    let tomb = schema.label(TOMBSTONE_LABEL);
+                    let (old_label, tuple) = &mut nodes[node.index()];
+                    if !tuple.is_empty() {
+                        for (a, _) in tuple.iter() {
+                            touched_attrs.insert(*a);
+                        }
+                        attr_labels.insert(*old_label);
+                        tuple.clear();
+                    }
+                    if *old_label != tomb {
+                        membership_labels.insert(*old_label);
+                        membership_labels.insert(tomb);
+                        *old_label = tomb;
+                    }
+                    touched_nodes.insert(*node);
+                    edges.retain(|&(f, t, l)| {
+                        if f == *node || t == *node {
+                            edge_set.remove(&(f.0, t.0, l.0));
+                            deleted_edges.insert((f, t));
+                            touched_nodes.insert(f);
+                            touched_nodes.insert(t);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                GraphUpdate::InsertEdge { from, to, label } => {
+                    let l = schema.edge_label(label);
+                    if edge_set.insert((from.0, to.0, l.0)) {
+                        edges.push((*from, *to, l));
+                        inserted_edges.insert((*from, *to));
+                        touched_nodes.insert(*from);
+                        touched_nodes.insert(*to);
+                    }
+                }
+                GraphUpdate::DeleteEdge { from, to } => {
+                    let mut any = false;
+                    edges.retain(|&(f, t, l)| {
+                        if f == *from && t == *to {
+                            edge_set.remove(&(f.0, t.0, l.0));
+                            any = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if any {
+                        deleted_edges.insert((*from, *to));
+                        touched_nodes.insert(*from);
+                        touched_nodes.insert(*to);
+                    }
+                }
+            }
+        }
+
+        let mut b = GraphBuilder::with_schema(schema);
+        for (label, attrs) in nodes {
+            b.add_node_raw(label, attrs);
+        }
+        for (f, t, l) in edges {
+            b.add_edge_raw(f, t, l);
+        }
+        let graph = b.finalize();
+        let summary = DeltaSummary {
+            touched_nodes: touched_nodes.into_iter().collect(),
+            added_nodes,
+            membership_labels: membership_labels.into_iter().collect(),
+            attr_labels: attr_labels.into_iter().collect(),
+            touched_attrs: touched_attrs.into_iter().collect(),
+            inserted_edges: inserted_edges.into_iter().collect(),
+            deleted_edges: deleted_edges.into_iter().collect(),
+        };
+        Ok((graph, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A", [("x", AttrValue::Int(1))]);
+        let c = b.add_node("B", [("y", AttrValue::Int(2))]);
+        let d = b.add_node("B", []);
+        b.add_edge(a, c, "e");
+        b.add_edge(c, d, "e");
+        b.finalize()
+    }
+
+    /// The derived graph must be indistinguishable from a from-scratch
+    /// build with the same contents.
+    fn assert_fresh_equivalent(g: &Graph) {
+        let mut b = GraphBuilder::with_schema(g.schema().clone());
+        for v in g.node_ids() {
+            let d = g.node(v);
+            b.add_node_raw(d.label, d.attrs.clone());
+        }
+        for v in g.node_ids() {
+            for &(t, l) in g.out_neighbors(v) {
+                b.add_edge_raw(v, t, l);
+            }
+        }
+        let fresh = b.finalize();
+        assert_eq!(g.node_count(), fresh.node_count());
+        assert_eq!(g.edge_count(), fresh.edge_count());
+        assert_eq!(g.diameter(), fresh.diameter());
+        for v in g.node_ids() {
+            assert_eq!(g.node(v), fresh.node(v));
+            assert_eq!(g.out_neighbors(v), fresh.out_neighbors(v));
+            assert_eq!(g.in_neighbors(v), fresh.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn insert_edge_is_tracked_and_idempotent() {
+        let g = small();
+        let (g2, d) = g
+            .apply_updates(&[
+                GraphUpdate::InsertEdge {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    label: "e".into(),
+                },
+                GraphUpdate::InsertEdge {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                    label: "e".into(),
+                },
+                // Already present: pure no-op.
+                GraphUpdate::InsertEdge {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    label: "e".into(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count() + 1);
+        assert_eq!(d.inserted_edges, vec![(NodeId(0), NodeId(2))]);
+        assert!(d.pure_edge_insert());
+        assert!(d.topology_changed());
+        assert!(!d.attr_only());
+        assert_fresh_equivalent(&g2);
+    }
+
+    #[test]
+    fn attr_change_is_attr_only() {
+        let g = small();
+        let (g2, d) = g
+            .apply_updates(&[GraphUpdate::SetAttr {
+                node: NodeId(0),
+                attr: "x".into(),
+                value: Some(AttrValue::Int(9)),
+            }])
+            .unwrap();
+        assert!(d.attr_only());
+        assert!(!d.topology_changed());
+        let x = g2.schema().attr_id("x").unwrap();
+        assert_eq!(g2.attr(NodeId(0), x), Some(&AttrValue::Int(9)));
+        let a = g2.schema().label_id("A").unwrap();
+        assert_eq!(d.attr_labels, vec![a]);
+        assert_eq!(d.touched_attrs, vec![x]);
+        // Setting the same value again is a no-op batch.
+        let (_, d2) = g2
+            .apply_updates(&[GraphUpdate::SetAttr {
+                node: NodeId(0),
+                attr: "x".into(),
+                value: Some(AttrValue::Int(9)),
+            }])
+            .unwrap();
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn detach_keeps_ids_stable() {
+        let g = small();
+        let (g2, d) = g
+            .apply_updates(&[GraphUpdate::DetachNode { node: NodeId(1) }])
+            .unwrap();
+        assert_eq!(g2.node_count(), g.node_count(), "ids stay allocated");
+        let tomb = g2.schema().label_id(TOMBSTONE_LABEL).unwrap();
+        assert_eq!(g2.label(NodeId(1)), tomb);
+        assert!(g2.node(NodeId(1)).attrs.is_empty());
+        assert!(g2.out_neighbors(NodeId(1)).is_empty());
+        assert!(g2.in_neighbors(NodeId(1)).is_empty());
+        // Both incident edges died; membership of B and the tombstone moved.
+        assert_eq!(
+            d.deleted_edges,
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
+        let b_label = g2.schema().label_id("B").unwrap();
+        assert!(d.membership_labels.contains(&b_label));
+        assert!(d.membership_labels.contains(&tomb));
+        assert!(!g2.nodes_with_label(b_label).contains(&NodeId(1)));
+        assert_fresh_equivalent(&g2);
+    }
+
+    #[test]
+    fn add_node_extends_id_space() {
+        let g = small();
+        let (g2, d) = g
+            .apply_updates(&[
+                GraphUpdate::AddNode {
+                    label: "C".into(),
+                    attrs: vec![("z".into(), AttrValue::Int(7))],
+                },
+                GraphUpdate::InsertEdge {
+                    from: NodeId(3),
+                    to: NodeId(0),
+                    label: "e".into(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(d.added_nodes, 1);
+        assert!(!d.pure_edge_insert(), "new nodes disqualify label repair");
+        let c = g2.schema().label_id("C").unwrap();
+        assert_eq!(g2.label(NodeId(3)), c);
+        assert!(g2.has_edge(NodeId(3), NodeId(0)));
+        // Existing label/attr ids are untouched by the schema extension.
+        assert_eq!(g2.schema().label_id("A"), g.schema().label_id("A"));
+        assert_eq!(g2.schema().attr_id("x"), g.schema().attr_id("x"));
+        assert_fresh_equivalent(&g2);
+    }
+
+    #[test]
+    fn relabel_tracks_both_memberships() {
+        let g = small();
+        let (g2, d) = g
+            .apply_updates(&[GraphUpdate::SetLabel {
+                node: NodeId(2),
+                label: "A".into(),
+            }])
+            .unwrap();
+        let a = g2.schema().label_id("A").unwrap();
+        let b_label = g2.schema().label_id("B").unwrap();
+        assert_eq!(d.membership_labels, {
+            let mut v = vec![a, b_label];
+            v.sort();
+            v
+        });
+        assert!(g2.nodes_with_label(a).contains(&NodeId(2)));
+        assert!(!d.topology_changed());
+    }
+
+    #[test]
+    fn unknown_node_rejected_without_side_effects() {
+        let g = small();
+        let err = g
+            .apply_updates(&[GraphUpdate::DeleteEdge {
+                from: NodeId(0),
+                to: NodeId(99),
+            }])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::UnknownNode {
+                node: NodeId(99),
+                nodes: 3
+            }
+        );
+        assert!(err.to_string().contains("99"));
+        let err = g
+            .apply_updates(&[GraphUpdate::AddNode {
+                label: String::new(),
+                attrs: vec![],
+            }])
+            .unwrap_err();
+        assert_eq!(err, DeltaError::EmptyName);
+    }
+
+    #[test]
+    fn delete_edge_removes_all_parallel_labels() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("N", []);
+        let y = b.add_node("N", []);
+        b.add_edge(x, y, "e1");
+        b.add_edge(x, y, "e2");
+        let g = b.finalize();
+        let (g2, d) = g
+            .apply_updates(&[GraphUpdate::DeleteEdge { from: x, to: y }])
+            .unwrap();
+        assert_eq!(g2.edge_count(), 0);
+        assert_eq!(d.deleted_edges, vec![(x, y)]);
+        assert!(!d.pure_edge_insert());
+    }
+}

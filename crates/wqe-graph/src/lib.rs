@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 pub mod dot;
 mod error;
 mod graph;
@@ -31,6 +32,7 @@ mod schema;
 mod stats;
 mod value;
 
+pub use delta::{DeltaError, DeltaSummary, GraphUpdate, TOMBSTONE_LABEL};
 pub use error::LoadError;
 pub use graph::{Graph, GraphBuilder, GraphParts, NodeData};
 pub use loader::{read_jsonl, read_tsv, write_jsonl, write_tsv};

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod bfs;
+mod delta;
 mod fault;
 pub mod kernel;
 mod oracle;
 mod pll;
 
 pub use bfs::BoundedBfsOracle;
+pub use delta::{repair_insertions, DeltaOracle};
 pub use fault::{FaultKind, FaultOracle, ResilientOracle};
 pub use kernel::{active_kernel, BatchScratch, Kernel};
 pub use oracle::{DistanceOracle, HybridOracle, PLL_NODE_LIMIT};

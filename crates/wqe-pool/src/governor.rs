@@ -42,7 +42,12 @@ use std::time::{Duration, Instant};
 
 /// Why a search stopped. `Complete` is the only non-partial reason; every
 /// other variant means the report holds best-so-far answers.
+///
+/// Marked `#[non_exhaustive]`: downstream matches keep a catch-all arm
+/// (or go through [`Termination::as_str`] / [`Termination::is_partial`])
+/// so new stop reasons never break them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum Termination {
     /// The search ran to its natural end (frontier exhausted or the
     /// theoretical optimum reached).
@@ -86,8 +91,8 @@ impl std::fmt::Display for Termination {
 /// A shared, thread-safe query-governor handle.
 ///
 /// One governor belongs to one running query (a `Session` in `wqe-core`);
-/// clones of the `Arc` can be held by other threads to [`cancel`]
-/// (Governor::cancel) it. All limits use `0` / `None` to mean *unlimited*.
+/// clones of the `Arc` can be held by other threads to [`cancel`](Governor::cancel)
+/// it. All limits use `0` / `None` to mean *unlimited*.
 #[derive(Debug)]
 pub struct Governor {
     /// `false` only for [`Governor::disabled`]: every check is a no-op.

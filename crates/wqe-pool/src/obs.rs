@@ -6,7 +6,7 @@
 //! (`wqe-index`), the star matcher and its cache (`wqe-query`), and the
 //! search algorithms (`wqe-core`) can all record into one handle without a
 //! dependency cycle. `wqe_core::obs` re-exports these types and adds the
-//! serializable [`QueryProfile`] view.
+//! serializable `QueryProfile` view (in `wqe-core`).
 //!
 //! ## Design
 //!

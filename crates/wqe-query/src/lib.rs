@@ -31,7 +31,7 @@ mod pattern;
 pub use literal::{simplify_literals, Literal};
 pub use matcher::{
     naive_evaluate, CacheStats, MatchOutcome, MatchPlan, Matcher, MatcherStats, StarCache,
-    StarPlan, Valuation,
+    StarFootprint, StarPlan, Valuation,
 };
 pub use ops::{
     is_canonical, is_normal_form, normalize, sequence_cost, ApplyError, AtomicOp, OpClass, Touched,

@@ -20,10 +20,58 @@ use crate::matcher::star::StarRow;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use wqe_graph::DeltaSummary;
 use wqe_pool::obs;
+
+/// What a cached star table depends on — the *invalidation key* matched
+/// against a publish's [`DeltaSummary`] when an epoch store carries a
+/// cache forward. Everything a table's rows can reflect: the labels of its
+/// center, leaves, and (augmented) focus; the attributes of its baked-in
+/// leaf literals; and whether any of those pattern nodes is label-free
+/// (wildcard). Center literals are *not* here — they are applied at
+/// lookup time, never baked into rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StarFootprint {
+    /// Raw label ids the table's candidate sets were drawn from.
+    pub labels: Vec<u32>,
+    /// True when some pattern node of the star has no label (its candidate
+    /// set is the whole node set).
+    pub wildcard: bool,
+    /// Raw attr ids of leaf literals baked into the rows.
+    pub attrs: Vec<u32>,
+}
+
+impl StarFootprint {
+    /// True when a published delta can have changed this table's rows:
+    /// any topology change (distances and reachable leaf sets shift),
+    /// membership churn on a label the table reads (or any label, for
+    /// wildcard tables — conservative), or a value change on an attribute
+    /// some baked leaf literal filters on. Pure attribute changes on
+    /// unrelated attributes never match — that is what keeps invalidation
+    /// keyed instead of a wholesale flush.
+    pub fn affected_by(&self, delta: &DeltaSummary) -> bool {
+        if delta.topology_changed() {
+            return true;
+        }
+        if !delta.membership_labels.is_empty()
+            && (self.wildcard
+                || delta
+                    .membership_labels
+                    .iter()
+                    .any(|l| self.labels.contains(&l.0)))
+        {
+            return true;
+        }
+        delta
+            .touched_attrs
+            .iter()
+            .any(|a| self.attrs.contains(&a.0))
+    }
+}
 
 struct Entry {
     rows: Arc<Vec<StarRow>>,
+    footprint: StarFootprint,
     hits: f64,
     last_tick: u64,
 }
@@ -105,10 +153,14 @@ impl StarCache {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
-    /// Looks up `key`, or materializes with `compute` and inserts.
-    pub fn get_or_compute<F>(&self, key: &str, compute: F) -> Arc<Vec<StarRow>>
+    /// Looks up `key`, or materializes with `compute` and inserts. The
+    /// `footprint` closure runs only when a fresh entry is inserted; it
+    /// describes what the rows depend on so [`StarCache::carry_over`] can
+    /// invalidate by key on publish.
+    pub fn get_or_compute<F, P>(&self, key: &str, footprint: P, compute: F) -> Arc<Vec<StarRow>>
     where
         F: FnOnce() -> Vec<StarRow>,
+        P: FnOnce() -> StarFootprint,
     {
         // Fault site `star_cache`: a fired fault skips the hit lookup and
         // re-materializes — safe by construction, since star tables are a
@@ -168,6 +220,7 @@ impl StarCache {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(Entry {
                     rows: Arc::clone(&rows),
+                    footprint: footprint(),
                     hits: 1.0,
                     last_tick: tick,
                 });
@@ -175,6 +228,50 @@ impl StarCache {
             }
         };
         rows
+    }
+
+    /// Derives the next epoch's cache from this one after a publish:
+    /// entries whose [`StarFootprint`] is [`affected_by`] the delta are
+    /// dropped (counted as evictions), every other entry is carried over
+    /// (shared `Arc` rows, no recomputation) and keeps hitting in the new
+    /// epoch. Counters are carried cumulatively so hit/miss/eviction
+    /// totals span epochs. `self` — the *old* epoch's cache — is left
+    /// untouched, which is what keeps sessions still pinned to the old
+    /// epoch bit-stable.
+    ///
+    /// [`affected_by`]: StarFootprint::affected_by
+    pub fn carry_over(&self, delta: &DeltaSummary) -> (StarCache, u64) {
+        let next = StarCache {
+            shards: (0..self.shards.len())
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_capacity: self.shard_capacity,
+            decay: self.decay,
+        };
+        let mut evicted = 0u64;
+        for (old_shard, new_shard) in self.shards.iter().zip(&next.shards) {
+            let old = relock(old_shard.lock());
+            let mut fresh = relock(new_shard.lock());
+            fresh.stats = old.stats;
+            for (key, e) in &old.map {
+                if e.footprint.affected_by(delta) {
+                    evicted += 1;
+                    fresh.stats.evictions += 1;
+                    obs::with_current(|p| p.add(obs::Counter::CacheEviction, 1));
+                } else {
+                    fresh.map.insert(
+                        key.clone(),
+                        Entry {
+                            rows: Arc::clone(&e.rows),
+                            footprint: e.footprint.clone(),
+                            hits: e.hits,
+                            last_tick: 0,
+                        },
+                    );
+                }
+            }
+        }
+        (next, evicted)
     }
 
     /// Current counters, aggregated across shards.
@@ -218,8 +315,8 @@ mod tests {
     #[test]
     fn hit_and_miss_counting() {
         let c = StarCache::new(8, 1.0);
-        let a = c.get_or_compute("k1", || vec![row(1)]);
-        let b = c.get_or_compute("k1", || panic!("must hit"));
+        let a = c.get_or_compute("k1", StarFootprint::default, || vec![row(1)]);
+        let b = c.get_or_compute("k1", StarFootprint::default, || panic!("must hit"));
         assert_eq!(a[0].center, b[0].center);
         let s = c.stats();
         assert_eq!(s.hits, 1);
@@ -229,15 +326,17 @@ mod tests {
     #[test]
     fn least_hit_eviction() {
         let c = StarCache::new(2, 1.0);
-        c.get_or_compute("hot", || vec![row(1)]);
-        c.get_or_compute("hot", || unreachable!());
-        c.get_or_compute("hot", || unreachable!());
-        c.get_or_compute("cold", || vec![row(2)]);
+        c.get_or_compute("hot", StarFootprint::default, || vec![row(1)]);
+        c.get_or_compute("hot", StarFootprint::default, || unreachable!());
+        c.get_or_compute("hot", StarFootprint::default, || unreachable!());
+        c.get_or_compute("cold", StarFootprint::default, || vec![row(2)]);
         // Inserting a third key evicts "cold" (1 hit) not "hot" (3 hits).
-        c.get_or_compute("new", || vec![row(3)]);
+        c.get_or_compute("new", StarFootprint::default, || vec![row(3)]);
         assert_eq!(c.len(), 2);
         let before = c.stats().misses;
-        c.get_or_compute("hot", || panic!("hot should have survived"));
+        c.get_or_compute("hot", StarFootprint::default, || {
+            panic!("hot should have survived")
+        });
         assert_eq!(c.stats().misses, before);
     }
 
@@ -246,16 +345,18 @@ mod tests {
         let c = StarCache::new(2, 0.5);
         // "old" gets many early hits, then goes quiet.
         for _ in 0..5 {
-            c.get_or_compute("old", || vec![row(1)]);
+            c.get_or_compute("old", StarFootprint::default, || vec![row(1)]);
         }
         // "fresh" gets recent traffic.
         for _ in 0..30 {
-            c.get_or_compute("fresh", || vec![row(2)]);
+            c.get_or_compute("fresh", StarFootprint::default, || vec![row(2)]);
         }
-        c.get_or_compute("new", || vec![row(3)]);
+        c.get_or_compute("new", StarFootprint::default, || vec![row(3)]);
         // "old"'s decayed score is tiny; it is the victim.
         let misses = c.stats().misses;
-        c.get_or_compute("fresh", || panic!("fresh should survive"));
+        c.get_or_compute("fresh", StarFootprint::default, || {
+            panic!("fresh should survive")
+        });
         assert_eq!(c.stats().misses, misses);
     }
 
@@ -278,7 +379,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200 {
                     let key = format!("k{}", (t + i) % 16);
-                    let rows = c.get_or_compute(&key, || vec![row(((t + i) % 16) as u32)]);
+                    let rows = c.get_or_compute(&key, StarFootprint::default, || {
+                        vec![row(((t + i) % 16) as u32)]
+                    });
                     // Every reader must see the value keyed content.
                     assert_eq!(rows[0].center.0, ((t + i) % 16) as u32);
                 }
@@ -305,7 +408,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 barrier.wait();
                 for _ in 0..100 {
-                    let rows = c.get_or_compute("shared", || vec![row(7)]);
+                    let rows = c.get_or_compute("shared", StarFootprint::default, || vec![row(7)]);
                     assert_eq!(rows[0].center.0, 7);
                 }
             }));
@@ -336,22 +439,24 @@ mod tests {
         // insert tick equals the preceding lookup's, its score decays as if
         // it were older, and the cache wrongly evicts its newest entry "b".
         let c = StarCache::new(3, 0.9);
-        c.get_or_compute("a", || vec![row(1)]);
-        c.get_or_compute("f", || vec![row(2)]);
+        c.get_or_compute("a", StarFootprint::default, || vec![row(1)]);
+        c.get_or_compute("f", StarFootprint::default, || vec![row(2)]);
         for _ in 0..12 {
-            c.get_or_compute("f", || unreachable!("f is cached"));
+            c.get_or_compute("f", StarFootprint::default, || unreachable!("f is cached"));
         }
-        c.get_or_compute("a", || unreachable!("a is cached"));
-        c.get_or_compute("b", || vec![row(3)]);
-        c.get_or_compute("c", || vec![row(4)]); // evicts exactly one entry
+        c.get_or_compute("a", StarFootprint::default, || unreachable!("a is cached"));
+        c.get_or_compute("b", StarFootprint::default, || vec![row(3)]);
+        c.get_or_compute("c", StarFootprint::default, || vec![row(4)]); // evicts exactly one entry
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 3);
         // "b" must have survived ...
         let misses = c.stats().misses;
-        c.get_or_compute("b", || panic!("the newest entry was evicted"));
+        c.get_or_compute("b", StarFootprint::default, || {
+            panic!("the newest entry was evicted")
+        });
         assert_eq!(c.stats().misses, misses);
         // ... and "a" (stalest, lowest decayed score) must be the victim.
-        c.get_or_compute("a", || vec![row(1)]);
+        c.get_or_compute("a", StarFootprint::default, || vec![row(1)]);
         assert_eq!(c.stats().misses, misses + 1, "a should have been evicted");
     }
 
@@ -369,7 +474,7 @@ mod tests {
             let barrier = std::sync::Arc::clone(&barrier);
             handles.push(std::thread::spawn(move || {
                 barrier.wait();
-                c.get_or_compute("cold", || {
+                c.get_or_compute("cold", StarFootprint::default, || {
                     std::thread::sleep(std::time::Duration::from_millis(5));
                     vec![row(42)]
                 })
@@ -390,7 +495,7 @@ mod tests {
         assert_eq!(s.evictions, 0);
         // The survivor serves subsequent lookups as a plain hit.
         let before = c.stats();
-        c.get_or_compute("cold", || panic!("must hit"));
+        c.get_or_compute("cold", StarFootprint::default, || panic!("must hit"));
         let after = c.stats();
         assert_eq!(after.hits, before.hits + 1);
         assert_eq!(after.misses, before.misses);
@@ -399,9 +504,90 @@ mod tests {
     #[test]
     fn clear_keeps_counters() {
         let c = StarCache::new(4, 1.0);
-        c.get_or_compute("a", std::vec::Vec::new);
+        c.get_or_compute("a", StarFootprint::default, std::vec::Vec::new);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn carry_over_evicts_by_footprint() {
+        use wqe_graph::{AttrId, LabelId};
+        let c = StarCache::new(8, 1.0);
+        let on_label_3 = || StarFootprint {
+            labels: vec![3],
+            ..StarFootprint::default()
+        };
+        let on_attr_7 = || StarFootprint {
+            labels: vec![5],
+            attrs: vec![7],
+            ..StarFootprint::default()
+        };
+        c.get_or_compute("l3", on_label_3, || vec![row(1)]);
+        c.get_or_compute("a7", on_attr_7, || vec![row(2)]);
+
+        // Attr-only delta on an unrelated attribute: nothing evicted.
+        let delta = DeltaSummary {
+            touched_attrs: vec![AttrId(9)],
+            attr_labels: vec![LabelId(5)],
+            ..DeltaSummary::default()
+        };
+        let (next, evicted) = c.carry_over(&delta);
+        assert_eq!(evicted, 0);
+        assert_eq!(next.len(), 2);
+
+        // Delta touching attr 7: only the attr-keyed entry is dropped; the
+        // label-only entry survives and still hits without recompute.
+        let delta = DeltaSummary {
+            touched_attrs: vec![AttrId(7)],
+            attr_labels: vec![LabelId(5)],
+            ..DeltaSummary::default()
+        };
+        let (next, evicted) = c.carry_over(&delta);
+        assert_eq!(evicted, 1);
+        assert_eq!(next.len(), 1);
+        let r = next.get_or_compute("l3", on_label_3, || panic!("must survive carry-over"));
+        assert_eq!(r[0].center, NodeId(1));
+        assert_eq!(next.stats().evictions, 1, "eviction counted in new cache");
+        // The old cache is untouched — pinned sessions keep hitting it.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn carry_over_topology_and_membership() {
+        use wqe_graph::{LabelId, NodeId};
+        let c = StarCache::new(8, 1.0);
+        let wildcard = || StarFootprint {
+            wildcard: true,
+            ..StarFootprint::default()
+        };
+        let on_label_2 = || StarFootprint {
+            labels: vec![2],
+            ..StarFootprint::default()
+        };
+        c.get_or_compute("wild", wildcard, || vec![row(1)]);
+        c.get_or_compute("l2", on_label_2, || vec![row(2)]);
+
+        // Membership churn on label 9 evicts wildcard tables but not a
+        // table keyed to label 2.
+        let delta = DeltaSummary {
+            membership_labels: vec![LabelId(9)],
+            ..DeltaSummary::default()
+        };
+        let (next, evicted) = c.carry_over(&delta);
+        assert_eq!(evicted, 1);
+        assert_eq!(next.len(), 1);
+
+        // Any topology change flushes everything.
+        let delta = DeltaSummary {
+            inserted_edges: vec![(NodeId(0), NodeId(1))],
+            ..DeltaSummary::default()
+        };
+        let (next, evicted) = c.carry_over(&delta);
+        assert_eq!(evicted, 2);
+        assert!(next.is_empty());
+        // Cumulative counters span the carry-over.
+        assert_eq!(next.stats().misses, c.stats().misses);
     }
 }

@@ -7,7 +7,7 @@ mod join;
 mod proptests;
 pub mod star;
 
-pub use cache::{CacheStats, StarCache};
+pub use cache::{CacheStats, StarCache, StarFootprint};
 pub use join::{assignment_order, verify_candidate, Truncated, Valuation};
 
 use crate::pattern::{PatternQuery, QNodeId};
@@ -173,19 +173,19 @@ pub struct MatcherStats {
 pub struct Matcher {
     graph: Arc<Graph>,
     oracle: Arc<dyn DistanceOracle>,
-    cache: Option<StarCache>,
+    cache: Option<Arc<StarCache>>,
     step_limit: usize,
     parallelism: usize,
     stats: std::sync::Mutex<MatcherStats>,
 }
 
 impl Matcher {
-    /// Creates a matcher with the default cache.
+    /// Creates a matcher with its own default-sized cache.
     pub fn new(graph: Arc<Graph>, oracle: Arc<dyn DistanceOracle>) -> Self {
         Matcher {
             graph,
             oracle,
-            cache: Some(StarCache::default_sized()),
+            cache: Some(Arc::new(StarCache::default_sized())),
             step_limit: 2_000_000,
             parallelism: 1,
             stats: std::sync::Mutex::new(MatcherStats::default()),
@@ -196,6 +196,20 @@ impl Matcher {
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
         self
+    }
+
+    /// Shares an externally owned star cache (the live-graph epoch store
+    /// hands every session of an epoch the same cache, so rewrites across
+    /// sessions reuse each other's tables and publish-time invalidation
+    /// has one place to look).
+    pub fn with_shared_cache(mut self, cache: Arc<StarCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The star cache, when caching is enabled.
+    pub fn shared_cache(&self) -> Option<&Arc<StarCache>> {
+        self.cache.as_ref()
     }
 
     /// Overrides the per-candidate verification step budget.
@@ -213,24 +227,16 @@ impl Matcher {
         self
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
+    /// The underlying graph. Returns the shared handle; deref (or
+    /// `Arc::clone`) as needed — the former `graph()`/`graph_arc()` pair
+    /// collapsed into this one accessor.
+    pub fn graph(&self) -> &Arc<Graph> {
         &self.graph
     }
 
-    /// A shared handle to the underlying graph.
-    pub fn graph_arc(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
-    }
-
-    /// The distance oracle.
-    pub fn oracle(&self) -> &dyn DistanceOracle {
-        &*self.oracle
-    }
-
-    /// A shared handle to the distance oracle.
-    pub fn oracle_arc(&self) -> Arc<dyn DistanceOracle> {
-        Arc::clone(&self.oracle)
+    /// The distance oracle, as the shared handle (see [`Matcher::graph`]).
+    pub fn oracle(&self) -> &Arc<dyn DistanceOracle> {
+        &self.oracle
     }
 
     /// Locks the stats mutex, recovering from poison: the counters stay
@@ -248,7 +254,7 @@ impl Matcher {
 
     /// Cache counters, when caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(StarCache::stats)
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Candidates `V_u` of a pattern node.
@@ -266,11 +272,15 @@ impl Matcher {
             Some(cache) => {
                 let key = s.spec_key(q);
                 let mut built = false;
-                let rows = cache.get_or_compute(&key, || {
-                    built = true;
-                    let _span = obs::span(obs::Stage::StarMaterialize);
-                    star::materialize_rows(&self.graph, q, s, focus_cands)
-                });
+                let rows = cache.get_or_compute(
+                    &key,
+                    || star_footprint(q, s),
+                    || {
+                        built = true;
+                        let _span = obs::span(obs::Stage::StarMaterialize);
+                        star::materialize_rows(&self.graph, q, s, focus_cands)
+                    },
+                );
                 if built {
                     self.stats_lock().tables_built += 1;
                 }
@@ -497,6 +507,42 @@ impl Matcher {
             steps,
         }
     }
+}
+
+/// The invalidation footprint of one star's cached table: the labels of
+/// its center, leaves, and augmented focus, the attrs of baked leaf
+/// literals, and whether any of those pattern nodes is wildcard.
+fn star_footprint(q: &PatternQuery, s: &StarQuery) -> cache::StarFootprint {
+    let mut fp = cache::StarFootprint::default();
+    let mut note_label = |u: QNodeId| match q.node(u).and_then(|n| n.label) {
+        Some(l) => {
+            if !fp.labels.contains(&l.0) {
+                fp.labels.push(l.0);
+            }
+        }
+        None => fp.wildcard = true,
+    };
+    note_label(s.center);
+    for leaf in &s.leaves {
+        note_label(leaf.node);
+    }
+    if s.augmented.is_some() {
+        note_label(q.focus());
+    }
+    for leaf in &s.leaves {
+        for lit in q
+            .node(leaf.node)
+            .map(|n| n.literals.as_slice())
+            .unwrap_or_default()
+        {
+            if !fp.attrs.contains(&lit.attr.0) {
+                fp.attrs.push(lit.attr.0);
+            }
+        }
+    }
+    fp.labels.sort_unstable();
+    fp.attrs.sort_unstable();
+    fp
 }
 
 /// A brute-force reference matcher: enumerates injective assignments over

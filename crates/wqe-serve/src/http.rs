@@ -217,6 +217,7 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
@@ -264,6 +265,9 @@ fn http_status(status: &QueryStatus) -> u16 {
             reason: ShedReason::RateLimited { .. },
         } => 429,
         QueryStatus::Shed { .. } => 503,
+        // `QueryStatus` is #[non_exhaustive]; treat unknown outcomes as a
+        // server-side error rather than failing to serve at all.
+        _ => 500,
     }
 }
 
@@ -272,14 +276,20 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx) -> io::Result<()> {
     let Some(req) = read_request(&mut stream)? else {
         return Ok(());
     };
-    match (req.method.as_str(), req.path.as_str()) {
+    // Canonical routes live under `/v1/`; the bare paths are legacy
+    // aliases for the four original endpoints. The live-graph routes
+    // postdate the unversioned API and exist only under the prefix.
+    let (versioned, route) = match req.path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => (true, rest),
+        _ => (false, req.path.as_str()),
+    };
+    match (req.method.as_str(), route) {
         ("GET", "/healthz") => write_json(&mut stream, 200, &json!({ "ok": true })),
-        ("GET", "/stats") => {
-            let stats = serde_json::to_value(&ctx.service.stats());
-            write_json(&mut stream, 200, &stats)
-        }
+        ("GET", "/stats") => write_json(&mut stream, 200, &crate::stats_json(&ctx.service)),
         ("POST", "/why") => handle_why(&mut stream, ctx, &req),
         ("POST", "/why/batch") => handle_batch(&mut stream, ctx, &req),
+        ("POST", "/graph/update") if versioned => handle_update(&mut stream, ctx, &req),
+        ("GET", "/epochs") if versioned => handle_epochs(&mut stream, ctx),
         ("GET", _) | ("POST", _) => write_json(
             &mut stream,
             404,
@@ -293,9 +303,107 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx) -> io::Result<()> {
     }
 }
 
+/// `POST /v1/graph/update`: applies one atomic update batch through the
+/// live store and answers with the publish report. Read-only servers
+/// (no store) answer 409.
+fn handle_update(stream: &mut TcpStream, ctx: &ServeCtx, req: &Request) -> io::Result<()> {
+    let Some(store) = &ctx.store else {
+        return write_json(
+            stream,
+            409,
+            &error_json("server is read-only: no live graph store attached"),
+        );
+    };
+    let spec = match parse_body(&req.body) {
+        Ok(v) => v,
+        Err(e) => return write_json(stream, 400, &error_json(e)),
+    };
+    let updates = match crate::parse_updates(&spec) {
+        Ok(u) => u,
+        Err(e) => return write_json(stream, 400, &error_json(e)),
+    };
+    match store.apply(&updates) {
+        Ok(report) => write_json(stream, 200, &crate::publish_json(&report)),
+        Err(e) => write_json(stream, 400, &error_json(e.to_string())),
+    }
+}
+
+/// `GET /v1/epochs`: the store's epoch registry (read-only servers report
+/// their single fixed epoch).
+fn handle_epochs(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<()> {
+    match &ctx.store {
+        Some(store) => write_json(stream, 200, &crate::epochs_json(&store.epochs())),
+        None => write_json(
+            stream,
+            409,
+            &error_json("server is read-only: no live graph store attached"),
+        ),
+    }
+}
+
 fn parse_body(body: &[u8]) -> Result<Value, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     serde_json::from_str(text).map_err(|e| format!("body is not JSON: {e}"))
+}
+
+/// Runs one question against two pinned epochs and encodes both responses
+/// plus a comparison. `spec` still parses through [`parse_request`], so
+/// `algo`/`priority`/`deadline_ms` apply to both runs; `epoch` and
+/// `stream` are overridden by the diff itself.
+fn handle_diff(
+    stream: &mut TcpStream,
+    ctx: &ServeCtx,
+    req: &Request,
+    graph: &wqe_graph::Graph,
+    spec: &Value,
+    diff: &Value,
+) -> io::Result<()> {
+    let epoch_of = |key: &str| -> Result<wqe_core::EpochId, String> {
+        diff.get(key)
+            .and_then(Value::as_u64)
+            .map(wqe_core::EpochId)
+            .ok_or_else(|| format!("diff.{key} must be a nonnegative integer epoch"))
+    };
+    let (from, to) = match (epoch_of("from"), epoch_of("to")) {
+        (Ok(f), Ok(t)) => (f, t),
+        (Err(e), _) | (_, Err(e)) => return write_json(stream, 400, &error_json(e)),
+    };
+    let mut responses = Vec::with_capacity(2);
+    for epoch in [from, to] {
+        let (mut request, _) = match parse_request(graph, spec) {
+            Ok(parsed) => parsed,
+            Err(e) => return write_json(stream, 400, &error_json(e)),
+        };
+        request.epoch = Some(epoch);
+        if req.tenant.is_some() {
+            request.tenant = req.tenant.clone();
+        }
+        responses.push(ctx.service.call(request));
+    }
+    let (to_resp, from_resp) = (responses.pop().unwrap(), responses.pop().unwrap());
+    let fp = |r: &wqe_core::QueryResponse| r.report().map(|rep| rep.fingerprint());
+    let closeness = |r: &wqe_core::QueryResponse| {
+        r.report()
+            .and_then(|rep| rep.best.as_ref())
+            .map(|b| b.closeness)
+    };
+    let (fp_from, fp_to) = (fp(&from_resp), fp(&to_resp));
+    let body = json!({
+        "mode": "diff",
+        "from_epoch": from.0,
+        "to_epoch": to.0,
+        "from": response_json(&from_resp),
+        "to": response_json(&to_resp),
+        "diff": {
+            "changed": fp_from != fp_to,
+            "closeness_from": closeness(&from_resp),
+            "closeness_to": closeness(&to_resp),
+        },
+    });
+    // The exchange is "done" iff both runs completed; any failure
+    // surfaces through the stronger (higher) status code.
+    let status = http_status(&from_resp.status).max(http_status(&to_resp.status));
+    write_json(stream, status, &body)
 }
 
 fn handle_why(stream: &mut TcpStream, ctx: &ServeCtx, req: &Request) -> io::Result<()> {
@@ -303,7 +411,11 @@ fn handle_why(stream: &mut TcpStream, ctx: &ServeCtx, req: &Request) -> io::Resu
         Ok(v) => v,
         Err(e) => return write_json(stream, 400, &error_json(e)),
     };
-    let (mut request, stream_requested) = match parse_request(&ctx.graph, &spec) {
+    let graph = ctx.head_graph();
+    if let Some(diff) = spec.get("diff") {
+        return handle_diff(stream, ctx, req, &graph, &spec, diff);
+    }
+    let (mut request, stream_requested) = match parse_request(&graph, &spec) {
         Ok(parsed) => parsed,
         Err(e) => return write_json(stream, 400, &error_json(e)),
     };
@@ -365,9 +477,10 @@ fn handle_batch(stream: &mut TcpStream, ctx: &ServeCtx, req: &Request) -> io::Re
             &error_json("body must have a \"questions\" array"),
         );
     };
+    let graph = ctx.head_graph();
     let mut requests = Vec::with_capacity(questions.len());
     for (i, q) in questions.iter().enumerate() {
-        match parse_request(&ctx.graph, q) {
+        match parse_request(&graph, q) {
             // Streaming is a single-question affair; batch ignores the flag.
             Ok((mut r, _)) => {
                 if req.tenant.is_some() {

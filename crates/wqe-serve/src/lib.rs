@@ -5,7 +5,7 @@
 //! The workspace builds fully offline, so there is no tokio and no HTTP
 //! framework: [`http::HttpServer`] is a thread-per-connection server over
 //! `std::net` with a nonblocking accept poll loop, which is exactly enough
-//! for the serving layer it fronts (a bounded [`JobQueue`] of worker
+//! for the serving layer it fronts (a bounded [`wqe_pool::serve::JobQueue`] of worker
 //! threads — the queue, not the socket layer, is the admission control).
 //!
 //! ## Endpoint contract (see DESIGN.md §12)
@@ -21,8 +21,24 @@
 //!   bit-identical to what the blocking call would have returned.
 //! * `POST /why/batch` — `{"questions": [spec, ..]}`, answers in request
 //!   order.
-//! * `GET /stats` — the service's [`ServiceStats`] as JSON.
+//! * `GET /stats` — the service's [`wqe_core::ServiceStats`] as JSON, plus
+//!   `"api_version"`.
 //! * `GET /healthz` — liveness probe.
+//!
+//! All four routes are canonically served under the `/v1/` prefix
+//! (`/v1/why`, `/v1/why/batch`, `/v1/stats`, `/v1/healthz`); the bare
+//! paths remain as legacy aliases. Two live-graph routes exist only under
+//! `/v1/` (they postdate the unversioned API):
+//!
+//! * `POST /v1/graph/update` — `{"updates": [op, ..]}` applied as one
+//!   atomic batch through the server's [`wqe_core::GraphStore`]; the
+//!   response is the publish report. 409 when the server was started
+//!   without a store (read-only).
+//! * `GET /v1/epochs` — the store's epoch registry.
+//!
+//! A `/why` body may carry `"epoch": N` to pin the query to a still-live
+//! published epoch, or `"diff": {"from": N, "to": M}` to run the same
+//! question against two epochs and get both reports plus a comparison.
 //!
 //! Report JSON carries `closeness`/`cost` twice: as plain numbers for
 //! humans and as `*_bits` hex strings (raw IEEE-754 bits) so clients can
@@ -36,10 +52,14 @@ pub mod mcp;
 use serde_json::{json, Value};
 use std::sync::Arc;
 use wqe_core::{
-    Algorithm, AnswerReport, AnswerUpdate, Priority, QueryRequest, QueryResponse, QueryService,
-    QueryStatus, RewriteResult, ShedReason,
+    Algorithm, AnswerReport, AnswerUpdate, EpochId, EpochInfo, GraphStore, Priority, PublishReport,
+    QueryRequest, QueryResponse, QueryService, QueryStatus, RewriteResult, ShedReason,
 };
-use wqe_graph::Graph;
+use wqe_graph::{AttrValue, DeltaSummary, Graph, GraphUpdate, NodeId};
+
+/// Version tag of the HTTP API, reported in `/stats` and used as the
+/// canonical route prefix.
+pub const API_VERSION: &str = "v1";
 
 /// Everything a front-end needs to serve: the query service and the graph
 /// its question specs resolve against.
@@ -49,6 +69,9 @@ pub struct ServeCtx {
     pub service: Arc<QueryService>,
     /// The graph, for resolving spec label/attribute names.
     pub graph: Arc<Graph>,
+    /// The live graph store, when the server accepts writes. `None` means
+    /// a read-only front-end: `/v1/graph/update` answers 409.
+    pub store: Option<Arc<GraphStore>>,
 }
 
 /// Parses one request body: the question spec (`query` + `exemplar`, see
@@ -74,8 +97,172 @@ pub fn parse_request(graph: &Graph, spec: &Value) -> Result<(QueryRequest, bool)
     if let Some(t) = spec.get("tenant").and_then(Value::as_str) {
         request.tenant = Some(t.to_string());
     }
+    if let Some(e) = spec.get("epoch") {
+        let n = e
+            .as_u64()
+            .ok_or("epoch must be a nonnegative integer".to_string())?;
+        request.epoch = Some(EpochId(n));
+    }
     let stream = spec.get("stream").and_then(Value::as_bool).unwrap_or(false);
     Ok((request, stream))
+}
+
+impl ServeCtx {
+    /// The graph question specs should resolve against: the head epoch's
+    /// when a live store is attached (publishes may have interned new
+    /// label/attribute names), the fixed startup graph otherwise.
+    pub fn head_graph(&self) -> Arc<Graph> {
+        match &self.store {
+            Some(store) => Arc::clone(store.pin().ctx().graph()),
+            None => Arc::clone(&self.graph),
+        }
+    }
+}
+
+fn attr_value_from_json(v: &Value) -> Result<AttrValue, String> {
+    match v {
+        Value::Bool(b) => Ok(AttrValue::Bool(*b)),
+        Value::String(s) => Ok(AttrValue::Str(s.clone())),
+        Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Ok(AttrValue::Int(i))
+            } else {
+                let f = n.as_f64().ok_or("number out of range")?;
+                AttrValue::float(f).ok_or_else(|| "attribute value may not be NaN".to_string())
+            }
+        }
+        other => Err(format!("unsupported attribute value {other}")),
+    }
+}
+
+fn field_u64(op: &Value, key: &str) -> Result<u64, String> {
+    op.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{key:?} must be a nonnegative integer"))
+}
+
+fn field_node(op: &Value, key: &str) -> Result<NodeId, String> {
+    Ok(NodeId(field_u64(op, key)? as u32))
+}
+
+fn field_str(op: &Value, key: &str) -> Result<String, String> {
+    op.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key:?} must be a string"))
+}
+
+/// Parses one `/v1/graph/update` body: `{"updates": [op, ..]}` where each
+/// op is a tagged object — `{"op": "add_node", "label": .., "attrs":
+/// {..}}`, `{"op": "set_label", "node": .., "label": ..}`, `{"op":
+/// "set_attr", "node": .., "attr": .., "value": ..}` (`null` drops the
+/// attribute), `{"op": "detach_node", "node": ..}`, `{"op":
+/// "insert_edge", "from": .., "to": .., "label": ..}`, `{"op":
+/// "delete_edge", "from": .., "to": ..}`.
+pub fn parse_updates(spec: &Value) -> Result<Vec<GraphUpdate>, String> {
+    let ops = spec
+        .get("updates")
+        .and_then(Value::as_array)
+        .ok_or("body must have an \"updates\" array")?;
+    let mut updates = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let parsed = (|| -> Result<GraphUpdate, String> {
+            let kind = field_str(op, "op")?;
+            match kind.as_str() {
+                "add_node" => {
+                    let mut attrs = Vec::new();
+                    if let Some(Value::Object(m)) = op.get("attrs") {
+                        for (name, v) in m {
+                            attrs.push((name.clone(), attr_value_from_json(v)?));
+                        }
+                    }
+                    Ok(GraphUpdate::AddNode {
+                        label: field_str(op, "label")?,
+                        attrs,
+                    })
+                }
+                "set_label" => Ok(GraphUpdate::SetLabel {
+                    node: field_node(op, "node")?,
+                    label: field_str(op, "label")?,
+                }),
+                "set_attr" => {
+                    let value = match op.get("value") {
+                        None | Some(Value::Null) => None,
+                        Some(v) => Some(attr_value_from_json(v)?),
+                    };
+                    Ok(GraphUpdate::SetAttr {
+                        node: field_node(op, "node")?,
+                        attr: field_str(op, "attr")?,
+                        value,
+                    })
+                }
+                "detach_node" => Ok(GraphUpdate::DetachNode {
+                    node: field_node(op, "node")?,
+                }),
+                "insert_edge" => Ok(GraphUpdate::InsertEdge {
+                    from: field_node(op, "from")?,
+                    to: field_node(op, "to")?,
+                    label: field_str(op, "label")?,
+                }),
+                "delete_edge" => Ok(GraphUpdate::DeleteEdge {
+                    from: field_node(op, "from")?,
+                    to: field_node(op, "to")?,
+                }),
+                other => Err(format!("unknown op {other:?}")),
+            }
+        })()
+        .map_err(|e| format!("updates[{i}]: {e}"))?;
+        updates.push(parsed);
+    }
+    Ok(updates)
+}
+
+fn delta_json(d: &DeltaSummary) -> Value {
+    json!({
+        "touched_nodes": d.touched_nodes.len(),
+        "added_nodes": d.added_nodes,
+        "membership_labels": d.membership_labels.len(),
+        "attr_labels": d.attr_labels.len(),
+        "touched_attrs": d.touched_attrs.len(),
+        "inserted_edges": d.inserted_edges.len(),
+        "deleted_edges": d.deleted_edges.len(),
+    })
+}
+
+/// Encodes one publish report for the wire.
+pub fn publish_json(report: &PublishReport) -> Value {
+    json!({
+        "epoch": report.epoch.0,
+        "no_op": report.no_op,
+        "tier": report.tier.name(),
+        "star_evicted": report.star_evicted,
+        "delta": delta_json(&report.delta),
+    })
+}
+
+/// Encodes the epoch registry for the wire.
+pub fn epochs_json(epochs: &[EpochInfo]) -> Value {
+    let head = epochs.iter().find(|e| e.head).map(|e| e.id.0);
+    json!({
+        "head": head,
+        "epochs": epochs.iter().map(|e| json!({
+            "epoch": e.id.0,
+            "nodes": e.nodes,
+            "edges": e.edges,
+            "tier": e.tier,
+            "live": e.live,
+            "head": e.head,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// The service's stats plus the API version tag.
+pub fn stats_json(service: &QueryService) -> Value {
+    let mut v = serde_json::to_value(&service.stats());
+    if let Value::Object(m) = &mut v {
+        m.insert("api_version".into(), json!(API_VERSION));
+    }
+    v
 }
 
 fn rewrite_json(r: &RewriteResult) -> Value {
@@ -169,6 +356,12 @@ pub fn response_json(resp: &QueryResponse) -> Value {
             obj.insert("status".into(), json!("shed"));
             obj.insert("shed".into(), shed_json(reason));
         }
+        // `QueryStatus` is #[non_exhaustive]; encode unknown outcomes as an
+        // opaque error so the wire format stays total.
+        _ => {
+            obj.insert("status".into(), json!("failed"));
+            obj.insert("error".into(), json!("unknown query status"));
+        }
     }
     v
 }
@@ -236,6 +429,32 @@ mod tests {
         ServeCtx {
             service: Arc::new(QueryService::new(ctx, config)),
             graph,
+            store: None,
+        }
+    }
+
+    fn serve_ctx_live() -> ServeCtx {
+        let graph = Arc::new(wqe_graph::product::product_graph().graph);
+        let store = Arc::new(GraphStore::new(Arc::clone(&graph)));
+        // Keep a few superseded epochs pinned so stateless HTTP clients
+        // can pin-by-id and diff across a publish.
+        store.set_retention(4);
+        let config = ServiceConfig {
+            max_inflight: 2,
+            queue_cap: 16,
+            base_config: WqeConfig {
+                budget: 3.0,
+                max_expansions: 150,
+                top_k: 3,
+                parallelism: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        ServeCtx {
+            service: Arc::new(QueryService::with_store(Arc::clone(&store), config)),
+            graph,
+            store: Some(store),
         }
     }
 
@@ -484,6 +703,98 @@ mod tests {
         assert_eq!(status, 200);
         let v: Value = serde_json::from_str(&body).unwrap();
         assert!(v.get("submitted").and_then(Value::as_u64).unwrap() >= 4);
+        assert_eq!(v.get("api_version").and_then(Value::as_str), Some("v1"));
+
+        // Read-only server: the live-graph routes answer 409, and they
+        // exist only under the /v1 prefix.
+        let (status, _) = exchange(addr, "GET /v1/epochs HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 409);
+        let (status, _) = post(addr, "/v1/graph/update", "{\"updates\":[]}");
+        assert_eq!(status, 409);
+        let (status, _) = exchange(addr, "GET /epochs HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404);
+
+        drop(server);
+    }
+
+    #[test]
+    fn http_v1_live_endpoints_end_to_end() {
+        let ctx = serve_ctx_live();
+        let server = http::HttpServer::bind(ctx, "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // The /v1 aliases serve the legacy routes.
+        let (status, body) = exchange(addr, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+        let (status, body) = exchange(addr, "GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("api_version").and_then(Value::as_str), Some("v1"));
+
+        // Epoch registry starts with only the initial head.
+        let (status, body) = exchange(addr, "GET /v1/epochs HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("head").and_then(Value::as_u64), Some(0));
+
+        // Baseline answer before any write.
+        let (status, body) = post(addr, "/v1/why", PAPER_SPEC);
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("done"));
+
+        // One update batch publishes epoch 1.
+        let batch = json!({ "updates": [
+            {"op": "add_node", "label": "Cellphone",
+             "attrs": {"Price": 10, "Brand": "Nimbus"}},
+        ] })
+        .to_string();
+        let (status, body) = post(addr, "/v1/graph/update", &batch);
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("no_op").and_then(Value::as_bool), Some(false));
+        assert!(v.get("tier").and_then(Value::as_str).is_some());
+        let (_, body) = exchange(addr, "GET /v1/epochs HTTP/1.1\r\nHost: t\r\n\r\n");
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("head").and_then(Value::as_u64), Some(1));
+
+        // Queries can pin either live epoch; a retired/unknown one fails.
+        let pinned = spec_with(&[("epoch", json!(0))]).to_string();
+        let (status, body) = post(addr, "/v1/why", &pinned);
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("done"));
+        let unknown = spec_with(&[("epoch", json!(99))]).to_string();
+        let (status, body) = post(addr, "/v1/why", &unknown);
+        assert_eq!(status, 400);
+        assert!(body.contains("not live"));
+
+        // Epoch-diff mode answers with both reports and a comparison.
+        let diff = spec_with(&[("diff", json!({"from": 0, "to": 1}))]).to_string();
+        let (status, body) = post(addr, "/v1/why", &diff);
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("mode").and_then(Value::as_str), Some("diff"));
+        for side in ["from", "to"] {
+            let resp = v.get(side).expect("both sides present");
+            assert_eq!(resp.get("status").and_then(Value::as_str), Some("done"));
+        }
+        let changed = v
+            .get("diff")
+            .and_then(|d| d.get("changed"))
+            .and_then(Value::as_bool);
+        assert!(changed.is_some());
+
+        // Malformed updates are rejected with a pointed error.
+        let (status, body) = post(
+            addr,
+            "/v1/graph/update",
+            "{\"updates\":[{\"op\":\"warp_node\"}]}",
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("updates[0]"));
 
         drop(server);
     }

@@ -1,6 +1,6 @@
 //! An MCP (Model Context Protocol) stdio tool: JSON-RPC 2.0, one message
 //! per line, exposing a single `ask_why` tool over the same
-//! [`ServeCtx`](crate::ServeCtx) the HTTP front-end serves.
+//! [`ServeCtx`] the HTTP front-end serves.
 //!
 //! The loop is transport-generic (`BufRead` in, `Write` out) so tests can
 //! drive it with in-memory buffers; `serve --mcp` in the CLI binds it to
@@ -66,7 +66,7 @@ fn call_tool(ctx: &ServeCtx, params: Option<&Value>) -> Result<Value, String> {
         return Err(format!("unknown tool {name:?}"));
     }
     let arguments = params.get("arguments").ok_or("ask_why needs arguments")?;
-    let (request, _stream) = parse_request(&ctx.graph, arguments)?;
+    let (request, _stream) = parse_request(&ctx.head_graph(), arguments)?;
     let response = ctx.service.call(request);
     let is_error = response.report().is_none();
     let body = response_json(&response);

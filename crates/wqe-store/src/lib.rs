@@ -8,7 +8,7 @@
 //! so a replica restart is a map + checksum pass instead of a parse +
 //! rebuild.
 //!
-//! Layout, versioning, and compatibility policy live in [`format`];
+//! Layout, versioning, and compatibility policy live in [`format`](module@crate::format);
 //! DESIGN.md "Durable store" has the narrative version. Highlights:
 //!
 //! * magic + format version + section table, FNV-1a 64 checksum per

@@ -69,6 +69,30 @@ RUST_TEST_THREADS=1 cargo test --test http_serve -q
 echo "==> serving: cargo test --test http_serve -q"
 cargo test --test http_serve -q
 
+# The live-graph suite: epoch-pinned answers must be bit-identical to a
+# fresh context on the pinned graph for all eight algorithms at every
+# parallelism — including under concurrent writers — and cache
+# invalidation must be keyed (unrelated publishes keep entries hot),
+# serialized and under default test threading.
+echo "==> live: RUST_TEST_THREADS=1 cargo test --test live_epochs -q"
+RUST_TEST_THREADS=1 cargo test --test live_epochs -q
+
+echo "==> live: cargo test --test live_epochs -q"
+cargo test --test live_epochs -q
+
+# The public API surface is pinned as checked-in text dumps; any drift
+# must be a deliberate, blessed diff (WQE_BLESS_API=1), never an
+# accident.
+echo "==> api: cargo test --test api_surface -q"
+cargo test --test api_surface -q
+
+# Rustdoc is part of the public surface: broken intra-doc links and
+# malformed examples fail the gate, and every doctest must run.
+echo "==> api: cargo doc (warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -p wqe-graph -p wqe-index \
+    -p wqe-store -p wqe-query -p wqe-pool -p wqe-core -p wqe-serve \
+    -p wqe-datagen -p wqe-bench -p wqe
+
 # The chaos suite: deterministic fault schedules (pinned seed so failures
 # reproduce) across oracle, pool, queue, cache, and store sites must
 # uphold the never-wrong invariant — bit-correct answer, tagged partial,
@@ -145,6 +169,17 @@ echo "==> store: bench_store cold-start gate"
 cargo run --release -p wqe-bench --bin bench_store -- --out results/BENCH_store.json
 grep -q '"within_target": true' results/BENCH_store.json || {
     echo "bench_store: snapshot load missed the 10x cold-start target" >&2
+    exit 1
+}
+
+# The live write path's headline numbers: an incremental publish must
+# beat a full PLL rebuild by >= 5x at the 4k-node scale while staying on
+# the repaired-PLL tier, and epoch-pinned reads must be within 3% of a
+# plain fixed context with bit-identical answers.
+echo "==> live: bench_live repair-speedup / read-overhead gate"
+cargo run --release -p wqe-bench --bin bench_live -- --out results/BENCH_live.json
+grep -q '"within_target": true' results/BENCH_live.json || {
+    echo "bench_live: live write-path target missed (speedup/overhead/parity)" >&2
     exit 1
 }
 

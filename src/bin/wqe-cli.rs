@@ -270,7 +270,10 @@ fn cmd_why(args: &[String]) -> i32 {
     };
     let run = move || -> Result<(), String> {
         let (ctx, g, wq) = if let Some(snap) = snap {
-            let ctx = EngineCtx::from_open_snapshot(snap).map_err(|e| e.to_string())?;
+            let ctx = EngineCtx::builder()
+                .snapshot(snap)
+                .build()
+                .map_err(|e| e.to_string())?;
             if let Some(s) = ctx.snapshot_startup() {
                 if s.degraded() {
                     eprintln!(
@@ -280,7 +283,7 @@ fn cmd_why(args: &[String]) -> i32 {
                     );
                 }
             }
-            let g = ctx.graph_arc();
+            let g = Arc::clone(ctx.graph());
             let wq = load_question(&g, qpath)?;
             (ctx, g, wq)
         } else {
@@ -434,12 +437,18 @@ fn build_serve_ctx(gpath: &str, args: &[String]) -> Result<wqe::serve::ServeCtx,
         i += 2;
     }
     let g = Arc::new(load_graph(gpath)?);
-    // Question specs arrive at request time, so the distance oracle must
-    // cover any bound a spec may use; default_for caps its PLL effort.
-    let ctx = EngineCtx::new(Arc::clone(&g), Arc::new(HybridOracle::default_for(&g, 4)));
+    // Serve live: a GraphStore wraps the loaded graph so the HTTP layer
+    // can accept `/v1/graph/update` batches, and the service pins every
+    // query to a published epoch.
+    let store = Arc::new(wqe::core::GraphStore::new(Arc::clone(&g)));
+    // Stateless HTTP clients cannot hold epoch pins across exchanges, so
+    // keep a small window of superseded epochs alive for pin-by-id reads
+    // and epoch diffs.
+    store.set_retention(8);
     Ok(wqe::serve::ServeCtx {
-        service: Arc::new(QueryService::new(ctx, service_cfg)),
+        service: Arc::new(QueryService::with_store(Arc::clone(&store), service_cfg)),
         graph: g,
+        store: Some(store),
     })
 }
 
@@ -616,6 +625,7 @@ fn cmd_serve(args: &[String]) -> i32 {
                     QueryStatus::Shed { reason } => {
                         ("shed", serde_json::json!({ "reason": reason.as_str() }))
                     }
+                    _ => ("unknown", serde_json::json!({})),
                 };
                 println!(
                     "{}",
@@ -647,6 +657,7 @@ fn cmd_serve(args: &[String]) -> i32 {
                     QueryStatus::Shed { reason } => {
                         println!("#{}: shed ({})", r.id, reason.as_str())
                     }
+                    _ => println!("#{}: unknown status", r.id),
                 }
             }
         }

@@ -484,7 +484,11 @@ fn http_conn_faults_shed_connections_not_the_server() {
             ..Default::default()
         },
     ));
-    let serve_ctx = wqe::serve::ServeCtx { service, graph: g };
+    let serve_ctx = wqe::serve::ServeCtx {
+        service,
+        graph: g,
+        store: None,
+    };
     let server = wqe::serve::http::HttpServer::bind(serve_ctx, "127.0.0.1:0").expect("bind");
     let addr = server.addr();
 

@@ -95,6 +95,7 @@ fn serve_ctx(mutate: impl FnOnce(&mut ServiceConfig)) -> ServeCtx {
     ServeCtx {
         service: Arc::new(QueryService::new(ctx, config)),
         graph,
+        store: None,
     }
 }
 

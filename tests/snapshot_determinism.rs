@@ -149,7 +149,7 @@ fn snapshot_loaded_answers_bit_identical_to_fresh() {
     assert!(loaded.snapshot_startup().is_some());
     assert_graphs_equal(fresh.graph(), loaded.graph());
 
-    let qs = generated_questions(&graph, &fresh.oracle_arc(), 3);
+    let qs = generated_questions(&graph, fresh.oracle(), 3);
     assert!(qs.len() >= 2, "suite too small");
     for wq in &qs {
         for algo in ALGORITHMS {
@@ -240,7 +240,7 @@ proptest! {
 
         let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
         let loaded = EngineCtx::from_snapshot(&path).unwrap();
-        if let Some(wq) = generated_questions(&graph, &fresh.oracle_arc(), 1).pop() {
+        if let Some(wq) = generated_questions(&graph, fresh.oracle(), 1).pop() {
             for &t in &THREAD_COUNTS {
                 let a = WqeEngine::try_new(fresh.clone(), wq.clone(), config(t))
                     .expect("fresh engine")
@@ -282,7 +282,7 @@ fn every_section_corruption_is_detected() {
     );
 
     let fresh = EngineCtx::with_default_oracle(Arc::clone(&graph));
-    let wq = generated_questions(&graph, &fresh.oracle_arc(), 1)
+    let wq = generated_questions(&graph, fresh.oracle(), 1)
         .pop()
         .expect("a why-question for the quarantine parity check");
     let expected = fingerprint(
@@ -444,7 +444,7 @@ fn truncated_snapshots_error_cleanly() {
         );
         let err = EngineCtx::from_snapshot(&path).unwrap_err();
         assert!(
-            matches!(err, wqe::core::WqeError::Snapshot(_)),
+            matches!(err, wqe::core::WqeError::Snapshot { .. }),
             "truncation at {cut}: {err:?}"
         );
     }
